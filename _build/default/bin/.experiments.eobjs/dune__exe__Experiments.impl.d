@@ -1,0 +1,1 @@
+bin/experiments.ml: Cmd Cmdliner Fmt Lazy List Smg_eval Term

@@ -1,0 +1,1 @@
+bin/export_scenarios.ml: Array Filename List Printf Smg_cm Smg_core Smg_dsl Smg_eval Smg_semantics String Sys

@@ -1,0 +1,1 @@
+bin/mapdisc.ml: Arg Cmd Cmdliner Fmt List Logs Logs_fmt Option Smg_cm Smg_core Smg_cq Smg_dsl Smg_matching Smg_relational Smg_ric Term

@@ -1,0 +1,217 @@
+(* mapdisc — discover schema mappings for a scenario described in the
+   smg DSL.
+
+   A scenario file contains two schemas (first = source, second =
+   target), two CMs (same order), one `semantics` block per table, and
+   `corr` declarations. See README for the format.
+
+   Subcommands:
+     discover FILE   run mapping discovery (semantic, RIC-based, or both)
+     match FILE      propose correspondences with the name matcher
+     show FILE       parse and pretty-print the scenario (round-trip) *)
+
+open Cmdliner
+module Ast = Smg_dsl.Ast
+module Schema = Smg_relational.Schema
+module Mapping = Smg_cq.Mapping
+module Discover = Smg_core.Discover
+
+let load file =
+  let doc = Smg_dsl.Parser.parse_file file in
+  match (doc.Ast.doc_schemas, doc.Ast.doc_cms) with
+  | [ src_schema; tgt_schema ], [ src_cm; tgt_cm ] ->
+      let strees_for (schema : Schema.t) =
+        List.filter_map
+          (fun (b : Ast.semantics_block) ->
+            if Option.is_some (Schema.find_table schema b.Ast.sem_table) then
+              Some b.Ast.sem_stree
+            else None)
+          doc.Ast.doc_semantics
+      in
+      let source =
+        Discover.side ~schema:src_schema ~cm:src_cm (strees_for src_schema)
+      in
+      let target =
+        Discover.side ~schema:tgt_schema ~cm:tgt_cm (strees_for tgt_schema)
+      in
+      (doc, source, target)
+  | _ ->
+      Fmt.epr "error: a scenario needs exactly two schemas and two CMs@.";
+      exit 2
+
+type meth = Semantic | Ric | Both
+
+let run_discover file meth verbose sql =
+  if verbose then begin
+    Logs.set_reporter (Logs_fmt.reporter ());
+    Logs.set_level (Some Logs.Debug)
+  end;
+  let doc, source, target = load file in
+  let corrs = doc.Ast.doc_corrs in
+  if corrs = [] then begin
+    Fmt.epr "error: the scenario declares no correspondences@.";
+    exit 2
+  end;
+  let print_all title ms =
+    Fmt.pr "== %s: %d candidate(s) ==@." title (List.length ms);
+    List.iteri
+      (fun i m ->
+        Fmt.pr "@.#%d %a@." (i + 1) Mapping.pp m;
+        Fmt.pr "   tgd: %a@." Smg_cq.Dependency.pp_tgd (Mapping.to_tgd m);
+        Fmt.pr "   source algebra: %a@."
+          Smg_relational.Algebra.pp
+          (Mapping.src_algebra source.Discover.schema m);
+        if sql then begin
+          Fmt.pr "   source SQL:@.%s@."
+            (Smg_cq.Sql.select_of_query source.Discover.schema
+               m.Mapping.src_query);
+          List.iter (Fmt.pr "   exchange SQL:@.%s@.")
+            (Smg_cq.Sql.insert_of_mapping ~source:source.Discover.schema
+               ~target:target.Discover.schema m)
+        end)
+      ms
+  in
+  (match meth with
+  | Semantic | Both ->
+      print_all "semantic"
+        (Discover.discover ~source ~target ~corrs ())
+  | Ric -> ());
+  match meth with
+  | Ric | Both ->
+      print_all "RIC-based (Clio-style)"
+        (Smg_ric.Baseline.generate ~source:source.Discover.schema
+           ~target:target.Discover.schema ~corrs)
+  | Semantic -> ()
+
+let run_match file threshold =
+  let doc, source, target = load file in
+  ignore doc;
+  let proposals =
+    Smg_matching.Matcher.propose ~threshold ~source:source.Discover.schema
+      ~target:target.Discover.schema ()
+  in
+  List.iter
+    (fun (r : Smg_matching.Matcher.match_result) ->
+      Fmt.pr "%.2f  %a@." r.confidence Mapping.pp_corr r.corr)
+    proposals
+
+let run_show file =
+  let doc = Smg_dsl.Parser.parse_file file in
+  Fmt.pr "%a@." Smg_dsl.Printer.pp doc
+
+let run_exchange file =
+  let doc, source, target = load file in
+  let corrs = doc.Ast.doc_corrs in
+  if corrs = [] then begin
+    Fmt.epr "error: the scenario declares no correspondences@.";
+    exit 2
+  end;
+  let src_inst = Ast.instance_of doc source.Discover.schema in
+  if Smg_relational.Instance.total_tuples src_inst = 0 then begin
+    Fmt.epr "error: the scenario has no data blocks for source tables@.";
+    exit 2
+  end;
+  (match Smg_relational.Instance.check_rics source.Discover.schema src_inst with
+  | [] -> ()
+  | violations ->
+      Fmt.epr "error: source data violates %d referential constraint(s)@."
+        (List.length violations);
+      exit 2);
+  match Discover.discover ~source ~target ~corrs () with
+  | [] ->
+      Fmt.epr "error: no mapping discovered@.";
+      exit 1
+  | best :: _ -> (
+      Fmt.pr "Executing: %a@.@." Mapping.pp best;
+      let tgds =
+        if best.Mapping.outer then
+          Mapping.outer_variants ~target:target.Discover.schema best
+        else [ Mapping.to_tgd best ]
+      in
+      match
+        Smg_cq.Chase.exchange ~source:source.Discover.schema
+          ~target:target.Discover.schema ~mappings:tgds src_inst
+      with
+      | Smg_cq.Chase.Saturated out | Smg_cq.Chase.Bounded out ->
+          Fmt.pr "Target instance:@.%a@." Smg_relational.Instance.pp out
+      | Smg_cq.Chase.Failed msg ->
+          Fmt.epr "error: chase failed: %s@." msg;
+          exit 1)
+
+let run_ddl file =
+  let doc, source, target = load file in
+  ignore doc;
+  Fmt.pr "-- source schema@.%s@.@.-- target schema@.%s@."
+    (Smg_relational.Sql_ddl.create_schema source.Discover.schema)
+    (Smg_relational.Sql_ddl.create_schema target.Discover.schema)
+
+let run_dot file which =
+  let doc, source, target = load file in
+  ignore doc;
+  let side = match which with `Source -> source | `Target -> target in
+  print_string
+    (Smg_cm.Dot.of_cm_graph
+       ~name:side.Discover.schema.Smg_relational.Schema.schema_name
+       side.Discover.cmg)
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
+
+let meth_arg =
+  let meth_conv =
+    Arg.enum [ ("semantic", Semantic); ("ric", Ric); ("both", Both) ]
+  in
+  Arg.(value & opt meth_conv Both & info [ "m"; "method" ] ~docv:"METHOD")
+
+let verbose_arg = Arg.(value & flag & info [ "v"; "verbose" ])
+let sql_arg = Arg.(value & flag & info [ "sql" ] ~doc:"Also print SQL renderings")
+
+let which_arg =
+  let side_conv = Arg.enum [ ("source", `Source); ("target", `Target) ] in
+  Arg.(value & opt side_conv `Source & info [ "side" ] ~docv:"SIDE")
+
+let threshold_arg =
+  Arg.(value & opt float 0.55 & info [ "t"; "threshold" ] ~docv:"T")
+
+let () =
+  let discover_cmd =
+    Cmd.v
+      (Cmd.info "discover" ~doc:"Discover mapping candidates for a scenario")
+      Term.(const run_discover $ file_arg $ meth_arg $ verbose_arg $ sql_arg)
+  in
+  let match_cmd =
+    Cmd.v
+      (Cmd.info "match" ~doc:"Propose column correspondences (name matcher)")
+      Term.(const run_match $ file_arg $ threshold_arg)
+  in
+  let show_cmd =
+    Cmd.v
+      (Cmd.info "show" ~doc:"Parse and pretty-print a scenario file")
+      Term.(const run_show $ file_arg)
+  in
+  let exchange_cmd =
+    Cmd.v
+      (Cmd.info "exchange"
+         ~doc:
+           "Discover the best mapping and execute it over the scenario's data \
+            blocks")
+      Term.(const run_exchange $ file_arg)
+  in
+  let ddl_cmd =
+    Cmd.v
+      (Cmd.info "ddl" ~doc:"Emit CREATE TABLE statements for both schemas")
+      Term.(const run_ddl $ file_arg)
+  in
+  let dot_cmd =
+    Cmd.v
+      (Cmd.info "dot" ~doc:"Emit a GraphViz rendering of a side's CM graph")
+      Term.(const run_dot $ file_arg $ which_arg)
+  in
+  let info =
+    Cmd.info "mapdisc" ~version:"1.0"
+      ~doc:"Semantic schema-mapping discovery (An et al., ICDE 2007)"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ discover_cmd; match_cmd; show_cmd; exchange_cmd; ddl_cmd; dot_cmd ]))

@@ -1,0 +1,1 @@
+examples/data_exchange.ml: Fmt List Option Smg_core Smg_cq Smg_dsl Smg_relational

@@ -1,0 +1,1 @@
+examples/isa_merge.mli:

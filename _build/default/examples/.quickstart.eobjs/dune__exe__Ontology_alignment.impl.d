@@ -1,0 +1,1 @@
+examples/ontology_alignment.ml: Fmt List Smg_cm Smg_core

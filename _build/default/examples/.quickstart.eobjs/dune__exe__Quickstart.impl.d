@@ -1,0 +1,1 @@
+examples/quickstart.ml: Fmt List Smg_cm Smg_core Smg_cq Smg_relational Smg_ric Smg_semantics

@@ -1,0 +1,1 @@
+examples/reified_sales.ml: Fmt List Smg_cm Smg_core Smg_cq Smg_er2rel Smg_relational Smg_semantics

@@ -1,0 +1,1 @@
+examples/reified_sales.mli:

@@ -1,0 +1,126 @@
+(* Example 3.1 of the paper (Cases A.1 and A.2): a source with
+   control(proj, dept) and manage(dept, mgr), and a target with a single
+   proj(pnum, dept, emp) table whose s-tree is an anchored functional
+   tree rooted at Proj.
+
+   With all three correspondences given, the anchor Proj corresponds to
+   the source's Project and Case A.1 finds the functional tree
+   Project -controlledBy->> Department -hasManager->> Employee. Dropping
+   the v1 correspondence exercises Case A.2 (no corresponding root):
+   minimal functional trees over all roots give the same connection. *)
+
+module Schema = Smg_relational.Schema
+module Cml = Smg_cm.Cml
+module Stree = Smg_semantics.Stree
+module Mapping = Smg_cq.Mapping
+module Discover = Smg_core.Discover
+
+let n = Stree.nref
+
+let source_cm =
+  Cml.make ~name:"src-cm"
+    ~binaries:
+      [
+        Cml.functional ~total:true "controlledBy" ~src:"Project" ~dst:"Department";
+        Cml.functional ~total:true "hasManager" ~src:"Department" ~dst:"Employee";
+      ]
+    [
+      Cml.cls ~id:[ "proj" ] "Project" [ "proj" ];
+      Cml.cls ~id:[ "dept" ] "Department" [ "dept" ];
+      Cml.cls ~id:[ "mgr" ] "Employee" [ "mgr" ];
+    ]
+
+let source_schema =
+  Schema.make ~name:"src"
+    [
+      Schema.table ~key:[ "proj" ] "control"
+        [ ("proj", Schema.TString); ("dept", Schema.TString) ];
+      Schema.table ~key:[ "dept" ] "manage"
+        [ ("dept", Schema.TString); ("mgr", Schema.TString) ];
+    ]
+    [ Schema.ric ~name:"fk" ~from_:("control", [ "dept" ]) ~to_:("manage", [ "dept" ]) ]
+
+let source_strees =
+  [
+    Stree.make ~table:"control" ~anchor:(n "Project")
+      ~edges:
+        [
+          { Stree.se_src = n "Project"; se_kind = Stree.SRel "controlledBy"; se_dst = n "Department" };
+        ]
+      ~cols:[ ("proj", n "Project", "proj"); ("dept", n "Department", "dept") ]
+      ~ids:[ (n "Project", [ "proj" ]); (n "Department", [ "dept" ]) ]
+      [ n "Project"; n "Department" ];
+    Stree.make ~table:"manage" ~anchor:(n "Department")
+      ~edges:
+        [
+          { Stree.se_src = n "Department"; se_kind = Stree.SRel "hasManager"; se_dst = n "Employee" };
+        ]
+      ~cols:[ ("dept", n "Department", "dept"); ("mgr", n "Employee", "mgr") ]
+      ~ids:[ (n "Department", [ "dept" ]); (n "Employee", [ "mgr" ]) ]
+      [ n "Department"; n "Employee" ];
+  ]
+
+let target_cm =
+  Cml.make ~name:"tgt-cm"
+    ~binaries:
+      [
+        Cml.functional ~total:true "inDept" ~src:"Proj" ~dst:"Department";
+        Cml.functional "managedBy" ~src:"Proj" ~dst:"Employee";
+      ]
+    [
+      Cml.cls ~id:[ "pnum" ] "Proj" [ "pnum" ];
+      Cml.cls ~id:[ "dept" ] "Department" [ "dept" ];
+      Cml.cls ~id:[ "emp" ] "Employee" [ "emp" ];
+    ]
+
+let target_schema =
+  Schema.make ~name:"tgt"
+    [
+      Schema.table ~key:[ "pnum" ] "proj"
+        [ ("pnum", Schema.TString); ("dept", Schema.TString); ("emp", Schema.TString) ];
+    ]
+    []
+
+let target_strees =
+  [
+    Stree.make ~table:"proj" ~anchor:(n "Proj")
+      ~edges:
+        [
+          { Stree.se_src = n "Proj"; se_kind = Stree.SRel "inDept"; se_dst = n "Department" };
+          { Stree.se_src = n "Proj"; se_kind = Stree.SRel "managedBy"; se_dst = n "Employee" };
+        ]
+      ~cols:
+        [
+          ("pnum", n "Proj", "pnum");
+          ("dept", n "Department", "dept");
+          ("emp", n "Employee", "emp");
+        ]
+      ~ids:
+        [ (n "Proj", [ "pnum" ]); (n "Department", [ "dept" ]); (n "Employee", [ "emp" ]) ]
+      [ n "Proj"; n "Department"; n "Employee" ];
+  ]
+
+let () =
+  let source = Discover.side ~schema:source_schema ~cm:source_cm source_strees in
+  let target = Discover.side ~schema:target_schema ~cm:target_cm target_strees in
+  Fmt.pr "=== Case A.1: all three correspondences (v1, v2, v3) ===@.";
+  let corrs_full =
+    [
+      Mapping.corr_of_strings "control.proj" "proj.pnum";
+      Mapping.corr_of_strings "control.dept" "proj.dept";
+      Mapping.corr_of_strings "manage.mgr" "proj.emp";
+    ]
+  in
+  List.iter
+    (fun m -> Fmt.pr "%a@.@." Mapping.pp m)
+    (Discover.discover ~source ~target ~corrs:corrs_full ());
+  Fmt.pr "=== Case A.2: root correspondence v1 missing ===@.";
+  let corrs_rootless =
+    [
+      Mapping.corr_of_strings "control.dept" "proj.dept";
+      Mapping.corr_of_strings "manage.mgr" "proj.emp";
+    ]
+  in
+  List.iter
+    (fun m -> Fmt.pr "%a@.@." Mapping.pp m)
+    (Discover.discover ~source ~target ~corrs:corrs_rootless ())

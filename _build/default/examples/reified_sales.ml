@@ -1,0 +1,82 @@
+(* §3.3 of the paper: n-ary relationships are reified — stores sell
+   products to persons, with a purchase date on the relationship
+   itself. This example builds the Sell scenario of Figure 4 with
+   er2rel (deriving the sells table and its semantics automatically),
+   prints the LAV formula of the table, and discovers a mapping into a
+   differently-shaped target that splits the ternary relationship into
+   a transactions table. *)
+
+module Schema = Smg_relational.Schema
+module Cml = Smg_cm.Cml
+module Cardinality = Smg_cm.Cardinality
+module Stree = Smg_semantics.Stree
+module Encode = Smg_semantics.Encode
+module Mapping = Smg_cq.Mapping
+module Design = Smg_er2rel.Design
+module Discover = Smg_core.Discover
+
+
+let source_cm =
+  Cml.make ~name:"sales"
+    ~reified:
+      [
+        Cml.reified ~attrs:[ "dateOfPurchase" ] "sell"
+          [
+            ("seller", "Store", Cardinality.many);
+            ("buyer", "Person", Cardinality.many);
+            ("sold", "Product", Cardinality.many);
+          ];
+      ]
+    [
+      Cml.cls ~id:[ "sid" ] "Store" [ "sid" ];
+      Cml.cls ~id:[ "pid" ] "Person" [ "pid" ];
+      Cml.cls ~id:[ "prodid" ] "Product" [ "prodid" ];
+    ]
+
+let () =
+  (* forward-engineer the source: entity tables + the reified sells *)
+  let source_schema, source_strees = Design.design source_cm in
+  Fmt.pr "er2rel-derived source schema:@.%a@.@." Schema.pp source_schema;
+  let source = Discover.side ~schema:source_schema ~cm:source_cm source_strees in
+  let sell_st =
+    List.find (fun st -> st.Stree.st_table = "sell") source_strees
+  in
+  Fmt.pr "LAV semantics of the sell table (cf. the formula in §3.3):@.  %a@.@."
+    Smg_cq.Query.pp
+    (Encode.view_of_stree source.Discover.cmg sell_st);
+
+  (* target: same ternary relationship, modelled independently *)
+  let target_cm =
+    Cml.make ~name:"transactions"
+      ~reified:
+        [
+          Cml.reified ~attrs:[ "tdate" ] "transaction"
+            [
+              ("tx_shop", "Shop", Cardinality.many);
+              ("tx_client", "Client", Cardinality.many);
+              ("tx_item", "Item", Cardinality.many);
+            ];
+        ]
+      [
+        Cml.cls ~id:[ "shopid" ] "Shop" [ "shopid" ];
+        Cml.cls ~id:[ "clientid" ] "Client" [ "clientid" ];
+        Cml.cls ~id:[ "itemid" ] "Item" [ "itemid" ];
+      ]
+  in
+  let target_schema, target_strees = Design.design target_cm in
+  let target = Discover.side ~schema:target_schema ~cm:target_cm target_strees in
+  let corrs =
+    [
+      Mapping.corr_of_strings "store.sid" "shop.shopid";
+      Mapping.corr_of_strings "person.pid" "client.clientid";
+      Mapping.corr_of_strings "product.prodid" "item.itemid";
+      Mapping.corr_of_strings "sell.dateOfPurchase" "transaction.tdate";
+    ]
+  in
+  Fmt.pr "=== semantic discovery across the two ternary reifications ===@.";
+  let ms = Discover.discover ~source ~target ~corrs () in
+  List.iter (fun m -> Fmt.pr "%a@.@." Mapping.pp m) ms;
+  (* the ternary anchors must be paired: the mapping covers all four
+     correspondences through sell ↔ transaction *)
+  let best = List.hd ms in
+  assert (List.length best.Mapping.covered = 4)

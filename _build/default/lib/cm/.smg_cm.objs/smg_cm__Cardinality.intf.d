@@ -1,0 +1,1 @@
+lib/cm/cardinality.mli: Format

@@ -1,0 +1,1 @@
+lib/cm/cm_graph.ml: Array Cardinality Cml Fmt Hashtbl List Option Printf Smg_graph String

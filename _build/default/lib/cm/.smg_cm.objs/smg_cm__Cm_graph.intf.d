@@ -1,0 +1,1 @@
+lib/cm/cm_graph.mli: Cardinality Cml Format Smg_graph

@@ -1,0 +1,1 @@
+lib/cm/cml.ml: Cardinality Fmt Hashtbl List Printf String

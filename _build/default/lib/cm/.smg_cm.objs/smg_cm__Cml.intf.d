@@ -1,0 +1,1 @@
+lib/cm/cml.mli: Cardinality Format

@@ -1,0 +1,1 @@
+lib/cm/dot.ml: Buffer Cardinality Cm_graph Cml Fmt List Printf Smg_graph String

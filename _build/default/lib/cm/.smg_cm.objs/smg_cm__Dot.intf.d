@@ -1,0 +1,1 @@
+lib/cm/dot.mli: Cm_graph

@@ -1,0 +1,50 @@
+type t = { cmin : int; cmax : int option }
+
+let make cmin cmax =
+  if cmin < 0 then invalid_arg "Cardinality.make: negative min";
+  (match cmax with
+  | Some m when m < cmin -> invalid_arg "Cardinality.make: max < min"
+  | Some m when m < 1 -> invalid_arg "Cardinality.make: max < 1"
+  | _ -> ());
+  { cmin; cmax }
+
+let exactly_one = { cmin = 1; cmax = Some 1 }
+let at_most_one = { cmin = 0; cmax = Some 1 }
+let at_least_one = { cmin = 1; cmax = None }
+let many = { cmin = 0; cmax = None }
+
+let is_functional c = c.cmax = Some 1
+let is_total c = c.cmin >= 1
+
+let compose a b =
+  let cmin = if a.cmin >= 1 && b.cmin >= 1 then 1 else 0 in
+  let cmax =
+    match (a.cmax, b.cmax) with
+    | Some x, Some y -> Some (x * y)
+    | _, _ -> None
+  in
+  { cmin; cmax }
+
+type shape = OneOne | ManyOne | OneMany | ManyMany
+
+let shape ~forward ~backward =
+  match (is_functional forward, is_functional backward) with
+  | true, true -> OneOne
+  | true, false -> ManyOne
+  | false, true -> OneMany
+  | false, false -> ManyMany
+
+let compatible_shape a b = a = b
+
+let equal a b = a.cmin = b.cmin && a.cmax = b.cmax
+
+let pp ppf c =
+  match c.cmax with
+  | None -> Fmt.pf ppf "%d..*" c.cmin
+  | Some m -> Fmt.pf ppf "%d..%d" c.cmin m
+
+let pp_shape ppf = function
+  | OneOne -> Fmt.string ppf "one-one"
+  | ManyOne -> Fmt.string ppf "many-one"
+  | OneMany -> Fmt.string ppf "one-many"
+  | ManyMany -> Fmt.string ppf "many-many"

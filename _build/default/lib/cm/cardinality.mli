@@ -1,0 +1,45 @@
+(** UML-style [min..max] participation constraints and their algebra.
+
+    For a directed connection from [C] to [D], the cardinality bounds how
+    many [D]-objects a single [C]-object relates to. [max = None] is the
+    unbounded "[*]". A connection is *functional* when [max = Some 1]. *)
+
+type t = { cmin : int; cmax : int option }
+
+val make : int -> int option -> t
+(** @raise Invalid_argument if [min < 0] or [max < min]. *)
+
+val exactly_one : t
+(** [1..1] *)
+
+val at_most_one : t
+(** [0..1] *)
+
+val at_least_one : t
+(** [1..*] *)
+
+val many : t
+(** [0..*] *)
+
+val is_functional : t -> bool
+val is_total : t -> bool  (** [min >= 1] *)
+
+val compose : t -> t -> t
+(** Cardinality of the composition of two connections: mins multiply
+    (totality is preserved only if both are total), maxes multiply
+    ([*] absorbs). *)
+
+(** Classification of a two-sided connection between [C] and [D]:
+    [forward] constrains D-per-C, [backward] C-per-D. *)
+type shape = OneOne | ManyOne | OneMany | ManyMany
+
+val shape : forward:t -> backward:t -> shape
+
+val compatible_shape : shape -> shape -> bool
+(** Shapes are compatible when equal, or when one is the transpose
+    question of the other handled by the caller; [ManyOne] vs [OneMany]
+    are *not* compatible. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val pp_shape : Format.formatter -> shape -> unit

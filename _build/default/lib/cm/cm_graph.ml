@@ -1,0 +1,315 @@
+module Digraph = Smg_graph.Digraph
+
+type node =
+  | Class of string
+  | Reified of string
+  | Attr of string * string
+
+type edge_kind =
+  | Rel of string
+  | RelInv of string
+  | Role of string
+  | RoleInv of string
+  | Isa
+  | IsaInv
+  | HasAttr of string
+
+type edge_lbl = {
+  kind : edge_kind;
+  card : Cardinality.t;
+  sem : Cml.semantic_kind;
+}
+
+type t = {
+  cm : Cml.t;
+  graph : edge_lbl Digraph.t;
+  node_arr : node array;
+  class_tbl : (string, int) Hashtbl.t;       (* class / reified name -> node *)
+  attr_tbl : (string * string, int) Hashtbl.t;
+  inv_arr : int array;                       (* edge id -> inverse edge id, -1 *)
+}
+
+let cm t = t.cm
+let graph t = t.graph
+let class_node t name = Hashtbl.find_opt t.class_tbl name
+
+let class_node_exn t name =
+  match class_node t name with
+  | Some v -> v
+  | None -> invalid_arg (Printf.sprintf "CM graph: no class %s" name)
+
+let attr_node t ~owner a = Hashtbl.find_opt t.attr_tbl (owner, a)
+let node t v = t.node_arr.(v)
+
+let node_name t v =
+  match t.node_arr.(v) with
+  | Class c -> c
+  | Reified r -> r
+  | Attr (o, a) -> o ^ "." ^ a
+
+let is_class_like t v =
+  match t.node_arr.(v) with Class _ | Reified _ -> true | Attr _ -> false
+
+let is_reified t v = match t.node_arr.(v) with Reified _ -> true | _ -> false
+
+let arity t v =
+  match t.node_arr.(v) with
+  | Reified name ->
+      List.find_opt (fun r -> String.equal r.Cml.rr_name name) t.cm.Cml.reified
+      |> Option.map (fun r -> List.length r.Cml.roles)
+  | Class _ | Attr _ -> None
+
+let identifier_attrs t v =
+  match t.node_arr.(v) with
+  | Class name -> (
+      match Cml.find_class t.cm name with
+      | Some c -> c.Cml.identifier
+      | None -> [])
+  | Reified _ | Attr _ -> []
+
+let attr_edges t v =
+  Digraph.out_edges t.graph v
+  |> List.filter_map (fun (e : _ Digraph.edge) ->
+         match e.lbl.kind with
+         | HasAttr a -> Some (a, e.dst)
+         | Rel _ | RelInv _ | Role _ | RoleInv _ | Isa | IsaInv -> None)
+
+let inverse_edge t id =
+  let i = t.inv_arr.(id) in
+  if i < 0 then None else Some i
+
+let is_functional_edge lbl = Cardinality.is_functional lbl.card
+
+let is_connection_edge lbl =
+  match lbl.kind with
+  | Rel _ | RelInv _ | Role _ | RoleInv _ | Isa | IsaInv -> true
+  | HasAttr _ -> false
+
+let compile cm =
+  let nodes = ref [] and n = ref 0 in
+  let class_tbl = Hashtbl.create 32 in
+  let attr_tbl = Hashtbl.create 64 in
+  let add_node payload =
+    let id = !n in
+    incr n;
+    nodes := payload :: !nodes;
+    id
+  in
+  List.iter
+    (fun (c : Cml.class_decl) ->
+      Hashtbl.replace class_tbl c.class_name (add_node (Class c.class_name)))
+    cm.Cml.classes;
+  List.iter
+    (fun (r : Cml.reified_rel) ->
+      Hashtbl.replace class_tbl r.rr_name (add_node (Reified r.rr_name)))
+    cm.Cml.reified;
+  List.iter
+    (fun (c : Cml.class_decl) ->
+      List.iter
+        (fun a ->
+          Hashtbl.replace attr_tbl (c.class_name, a)
+            (add_node (Attr (c.class_name, a))))
+        c.attributes)
+    cm.Cml.classes;
+  List.iter
+    (fun (r : Cml.reified_rel) ->
+      List.iter
+        (fun a ->
+          Hashtbl.replace attr_tbl (r.rr_name, a)
+            (add_node (Attr (r.rr_name, a))))
+        r.rr_attributes)
+    cm.Cml.reified;
+  let cn name = Hashtbl.find class_tbl name in
+  (* Build edges with explicit inverse pairing: [pairs] maps positions in
+     the triple list; edge ids equal positions after Digraph.make. *)
+  let triples = ref [] and count = ref 0 and pairs = ref [] in
+  let push src dst lbl =
+    let id = !count in
+    incr count;
+    triples := (src, dst, lbl) :: !triples;
+    id
+  in
+  let push_pair src dst fwd bwd =
+    let a = push src dst fwd in
+    let b = push dst src bwd in
+    pairs := (a, b) :: !pairs
+  in
+  List.iter
+    (fun (r : Cml.binary_rel) ->
+      push_pair (cn r.rel_src) (cn r.rel_dst)
+        { kind = Rel r.rel_name; card = r.card_dst; sem = r.rel_kind }
+        { kind = RelInv r.rel_name; card = r.card_src; sem = r.rel_kind })
+    cm.Cml.binaries;
+  List.iter
+    (fun (r : Cml.reified_rel) ->
+      List.iter
+        (fun (ro : Cml.role) ->
+          push_pair (cn r.rr_name) (cn ro.filler)
+            {
+              kind = Role ro.role_name;
+              card = Cardinality.exactly_one;
+              sem = r.rr_kind;
+            }
+            { kind = RoleInv ro.role_name; card = ro.card_inv; sem = r.rr_kind })
+        r.roles)
+    cm.Cml.reified;
+  List.iter
+    (fun (i : Cml.isa) ->
+      push_pair (cn i.sub) (cn i.super)
+        { kind = Isa; card = Cardinality.exactly_one; sem = Cml.Ordinary }
+        { kind = IsaInv; card = Cardinality.at_most_one; sem = Cml.Ordinary })
+    cm.Cml.isas;
+  let owner_attr owner a =
+    ignore
+      (push (cn owner)
+         (Hashtbl.find attr_tbl (owner, a))
+         {
+           kind = HasAttr a;
+           card = Cardinality.exactly_one;
+           sem = Cml.Ordinary;
+         })
+  in
+  List.iter
+    (fun (c : Cml.class_decl) ->
+      List.iter (owner_attr c.class_name) c.attributes)
+    cm.Cml.classes;
+  List.iter
+    (fun (r : Cml.reified_rel) ->
+      List.iter (owner_attr r.rr_name) r.rr_attributes)
+    cm.Cml.reified;
+  let graph = Digraph.make ~n:!n (List.rev !triples) in
+  let inv_arr = Array.make (Digraph.n_edges graph) (-1) in
+  List.iter
+    (fun (a, b) ->
+      inv_arr.(a) <- b;
+      inv_arr.(b) <- a)
+    !pairs;
+  {
+    cm;
+    graph;
+    node_arr = Array.of_list (List.rev !nodes);
+    class_tbl;
+    attr_tbl;
+    inv_arr;
+  }
+
+let steiner_cost t ?(lossy = false) ~pre_selected () =
+  (* The lossy penalty must exceed the sum of all functional edge costs. *)
+  let functional_sum =
+    Digraph.fold_edges
+      (fun acc (e : edge_lbl Digraph.edge) ->
+        if is_connection_edge e.lbl && is_functional_edge e.lbl then acc +. 1.
+        else acc)
+      0. t.graph
+  in
+  let penalty = functional_sum +. 1. in
+  fun (e : edge_lbl Digraph.edge) ->
+    if not (is_connection_edge e.lbl) then None
+    else if is_functional_edge e.lbl then
+      (* Pre-selected edges are "free" (§3.2), but a small epsilon keeps
+         tree search from padding zero-cost cycles into the result: the
+         fewest-edge tree among free ones must still win. *)
+      if pre_selected e.id then Some 0.001
+      else
+        Some
+          (match e.lbl.kind with
+          | Role _ | RoleInv _ -> 0.5
+          | Rel _ | RelInv _ | Isa | IsaInv -> 1.
+          | HasAttr _ -> assert false)
+    else if lossy then Some penalty
+    else None
+
+let reversals t edge_ids =
+  let rec go in_run acc = function
+    | [] -> acc
+    | id :: rest ->
+        let e = Digraph.edge t.graph id in
+        if is_functional_edge e.lbl then go false acc rest
+        else if in_run then go true acc rest
+        else go true (acc + 1) rest
+  in
+  go false 0 edge_ids
+
+let path_shape t edge_ids =
+  let fwd =
+    List.fold_left
+      (fun acc id ->
+        Cardinality.compose acc (Digraph.edge t.graph id).lbl.card)
+      Cardinality.exactly_one edge_ids
+  in
+  let bwd =
+    List.fold_left
+      (fun acc id ->
+        let c =
+          match inverse_edge t id with
+          | Some inv -> (Digraph.edge t.graph inv).lbl.card
+          | None -> Cardinality.many
+        in
+        Cardinality.compose acc c)
+      Cardinality.exactly_one (List.rev edge_ids)
+  in
+  Cardinality.shape ~forward:fwd ~backward:bwd
+
+let consistent_subgraph t edge_ids =
+  (* Union-find over nodes, merging across ISA edges of the subgraph. *)
+  let parent = Hashtbl.create 16 in
+  let rec find v =
+    match Hashtbl.find_opt parent v with
+    | None -> v
+    | Some p ->
+        let r = find p in
+        Hashtbl.replace parent v r;
+        r
+  in
+  let union a b =
+    let ra = find a and rb = find b in
+    if ra <> rb then Hashtbl.replace parent ra rb
+  in
+  List.iter
+    (fun id ->
+      let e = Digraph.edge t.graph id in
+      match e.lbl.kind with
+      | Isa | IsaInv -> union e.src e.dst
+      | Rel _ | RelInv _ | Role _ | RoleInv _ | HasAttr _ -> ())
+    edge_ids;
+  (* Collect class names per identity component. *)
+  let groups = Hashtbl.create 16 in
+  let touch v =
+    match t.node_arr.(v) with
+    | Class c ->
+        let r = find v in
+        let existing = Option.value ~default:[] (Hashtbl.find_opt groups r) in
+        if not (List.mem c existing) then Hashtbl.replace groups r (c :: existing)
+    | Reified _ | Attr _ -> ()
+  in
+  List.iter
+    (fun id ->
+      let e = Digraph.edge t.graph id in
+      touch e.src;
+      touch e.dst)
+    edge_ids;
+  Hashtbl.fold
+    (fun _ classes ok ->
+      ok
+      && not
+           (List.exists
+              (fun a -> List.exists (fun b -> Cml.disjoint t.cm a b) classes)
+              classes))
+    groups true
+
+let pp_node t ppf v = Fmt.string ppf (node_name t v)
+
+let pp_edge t ppf id =
+  let e = Digraph.edge t.graph id in
+  let kind_str =
+    match e.lbl.kind with
+    | Rel r -> r
+    | RelInv r -> r ^ "⁻"
+    | Role r -> r
+    | RoleInv r -> r ^ "⁻"
+    | Isa -> "isa"
+    | IsaInv -> "isa⁻"
+    | HasAttr a -> "@" ^ a
+  in
+  Fmt.pf ppf "%s --%s[%a]--> %s" (node_name t e.src) kind_str Cardinality.pp
+    e.lbl.card (node_name t e.dst)

@@ -1,0 +1,94 @@
+(** Compilation of a CM into the labelled *CM graph* of §2.
+
+    Nodes are classes (including reified-relationship classes) and
+    attribute nodes; edges are relationships and their inverses, roles
+    and their inverses, ISA (functional [1..1] up, [0..1] down) and
+    attribute edges. Every relationship-like edge is paired with its
+    inverse, and the pairing is recorded so path analyses can reason
+    about traversal direction. *)
+
+type node =
+  | Class of string
+  | Reified of string
+  | Attr of string * string  (** (owner class, attribute name) *)
+
+type edge_kind =
+  | Rel of string       (** binary relationship, source → destination *)
+  | RelInv of string
+  | Role of string      (** reified class → filler *)
+  | RoleInv of string
+  | Isa                 (** subclass → superclass *)
+  | IsaInv
+  | HasAttr of string   (** class → attribute node *)
+
+type edge_lbl = {
+  kind : edge_kind;
+  card : Cardinality.t;          (** #dst per src along this direction *)
+  sem : Cml.semantic_kind;
+}
+
+type t
+
+val compile : Cml.t -> t
+val cm : t -> Cml.t
+val graph : t -> edge_lbl Smg_graph.Digraph.t
+
+val class_node : t -> string -> int option
+(** Node of a class or reified-relationship class, by name. *)
+
+val class_node_exn : t -> string -> int
+val attr_node : t -> owner:string -> string -> int option
+val node : t -> int -> node
+val node_name : t -> int -> string
+(** Class name, reified name, or "owner.attr". *)
+
+val is_class_like : t -> int -> bool
+val is_reified : t -> int -> bool
+val arity : t -> int -> int option
+(** Number of roles when the node is reified. *)
+
+val identifier_attrs : t -> int -> string list
+(** Identifier attributes of a class node (empty for reified/attr). *)
+
+val attr_edges : t -> int -> (string * int) list
+(** [(attribute, attr_node)] pairs of a class-like node. *)
+
+val inverse_edge : t -> int -> int option
+(** Paired inverse edge id of a relationship/role/ISA edge. *)
+
+val is_functional_edge : edge_lbl -> bool
+val is_connection_edge : edge_lbl -> bool
+(** True for relationship/role/ISA edges (not attribute edges). *)
+
+val steiner_cost :
+  t ->
+  ?lossy:bool ->
+  pre_selected:(int -> bool) ->
+  unit ->
+  edge_lbl Smg_graph.Digraph.edge ->
+  float option
+(** Edge-cost function for minimal-functional-tree search. Attribute
+    edges are never traversable. Functional connection edges cost 0 when
+    [pre_selected], 1/2 through reified roles (§3.3: a role path of
+    length two counts as one), 1 otherwise; ISA edges cost like ordinary
+    functional edges. Non-functional edges are non-traversable unless
+    [lossy] is set, in which case they cost more than the sum of all
+    functional edge costs (Wald–Sorenson). *)
+
+val reversals : t -> int list -> int
+(** Number of maximal runs of non-functional traversals along an edge-id
+    path — the "lossy join" count minimised in §3.3. *)
+
+val path_shape : t -> int list -> Cardinality.shape
+(** Shape of the connection realised by an edge-id path: composition of
+    the cardinalities forward vs composition of the inverses backward.
+    The empty path is [OneOne]. *)
+
+val consistent_subgraph : t -> int list -> bool
+(** Disjointness filter of §3.2: within the subgraph induced by the
+    given edges, identity flows through ISA edges; if any two classes
+    forced to share an instance are declared disjoint, the subgraph is
+    inconsistent. *)
+
+val pp_node : t -> Format.formatter -> int -> unit
+val pp_edge : t -> Format.formatter -> int -> unit

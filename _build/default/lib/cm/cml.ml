@@ -1,0 +1,221 @@
+type semantic_kind = Ordinary | PartOf
+
+type class_decl = {
+  class_name : string;
+  attributes : string list;
+  identifier : string list;
+}
+
+type binary_rel = {
+  rel_name : string;
+  rel_src : string;
+  rel_dst : string;
+  card_dst : Cardinality.t;
+  card_src : Cardinality.t;
+  rel_kind : semantic_kind;
+}
+
+type role = { role_name : string; filler : string; card_inv : Cardinality.t }
+
+type reified_rel = {
+  rr_name : string;
+  roles : role list;
+  rr_attributes : string list;
+  rr_kind : semantic_kind;
+}
+
+type isa = { sub : string; super : string }
+
+type t = {
+  cm_name : string;
+  classes : class_decl list;
+  binaries : binary_rel list;
+  reified : reified_rel list;
+  isas : isa list;
+  disjointness : string list list;
+  covers : (string * string list) list;
+}
+
+let cls ?(id = []) class_name attributes =
+  { class_name; attributes; identifier = id }
+
+let rel ?(kind = Ordinary) rel_name ~src ~dst ~card:(card_dst, card_src) =
+  { rel_name; rel_src = src; rel_dst = dst; card_dst; card_src; rel_kind = kind }
+
+let functional ?(kind = Ordinary) ?(total = false) name ~src ~dst =
+  let forward =
+    if total then Cardinality.exactly_one else Cardinality.at_most_one
+  in
+  rel ~kind name ~src ~dst ~card:(forward, Cardinality.many)
+
+let many_many ?(kind = Ordinary) name ~src ~dst =
+  rel ~kind name ~src ~dst ~card:(Cardinality.many, Cardinality.many)
+
+let reified ?(kind = Ordinary) ?(attrs = []) rr_name roles =
+  {
+    rr_name;
+    roles =
+      List.map
+        (fun (role_name, filler, card_inv) -> { role_name; filler; card_inv })
+        roles;
+    rr_attributes = attrs;
+    rr_kind = kind;
+  }
+
+let validate cm =
+  let class_tbl = Hashtbl.create 16 in
+  List.iter
+    (fun c ->
+      if Hashtbl.mem class_tbl c.class_name then
+        invalid_arg (Printf.sprintf "CM %s: duplicate class %s" cm.cm_name c.class_name);
+      Hashtbl.replace class_tbl c.class_name ();
+      List.iter
+        (fun a ->
+          if not (List.mem a c.attributes) then
+            invalid_arg
+              (Printf.sprintf "CM %s: class %s identifier %s not an attribute"
+                 cm.cm_name c.class_name a))
+        c.identifier)
+    cm.classes;
+  let check_class ctx name =
+    if not (Hashtbl.mem class_tbl name) then
+      invalid_arg (Printf.sprintf "CM %s: %s references unknown class %s" cm.cm_name ctx name)
+  in
+  let rel_tbl = Hashtbl.create 16 in
+  let check_rel_name n =
+    if Hashtbl.mem rel_tbl n then
+      invalid_arg (Printf.sprintf "CM %s: duplicate relationship %s" cm.cm_name n);
+    Hashtbl.replace rel_tbl n ()
+  in
+  List.iter
+    (fun r ->
+      check_rel_name r.rel_name;
+      check_class r.rel_name r.rel_src;
+      check_class r.rel_name r.rel_dst)
+    cm.binaries;
+  List.iter
+    (fun r ->
+      check_rel_name r.rr_name;
+      if List.length r.roles < 2 then
+        invalid_arg
+          (Printf.sprintf "CM %s: reified %s needs >= 2 roles" cm.cm_name r.rr_name);
+      if Hashtbl.mem class_tbl r.rr_name then
+        invalid_arg
+          (Printf.sprintf "CM %s: reified %s clashes with a class" cm.cm_name r.rr_name);
+      List.iter (fun ro -> check_class r.rr_name ro.filler) r.roles)
+    cm.reified;
+  List.iter
+    (fun i ->
+      check_class "isa" i.sub;
+      check_class "isa" i.super)
+    cm.isas;
+  List.iter (List.iter (check_class "disjointness")) cm.disjointness;
+  List.iter
+    (fun (sup, subs) ->
+      check_class "cover" sup;
+      List.iter (check_class "cover") subs)
+    cm.covers
+
+let make ~name ?(binaries = []) ?(reified = []) ?(isas = [])
+    ?(disjointness = []) ?(covers = []) classes =
+  let cm =
+    { cm_name = name; classes; binaries; reified; isas; disjointness; covers }
+  in
+  validate cm;
+  cm
+
+let find_class cm name =
+  List.find_opt (fun c -> String.equal c.class_name name) cm.classes
+
+let class_names cm = List.map (fun c -> c.class_name) cm.classes
+
+let subclasses cm name =
+  List.filter_map
+    (fun i -> if String.equal i.super name then Some i.sub else None)
+    cm.isas
+
+let superclasses cm name =
+  List.filter_map
+    (fun i -> if String.equal i.sub name then Some i.super else None)
+    cm.isas
+
+let ancestors cm name =
+  let rec go acc frontier =
+    match frontier with
+    | [] -> acc
+    | c :: rest ->
+        let supers =
+          List.filter (fun s -> not (List.mem s acc)) (superclasses cm c)
+        in
+        go (acc @ supers) (rest @ supers)
+  in
+  go [] [ name ]
+
+let disjoint cm a b =
+  (not (String.equal a b))
+  && List.exists (fun group -> List.mem a group && List.mem b group) cm.disjointness
+
+let reify_many_many cm =
+  let is_mm r =
+    (not (Cardinality.is_functional r.card_dst))
+    && not (Cardinality.is_functional r.card_src)
+  in
+  let mm, keep = List.partition is_mm cm.binaries in
+  let extra =
+    List.map
+      (fun r ->
+        {
+          rr_name = r.rel_name;
+          roles =
+            [
+              { role_name = r.rel_name ^ "_src"; filler = r.rel_src; card_inv = r.card_src };
+              { role_name = r.rel_name ^ "_dst"; filler = r.rel_dst; card_inv = r.card_dst };
+            ];
+          rr_attributes = [];
+          rr_kind = r.rel_kind;
+        })
+      mm
+  in
+  { cm with binaries = keep; reified = cm.reified @ extra }
+
+let n_nodes cm =
+  let class_nodes = List.length cm.classes + List.length cm.reified in
+  let attr_nodes =
+    List.fold_left (fun acc c -> acc + List.length c.attributes) 0 cm.classes
+    + List.fold_left (fun acc r -> acc + List.length r.rr_attributes) 0 cm.reified
+  in
+  class_nodes + attr_nodes
+
+let pp_kind ppf = function
+  | Ordinary -> ()
+  | PartOf -> Fmt.string ppf " [partOf]"
+
+let pp ppf cm =
+  let pp_class ppf c =
+    Fmt.pf ppf "class %s(%a) id(%a)" c.class_name
+      Fmt.(list ~sep:comma string)
+      c.attributes
+      Fmt.(list ~sep:comma string)
+      c.identifier
+  in
+  let pp_rel ppf r =
+    Fmt.pf ppf "rel %s: %s -[%a/%a]- %s%a" r.rel_name r.rel_src Cardinality.pp
+      r.card_dst Cardinality.pp r.card_src r.rel_dst pp_kind r.rel_kind
+  in
+  let pp_reified ppf r =
+    Fmt.pf ppf "reified %s(%a)%a" r.rr_name
+      Fmt.(
+        list ~sep:comma (fun ppf ro ->
+            pf ppf "%s:%s[%a]" ro.role_name ro.filler Cardinality.pp ro.card_inv))
+      r.roles pp_kind r.rr_kind
+  in
+  let pp_isa ppf i = Fmt.pf ppf "isa %s < %s" i.sub i.super in
+  Fmt.pf ppf "@[<v>cm %s@,%a@,%a@,%a@,%a@]" cm.cm_name
+    (Fmt.list ~sep:Fmt.cut pp_class)
+    cm.classes
+    (Fmt.list ~sep:Fmt.cut pp_rel)
+    cm.binaries
+    (Fmt.list ~sep:Fmt.cut pp_reified)
+    cm.reified
+    (Fmt.list ~sep:Fmt.cut pp_isa)
+    cm.isas

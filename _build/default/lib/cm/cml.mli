@@ -1,0 +1,129 @@
+(** The conceptual modelling language (CML) of the paper: classes with
+    attributes and identifiers, binary relationships with cardinality
+    constraints, reified (n-ary / attributed / many-many) relationships
+    with roles, ISA hierarchies with disjointness and covering
+    constraints, and the [partOf] semantic annotation.
+
+    A CM is a purely declarative description; [Cm_graph.compile] turns
+    it into the labelled graph the discovery algorithm works on. *)
+
+type semantic_kind = Ordinary | PartOf
+
+type class_decl = {
+  class_name : string;
+  attributes : string list;
+  identifier : string list;
+      (** attributes identifying instances; subset of [attributes] *)
+}
+
+type binary_rel = {
+  rel_name : string;
+  rel_src : string;
+  rel_dst : string;
+  card_dst : Cardinality.t;  (** #dst objects per src object *)
+  card_src : Cardinality.t;  (** #src objects per dst object *)
+  rel_kind : semantic_kind;
+}
+
+type role = {
+  role_name : string;
+  filler : string;
+  card_inv : Cardinality.t;
+      (** #relationship instances a single filler participates in;
+          [0..1]/[1..1] means at-most-once participation *)
+}
+
+type reified_rel = {
+  rr_name : string;
+  roles : role list;  (** at least two *)
+  rr_attributes : string list;
+  rr_kind : semantic_kind;
+}
+
+type isa = { sub : string; super : string }
+
+type t = {
+  cm_name : string;
+  classes : class_decl list;
+  binaries : binary_rel list;
+  reified : reified_rel list;
+  isas : isa list;
+  disjointness : string list list;
+      (** each group lists mutually disjoint classes *)
+  covers : (string * string list) list;
+      (** (superclass, covering subclasses) *)
+}
+
+val cls : ?id:string list -> string -> string list -> class_decl
+(** [cls name attrs] — [id] defaults to the empty identifier. *)
+
+val rel :
+  ?kind:semantic_kind ->
+  string ->
+  src:string ->
+  dst:string ->
+  card:Cardinality.t * Cardinality.t ->
+  binary_rel
+(** [rel name ~src ~dst ~card:(dst_per_src, src_per_dst)]. *)
+
+val functional :
+  ?kind:semantic_kind ->
+  ?total:bool ->
+  string ->
+  src:string ->
+  dst:string ->
+  binary_rel
+(** A functional relationship [src --name->> dst] ([0..1] forward, or
+    [1..1] when [total]); inverse unconstrained. *)
+
+val many_many : ?kind:semantic_kind -> string -> src:string -> dst:string -> binary_rel
+
+val reified :
+  ?kind:semantic_kind ->
+  ?attrs:string list ->
+  string ->
+  (string * string * Cardinality.t) list ->
+  reified_rel
+(** [reified name roles] with roles given as
+    [(role_name, filler_class, inverse_cardinality)]. *)
+
+val make :
+  name:string ->
+  ?binaries:binary_rel list ->
+  ?reified:reified_rel list ->
+  ?isas:isa list ->
+  ?disjointness:string list list ->
+  ?covers:(string * string list) list ->
+  class_decl list ->
+  t
+(** Validates name references and uniqueness.
+    @raise Invalid_argument on dangling class names, duplicate
+    class/relationship names, identifiers outside the attribute list, or
+    reified relationships with fewer than two roles. *)
+
+val find_class : t -> string -> class_decl option
+val class_names : t -> string list
+
+val subclasses : t -> string -> string list
+(** Direct subclasses. *)
+
+val superclasses : t -> string -> string list
+(** Direct superclasses. *)
+
+val ancestors : t -> string -> string list
+(** Transitive superclasses, excluding the class itself. *)
+
+val disjoint : t -> string -> string -> bool
+(** Are the two classes declared (directly) mutually disjoint? *)
+
+val reify_many_many : t -> t
+(** Replace every many-to-many binary relationship by a reified
+    relationship with roles [src]/[dst] (§3.3: the algorithm treats
+    many-many binaries in reified form). Idempotent on the rest. *)
+
+val n_nodes : t -> int
+(** Number of nodes of the compiled CM graph (classes + reified
+    relationship classes + attribute nodes) — the paper's Table 1
+    "#nodes in CM" statistic. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,80 @@
+module Digraph = Smg_graph.Digraph
+
+let escape s =
+  String.concat ""
+    (List.map
+       (fun c -> if c = '"' then "\\\"" else String.make 1 c)
+       (List.init (String.length s) (String.get s)))
+
+let of_cm_graph ?(name = "cm") ?(highlight_nodes = []) ?(highlight_edges = [])
+    ?(attributes = true) t =
+  let g = Cm_graph.graph t in
+  let buf = Buffer.create 1024 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pf "digraph \"%s\" {\n" (escape name);
+  pf "  rankdir=LR;\n  node [fontsize=10]; edge [fontsize=9];\n";
+  List.iter
+    (fun v ->
+      let hl = List.mem v highlight_nodes in
+      let style extra =
+        if hl then extra ^ ", color=red, penwidth=2" else extra
+      in
+      match Cm_graph.node t v with
+      | Cm_graph.Class c ->
+          pf "  n%d [label=\"%s\", shape=box, %s];\n" v (escape c)
+            (style "style=rounded")
+      | Cm_graph.Reified r ->
+          pf "  n%d [label=\"%s◇\", shape=diamond%s];\n" v (escape r)
+            (if hl then ", color=red, penwidth=2" else "")
+      | Cm_graph.Attr (_, a) ->
+          if attributes then
+            pf "  n%d [label=\"%s\", shape=oval, fontsize=8%s];\n" v (escape a)
+              (if hl then ", color=red" else ""))
+    (Digraph.nodes g);
+  (* render each relationship/role/isa once: skip inverse partners *)
+  let is_forward id =
+    match Cm_graph.inverse_edge t id with
+    | Some inv -> id < inv
+    | None -> true
+  in
+  List.iter
+    (fun (e : Cm_graph.edge_lbl Digraph.edge) ->
+      let hl =
+        List.mem e.Digraph.id highlight_edges
+        || (match Cm_graph.inverse_edge t e.Digraph.id with
+           | Some inv -> List.mem inv highlight_edges
+           | None -> false)
+      in
+      let color = if hl then ", color=red, penwidth=2" else "" in
+      let card () =
+        match Cm_graph.inverse_edge t e.Digraph.id with
+        | Some inv ->
+            Fmt.str "%a / %a" Cardinality.pp e.Digraph.lbl.Cm_graph.card
+              Cardinality.pp
+              (Digraph.edge g inv).Digraph.lbl.Cm_graph.card
+        | None -> ""
+      in
+      if is_forward e.Digraph.id then
+        match e.Digraph.lbl.Cm_graph.kind with
+        | Cm_graph.Rel r ->
+            let sem =
+              match e.Digraph.lbl.Cm_graph.sem with
+              | Cml.PartOf -> " ◆"
+              | Cml.Ordinary -> ""
+            in
+            pf "  n%d -> n%d [label=\"%s%s\\n%s\"%s];\n" e.Digraph.src
+              e.Digraph.dst (escape r) sem (card ()) color
+        | Cm_graph.Role ro ->
+            pf "  n%d -> n%d [label=\"%s\", style=dashed%s];\n" e.Digraph.src
+              e.Digraph.dst (escape ro) color
+        | Cm_graph.Isa ->
+            pf "  n%d -> n%d [arrowhead=empty%s];\n" e.Digraph.src e.Digraph.dst
+              color
+        | Cm_graph.HasAttr _ ->
+            if attributes then
+              pf "  n%d -> n%d [arrowhead=none, style=dotted%s];\n"
+                e.Digraph.src e.Digraph.dst color
+        | Cm_graph.RelInv _ | Cm_graph.RoleInv _ | Cm_graph.IsaInv -> ())
+    (Digraph.edges g);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

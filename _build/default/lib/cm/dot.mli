@@ -1,0 +1,15 @@
+(** GraphViz (DOT) export of CM graphs, with optional highlighting of a
+    discovered conceptual subgraph. Classes render as boxes, reified
+    relationships as diamonds, attributes as plain ovals; ISA edges use
+    the UML hollow-triangle convention ([arrowhead=empty]). *)
+
+val of_cm_graph :
+  ?name:string ->
+  ?highlight_nodes:int list ->
+  ?highlight_edges:int list ->
+  ?attributes:bool ->
+  Cm_graph.t ->
+  string
+(** [attributes] (default true) includes attribute nodes. Inverse edges
+    are suppressed (each relationship renders once, labelled with both
+    cardinalities). Highlighted elements are drawn bold red. *)

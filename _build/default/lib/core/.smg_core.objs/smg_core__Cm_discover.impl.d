@@ -1,0 +1,1 @@
+lib/core/cm_discover.ml: Fmt Hashtbl List Option Printf Smg_cm Smg_cq Smg_graph Smg_semantics

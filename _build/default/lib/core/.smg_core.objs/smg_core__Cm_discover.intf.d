@@ -1,0 +1,1 @@
+lib/core/cm_discover.mli: Format Smg_cm Smg_cq

@@ -1,0 +1,1 @@
+lib/core/discover.ml: Fmt Hashtbl List Logs Option Printf Smg_cm Smg_cq Smg_graph Smg_relational Smg_semantics String Sys

@@ -1,0 +1,1 @@
+lib/core/discover.mli: Smg_cm Smg_cq Smg_relational Smg_semantics

@@ -1,0 +1,49 @@
+(** CM-to-CM mapping discovery — the related problem the paper's §6
+    plans as future work: given two conceptual models (no relational
+    schemas) and correspondences between class *attributes*, find pairs
+    of semantically similar conceptual subgraphs and return them as
+    conjunctive queries over the CM predicates.
+
+    The machinery is the relational algorithm's middle: lift
+    correspondences to marked class nodes, connect them with minimal
+    functional Steiner trees (or minimally-lossy non-functional paths
+    for many-many connections), filter by disjointness consistency,
+    cardinality-shape compatibility and [partOf] category, and encode
+    the surviving CSG pairs with {!Smg_semantics.Encode}. Without
+    tables there is no pre-selection and no LAV rewriting. *)
+
+type corr = {
+  cc_src : string * string;  (** (class, attribute) in the source CM *)
+  cc_tgt : string * string;
+}
+
+val corr : src:string * string -> tgt:string * string -> corr
+
+type result = {
+  src_query : Smg_cq.Query.t;  (** over source CM predicates *)
+  tgt_query : Smg_cq.Query.t;
+  covered : corr list;
+  score : float;
+}
+
+type options = {
+  max_path_len : int;
+  strict_partof : bool;
+  allow_lossy : bool;
+  max_candidates : int;
+}
+
+val default_options : options
+
+val discover :
+  ?options:options ->
+  source:Smg_cm.Cml.t ->
+  target:Smg_cm.Cml.t ->
+  corrs:corr list ->
+  unit ->
+  result list
+(** Ranked CSG pairs, best first.
+    @raise Invalid_argument when a correspondence references an unknown
+    class or an attribute not declared on the class or an ancestor. *)
+
+val pp_result : Format.formatter -> result -> unit

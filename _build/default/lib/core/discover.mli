@@ -1,0 +1,61 @@
+(** The semantic mapping-discovery algorithm (§3 of the paper).
+
+    Given a source and a target side — each a relational schema, a CM
+    graph, and per-table s-trees — and a set of column correspondences,
+    the algorithm:
+
+    + lifts the correspondences to marked class nodes in both CM graphs;
+    + determines target conceptual subgraphs (CSGs): the s-tree of a
+      single covering table (Case A) or minimal functional trees
+      connecting the marked target nodes (Case B);
+    + finds "semantically similar" source CSGs: minimal functional
+      Steiner trees rooted at the node corresponding to the target
+      anchor (Case A.1), minimal functional trees over all roots
+      (Case A.2), minimally-lossy non-functional paths for many-many
+      target connections (§3.3 / Example 3.2), with partial coverage
+      and correspondence splitting as a fallback;
+    + filters pairs by disjointness consistency, cardinality-shape
+      compatibility, and [partOf] category (Example 1.3);
+    + translates both CSGs into table-level queries through the s-tree
+      views (§3.4) and emits ranked GLAV mapping candidates. *)
+
+type side = {
+  schema : Smg_relational.Schema.t;
+  cmg : Smg_cm.Cm_graph.t;
+  strees : Smg_semantics.Stree.t list;
+}
+
+val side :
+  schema:Smg_relational.Schema.t ->
+  cm:Smg_cm.Cml.t ->
+  Smg_semantics.Stree.t list ->
+  side
+(** Compiles the CM and validates every s-tree against it and its table.
+    @raise Invalid_argument when a table lacks an s-tree or validation
+    fails. *)
+
+type options = {
+  max_path_len : int;      (** bound for non-functional path search *)
+  strict_partof : bool;    (** drop (rather than downgrade) partOf mismatches *)
+  allow_lossy : bool;      (** Wald–Sorenson fallback through non-functional edges *)
+  max_candidates : int;
+  include_partial : bool;  (** emit split-coverage candidates when full coverage fails *)
+  use_partof : bool;       (** ablation: partOf category filtering at all *)
+  use_shapes : bool;       (** ablation: cardinality-shape compatibility *)
+  use_preselection : bool; (** ablation: pre-selected s-tree edges are free *)
+  outer_on_optional : bool;
+      (** §6 future work: flag mappings whose source connection traverses
+          a minimum-cardinality-0 edge as outer joins *)
+}
+
+val default_options : options
+
+val discover :
+  ?options:options ->
+  source:side ->
+  target:side ->
+  corrs:Smg_cq.Mapping.corr list ->
+  unit ->
+  Smg_cq.Mapping.t list
+(** Ranked candidate mappings (best first), deduplicated with
+    {!Smg_cq.Mapping.same}. *)

@@ -1,0 +1,1 @@
+lib/cq/atom.ml: Fmt Hashtbl List Map Smg_relational Stdlib String

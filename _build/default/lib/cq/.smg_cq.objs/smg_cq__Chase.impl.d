@@ -1,0 +1,1 @@
+lib/cq/chase.ml: Array Atom Dependency List Printf Query Smg_relational String

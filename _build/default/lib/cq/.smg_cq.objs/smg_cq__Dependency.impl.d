@@ -1,0 +1,1 @@
+lib/cq/dependency.ml: Atom Fmt List Printf Query Smg_relational

@@ -1,0 +1,1 @@
+lib/cq/dependency.mli: Atom Format Smg_relational

@@ -1,0 +1,1 @@
+lib/cq/mapping.ml: Atom Chase Dependency Fmt Hashtbl List Printf Query Smg_relational Stdlib String

@@ -1,0 +1,1 @@
+lib/cq/mapping.mli: Dependency Format Query Smg_relational

@@ -1,0 +1,1 @@
+lib/cq/query.ml: Array Atom Fmt Hashtbl List Map Option Printf Smg_relational String

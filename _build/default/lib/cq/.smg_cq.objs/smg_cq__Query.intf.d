@@ -1,0 +1,1 @@
+lib/cq/query.mli: Atom Format Smg_relational

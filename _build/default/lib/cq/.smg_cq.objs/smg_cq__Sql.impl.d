@@ -1,0 +1,1 @@
+lib/cq/sql.ml: Atom Dependency Hashtbl List Mapping Option Printf Query Smg_relational String

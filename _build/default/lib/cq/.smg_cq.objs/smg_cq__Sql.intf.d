@@ -1,0 +1,1 @@
+lib/cq/sql.mli: Mapping Query Smg_relational

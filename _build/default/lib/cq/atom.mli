@@ -1,0 +1,38 @@
+(** Atoms and substitutions for conjunctive queries and dependencies. *)
+
+type term = Var of string | Cst of Smg_relational.Value.t
+
+type t = { pred : string; args : term list }
+
+module Subst : sig
+  type nonrec t
+  (** Finite map from variable names to terms. *)
+
+  val empty : t
+  val find : t -> string -> term option
+  val bind : t -> string -> term -> t
+  val bindings : t -> (string * term) list
+  val of_list : (string * term) list -> t
+end
+
+val v : string -> term
+val c : Smg_relational.Value.t -> term
+val str : string -> term
+(** Shorthand for a string constant. *)
+
+val atom : string -> term list -> t
+
+val apply_term : Subst.t -> term -> term
+(** Substitute; unbound variables stay themselves. *)
+
+val apply : Subst.t -> t -> t
+val term_vars : term -> string list
+val vars : t -> string list
+val vars_of_list : t list -> string list  (** deduplicated, first-seen order *)
+
+val equal_term : term -> term -> bool
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val pp_term : Format.formatter -> term -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,48 @@
+(** Tuple- and equality-generating dependencies.
+
+    A tgd [∀x̄ (lhs → ∃ȳ rhs)] shares its universal variables between
+    sides; variables appearing only on the right are existential. A
+    source-to-target tgd is one whose lhs predicates come from a source
+    schema and rhs predicates from a target schema — the paper's GLAV
+    mapping expressions. *)
+
+type tgd = {
+  tgd_name : string;
+  lhs : Atom.t list;
+  rhs : Atom.t list;
+}
+
+type egd = {
+  egd_name : string;
+  elhs : Atom.t list;
+  eq : string * string;  (** the two variables equated *)
+}
+
+val tgd : ?name:string -> lhs:Atom.t list -> Atom.t list -> tgd
+(** [tgd ~lhs rhs].
+    @raise Invalid_argument when either side is empty. *)
+
+val egd : ?name:string -> lhs:Atom.t list -> string * string -> egd
+
+val universal_vars : tgd -> string list
+(** Variables shared between lhs and rhs. *)
+
+val existential_vars : tgd -> string list
+(** rhs-only variables. *)
+
+val key_egds : Smg_relational.Schema.t -> egd list
+(** One egd per non-key column of every keyed table, expressing its
+    primary key as equality-generating dependencies. *)
+
+val ric_tgds : Smg_relational.Schema.t -> tgd list
+(** One tgd per RIC of the schema: the referencing tuple implies the
+    existence of a referenced tuple (fresh existential variables for
+    the unconstrained columns). *)
+
+val equal_tgd : tgd -> tgd -> bool
+(** Structural equality up to variable renaming (both directions of
+    homomorphic coverage on each side, heads fixed by the shared
+    variables). Used for deduplication of generated mappings. *)
+
+val pp_tgd : Format.formatter -> tgd -> unit
+val pp_egd : Format.formatter -> egd -> unit

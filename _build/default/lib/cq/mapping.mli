@@ -1,0 +1,93 @@
+(** Schema-mapping candidates: a pair of source/target conjunctive
+    queries over tables, the covered correspondences, and derived forms
+    (source-to-target tgd, relational algebra).
+
+    The source and target queries have positionally aligned heads: head
+    position [i] carries the value flowing along the [i]-th covered
+    correspondence. *)
+
+type corr = { c_src : string * string; c_tgt : string * string }
+(** A correspondence between a source [(table, column)] and a target
+    [(table, column)]. *)
+
+type t = {
+  m_name : string;
+  src_query : Query.t;
+  tgt_query : Query.t;
+  covered : corr list;
+  outer : bool;  (** outer-join realisation recommended (ISA merging) *)
+  score : float; (** ranking key; lower is better *)
+  provenance : string list;
+      (** human-readable derivation notes (how the candidate was found);
+          empty when the producing method records none *)
+}
+
+val corr : src:string * string -> tgt:string * string -> corr
+val corr_of_strings : string -> string -> corr
+(** [corr_of_strings "t.c" "t'.c'"]. @raise Invalid_argument without a dot. *)
+
+val compare_corr : corr -> corr -> int
+val pp_corr : Format.formatter -> corr -> unit
+
+val make :
+  ?name:string ->
+  ?outer:bool ->
+  ?score:float ->
+  ?provenance:string list ->
+  src_query:Query.t ->
+  tgt_query:Query.t ->
+  covered:corr list ->
+  unit ->
+  t
+(** Sorts [covered] canonically and permutes both query heads
+    accordingly.
+    @raise Invalid_argument when head arities disagree with [covered]. *)
+
+val to_tgd : t -> Dependency.tgd
+(** The GLAV source-to-target tuple-generating dependency: source body
+    implies target body, sharing the head variables; all other target
+    variables are existential. *)
+
+val algebra_of_query :
+  Smg_relational.Schema.t -> Query.t -> Smg_relational.Algebra.t
+(** Body as joins (with renames aligning shared variables and selects
+    for constants and repeated variables), projected on the head. *)
+
+val src_algebra : Smg_relational.Schema.t -> t -> Smg_relational.Algebra.t
+(** Like {!algebra_of_query} on the source side, except that an [outer]
+    mapping turns the top-level joins into full outer joins. *)
+
+val outer_variants :
+  target:Smg_relational.Schema.t -> t -> Dependency.tgd list
+(** Realise an [outer] mapping as a set of Skolemized tgds: one variant
+    per non-empty subset of the source atoms (full join first); target
+    key existentials become Skolem terms over the join variables, so
+    the chase (with the target's key egds) merges the variants' rows
+    into the full-outer-join result. Non-[outer] mappings — and outer
+    bodies whose shape is not a sibling join (more than three atoms, or
+    atoms not sharing the join variables) — return the plain
+    {!to_tgd}. *)
+
+val boolean_equivalent : Query.t -> Query.t -> bool
+(** Equivalence of the bodies as boolean queries (heads ignored). *)
+
+val same : t -> t -> bool
+(** The paper's "same pair of connections": boolean-equivalent source
+    bodies, boolean-equivalent target bodies, identical covered
+    correspondences, same outer flag. Used for deduplication. *)
+
+val same_under :
+  source:Smg_relational.Schema.t ->
+  target:Smg_relational.Schema.t ->
+  t ->
+  t ->
+  bool
+(** Like {!same} but with body equivalence judged *under the schemas'
+    referential constraints* ({!Query.contained_under}) — two mappings
+    differing only by chase-implied atoms count as the same connection.
+    Used for precision/recall measurement. *)
+
+val is_trivial : t -> bool
+(** Single source table and single target table. *)
+
+val pp : Format.formatter -> t -> unit

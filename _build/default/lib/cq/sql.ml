@@ -1,0 +1,112 @@
+module Schema = Smg_relational.Schema
+module Value = Smg_relational.Value
+
+(* Bindings: variable -> list of "alias.column" sites; constants collect
+   equality conditions directly. *)
+let analyze schema (body : Atom.t list) =
+  let bindings = Hashtbl.create 16 in
+  let conditions = ref [] in
+  List.iteri
+    (fun i (a : Atom.t) ->
+      let alias = Printf.sprintf "a%d" i in
+      let t = Schema.find_table_exn schema a.Atom.pred in
+      List.iteri
+        (fun j term ->
+          let site = alias ^ "." ^ List.nth (Schema.column_names t) j in
+          match term with
+          | Atom.Var x ->
+              Hashtbl.replace bindings x
+                (site :: Option.value ~default:[] (Hashtbl.find_opt bindings x))
+          | Atom.Cst c ->
+              conditions :=
+                Printf.sprintf "%s = %s" site
+                  (match c with
+                  | Value.VInt k -> string_of_int k
+                  | Value.VFloat f -> string_of_float f
+                  | Value.VBool b -> if b then "TRUE" else "FALSE"
+                  | Value.VString s -> "'" ^ s ^ "'"
+                  | Value.VNull _ -> "NULL")
+                :: !conditions)
+        a.Atom.args)
+    body;
+  (* join equalities: each variable's sites pairwise-chained *)
+  Hashtbl.iter
+    (fun _ sites ->
+      match List.rev sites with
+      | first :: rest ->
+          List.iter
+            (fun s -> conditions := Printf.sprintf "%s = %s" first s :: !conditions)
+            rest
+      | [] -> ())
+    bindings;
+  (bindings, List.rev !conditions)
+
+let site_of bindings x =
+  match Hashtbl.find_opt bindings x with
+  | Some (s :: _) -> s
+  | Some [] | None ->
+      invalid_arg (Printf.sprintf "sql: unsafe head variable %s" x)
+
+let select_of_query schema (q : Query.t) =
+  let bindings, conditions = analyze schema q.Query.body in
+  let select_items =
+    List.mapi
+      (fun i term ->
+        match term with
+        | Atom.Var x -> Printf.sprintf "%s AS v%d" (site_of bindings x) i
+        | Atom.Cst (Value.VString s) -> Printf.sprintf "'%s' AS v%d" s i
+        | Atom.Cst (Value.VInt k) -> Printf.sprintf "%d AS v%d" k i
+        | Atom.Cst _ -> invalid_arg "sql: unsupported constant head")
+      q.Query.head
+  in
+  let from_items =
+    List.mapi
+      (fun i (a : Atom.t) -> Printf.sprintf "%s AS a%d" a.Atom.pred i)
+      q.Query.body
+  in
+  let where =
+    match conditions with
+    | [] -> ""
+    | cs -> "\nWHERE " ^ String.concat "\n  AND " cs
+  in
+  Printf.sprintf "SELECT DISTINCT %s\nFROM %s%s"
+    (String.concat ", " select_items)
+    (String.concat ", " from_items)
+    where
+
+let insert_of_mapping ~source ~target (m : Mapping.t) =
+  let tgd = Mapping.to_tgd m in
+  let bindings, conditions = analyze source tgd.Dependency.lhs in
+  let universal = Dependency.universal_vars tgd in
+  List.map
+    (fun (rhs : Atom.t) ->
+      let t = Schema.find_table_exn target rhs.Atom.pred in
+      let cols = Schema.column_names t in
+      let select_items =
+        List.map2
+          (fun col term ->
+            match term with
+            | Atom.Var x when List.mem x universal ->
+                Printf.sprintf "%s AS %s" (site_of bindings x) col
+            | Atom.Var x -> Printf.sprintf "NULL AS %s /* ∃%s */" col x
+            | Atom.Cst (Value.VString s) -> Printf.sprintf "'%s' AS %s" s col
+            | Atom.Cst (Value.VInt k) -> Printf.sprintf "%d AS %s" k col
+            | Atom.Cst _ -> invalid_arg "sql: unsupported constant")
+          cols rhs.Atom.args
+      in
+      let from_items =
+        List.mapi
+          (fun i (a : Atom.t) -> Printf.sprintf "%s AS a%d" a.Atom.pred i)
+          tgd.Dependency.lhs
+      in
+      let where =
+        match conditions with
+        | [] -> ""
+        | cs -> "\nWHERE " ^ String.concat "\n  AND " cs
+      in
+      Printf.sprintf "INSERT INTO %s (%s)\nSELECT DISTINCT %s\nFROM %s%s;"
+        rhs.Atom.pred (String.concat ", " cols)
+        (String.concat ", " select_items)
+        (String.concat ", " from_items)
+        where)
+    tgd.Dependency.rhs

@@ -1,0 +1,25 @@
+(** SQL rendering of conjunctive queries and mappings.
+
+    Discovered mapping expressions become executable SQL: the source
+    query renders as a [SELECT] over aliased tables with the join
+    conditions in [WHERE], and a whole mapping renders as an
+    [INSERT INTO target_table (...) SELECT ...] — columns of the target
+    not bound by the mapping receive [NULL] (the SQL stand-in for the
+    tgd's existential variables). *)
+
+val select_of_query :
+  Smg_relational.Schema.t -> Query.t -> string
+(** [SELECT DISTINCT <head> FROM t1 AS a1, ... WHERE <joins and
+    constants>]. Head variables are exposed with [AS vN] aliases.
+    @raise Invalid_argument on unsafe heads or unknown tables. *)
+
+val insert_of_mapping :
+  source:Smg_relational.Schema.t ->
+  target:Smg_relational.Schema.t ->
+  Mapping.t ->
+  string list
+(** One [INSERT ... SELECT] per target atom of the mapping. Target
+    columns carrying a universal variable take the corresponding source
+    expression; target columns carrying existential variables become
+    [NULL] with a comment naming the variable (a database with
+    generated keys would replace these). *)

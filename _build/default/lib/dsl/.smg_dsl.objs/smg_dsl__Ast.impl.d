@@ -1,0 +1,1 @@
+lib/dsl/ast.ml: Array List Smg_cm Smg_cq Smg_relational Smg_semantics String

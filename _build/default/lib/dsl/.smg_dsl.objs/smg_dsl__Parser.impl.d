@@ -1,0 +1,1 @@
+lib/dsl/parser.ml: Ast Fmt Lexer List Printf Smg_cm Smg_cq Smg_relational Smg_semantics String

@@ -1,0 +1,1 @@
+lib/dsl/printer.ml: Ast Fmt List Smg_cm Smg_cq Smg_relational Smg_semantics String

@@ -1,0 +1,1 @@
+lib/dsl/printer.mli: Ast Format Smg_cm Smg_cq Smg_relational

@@ -1,0 +1,45 @@
+type semantics_block = {
+  sem_table : string;
+  sem_stree : Smg_semantics.Stree.t;
+}
+
+type t = {
+  doc_schemas : Smg_relational.Schema.t list;
+  doc_cms : Smg_cm.Cml.t list;
+  doc_semantics : semantics_block list;
+  doc_corrs : Smg_cq.Mapping.corr list;
+  doc_data : (string * Smg_relational.Value.t list list) list;
+}
+
+let empty =
+  {
+    doc_schemas = [];
+    doc_cms = [];
+    doc_semantics = [];
+    doc_corrs = [];
+    doc_data = [];
+  }
+
+let find_schema d name =
+  List.find_opt
+    (fun s -> String.equal s.Smg_relational.Schema.schema_name name)
+    d.doc_schemas
+
+let find_cm d name =
+  List.find_opt (fun c -> String.equal c.Smg_cm.Cml.cm_name name) d.doc_cms
+
+let strees d = List.map (fun s -> s.sem_stree) d.doc_semantics
+
+let instance_of (d : t) (schema : Smg_relational.Schema.t) =
+  List.fold_left
+    (fun inst (table, rows) ->
+      match Smg_relational.Schema.find_table schema table with
+      | None -> inst
+      | Some t ->
+          let header = Smg_relational.Schema.column_names t in
+          List.fold_left
+            (fun inst row ->
+              Smg_relational.Instance.add_tuple inst table ~header
+                (Array.of_list row))
+            inst rows)
+    Smg_relational.Instance.empty d.doc_data

@@ -1,0 +1,28 @@
+(** Parsed scenario documents.
+
+    A document describes one mapping scenario: named schemas, named CMs,
+    per-table semantics (each bound to a schema and a CM by name), and
+    correspondences. *)
+
+type semantics_block = {
+  sem_table : string;
+  sem_stree : Smg_semantics.Stree.t;
+}
+
+type t = {
+  doc_schemas : Smg_relational.Schema.t list;
+  doc_cms : Smg_cm.Cml.t list;
+  doc_semantics : semantics_block list;
+  doc_corrs : Smg_cq.Mapping.corr list;
+  doc_data : (string * Smg_relational.Value.t list list) list;
+      (** instance rows per table, in column order *)
+}
+
+val empty : t
+val find_schema : t -> string -> Smg_relational.Schema.t option
+val find_cm : t -> string -> Smg_cm.Cml.t option
+val strees : t -> Smg_semantics.Stree.t list
+
+val instance_of : t -> Smg_relational.Schema.t -> Smg_relational.Instance.t
+(** Collect the document's data rows for the tables of one schema.
+    @raise Invalid_argument on arity mismatches. *)

@@ -1,0 +1,171 @@
+type token =
+  | IDENT of string
+  | INT of int
+  | STRING of string
+  | LBRACE
+  | RBRACE
+  | LPAREN
+  | RPAREN
+  | COLON
+  | SEMI
+  | COMMA
+  | DOT
+  | DDOT
+  | STAR
+  | ARROW
+  | BIDIR
+  | DASHDASH
+  | DASH
+  | LT
+  | EQ
+  | EOF
+
+type located = { tok : token; line : int; col : int }
+
+exception Error of string * int * int
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9') || c = '~'
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize src =
+  let n = String.length src in
+  let toks = ref [] in
+  let line = ref 1 and col = ref 1 in
+  let i = ref 0 in
+  let emit tok = toks := { tok; line = !line; col = !col } :: !toks in
+  let advance k =
+    for j = !i to min (n - 1) (!i + k - 1) do
+      if src.[j] = '\n' then begin
+        incr line;
+        col := 1
+      end
+      else incr col
+    done;
+    i := !i + k
+  in
+  let peek off = if !i + off < n then Some src.[!i + off] else None in
+  while !i < n do
+    let c = src.[!i] in
+    if c = ' ' || c = '\t' || c = '\r' || c = '\n' then advance 1
+    else if c = '#' then begin
+      while !i < n && src.[!i] <> '\n' do
+        advance 1
+      done
+    end
+    else if is_ident_start c then begin
+      let start = !i in
+      let len = ref 0 in
+      while !i + !len < n && is_ident_char src.[!i + !len] do
+        incr len
+      done;
+      emit (IDENT (String.sub src start !len));
+      advance !len
+    end
+    else if c = '"' then begin
+      (* string literal; backslash escapes the next character *)
+      let b = Buffer.create 16 in
+      let j = ref (!i + 1) in
+      let closed = ref false in
+      while (not !closed) && !j < n do
+        (match src.[!j] with
+        | '"' -> closed := true
+        | '\\' when !j + 1 < n ->
+            Buffer.add_char b src.[!j + 1];
+            incr j
+        | ch -> Buffer.add_char b ch);
+        incr j
+      done;
+      if not !closed then
+        raise (Error ("unterminated string literal", !line, !col));
+      emit (STRING (Buffer.contents b));
+      advance (!j - !i)
+    end
+    else if is_digit c then begin
+      let start = !i in
+      let len = ref 0 in
+      while !i + !len < n && is_digit src.[!i + !len] do
+        incr len
+      done;
+      emit (INT (int_of_string (String.sub src start !len)));
+      advance !len
+    end
+    else
+      match (c, peek 1, peek 2) with
+      | '<', Some '-', Some '>' ->
+          emit BIDIR;
+          advance 3
+      | '-', Some '>', _ ->
+          emit ARROW;
+          advance 2
+      | '-', Some '-', _ ->
+          emit DASHDASH;
+          advance 2
+      | '.', Some '.', _ ->
+          emit DDOT;
+          advance 2
+      | '{', _, _ ->
+          emit LBRACE;
+          advance 1
+      | '}', _, _ ->
+          emit RBRACE;
+          advance 1
+      | '(', _, _ ->
+          emit LPAREN;
+          advance 1
+      | ')', _, _ ->
+          emit RPAREN;
+          advance 1
+      | ':', _, _ ->
+          emit COLON;
+          advance 1
+      | ';', _, _ ->
+          emit SEMI;
+          advance 1
+      | ',', _, _ ->
+          emit COMMA;
+          advance 1
+      | '.', _, _ ->
+          emit DOT;
+          advance 1
+      | '*', _, _ ->
+          emit STAR;
+          advance 1
+      | '-', _, _ ->
+          emit DASH;
+          advance 1
+      | '<', _, _ ->
+          emit LT;
+          advance 1
+      | '=', _, _ ->
+          emit EQ;
+          advance 1
+      | _ ->
+          raise (Error (Printf.sprintf "unexpected character %C" c, !line, !col))
+  done;
+  emit EOF;
+  List.rev !toks
+
+let pp_token ppf = function
+  | IDENT s -> Fmt.pf ppf "identifier %S" s
+  | INT k -> Fmt.pf ppf "integer %d" k
+  | STRING s -> Fmt.pf ppf "string %S" s
+  | LBRACE -> Fmt.string ppf "'{'"
+  | RBRACE -> Fmt.string ppf "'}'"
+  | LPAREN -> Fmt.string ppf "'('"
+  | RPAREN -> Fmt.string ppf "')'"
+  | COLON -> Fmt.string ppf "':'"
+  | SEMI -> Fmt.string ppf "';'"
+  | COMMA -> Fmt.string ppf "','"
+  | DOT -> Fmt.string ppf "'.'"
+  | DDOT -> Fmt.string ppf "'..'"
+  | STAR -> Fmt.string ppf "'*'"
+  | ARROW -> Fmt.string ppf "'->'"
+  | BIDIR -> Fmt.string ppf "'<->'"
+  | DASHDASH -> Fmt.string ppf "'--'"
+  | DASH -> Fmt.string ppf "'-'"
+  | LT -> Fmt.string ppf "'<'"
+  | EQ -> Fmt.string ppf "'='"
+  | EOF -> Fmt.string ppf "end of input"

@@ -1,0 +1,34 @@
+(** Hand-written lexer for the scenario description language. *)
+
+type token =
+  | IDENT of string
+  | INT of int
+  | STRING of string  (** double-quoted; backslash escapes the next character *)
+  | LBRACE
+  | RBRACE
+  | LPAREN
+  | RPAREN
+  | COLON
+  | SEMI
+  | COMMA
+  | DOT
+  | DDOT     (** [..] *)
+  | STAR
+  | ARROW    (** [->] *)
+  | BIDIR    (** [<->] *)
+  | DASHDASH (** [--] *)
+  | DASH     (** [-] *)
+  | LT
+  | EQ
+  | EOF
+
+type located = { tok : token; line : int; col : int }
+
+exception Error of string * int * int
+(** (message, line, column) *)
+
+val tokenize : string -> located list
+(** Comments run from [#] to end of line. @raise Error on foreign
+    characters. *)
+
+val pp_token : Format.formatter -> token -> unit

@@ -1,0 +1,436 @@
+module Schema = Smg_relational.Schema
+module Cml = Smg_cm.Cml
+module Cardinality = Smg_cm.Cardinality
+module Stree = Smg_semantics.Stree
+module Mapping = Smg_cq.Mapping
+
+exception Error of string
+
+type state = { mutable toks : Lexer.located list }
+
+let fail (l : Lexer.located) fmt =
+  Printf.ksprintf
+    (fun msg ->
+      raise (Error (Printf.sprintf "line %d, col %d: %s" l.line l.col msg)))
+    fmt
+
+let peek st =
+  match st.toks with [] -> assert false | l :: _ -> l
+
+let next st =
+  let l = peek st in
+  (match st.toks with [] -> () | _ :: rest -> st.toks <- rest);
+  l
+
+let expect st tok =
+  let l = next st in
+  if l.Lexer.tok <> tok then
+    fail l "expected %a, found %a" (fun () -> Fmt.str "%a" Lexer.pp_token) tok
+      (fun () -> Fmt.str "%a" Lexer.pp_token)
+      l.Lexer.tok
+
+let ident st =
+  let l = next st in
+  match l.Lexer.tok with
+  | Lexer.IDENT s -> s
+  | t -> fail l "expected an identifier, found %s" (Fmt.str "%a" Lexer.pp_token t)
+
+let keyword st kw =
+  let l = next st in
+  match l.Lexer.tok with
+  | Lexer.IDENT s when String.equal s kw -> ()
+  | t -> fail l "expected %S, found %s" kw (Fmt.str "%a" Lexer.pp_token t)
+
+let try_keyword st kw =
+  match (peek st).Lexer.tok with
+  | Lexer.IDENT s when String.equal s kw ->
+      ignore (next st);
+      true
+  | _ -> false
+
+(* "(" idents ")" *)
+let ident_list st =
+  expect st Lexer.LPAREN;
+  let rec go acc =
+    let x = ident st in
+    match (peek st).Lexer.tok with
+    | Lexer.COMMA ->
+        ignore (next st);
+        go (x :: acc)
+    | _ ->
+        expect st Lexer.RPAREN;
+        List.rev (x :: acc)
+  in
+  go []
+
+let col_type st =
+  let l = next st in
+  match l.Lexer.tok with
+  | Lexer.IDENT "string" -> Schema.TString
+  | Lexer.IDENT "int" -> Schema.TInt
+  | Lexer.IDENT "float" -> Schema.TFloat
+  | Lexer.IDENT "bool" -> Schema.TBool
+  | t -> fail l "expected a column type, found %s" (Fmt.str "%a" Lexer.pp_token t)
+
+(* "(" INT ".." (INT | "*") ")" *)
+let cardinality st =
+  expect st Lexer.LPAREN;
+  let l = next st in
+  let cmin =
+    match l.Lexer.tok with
+    | Lexer.INT k -> k
+    | t -> fail l "expected a lower bound, found %s" (Fmt.str "%a" Lexer.pp_token t)
+  in
+  expect st Lexer.DDOT;
+  let l = next st in
+  let cmax =
+    match l.Lexer.tok with
+    | Lexer.INT k -> Some k
+    | Lexer.STAR -> None
+    | t -> fail l "expected an upper bound, found %s" (Fmt.str "%a" Lexer.pp_token t)
+  in
+  expect st Lexer.RPAREN;
+  Cardinality.make cmin cmax
+
+(* node reference: IDENT with optional ~k already folded into the ident
+   by the lexer's ident charset *)
+let noderef st =
+  let s = ident st in
+  match String.index_opt s '~' with
+  | None -> Stree.nref s
+  | Some i ->
+      let cls = String.sub s 0 i in
+      let copy =
+        try int_of_string (String.sub s (i + 1) (String.length s - i - 1))
+        with Failure _ -> raise (Error (Printf.sprintf "bad copy index in %s" s))
+      in
+      Stree.nref ~copy cls
+
+(* ---- schema ----- *)
+
+let parse_table st =
+  let name = ident st in
+  expect st Lexer.LBRACE;
+  let cols = ref [] and key = ref [] in
+  let rec go () =
+    if try_keyword st "col" then begin
+      let c = ident st in
+      expect st Lexer.COLON;
+      let ty = col_type st in
+      expect st Lexer.SEMI;
+      cols := (c, ty) :: !cols;
+      go ()
+    end
+    else if try_keyword st "key" then begin
+      key := ident_list st;
+      expect st Lexer.SEMI;
+      go ()
+    end
+    else expect st Lexer.RBRACE
+  in
+  go ();
+  Schema.table ~key:!key name (List.rev !cols)
+
+let parse_ric st =
+  let name = ident st in
+  expect st Lexer.COLON;
+  let from_t = ident st in
+  let from_c = ident_list st in
+  expect st Lexer.ARROW;
+  let to_t = ident st in
+  let to_c = ident_list st in
+  expect st Lexer.SEMI;
+  Schema.ric ~name ~from_:(from_t, from_c) ~to_:(to_t, to_c)
+
+let parse_schema st =
+  let name = ident st in
+  expect st Lexer.LBRACE;
+  let tables = ref [] and rics = ref [] in
+  let rec go () =
+    if try_keyword st "table" then begin
+      tables := parse_table st :: !tables;
+      go ()
+    end
+    else if try_keyword st "ric" then begin
+      rics := parse_ric st :: !rics;
+      go ()
+    end
+    else expect st Lexer.RBRACE
+  in
+  go ();
+  Schema.make ~name (List.rev !tables) (List.rev !rics)
+
+(* ---- cm ----- *)
+
+let parse_class st =
+  let name = ident st in
+  expect st Lexer.LBRACE;
+  let attrs = ref [] and id = ref [] in
+  let rec go () =
+    if try_keyword st "attrs" then begin
+      attrs := ident_list st;
+      expect st Lexer.SEMI;
+      go ()
+    end
+    else if try_keyword st "id" then begin
+      id := ident_list st;
+      expect st Lexer.SEMI;
+      go ()
+    end
+    else expect st Lexer.RBRACE
+  in
+  go ();
+  Cml.cls ~id:!id name !attrs
+
+let parse_rel ~kind st =
+  let name = ident st in
+  expect st Lexer.COLON;
+  let src = ident st in
+  let card_dst = cardinality st in
+  expect st Lexer.DASHDASH;
+  let card_src = cardinality st in
+  let dst = ident st in
+  expect st Lexer.SEMI;
+  Cml.rel ~kind name ~src ~dst ~card:(card_dst, card_src)
+
+let parse_reified st =
+  let name = ident st in
+  let kind = if try_keyword st "partof" then Cml.PartOf else Cml.Ordinary in
+  expect st Lexer.LBRACE;
+  let roles = ref [] and attrs = ref [] in
+  let rec go () =
+    if try_keyword st "role" then begin
+      let role = ident st in
+      expect st Lexer.COLON;
+      let filler = ident st in
+      let card = cardinality st in
+      expect st Lexer.SEMI;
+      roles := (role, filler, card) :: !roles;
+      go ()
+    end
+    else if try_keyword st "attrs" then begin
+      attrs := ident_list st;
+      expect st Lexer.SEMI;
+      go ()
+    end
+    else expect st Lexer.RBRACE
+  in
+  go ();
+  Cml.reified ~kind ~attrs:!attrs name (List.rev !roles)
+
+let parse_cm st =
+  let name = ident st in
+  expect st Lexer.LBRACE;
+  let classes = ref []
+  and binaries = ref []
+  and reified = ref []
+  and isas = ref []
+  and disjointness = ref []
+  and covers = ref [] in
+  let rec go () =
+    if try_keyword st "class" then begin
+      classes := parse_class st :: !classes;
+      go ()
+    end
+    else if try_keyword st "rel" then begin
+      binaries := parse_rel ~kind:Cml.Ordinary st :: !binaries;
+      go ()
+    end
+    else if try_keyword st "partof" then begin
+      binaries := parse_rel ~kind:Cml.PartOf st :: !binaries;
+      go ()
+    end
+    else if try_keyword st "reified" then begin
+      reified := parse_reified st :: !reified;
+      go ()
+    end
+    else if try_keyword st "isa" then begin
+      let sub = ident st in
+      expect st Lexer.LT;
+      let super = ident st in
+      expect st Lexer.SEMI;
+      isas := { Cml.sub; super } :: !isas;
+      go ()
+    end
+    else if try_keyword st "disjoint" then begin
+      disjointness := ident_list st :: !disjointness;
+      expect st Lexer.SEMI;
+      go ()
+    end
+    else if try_keyword st "cover" then begin
+      let sup = ident st in
+      expect st Lexer.EQ;
+      let subs = ident_list st in
+      expect st Lexer.SEMI;
+      covers := (sup, subs) :: !covers;
+      go ()
+    end
+    else expect st Lexer.RBRACE
+  in
+  go ();
+  Cml.make ~name ~binaries:(List.rev !binaries) ~reified:(List.rev !reified)
+    ~isas:(List.rev !isas)
+    ~disjointness:(List.rev !disjointness)
+    ~covers:(List.rev !covers) (List.rev !classes)
+
+(* ---- semantics ----- *)
+
+let parse_semantics st =
+  let table = ident st in
+  expect st Lexer.LBRACE;
+  let nodes = ref []
+  and anchor = ref None
+  and edges = ref []
+  and cols = ref []
+  and ids = ref [] in
+  let rec go () =
+    if try_keyword st "node" then begin
+      nodes := noderef st :: !nodes;
+      expect st Lexer.SEMI;
+      go ()
+    end
+    else if try_keyword st "anchor" then begin
+      anchor := Some (noderef st);
+      expect st Lexer.SEMI;
+      go ()
+    end
+    else if try_keyword st "edge" then begin
+      let src = noderef st in
+      expect st Lexer.DASH;
+      let kind =
+        if try_keyword st "rel" then Stree.SRel (ident st)
+        else if try_keyword st "role" then Stree.SRole (ident st)
+        else begin
+          keyword st "isa";
+          Stree.SIsa
+        end
+      in
+      expect st Lexer.ARROW;
+      let dst = noderef st in
+      expect st Lexer.SEMI;
+      edges := { Stree.se_src = src; se_kind = kind; se_dst = dst } :: !edges;
+      go ()
+    end
+    else if try_keyword st "col" then begin
+      let c = ident st in
+      expect st Lexer.ARROW;
+      let node = noderef st in
+      expect st Lexer.DOT;
+      let attr = ident st in
+      expect st Lexer.SEMI;
+      cols := (c, node, attr) :: !cols;
+      go ()
+    end
+    else if try_keyword st "id" then begin
+      let node = noderef st in
+      let idc = ident_list st in
+      expect st Lexer.SEMI;
+      ids := (node, idc) :: !ids;
+      go ()
+    end
+    else expect st Lexer.RBRACE
+  in
+  go ();
+  {
+    Ast.sem_table = table;
+    sem_stree =
+      Stree.make ~table ?anchor:!anchor ~edges:(List.rev !edges)
+        ~cols:(List.rev !cols) ~ids:(List.rev !ids) (List.rev !nodes);
+  }
+
+(* ---- data ----- *)
+
+let parse_value st =
+  let l = next st in
+  match l.Lexer.tok with
+  | Lexer.STRING s -> Smg_relational.Value.VString s
+  | Lexer.INT k -> Smg_relational.Value.VInt k
+  | Lexer.IDENT "null" -> Smg_relational.Value.fresh_null ()
+  | Lexer.IDENT "true" -> Smg_relational.Value.VBool true
+  | Lexer.IDENT "false" -> Smg_relational.Value.VBool false
+  | t -> fail l "expected a value literal, found %s" (Fmt.str "%a" Lexer.pp_token t)
+
+let parse_data st =
+  let table = ident st in
+  expect st Lexer.LBRACE;
+  let rows = ref [] in
+  let rec go () =
+    if try_keyword st "row" then begin
+      expect st Lexer.LPAREN;
+      let rec vals acc =
+        let v = parse_value st in
+        match (peek st).Lexer.tok with
+        | Lexer.COMMA ->
+            ignore (next st);
+            vals (v :: acc)
+        | _ ->
+            expect st Lexer.RPAREN;
+            List.rev (v :: acc)
+      in
+      let row = vals [] in
+      expect st Lexer.SEMI;
+      rows := row :: !rows;
+      go ()
+    end
+    else expect st Lexer.RBRACE
+  in
+  go ();
+  (table, List.rev !rows)
+
+(* ---- corr ----- *)
+
+let parse_corr st =
+  let t1 = ident st in
+  expect st Lexer.DOT;
+  let c1 = ident st in
+  expect st Lexer.BIDIR;
+  let t2 = ident st in
+  expect st Lexer.DOT;
+  let c2 = ident st in
+  expect st Lexer.SEMI;
+  Mapping.corr ~src:(t1, c1) ~tgt:(t2, c2)
+
+(* ---- document ----- *)
+
+let parse src =
+  let st = { toks = Lexer.tokenize src } in
+  let doc = ref Ast.empty in
+  let rec go () =
+    let l = peek st in
+    match l.Lexer.tok with
+    | Lexer.EOF -> ()
+    | Lexer.IDENT "schema" ->
+        ignore (next st);
+        doc := { !doc with Ast.doc_schemas = !doc.Ast.doc_schemas @ [ parse_schema st ] };
+        go ()
+    | Lexer.IDENT "cm" ->
+        ignore (next st);
+        doc := { !doc with Ast.doc_cms = !doc.Ast.doc_cms @ [ parse_cm st ] };
+        go ()
+    | Lexer.IDENT "semantics" ->
+        ignore (next st);
+        doc :=
+          { !doc with Ast.doc_semantics = !doc.Ast.doc_semantics @ [ parse_semantics st ] };
+        go ()
+    | Lexer.IDENT "corr" ->
+        ignore (next st);
+        doc := { !doc with Ast.doc_corrs = !doc.Ast.doc_corrs @ [ parse_corr st ] };
+        go ()
+    | Lexer.IDENT "data" ->
+        ignore (next st);
+        doc := { !doc with Ast.doc_data = !doc.Ast.doc_data @ [ parse_data st ] };
+        go ()
+    | t ->
+        fail l "expected a top-level declaration, found %s"
+          (Fmt.str "%a" Lexer.pp_token t)
+  in
+  (try go () with Lexer.Error (msg, line, col) ->
+    raise (Error (Printf.sprintf "line %d, col %d: %s" line col msg)));
+  !doc
+
+let parse_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let src = really_input_string ic len in
+  close_in ic;
+  parse src

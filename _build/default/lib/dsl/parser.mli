@@ -1,0 +1,40 @@
+(** Recursive-descent parser for the scenario description language.
+
+    Grammar sketch (see the README for a complete example):
+    {v
+    document   := (schema | cm | semantics | corr)*
+    schema     := "schema" IDENT "{" (table | ric)* "}"
+    table      := "table" IDENT "{" (col | key)* "}"
+    col        := "col" IDENT ":" type ";"
+    key        := "key" "(" idents ")" ";"
+    ric        := "ric" IDENT ":" IDENT "(" idents ")" "->" IDENT "(" idents ")" ";"
+    cm         := "cm" IDENT "{" (class | rel | reified | isa | disjoint | cover)* "}"
+    class      := "class" IDENT "{" ["attrs" "(" idents ")" ";"] ["id" "(" idents ")" ";"] "}"
+    rel        := ("rel" | "partof") IDENT ":" IDENT card "--" card IDENT ";"
+    card       := "(" INT ".." (INT | "*") ")"
+    reified    := "reified" IDENT ["partof"] "{" (role | "attrs" ...)* "}"
+    role       := "role" IDENT ":" IDENT card ";"
+    isa        := "isa" IDENT "<" IDENT ";"
+    disjoint   := "disjoint" "(" idents ")" ";"
+    cover      := "cover" IDENT "=" "(" idents ")" ";"
+    semantics  := "semantics" IDENT "{" (node | anchor | edge | colmap | id)* "}"
+    node       := "node" noderef ";"
+    anchor     := "anchor" noderef ";"
+    edge       := "edge" noderef "-" ("rel" | "role") IDENT "->" noderef ";"
+                | "edge" noderef "-" "isa" "->" noderef ";"
+    colmap     := "col" IDENT "->" noderef "." IDENT ";"
+    id         := "id" noderef "(" idents ")" ";"
+    corr       := "corr" IDENT "." IDENT "<->" IDENT "." IDENT ";"
+    data       := "data" IDENT "{" ("row" "(" value ("," value)* ")" ";")* "}"
+    value      := STRING | INT | "null" | "true" | "false"
+    v}
+    Node references use [~k] suffixes for copies, e.g. [Person~1]. *)
+
+exception Error of string
+(** Parse error with location information in the message. *)
+
+val parse : string -> Ast.t
+(** @raise Error on malformed input; CM/schema validation errors from
+    the underlying constructors propagate as [Invalid_argument]. *)
+
+val parse_file : string -> Ast.t

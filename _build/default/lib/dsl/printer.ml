@@ -1,0 +1,154 @@
+module Schema = Smg_relational.Schema
+module Cml = Smg_cm.Cml
+module Cardinality = Smg_cm.Cardinality
+module Stree = Smg_semantics.Stree
+module Mapping = Smg_cq.Mapping
+
+let pp_idents ppf xs =
+  Fmt.pf ppf "(%a)" (Fmt.list ~sep:(Fmt.any ", ") Fmt.string) xs
+
+let pp_col_type ppf = function
+  | Schema.TString -> Fmt.string ppf "string"
+  | Schema.TInt -> Fmt.string ppf "int"
+  | Schema.TFloat -> Fmt.string ppf "float"
+  | Schema.TBool -> Fmt.string ppf "bool"
+
+let pp_table ppf (t : Schema.table) =
+  Fmt.pf ppf "@[<v2>table %s {@,%a%a@]@,}" t.Schema.tbl_name
+    (Fmt.list ~sep:Fmt.cut (fun ppf (c : Schema.column) ->
+         Fmt.pf ppf "col %s : %a;" c.Schema.col_name pp_col_type
+           c.Schema.col_type))
+    t.Schema.columns
+    (fun ppf key ->
+      match key with
+      | [] -> ()
+      | _ -> Fmt.pf ppf "@,key %a;" pp_idents key)
+    t.Schema.key
+
+let pp_ric ppf (r : Schema.ric) =
+  Fmt.pf ppf "ric %s : %s%a -> %s%a;" r.Schema.ric_name r.Schema.from_table
+    pp_idents r.Schema.from_cols r.Schema.to_table pp_idents r.Schema.to_cols
+
+let pp_schema ppf (s : Schema.t) =
+  Fmt.pf ppf "@[<v2>schema %s {@,%a%a@]@,}" s.Schema.schema_name
+    (Fmt.list ~sep:Fmt.cut pp_table)
+    s.Schema.tables
+    (fun ppf rics ->
+      match rics with
+      | [] -> ()
+      | _ -> Fmt.pf ppf "@,%a" (Fmt.list ~sep:Fmt.cut pp_ric) rics)
+    s.Schema.rics
+
+let pp_card ppf (c : Cardinality.t) =
+  match c.Cardinality.cmax with
+  | None -> Fmt.pf ppf "(%d..*)" c.Cardinality.cmin
+  | Some m -> Fmt.pf ppf "(%d..%d)" c.Cardinality.cmin m
+
+let pp_class ppf (c : Cml.class_decl) =
+  Fmt.pf ppf "@[<v2>class %s {" c.Cml.class_name;
+  if c.Cml.attributes <> [] then
+    Fmt.pf ppf "@,attrs %a;" pp_idents c.Cml.attributes;
+  if c.Cml.identifier <> [] then
+    Fmt.pf ppf "@,id %a;" pp_idents c.Cml.identifier;
+  Fmt.pf ppf "@]@,}"
+
+let pp_rel ppf (r : Cml.binary_rel) =
+  let kw = match r.Cml.rel_kind with Cml.PartOf -> "partof" | Cml.Ordinary -> "rel" in
+  Fmt.pf ppf "%s %s : %s %a -- %a %s;" kw r.Cml.rel_name r.Cml.rel_src pp_card
+    r.Cml.card_dst pp_card r.Cml.card_src r.Cml.rel_dst
+
+let pp_reified ppf (r : Cml.reified_rel) =
+  Fmt.pf ppf "@[<v2>reified %s%s {" r.Cml.rr_name
+    (match r.Cml.rr_kind with Cml.PartOf -> " partof" | Cml.Ordinary -> "");
+  List.iter
+    (fun (ro : Cml.role) ->
+      Fmt.pf ppf "@,role %s : %s %a;" ro.Cml.role_name ro.Cml.filler pp_card
+        ro.Cml.card_inv)
+    r.Cml.roles;
+  if r.Cml.rr_attributes <> [] then
+    Fmt.pf ppf "@,attrs %a;" pp_idents r.Cml.rr_attributes;
+  Fmt.pf ppf "@]@,}"
+
+let pp_cm ppf (cm : Cml.t) =
+  Fmt.pf ppf "@[<v2>cm %s {" cm.Cml.cm_name;
+  List.iter (fun c -> Fmt.pf ppf "@,%a" pp_class c) cm.Cml.classes;
+  List.iter (fun r -> Fmt.pf ppf "@,%a" pp_rel r) cm.Cml.binaries;
+  List.iter (fun r -> Fmt.pf ppf "@,%a" pp_reified r) cm.Cml.reified;
+  List.iter
+    (fun (i : Cml.isa) -> Fmt.pf ppf "@,isa %s < %s;" i.Cml.sub i.Cml.super)
+    cm.Cml.isas;
+  List.iter
+    (fun group -> Fmt.pf ppf "@,disjoint %a;" pp_idents group)
+    cm.Cml.disjointness;
+  List.iter
+    (fun (sup, subs) -> Fmt.pf ppf "@,cover %s = %a;" sup pp_idents subs)
+    cm.Cml.covers;
+  Fmt.pf ppf "@]@,}"
+
+let pp_noderef ppf (n : Stree.node_ref) =
+  if n.Stree.nr_copy = 0 then Fmt.string ppf n.Stree.nr_class
+  else Fmt.pf ppf "%s~%d" n.Stree.nr_class n.Stree.nr_copy
+
+let pp_semantics ppf (b : Ast.semantics_block) =
+  let st = b.Ast.sem_stree in
+  Fmt.pf ppf "@[<v2>semantics %s {" b.Ast.sem_table;
+  List.iter (fun n -> Fmt.pf ppf "@,node %a;" pp_noderef n) st.Stree.st_nodes;
+  (match st.Stree.st_anchor with
+  | Some a -> Fmt.pf ppf "@,anchor %a;" pp_noderef a
+  | None -> ());
+  List.iter
+    (fun (e : Stree.sedge) ->
+      let kind =
+        match e.Stree.se_kind with
+        | Stree.SRel r -> "rel " ^ r
+        | Stree.SRole r -> "role " ^ r
+        | Stree.SIsa -> "isa"
+      in
+      Fmt.pf ppf "@,edge %a -%s-> %a;" pp_noderef e.Stree.se_src kind
+        pp_noderef e.Stree.se_dst)
+    st.Stree.st_edges;
+  List.iter
+    (fun (c, n, a) -> Fmt.pf ppf "@,col %s -> %a.%s;" c pp_noderef n a)
+    st.Stree.col_map;
+  List.iter
+    (fun (n, cols) -> Fmt.pf ppf "@,id %a %a;" pp_noderef n pp_idents cols)
+    st.Stree.id_map;
+  Fmt.pf ppf "@]@,}"
+
+let pp_value ppf (v : Smg_relational.Value.t) =
+  match v with
+  | Smg_relational.Value.VString s ->
+      Fmt.pf ppf "\"%s\""
+        (String.concat ""
+           (List.map
+              (fun c ->
+                if c = '"' || c = '\\' then "\\" ^ String.make 1 c
+                else String.make 1 c)
+              (List.init (String.length s) (String.get s))))
+  | Smg_relational.Value.VInt k -> Fmt.int ppf k
+  | Smg_relational.Value.VBool b -> Fmt.bool ppf b
+  | Smg_relational.Value.VFloat f -> Fmt.float ppf f
+  | Smg_relational.Value.VNull _ -> Fmt.string ppf "null"
+
+let pp_data ppf (table, rows) =
+  Fmt.pf ppf "@[<v2>data %s {" table;
+  List.iter
+    (fun row ->
+      Fmt.pf ppf "@,row (%a);" (Fmt.list ~sep:(Fmt.any ", ") pp_value) row)
+    rows;
+  Fmt.pf ppf "@]@,}"
+
+let pp_corr ppf (c : Mapping.corr) =
+  let st, sc = c.Mapping.c_src and tt, tc = c.Mapping.c_tgt in
+  Fmt.pf ppf "corr %s.%s <-> %s.%s;" st sc tt tc
+
+let pp ppf (d : Ast.t) =
+  Fmt.pf ppf "@[<v>";
+  List.iter (fun s -> Fmt.pf ppf "%a@,@," pp_schema s) d.Ast.doc_schemas;
+  List.iter (fun c -> Fmt.pf ppf "%a@,@," pp_cm c) d.Ast.doc_cms;
+  List.iter (fun b -> Fmt.pf ppf "%a@,@," pp_semantics b) d.Ast.doc_semantics;
+  List.iter (fun c -> Fmt.pf ppf "%a@," pp_corr c) d.Ast.doc_corrs;
+  List.iter (fun b -> Fmt.pf ppf "%a@,@," pp_data b) d.Ast.doc_data;
+  Fmt.pf ppf "@]"
+
+let to_string d = Fmt.str "%a" pp d

@@ -1,0 +1,10 @@
+(** Pretty-printer for scenario documents, inverse of {!Parser.parse}:
+    [Parser.parse (to_string doc)] reconstructs an equal document. *)
+
+val pp : Format.formatter -> Ast.t -> unit
+val to_string : Ast.t -> string
+
+val pp_schema : Format.formatter -> Smg_relational.Schema.t -> unit
+val pp_cm : Format.formatter -> Smg_cm.Cml.t -> unit
+val pp_semantics : Format.formatter -> Ast.semantics_block -> unit
+val pp_corr : Format.formatter -> Smg_cq.Mapping.corr -> unit

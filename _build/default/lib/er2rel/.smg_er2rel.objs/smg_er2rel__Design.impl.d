@@ -1,0 +1,1 @@
+lib/er2rel/design.ml: Hashtbl List Option Printf Smg_cm Smg_relational Smg_semantics String

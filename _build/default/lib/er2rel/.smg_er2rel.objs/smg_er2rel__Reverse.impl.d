@@ -1,0 +1,1 @@
+lib/er2rel/reverse.ml: Hashtbl List Option Smg_cm Smg_relational Smg_semantics String

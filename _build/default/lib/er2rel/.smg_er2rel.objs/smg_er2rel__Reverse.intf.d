@@ -1,0 +1,1 @@
+lib/er2rel/reverse.mli: Smg_cm Smg_relational Smg_semantics

@@ -1,0 +1,466 @@
+module Cml = Smg_cm.Cml
+module Cardinality = Smg_cm.Cardinality
+module Schema = Smg_relational.Schema
+module Stree = Smg_semantics.Stree
+
+type isa_encoding = Table_per_class | Table_per_concrete
+
+type config = {
+  isa : isa_encoding;
+  merge_functional : bool;
+  table_name : string -> string;
+}
+
+let default_config =
+  {
+    isa = Table_per_class;
+    merge_functional = true;
+    table_name = String.lowercase_ascii;
+  }
+
+let key_of_class cm cls =
+  let rec go seen frontier =
+    match frontier with
+    | [] -> None
+    | c :: rest -> (
+        if List.mem c seen then go seen rest
+        else
+          match Cml.find_class cm c with
+          | Some d when d.Cml.identifier <> [] -> Some (c, d.Cml.identifier)
+          | Some _ | None -> go (c :: seen) (rest @ Cml.superclasses cm c))
+  in
+  go [] [ cls ]
+
+let key_of_class_exn cm cls =
+  match key_of_class cm cls with
+  | Some k -> k
+  | None ->
+      invalid_arg (Printf.sprintf "er2rel: class %s has no identifier" cls)
+
+(* All attributes of a class including inherited ones, nearest first. *)
+let all_attributes cm cls =
+  let rec go seen acc frontier =
+    match frontier with
+    | [] -> acc
+    | c :: rest ->
+        if List.mem c seen then go seen acc rest
+        else
+          let own =
+            match Cml.find_class cm c with
+            | Some d -> List.map (fun a -> (c, a)) d.Cml.attributes
+            | None -> []
+          in
+          go (c :: seen)
+            (acc @ List.filter (fun x -> not (List.mem x acc)) own)
+            (rest @ Cml.superclasses cm c)
+  in
+  go [] [] [ cls ]
+
+let is_concrete cm cls = Cml.subclasses cm cls = []
+
+let design ?(config = default_config) cm =
+  let tn = config.table_name in
+  let has_table cls =
+    match config.isa with
+    | Table_per_class -> true
+    | Table_per_concrete -> is_concrete cm cls
+  in
+  let n = Stree.nref in
+  (* --- entity tables --- *)
+  let entity_parts =
+    List.filter_map
+      (fun (c : Cml.class_decl) ->
+        if not (has_table c.class_name) then None
+        else begin
+          let cls = c.class_name in
+          let _owner, key = key_of_class_exn cm cls in
+          let attrs =
+            match config.isa with
+            | Table_per_class ->
+                (* own attributes + inherited key columns *)
+                let own = List.map (fun a -> (cls, a)) c.attributes in
+                let key_cols =
+                  List.filter_map
+                    (fun k ->
+                      if List.exists (fun (_, a) -> String.equal a k) own then
+                        None
+                      else Some (cls, k))
+                    key
+                in
+                key_cols @ own
+            | Table_per_concrete -> all_attributes cm cls
+          in
+          let cols =
+            List.map (fun (_, a) -> (a, Schema.TString)) attrs
+          in
+          let table = Schema.table ~key (tn cls) cols in
+          let st =
+            Stree.make ~table:(tn cls) ~anchor:(n cls)
+              ~cols:(List.map (fun (_, a) -> (a, n cls, a)) attrs)
+              ~ids:[ (n cls, key) ]
+              [ n cls ]
+          in
+          (* RIC to the direct superclass table under Table_per_class *)
+          let rics =
+            match (config.isa, Cml.superclasses cm cls) with
+            | Table_per_class, sup :: _ when has_table sup ->
+                [
+                  Schema.ric
+                    ~name:(Printf.sprintf "isa_%s_%s" (tn cls) (tn sup))
+                    ~from_:(tn cls, key)
+                    ~to_:(tn sup, key);
+                ]
+            | (Table_per_class | Table_per_concrete), _ -> []
+          in
+          Some (cls, table, st, rics)
+        end)
+      cm.Cml.classes
+  in
+  let entity_tables = Hashtbl.create 16 in
+  List.iter
+    (fun (cls, table, _, _) -> Hashtbl.replace entity_tables cls table)
+    entity_parts;
+  (* Column naming inside relationship tables: the filler's id attribute,
+     prefixed by the role/side name on clashes. *)
+  let rel_columns sides =
+    (* sides: (side_name, filler_class) list; returns per side the
+       (column, id_attr) list *)
+    let raw =
+      List.map
+        (fun (side, filler) ->
+          let _, key = key_of_class_exn cm filler in
+          (side, filler, key))
+        sides
+    in
+    let all_attrs = List.concat_map (fun (_, _, k) -> k) raw in
+    let ambiguous a =
+      List.length (List.filter (String.equal a) all_attrs) > 1
+    in
+    List.map
+      (fun (side, filler, key) ->
+        ( side,
+          filler,
+          List.map
+            (fun a ->
+              if ambiguous a then (side ^ "_" ^ a, a) else (a, a))
+            key ))
+      raw
+  in
+  let ric_to_entity ~name ~from_table ~cols filler =
+    if Hashtbl.mem entity_tables (fst (key_of_class_exn cm filler)) then
+      let owner, key = key_of_class_exn cm filler in
+      if Hashtbl.mem entity_tables filler then
+        [ Schema.ric ~name ~from_:(from_table, cols) ~to_:(tn filler, key) ]
+      else if Hashtbl.mem entity_tables owner then
+        [ Schema.ric ~name ~from_:(from_table, cols) ~to_:(tn owner, key) ]
+      else []
+    else []
+  in
+  (* --- binary relationships --- *)
+  let merged_into = Hashtbl.create 16 in
+  (* class -> (extra columns, extra s-tree parts, rics) accumulated *)
+  let has_concrete_descendant cls =
+    let rec go c =
+      has_table c || List.exists go (Cml.subclasses cm c)
+    in
+    go cls
+  in
+  let merged_rels, standalone_rels =
+    List.partition
+      (fun (r : Cml.binary_rel) ->
+        config.merge_functional
+        && Cardinality.is_functional r.card_dst
+        && has_concrete_descendant r.rel_src)
+      cm.Cml.binaries
+  in
+  List.iter
+    (fun (r : Cml.binary_rel) ->
+      let _, dkey = key_of_class_exn cm r.rel_dst in
+      let cols = List.map (fun a -> (r.rel_name ^ "_" ^ a, a)) dkey in
+      let cur =
+        Option.value ~default:[] (Hashtbl.find_opt merged_into r.rel_src)
+      in
+      Hashtbl.replace merged_into r.rel_src (cur @ [ (r, cols) ]))
+    merged_rels;
+  let rel_parts =
+    List.map
+      (fun (r : Cml.binary_rel) ->
+        let name = tn r.rel_name in
+        let sides =
+          rel_columns [ ("src", r.rel_src); ("dst", r.rel_dst) ]
+        in
+        let side side =
+          match
+            List.find_opt (fun (s, _, _) -> String.equal s side) sides
+          with
+          | Some (_, filler, cols) -> (filler, cols)
+          | None -> assert false
+        in
+        let s_filler, s_cols = side "src" and d_filler, d_cols = side "dst" in
+        (* a self-referencing relationship needs a node copy for the
+           destination end *)
+        let src_ref = n r.rel_src in
+        let dst_ref =
+          if String.equal r.rel_src r.rel_dst then Stree.nref ~copy:1 r.rel_dst
+          else n r.rel_dst
+        in
+        let all_cols = s_cols @ d_cols in
+        let key =
+          if Cardinality.is_functional r.card_dst then List.map fst s_cols
+          else if Cardinality.is_functional r.card_src then
+            List.map fst d_cols
+          else List.map fst all_cols
+        in
+        let table =
+          Schema.table ~key name
+            (List.map (fun (c, _) -> (c, Schema.TString)) all_cols)
+        in
+        let st =
+          Stree.make ~table:name ~anchor:src_ref
+            ~edges:
+              [
+                {
+                  Stree.se_src = src_ref;
+                  se_kind = Stree.SRel r.rel_name;
+                  se_dst = dst_ref;
+                };
+              ]
+            ~cols:
+              (List.map (fun (c, a) -> (c, src_ref, a)) s_cols
+              @ List.map (fun (c, a) -> (c, dst_ref, a)) d_cols)
+            ~ids:
+              [
+                (src_ref, List.map fst s_cols);
+                (dst_ref, List.map fst d_cols);
+              ]
+            [ src_ref; dst_ref ]
+        in
+        let rics =
+          ric_to_entity
+            ~name:(Printf.sprintf "fk_%s_src" name)
+            ~from_table:name ~cols:(List.map fst s_cols) s_filler
+          @ ric_to_entity
+              ~name:(Printf.sprintf "fk_%s_dst" name)
+              ~from_table:name ~cols:(List.map fst d_cols) d_filler
+        in
+        (table, st, rics))
+      standalone_rels
+  in
+  (* --- reified relationships --- *)
+  let reified_parts =
+    List.map
+      (fun (r : Cml.reified_rel) ->
+        let name = tn r.rr_name in
+        let sides =
+          rel_columns
+            (List.map (fun ro -> (ro.Cml.role_name, ro.Cml.filler)) r.roles)
+        in
+        (* assign node copies when a filler class appears in several roles *)
+        let seen_fillers = Hashtbl.create 4 in
+        let role_cols =
+          List.map
+            (fun (role, filler, cols) ->
+              let k =
+                Option.value ~default:0 (Hashtbl.find_opt seen_fillers filler)
+              in
+              Hashtbl.replace seen_fillers filler (k + 1);
+              (role, filler, Stree.nref ~copy:k filler, cols))
+            sides
+        in
+        let id_cols = List.concat_map (fun (_, _, _, cols) -> cols) role_cols in
+        (* a functional role (inverse card at most 1) keys the table *)
+        let key =
+          match
+            List.find_opt
+              (fun (ro : Cml.role) -> Cardinality.is_functional ro.card_inv)
+              r.roles
+          with
+          | Some ro -> (
+              match
+                List.find_opt
+                  (fun (role, _, _, _) -> String.equal role ro.role_name)
+                  role_cols
+              with
+              | Some (_, _, _, cols) -> List.map fst cols
+              | None -> List.map fst id_cols)
+          | None -> List.map fst id_cols
+        in
+        let attr_cols = List.map (fun a -> (a, a)) r.rr_attributes in
+        let table =
+          Schema.table ~key name
+            (List.map
+               (fun (c, _) -> (c, Schema.TString))
+               (id_cols @ attr_cols))
+        in
+        let st =
+          Stree.make ~table:name ~anchor:(n r.rr_name)
+            ~edges:
+              (List.map
+                 (fun (role, _, node, _) ->
+                   {
+                     Stree.se_src = n r.rr_name;
+                     se_kind = Stree.SRole role;
+                     se_dst = node;
+                   })
+                 role_cols)
+            ~cols:
+              (List.concat_map
+                 (fun (_, _, node, cols) ->
+                   List.map (fun (c, a) -> (c, node, a)) cols)
+                 role_cols
+              @ List.map (fun (c, a) -> (c, n r.rr_name, a)) attr_cols)
+            ~ids:
+              (List.map
+                 (fun (_, _, node, cols) -> (node, List.map fst cols))
+                 role_cols
+              @ [ (n r.rr_name, List.map fst id_cols) ])
+            (n r.rr_name :: List.map (fun (_, _, node, _) -> node) role_cols)
+        in
+        let rics =
+          List.concat_map
+            (fun (role, filler, _, cols) ->
+              ric_to_entity
+                ~name:(Printf.sprintf "fk_%s_%s" name role)
+                ~from_table:name ~cols:(List.map fst cols) filler)
+            role_cols
+        in
+        (table, st, rics))
+      cm.Cml.reified
+  in
+  (* --- assemble, applying functional-relationship merging --- *)
+  (* Under Table_per_concrete a concrete class also inherits the merged
+     functional relationships of its ancestors; the s-tree then records
+     the ISA chain up to the relationship's declaring class. *)
+  let merges_for cls =
+    let own =
+      List.map
+        (fun m -> (cls, m))
+        (Option.value ~default:[] (Hashtbl.find_opt merged_into cls))
+    in
+    match config.isa with
+    | Table_per_class -> own
+    | Table_per_concrete ->
+        own
+        @ List.concat_map
+            (fun anc ->
+              List.map
+                (fun m -> (anc, m))
+                (Option.value ~default:[] (Hashtbl.find_opt merged_into anc)))
+            (Cml.ancestors cm cls)
+  in
+  let entity_assembled =
+    List.map
+      (fun (cls, (table : Schema.table), st, rics) ->
+        match merges_for cls with
+        | [] -> (table, st, rics)
+        | merges ->
+            let extra_cols =
+              List.concat_map
+                (fun (_, ((_ : Cml.binary_rel), cols)) ->
+                  List.map (fun (c, _) -> Schema.col c Schema.TString) cols)
+                merges
+            in
+            let table = { table with Schema.columns = table.Schema.columns @ extra_cols } in
+            (* ISA chain from cls up to an ancestor (inclusive) *)
+            let chain_to anc =
+              let rec path cur =
+                if String.equal cur anc then Some [ cur ]
+                else
+                  List.find_map
+                    (fun sup ->
+                      Option.map (fun rest -> cur :: rest) (path sup))
+                    (Cml.superclasses cm cur)
+              in
+              Option.value ~default:[ cls; anc ] (path cls)
+            in
+            (* Claim the ISA-chain nodes of every inherited merge first:
+               they denote the *same* object as cls (copy 0 of each
+               ancestor class); relationship destinations then allocate
+               the next free copy, so an ancestor class appearing both
+               as chain node and as relationship target gets two
+               distinct nodes. *)
+            let chains =
+              List.filter_map
+                (fun (owner, _) ->
+                  if String.equal owner cls then None else Some (chain_to owner))
+                merges
+            in
+            let chain_nodes =
+              List.concat_map (fun chain -> List.map n chain) chains
+              |> List.filter (fun x -> not (Stree.equal_ref x (n cls)))
+              |> List.fold_left
+                   (fun acc x ->
+                     if List.exists (Stree.equal_ref x) acc then acc
+                     else acc @ [ x ])
+                   []
+            in
+            let chain_edges =
+              let rec isa_edges = function
+                | a :: (b :: _ as rest) ->
+                    { Stree.se_src = n a; se_kind = Stree.SIsa; se_dst = n b }
+                    :: isa_edges rest
+                | [ _ ] | [] -> []
+              in
+              List.concat_map isa_edges chains
+              |> List.fold_left
+                   (fun acc e -> if List.mem e acc then acc else acc @ [ e ])
+                   []
+            in
+            let nodes, edges, colmap, ids =
+              List.fold_left
+                (fun (nodes, edges, colmap, ids)
+                     (owner, ((r : Cml.binary_rel), cols)) ->
+                  (* each merged relationship targets its own object:
+                     allocate the next free copy index for the class *)
+                  let dst =
+                    let rec free k =
+                      let cand = Stree.nref ~copy:k r.rel_dst in
+                      if List.exists (fun x -> Stree.equal_ref x cand) nodes
+                      then free (k + 1)
+                      else cand
+                    in
+                    free 0
+                  in
+                  ( nodes @ [ dst ],
+                    edges
+                    @ [
+                        {
+                          Stree.se_src = n owner;
+                          se_kind = Stree.SRel r.rel_name;
+                          se_dst = dst;
+                        };
+                      ],
+                    colmap @ List.map (fun (c, a) -> (c, dst, a)) cols,
+                    ids @ [ (dst, List.map fst cols) ] ))
+                ( st.Stree.st_nodes @ chain_nodes,
+                  st.Stree.st_edges @ chain_edges,
+                  st.Stree.col_map,
+                  st.Stree.id_map )
+                merges
+            in
+            let st =
+              {
+                st with
+                Stree.st_nodes = nodes;
+                st_edges = edges;
+                col_map = colmap;
+                id_map = ids;
+              }
+            in
+            let extra_rics =
+              List.concat_map
+                (fun (_, ((r : Cml.binary_rel), cols)) ->
+                  ric_to_entity
+                    ~name:(Printf.sprintf "fk_%s_%s" (tn cls) r.rel_name)
+                    ~from_table:(tn cls) ~cols:(List.map fst cols) r.rel_dst)
+                merges
+            in
+            (table, st, rics @ extra_rics))
+      entity_parts
+  in
+  let parts = entity_assembled @ rel_parts @ reified_parts in
+  let tables = List.map (fun (t, _, _) -> t) parts in
+  let rics = List.concat_map (fun (_, _, r) -> r) parts in
+  let schema = Schema.make ~name:(cm.Cml.cm_name ^ "_db") tables rics in
+  let strees = List.map (fun (_, st, _) -> st) parts in
+  (schema, strees)

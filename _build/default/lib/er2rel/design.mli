@@ -1,0 +1,34 @@
+(** er2rel forward engineering (Markowitz–Shoshani style, [12] in the
+    paper): derive a relational schema from a CM together with the
+    table semantics (s-trees) that the design guarantees.
+
+    - Every class with a (possibly inherited) identifier becomes an
+      *entity table* keyed by the identifier.
+    - Functional binary relationships are merged into the source
+      entity's table as foreign-key columns ([merge_functional]), or get
+      their own table otherwise.
+    - Non-functional binaries and reified relationships become
+      *relationship tables* keyed by the participant identifiers, with
+      RICs into the participants.
+    - ISA hierarchies are encoded per [isa_encoding]: one table per
+      class (subclass tables keyed like the root, with a RIC to the
+      superclass table), or one table per concrete (leaf) class
+      carrying all inherited attributes. *)
+
+type isa_encoding = Table_per_class | Table_per_concrete
+
+type config = {
+  isa : isa_encoding;
+  merge_functional : bool;
+  table_name : string -> string;  (** class/relationship name → table name *)
+}
+
+val default_config : config
+
+val design : ?config:config -> Smg_cm.Cml.t -> Smg_relational.Schema.t * Smg_semantics.Stree.t list
+(** @raise Invalid_argument when some class reachable from a
+    relationship has no resolvable identifier. *)
+
+val key_of_class : Smg_cm.Cml.t -> string -> (string * string list) option
+(** [(owner, id_attrs)]: the nearest class (itself or an ancestor)
+    declaring a non-empty identifier. *)

@@ -1,0 +1,265 @@
+module Cml = Smg_cm.Cml
+module Cardinality = Smg_cm.Cardinality
+module Schema = Smg_relational.Schema
+module Stree = Smg_semantics.Stree
+
+let class_name_of = String.capitalize_ascii
+
+type kind =
+  | Entity of { isa_ric : Schema.ric option; fk_rics : Schema.ric list }
+  | Relationship of Schema.ric list
+
+let classify schema (t : Schema.table) =
+  let rics = Schema.rics_from schema t.Schema.tbl_name in
+  let key = List.sort compare t.Schema.key in
+  let fk_cols = List.sort_uniq compare (List.concat_map (fun r -> r.Schema.from_cols) rics) in
+  (* a relationship table's key is exactly the union of its foreign
+     keys; extra non-key columns become attributes of the reified
+     relationship *)
+  let is_rel_table = List.length rics >= 2 && key <> [] && key = fk_cols in
+  if is_rel_table then Relationship rics
+  else begin
+    let isa_ric =
+      List.find_opt
+        (fun r ->
+          List.sort compare r.Schema.from_cols = key
+          &&
+          let target = Schema.find_table_exn schema r.Schema.to_table in
+          List.sort compare r.Schema.to_cols
+          = List.sort compare target.Schema.key)
+        rics
+    in
+    let fk_rics =
+      List.filter
+        (fun r ->
+          match isa_ric with
+          | Some i -> not (String.equal i.Schema.ric_name r.Schema.ric_name)
+          | None -> true)
+        rics
+    in
+    Entity { isa_ric; fk_rics }
+  end
+
+let recover schema =
+  let n = Stree.nref in
+  let kinds =
+    List.map (fun t -> (t, classify schema t)) schema.Schema.tables
+  in
+  let entity_class (t : Schema.table) = class_name_of t.Schema.tbl_name in
+  (* entity classes *)
+  let classes =
+    List.filter_map
+      (fun ((t : Schema.table), k) ->
+        match k with
+        | Relationship _ -> None
+        | Entity { isa_ric; fk_rics } ->
+            let fk_cols =
+              List.concat_map (fun r -> r.Schema.from_cols) fk_rics
+            in
+            let own_attrs =
+              List.filter
+                (fun c -> not (List.mem c fk_cols))
+                (Schema.column_names t)
+            in
+            (* under ISA the key columns belong to the ancestor *)
+            let own_attrs =
+              match isa_ric with
+              | Some _ ->
+                  List.filter (fun c -> not (List.mem c t.Schema.key)) own_attrs
+              | None -> own_attrs
+            in
+            let id = match isa_ric with Some _ -> [] | None -> List.filter (fun c -> List.mem c own_attrs) t.Schema.key in
+            Some (Cml.cls ~id (entity_class t) own_attrs))
+      kinds
+  in
+  let isas =
+    List.filter_map
+      (fun ((t : Schema.table), k) ->
+        match k with
+        | Entity { isa_ric = Some r; _ } ->
+            Some
+              {
+                Cml.sub = entity_class t;
+                super = class_name_of r.Schema.to_table;
+              }
+        | Entity { isa_ric = None; _ } | Relationship _ -> None)
+      kinds
+  in
+  let binaries =
+    List.concat_map
+      (fun ((t : Schema.table), k) ->
+        match k with
+        | Entity { fk_rics; _ } ->
+            List.map
+              (fun (r : Schema.ric) ->
+                Cml.rel r.Schema.ric_name ~src:(entity_class t)
+                  ~dst:(class_name_of r.Schema.to_table)
+                  ~card:(Cardinality.at_most_one, Cardinality.many))
+              fk_rics
+        | Relationship _ -> [])
+      kinds
+  in
+  let reified =
+    List.filter_map
+      (fun ((t : Schema.table), k) ->
+        match k with
+        | Relationship rics ->
+            let fk_cols =
+              List.concat_map (fun (r : Schema.ric) -> r.Schema.from_cols) rics
+            in
+            let attrs =
+              List.filter
+                (fun c -> not (List.mem c fk_cols))
+                (Schema.column_names t)
+            in
+            Some
+              (Cml.reified ~attrs
+                 (class_name_of t.Schema.tbl_name)
+                 (List.map
+                    (fun (r : Schema.ric) ->
+                      ( r.Schema.ric_name,
+                        class_name_of r.Schema.to_table,
+                        Cardinality.many ))
+                    rics))
+        | Entity _ -> None)
+      kinds
+  in
+  let cm =
+    Cml.make
+      ~name:(schema.Schema.schema_name ^ "_cm")
+      ~binaries ~reified ~isas classes
+  in
+  (* s-trees *)
+  let strees =
+    List.map
+      (fun ((t : Schema.table), k) ->
+        let table = t.Schema.tbl_name in
+        match k with
+        | Entity { isa_ric; fk_rics } ->
+            let cls = entity_class t in
+            (* one node per foreign key, with copies for repeated or
+               self-referential targets; the ISA superclass (if any)
+               claims copy 0 of its class *)
+            let seen = Hashtbl.create 4 in
+            (match isa_ric with
+            | Some r -> Hashtbl.replace seen (class_name_of r.Schema.to_table) 1
+            | None -> ());
+            let fk_nodes =
+              List.map
+                (fun (r : Schema.ric) ->
+                  let target = class_name_of r.Schema.to_table in
+                  let base = if String.equal target cls then 1 else 0 in
+                  let k = Option.value ~default:base (Hashtbl.find_opt seen target) in
+                  Hashtbl.replace seen target (k + 1);
+                  (r.Schema.ric_name, Stree.nref ~copy:k target))
+                fk_rics
+            in
+            let node_of_ric (r : Schema.ric) =
+              List.assoc r.Schema.ric_name fk_nodes
+            in
+            let fk_map =
+              List.concat_map
+                (fun (r : Schema.ric) ->
+                  List.map2
+                    (fun fc tc -> (fc, r, tc))
+                    r.Schema.from_cols r.Schema.to_cols)
+                fk_rics
+            in
+            let super_parts =
+              match isa_ric with
+              | Some r -> [ (class_name_of r.Schema.to_table, r) ]
+              | None -> []
+            in
+            let nodes =
+              (n cls
+              :: List.map (fun (sup, _) -> n sup) super_parts)
+              @ List.map (fun (r : Schema.ric) -> node_of_ric r) fk_rics
+            in
+            let edges =
+              List.map
+                (fun (sup, _) ->
+                  { Stree.se_src = n cls; se_kind = Stree.SIsa; se_dst = n sup })
+                super_parts
+              @ List.map
+                  (fun (r : Schema.ric) ->
+                    {
+                      Stree.se_src = n cls;
+                      se_kind = Stree.SRel r.Schema.ric_name;
+                      se_dst = node_of_ric r;
+                    })
+                  fk_rics
+            in
+            let cols =
+              List.map
+                (fun c ->
+                  match
+                    List.find_opt (fun (fc, _, _) -> String.equal fc c) fk_map
+                  with
+                  | Some (_, r, tc) -> (c, node_of_ric r, tc)
+                  | None -> (c, n cls, c))
+                (Schema.column_names t)
+            in
+            let ids =
+              (if t.Schema.key <> [] then [ (n cls, t.Schema.key) ] else [])
+              @ (match (isa_ric, t.Schema.key) with
+                | Some r, _ :: _ ->
+                    [ (n (class_name_of r.Schema.to_table), t.Schema.key) ]
+                | _, _ -> [])
+              @ List.map
+                  (fun (r : Schema.ric) -> (node_of_ric r, r.Schema.from_cols))
+                  fk_rics
+            in
+            Stree.make ~table ~anchor:(n cls) ~edges ~cols ~ids nodes
+        | Relationship rics ->
+            let rr = class_name_of table in
+            let seen = Hashtbl.create 4 in
+            let ric_nodes =
+              List.map
+                (fun (r : Schema.ric) ->
+                  let target = class_name_of r.Schema.to_table in
+                  let k = Option.value ~default:0 (Hashtbl.find_opt seen target) in
+                  Hashtbl.replace seen target (k + 1);
+                  (r.Schema.ric_name, Stree.nref ~copy:k target))
+                rics
+            in
+            let node_of_ric (r : Schema.ric) =
+              List.assoc r.Schema.ric_name ric_nodes
+            in
+            let nodes = n rr :: List.map snd ric_nodes in
+            let edges =
+              List.map
+                (fun (r : Schema.ric) ->
+                  {
+                    Stree.se_src = n rr;
+                    se_kind = Stree.SRole r.Schema.ric_name;
+                    se_dst = node_of_ric r;
+                  })
+                rics
+            in
+            let cols =
+              List.map
+                (fun c ->
+                  match
+                    List.find_opt
+                      (fun (r : Schema.ric) -> List.mem c r.Schema.from_cols)
+                      rics
+                  with
+                  | Some r ->
+                      let tc =
+                        List.assoc c
+                          (List.combine r.Schema.from_cols r.Schema.to_cols)
+                      in
+                      (c, node_of_ric r, tc)
+                  | None -> (c, n rr, c))
+                (Schema.column_names t)
+            in
+            let ids =
+              (n rr, t.Schema.key)
+              :: List.map
+                   (fun (r : Schema.ric) -> (node_of_ric r, r.Schema.from_cols))
+                   rics
+            in
+            Stree.make ~table ~anchor:(n rr) ~edges ~cols ~ids nodes)
+      kinds
+  in
+  (cm, strees)

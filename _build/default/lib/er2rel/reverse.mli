@@ -1,0 +1,23 @@
+(** Basic reverse engineering: recover a plausible CM (and the table
+    semantics connecting schema to CM) from a relational schema and its
+    constraints — the "reverse engineered ER model" used for several
+    datasets in the paper's evaluation (DBLP2, Mondial2).
+
+    Heuristics:
+    - a table whose key is exactly the union of ≥ 2 foreign keys is a
+      *relationship table* and becomes a reified relationship whose
+      roles follow the RICs;
+    - a RIC mapping a table's whole key onto another table's key is
+      read as ISA;
+    - any other table is an *entity table*: a class whose attributes
+      are its non-foreign-key columns, keyed by its primary key; its
+      remaining foreign keys become functional binary relationships. *)
+
+val class_name_of : string -> string
+(** Table name → class name ([String.capitalize_ascii]). *)
+
+val recover :
+  Smg_relational.Schema.t ->
+  Smg_cm.Cml.t * Smg_semantics.Stree.t list
+(** @raise Invalid_argument on schemas where a referenced table has no
+    key (identifiers cannot be recovered). *)

@@ -1,0 +1,1 @@
+lib/eval/ablation.ml: Experiments Fmt List Measures Scenario Smg_cm Smg_core Smg_cq Smg_er2rel String

@@ -1,0 +1,1 @@
+lib/eval/ablation.mli: Format Scenario Smg_core

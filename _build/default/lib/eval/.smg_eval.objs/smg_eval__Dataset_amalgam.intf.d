@@ -1,0 +1,1 @@
+lib/eval/dataset_amalgam.mli: Scenario

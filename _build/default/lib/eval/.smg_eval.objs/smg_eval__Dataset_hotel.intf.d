@@ -1,0 +1,1 @@
+lib/eval/dataset_hotel.mli: Scenario

@@ -1,0 +1,1 @@
+lib/eval/dataset_network.ml: Lazy Scenario Smg_cm Smg_core Smg_cq Smg_er2rel

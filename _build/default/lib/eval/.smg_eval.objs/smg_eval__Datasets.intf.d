@@ -1,0 +1,1 @@
+lib/eval/datasets.mli: Scenario

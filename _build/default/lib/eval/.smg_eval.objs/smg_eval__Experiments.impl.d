@@ -1,0 +1,1 @@
+lib/eval/experiments.ml: Fmt List Measures Scenario Smg_cm Smg_core Smg_cq Smg_relational Smg_ric String Unix

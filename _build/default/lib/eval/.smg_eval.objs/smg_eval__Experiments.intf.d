@@ -1,0 +1,1 @@
+lib/eval/experiments.mli: Format Measures Scenario Smg_core Smg_cq

@@ -1,0 +1,1 @@
+lib/eval/measures.ml: List Smg_cq

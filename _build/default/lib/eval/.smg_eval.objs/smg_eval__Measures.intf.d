@@ -1,0 +1,1 @@
+lib/eval/measures.mli: Smg_cq Smg_relational

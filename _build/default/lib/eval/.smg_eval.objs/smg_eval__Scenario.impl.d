@@ -1,0 +1,1 @@
+lib/eval/scenario.ml: List Printf Smg_cm Smg_core Smg_cq Smg_relational

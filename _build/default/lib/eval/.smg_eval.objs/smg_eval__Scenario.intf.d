@@ -1,0 +1,1 @@
+lib/eval/scenario.mli: Smg_cm Smg_core Smg_cq Smg_relational

@@ -1,0 +1,1 @@
+lib/eval/witness.ml: Array Experiments Fmt List Printf Scenario Smg_core Smg_cq Smg_relational

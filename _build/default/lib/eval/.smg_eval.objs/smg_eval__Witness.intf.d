@@ -1,0 +1,1 @@
+lib/eval/witness.mli: Format Scenario Smg_relational

@@ -1,0 +1,336 @@
+module Discover = Smg_core.Discover
+module Mapping = Smg_cq.Mapping
+
+type variant = { v_name : string; v_options : Discover.options }
+
+let base = Experiments.semantic_options
+
+let variants =
+  [
+    { v_name = "full"; v_options = base };
+    { v_name = "no-shapes"; v_options = { base with Discover.use_shapes = false } };
+    {
+      v_name = "no-partof";
+      v_options = { base with Discover.use_partof = false; strict_partof = false };
+    };
+    {
+      v_name = "no-preselection";
+      v_options = { base with Discover.use_preselection = false };
+    };
+    { v_name = "no-lossy"; v_options = { base with Discover.allow_lossy = false } };
+    {
+      v_name = "no-partial";
+      v_options = { base with Discover.include_partial = false };
+    };
+  ]
+
+type row = { r_variant : string; r_precision : float; r_recall : float }
+
+let run_variant scens (v : variant) =
+  let per_domain =
+    List.map
+      (fun (scen : Scenario.t) ->
+        let outcomes =
+          List.map
+            (fun (case : Scenario.case) ->
+              let all =
+                Discover.discover ~options:v.v_options
+                  ~source:scen.Scenario.source ~target:scen.Scenario.target
+                  ~corrs:case.Scenario.corrs ()
+              in
+              let generated =
+                match all with
+                | [] -> []
+                | best :: _ ->
+                    List.filter
+                      (fun m ->
+                        m.Mapping.score
+                        <= best.Mapping.score +. Experiments.presentation_window)
+                      all
+              in
+              let o =
+                Measures.score
+                  ~schemas:
+                    ( scen.Scenario.source.Discover.schema,
+                      scen.Scenario.target.Discover.schema )
+                  ~generated ~benchmark:case.Scenario.benchmark ()
+              in
+              (o.Measures.precision, o.Measures.recall))
+            scen.Scenario.cases
+        in
+        Measures.average outcomes)
+      scens
+  in
+  let p, r = Measures.average per_domain in
+  { r_variant = v.v_name; r_precision = p; r_recall = r }
+
+let run scens = List.map (run_variant scens) variants
+
+let pp ppf rows =
+  Fmt.pf ppf "@[<v>Ablation (macro-averaged over all domains)@,%s@,"
+    (String.make 46 '-');
+  Fmt.pf ppf "%-18s %10s %10s@," "variant" "precision" "recall";
+  List.iter
+    (fun r ->
+      Fmt.pf ppf "%-18s %10.2f %10.2f@," r.r_variant r.r_precision r.r_recall)
+    rows;
+  Fmt.pf ppf "@]"
+
+(* ---- diagnostic micro-scenarios ---------------------------------------- *)
+
+module Cml = Smg_cm.Cml
+module Cardinality = Smg_cm.Cardinality
+module Design = Smg_er2rel.Design
+
+let corr = Mapping.corr_of_strings
+
+(* shapes: source offers a functional f and a many-many M between A and
+   B at equal cost; the target relationship is many-one. *)
+let micro_shapes () =
+  let source_cm =
+    Cml.make ~name:"ms-src"
+      ~binaries:[ Cml.functional "f" ~src:"A" ~dst:"B" ]
+      ~reified:
+        [
+          Cml.reified "m"
+            [ ("ma", "A", Cardinality.many); ("mb", "B", Cardinality.many) ];
+        ]
+      [ Cml.cls ~id:[ "a" ] "A" [ "a" ]; Cml.cls ~id:[ "b" ] "B" [ "b" ] ]
+  in
+  let src_schema, src_strees =
+    Design.design
+      ~config:{ Design.default_config with merge_functional = false }
+      source_cm
+  in
+  let target_cm =
+    Cml.make ~name:"ms-tgt"
+      ~reified:
+        [
+          Cml.reified "n"
+            [
+              ("na", "A2", Cardinality.at_most_one);
+              ("nb", "B2", Cardinality.many);
+            ];
+        ]
+      [ Cml.cls ~id:[ "a2" ] "A2" [ "a2" ]; Cml.cls ~id:[ "b2" ] "B2" [ "b2" ] ]
+  in
+  let tgt_schema, tgt_strees = Design.design target_cm in
+  let bench = Scenario.bench ~source:src_schema ~target:tgt_schema in
+  {
+    Scenario.scen_name = "micro-shapes";
+    source_label = "ms-src";
+    target_label = "ms-tgt";
+    source_cm_label = "ms-src";
+    target_cm_label = "ms-tgt";
+    source = Smg_core.Discover.side ~schema:src_schema ~cm:source_cm src_strees;
+    target = Smg_core.Discover.side ~schema:tgt_schema ~cm:target_cm tgt_strees;
+    cases =
+      [
+        {
+          Scenario.case_name = "functional-wins";
+          corrs = [ corr "a.a" "n.a2"; corr "b.b" "n.b2" ];
+          benchmark =
+            [
+              bench ~name:"functional-wins"
+                ~src:
+                  [
+                    ("a", [ ("a", "v0") ]);
+                    ("f", [ ("a", "v0"); ("b", "v1") ]);
+                    ("b", [ ("b", "v1") ]);
+                  ]
+                ~tgt:[ ("n", [ ("a2", "v0"); ("b2", "v1") ]) ]
+                ~covered:[ ("a.a", "n.a2"); ("b.b", "n.b2") ]
+                ~src_head:[ "v0"; "v1" ] ~tgt_head:[ "v0"; "v1" ] ();
+            ];
+        };
+      ];
+  }
+
+(* preselection: a two-hop connection through the correspondence tables'
+   own s-trees (c1: A→C, c2: C→B) ties against a one-hop shortcut d
+   only because pre-selected edges are (nearly) free. *)
+let micro_preselection () =
+  let source_cm =
+    Cml.make ~name:"mp-src"
+      ~binaries:
+        [
+          Cml.functional "c1" ~src:"A" ~dst:"C";
+          Cml.functional "c2" ~src:"C" ~dst:"B";
+          Cml.functional "d" ~src:"A" ~dst:"B";
+        ]
+      [
+        Cml.cls ~id:[ "a" ] "A" [ "a" ];
+        Cml.cls ~id:[ "b" ] "B" [ "b" ];
+        Cml.cls ~id:[ "c" ] "C" [ "c" ];
+      ]
+  in
+  let src_schema, src_strees =
+    Design.design
+      ~config:{ Design.default_config with merge_functional = false }
+      source_cm
+  in
+  let target_cm =
+    Cml.make ~name:"mp-tgt"
+      ~binaries:[ Cml.functional "r" ~src:"TA" ~dst:"TB" ]
+      [ Cml.cls ~id:[ "ta" ] "TA" [ "ta" ]; Cml.cls ~id:[ "tb" ] "TB" [ "tb" ] ]
+  in
+  let tgt_schema, tgt_strees = Design.design target_cm in
+  let bench = Scenario.bench ~source:src_schema ~target:tgt_schema in
+  {
+    Scenario.scen_name = "micro-preselection";
+    source_label = "mp-src";
+    target_label = "mp-tgt";
+    source_cm_label = "mp-src";
+    target_cm_label = "mp-tgt";
+    source = Smg_core.Discover.side ~schema:src_schema ~cm:source_cm src_strees;
+    target = Smg_core.Discover.side ~schema:tgt_schema ~cm:target_cm tgt_strees;
+    cases =
+      [
+        {
+          Scenario.case_name = "preselected-two-hop";
+          corrs = [ corr "c1.a" "ta.ta"; corr "c2.b" "ta.r_tb" ];
+          benchmark =
+            [
+              bench ~name:"preselected-two-hop"
+                ~src:
+                  [
+                    ("c1", [ ("a", "v0"); ("c", "x") ]);
+                    ("c2", [ ("c", "x"); ("b", "v1") ]);
+                  ]
+                ~tgt:[ ("ta", [ ("ta", "v0"); ("r_tb", "v1") ]) ]
+                ~covered:[ ("c1.a", "ta.ta"); ("c2.b", "ta.r_tb") ]
+                ~src_head:[ "v0"; "v1" ] ~tgt_head:[ "v0"; "v1" ] ();
+            ];
+        };
+      ];
+  }
+
+(* lossy: three marked classes connected A —m(many-many, unreified)— B
+   —f→ C; a ternary target. An unreified many-many edge has no anchor to
+   root a functional tree at, and path search only handles pairs, so
+   covering all three needs the Wald–Sorenson lossy fallback. *)
+let micro_lossy () =
+  let source_cm =
+    Cml.make ~name:"ml-src"
+      ~binaries:
+        [
+          Cml.functional "f" ~src:"B" ~dst:"C";
+          Cml.many_many "m" ~src:"A" ~dst:"B";
+        ]
+      [
+        Cml.cls ~id:[ "a" ] "A" [ "a" ];
+        Cml.cls ~id:[ "b" ] "B" [ "b" ];
+        Cml.cls ~id:[ "c" ] "C" [ "c" ];
+      ]
+  in
+  let src_schema, src_strees = Design.design source_cm in
+  let target_cm =
+    Cml.make ~name:"ml-tgt"
+      ~reified:
+        [
+          Cml.reified "t"
+            [
+              ("t_a", "A2", Cardinality.many);
+              ("t_b", "B2", Cardinality.many);
+              ("t_c", "C2", Cardinality.many);
+            ];
+        ]
+      [
+        Cml.cls ~id:[ "a2" ] "A2" [ "a2" ];
+        Cml.cls ~id:[ "b2" ] "B2" [ "b2" ];
+        Cml.cls ~id:[ "c2" ] "C2" [ "c2" ];
+      ]
+  in
+  let tgt_schema, tgt_strees = Design.design target_cm in
+  let bench = Scenario.bench ~source:src_schema ~target:tgt_schema in
+  {
+    Scenario.scen_name = "micro-lossy";
+    source_label = "ml-src";
+    target_label = "ml-tgt";
+    source_cm_label = "ml-src";
+    target_cm_label = "ml-tgt";
+    source = Smg_core.Discover.side ~schema:src_schema ~cm:source_cm src_strees;
+    target = Smg_core.Discover.side ~schema:tgt_schema ~cm:target_cm tgt_strees;
+    cases =
+      [
+        {
+          Scenario.case_name = "three-way-lossy";
+          corrs =
+            [ corr "a.a" "t.a2"; corr "m.b" "t.b2"; corr "c.c" "t.c2" ];
+          benchmark =
+            [
+              bench ~name:"three-way-lossy"
+                ~src:
+                  [
+                    ("a", [ ("a", "v0") ]);
+                    ("m", [ ("a", "v0"); ("b", "v1") ]);
+                    ("b", [ ("b", "v1"); ("f_c", "v2") ]);
+                    ("c", [ ("c", "v2") ]);
+                  ]
+                ~tgt:[ ("t", [ ("a2", "v0"); ("b2", "v1"); ("c2", "v2") ]) ]
+                ~covered:
+                  [ ("a.a", "t.a2"); ("m.b", "t.b2"); ("c.c", "t.c2") ]
+                ~src_head:[ "v0"; "v1"; "v2" ] ~tgt_head:[ "v0"; "v1"; "v2" ] ();
+            ];
+        };
+      ];
+  }
+
+(* partial coverage: the source CM has no connection at all between A
+   and B (disconnected components) while the target relates them; the
+   expected output is the *split* — one mapping per correspondence. *)
+let micro_partial () =
+  let source_cm =
+    Cml.make ~name:"mq-src"
+      [ Cml.cls ~id:[ "a" ] "A" [ "a" ]; Cml.cls ~id:[ "b" ] "B" [ "b" ] ]
+  in
+  let src_schema, src_strees = Design.design source_cm in
+  let target_cm =
+    Cml.make ~name:"mq-tgt"
+      ~reified:
+        [
+          Cml.reified "t"
+            [ ("t_a", "A2", Cardinality.many); ("t_b", "B2", Cardinality.many) ];
+        ]
+      [ Cml.cls ~id:[ "a2" ] "A2" [ "a2" ]; Cml.cls ~id:[ "b2" ] "B2" [ "b2" ] ]
+  in
+  let tgt_schema, tgt_strees = Design.design target_cm in
+  let bench = Scenario.bench ~source:src_schema ~target:tgt_schema in
+  {
+    Scenario.scen_name = "micro-partial";
+    source_label = "mq-src";
+    target_label = "mq-tgt";
+    source_cm_label = "mq-src";
+    target_cm_label = "mq-tgt";
+    source = Smg_core.Discover.side ~schema:src_schema ~cm:source_cm src_strees;
+    target = Smg_core.Discover.side ~schema:tgt_schema ~cm:target_cm tgt_strees;
+    cases =
+      [
+        {
+          Scenario.case_name = "split-coverage";
+          corrs = [ corr "a.a" "t.a2"; corr "b.b" "t.b2" ];
+          benchmark =
+            [
+              bench ~name:"split-a"
+                ~src:[ ("a", [ ("a", "v0") ]) ]
+                ~tgt:[ ("t", [ ("a2", "v0") ]) ]
+                ~covered:[ ("a.a", "t.a2") ]
+                ~src_head:[ "v0" ] ~tgt_head:[ "v0" ] ();
+              bench ~name:"split-b"
+                ~src:[ ("b", [ ("b", "v0") ]) ]
+                ~tgt:[ ("t", [ ("b2", "v0") ]) ]
+                ~covered:[ ("b.b", "t.b2") ]
+                ~src_head:[ "v0" ] ~tgt_head:[ "v0" ] ();
+            ];
+        };
+      ];
+  }
+
+let micro_scenarios () =
+  let scens =
+    [ micro_shapes (); micro_preselection (); micro_lossy (); micro_partial () ]
+  in
+  List.iter Scenario.validate scens;
+  scens
+
+let run_micro () = run (micro_scenarios ())

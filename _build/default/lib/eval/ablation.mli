@@ -1,0 +1,51 @@
+(** Ablation study over the semantic method's design choices: rerun the
+    full benchmark with individual ingredients of §3 disabled and report
+    how precision/recall move. The ingredients are exactly the ones
+    DESIGN.md calls out:
+
+    - [no-shapes]: drop the cardinality-compatibility filter (§3.2 (i))
+    - [no-partof]: ignore the partOf semantic category (Example 1.3)
+    - [no-preselection]: pre-selected s-tree edges cost like any other
+      edge (§3.2 (ii), Case A.1's "do not contribute to the cost")
+    - [no-lossy]: never traverse non-functional edges in tree search
+      (disables the Wald–Sorenson fallback *and* keeps path search)
+    - [no-partial]: no correspondence splitting on partial coverage *)
+
+type variant = {
+  v_name : string;
+  v_options : Smg_core.Discover.options;
+}
+
+val variants : variant list
+(** The full configuration first, then one variant per disabled
+    ingredient. *)
+
+type row = {
+  r_variant : string;
+  r_precision : float;  (** macro-average over domains *)
+  r_recall : float;
+}
+
+val run : Scenario.t list -> row list
+
+val micro_scenarios : unit -> Scenario.t list
+(** Diagnostic micro-benchmarks that isolate single ingredients (the
+    main datasets resolve most ambiguity through Case A.1 anchoring):
+
+    - [micro-shapes]: a functional and a many-many connection tie in
+      cost; only the cardinality filter rejects pairing the many-many
+      one with a many-one target.
+    - [micro-preselection]: a two-hop connection through pre-selected
+      s-tree edges vs a one-hop shortcut outside them; preference for
+      pre-selected edges picks the former.
+    - [micro-lossy]: three marked nodes connected only through an
+      unreified non-functional edge; covering all three needs the
+      Wald–Sorenson lossy fallback.
+    - [micro-partial]: the source CM does not connect the marked nodes
+      at all; correspondence splitting must emit one mapping per
+      component. *)
+
+val run_micro : unit -> row list
+(** The ablation variants over {!micro_scenarios}. *)
+
+val pp : Format.formatter -> row list -> unit

@@ -1,0 +1,462 @@
+module Schema = Smg_relational.Schema
+module Cml = Smg_cm.Cml
+module Cardinality = Smg_cm.Cardinality
+module Stree = Smg_semantics.Stree
+module Design = Smg_er2rel.Design
+module Discover = Smg_core.Discover
+
+let n = Stree.nref
+
+(* ---- Amalgam1: contributor hierarchy split over tables, keyed by name *)
+
+let amalgam1_cm =
+  Cml.make ~name:"amalgam1"
+    ~isas:
+      [
+        { Cml.sub = "Writer"; super = "Contributor" };
+        { Cml.sub = "Reviewer"; super = "Contributor" };
+        { Cml.sub = "Editor"; super = "Contributor" };
+        { Cml.sub = "Article"; super = "Publication" };
+        { Cml.sub = "Monograph"; super = "Publication" };
+        { Cml.sub = "Thesis"; super = "Publication" };
+        { Cml.sub = "Report"; super = "Publication" };
+        { Cml.sub = "Misc"; super = "Publication" };
+      ]
+    ~covers:[ ("Contributor", [ "Writer"; "Reviewer" ]) ]
+    ~binaries:
+      [
+        Cml.functional "appearedIn" ~src:"Publication" ~dst:"Journal";
+        Cml.functional "presentedAt" ~src:"Publication" ~dst:"Conference";
+        Cml.functional "printedBy" ~src:"Monograph" ~dst:"Publisher";
+      ]
+    ~reified:
+      [
+        Cml.reified "wrote"
+          [
+            ("wrote_by", "Writer", Cardinality.many);
+            ("wrote_work", "Publication", Cardinality.at_least_one);
+          ];
+        Cml.reified ~attrs:[ "grade" ] "reviewed"
+          [
+            ("rev_by", "Reviewer", Cardinality.many);
+            ("rev_work", "Publication", Cardinality.many);
+          ];
+      ]
+    [
+      Cml.cls ~id:[ "name" ] "Contributor" [ "name"; "email" ];
+      Cml.cls "Writer" [ "royalties" ];
+      Cml.cls "Reviewer" [ "expertise" ];
+      Cml.cls ~id:[ "pubid" ] "Publication" [ "pubid"; "title"; "year" ];
+      Cml.cls ~id:[ "jname" ] "Journal" [ "jname" ];
+      Cml.cls "Editor" [];
+      Cml.cls "Article" [ "pages" ];
+      Cml.cls "Monograph" [ "isbn" ];
+      Cml.cls "Thesis" [ "school" ];
+      Cml.cls "Report" [ "instnum" ];
+      Cml.cls "Misc" [ "note" ];
+      Cml.cls ~id:[ "confname" ] "Conference" [ "confname" ];
+      Cml.cls ~id:[ "pubhouse" ] "Publisher" [ "pubhouse" ];
+    ]
+
+let amalgam1 = lazy (Design.design amalgam1_cm)
+
+(* ---- Amalgam2: one flat person table, keyed by an internal cid ---- *)
+
+let amalgam2_cm =
+  Cml.make ~name:"amalgam2"
+    ~isas:
+      [
+        { Cml.sub = "Writer"; super = "Contributor" };
+        { Cml.sub = "Reviewer"; super = "Contributor" };
+        { Cml.sub = "Article"; super = "Publication" };
+        { Cml.sub = "Monograph"; super = "Publication" };
+        { Cml.sub = "Thesis"; super = "Publication" };
+        { Cml.sub = "Report"; super = "Publication" };
+      ]
+    ~covers:[ ("Contributor", [ "Writer"; "Reviewer" ]) ]
+    ~binaries:[ Cml.functional "appearedIn" ~src:"Publication" ~dst:"Journal" ]
+    ~reified:
+      [
+        Cml.reified "wrote"
+          [
+            ("wrote_by", "Writer", Cardinality.many);
+            ("wrote_work", "Publication", Cardinality.at_least_one);
+          ];
+        Cml.reified ~attrs:[ "grade" ] "reviewed"
+          [
+            ("rev_by", "Reviewer", Cardinality.many);
+            ("rev_work", "Publication", Cardinality.many);
+          ];
+      ]
+    [
+      Cml.cls ~id:[ "cid" ] "Contributor" [ "cid"; "name"; "email" ];
+      Cml.cls "Writer" [ "royalties" ];
+      Cml.cls "Reviewer" [ "expertise" ];
+      Cml.cls ~id:[ "recid" ] "Publication" [ "recid"; "title"; "year" ];
+      Cml.cls ~id:[ "jname" ] "Journal" [ "jname" ];
+      Cml.cls "Article" [ "pages" ];
+      Cml.cls "Monograph" [ "isbn" ];
+      Cml.cls "Thesis" [ "school" ];
+      Cml.cls "Report" [ "instnum" ];
+    ]
+
+let amalgam2_schema =
+  Schema.make ~name:"amalgam2"
+    [
+      Schema.table ~key:[ "cid" ] "person"
+        [
+          ("cid", Schema.TString);
+          ("name", Schema.TString);
+          ("email", Schema.TString);
+          ("royalties", Schema.TString);
+          ("expertise", Schema.TString);
+        ];
+      Schema.table ~key:[ "recid" ] "pubs"
+        [
+          ("recid", Schema.TString);
+          ("title", Schema.TString);
+          ("year", Schema.TString);
+          ("jname", Schema.TString);
+        ];
+      Schema.table ~key:[ "cid"; "recid" ] "wrote2"
+        [ ("cid", Schema.TString); ("recid", Schema.TString) ];
+      Schema.table ~key:[ "cid"; "recid" ] "reviewed2"
+        [
+          ("cid", Schema.TString);
+          ("recid", Schema.TString);
+          ("grade", Schema.TString);
+        ];
+      Schema.table ~key:[ "recid" ] "article_details"
+        [ ("recid", Schema.TString); ("pages", Schema.TString) ];
+      Schema.table ~key:[ "recid" ] "book_details"
+        [ ("recid", Schema.TString); ("isbn", Schema.TString) ];
+      Schema.table ~key:[ "recid" ] "thesis_details"
+        [ ("recid", Schema.TString); ("school", Schema.TString) ];
+      Schema.table ~key:[ "recid" ] "report_details"
+        [ ("recid", Schema.TString); ("instnum", Schema.TString) ];
+    ]
+    [
+      Schema.ric ~name:"article_isa" ~from_:("article_details", [ "recid" ]) ~to_:("pubs", [ "recid" ]);
+      Schema.ric ~name:"book_isa" ~from_:("book_details", [ "recid" ]) ~to_:("pubs", [ "recid" ]);
+      Schema.ric ~name:"thesis_isa" ~from_:("thesis_details", [ "recid" ]) ~to_:("pubs", [ "recid" ]);
+      Schema.ric ~name:"report_isa" ~from_:("report_details", [ "recid" ]) ~to_:("pubs", [ "recid" ]);
+      Schema.ric ~name:"wrote2_cid" ~from_:("wrote2", [ "cid" ]) ~to_:("person", [ "cid" ]);
+      Schema.ric ~name:"wrote2_recid" ~from_:("wrote2", [ "recid" ]) ~to_:("pubs", [ "recid" ]);
+      Schema.ric ~name:"rev2_cid" ~from_:("reviewed2", [ "cid" ]) ~to_:("person", [ "cid" ]);
+      Schema.ric ~name:"rev2_recid" ~from_:("reviewed2", [ "recid" ]) ~to_:("pubs", [ "recid" ]);
+    ]
+
+(* hand-authored s-trees: person merges the whole hierarchy (Example
+   1.2's target side), the rest mirror the CM directly *)
+let amalgam2_strees =
+  [
+    Stree.make ~table:"person" ~anchor:(n "Contributor")
+      ~edges:
+        [
+          { Stree.se_src = n "Writer"; se_kind = Stree.SIsa; se_dst = n "Contributor" };
+          { Stree.se_src = n "Reviewer"; se_kind = Stree.SIsa; se_dst = n "Contributor" };
+        ]
+      ~cols:
+        [
+          ("cid", n "Contributor", "cid");
+          ("name", n "Contributor", "name");
+          ("email", n "Contributor", "email");
+          ("royalties", n "Writer", "royalties");
+          ("expertise", n "Reviewer", "expertise");
+        ]
+      ~ids:[ (n "Contributor", [ "cid" ]) ]
+      [ n "Contributor"; n "Writer"; n "Reviewer" ];
+    Stree.make ~table:"pubs" ~anchor:(n "Publication")
+      ~edges:
+        [
+          {
+            Stree.se_src = n "Publication";
+            se_kind = Stree.SRel "appearedIn";
+            se_dst = n "Journal";
+          };
+        ]
+      ~cols:
+        [
+          ("recid", n "Publication", "recid");
+          ("title", n "Publication", "title");
+          ("year", n "Publication", "year");
+          ("jname", n "Journal", "jname");
+        ]
+      ~ids:[ (n "Publication", [ "recid" ]); (n "Journal", [ "jname" ]) ]
+      [ n "Publication"; n "Journal" ];
+    Stree.make ~table:"wrote2" ~anchor:(n "wrote")
+      ~edges:
+        [
+          { Stree.se_src = n "wrote"; se_kind = Stree.SRole "wrote_by"; se_dst = n "Writer" };
+          { Stree.se_src = n "wrote"; se_kind = Stree.SRole "wrote_work"; se_dst = n "Publication" };
+        ]
+      ~cols:
+        [ ("cid", n "Writer", "cid"); ("recid", n "Publication", "recid") ]
+      ~ids:
+        [
+          (n "Writer", [ "cid" ]);
+          (n "Publication", [ "recid" ]);
+          (n "wrote", [ "cid"; "recid" ]);
+        ]
+      [ n "wrote"; n "Writer"; n "Publication" ];
+    Stree.make ~table:"reviewed2" ~anchor:(n "reviewed")
+      ~edges:
+        [
+          { Stree.se_src = n "reviewed"; se_kind = Stree.SRole "rev_by"; se_dst = n "Reviewer" };
+          { Stree.se_src = n "reviewed"; se_kind = Stree.SRole "rev_work"; se_dst = n "Publication" };
+        ]
+      ~cols:
+        [
+          ("cid", n "Reviewer", "cid");
+          ("recid", n "Publication", "recid");
+          ("grade", n "reviewed", "grade");
+        ]
+      ~ids:
+        [
+          (n "Reviewer", [ "cid" ]);
+          (n "Publication", [ "recid" ]);
+          (n "reviewed", [ "cid"; "recid" ]);
+        ]
+      [ n "reviewed"; n "Reviewer"; n "Publication" ];
+    Stree.make ~table:"article_details" ~anchor:(n "Article")
+      ~edges:[ { Stree.se_src = n "Article"; se_kind = Stree.SIsa; se_dst = n "Publication" } ]
+      ~cols:[ ("recid", n "Article", "recid"); ("pages", n "Article", "pages") ]
+      ~ids:[ (n "Article", [ "recid" ]) ]
+      [ n "Article"; n "Publication" ];
+    Stree.make ~table:"book_details" ~anchor:(n "Monograph")
+      ~edges:[ { Stree.se_src = n "Monograph"; se_kind = Stree.SIsa; se_dst = n "Publication" } ]
+      ~cols:[ ("recid", n "Monograph", "recid"); ("isbn", n "Monograph", "isbn") ]
+      ~ids:[ (n "Monograph", [ "recid" ]) ]
+      [ n "Monograph"; n "Publication" ];
+    Stree.make ~table:"thesis_details" ~anchor:(n "Thesis")
+      ~edges:[ { Stree.se_src = n "Thesis"; se_kind = Stree.SIsa; se_dst = n "Publication" } ]
+      ~cols:[ ("recid", n "Thesis", "recid"); ("school", n "Thesis", "school") ]
+      ~ids:[ (n "Thesis", [ "recid" ]) ]
+      [ n "Thesis"; n "Publication" ];
+    Stree.make ~table:"report_details" ~anchor:(n "Report")
+      ~edges:[ { Stree.se_src = n "Report"; se_kind = Stree.SIsa; se_dst = n "Publication" } ]
+      ~cols:[ ("recid", n "Report", "recid"); ("instnum", n "Report", "instnum") ]
+      ~ids:[ (n "Report", [ "recid" ]) ]
+      [ n "Report"; n "Publication" ];
+  ]
+
+let scenario () =
+  let src_schema, src_strees = Lazy.force amalgam1 in
+  let source = Discover.side ~schema:src_schema ~cm:amalgam1_cm src_strees in
+  let target =
+    Discover.side ~schema:amalgam2_schema ~cm:amalgam2_cm amalgam2_strees
+  in
+  let bench = Scenario.bench ~source:src_schema ~target:amalgam2_schema in
+  let corr = Smg_cq.Mapping.corr_of_strings in
+  let cases =
+    [
+      {
+        Scenario.case_name = "hierarchy-merge";
+        corrs =
+          [
+            corr "contributor.name" "person.name";
+            corr "writer.royalties" "person.royalties";
+            corr "reviewer.expertise" "person.expertise";
+          ];
+        benchmark =
+          [
+            bench ~name:"hierarchy-merge" ~outer:true
+              ~src:
+                [
+                  ("contributor", [ ("name", "p"); ("email", "e") ]);
+                  ("writer", [ ("name", "p"); ("royalties", "v1") ]);
+                  ("reviewer", [ ("name", "p"); ("expertise", "v2") ]);
+                ]
+              ~tgt:
+                [
+                  ( "person",
+                    [ ("name", "p"); ("royalties", "v1"); ("expertise", "v2") ]
+                  );
+                ]
+              ~covered:
+                [
+                  ("contributor.name", "person.name");
+                  ("writer.royalties", "person.royalties");
+                  ("reviewer.expertise", "person.expertise");
+                ]
+              ~src_head:[ "p"; "v1"; "v2" ] ~tgt_head:[ "p"; "v1"; "v2" ] ();
+          ];
+      };
+      {
+        Scenario.case_name = "writer-royalties";
+        corrs =
+          [
+            corr "contributor.name" "person.name";
+            corr "writer.royalties" "person.royalties";
+          ];
+        benchmark =
+          [
+            bench ~name:"writer-royalties"
+              ~src:
+                [
+                  ("contributor", [ ("name", "p") ]);
+                  ("writer", [ ("name", "p"); ("royalties", "v1") ]);
+                ]
+              ~tgt:[ ("person", [ ("name", "p"); ("royalties", "v1") ]) ]
+              ~covered:
+                [
+                  ("contributor.name", "person.name");
+                  ("writer.royalties", "person.royalties");
+                ]
+              ~src_head:[ "p"; "v1" ] ~tgt_head:[ "p"; "v1" ] ();
+          ];
+      };
+      {
+        Scenario.case_name = "wrote-title";
+        corrs =
+          [
+            corr "contributor.name" "person.name";
+            corr "publication.title" "pubs.title";
+          ];
+        benchmark =
+          [
+            bench ~name:"wrote-title"
+              ~src:
+                [
+                  ("contributor", [ ("name", "v0") ]);
+                  ("wrote", [ ("name", "v0"); ("pubid", "w") ]);
+                  ("publication", [ ("pubid", "w"); ("title", "v1") ]);
+                ]
+              ~tgt:
+                [
+                  ("person", [ ("cid", "c"); ("name", "v0") ]);
+                  ("wrote2", [ ("cid", "c"); ("recid", "w") ]);
+                  ("pubs", [ ("recid", "w"); ("title", "v1") ]);
+                ]
+              ~covered:
+                [
+                  ("contributor.name", "person.name");
+                  ("publication.title", "pubs.title");
+                ]
+              ~src_head:[ "v0"; "v1" ] ~tgt_head:[ "v0"; "v1" ] ();
+          ];
+      };
+      {
+        Scenario.case_name = "review-grade";
+        corrs =
+          [
+            corr "contributor.name" "person.name";
+            corr "reviewed.grade" "reviewed2.grade";
+          ];
+        benchmark =
+          [
+            bench ~name:"review-grade"
+              ~src:
+                [
+                  ("contributor", [ ("name", "v0") ]);
+                  ("reviewed", [ ("name", "v0"); ("grade", "v1") ]);
+                ]
+              ~tgt:
+                [
+                  ("person", [ ("cid", "c"); ("name", "v0") ]);
+                  ("reviewed2", [ ("cid", "c"); ("grade", "v1") ]);
+                ]
+              ~covered:
+                [
+                  ("contributor.name", "person.name");
+                  ("reviewed.grade", "reviewed2.grade");
+                ]
+              ~src_head:[ "v0"; "v1" ] ~tgt_head:[ "v0"; "v1" ] ();
+          ];
+      };
+      {
+        Scenario.case_name = "journal-of-publication";
+        corrs =
+          [
+            corr "publication.title" "pubs.title";
+            corr "journal.jname" "pubs.jname";
+          ];
+        benchmark =
+          [
+            bench ~name:"journal-of-publication"
+              ~src:
+                [
+                  ( "publication",
+                    [ ("title", "v0"); ("appearedIn_jname", "v1") ] );
+                  ("journal", [ ("jname", "v1") ]);
+                ]
+              ~tgt:[ ("pubs", [ ("title", "v0"); ("jname", "v1") ]) ]
+              ~covered:
+                [
+                  ("publication.title", "pubs.title");
+                  ("journal.jname", "pubs.jname");
+                ]
+              ~src_head:[ "v0"; "v1" ] ~tgt_head:[ "v0"; "v1" ] ();
+          ];
+      };
+      {
+        Scenario.case_name = "rootless-merge";
+        corrs =
+          [
+            corr "writer.royalties" "person.royalties";
+            corr "reviewer.expertise" "person.expertise";
+          ];
+        benchmark =
+          [
+            bench ~name:"rootless-merge" ~outer:true
+              ~src:
+                [
+                  ("writer", [ ("name", "p"); ("royalties", "v1") ]);
+                  ("reviewer", [ ("name", "p"); ("expertise", "v2") ]);
+                ]
+              ~tgt:
+                [ ("person", [ ("royalties", "v1"); ("expertise", "v2") ]) ]
+              ~covered:
+                [
+                  ("writer.royalties", "person.royalties");
+                  ("reviewer.expertise", "person.expertise");
+                ]
+              ~src_head:[ "v1"; "v2" ] ~tgt_head:[ "v1"; "v2" ] ();
+          ];
+      };
+      {
+        Scenario.case_name = "email-and-year";
+        corrs =
+          [
+            corr "contributor.email" "person.email";
+            corr "publication.year" "pubs.year";
+          ];
+        benchmark =
+          [
+            bench ~name:"email-and-year"
+              ~src:
+                [
+                  ("contributor", [ ("name", "p"); ("email", "v0") ]);
+                  ("wrote", [ ("name", "p"); ("pubid", "w") ]);
+                  ("publication", [ ("pubid", "w"); ("year", "v1") ]);
+                ]
+              ~tgt:
+                [
+                  ("person", [ ("cid", "c"); ("email", "v0") ]);
+                  ("wrote2", [ ("cid", "c"); ("recid", "w") ]);
+                  ("pubs", [ ("recid", "w"); ("year", "v1") ]);
+                ]
+              ~covered:
+                [
+                  ("contributor.email", "person.email");
+                  ("publication.year", "pubs.year");
+                ]
+              ~src_head:[ "v0"; "v1" ] ~tgt_head:[ "v0"; "v1" ] ();
+          ];
+      };
+    ]
+  in
+  let scen =
+    {
+      Scenario.scen_name = "Amalgam";
+      source_label = "Amalgam1";
+      target_label = "Amalgam2";
+      source_cm_label = "amalgam1 ER";
+      target_cm_label = "amalgam2 ER";
+      source;
+      target;
+      cases;
+    }
+  in
+  Scenario.validate scen;
+  scen

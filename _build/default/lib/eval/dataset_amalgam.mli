@@ -1,0 +1,7 @@
+(** Amalgam bibliography domain (Table 1 rows Amalgam1/Amalgam2):
+    student-designed schema pair where the two sides encode the same ISA
+    hierarchies differently and identify people by different keys — the
+    Example 1.2 situations where the paper's semantic technique "fared
+    best". Seven benchmark cases. *)
+
+val scenario : unit -> Scenario.t

@@ -1,0 +1,378 @@
+module Schema = Smg_relational.Schema
+module Cml = Smg_cm.Cml
+module Cardinality = Smg_cm.Cardinality
+module Design = Smg_er2rel.Design
+module Reverse = Smg_er2rel.Reverse
+module Discover = Smg_core.Discover
+
+(* ---- DBLP1: Bibliographic ontology, er2rel-designed ---- *)
+
+let biblio_cm =
+  Cml.make ~name:"Bibliographic"
+    ~isas:
+      [
+        { Cml.sub = "Author"; super = "Person" };
+        { Cml.sub = "Editor"; super = "Person" };
+        { Cml.sub = "Article"; super = "Publication" };
+        { Cml.sub = "InProceedings"; super = "Publication" };
+        { Cml.sub = "Book"; super = "Publication" };
+        { Cml.sub = "Chapter"; super = "Publication" };
+        { Cml.sub = "TechReport"; super = "Publication" };
+        { Cml.sub = "Thesis"; super = "Publication" };
+        { Cml.sub = "University"; super = "Organization" };
+        { Cml.sub = "Company"; super = "Organization" };
+        { Cml.sub = "Translator"; super = "Person" };
+      ]
+    ~covers:[ ("Publication", [ "Article"; "InProceedings"; "Book"; "Chapter"; "TechReport"; "Thesis" ]) ]
+    ~disjointness:[ [ "Article"; "InProceedings"; "Book" ] ]
+    ~binaries:
+      [
+        Cml.functional "publishedIn" ~src:"Article" ~dst:"Journal";
+        Cml.functional ~total:true "presentedAt" ~src:"InProceedings" ~dst:"Proceedings";
+        Cml.functional ~total:true "procOf" ~src:"Proceedings" ~dst:"Conference";
+        Cml.functional "publishedBy" ~src:"Book" ~dst:"Publisher";
+        Cml.functional "inSeries" ~src:"Proceedings" ~dst:"Series";
+        Cml.functional "affiliatedWith" ~src:"Person" ~dst:"Organization";
+        Cml.functional ~kind:Cml.PartOf ~total:true "chapterOf" ~src:"Chapter" ~dst:"Book";
+        Cml.functional "thesisAt" ~src:"Thesis" ~dst:"University";
+      ]
+    ~reified:
+      [
+        Cml.reified "authorOf"
+          [
+            ("author", "Author", Cardinality.many);
+            ("work", "Publication", Cardinality.at_least_one);
+          ];
+        Cml.reified "editorOf"
+          [
+            ("editor", "Editor", Cardinality.many);
+            ("volume", "Proceedings", Cardinality.many);
+          ];
+        Cml.reified "cites"
+          [
+            ("citing", "Publication", Cardinality.many);
+            ("cited", "Publication", Cardinality.many);
+          ];
+      ]
+    [
+      Cml.cls ~id:[ "pid" ] "Person" [ "pid"; "name" ];
+      Cml.cls "Author" [];
+      Cml.cls "Editor" [];
+      Cml.cls ~id:[ "pubid" ] "Publication" [ "pubid"; "title"; "year" ];
+      Cml.cls "Article" [ "pages" ];
+      Cml.cls "InProceedings" [];
+      Cml.cls "Book" [ "isbn" ];
+      Cml.cls "Chapter" [];
+      Cml.cls "TechReport" [ "number" ];
+      Cml.cls "Thesis" [];
+      Cml.cls ~id:[ "jid" ] "Journal" [ "jid"; "jname" ];
+      Cml.cls ~id:[ "procid" ] "Proceedings" [ "procid"; "ptitle" ];
+      Cml.cls ~id:[ "confid" ] "Conference" [ "confid"; "cname" ];
+      Cml.cls ~id:[ "pubname" ] "Publisher" [ "pubname" ];
+      Cml.cls ~id:[ "sname" ] "Series" [ "sname" ];
+      Cml.cls ~id:[ "oname" ] "Organization" [ "oname" ];
+      Cml.cls "University" [];
+      Cml.cls "Company" [];
+      Cml.cls "Translator" [];
+    ]
+
+(* The Bibliographic ontology proper is much larger than the DBLP1
+   schema (the paper reports 75 CM nodes for 22 tables): extend the
+   design fragment with ontology concepts that have no tables. Each
+   extra attaches to the core at a single point, so no new connections
+   between core concepts arise. *)
+let biblio_full =
+  Cml.make ~name:"Bibliographic"
+    ~isas:
+      (biblio_cm.Cml.isas
+      @ [
+          { Cml.sub = "Magazine"; super = "Periodical" };
+          { Cml.sub = "Newsletter"; super = "Periodical" };
+          { Cml.sub = "Booklet"; super = "Misc" };
+          { Cml.sub = "Manual"; super = "Misc" };
+          { Cml.sub = "MastersThesis"; super = "Thesis" };
+          { Cml.sub = "PhdThesis"; super = "Thesis" };
+          { Cml.sub = "Lecture"; super = "Event" };
+          { Cml.sub = "Tutorial"; super = "Event" };
+          { Cml.sub = "Symposium"; super = "Event" };
+        ])
+    ~covers:biblio_cm.Cml.covers
+    ~disjointness:biblio_cm.Cml.disjointness
+    ~binaries:
+      (biblio_cm.Cml.binaries
+      @ [
+          Cml.functional "aboutTopic" ~src:"Publication" ~dst:"Topic";
+          Cml.functional "broaderTopic" ~src:"Topic" ~dst:"Topic";
+          Cml.functional "wonBy" ~src:"Award" ~dst:"Person";
+          Cml.functional "groupAt" ~src:"ResearchGroup" ~dst:"Organization";
+          Cml.functional "heldWith" ~src:"Event" ~dst:"Conference";
+          Cml.functional "keywordOf" ~src:"Keyword" ~dst:"Topic";
+          Cml.functional "fundedBy" ~src:"Project" ~dst:"Organization";
+          Cml.functional "periodicalBy" ~src:"Periodical" ~dst:"Publisher";
+        ])
+    ~reified:biblio_cm.Cml.reified
+    (biblio_cm.Cml.classes
+    @ [
+        Cml.cls ~id:[ "tname" ] "Topic" [ "tname" ];
+        Cml.cls ~id:[ "kw" ] "Keyword" [ "kw" ];
+        Cml.cls ~id:[ "awname" ] "Award" [ "awname" ];
+        Cml.cls ~id:[ "rgname" ] "ResearchGroup" [ "rgname" ];
+        Cml.cls ~id:[ "projname" ] "Project" [ "projname" ];
+        Cml.cls ~id:[ "evname" ] "Event" [ "evname" ];
+        Cml.cls ~id:[ "pername" ] "Periodical" [ "pername" ];
+        Cml.cls "Magazine" [];
+        Cml.cls "Newsletter" [];
+        Cml.cls ~id:[ "mname" ] "Misc" [ "mname" ];
+        Cml.cls "Booklet" [];
+        Cml.cls "Manual" [];
+        Cml.cls "MastersThesis" [];
+        Cml.cls "PhdThesis" [];
+        Cml.cls "Lecture" [];
+        Cml.cls "Tutorial" [];
+        Cml.cls "Symposium" [];
+      ])
+
+let dblp1 = lazy (Design.design biblio_cm)
+
+(* ---- DBLP2: coarse hand-written schema, reverse-engineered CM ---- *)
+
+let dblp2_schema =
+  Schema.make ~name:"dblp2"
+    [
+      Schema.table ~key:[ "pubid" ] "pubs"
+        [
+          ("pubid", Schema.TString);
+          ("title", Schema.TString);
+          ("year", Schema.TString);
+          ("jid", Schema.TString);
+        ];
+      Schema.table ~key:[ "aid" ] "authors"
+        [ ("aid", Schema.TString); ("name", Schema.TString) ];
+      Schema.table ~key:[ "aid"; "pubid" ] "wrote"
+        [ ("aid", Schema.TString); ("pubid", Schema.TString) ];
+      Schema.table ~key:[ "citing"; "cited" ] "cite"
+        [ ("citing", Schema.TString); ("cited", Schema.TString) ];
+      Schema.table ~key:[ "jid" ] "journals"
+        [ ("jid", Schema.TString); ("jname", Schema.TString) ];
+      Schema.table ~key:[ "cid" ] "confs"
+        [ ("cid", Schema.TString); ("cname", Schema.TString) ];
+      Schema.table ~key:[ "pubid"; "cid" ] "inconf"
+        [ ("pubid", Schema.TString); ("cid", Schema.TString) ];
+      Schema.table ~key:[ "pname" ] "publishers" [ ("pname", Schema.TString) ];
+      Schema.table ~key:[ "pubid"; "pname" ] "pubby"
+        [ ("pubid", Schema.TString); ("pname", Schema.TString) ];
+    ]
+    [
+      Schema.ric ~name:"pubs_jid" ~from_:("pubs", [ "jid" ]) ~to_:("journals", [ "jid" ]);
+      Schema.ric ~name:"wrote_aid" ~from_:("wrote", [ "aid" ]) ~to_:("authors", [ "aid" ]);
+      Schema.ric ~name:"wrote_pub" ~from_:("wrote", [ "pubid" ]) ~to_:("pubs", [ "pubid" ]);
+      Schema.ric ~name:"cite_citing" ~from_:("cite", [ "citing" ]) ~to_:("pubs", [ "pubid" ]);
+      Schema.ric ~name:"cite_cited" ~from_:("cite", [ "cited" ]) ~to_:("pubs", [ "pubid" ]);
+      Schema.ric ~name:"inconf_pub" ~from_:("inconf", [ "pubid" ]) ~to_:("pubs", [ "pubid" ]);
+      Schema.ric ~name:"inconf_cid" ~from_:("inconf", [ "cid" ]) ~to_:("confs", [ "cid" ]);
+      Schema.ric ~name:"pubby_pub" ~from_:("pubby", [ "pubid" ]) ~to_:("pubs", [ "pubid" ]);
+      Schema.ric ~name:"pubby_pname" ~from_:("pubby", [ "pname" ]) ~to_:("publishers", [ "pname" ]);
+    ]
+
+let dblp2 = lazy (Reverse.recover dblp2_schema)
+
+(* ---- cases ---- *)
+
+let scenario () =
+  let src_schema, src_strees = Lazy.force dblp1 in
+  let tgt_cm, tgt_strees = Lazy.force dblp2 in
+  let source = Discover.side ~schema:src_schema ~cm:biblio_full src_strees in
+  let target = Discover.side ~schema:dblp2_schema ~cm:tgt_cm tgt_strees in
+  let bench = Scenario.bench ~source:src_schema ~target:dblp2_schema in
+  let author_pub_src hv =
+    [
+      ("person", [ ("pid", "p"); ("name", "vn") ]);
+      ("authorof", [ ("pid", "p"); ("pubid", "w") ]);
+      ("publication", [ ("pubid", "w"); (hv, "vx") ]);
+    ]
+  in
+  let author_pub_tgt hv =
+    [
+      ("authors", [ ("aid", "a"); ("name", "vn") ]);
+      ("wrote", [ ("aid", "a"); ("pubid", "w") ]);
+      ("pubs", [ ("pubid", "w"); (hv, "vx") ]);
+    ]
+  in
+  let cases =
+    [
+      {
+        Scenario.case_name = "author-of-title";
+        corrs =
+          [
+            Smg_cq.Mapping.corr_of_strings "person.name" "authors.name";
+            Smg_cq.Mapping.corr_of_strings "publication.title" "pubs.title";
+          ];
+        benchmark =
+          [
+            bench ~name:"author-of-title" ~src:(author_pub_src "title")
+              ~tgt:(author_pub_tgt "title")
+              ~covered:
+                [
+                  ("person.name", "authors.name");
+                  ("publication.title", "pubs.title");
+                ]
+              ~src_head:[ "vn"; "vx" ] ~tgt_head:[ "vn"; "vx" ] ();
+          ];
+      };
+      {
+        Scenario.case_name = "author-of-year";
+        corrs =
+          [
+            Smg_cq.Mapping.corr_of_strings "person.name" "authors.name";
+            Smg_cq.Mapping.corr_of_strings "publication.year" "pubs.year";
+          ];
+        benchmark =
+          [
+            bench ~name:"author-of-year" ~src:(author_pub_src "year")
+              ~tgt:(author_pub_tgt "year")
+              ~covered:
+                [
+                  ("person.name", "authors.name");
+                  ("publication.year", "pubs.year");
+                ]
+              ~src_head:[ "vn"; "vx" ] ~tgt_head:[ "vn"; "vx" ] ();
+          ];
+      };
+      {
+        Scenario.case_name = "article-journal";
+        corrs =
+          [
+            Smg_cq.Mapping.corr_of_strings "publication.title" "pubs.title";
+            Smg_cq.Mapping.corr_of_strings "journal.jname" "journals.jname";
+          ];
+        benchmark =
+          [
+            bench ~name:"article-journal"
+              ~src:
+                [
+                  ("publication", [ ("pubid", "p"); ("title", "v0") ]);
+                  ("article", [ ("pubid", "p"); ("publishedIn_jid", "j") ]);
+                  ("journal", [ ("jid", "j"); ("jname", "v1") ]);
+                ]
+              ~tgt:
+                [
+                  ("pubs", [ ("title", "v0"); ("jid", "j") ]);
+                  ("journals", [ ("jid", "j"); ("jname", "v1") ]);
+                ]
+              ~covered:
+                [
+                  ("publication.title", "pubs.title");
+                  ("journal.jname", "journals.jname");
+                ]
+              ~src_head:[ "v0"; "v1" ] ~tgt_head:[ "v0"; "v1" ] ();
+          ];
+      };
+      {
+        Scenario.case_name = "inproceedings-conference";
+        corrs =
+          [
+            Smg_cq.Mapping.corr_of_strings "publication.title" "pubs.title";
+            Smg_cq.Mapping.corr_of_strings "conference.cname" "confs.cname";
+          ];
+        benchmark =
+          [
+            bench ~name:"inproceedings-conference"
+              ~src:
+                [
+                  ("publication", [ ("pubid", "p"); ("title", "v0") ]);
+                  ("inproceedings", [ ("pubid", "p"); ("presentedAt_procid", "pr") ]);
+                  ("proceedings", [ ("procid", "pr"); ("procOf_confid", "c") ]);
+                  ("conference", [ ("confid", "c"); ("cname", "v1") ]);
+                ]
+              ~tgt:
+                [
+                  ("pubs", [ ("pubid", "p"); ("title", "v0") ]);
+                  ("inconf", [ ("pubid", "p"); ("cid", "c") ]);
+                  ("confs", [ ("cid", "c"); ("cname", "v1") ]);
+                ]
+              ~covered:
+                [
+                  ("publication.title", "pubs.title");
+                  ("conference.cname", "confs.cname");
+                ]
+              ~src_head:[ "v0"; "v1" ] ~tgt_head:[ "v0"; "v1" ] ();
+          ];
+      };
+      {
+        Scenario.case_name = "book-publisher";
+        corrs =
+          [
+            Smg_cq.Mapping.corr_of_strings "publication.title" "pubs.title";
+            Smg_cq.Mapping.corr_of_strings "publisher.pubname" "publishers.pname";
+          ];
+        benchmark =
+          [
+            bench ~name:"book-publisher"
+              ~src:
+                [
+                  ("publication", [ ("pubid", "p"); ("title", "v0") ]);
+                  ("book", [ ("pubid", "p"); ("publishedBy_pubname", "pb") ]);
+                  ("publisher", [ ("pubname", "pb") ]);
+                ]
+              ~tgt:
+                [
+                  ("pubs", [ ("pubid", "p"); ("title", "v0") ]);
+                  ("pubby", [ ("pubid", "p"); ("pname", "pb") ]);
+                  ("publishers", [ ("pname", "pb") ]);
+                ]
+              ~covered:
+                [
+                  ("publication.title", "pubs.title");
+                  ("publisher.pubname", "publishers.pname");
+                ]
+              ~src_head:[ "v0"; "pb" ] ~tgt_head:[ "v0"; "pb" ] ();
+          ];
+      };
+      {
+        Scenario.case_name = "author-journal";
+        corrs =
+          [
+            Smg_cq.Mapping.corr_of_strings "person.name" "authors.name";
+            Smg_cq.Mapping.corr_of_strings "journal.jname" "journals.jname";
+          ];
+        benchmark =
+          [
+            bench ~name:"author-journal"
+              ~src:
+                [
+                  ("person", [ ("pid", "a"); ("name", "v0") ]);
+                  ("authorof", [ ("pid", "a"); ("pubid", "p") ]);
+                  ("article", [ ("pubid", "p"); ("publishedIn_jid", "j") ]);
+                  ("journal", [ ("jid", "j"); ("jname", "v1") ]);
+                ]
+              ~tgt:
+                [
+                  ("authors", [ ("aid", "a"); ("name", "v0") ]);
+                  ("wrote", [ ("aid", "a"); ("pubid", "p") ]);
+                  ("pubs", [ ("pubid", "p"); ("jid", "j") ]);
+                  ("journals", [ ("jid", "j"); ("jname", "v1") ]);
+                ]
+              ~covered:
+                [
+                  ("person.name", "authors.name");
+                  ("journal.jname", "journals.jname");
+                ]
+              ~src_head:[ "v0"; "v1" ] ~tgt_head:[ "v0"; "v1" ] ();
+          ];
+      };
+    ]
+  in
+  let scen =
+    {
+      Scenario.scen_name = "DBLP";
+      source_label = "DBLP1";
+      target_label = "DBLP2";
+      source_cm_label = "Bibliographic";
+      target_cm_label = "DBLP2 ER (rev.)";
+      source;
+      target;
+      cases;
+    }
+  in
+  Scenario.validate scen;
+  scen

@@ -1,0 +1,9 @@
+(** DBLP bibliography domain (Table 1 rows DBLP1/DBLP2).
+
+    DBLP1 is a fine-grained schema forward-engineered (er2rel) from a
+    Bibliographic-style ontology with publication-type ISA hierarchies
+    and reified authorship/citation; DBLP2 is a coarse hand-written
+    9-table schema whose CM is *reverse engineered* from its
+    constraints, exactly as in the paper. Six benchmark mapping cases. *)
+
+val scenario : unit -> Scenario.t

@@ -1,0 +1,252 @@
+module Cml = Smg_cm.Cml
+module Cardinality = Smg_cm.Cardinality
+module Design = Smg_er2rel.Design
+module Discover = Smg_core.Discover
+
+(* ---- HotelA ontology ---- *)
+
+let hotela_cm =
+  Cml.make ~name:"hotelA"
+    ~binaries:
+      [
+        Cml.rel ~kind:Cml.PartOf "roomOf" ~src:"Room" ~dst:"Hotel"
+          ~card:(Cardinality.exactly_one, Cardinality.at_least_one);
+        Cml.functional "locatedIn" ~src:"Hotel" ~dst:"City";
+      ]
+    ~reified:
+      [
+        Cml.reified ~attrs:[ "checkin"; "checkout" ] "booking"
+          [
+            ("booker", "Guest", Cardinality.many);
+            ("booked", "Room", Cardinality.many);
+          ];
+        Cml.reified "hasAmenity"
+          [
+            ("amen_hotel", "Hotel", Cardinality.many);
+            ("amen_what", "Amenity", Cardinality.many);
+          ];
+      ]
+    [
+      Cml.cls ~id:[ "hid" ] "Hotel" [ "hid"; "hname"; "stars" ];
+      Cml.cls ~id:[ "rno" ] "Room" [ "rno"; "rate" ];
+      Cml.cls ~id:[ "gname" ] "Guest" [ "gname" ];
+      Cml.cls ~id:[ "aname" ] "Amenity" [ "aname" ];
+      Cml.cls ~id:[ "cityname" ] "City" [ "cityname" ];
+    ]
+
+let hotela = lazy (Design.design hotela_cm)
+
+(* ---- HotelB ontology (independent modelling) ---- *)
+
+let hotelb_cm =
+  Cml.make ~name:"hotelB"
+    ~binaries:
+      [
+        Cml.rel ~kind:Cml.PartOf "unitOf" ~src:"Unit" ~dst:"Accommodation"
+          ~card:(Cardinality.exactly_one, Cardinality.at_least_one);
+        Cml.functional "inTown" ~src:"Accommodation" ~dst:"Town";
+      ]
+    ~reified:
+      [
+        Cml.reified ~attrs:[ "arrive"; "depart" ] "reservation"
+          [
+            ("res_customer", "Customer", Cardinality.many);
+            ("res_unit", "Unit", Cardinality.many);
+          ];
+        Cml.reified "offers"
+          [
+            ("off_acc", "Accommodation", Cardinality.many);
+            ("off_feature", "Feature", Cardinality.many);
+          ];
+      ]
+    [
+      Cml.cls ~id:[ "aid" ] "Accommodation" [ "aid"; "accname"; "rating" ];
+      Cml.cls ~id:[ "uno" ] "Unit" [ "uno"; "price" ];
+      Cml.cls ~id:[ "custname" ] "Customer" [ "custname" ];
+      Cml.cls ~id:[ "feat" ] "Feature" [ "feat" ];
+      Cml.cls ~id:[ "town" ] "Town" [ "town" ];
+    ]
+
+(* standalone tables for functional relationships on side B *)
+let hotelb =
+  lazy
+    (Design.design
+       ~config:{ Design.default_config with merge_functional = false }
+       hotelb_cm)
+
+let scenario () =
+  let src_schema, src_strees = Lazy.force hotela in
+  let tgt_schema, tgt_strees = Lazy.force hotelb in
+  let source = Discover.side ~schema:src_schema ~cm:hotela_cm src_strees in
+  let target = Discover.side ~schema:tgt_schema ~cm:hotelb_cm tgt_strees in
+  let bench = Scenario.bench ~source:src_schema ~target:tgt_schema in
+  let corr = Smg_cq.Mapping.corr_of_strings in
+  let cases =
+    [
+      {
+        Scenario.case_name = "hotel-in-city";
+        corrs =
+          [
+            corr "hotel.hname" "accommodation.accname";
+            corr "city.cityname" "town.town";
+          ];
+        benchmark =
+          [
+            bench ~name:"hotel-in-city"
+              ~src:
+                [
+                  ("hotel", [ ("hname", "v0"); ("locatedIn_cityname", "t") ]);
+                  ("city", [ ("cityname", "t") ]);
+                ]
+              ~tgt:
+                [
+                  ("accommodation", [ ("aid", "a"); ("accname", "v0") ]);
+                  ("intown", [ ("aid", "a"); ("town", "t") ]);
+                  ("town", [ ("town", "t") ]);
+                ]
+              ~covered:
+                [
+                  ("hotel.hname", "accommodation.accname");
+                  ("city.cityname", "town.town");
+                ]
+              ~src_head:[ "v0"; "t" ] ~tgt_head:[ "v0"; "t" ] ();
+          ];
+      };
+      {
+        Scenario.case_name = "room-rate";
+        corrs =
+          [
+            corr "room.rate" "unit.price";
+            corr "hotel.hname" "accommodation.accname";
+          ];
+        benchmark =
+          [
+            bench ~name:"room-rate"
+              ~src:
+                [
+                  ("room", [ ("rate", "v0"); ("roomOf_hid", "h") ]);
+                  ("hotel", [ ("hid", "h"); ("hname", "v1") ]);
+                ]
+              ~tgt:
+                [
+                  ("unit", [ ("uno", "u"); ("price", "v0") ]);
+                  ("unitof", [ ("uno", "u"); ("aid", "a") ]);
+                  ("accommodation", [ ("aid", "a"); ("accname", "v1") ]);
+                ]
+              ~covered:
+                [
+                  ("room.rate", "unit.price");
+                  ("hotel.hname", "accommodation.accname");
+                ]
+              ~src_head:[ "v0"; "v1" ] ~tgt_head:[ "v0"; "v1" ] ();
+          ];
+      };
+      {
+        Scenario.case_name = "booking-dates";
+        corrs =
+          [
+            corr "booking.checkin" "reservation.arrive";
+            corr "guest.gname" "customer.custname";
+          ];
+        benchmark =
+          [
+            bench ~name:"booking-dates"
+              ~src:
+                [
+                  ("booking", [ ("gname", "g"); ("checkin", "v0") ]);
+                  ("guest", [ ("gname", "g") ]);
+                ]
+              ~tgt:
+                [
+                  ("reservation", [ ("custname", "g"); ("arrive", "v0") ]);
+                  ("customer", [ ("custname", "g") ]);
+                ]
+              ~covered:
+                [
+                  ("booking.checkin", "reservation.arrive");
+                  ("guest.gname", "customer.custname");
+                ]
+              ~src_head:[ "v0"; "g" ] ~tgt_head:[ "v0"; "g" ] ();
+          ];
+      };
+      {
+        Scenario.case_name = "amenities";
+        corrs =
+          [
+            corr "amenity.aname" "feature.feat";
+            corr "hotel.hname" "accommodation.accname";
+          ];
+        benchmark =
+          [
+            bench ~name:"amenities"
+              ~src:
+                [
+                  ("hotel", [ ("hid", "h"); ("hname", "v0") ]);
+                  ("hasamenity", [ ("hid", "h"); ("aname", "a") ]);
+                  ("amenity", [ ("aname", "a") ]);
+                ]
+              ~tgt:
+                [
+                  ("accommodation", [ ("aid", "x"); ("accname", "v0") ]);
+                  ("offers", [ ("aid", "x"); ("feat", "a") ]);
+                  ("feature", [ ("feat", "a") ]);
+                ]
+              ~covered:
+                [
+                  ("amenity.aname", "feature.feat");
+                  ("hotel.hname", "accommodation.accname");
+                ]
+              ~src_head:[ "a"; "v0" ] ~tgt_head:[ "a"; "v0" ] ();
+          ];
+      };
+      {
+        Scenario.case_name = "guest-city";
+        corrs =
+          [
+            corr "guest.gname" "customer.custname";
+            corr "city.cityname" "town.town";
+          ];
+        benchmark =
+          [
+            bench ~name:"guest-city"
+              ~src:
+                [
+                  ("guest", [ ("gname", "v0") ]);
+                  ("booking", [ ("gname", "v0"); ("rno", "r") ]);
+                  ("room", [ ("rno", "r"); ("roomOf_hid", "h") ]);
+                  ("hotel", [ ("hid", "h"); ("locatedIn_cityname", "t") ]);
+                  ("city", [ ("cityname", "t") ]);
+                ]
+              ~tgt:
+                [
+                  ("customer", [ ("custname", "v0") ]);
+                  ("reservation", [ ("custname", "v0"); ("uno", "u") ]);
+                  ("unit", [ ("uno", "u") ]);
+                  ("unitof", [ ("uno", "u"); ("aid", "a") ]);
+                  ("intown", [ ("aid", "a"); ("town", "t") ]);
+                  ("town", [ ("town", "t") ]);
+                ]
+              ~covered:
+                [
+                  ("guest.gname", "customer.custname");
+                  ("city.cityname", "town.town");
+                ]
+              ~src_head:[ "v0"; "t" ] ~tgt_head:[ "v0"; "t" ] ();
+          ];
+      };
+    ]
+  in
+  let scen =
+    {
+      Scenario.scen_name = "Hotel";
+      source_label = "HotelA";
+      target_label = "HotelB";
+      source_cm_label = "hotelA onto.";
+      target_cm_label = "hotelB onto.";
+      source;
+      target;
+      cases;
+    }
+  in
+  Scenario.validate scen;
+  scen

@@ -1,0 +1,10 @@
+(** Hotel domain (Table 1 rows HotelA/HotelB): two independently
+    modelled hotel ontologies (as in the I3CON alignment data),
+    forward-engineered into relational schemas with *different* er2rel
+    configurations — side A merges functional relationships into entity
+    tables, side B gives them standalone tables — so the same concepts
+    surface with different table structure. Five benchmark cases,
+    including a long many-many composition (guest → booking → room →
+    hotel → city). *)
+
+val scenario : unit -> Scenario.t

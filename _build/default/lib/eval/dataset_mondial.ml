@@ -1,0 +1,292 @@
+module Schema = Smg_relational.Schema
+module Cml = Smg_cm.Cml
+module Cardinality = Smg_cm.Cardinality
+module Design = Smg_er2rel.Design
+module Reverse = Smg_er2rel.Reverse
+module Discover = Smg_core.Discover
+
+(* ---- Mondial1: factbook-style ontology, er2rel-designed ---- *)
+
+let factbook_cm =
+  Cml.make ~name:"factbook"
+    ~binaries:
+      [
+        (* every city lies in exactly one country; a country has many *)
+        Cml.rel "cityIn" ~src:"City" ~dst:"Country"
+          ~card:(Cardinality.exactly_one, Cardinality.many);
+        (* the capital: at most one per country, a city is capital of at
+           most one country *)
+        Cml.rel "capital" ~src:"Country" ~dst:"City"
+          ~card:(Cardinality.at_most_one, Cardinality.at_most_one);
+        Cml.rel "provinceOf" ~src:"Province" ~dst:"Country"
+          ~card:(Cardinality.exactly_one, Cardinality.many);
+        Cml.functional "inContinent" ~src:"Country" ~dst:"Continent";
+        Cml.functional "riverIn" ~src:"River" ~dst:"Country";
+        Cml.functional "mountainIn" ~src:"Mountain" ~dst:"Country";
+        Cml.functional "desertIn" ~src:"Desert" ~dst:"Country";
+        Cml.functional "lakeIn" ~src:"Lake" ~dst:"Country";
+        Cml.functional "islandIn" ~src:"Island" ~dst:"Sea";
+        Cml.functional "glacierIn" ~src:"Glacier" ~dst:"Country";
+        Cml.functional "volcanoIn" ~src:"Volcano" ~dst:"Country";
+        Cml.functional "airportIn" ~src:"Airport" ~dst:"City";
+        Cml.functional "currencyOf" ~src:"Currency" ~dst:"Country";
+        Cml.functional "portIn" ~src:"Port" ~dst:"City";
+        Cml.functional "damIn" ~src:"Dam" ~dst:"Country";
+        Cml.functional "canalIn" ~src:"Canal" ~dst:"Country";
+        Cml.functional "rangeIn" ~src:"Mountainrange" ~dst:"Country";
+        Cml.functional "tzOf" ~src:"Timezone" ~dst:"Country";
+      ]
+    ~reified:
+      [
+        Cml.reified "memberOf"
+          [
+            ("member", "Country", Cardinality.many);
+            ("org", "Organization", Cardinality.many);
+          ];
+        Cml.reified ~attrs:[ "percent" ] "speaks"
+          [
+            ("speaker", "Country", Cardinality.many);
+            ("tongue", "Language", Cardinality.many);
+          ];
+        Cml.reified ~attrs:[ "percent" ] "believes"
+          [
+            ("believer", "Country", Cardinality.many);
+            ("faith", "Religion", Cardinality.many);
+          ];
+        Cml.reified ~attrs:[ "percent" ] "inhabits"
+          [
+            ("homeland", "Country", Cardinality.many);
+            ("people", "Ethnicgroup", Cardinality.many);
+          ];
+      ]
+    [
+      Cml.cls ~id:[ "code" ] "Country" [ "code"; "cname"; "population"; "area" ];
+      Cml.cls ~id:[ "cityid" ] "City" [ "cityid"; "cityname"; "citypop" ];
+      Cml.cls ~id:[ "pid" ] "Province" [ "pid"; "pname" ];
+      Cml.cls ~id:[ "abbrev" ] "Organization" [ "abbrev"; "orgname" ];
+      Cml.cls ~id:[ "contname" ] "Continent" [ "contname" ];
+      Cml.cls ~id:[ "lang" ] "Language" [ "lang" ];
+      Cml.cls ~id:[ "relname" ] "Religion" [ "relname" ];
+      Cml.cls ~id:[ "rname" ] "River" [ "rname"; "length" ];
+      Cml.cls ~id:[ "mname" ] "Mountain" [ "mname"; "height" ];
+      Cml.cls ~id:[ "dname" ] "Desert" [ "dname" ];
+      Cml.cls ~id:[ "lname" ] "Lake" [ "lname"; "depth" ];
+      Cml.cls ~id:[ "iname" ] "Island" [ "iname" ];
+      Cml.cls ~id:[ "sname" ] "Sea" [ "sname" ];
+      Cml.cls ~id:[ "gname" ] "Glacier" [ "gname" ];
+      Cml.cls ~id:[ "vname" ] "Volcano" [ "vname"; "elevation" ];
+      Cml.cls ~id:[ "apcode" ] "Airport" [ "apcode" ];
+      Cml.cls ~id:[ "ename" ] "Ethnicgroup" [ "ename" ];
+      Cml.cls ~id:[ "curcode" ] "Currency" [ "curcode" ];
+      Cml.cls ~id:[ "portname" ] "Port" [ "portname" ];
+      Cml.cls ~id:[ "damname" ] "Dam" [ "damname" ];
+      Cml.cls ~id:[ "canalname" ] "Canal" [ "canalname" ];
+      Cml.cls ~id:[ "rangename" ] "Mountainrange" [ "rangename" ];
+      Cml.cls ~id:[ "tzname" ] "Timezone" [ "tzname" ];
+    ]
+
+let mondial1 = lazy (Design.design factbook_cm)
+
+(* ---- Mondial2: coarse hand-written schema, reverse-engineered CM ---- *)
+
+let mondial2_schema =
+  Schema.make ~name:"mondial2"
+    [
+      Schema.table ~key:[ "code" ] "country"
+        [
+          ("code", Schema.TString);
+          ("name", Schema.TString);
+          ("pop", Schema.TString);
+          ("capital", Schema.TString);
+        ];
+      Schema.table ~key:[ "cid" ] "city"
+        [ ("cid", Schema.TString); ("name", Schema.TString); ("country", Schema.TString) ];
+      Schema.table ~key:[ "pid" ] "province"
+        [ ("pid", Schema.TString); ("name", Schema.TString); ("country", Schema.TString) ];
+      Schema.table ~key:[ "abbr" ] "org"
+        [ ("abbr", Schema.TString); ("name", Schema.TString) ];
+      Schema.table ~key:[ "country"; "abbr" ] "ismember"
+        [ ("country", Schema.TString); ("abbr", Schema.TString) ];
+      Schema.table ~key:[ "lname" ] "languages" [ ("lname", Schema.TString) ];
+      Schema.table ~key:[ "country"; "lname" ] "spoken"
+        [ ("country", Schema.TString); ("lname", Schema.TString); ("pct", Schema.TString) ];
+      Schema.table ~key:[ "rname" ] "religions" [ ("rname", Schema.TString) ];
+      Schema.table ~key:[ "country"; "rname" ] "practiced"
+        [ ("country", Schema.TString); ("rname", Schema.TString); ("pct", Schema.TString) ];
+    ]
+    [
+      Schema.ric ~name:"country_capital" ~from_:("country", [ "capital" ]) ~to_:("city", [ "cid" ]);
+      Schema.ric ~name:"city_country" ~from_:("city", [ "country" ]) ~to_:("country", [ "code" ]);
+      Schema.ric ~name:"province_country" ~from_:("province", [ "country" ]) ~to_:("country", [ "code" ]);
+      Schema.ric ~name:"ismember_country" ~from_:("ismember", [ "country" ]) ~to_:("country", [ "code" ]);
+      Schema.ric ~name:"ismember_org" ~from_:("ismember", [ "abbr" ]) ~to_:("org", [ "abbr" ]);
+      Schema.ric ~name:"spoken_country" ~from_:("spoken", [ "country" ]) ~to_:("country", [ "code" ]);
+      Schema.ric ~name:"spoken_lang" ~from_:("spoken", [ "lname" ]) ~to_:("languages", [ "lname" ]);
+      Schema.ric ~name:"practiced_country" ~from_:("practiced", [ "country" ]) ~to_:("country", [ "code" ]);
+      Schema.ric ~name:"practiced_rel" ~from_:("practiced", [ "rname" ]) ~to_:("religions", [ "rname" ]);
+    ]
+
+let mondial2 = lazy (Reverse.recover mondial2_schema)
+
+let scenario () =
+  let src_schema, src_strees = Lazy.force mondial1 in
+  let tgt_cm, tgt_strees = Lazy.force mondial2 in
+  let source = Discover.side ~schema:src_schema ~cm:factbook_cm src_strees in
+  let target = Discover.side ~schema:mondial2_schema ~cm:tgt_cm tgt_strees in
+  let bench = Scenario.bench ~source:src_schema ~target:mondial2_schema in
+  let corr = Smg_cq.Mapping.corr_of_strings in
+  let cases =
+    [
+      {
+        Scenario.case_name = "city-in-country";
+        corrs =
+          [
+            corr "city.cityname" "city.name";
+            corr "country.cname" "country.name";
+          ];
+        benchmark =
+          [
+            bench ~name:"city-in-country"
+              ~src:
+                [
+                  ("city", [ ("cityname", "v0"); ("cityIn_code", "c") ]);
+                  ("country", [ ("code", "c"); ("cname", "v1") ]);
+                ]
+              ~tgt:
+                [
+                  ("city", [ ("name", "v0"); ("country", "c") ]);
+                  ("country", [ ("code", "c"); ("name", "v1") ]);
+                ]
+              ~covered:
+                [ ("city.cityname", "city.name"); ("country.cname", "country.name") ]
+              ~src_head:[ "v0"; "v1" ] ~tgt_head:[ "v0"; "v1" ] ();
+          ];
+      };
+      {
+        Scenario.case_name = "capital";
+        corrs =
+          [
+            corr "city.cityid" "country.capital";
+            corr "country.cname" "country.name";
+          ];
+        benchmark =
+          [
+            bench ~name:"capital"
+              ~src:
+                [
+                  ("country", [ ("cname", "v1"); ("capital_cityid", "v0") ]);
+                  ("city", [ ("cityid", "v0") ]);
+                ]
+              ~tgt:[ ("country", [ ("name", "v1"); ("capital", "v0") ]) ]
+              ~covered:
+                [
+                  ("city.cityid", "country.capital");
+                  ("country.cname", "country.name");
+                ]
+              ~src_head:[ "v0"; "v1" ] ~tgt_head:[ "v0"; "v1" ] ();
+          ];
+      };
+      {
+        Scenario.case_name = "membership";
+        corrs =
+          [
+            corr "country.cname" "country.name";
+            corr "organization.orgname" "org.name";
+          ];
+        benchmark =
+          [
+            bench ~name:"membership"
+              ~src:
+                [
+                  ("country", [ ("code", "c"); ("cname", "v0") ]);
+                  ("memberof", [ ("code", "c"); ("abbrev", "o") ]);
+                  ("organization", [ ("abbrev", "o"); ("orgname", "v1") ]);
+                ]
+              ~tgt:
+                [
+                  ("country", [ ("code", "c"); ("name", "v0") ]);
+                  ("ismember", [ ("country", "c"); ("abbr", "o") ]);
+                  ("org", [ ("abbr", "o"); ("name", "v1") ]);
+                ]
+              ~covered:
+                [
+                  ("country.cname", "country.name");
+                  ("organization.orgname", "org.name");
+                ]
+              ~src_head:[ "v0"; "v1" ] ~tgt_head:[ "v0"; "v1" ] ();
+          ];
+      };
+      {
+        Scenario.case_name = "spoken-language";
+        corrs =
+          [
+            corr "country.cname" "country.name";
+            corr "language.lang" "languages.lname";
+          ];
+        benchmark =
+          [
+            bench ~name:"spoken-language"
+              ~src:
+                [
+                  ("country", [ ("code", "c"); ("cname", "v0") ]);
+                  ("speaks", [ ("code", "c"); ("lang", "l") ]);
+                  ("language", [ ("lang", "l") ]);
+                ]
+              ~tgt:
+                [
+                  ("country", [ ("code", "c"); ("name", "v0") ]);
+                  ("spoken", [ ("country", "c"); ("lname", "l") ]);
+                  ("languages", [ ("lname", "l") ]);
+                ]
+              ~covered:
+                [
+                  ("country.cname", "country.name");
+                  ("language.lang", "languages.lname");
+                ]
+              ~src_head:[ "v0"; "l" ] ~tgt_head:[ "v0"; "l" ] ();
+          ];
+      };
+      {
+        Scenario.case_name = "province-of";
+        corrs =
+          [
+            corr "province.pname" "province.name";
+            corr "country.cname" "country.name";
+          ];
+        benchmark =
+          [
+            bench ~name:"province-of"
+              ~src:
+                [
+                  ("province", [ ("pname", "v0"); ("provinceOf_code", "c") ]);
+                  ("country", [ ("code", "c"); ("cname", "v1") ]);
+                ]
+              ~tgt:
+                [
+                  ("province", [ ("name", "v0"); ("country", "c") ]);
+                  ("country", [ ("code", "c"); ("name", "v1") ]);
+                ]
+              ~covered:
+                [
+                  ("province.pname", "province.name");
+                  ("country.cname", "country.name");
+                ]
+              ~src_head:[ "v0"; "v1" ] ~tgt_head:[ "v0"; "v1" ] ();
+          ];
+      };
+    ]
+  in
+  let scen =
+    {
+      Scenario.scen_name = "Mondial";
+      source_label = "Mondial1";
+      target_label = "Mondial2";
+      source_cm_label = "factbook";
+      target_cm_label = "mondial2 ER (rev.)";
+      source;
+      target;
+      cases;
+    }
+  in
+  Scenario.validate scen;
+  scen

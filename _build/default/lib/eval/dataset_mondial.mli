@@ -1,0 +1,10 @@
+(** Mondial geography domain (Table 1 rows Mondial1/Mondial2).
+
+    Mondial1 is forward-engineered from a CIA-factbook-style ontology
+    (countries, cities, provinces, organizations, languages, religions,
+    geographic features, with reified memberships); Mondial2 is a
+    coarser hand-written schema with a reverse-engineered CM. Five
+    benchmark cases, including a cardinality-disambiguation case
+    (capital vs city-in-country). *)
+
+val scenario : unit -> Scenario.t

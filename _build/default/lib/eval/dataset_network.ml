@@ -1,0 +1,304 @@
+module Cml = Smg_cm.Cml
+module Cardinality = Smg_cm.Cardinality
+module Design = Smg_er2rel.Design
+module Discover = Smg_core.Discover
+
+(* ---- NetworkA ontology: device hierarchy, table per class ---- *)
+
+let networka_cm =
+  Cml.make ~name:"networkA"
+    ~isas:
+      [
+        { Cml.sub = "Router"; super = "Device" };
+        { Cml.sub = "Switch"; super = "Device" };
+        { Cml.sub = "Host"; super = "Device" };
+        { Cml.sub = "Firewall"; super = "Device" };
+        { Cml.sub = "LoadBalancer"; super = "Device" };
+        { Cml.sub = "AccessPoint"; super = "Device" };
+      ]
+    ~disjointness:[ [ "Host"; "Router" ] ]
+    ~binaries:
+      [
+        Cml.rel ~kind:Cml.PartOf "ifOn" ~src:"Interface" ~dst:"Device"
+          ~card:(Cardinality.exactly_one, Cardinality.at_least_one);
+        Cml.functional "inNetwork" ~src:"Device" ~dst:"Network";
+        Cml.rel ~kind:Cml.PartOf "rackIn" ~src:"Device" ~dst:"Rack"
+          ~card:(Cardinality.at_most_one, Cardinality.many);
+        Cml.functional "siteOf" ~src:"Rack" ~dst:"Site";
+        Cml.functional "subnetOf" ~src:"Interface" ~dst:"Subnet";
+        Cml.functional "zoneOf" ~src:"Subnet" ~dst:"Zone";
+      ]
+    ~reified:
+      [
+        Cml.reified "memberVlan"
+          [
+            ("mv_iface", "Interface", Cardinality.many);
+            ("mv_vlan", "Vlan", Cardinality.many);
+          ];
+        Cml.reified "connected"
+          [
+            ("conn_a", "Interface", Cardinality.many);
+            ("conn_b", "Interface", Cardinality.many);
+          ];
+        Cml.reified ~attrs:[ "since" ] "manages"
+          [
+            ("operator", "Admin", Cardinality.many);
+            ("managed", "Device", Cardinality.many);
+          ];
+      ]
+    [
+      Cml.cls ~id:[ "devid" ] "Device" [ "devid"; "devname" ];
+      Cml.cls "Router" [ "model" ];
+      Cml.cls "Switch" [ "nports" ];
+      Cml.cls "Host" [ "os" ];
+      Cml.cls "Firewall" [ "ruleset" ];
+      Cml.cls "LoadBalancer" [ "algo" ];
+      Cml.cls "AccessPoint" [ "ssid" ];
+      Cml.cls ~id:[ "mac" ] "Interface" [ "mac"; "speed" ];
+      Cml.cls ~id:[ "netid" ] "Network" [ "netid"; "netname" ];
+      Cml.cls ~id:[ "vname" ] "Vlan" [ "vname" ];
+      Cml.cls ~id:[ "rackid" ] "Rack" [ "rackid" ];
+      Cml.cls ~id:[ "sitename" ] "Site" [ "sitename" ];
+      Cml.cls ~id:[ "cidr" ] "Subnet" [ "cidr" ];
+      Cml.cls ~id:[ "adminname" ] "Admin" [ "adminname" ];
+      Cml.cls ~id:[ "zonename" ] "Zone" [ "zonename" ];
+    ]
+
+let networka = lazy (Design.design networka_cm)
+
+(* ---- NetworkB ontology: node hierarchy, table per concrete class ---- *)
+
+let networkb_cm =
+  Cml.make ~name:"networkB"
+    ~isas:
+      [
+        { Cml.sub = "Gateway"; super = "Node" };
+        { Cml.sub = "Bridge"; super = "Node" };
+        { Cml.sub = "Endpoint"; super = "Node" };
+        { Cml.sub = "Proxy"; super = "Node" };
+        { Cml.sub = "Repeater"; super = "Node" };
+      ]
+    ~binaries:
+      [
+        Cml.rel ~kind:Cml.PartOf "portOf" ~src:"Port" ~dst:"Node"
+          ~card:(Cardinality.exactly_one, Cardinality.at_least_one);
+        Cml.functional "belongsTo" ~src:"Node" ~dst:"Net";
+        Cml.functional "cabinetOf" ~src:"Node" ~dst:"Cabinet";
+        Cml.functional "campusOf" ~src:"Cabinet" ~dst:"Campus";
+        Cml.functional "segmentOf" ~src:"Port" ~dst:"Segment";
+      ]
+    ~reified:
+      [
+        Cml.reified "attached"
+          [
+            ("att_port", "Port", Cardinality.many);
+            ("att_lan", "Lan", Cardinality.many);
+          ];
+      ]
+    [
+      Cml.cls ~id:[ "nodeid" ] "Node" [ "nodeid"; "label" ];
+      Cml.cls "Gateway" [ "model" ];
+      Cml.cls "Bridge" [ "nports" ];
+      Cml.cls "Endpoint" [ "os" ];
+      Cml.cls "Proxy" [ "cachesize" ];
+      Cml.cls "Repeater" [ "gain" ];
+      Cml.cls ~id:[ "pmac" ] "Port" [ "pmac"; "rate" ];
+      Cml.cls ~id:[ "nid" ] "Net" [ "nid"; "nname" ];
+      Cml.cls ~id:[ "lname" ] "Lan" [ "lname" ];
+      Cml.cls ~id:[ "cabid" ] "Cabinet" [ "cabid" ];
+      Cml.cls ~id:[ "campusname" ] "Campus" [ "campusname" ];
+      Cml.cls ~id:[ "segid" ] "Segment" [ "segid" ];
+    ]
+
+let networkb =
+  lazy
+    (Design.design
+       ~config:{ Design.default_config with isa = Design.Table_per_concrete }
+       networkb_cm)
+
+let scenario () =
+  let src_schema, src_strees = Lazy.force networka in
+  let tgt_schema, tgt_strees = Lazy.force networkb in
+  let source = Discover.side ~schema:src_schema ~cm:networka_cm src_strees in
+  let target = Discover.side ~schema:tgt_schema ~cm:networkb_cm tgt_strees in
+  let bench = Scenario.bench ~source:src_schema ~target:tgt_schema in
+  let corr = Smg_cq.Mapping.corr_of_strings in
+  let cases =
+    [
+      {
+        (* ports of gateways: the target ISA is invisible as a RIC *)
+        Scenario.case_name = "interface-on-router";
+        corrs =
+          [
+            corr "interface.mac" "port.pmac";
+            corr "router.model" "gateway.model";
+          ];
+        benchmark =
+          [
+            bench ~name:"interface-on-router"
+              ~src:
+                [
+                  ("interface", [ ("mac", "v0"); ("ifOn_devid", "d") ]);
+                  ("router", [ ("devid", "d"); ("model", "v1") ]);
+                ]
+              ~tgt:
+                [
+                  ("port", [ ("pmac", "v0"); ("portOf_nodeid", "d") ]);
+                  ("gateway", [ ("nodeid", "d"); ("model", "v1") ]);
+                ]
+              ~covered:
+                [
+                  ("interface.mac", "port.pmac");
+                  ("router.model", "gateway.model");
+                ]
+              ~src_head:[ "v0"; "v1" ] ~tgt_head:[ "v0"; "v1" ] ();
+          ];
+      };
+      {
+        Scenario.case_name = "host-endpoint";
+        corrs =
+          [
+            corr "host.os" "endpoint.os";
+            corr "device.devname" "endpoint.label";
+          ];
+        benchmark =
+          [
+            bench ~name:"host-endpoint"
+              ~src:
+                [
+                  ("device", [ ("devid", "d"); ("devname", "v0") ]);
+                  ("host", [ ("devid", "d"); ("os", "v1") ]);
+                ]
+              ~tgt:[ ("endpoint", [ ("label", "v0"); ("os", "v1") ]) ]
+              ~covered:
+                [
+                  ("host.os", "endpoint.os");
+                  ("device.devname", "endpoint.label");
+                ]
+              ~src_head:[ "v1"; "v0" ] ~tgt_head:[ "v1"; "v0" ] ();
+          ];
+      };
+      {
+        Scenario.case_name = "device-network";
+        corrs =
+          [
+            corr "device.devname" "gateway.label";
+            corr "network.netname" "net.nname";
+          ];
+        benchmark =
+          [
+            bench ~name:"device-network"
+              ~src:
+                [
+                  ("device", [ ("devname", "v0"); ("inNetwork_netid", "n") ]);
+                  ("network", [ ("netid", "n"); ("netname", "v1") ]);
+                ]
+              ~tgt:
+                [
+                  ("gateway", [ ("label", "v0"); ("belongsTo_nid", "n") ]);
+                  ("net", [ ("nid", "n"); ("nname", "v1") ]);
+                ]
+              ~covered:
+                [
+                  ("device.devname", "gateway.label");
+                  ("network.netname", "net.nname");
+                ]
+              ~src_head:[ "v0"; "v1" ] ~tgt_head:[ "v0"; "v1" ] ();
+          ];
+      };
+      {
+        Scenario.case_name = "vlan-membership";
+        corrs =
+          [
+            corr "interface.mac" "port.pmac";
+            corr "vlan.vname" "lan.lname";
+          ];
+        benchmark =
+          [
+            bench ~name:"vlan-membership"
+              ~src:
+                [
+                  ("interface", [ ("mac", "v0") ]);
+                  ("membervlan", [ ("mac", "v0"); ("vname", "l") ]);
+                  ("vlan", [ ("vname", "l") ]);
+                ]
+              ~tgt:
+                [
+                  ("port", [ ("pmac", "v0") ]);
+                  ("attached", [ ("pmac", "v0"); ("lname", "l") ]);
+                  ("lan", [ ("lname", "l") ]);
+                ]
+              ~covered:
+                [ ("interface.mac", "port.pmac"); ("vlan.vname", "lan.lname") ]
+              ~src_head:[ "v0"; "l" ] ~tgt_head:[ "v0"; "l" ] ();
+          ];
+      };
+      {
+        Scenario.case_name = "port-speed";
+        corrs =
+          [
+            corr "interface.speed" "port.rate";
+            corr "interface.mac" "port.pmac";
+          ];
+        benchmark =
+          [
+            bench ~name:"port-speed"
+              ~src:[ ("interface", [ ("mac", "v0"); ("speed", "v1") ]) ]
+              ~tgt:[ ("port", [ ("pmac", "v0"); ("rate", "v1") ]) ]
+              ~covered:
+                [
+                  ("interface.speed", "port.rate");
+                  ("interface.mac", "port.pmac");
+                ]
+              ~src_head:[ "v1"; "v0" ] ~tgt_head:[ "v1"; "v0" ] ();
+          ];
+      };
+      {
+        (* three hops: lan of a gateway's port *)
+        Scenario.case_name = "router-vlan";
+        corrs =
+          [
+            corr "router.model" "gateway.model";
+            corr "vlan.vname" "lan.lname";
+          ];
+        benchmark =
+          [
+            bench ~name:"router-vlan"
+              ~src:
+                [
+                  ("router", [ ("devid", "d"); ("model", "v0") ]);
+                  ("interface", [ ("mac", "m"); ("ifOn_devid", "d") ]);
+                  ("membervlan", [ ("mac", "m"); ("vname", "l") ]);
+                  ("vlan", [ ("vname", "l") ]);
+                ]
+              ~tgt:
+                [
+                  ("gateway", [ ("nodeid", "d"); ("model", "v0") ]);
+                  ("port", [ ("pmac", "m"); ("portOf_nodeid", "d") ]);
+                  ("attached", [ ("pmac", "m"); ("lname", "l") ]);
+                  ("lan", [ ("lname", "l") ]);
+                ]
+              ~covered:
+                [
+                  ("router.model", "gateway.model");
+                  ("vlan.vname", "lan.lname");
+                ]
+              ~src_head:[ "v0"; "l" ] ~tgt_head:[ "v0"; "l" ] ();
+          ];
+      };
+    ]
+  in
+  let scen =
+    {
+      Scenario.scen_name = "Network";
+      source_label = "NetworkA";
+      target_label = "NetworkB";
+      source_cm_label = "networkA onto.";
+      target_cm_label = "networkB onto.";
+      source;
+      target;
+      cases;
+    }
+  in
+  Scenario.validate scen;
+  scen

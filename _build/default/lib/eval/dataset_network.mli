@@ -1,0 +1,8 @@
+(** Network domain (Table 1 rows NetworkA/NetworkB): two network
+    management ontologies forward-engineered into schemas with
+    different ISA encodings — side A one table per class, side B one
+    table per *concrete* class, so side B's hierarchy is invisible as
+    RICs (superclasses have no tables to reference). Six benchmark
+    cases; several are unreachable for the RIC-based baseline. *)
+
+val scenario : unit -> Scenario.t

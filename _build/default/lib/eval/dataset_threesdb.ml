@@ -1,0 +1,196 @@
+module Schema = Smg_relational.Schema
+module Cml = Smg_cm.Cml
+module Cardinality = Smg_cm.Cardinality
+module Design = Smg_er2rel.Design
+module Reverse = Smg_er2rel.Reverse
+module Discover = Smg_core.Discover
+
+(* ---- 3Sdb1: forward-engineered ER model ---- *)
+
+let threesdb1_cm =
+  Cml.make ~name:"threesdb1"
+    ~binaries:
+      [
+        Cml.functional ~total:true "takenFrom" ~src:"Sample" ~dst:"Tissue";
+        Cml.functional "donatedBy" ~src:"Sample" ~dst:"Donor";
+        Cml.functional "probeFor" ~src:"Probe" ~dst:"Gene";
+      ]
+    ~reified:
+      [
+        Cml.reified ~attrs:[ "level" ] "expression"
+          [
+            ("expr_sample", "Sample", Cardinality.many);
+            ("expr_gene", "Gene", Cardinality.many);
+          ];
+        Cml.reified ~attrs:[ "hdate" ] "hybridization"
+          [
+            ("hyb_sample", "Sample", Cardinality.many);
+            ("hyb_array", "Microarray", Cardinality.many);
+            ("hyb_protocol", "Protocol", Cardinality.many);
+          ];
+      ]
+    [
+      Cml.cls ~id:[ "sid" ] "Sample" [ "sid" ];
+      Cml.cls ~id:[ "gid" ] "Gene" [ "gid"; "symbol" ];
+      Cml.cls ~id:[ "tname" ] "Tissue" [ "tname" ];
+      Cml.cls ~id:[ "maid" ] "Microarray" [ "maid"; "vendor" ];
+      Cml.cls ~id:[ "protoname" ] "Protocol" [ "protoname" ];
+      Cml.cls ~id:[ "dname" ] "Donor" [ "dname" ];
+      Cml.cls ~id:[ "pbid" ] "Probe" [ "pbid" ];
+    ]
+
+let threesdb1 = lazy (Design.design threesdb1_cm)
+
+(* ---- 3Sdb2: coarser second version, reverse-engineered CM ---- *)
+
+let threesdb2_schema =
+  Schema.make ~name:"threesdb2"
+    [
+      Schema.table ~key:[ "sampleid" ] "samples"
+        [
+          ("sampleid", Schema.TString);
+          ("tissue", Schema.TString);
+          ("donor", Schema.TString);
+        ];
+      Schema.table ~key:[ "geneid" ] "genes"
+        [ ("geneid", Schema.TString); ("sym", Schema.TString) ];
+      Schema.table ~key:[ "sampleid"; "geneid" ] "expr"
+        [
+          ("sampleid", Schema.TString);
+          ("geneid", Schema.TString);
+          ("lvl", Schema.TString);
+        ];
+      Schema.table ~key:[ "sampleid"; "arrayid"; "protoname" ] "hyb"
+        [
+          ("sampleid", Schema.TString);
+          ("arrayid", Schema.TString);
+          ("protoname", Schema.TString);
+          ("hdate", Schema.TString);
+        ];
+      Schema.table ~key:[ "arrayid" ] "arrays"
+        [ ("arrayid", Schema.TString); ("maker", Schema.TString) ];
+      Schema.table ~key:[ "protoname" ] "protocols" [ ("protoname", Schema.TString) ];
+      Schema.table ~key:[ "tname" ] "tissues" [ ("tname", Schema.TString) ];
+      Schema.table ~key:[ "dname" ] "donors" [ ("dname", Schema.TString) ];
+      Schema.table ~key:[ "probeid" ] "probes"
+        [ ("probeid", Schema.TString); ("geneid", Schema.TString) ];
+    ]
+    [
+      Schema.ric ~name:"samples_tissue" ~from_:("samples", [ "tissue" ]) ~to_:("tissues", [ "tname" ]);
+      Schema.ric ~name:"samples_donor" ~from_:("samples", [ "donor" ]) ~to_:("donors", [ "dname" ]);
+      Schema.ric ~name:"expr_sample" ~from_:("expr", [ "sampleid" ]) ~to_:("samples", [ "sampleid" ]);
+      Schema.ric ~name:"expr_gene" ~from_:("expr", [ "geneid" ]) ~to_:("genes", [ "geneid" ]);
+      Schema.ric ~name:"hyb_sample" ~from_:("hyb", [ "sampleid" ]) ~to_:("samples", [ "sampleid" ]);
+      Schema.ric ~name:"hyb_array" ~from_:("hyb", [ "arrayid" ]) ~to_:("arrays", [ "arrayid" ]);
+      Schema.ric ~name:"hyb_proto" ~from_:("hyb", [ "protoname" ]) ~to_:("protocols", [ "protoname" ]);
+      Schema.ric ~name:"probe_gene" ~from_:("probes", [ "geneid" ]) ~to_:("genes", [ "geneid" ]);
+    ]
+
+let threesdb2 = lazy (Reverse.recover threesdb2_schema)
+
+let scenario () =
+  let src_schema, src_strees = Lazy.force threesdb1 in
+  let tgt_cm, tgt_strees = Lazy.force threesdb2 in
+  let source = Discover.side ~schema:src_schema ~cm:threesdb1_cm src_strees in
+  let target = Discover.side ~schema:threesdb2_schema ~cm:tgt_cm tgt_strees in
+  let bench = Scenario.bench ~source:src_schema ~target:threesdb2_schema in
+  let corr = Smg_cq.Mapping.corr_of_strings in
+  let cases =
+    [
+      {
+        Scenario.case_name = "expression-level";
+        corrs =
+          [
+            corr "expression.level" "expr.lvl";
+            corr "gene.symbol" "genes.sym";
+          ];
+        benchmark =
+          [
+            bench ~name:"expression-level"
+              ~src:
+                [
+                  ("expression", [ ("gid", "g"); ("level", "v0") ]);
+                  ("gene", [ ("gid", "g"); ("symbol", "v1") ]);
+                ]
+              ~tgt:
+                [
+                  ("expr", [ ("geneid", "g"); ("lvl", "v0") ]);
+                  ("genes", [ ("geneid", "g"); ("sym", "v1") ]);
+                ]
+              ~covered:
+                [ ("expression.level", "expr.lvl"); ("gene.symbol", "genes.sym") ]
+              ~src_head:[ "v0"; "v1" ] ~tgt_head:[ "v0"; "v1" ] ();
+          ];
+      };
+      {
+        Scenario.case_name = "hybridization-array";
+        corrs =
+          [
+            corr "hybridization.hdate" "hyb.hdate";
+            corr "microarray.vendor" "arrays.maker";
+          ];
+        benchmark =
+          [
+            bench ~name:"hybridization-array"
+              ~src:
+                [
+                  ("hybridization", [ ("maid", "a"); ("hdate", "v0") ]);
+                  ("microarray", [ ("maid", "a"); ("vendor", "v1") ]);
+                ]
+              ~tgt:
+                [
+                  ("hyb", [ ("arrayid", "a"); ("hdate", "v0") ]);
+                  ("arrays", [ ("arrayid", "a"); ("maker", "v1") ]);
+                ]
+              ~covered:
+                [
+                  ("hybridization.hdate", "hyb.hdate");
+                  ("microarray.vendor", "arrays.maker");
+                ]
+              ~src_head:[ "v0"; "v1" ] ~tgt_head:[ "v0"; "v1" ] ();
+          ];
+      };
+      {
+        Scenario.case_name = "sample-tissue";
+        corrs =
+          [
+            corr "sample.sid" "samples.sampleid";
+            corr "tissue.tname" "tissues.tname";
+          ];
+        benchmark =
+          [
+            bench ~name:"sample-tissue"
+              ~src:
+                [
+                  ("sample", [ ("sid", "v0"); ("takenFrom_tname", "t") ]);
+                  ("tissue", [ ("tname", "t") ]);
+                ]
+              ~tgt:
+                [
+                  ("samples", [ ("sampleid", "v0"); ("tissue", "t") ]);
+                  ("tissues", [ ("tname", "t") ]);
+                ]
+              ~covered:
+                [
+                  ("sample.sid", "samples.sampleid");
+                  ("tissue.tname", "tissues.tname");
+                ]
+              ~src_head:[ "v0"; "t" ] ~tgt_head:[ "v0"; "t" ] ();
+          ];
+      };
+    ]
+  in
+  let scen =
+    {
+      Scenario.scen_name = "3Sdb";
+      source_label = "3Sdb1";
+      target_label = "3Sdb2";
+      source_cm_label = "3Sdb1 ER";
+      target_cm_label = "3Sdb2 ER (rev.)";
+      source;
+      target;
+      cases;
+    }
+  in
+  Scenario.validate scen;
+  scen

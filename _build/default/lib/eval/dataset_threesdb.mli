@@ -1,0 +1,7 @@
+(** 3Sdb biological-samples domain (Table 1 rows 3Sdb1/3Sdb2): two
+    versions of a repository of data on biological samples used in gene
+    expression analysis [Jiang et al. RE'06]. Exercises n-ary reified
+    relationships (a ternary hybridization) and reified relationships
+    with attributes. Three benchmark cases. *)
+
+val scenario : unit -> Scenario.t

@@ -1,0 +1,346 @@
+module Schema = Smg_relational.Schema
+module Cml = Smg_cm.Cml
+module Cardinality = Smg_cm.Cardinality
+module Design = Smg_er2rel.Design
+module Discover = Smg_core.Discover
+
+(* ---- UTCS: KA-ontology-style CM ---- *)
+
+let utcs_cm =
+  Cml.make ~name:"ka_onto"
+    ~isas:
+      [
+        { Cml.sub = "Professor"; super = "Person" };
+        { Cml.sub = "Student"; super = "Person" };
+        { Cml.sub = "GradStudent"; super = "Student" };
+      ]
+    ~binaries:
+      [
+        (* Example 1.3: chairOf is a part-whole association, deanOf is
+           an ordinary one — both functional Department → Faculty. *)
+        Cml.functional ~kind:Cml.PartOf "chairOf" ~src:"Department" ~dst:"Faculty";
+        Cml.functional "deanOf" ~src:"Department" ~dst:"Faculty";
+        Cml.functional "memberOf" ~src:"Professor" ~dst:"Department";
+        Cml.functional "advisedBy" ~src:"GradStudent" ~dst:"Professor";
+        Cml.functional ~kind:Cml.PartOf "offeredBy" ~src:"Course" ~dst:"Department";
+      ]
+    ~reified:
+      [
+        Cml.reified "teaches"
+          [
+            ("instructor", "Professor", Cardinality.many);
+            ("taught", "Course", Cardinality.at_least_one);
+          ];
+        Cml.reified ~attrs:[ "term" ] "enrolled"
+          [
+            ("enrollee", "Student", Cardinality.many);
+            ("course", "Course", Cardinality.many);
+          ];
+      ]
+    [
+      Cml.cls ~id:[ "pname" ] "Person" [ "pname" ];
+      Cml.cls "Professor" [ "rank" ];
+      Cml.cls "Student" [];
+      Cml.cls "GradStudent" [ "program" ];
+      Cml.cls ~id:[ "dname" ] "Department" [ "dname" ];
+      Cml.cls ~id:[ "fname" ] "Faculty" [ "fname" ];
+      Cml.cls ~id:[ "cno" ] "Course" [ "cno"; "ctitle" ];
+    ]
+
+(* The KA ontology is far larger than the UTCS schema (the paper
+   reports 105 nodes for 8 tables); extend the design fragment with
+   concepts that have no tables, each attached to the core at one
+   point. *)
+let ka_full =
+  Cml.make ~name:"ka_onto"
+    ~isas:
+      (utcs_cm.Cml.isas
+      @ [
+          { Cml.sub = "Lecturer"; super = "Person" };
+          { Cml.sub = "TechnicalStaff"; super = "Person" };
+          { Cml.sub = "Undergraduate"; super = "Student" };
+          { Cml.sub = "PhDStudent"; super = "GradStudent" };
+          { Cml.sub = "MScStudent"; super = "GradStudent" };
+          { Cml.sub = "JournalPaper"; super = "KAPublication" };
+          { Cml.sub = "ConfPaper"; super = "KAPublication" };
+          { Cml.sub = "BookChapter"; super = "KAPublication" };
+          { Cml.sub = "Workshop"; super = "KAEvent" };
+          { Cml.sub = "Meeting"; super = "KAEvent" };
+          { Cml.sub = "Institute"; super = "KAOrganization" };
+          { Cml.sub = "UniversityOrg"; super = "KAOrganization" };
+        ])
+    ~covers:utcs_cm.Cml.covers
+    ~disjointness:utcs_cm.Cml.disjointness
+    ~binaries:
+      (utcs_cm.Cml.binaries
+      @ [
+          Cml.functional "worksOn" ~src:"Professor" ~dst:"Project";
+          Cml.functional "headOf" ~src:"ResearchGroup" ~dst:"Department";
+          Cml.functional "aboutArea" ~src:"Project" ~dst:"ResearchArea";
+          Cml.functional "subArea" ~src:"ResearchArea" ~dst:"ResearchArea";
+          Cml.functional "eventAbout" ~src:"KAEvent" ~dst:"ResearchArea";
+          Cml.functional "publishedAt" ~src:"KAPublication" ~dst:"KAEvent";
+          Cml.functional "orgOf" ~src:"KAOrganization" ~dst:"ResearchArea";
+          Cml.functional "developedIn" ~src:"Product" ~dst:"Project";
+        ])
+    ~reified:utcs_cm.Cml.reified
+    (utcs_cm.Cml.classes
+    @ [
+        Cml.cls "Lecturer" [];
+        Cml.cls "TechnicalStaff" [];
+        Cml.cls "Undergraduate" [];
+        Cml.cls "PhDStudent" [];
+        Cml.cls "MScStudent" [];
+        Cml.cls ~id:[ "projid" ] "Project" [ "projid" ];
+        Cml.cls ~id:[ "areaname" ] "ResearchArea" [ "areaname" ];
+        Cml.cls ~id:[ "groupname" ] "ResearchGroup" [ "groupname" ];
+        Cml.cls ~id:[ "kapubid" ] "KAPublication" [ "kapubid" ];
+        Cml.cls "JournalPaper" [];
+        Cml.cls "ConfPaper" [];
+        Cml.cls "BookChapter" [];
+        Cml.cls ~id:[ "kaevid" ] "KAEvent" [ "kaevid" ];
+        Cml.cls "Workshop" [];
+        Cml.cls "Meeting" [];
+        Cml.cls ~id:[ "kaorgid" ] "KAOrganization" [ "kaorgid" ];
+        Cml.cls "Institute" [];
+        Cml.cls "UniversityOrg" [];
+        Cml.cls ~id:[ "prodname" ] "Product" [ "prodname" ];
+      ])
+
+let utcs = lazy (Design.design utcs_cm)
+
+(* ---- UTDB: the DB group database, hand-written, own small ontology ---- *)
+
+let utdb_cm =
+  Cml.make ~name:"csdept_onto"
+    ~binaries:
+      [
+        (* only one functional relationship between Dept and Fac — which
+           of chairOf/deanOf does it correspond to? Its partOf category
+           says: chairOf. *)
+        Cml.functional ~kind:Cml.PartOf "foo" ~src:"Dept" ~dst:"Fac";
+        Cml.functional "worksIn" ~src:"Prof" ~dst:"Dept";
+        Cml.functional "runBy" ~src:"Seminar" ~dst:"Prof";
+        Cml.functional ~kind:Cml.PartOf "labOf" ~src:"Lab" ~dst:"Dept";
+      ]
+    ~reified:
+      [
+        Cml.reified "collaborates"
+          [
+            ("colla", "Prof", Cardinality.many);
+            ("collb", "Grp", Cardinality.many);
+          ];
+      ]
+    [
+      Cml.cls ~id:[ "did" ] "Dept" [ "did"; "deptname" ];
+      Cml.cls ~id:[ "fid" ] "Fac" [ "fid"; "facname" ];
+      Cml.cls ~id:[ "pid" ] "Prof" [ "pid"; "profname" ];
+      Cml.cls ~id:[ "semid" ] "Seminar" [ "semid"; "semtitle" ];
+      Cml.cls ~id:[ "labid" ] "Lab" [ "labid"; "labname" ];
+      Cml.cls ~id:[ "gid" ] "Grp" [ "gid"; "grpname" ];
+    ]
+
+let utdb_schema =
+  Schema.make ~name:"utdb"
+    [
+      Schema.table ~key:[ "did" ] "dept"
+        [
+          ("did", Schema.TString);
+          ("deptname", Schema.TString);
+          ("head", Schema.TString);
+        ];
+      Schema.table ~key:[ "fid" ] "fac"
+        [ ("fid", Schema.TString); ("facname", Schema.TString) ];
+      Schema.table ~key:[ "pid" ] "prof"
+        [
+          ("pid", Schema.TString);
+          ("profname", Schema.TString);
+          ("dept", Schema.TString);
+        ];
+      Schema.table ~key:[ "semid" ] "seminar"
+        [
+          ("semid", Schema.TString);
+          ("semtitle", Schema.TString);
+          ("organizer", Schema.TString);
+        ];
+      Schema.table ~key:[ "labid" ] "lab"
+        [
+          ("labid", Schema.TString);
+          ("labname", Schema.TString);
+          ("labdept", Schema.TString);
+        ];
+      Schema.table ~key:[ "gid" ] "grp"
+        [ ("gid", Schema.TString); ("grpname", Schema.TString) ];
+      Schema.table ~key:[ "pid"; "gid" ] "collab"
+        [ ("pid", Schema.TString); ("gid", Schema.TString) ];
+    ]
+    [
+      Schema.ric ~name:"dept_head" ~from_:("dept", [ "head" ]) ~to_:("fac", [ "fid" ]);
+      Schema.ric ~name:"prof_dept" ~from_:("prof", [ "dept" ]) ~to_:("dept", [ "did" ]);
+      Schema.ric ~name:"sem_org" ~from_:("seminar", [ "organizer" ]) ~to_:("prof", [ "pid" ]);
+      Schema.ric ~name:"lab_dept" ~from_:("lab", [ "labdept" ]) ~to_:("dept", [ "did" ]);
+      Schema.ric ~name:"collab_pid" ~from_:("collab", [ "pid" ]) ~to_:("prof", [ "pid" ]);
+      Schema.ric ~name:"collab_gid" ~from_:("collab", [ "gid" ]) ~to_:("grp", [ "gid" ]);
+    ]
+
+let utdb_strees =
+  let n = Smg_semantics.Stree.nref in
+  [
+    Smg_semantics.Stree.make ~table:"dept" ~anchor:(n "Dept")
+      ~edges:
+        [
+          { Smg_semantics.Stree.se_src = n "Dept"; se_kind = Smg_semantics.Stree.SRel "foo"; se_dst = n "Fac" };
+        ]
+      ~cols:
+        [
+          ("did", n "Dept", "did");
+          ("deptname", n "Dept", "deptname");
+          ("head", n "Fac", "fid");
+        ]
+      ~ids:[ (n "Dept", [ "did" ]); (n "Fac", [ "head" ]) ]
+      [ n "Dept"; n "Fac" ];
+    Smg_semantics.Stree.make ~table:"fac" ~anchor:(n "Fac")
+      ~cols:[ ("fid", n "Fac", "fid"); ("facname", n "Fac", "facname") ]
+      ~ids:[ (n "Fac", [ "fid" ]) ]
+      [ n "Fac" ];
+    Smg_semantics.Stree.make ~table:"prof" ~anchor:(n "Prof")
+      ~edges:
+        [
+          { Smg_semantics.Stree.se_src = n "Prof"; se_kind = Smg_semantics.Stree.SRel "worksIn"; se_dst = n "Dept" };
+        ]
+      ~cols:
+        [
+          ("pid", n "Prof", "pid");
+          ("profname", n "Prof", "profname");
+          ("dept", n "Dept", "did");
+        ]
+      ~ids:[ (n "Prof", [ "pid" ]); (n "Dept", [ "dept" ]) ]
+      [ n "Prof"; n "Dept" ];
+    Smg_semantics.Stree.make ~table:"seminar" ~anchor:(n "Seminar")
+      ~edges:
+        [
+          { Smg_semantics.Stree.se_src = n "Seminar"; se_kind = Smg_semantics.Stree.SRel "runBy"; se_dst = n "Prof" };
+        ]
+      ~cols:
+        [
+          ("semid", n "Seminar", "semid");
+          ("semtitle", n "Seminar", "semtitle");
+          ("organizer", n "Prof", "pid");
+        ]
+      ~ids:[ (n "Seminar", [ "semid" ]); (n "Prof", [ "organizer" ]) ]
+      [ n "Seminar"; n "Prof" ];
+    Smg_semantics.Stree.make ~table:"lab" ~anchor:(n "Lab")
+      ~edges:
+        [
+          { Smg_semantics.Stree.se_src = n "Lab"; se_kind = Smg_semantics.Stree.SRel "labOf"; se_dst = n "Dept" };
+        ]
+      ~cols:
+        [
+          ("labid", n "Lab", "labid");
+          ("labname", n "Lab", "labname");
+          ("labdept", n "Dept", "did");
+        ]
+      ~ids:[ (n "Lab", [ "labid" ]); (n "Dept", [ "labdept" ]) ]
+      [ n "Lab"; n "Dept" ];
+    Smg_semantics.Stree.make ~table:"grp" ~anchor:(n "Grp")
+      ~cols:[ ("gid", n "Grp", "gid"); ("grpname", n "Grp", "grpname") ]
+      ~ids:[ (n "Grp", [ "gid" ]) ]
+      [ n "Grp" ];
+    Smg_semantics.Stree.make ~table:"collab" ~anchor:(n "collaborates")
+      ~edges:
+        [
+          { Smg_semantics.Stree.se_src = n "collaborates"; se_kind = Smg_semantics.Stree.SRole "colla"; se_dst = n "Prof" };
+          { Smg_semantics.Stree.se_src = n "collaborates"; se_kind = Smg_semantics.Stree.SRole "collb"; se_dst = n "Grp" };
+        ]
+      ~cols:[ ("pid", n "Prof", "pid"); ("gid", n "Grp", "gid") ]
+      ~ids:
+        [
+          (n "Prof", [ "pid" ]);
+          (n "Grp", [ "gid" ]);
+          (n "collaborates", [ "pid"; "gid" ]);
+        ]
+      [ n "collaborates"; n "Prof"; n "Grp" ];
+  ]
+
+let scenario () =
+  let src_schema, src_strees = Lazy.force utcs in
+  let source = Discover.side ~schema:src_schema ~cm:ka_full src_strees in
+  let target = Discover.side ~schema:utdb_schema ~cm:utdb_cm utdb_strees in
+  let bench = Scenario.bench ~source:src_schema ~target:utdb_schema in
+  let corr = Smg_cq.Mapping.corr_of_strings in
+  let cases =
+    [
+      {
+        (* Example 1.3: ⟨chairOf, foo⟩ is right, ⟨deanOf, foo⟩ wrong *)
+        Scenario.case_name = "partof-disambiguation";
+        corrs =
+          [
+            corr "department.dname" "dept.deptname";
+            corr "faculty.fname" "fac.facname";
+          ];
+        benchmark =
+          [
+            bench ~name:"partof-disambiguation"
+              ~src:
+                [
+                  ("department", [ ("dname", "v0"); ("chairOf_fname", "f") ]);
+                  ("faculty", [ ("fname", "f") ]);
+                ]
+              ~tgt:
+                [
+                  ("dept", [ ("deptname", "v0"); ("head", "f") ]);
+                  ("fac", [ ("fid", "f"); ("facname", "v1") ]);
+                ]
+              ~covered:
+                [
+                  ("department.dname", "dept.deptname");
+                  ("faculty.fname", "fac.facname");
+                ]
+              ~src_head:[ "v0"; "f" ] ~tgt_head:[ "v0"; "v1" ] ();
+          ];
+      };
+      {
+        Scenario.case_name = "professor-department";
+        corrs =
+          [
+            corr "person.pname" "prof.profname";
+            corr "department.dname" "dept.deptname";
+          ];
+        benchmark =
+          [
+            bench ~name:"professor-department"
+              ~src:
+                [
+                  ("person", [ ("pname", "v0") ]);
+                  ("professor", [ ("pname", "v0"); ("memberOf_dname", "d") ]);
+                  ("department", [ ("dname", "d") ]);
+                ]
+              ~tgt:
+                [
+                  ("prof", [ ("profname", "v0"); ("dept", "d") ]);
+                  ("dept", [ ("did", "d"); ("deptname", "v1") ]);
+                ]
+              ~covered:
+                [
+                  ("person.pname", "prof.profname");
+                  ("department.dname", "dept.deptname");
+                ]
+              ~src_head:[ "v0"; "d" ] ~tgt_head:[ "v0"; "v1" ] ();
+          ];
+      };
+    ]
+  in
+  let scen =
+    {
+      Scenario.scen_name = "UT";
+      source_label = "UTCS";
+      target_label = "UTDB";
+      source_cm_label = "KA onto.";
+      target_cm_label = "CS dept. onto.";
+      source;
+      target;
+      cases;
+    }
+  in
+  Scenario.validate scen;
+  scen

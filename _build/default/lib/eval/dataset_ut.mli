@@ -1,0 +1,8 @@
+(** University of Toronto domain (Table 1 rows UTCS/UTDB): a CS
+    department database against a DB group database, with semantics
+    expressed against richer ontologies. Exercises Example 1.3:
+    disambiguating two otherwise indistinguishable functional
+    relationships by their [partOf] semantic category. Two benchmark
+    cases. *)
+
+val scenario : unit -> Scenario.t

@@ -1,0 +1,10 @@
+let all () =
+  [
+    Dataset_dblp.scenario ();
+    Dataset_mondial.scenario ();
+    Dataset_amalgam.scenario ();
+    Dataset_threesdb.scenario ();
+    Dataset_ut.scenario ();
+    Dataset_hotel.scenario ();
+    Dataset_network.scenario ();
+  ]

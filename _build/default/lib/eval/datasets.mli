@@ -1,0 +1,3 @@
+(** All evaluation scenarios (Table 1 rows), lazily constructed. *)
+
+val all : unit -> Scenario.t list

@@ -1,0 +1,55 @@
+(** Experiment driver: runs both methods over scenarios and regenerates
+    the paper's Table 1 and Figures 6/7. *)
+
+type method_kind = Semantic | Ric_based
+
+type case_result = {
+  cr_case : string;
+  cr_method : method_kind;
+  cr_outcome : Measures.outcome;
+  cr_seconds : float;  (** wall-clock mapping-generation time *)
+}
+
+type domain_result = {
+  dr_scenario : Scenario.t;
+  dr_cases : case_result list;
+  dr_sem_precision : float;
+  dr_sem_recall : float;
+  dr_ric_precision : float;
+  dr_ric_recall : float;
+  dr_sem_seconds : float;  (** total semantic generation time, all cases *)
+  dr_ric_seconds : float;
+}
+
+val semantic_options : Smg_core.Discover.options
+(** Options used for the semantic method in experiments: strict partOf
+    filtering on, defaults otherwise. *)
+
+val presentation_window : float
+(** Candidates scored within this window of the best are counted as the
+    method's output [P]. *)
+
+val run_method :
+  method_kind -> Scenario.t -> Scenario.case -> Smg_cq.Mapping.t list
+(** Generate candidate mappings for one case. The semantic method keeps
+    its ranked non-trivial candidates up to the score of the first
+    benchmark-quality tier; the RIC method returns all candidates. *)
+
+val run_case : Scenario.t -> Scenario.case -> case_result list
+(** Both methods on one case. *)
+
+val run : Scenario.t -> domain_result
+val run_all : Scenario.t list -> domain_result list
+
+val pp_table1 : Format.formatter -> domain_result list -> unit
+(** The Table 1 reproduction: per schema — #tables, associated CM,
+    #class-like nodes in CM, #mappings tested, semantic time (s). *)
+
+val pp_fig6 : Format.formatter -> domain_result list -> unit
+(** Average precision per domain, both methods (Figure 6). *)
+
+val pp_fig7 : Format.formatter -> domain_result list -> unit
+(** Average recall per domain (Figure 7). *)
+
+val pp_cases : Format.formatter -> domain_result -> unit
+(** Per-case breakdown, for debugging and EXPERIMENTS.md. *)

@@ -1,0 +1,42 @@
+module Mapping = Smg_cq.Mapping
+
+type outcome = {
+  n_generated : int;
+  n_benchmark : int;
+  n_hits : int;
+  precision : float;
+  recall : float;
+}
+
+let score ?schemas ~generated ~benchmark () =
+  let equal p r =
+    match schemas with
+    | Some (source, target) -> Mapping.same_under ~source ~target p r
+    | None -> Mapping.same p r
+  in
+  let hits =
+    List.filter (fun r -> List.exists (fun p -> equal p r) generated) benchmark
+  in
+  let n_generated = List.length generated in
+  let n_benchmark = List.length benchmark in
+  let n_hits = List.length hits in
+  {
+    n_generated;
+    n_benchmark;
+    n_hits;
+    precision =
+      (if n_generated = 0 then 0.
+       else float_of_int n_hits /. float_of_int n_generated);
+    recall =
+      (if n_benchmark = 0 then 1.
+       else float_of_int n_hits /. float_of_int n_benchmark);
+  }
+
+let average outcomes =
+  match outcomes with
+  | [] -> (0., 0.)
+  | _ ->
+      let n = float_of_int (List.length outcomes) in
+      let sp = List.fold_left (fun acc (p, _) -> acc +. p) 0. outcomes in
+      let sr = List.fold_left (fun acc (_, r) -> acc +. r) 0. outcomes in
+      (sp /. n, sr /. n)

@@ -1,0 +1,27 @@
+(** Precision and recall of generated mapping sets against manually
+    created benchmarks, following §4 "Measures": for a case with
+    benchmark set [R] and generated set [P],
+    [precision = |P ∩ R| / |P|] and [recall = |P ∩ R| / |R|], where
+    membership uses {!Smg_cq.Mapping.same} ("the same pair of
+    connections"). *)
+
+type outcome = {
+  n_generated : int;
+  n_benchmark : int;
+  n_hits : int;
+  precision : float;  (** 0 when nothing was generated *)
+  recall : float;
+}
+
+val score :
+  ?schemas:Smg_relational.Schema.t * Smg_relational.Schema.t ->
+  generated:Smg_cq.Mapping.t list ->
+  benchmark:Smg_cq.Mapping.t list ->
+  unit ->
+  outcome
+(** With [schemas] (source, target), membership uses
+    {!Smg_cq.Mapping.same_under} (equivalence modulo chase-implied
+    atoms); otherwise plain {!Smg_cq.Mapping.same}. *)
+
+val average : (float * float) list -> float * float
+(** Average (precision, recall) pairs; [ (0., 0.) ] on empty input. *)

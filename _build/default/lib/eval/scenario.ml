@@ -1,0 +1,109 @@
+module Schema = Smg_relational.Schema
+module Cml = Smg_cm.Cml
+module Atom = Smg_cq.Atom
+module Query = Smg_cq.Query
+module Mapping = Smg_cq.Mapping
+module Discover = Smg_core.Discover
+
+type case = {
+  case_name : string;
+  corrs : Mapping.corr list;
+  benchmark : Mapping.t list;
+}
+
+type t = {
+  scen_name : string;
+  source_label : string;
+  target_label : string;
+  source_cm_label : string;
+  target_cm_label : string;
+  source : Discover.side;
+  target : Discover.side;
+  cases : case list;
+}
+
+let n_class_nodes (cm : Cml.t) =
+  List.length cm.Cml.classes + List.length cm.Cml.reified
+
+let table_atom schema table ~prefix bindings =
+  let t = Schema.find_table_exn schema table in
+  List.iter
+    (fun (c, _) ->
+      if not (Schema.has_column t c) then
+        invalid_arg (Printf.sprintf "bench: %s has no column %s" table c))
+    bindings;
+  Atom.atom table
+    (List.map
+       (fun c ->
+         match List.assoc_opt c bindings with
+         | Some v -> Atom.Var v
+         | None -> Atom.Var (Printf.sprintf "%s_%s" prefix c))
+       (Schema.column_names t))
+
+let bench ?(outer = false) ~name ~source ~target ~src ~tgt ~covered ~src_head
+    ~tgt_head () =
+  let atoms schema side_tag atoms_spec =
+    List.mapi
+      (fun i (table, bindings) ->
+        table_atom schema table
+          ~prefix:(Printf.sprintf "%s%d" side_tag i)
+          bindings)
+      atoms_spec
+  in
+  let src_atoms = atoms source "s" src in
+  let tgt_atoms = atoms target "t" tgt in
+  Mapping.make ~name ~outer
+    ~src_query:
+      (Query.make ~name:"src" ~head:(List.map Atom.v src_head) src_atoms)
+    ~tgt_query:
+      (Query.make ~name:"tgt" ~head:(List.map Atom.v tgt_head) tgt_atoms)
+    ~covered:
+      (List.map (fun (a, b) -> Mapping.corr_of_strings a b) covered)
+    ()
+
+let validate scen =
+  let check_col (schema : Schema.t) (table, col) =
+    match Schema.find_table schema table with
+    | None ->
+        invalid_arg
+          (Printf.sprintf "scenario %s: unknown table %s" scen.scen_name table)
+    | Some t ->
+        if not (Schema.has_column t col) then
+          invalid_arg
+            (Printf.sprintf "scenario %s: %s has no column %s" scen.scen_name
+               table col)
+  in
+  List.iter
+    (fun case ->
+      List.iter
+        (fun (c : Mapping.corr) ->
+          check_col scen.source.Discover.schema c.Mapping.c_src;
+          check_col scen.target.Discover.schema c.Mapping.c_tgt)
+        case.corrs;
+      List.iter
+        (fun (m : Mapping.t) ->
+          (* covered correspondences of the benchmark must be among the
+             case's correspondences *)
+          List.iter
+            (fun (c : Mapping.corr) ->
+              if
+                not
+                  (List.exists
+                     (fun c' -> Mapping.compare_corr c c' = 0)
+                     case.corrs)
+              then
+                invalid_arg
+                  (Printf.sprintf
+                     "scenario %s, case %s: benchmark covers foreign correspondence"
+                     scen.scen_name case.case_name))
+            m.Mapping.covered;
+          List.iter
+            (fun (a : Atom.t) ->
+              ignore (Schema.find_table_exn scen.source.Discover.schema a.Atom.pred))
+            m.Mapping.src_query.Query.body;
+          List.iter
+            (fun (a : Atom.t) ->
+              ignore (Schema.find_table_exn scen.target.Discover.schema a.Atom.pred))
+            m.Mapping.tgt_query.Query.body)
+        case.benchmark)
+    scen.cases

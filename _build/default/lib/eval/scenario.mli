@@ -1,0 +1,60 @@
+(** Evaluation scenarios: a schema pair with CMs and semantics, plus
+    manually-created benchmark mapping cases (§4 "Methodology").
+
+    Each case is one experiment: a set of correspondences together with
+    the benchmark set [R] of expected non-trivial mappings. *)
+
+type case = {
+  case_name : string;
+  corrs : Smg_cq.Mapping.corr list;
+  benchmark : Smg_cq.Mapping.t list;
+}
+
+type t = {
+  scen_name : string;  (** domain label, e.g. "DBLP" *)
+  source_label : string;  (** e.g. "DBLP1" *)
+  target_label : string;
+  source_cm_label : string;  (** Table 1 "associated CM" column *)
+  target_cm_label : string;
+  source : Smg_core.Discover.side;
+  target : Smg_core.Discover.side;
+  cases : case list;
+}
+
+val n_class_nodes : Smg_cm.Cml.t -> int
+(** Class-like nodes (classes + reified relationships) of a CM — the
+    Table 1 "#nodes in CM" statistic. *)
+
+val table_atom :
+  Smg_relational.Schema.t ->
+  string ->
+  prefix:string ->
+  (string * string) list ->
+  Smg_cq.Atom.t
+(** [table_atom schema t ~prefix bindings] builds an atom over table
+    [t] whose bound columns carry the given variable names and whose
+    remaining columns get fresh [prefix]-qualified variables — the
+    compact way benchmark mappings are written. *)
+
+val bench :
+  ?outer:bool ->
+  name:string ->
+  source:Smg_relational.Schema.t ->
+  target:Smg_relational.Schema.t ->
+  src:(string * (string * string) list) list ->
+  tgt:(string * (string * string) list) list ->
+  covered:(string * string) list ->
+  src_head:string list ->
+  tgt_head:string list ->
+  unit ->
+  Smg_cq.Mapping.t
+(** Build a benchmark mapping. [src]/[tgt] list the body atoms as
+    [(table, bindings)] pairs; [covered] pairs ["t.c"] strings;
+    [src_head]/[tgt_head] name the variables carrying each covered
+    correspondence, in [covered] order. *)
+
+val validate : t -> unit
+(** Sanity-check a scenario: every correspondence references existing
+    columns; every benchmark mapping's tables exist and its covered set
+    equals the case's correspondences restricted to it.
+    @raise Invalid_argument otherwise. *)

@@ -1,0 +1,100 @@
+module Value = Smg_relational.Value
+module Schema = Smg_relational.Schema
+module Instance = Smg_relational.Instance
+module Query = Smg_cq.Query
+module Mapping = Smg_cq.Mapping
+module Dependency = Smg_cq.Dependency
+module Chase = Smg_cq.Chase
+module Discover = Smg_core.Discover
+
+(* Deterministic pseudo-random stream (no Random: reproducibility). *)
+let mix seed i j = ((seed * 1103515245) + (i * 12345) + (j * 2654435761)) land 0x3FFFFFFF
+
+let populate ?(rows_per_table = 4) ~seed schema =
+  (* Pooled constants: the same small value domain is used for every
+     column, so natural joins and RIC references frequently hit. *)
+  let pool k = Value.VString (Printf.sprintf "c%d" (k mod 7)) in
+  let base =
+    List.fold_left
+      (fun inst (t : Schema.table) ->
+        let header = Schema.column_names t in
+        let rec add inst i =
+          if i >= rows_per_table then inst
+          else begin
+            let row =
+              Array.of_list
+                (List.mapi
+                   (fun j c ->
+                     (* key columns get row-unique values, others pooled *)
+                     if List.mem c t.Schema.key then
+                       Value.VString
+                         (Printf.sprintf "k_%s_%d_%d" t.Schema.tbl_name i j)
+                     else pool (mix seed i j))
+                   header)
+            in
+            add (Instance.add_tuple inst t.Schema.tbl_name ~header row) (i + 1)
+          end
+        in
+        add inst 0)
+      Instance.empty schema.Schema.tables
+  in
+  (* Chase the RICs so every reference resolves (referenced rows are
+     invented with labelled nulls where needed). *)
+  match
+    Chase.run ~max_rounds:10 ~schema ~tgds:(Dependency.ric_tgds schema)
+      ~egds:[] base
+  with
+  | Chase.Saturated i | Chase.Bounded i -> i
+  | Chase.Failed msg -> invalid_arg ("witness: chase failed: " ^ msg)
+
+type verdict = {
+  w_case : string;
+  w_agree : bool;
+  w_discovered : int;
+  w_benchmark : int;
+}
+
+let answers schema inst (q : Query.t) =
+  let rel = Query.eval schema inst q in
+  List.map
+    (fun tup -> List.map Value.to_string (Array.to_list tup))
+    rel.Smg_relational.Instance.tuples
+  |> List.sort compare
+
+let check_case ?rows_per_table ?(seed = 42) (scen : Scenario.t)
+    (case : Scenario.case) =
+  let generated =
+    Experiments.run_method Experiments.Semantic scen case
+  in
+  let schema = scen.Scenario.source.Discover.schema in
+  let hit =
+    List.find_opt
+      (fun m ->
+        List.exists
+          (fun b ->
+            Mapping.same_under ~source:schema
+              ~target:scen.Scenario.target.Discover.schema m b)
+          case.Scenario.benchmark)
+      generated
+  in
+  match (hit, case.Scenario.benchmark) with
+  | Some m, b :: _ ->
+      let inst = populate ?rows_per_table ~seed schema in
+      let got = answers schema inst m.Mapping.src_query in
+      let expected = answers schema inst b.Mapping.src_query in
+      Some
+        {
+          w_case = case.Scenario.case_name;
+          w_agree = got = expected;
+          w_discovered = List.length got;
+          w_benchmark = List.length expected;
+        }
+  | _, _ -> None
+
+let check_scenario ?seed scen =
+  List.filter_map (fun case -> check_case ?seed scen case) scen.Scenario.cases
+
+let pp_verdict ppf v =
+  Fmt.pf ppf "%-28s %s (answers: discovered %d, benchmark %d)" v.w_case
+    (if v.w_agree then "agree" else "DISAGREE")
+    v.w_discovered v.w_benchmark

@@ -1,0 +1,42 @@
+(** Instance-level witnesses: empirical confirmation that a discovered
+    mapping and the benchmark mapping produce the same data.
+
+    Symbolic equivalence ({!Smg_cq.Mapping.same_under}) is checked up to
+    a chase bound; this module complements it by *executing* both
+    mappings' source queries over a synthesized source instance that
+    satisfies the schema's keys and RICs, and comparing the answer sets.
+    Disagreement on a witness instance is definitive evidence that two
+    mappings are different; agreement on generated instances is strong
+    (not conclusive) evidence they coincide. *)
+
+val populate :
+  ?rows_per_table:int ->
+  seed:int ->
+  Smg_relational.Schema.t ->
+  Smg_relational.Instance.t
+(** Generate an instance: each table is seeded with rows of pooled
+    constants (so joins have matches), then the schema's RIC tgds are
+    chased to saturation (bounded) so referential integrity holds.
+    The result satisfies every RIC; keys hold because each row's key is
+    distinct by construction. *)
+
+type verdict = {
+  w_case : string;
+  w_agree : bool;       (** discovered answers = benchmark answers *)
+  w_discovered : int;   (** answer-set size of the discovered mapping *)
+  w_benchmark : int;
+}
+
+val check_case :
+  ?rows_per_table:int ->
+  ?seed:int ->
+  Scenario.t ->
+  Scenario.case ->
+  verdict option
+(** Execute the *best hit* among the semantic method's candidates (the
+    one matching the benchmark) and the benchmark itself over a
+    generated source instance; [None] when the method produced no hit
+    for this case. *)
+
+val check_scenario : ?seed:int -> Scenario.t -> verdict list
+val pp_verdict : Format.formatter -> verdict -> unit

@@ -1,0 +1,85 @@
+type 'e edge = { id : int; src : int; dst : int; lbl : 'e }
+
+type 'e t = {
+  n : int;
+  edge_arr : 'e edge array;
+  out_arr : int list array;  (* edge ids, ascending *)
+  in_arr : int list array;
+}
+
+let make ~n triples =
+  let check v =
+    if v < 0 || v >= n then
+      invalid_arg (Printf.sprintf "Digraph.make: node %d outside 0..%d" v (n - 1))
+  in
+  let edge_arr =
+    Array.of_list
+      (List.mapi
+         (fun id (src, dst, lbl) ->
+           check src;
+           check dst;
+           { id; src; dst; lbl })
+         triples)
+  in
+  let out_arr = Array.make n [] and in_arr = Array.make n [] in
+  (* Fill in reverse so lists end up in ascending id order. *)
+  for i = Array.length edge_arr - 1 downto 0 do
+    let e = edge_arr.(i) in
+    out_arr.(e.src) <- e.id :: out_arr.(e.src);
+    in_arr.(e.dst) <- e.id :: in_arr.(e.dst)
+  done;
+  { n; edge_arr; out_arr; in_arr }
+
+let n_nodes g = g.n
+let n_edges g = Array.length g.edge_arr
+let edge g id = g.edge_arr.(id)
+let edges g = Array.to_list g.edge_arr
+let out_edges g v = List.map (fun id -> g.edge_arr.(id)) g.out_arr.(v)
+let in_edges g v = List.map (fun id -> g.edge_arr.(id)) g.in_arr.(v)
+let nodes g = List.init g.n Fun.id
+let fold_edges f acc g = Array.fold_left f acc g.edge_arr
+
+let map_labels f g =
+  {
+    g with
+    edge_arr = Array.map (fun e -> { e with lbl = f e.lbl }) g.edge_arr;
+  }
+
+let reverse g =
+  let edge_arr =
+    Array.map (fun e -> { e with src = e.dst; dst = e.src }) g.edge_arr
+  in
+  { n = g.n; edge_arr; out_arr = g.in_arr; in_arr = g.out_arr }
+
+let is_tree_under g ~root ~edge_ids =
+  let in_deg = Hashtbl.create 16 in
+  let ok =
+    List.for_all
+      (fun id ->
+        let e = g.edge_arr.(id) in
+        let d = Option.value ~default:0 (Hashtbl.find_opt in_deg e.dst) in
+        Hashtbl.replace in_deg e.dst (d + 1);
+        d = 0 && e.dst <> root)
+      edge_ids
+  in
+  if not ok then false
+  else begin
+    (* Reachability from the root through the subset. *)
+    let chosen = Hashtbl.create 16 in
+    List.iter (fun id -> Hashtbl.replace chosen id ()) edge_ids;
+    let visited = Hashtbl.create 16 in
+    let rec go v =
+      if not (Hashtbl.mem visited v) then begin
+        Hashtbl.replace visited v ();
+        List.iter
+          (fun e -> if Hashtbl.mem chosen e.id then go e.dst)
+          (out_edges g v)
+      end
+    in
+    go root;
+    List.for_all
+      (fun id ->
+        let e = g.edge_arr.(id) in
+        Hashtbl.mem visited e.src && Hashtbl.mem visited e.dst)
+      edge_ids
+  end

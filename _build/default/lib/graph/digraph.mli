@@ -1,0 +1,51 @@
+(** Labelled directed multigraphs over integer nodes [0 .. n-1].
+
+    The graph is immutable once built. Node payloads are the caller's
+    business; edges carry an arbitrary label. Parallel edges and self
+    loops are allowed. *)
+
+type 'e edge = private {
+  id : int;  (** position in {!edges}; unique *)
+  src : int;
+  dst : int;
+  lbl : 'e;
+}
+
+type 'e t
+
+val make : n:int -> (int * int * 'e) list -> 'e t
+(** [make ~n es] builds a graph with [n] nodes and one edge per
+    [(src, dst, lbl)] triple, numbered in list order.
+    @raise Invalid_argument if an endpoint is outside [0 .. n-1]. *)
+
+val n_nodes : 'e t -> int
+val n_edges : 'e t -> int
+
+val edge : 'e t -> int -> 'e edge
+(** [edge g id] is the edge with identifier [id]. *)
+
+val edges : 'e t -> 'e edge list
+(** All edges, in identifier order. *)
+
+val out_edges : 'e t -> int -> 'e edge list
+(** Edges leaving the given node, in identifier order. *)
+
+val in_edges : 'e t -> int -> 'e edge list
+(** Edges entering the given node, in identifier order. *)
+
+val nodes : 'e t -> int list
+(** [0; 1; ...; n-1]. *)
+
+val fold_edges : ('a -> 'e edge -> 'a) -> 'a -> 'e t -> 'a
+
+val map_labels : ('e -> 'f) -> 'e t -> 'f t
+(** Same structure, relabelled edges (identifiers preserved). *)
+
+val reverse : 'e t -> 'e t
+(** Every edge flipped; identifiers preserved. *)
+
+val is_tree_under : 'e t -> root:int -> edge_ids:int list -> bool
+(** [is_tree_under g ~root ~edge_ids] checks that the given edge subset
+    forms an arborescence rooted at [root]: every edge's destination has
+    in-degree exactly one within the subset, the root has in-degree zero,
+    and all edges are reachable from the root through the subset. *)

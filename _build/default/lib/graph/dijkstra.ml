@@ -1,0 +1,109 @@
+type result = {
+  src : int;
+  dist_arr : float array;  (* infinity = unreachable *)
+  via : int array;         (* incoming edge id on best path; -1 = none *)
+  pred : int array;        (* predecessor node on best path; -1 = none *)
+}
+
+(* Binary min-heap on (priority, node); small but Dijkstra runs often. *)
+module Heap = struct
+  type t = { mutable data : (float * int) array; mutable size : int }
+
+  let create () = { data = Array.make 64 (0., 0); size = 0 }
+
+  let swap h i j =
+    let t = h.data.(i) in
+    h.data.(i) <- h.data.(j);
+    h.data.(j) <- t
+
+  let push h x =
+    if h.size = Array.length h.data then begin
+      let bigger = Array.make (2 * h.size) (0., 0) in
+      Array.blit h.data 0 bigger 0 h.size;
+      h.data <- bigger
+    end;
+    h.data.(h.size) <- x;
+    let i = ref h.size in
+    h.size <- h.size + 1;
+    while !i > 0 && fst h.data.((!i - 1) / 2) > fst h.data.(!i) do
+      swap h ((!i - 1) / 2) !i;
+      i := (!i - 1) / 2
+    done
+
+  let pop h =
+    if h.size = 0 then None
+    else begin
+      let top = h.data.(0) in
+      h.size <- h.size - 1;
+      h.data.(0) <- h.data.(h.size);
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < h.size && fst h.data.(l) < fst h.data.(!smallest) then
+          smallest := l;
+        if r < h.size && fst h.data.(r) < fst h.data.(!smallest) then
+          smallest := r;
+        if !smallest <> !i then begin
+          swap h !i !smallest;
+          i := !smallest
+        end
+        else continue := false
+      done;
+      Some top
+    end
+end
+
+let run g ~cost ~src =
+  let n = Digraph.n_nodes g in
+  let dist_arr = Array.make n infinity in
+  let via = Array.make n (-1) in
+  let pred = Array.make n (-1) in
+  let settled = Array.make n false in
+  dist_arr.(src) <- 0.;
+  let heap = Heap.create () in
+  Heap.push heap (0., src);
+  let rec loop () =
+    match Heap.pop heap with
+    | None -> ()
+    | Some (d, v) ->
+        if not settled.(v) then begin
+          settled.(v) <- true;
+          List.iter
+            (fun (e : _ Digraph.edge) ->
+              match cost e with
+              | None -> ()
+              | Some c ->
+                  let nd = d +. c in
+                  if nd < dist_arr.(e.dst) then begin
+                    dist_arr.(e.dst) <- nd;
+                    via.(e.dst) <- e.id;
+                    pred.(e.dst) <- e.src;
+                    Heap.push heap (nd, e.dst)
+                  end)
+            (Digraph.out_edges g v)
+        end;
+        loop ()
+  in
+  loop ();
+  { src; dist_arr; via; pred }
+
+let dist r v =
+  if v < 0 || v >= Array.length r.dist_arr then None
+  else
+    let d = r.dist_arr.(v) in
+    if d = infinity then None else Some d
+
+let path_edges r v =
+  match dist r v with
+  | None -> None
+  | Some _ ->
+      let rec back v acc =
+        if v = r.src then acc
+        else back r.pred.(v) (r.via.(v) :: acc)
+      in
+      Some (back v [])
+
+let all_pairs g ~cost =
+  Array.init (Digraph.n_nodes g) (fun src -> run g ~cost ~src)

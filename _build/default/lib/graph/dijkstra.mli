@@ -1,0 +1,25 @@
+(** Single-source shortest paths with per-edge optional costs.
+
+    An edge whose cost function returns [None] is not traversable; costs
+    must be non-negative. *)
+
+type result
+(** Shortest-path tree from one source. *)
+
+val run : 'e Digraph.t -> cost:('e Digraph.edge -> float option) -> src:int -> result
+(** Dijkstra from [src]. *)
+
+val dist : result -> int -> float option
+(** [dist r v] is the cost of the cheapest path to [v], or [None] if
+    unreachable. *)
+
+val path_edges : result -> int -> int list option
+(** Edge identifiers of a cheapest path from the source to [v], in path
+    order, or [None] if unreachable. The path to the source itself is
+    [Some []]. *)
+
+val all_pairs :
+  'e Digraph.t ->
+  cost:('e Digraph.edge -> float option) ->
+  result array
+(** One {!result} per source node, indexed by node. *)

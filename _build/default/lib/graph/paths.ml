@@ -1,0 +1,32 @@
+type 'e path = { edge_ids : int list; nodes : int list }
+
+let simple_paths g ~src ~dst ~max_len ~ok =
+  let acc = ref [] in
+  let on_path = Hashtbl.create 16 in
+  let rec dfs v edges_rev nodes_rev len =
+    if v = dst then
+      acc :=
+        { edge_ids = List.rev edges_rev; nodes = List.rev nodes_rev } :: !acc;
+    (* Keep extending even after touching dst only if dst <> v later; a
+       simple path visiting dst must end there, so stop here. *)
+    if v <> dst && len < max_len then
+      List.iter
+        (fun (e : _ Digraph.edge) ->
+          if ok e && not (Hashtbl.mem on_path e.dst) then begin
+            Hashtbl.replace on_path e.dst ();
+            dfs e.dst (e.id :: edges_rev) (e.dst :: nodes_rev) (len + 1);
+            Hashtbl.remove on_path e.dst
+          end)
+        (Digraph.out_edges g v)
+  in
+  Hashtbl.replace on_path src ();
+  dfs src [] [ src ] 0;
+  List.rev !acc
+
+let best_paths g ~src ~dst ~max_len ~ok ~score =
+  let all = simple_paths g ~src ~dst ~max_len ~ok in
+  match all with
+  | [] -> []
+  | _ ->
+      let best = List.fold_left (fun m p -> min m (score p)) infinity all in
+      List.filter (fun p -> score p <= best +. 1e-9) all

@@ -1,0 +1,31 @@
+(** Bounded enumeration of simple paths, with lexicographic costs.
+
+    Used to find "minimally lossy" connections (§3.3 of the paper):
+    among paths between two marked nodes we prefer the ones with the
+    fewest functional-direction reversals, breaking ties by length. *)
+
+type 'e path = {
+  edge_ids : int list;  (** in path order *)
+  nodes : int list;     (** [src; ...; dst], one more than edges *)
+}
+
+val simple_paths :
+  'e Digraph.t ->
+  src:int ->
+  dst:int ->
+  max_len:int ->
+  ok:('e Digraph.edge -> bool) ->
+  'e path list
+(** All simple (node-repetition-free) paths from [src] to [dst] of at
+    most [max_len] edges, using only edges accepted by [ok]. The
+    degenerate [src = dst] case yields the empty path. *)
+
+val best_paths :
+  'e Digraph.t ->
+  src:int ->
+  dst:int ->
+  max_len:int ->
+  ok:('e Digraph.edge -> bool) ->
+  score:('e path -> float) ->
+  'e path list
+(** The simple paths minimising [score] (all ties kept). *)

@@ -1,0 +1,123 @@
+type tree = { root : int; edge_ids : int list; cost : float }
+
+let eps = 1e-9
+
+(* Dreyfus–Wagner for directed Steiner arborescence.
+
+   A(X, v) = cheapest arborescence rooted at v reaching terminal set X.
+     A({t}, v)      = d(v, t)
+     A(X, v), |X|>1 = min_w ( d(v, w) + min_{0 ⊂ X1 ⊂ X} A(X1, w) + A(X\X1, w) )
+
+   Terminal sets are bitmasks over the terminal list. Reconstruction
+   records, per (X, v), either a Via(w, X1) split or the direct path for
+   singletons. *)
+
+type choice =
+  | Leaf of int (* terminal node: shortest path v -> t *)
+  | Via of int * int (* (w, submask): path v -> w, then split X1 / X\X1 at w *)
+
+let arborescence_all g ~cost ~terminals =
+  (* Shared DP over all roots; returns a function root -> tree option. *)
+  let n = Digraph.n_nodes g in
+  let terms = Array.of_list terminals in
+  let k = Array.length terms in
+  if k = 0 then invalid_arg "Steiner: empty terminal list";
+  let sp = Dijkstra.all_pairs g ~cost in
+  let d u v = Option.value ~default:infinity (Dijkstra.dist sp.(u) v) in
+  let full = (1 lsl k) - 1 in
+  (* a.(mask).(v) : cost; ch.(mask).(v) : reconstruction choice *)
+  let a = Array.make_matrix (full + 1) n infinity in
+  let ch = Array.make_matrix (full + 1) n (Leaf (-1)) in
+  for i = 0 to k - 1 do
+    let mask = 1 lsl i in
+    for v = 0 to n - 1 do
+      a.(mask).(v) <- d v terms.(i);
+      ch.(mask).(v) <- Leaf terms.(i)
+    done
+  done;
+  for mask = 1 to full do
+    if mask land (mask - 1) <> 0 then begin
+      (* |mask| >= 2: first the best split at each node w *)
+      let split_cost = Array.make n infinity in
+      let split_sub = Array.make n 0 in
+      let sub = ref ((mask - 1) land mask) in
+      while !sub > 0 do
+        let other = mask lxor !sub in
+        (* Consider each unordered partition once: sub < other. *)
+        if !sub < other then
+          for w = 0 to n - 1 do
+            let c = a.(!sub).(w) +. a.(other).(w) in
+            if c < split_cost.(w) then begin
+              split_cost.(w) <- c;
+              split_sub.(w) <- !sub
+            end
+          done;
+        sub := (!sub - 1) land mask
+      done;
+      (* Then the cheapest w reached from each v.  This is itself a
+         shortest-path relaxation: a.(mask).(v) = min_w (d v w + split(w)).
+         With all-pairs distances available we do it directly. *)
+      for v = 0 to n - 1 do
+        for w = 0 to n - 1 do
+          if split_cost.(w) < infinity then begin
+            let c = d v w +. split_cost.(w) in
+            if c < a.(mask).(v) then begin
+              a.(mask).(v) <- c;
+              ch.(mask).(v) <- Via (w, split_sub.(w))
+            end
+          end
+        done
+      done
+    end
+  done;
+  let reconstruct root =
+    if a.(full).(root) = infinity then None
+    else begin
+      let edges = Hashtbl.create 16 in
+      let add_path u v =
+        match Dijkstra.path_edges sp.(u) v with
+        | None -> assert false
+        | Some ids -> List.iter (fun id -> Hashtbl.replace edges id ()) ids
+      in
+      let rec go mask v =
+        match ch.(mask).(v) with
+        | Leaf t -> add_path v t
+        | Via (w, sub) ->
+            add_path v w;
+            go sub w;
+            go (mask lxor sub) w
+      in
+      go full root;
+      let edge_ids =
+        Hashtbl.fold (fun id () acc -> id :: acc) edges []
+        |> List.sort compare
+      in
+      Some { root; edge_ids; cost = a.(full).(root) }
+    end
+  in
+  reconstruct
+
+let arborescence g ~cost ~root ~terminals =
+  (arborescence_all g ~cost ~terminals) root
+
+let minimal_trees g ~cost ~roots ~terminals =
+  let solve = arborescence_all g ~cost ~terminals in
+  let candidates = List.filter_map solve roots in
+  match candidates with
+  | [] -> []
+  | _ ->
+      let best =
+        List.fold_left (fun m t -> min m t.cost) infinity candidates
+      in
+      List.filter (fun t -> t.cost <= best +. eps) candidates
+
+let tree_nodes g t =
+  let tbl = Hashtbl.create 16 in
+  Hashtbl.replace tbl t.root ();
+  List.iter
+    (fun id ->
+      let e = Digraph.edge g id in
+      Hashtbl.replace tbl e.src ();
+      Hashtbl.replace tbl e.dst ())
+    t.edge_ids;
+  Hashtbl.fold (fun v () acc -> v :: acc) tbl [] |> List.sort compare

@@ -1,0 +1,36 @@
+(** Exact minimum-cost Steiner arborescences (Dreyfus–Wagner).
+
+    Used to compute the paper's "minimal functional trees": trees rooted
+    at a node from which every terminal is reached along (cheap,
+    typically functional) directed paths. Terminal counts here are small
+    (≤ 10 or so), which is exactly the regime where the Dreyfus–Wagner
+    dynamic program over terminal subsets is practical. *)
+
+type tree = {
+  root : int;
+  edge_ids : int list;  (** edges of the arborescence, deduplicated *)
+  cost : float;
+}
+
+val arborescence :
+  'e Digraph.t ->
+  cost:('e Digraph.edge -> float option) ->
+  root:int ->
+  terminals:int list ->
+  tree option
+(** Minimum-cost arborescence rooted at [root] reaching every terminal,
+    or [None] if some terminal is unreachable. Terminals may include the
+    root. @raise Invalid_argument on an empty terminal list. *)
+
+val minimal_trees :
+  'e Digraph.t ->
+  cost:('e Digraph.edge -> float option) ->
+  roots:int list ->
+  terminals:int list ->
+  tree list
+(** Arborescences over every candidate root, keeping exactly the ones
+    whose cost ties the global minimum (within [eps = 1e-9]). Empty if no
+    root reaches all terminals. *)
+
+val tree_nodes : 'e Digraph.t -> tree -> int list
+(** All nodes touched by the tree (root included), ascending. *)

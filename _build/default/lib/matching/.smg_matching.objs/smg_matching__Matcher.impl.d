@@ -1,0 +1,1 @@
+lib/matching/matcher.ml: Array Buffer Fun List Smg_cq Smg_relational String

@@ -1,0 +1,1 @@
+lib/matching/matcher.mli: Smg_cq Smg_relational

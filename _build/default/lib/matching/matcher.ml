@@ -1,0 +1,99 @@
+module Schema = Smg_relational.Schema
+module Mapping = Smg_cq.Mapping
+
+let levenshtein a b =
+  let la = String.length a and lb = String.length b in
+  if la = 0 then lb
+  else if lb = 0 then la
+  else begin
+    let prev = Array.init (lb + 1) Fun.id in
+    let cur = Array.make (lb + 1) 0 in
+    for i = 1 to la do
+      cur.(0) <- i;
+      for j = 1 to lb do
+        let cost = if a.[i - 1] = b.[j - 1] then 0 else 1 in
+        cur.(j) <- min (min (cur.(j - 1) + 1) (prev.(j) + 1)) (prev.(j - 1) + cost)
+      done;
+      Array.blit cur 0 prev 0 (lb + 1)
+    done;
+    prev.(lb)
+  end
+
+let tokens s =
+  let out = ref [] and buf = Buffer.create 8 in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      out := String.lowercase_ascii (Buffer.contents buf) :: !out;
+      Buffer.clear buf
+    end
+  in
+  String.iteri
+    (fun i c ->
+      if c = '_' || c = '.' || c = '-' || c = ' ' then flush ()
+      else begin
+        if
+          c >= 'A' && c <= 'Z' && i > 0
+          && s.[i - 1] >= 'a'
+          && s.[i - 1] <= 'z'
+        then flush ();
+        Buffer.add_char buf c
+      end)
+    s;
+  flush ();
+  List.rev !out
+
+let norm s = String.concat "" (tokens s)
+
+let char_similarity a b =
+  let a = norm a and b = norm b in
+  let la = String.length a and lb = String.length b in
+  if la = 0 && lb = 0 then 1.
+  else
+    let d = levenshtein a b in
+    1. -. (float_of_int d /. float_of_int (max la lb))
+
+let jaccard a b =
+  let ta = List.sort_uniq compare (tokens a)
+  and tb = List.sort_uniq compare (tokens b) in
+  match (ta, tb) with
+  | [], [] -> 1.
+  | _ ->
+      let inter = List.length (List.filter (fun t -> List.mem t tb) ta) in
+      let union = List.length (List.sort_uniq compare (ta @ tb)) in
+      float_of_int inter /. float_of_int union
+
+let similarity a b =
+  if String.equal (norm a) (norm b) then 1.
+  else (0.5 *. char_similarity a b) +. (0.5 *. jaccard a b)
+
+type match_result = { corr : Mapping.corr; confidence : float }
+
+let propose ?(threshold = 0.55) ~source ~target () =
+  let columns (s : Schema.t) =
+    List.concat_map
+      (fun (t : Schema.table) ->
+        List.map (fun c -> (t.Schema.tbl_name, c)) (Schema.column_names t))
+      s.Schema.tables
+  in
+  let src_cols = columns source and tgt_cols = columns target in
+  let score (st, sc) (tt, tc) =
+    (* column name dominates; the table context breaks ties *)
+    (0.8 *. similarity sc tc) +. (0.2 *. similarity st tt)
+  in
+  List.filter_map
+    (fun tgt ->
+      let best =
+        List.fold_left
+          (fun acc src ->
+            let s = score src tgt in
+            match acc with
+            | Some (_, s') when s' >= s -> acc
+            | _ -> Some (src, s))
+          None src_cols
+      in
+      match best with
+      | Some (src, s) when s >= threshold ->
+          Some { corr = Mapping.corr ~src ~tgt; confidence = s }
+      | Some _ | None -> None)
+    tgt_cols
+  |> List.sort (fun a b -> compare b.confidence a.confidence)

@@ -1,0 +1,32 @@
+(** A simple schema matcher proposing column correspondences — the
+    "first phase" tool the paper assumes exists ([Rahm & Bernstein,
+    VLDBJ'01] survey). Name-based: tokenised column and table names
+    compared with normalised Levenshtein similarity plus token overlap.
+
+    This is intentionally basic; the paper's contribution starts *after*
+    correspondences exist. The matcher makes the examples and the CLI
+    self-contained. *)
+
+val levenshtein : string -> string -> int
+
+val similarity : string -> string -> float
+(** In [0, 1]: 1 for equal strings after normalisation. Combines
+    token-set overlap (Jaccard) with character-level closeness. *)
+
+val tokens : string -> string list
+(** Split on underscores, dots and camelCase boundaries; lowercase. *)
+
+type match_result = {
+  corr : Smg_cq.Mapping.corr;
+  confidence : float;
+}
+
+val propose :
+  ?threshold:float ->
+  source:Smg_relational.Schema.t ->
+  target:Smg_relational.Schema.t ->
+  unit ->
+  match_result list
+(** Correspondence proposals with confidence ≥ [threshold] (default
+    0.55), each target column matched to its best source column,
+    sorted by decreasing confidence. *)

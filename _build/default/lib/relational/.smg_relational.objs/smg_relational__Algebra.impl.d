@@ -1,0 +1,1 @@
+lib/relational/algebra.ml: Array Fmt Hashtbl Instance List Printf Schema String Value

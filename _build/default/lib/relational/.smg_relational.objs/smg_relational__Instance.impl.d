@@ -1,0 +1,1 @@
+lib/relational/instance.ml: Array Fmt Hashtbl List Map Printf Schema String Value

@@ -1,0 +1,1 @@
+lib/relational/schema.ml: Fmt Hashtbl List Option Printf String

@@ -1,0 +1,1 @@
+lib/relational/sql_ddl.ml: Array Buffer Hashtbl List Printf Schema String Value

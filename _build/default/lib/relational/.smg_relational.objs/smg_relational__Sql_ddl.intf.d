@@ -1,0 +1,1 @@
+lib/relational/sql_ddl.mli: Schema Value

@@ -1,0 +1,44 @@
+(** Relational algebra: AST, pretty-printing, and an in-memory
+    evaluator over {!Instance.t}.
+
+    Joins are natural joins on shared column names; [Rename] is the tool
+    for aligning join columns. Outer joins pad missing columns with fresh
+    labelled nulls, which is how the paper's outer-join mappings
+    (Example 1.2) materialise merged ISA hierarchies. *)
+
+type operand = Col of string | Const of Value.t
+
+type pred =
+  | True
+  | Eq of operand * operand
+  | Neq of operand * operand
+  | Lt of operand * operand
+  | And of pred * pred
+  | Or of pred * pred
+  | Not of pred
+
+type t =
+  | Table of string
+  | Select of pred * t
+  | Project of string list * t
+  | Rename of (string * string) list * t  (** [(old, new)] pairs *)
+  | Join of t * t
+  | Product of t * t
+  | Union of t * t
+  | Diff of t * t
+  | LeftOuter of t * t
+  | FullOuter of t * t
+
+val columns : Schema.t -> t -> string list
+(** Output header of the expression under the schema.
+    @raise Invalid_argument on unknown tables/columns or on set
+    operations over mismatched headers. *)
+
+val eval : Schema.t -> Instance.t -> t -> Instance.relation
+(** Evaluate with set semantics. Missing relations are empty. *)
+
+val natural_join_cols : string list -> string list -> string list
+(** Shared columns, in first-header order. *)
+
+val pp : Format.formatter -> t -> unit
+val pp_pred : Format.formatter -> pred -> unit

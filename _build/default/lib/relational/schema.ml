@@ -1,0 +1,131 @@
+type col_type = TInt | TString | TFloat | TBool
+
+type column = { col_name : string; col_type : col_type }
+
+type table = { tbl_name : string; columns : column list; key : string list }
+
+type ric = {
+  ric_name : string;
+  from_table : string;
+  from_cols : string list;
+  to_table : string;
+  to_cols : string list;
+}
+
+type t = { schema_name : string; tables : table list; rics : ric list }
+
+let col col_name col_type = { col_name; col_type }
+
+let table ?(key = []) tbl_name cols =
+  { tbl_name; columns = List.map (fun (n, ty) -> col n ty) cols; key }
+
+let ric ~name ~from_:(from_table, from_cols) ~to_:(to_table, to_cols) =
+  { ric_name = name; from_table; from_cols; to_table; to_cols }
+
+let column_names t = List.map (fun c -> c.col_name) t.columns
+let has_column t name = List.exists (fun c -> String.equal c.col_name name) t.columns
+
+let column_type t name =
+  List.find_opt (fun c -> String.equal c.col_name name) t.columns
+  |> Option.map (fun c -> c.col_type)
+
+let find_table s name =
+  List.find_opt (fun t -> String.equal t.tbl_name name) s.tables
+
+let find_table_exn s name =
+  match find_table s name with
+  | Some t -> t
+  | None -> invalid_arg (Printf.sprintf "schema %s: no table %s" s.schema_name name)
+
+let validate s =
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun t ->
+      if Hashtbl.mem seen t.tbl_name then
+        invalid_arg (Printf.sprintf "duplicate table %s" t.tbl_name);
+      Hashtbl.replace seen t.tbl_name ();
+      let cols = Hashtbl.create 8 in
+      List.iter
+        (fun c ->
+          if Hashtbl.mem cols c.col_name then
+            invalid_arg
+              (Printf.sprintf "table %s: duplicate column %s" t.tbl_name
+                 c.col_name);
+          Hashtbl.replace cols c.col_name ())
+        t.columns;
+      List.iter
+        (fun k ->
+          if not (Hashtbl.mem cols k) then
+            invalid_arg
+              (Printf.sprintf "table %s: key column %s missing" t.tbl_name k))
+        t.key)
+    s.tables;
+  List.iter
+    (fun r ->
+      let from_t = find_table_exn s r.from_table
+      and to_t = find_table_exn s r.to_table in
+      if List.length r.from_cols <> List.length r.to_cols then
+        invalid_arg (Printf.sprintf "ric %s: arity mismatch" r.ric_name);
+      if r.from_cols = [] then
+        invalid_arg (Printf.sprintf "ric %s: empty column list" r.ric_name);
+      List.iter
+        (fun c ->
+          if not (has_column from_t c) then
+            invalid_arg
+              (Printf.sprintf "ric %s: %s has no column %s" r.ric_name
+                 r.from_table c))
+        r.from_cols;
+      List.iter
+        (fun c ->
+          if not (has_column to_t c) then
+            invalid_arg
+              (Printf.sprintf "ric %s: %s has no column %s" r.ric_name
+                 r.to_table c))
+        r.to_cols)
+    s.rics
+
+let make ~name tables rics =
+  let s = { schema_name = name; tables; rics } in
+  validate s;
+  s
+
+let rics_from s name =
+  List.filter (fun r -> String.equal r.from_table name) s.rics
+
+let rics_to s name = List.filter (fun r -> String.equal r.to_table name) s.rics
+
+let equal_table a b =
+  String.equal a.tbl_name b.tbl_name
+  && a.key = b.key
+  && List.length a.columns = List.length b.columns
+  && List.for_all2
+       (fun x y -> String.equal x.col_name y.col_name && x.col_type = y.col_type)
+       a.columns b.columns
+
+let pp_col_type ppf = function
+  | TInt -> Fmt.string ppf "int"
+  | TString -> Fmt.string ppf "string"
+  | TFloat -> Fmt.string ppf "float"
+  | TBool -> Fmt.string ppf "bool"
+
+let pp_table ppf t =
+  let pp_col ppf c =
+    if List.mem c.col_name t.key then
+      Fmt.pf ppf "%s*:%a" c.col_name pp_col_type c.col_type
+    else Fmt.pf ppf "%s:%a" c.col_name pp_col_type c.col_type
+  in
+  Fmt.pf ppf "%s(%a)" t.tbl_name (Fmt.list ~sep:Fmt.comma pp_col) t.columns
+
+let pp_ric ppf r =
+  Fmt.pf ppf "%s: %s.[%a] ⊆ %s.[%a]" r.ric_name r.from_table
+    Fmt.(list ~sep:comma string)
+    r.from_cols r.to_table
+    Fmt.(list ~sep:comma string)
+    r.to_cols
+
+let pp ppf s =
+  Fmt.pf ppf "@[<v>schema %s@,%a@,%a@]" s.schema_name
+    (Fmt.list ~sep:Fmt.cut pp_table)
+    s.tables
+    (Fmt.list ~sep:Fmt.cut pp_ric)
+    s.rics

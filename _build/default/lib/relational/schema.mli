@@ -1,0 +1,52 @@
+(** Relational schemas: tables with typed columns, primary keys, and
+    referential integrity constraints (RICs, generalised foreign keys). *)
+
+type col_type = TInt | TString | TFloat | TBool
+
+type column = { col_name : string; col_type : col_type }
+
+type table = {
+  tbl_name : string;
+  columns : column list;
+  key : string list;  (** primary-key column names; may be empty *)
+}
+
+type ric = {
+  ric_name : string;
+  from_table : string;
+  from_cols : string list;
+  to_table : string;
+  to_cols : string list;
+}
+(** [from_table.from_cols ⊆ to_table.to_cols], component-wise. *)
+
+type t = { schema_name : string; tables : table list; rics : ric list }
+
+val table : ?key:string list -> string -> (string * col_type) list -> table
+(** Convenience constructor; by default the key is empty. *)
+
+val col : string -> col_type -> column
+
+val make : name:string -> table list -> ric list -> t
+(** Validates and builds a schema.
+    @raise Invalid_argument when table names collide, a key or RIC
+    mentions an unknown table/column, or a RIC's column lists have
+    different lengths. *)
+
+val ric :
+  name:string -> from_:string * string list -> to_:string * string list -> ric
+
+val find_table : t -> string -> table option
+val find_table_exn : t -> string -> table
+val column_names : table -> string list
+val has_column : table -> string -> bool
+val column_type : table -> string -> col_type option
+
+val rics_from : t -> string -> ric list
+(** RICs whose [from_table] is the given table. *)
+
+val rics_to : t -> string -> ric list
+
+val equal_table : table -> table -> bool
+val pp_table : Format.formatter -> table -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,87 @@
+let column_type = function
+  | Schema.TString -> "TEXT"
+  | Schema.TInt -> "INTEGER"
+  | Schema.TFloat -> "REAL"
+  | Schema.TBool -> "BOOLEAN"
+
+let create_table (schema : Schema.t) (t : Schema.table) =
+  let cols =
+    List.map
+      (fun (c : Schema.column) ->
+        Printf.sprintf "  %s %s" c.Schema.col_name (column_type c.Schema.col_type))
+      t.Schema.columns
+  in
+  let pk =
+    match t.Schema.key with
+    | [] -> []
+    | key -> [ Printf.sprintf "  PRIMARY KEY (%s)" (String.concat ", " key) ]
+  in
+  let fks =
+    List.filter_map
+      (fun (r : Schema.ric) ->
+        if String.equal r.Schema.from_table t.Schema.tbl_name then
+          Some
+            (Printf.sprintf "  FOREIGN KEY (%s) REFERENCES %s (%s)"
+               (String.concat ", " r.Schema.from_cols)
+               r.Schema.to_table
+               (String.concat ", " r.Schema.to_cols))
+        else None)
+      schema.Schema.rics
+  in
+  Printf.sprintf "CREATE TABLE %s (\n%s\n);" t.Schema.tbl_name
+    (String.concat ",\n" (cols @ pk @ fks))
+
+let create_schema (s : Schema.t) =
+  (* referenced-first topological order; cycles keep declaration order *)
+  let tables = s.Schema.tables in
+  let depends_on (t : Schema.table) =
+    List.filter_map
+      (fun (r : Schema.ric) ->
+        if
+          String.equal r.Schema.from_table t.Schema.tbl_name
+          && not (String.equal r.Schema.to_table t.Schema.tbl_name)
+        then Some r.Schema.to_table
+        else None)
+      s.Schema.rics
+  in
+  let emitted = Hashtbl.create 16 in
+  let order = ref [] in
+  let rec emit ?(stack = []) (t : Schema.table) =
+    if (not (Hashtbl.mem emitted t.Schema.tbl_name))
+       && not (List.mem t.Schema.tbl_name stack)
+    then begin
+      List.iter
+        (fun dep ->
+          match Schema.find_table s dep with
+          | Some dt -> emit ~stack:(t.Schema.tbl_name :: stack) dt
+          | None -> ())
+        (depends_on t);
+      if not (Hashtbl.mem emitted t.Schema.tbl_name) then begin
+        Hashtbl.replace emitted t.Schema.tbl_name ();
+        order := t :: !order
+      end
+    end
+  in
+  List.iter emit tables;
+  String.concat "\n\n" (List.map (create_table s) (List.rev !order))
+
+let sql_value = function
+  | Value.VInt i -> string_of_int i
+  | Value.VFloat f -> string_of_float f
+  | Value.VBool b -> if b then "TRUE" else "FALSE"
+  | Value.VString str ->
+      (* escape single quotes *)
+      let b = Buffer.create (String.length str + 2) in
+      Buffer.add_char b '\'';
+      String.iter
+        (fun c ->
+          if c = '\'' then Buffer.add_string b "''" else Buffer.add_char b c)
+        str;
+      Buffer.add_char b '\'';
+      Buffer.contents b
+  | Value.VNull _ -> "NULL"
+
+let insert_tuple (t : Schema.table) tup =
+  Printf.sprintf "INSERT INTO %s (%s) VALUES (%s);" t.Schema.tbl_name
+    (String.concat ", " (Schema.column_names t))
+    (String.concat ", " (List.map sql_value (Array.to_list tup)))

@@ -1,0 +1,19 @@
+(** SQL DDL rendering: turn {!Schema.t} values into executable
+    [CREATE TABLE] statements (generic SQL-92 flavour), so scenarios can
+    be materialised on a real database. *)
+
+val column_type : Schema.col_type -> string
+(** [TEXT] / [INTEGER] / [REAL] / [BOOLEAN]. *)
+
+val create_table : Schema.t -> Schema.table -> string
+(** One [CREATE TABLE] statement, with the primary key and the foreign
+    keys whose referencing table this is. *)
+
+val create_schema : Schema.t -> string
+(** All tables (in an order that defines referenced tables first where
+    the RIC graph is acyclic; cyclic references fall back to declaration
+    order), separated by blank lines. *)
+
+val insert_tuple : Schema.table -> Value.t array -> string
+(** An [INSERT] statement for one tuple (labelled nulls render as SQL
+    [NULL]). *)

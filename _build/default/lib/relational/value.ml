@@ -1,0 +1,34 @@
+type t =
+  | VInt of int
+  | VString of string
+  | VFloat of float
+  | VBool of bool
+  | VNull of int
+
+let equal a b =
+  match (a, b) with
+  | VInt x, VInt y -> x = y
+  | VString x, VString y -> String.equal x y
+  | VFloat x, VFloat y -> x = y
+  | VBool x, VBool y -> x = y
+  | VNull x, VNull y -> x = y
+  | (VInt _ | VString _ | VFloat _ | VBool _ | VNull _), _ -> false
+
+let compare = Stdlib.compare
+let is_null = function VNull _ -> true | _ -> false
+
+let pp ppf = function
+  | VInt i -> Fmt.int ppf i
+  | VString s -> Fmt.pf ppf "%S" s
+  | VFloat f -> Fmt.float ppf f
+  | VBool b -> Fmt.bool ppf b
+  | VNull n -> Fmt.pf ppf "_N%d" n
+
+let to_string v = Fmt.str "%a" pp v
+let counter = ref 0
+
+let fresh_null () =
+  incr counter;
+  VNull !counter
+
+let reset_null_counter () = counter := 0

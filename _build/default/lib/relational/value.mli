@@ -1,0 +1,24 @@
+(** Atomic values stored in relations.
+
+    [VNull n] is a labelled null (marked variable) as used in data
+    exchange: two labelled nulls are equal iff their labels are equal,
+    and a labelled null never equals a constant. *)
+
+type t =
+  | VInt of int
+  | VString of string
+  | VFloat of float
+  | VBool of bool
+  | VNull of int
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val is_null : t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val fresh_null : unit -> t
+(** A labelled null with a process-unique label. *)
+
+val reset_null_counter : unit -> unit
+(** Reset the label source (tests only, for determinism). *)

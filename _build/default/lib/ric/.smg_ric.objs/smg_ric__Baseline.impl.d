@@ -1,0 +1,1 @@
+lib/ric/baseline.ml: Fmt Hashtbl List Option Printf Smg_cq Smg_relational String

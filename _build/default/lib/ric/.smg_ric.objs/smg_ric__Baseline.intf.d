@@ -1,0 +1,1 @@
+lib/ric/baseline.mli: Format Smg_cq Smg_relational

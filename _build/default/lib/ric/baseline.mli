@@ -1,0 +1,36 @@
+(** The RIC-based mapping-generation baseline (Clio, [Popa et al.
+    VLDB'02]), as described in §1/§4 of the paper.
+
+    Logical relations are assembled by chasing referential integrity
+    constraints from each table; every pair of a source and a target
+    logical relation that covers at least one correspondence yields a
+    candidate mapping. Before pairing, the "remove unnecessary joins"
+    heuristic of [Fuxman et al. VLDB'06] prunes chased atoms that do not
+    contribute correspondence-covered columns. *)
+
+type logical_relation = {
+  lr_root : string;            (** the table the chase started from *)
+  lr_atoms : Smg_cq.Atom.t list;  (** joined table atoms (shared variables) *)
+}
+
+val logical_relations :
+  ?max_atoms:int -> Smg_relational.Schema.t -> logical_relation list
+(** One logical relation per table of the schema. The chase merges
+    referenced atoms when their referenced columns already carry the
+    same variables; each RIC fires at most once per atom, and the
+    total atom count is bounded by [max_atoms] (default 24) so cyclic
+    RICs that keep inventing fresh variables terminate (Clio bounds its
+    unfolding the same way). *)
+
+val var_of : table:string -> occurrence:int -> column:string -> string
+(** Naming scheme of the chase variables (exposed for tests). *)
+
+val generate :
+  source:Smg_relational.Schema.t ->
+  target:Smg_relational.Schema.t ->
+  corrs:Smg_cq.Mapping.corr list ->
+  Smg_cq.Mapping.t list
+(** All candidate mappings, deduplicated with {!Smg_cq.Mapping.same} and
+    sorted by score (number of atoms). *)
+
+val pp_logical_relation : Format.formatter -> logical_relation -> unit

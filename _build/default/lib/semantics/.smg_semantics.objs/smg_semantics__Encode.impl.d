@@ -1,0 +1,1 @@
+lib/semantics/encode.ml: Hashtbl List Printf Smg_cm Smg_cq Smg_graph Stree String

@@ -1,0 +1,1 @@
+lib/semantics/encode.mli: Smg_cm Smg_cq Stree

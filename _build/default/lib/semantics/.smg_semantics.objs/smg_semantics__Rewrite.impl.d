@@ -1,0 +1,1 @@
+lib/semantics/rewrite.ml: Encode Fmt Hashtbl List Option Printf Smg_cm Smg_cq Smg_relational Stree String Sys

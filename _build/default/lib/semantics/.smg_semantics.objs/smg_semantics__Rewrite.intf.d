@@ -1,0 +1,1 @@
+lib/semantics/rewrite.mli: Smg_cm Smg_cq Smg_relational Stree

@@ -1,0 +1,1 @@
+lib/semantics/stree.ml: Array Fmt Fun List Printf Smg_cm Smg_graph Smg_relational String

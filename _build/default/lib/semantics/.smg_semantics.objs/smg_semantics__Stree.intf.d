@@ -1,0 +1,1 @@
+lib/semantics/stree.mli: Format Smg_cm Smg_relational

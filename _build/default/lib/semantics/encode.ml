@@ -1,0 +1,211 @@
+module Cml = Smg_cm.Cml
+module Cm_graph = Smg_cm.Cm_graph
+module Digraph = Smg_graph.Digraph
+module Atom = Smg_cq.Atom
+module Query = Smg_cq.Query
+
+type pred_kind =
+  | PCls of string
+  | PRel of string
+  | PRole of string * string
+  | PAttr of string * string
+
+let cls_pred c = "o:cls:" ^ c
+let rel_pred r = "o:rel:" ^ r
+let role_pred ~rr role = "o:role:" ^ rr ^ "." ^ role
+let attr_pred ~owner a = "o:attr:" ^ owner ^ "." ^ a
+
+let strip prefix s =
+  if String.length s >= String.length prefix
+     && String.sub s 0 (String.length prefix) = prefix
+  then Some (String.sub s (String.length prefix) (String.length s - String.length prefix))
+  else None
+
+let split_dot s =
+  match String.index_opt s '.' with
+  | None -> None
+  | Some i ->
+      Some (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+
+let parse_pred s =
+  match strip "o:cls:" s with
+  | Some c -> Some (PCls c)
+  | None -> (
+      match strip "o:rel:" s with
+      | Some r -> Some (PRel r)
+      | None -> (
+          match strip "o:role:" s with
+          | Some rest -> (
+              match split_dot rest with
+              | Some (rr, role) -> Some (PRole (rr, role))
+              | None -> None)
+          | None -> (
+              match strip "o:attr:" s with
+              | Some rest -> (
+                  match split_dot rest with
+                  | Some (owner, a) -> Some (PAttr (owner, a))
+                  | None -> None)
+              | None -> None)))
+
+(* --- view of an s-tree ------------------------------------------------ *)
+
+let ref_var (n : Stree.node_ref) =
+  if n.Stree.nr_copy = 0 then "x_" ^ n.Stree.nr_class
+  else Printf.sprintf "x_%s~%d" n.Stree.nr_class n.Stree.nr_copy
+
+(* Union-find over node_refs keyed by their variable name. *)
+module Uf = struct
+  type t = (string, string) Hashtbl.t
+
+  let create () : t = Hashtbl.create 16
+
+  let rec find (uf : t) x =
+    match Hashtbl.find_opt uf x with
+    | None -> x
+    | Some p ->
+        let r = find uf p in
+        Hashtbl.replace uf x r;
+        r
+
+  let union uf a b =
+    let ra = find uf a and rb = find uf b in
+    if ra <> rb then Hashtbl.replace uf ra rb
+end
+
+let view_of_stree g st =
+  let cm = Cm_graph.cm g in
+  let uf = Uf.create () in
+  List.iter
+    (fun (e : Stree.sedge) ->
+      match e.se_kind with
+      | Stree.SIsa -> Uf.union uf (ref_var e.se_src) (ref_var e.se_dst)
+      | Stree.SRel _ | Stree.SRole _ -> ())
+    st.Stree.st_edges;
+  let v n = Atom.Var (Uf.find uf (ref_var n)) in
+  let class_atoms =
+    List.map
+      (fun (n : Stree.node_ref) -> Atom.atom (cls_pred n.nr_class) [ v n ])
+      st.st_nodes
+  in
+  let edge_atoms =
+    List.filter_map
+      (fun (e : Stree.sedge) ->
+        match e.se_kind with
+        | Stree.SRel r -> Some (Atom.atom (rel_pred r) [ v e.se_src; v e.se_dst ])
+        | Stree.SRole ro ->
+            Some
+              (Atom.atom
+                 (role_pred ~rr:e.se_src.nr_class ro)
+                 [ v e.se_src; v e.se_dst ])
+        | Stree.SIsa -> None)
+      st.st_edges
+  in
+  let attr_atoms =
+    List.map
+      (fun (c, n, a) ->
+        let owner =
+          match Stree.declaring_class cm n.Stree.nr_class a with
+          | Some o -> o
+          | None -> n.Stree.nr_class
+        in
+        Atom.atom (attr_pred ~owner a) [ v n; Atom.Var c ])
+      st.col_map
+  in
+  let head = List.map (fun (c, _, _) -> Atom.Var c) st.col_map in
+  Query.make ~name:("view_" ^ st.st_table) ~head
+    (class_atoms @ edge_atoms @ attr_atoms)
+
+(* --- CSG encoding ------------------------------------------------------ *)
+
+type csg = {
+  csg_nodes : int list;
+  csg_edges : int list;
+  csg_outputs : (int * string * string) list;
+  csg_anchor : int option;
+}
+
+let normalize g csg =
+  let graph = Cm_graph.graph g in
+  let endpoints =
+    List.concat_map
+      (fun id ->
+        let e = Digraph.edge graph id in
+        [ e.Digraph.src; e.Digraph.dst ])
+      csg.csg_edges
+  in
+  let nodes =
+    List.sort_uniq compare
+      (csg.csg_nodes @ endpoints
+      @ List.map (fun (n, _, _) -> n) csg.csg_outputs)
+  in
+  { csg with csg_nodes = nodes; csg_edges = List.sort_uniq compare csg.csg_edges }
+
+let var_of_node n = "x" ^ string_of_int n
+
+let query_of_csg g csg =
+  let csg = normalize g csg in
+  let cm = Cm_graph.cm g in
+  let graph = Cm_graph.graph g in
+  let uf = Uf.create () in
+  List.iter
+    (fun id ->
+      let e = Digraph.edge graph id in
+      match e.Digraph.lbl.Cm_graph.kind with
+      | Cm_graph.Isa | Cm_graph.IsaInv ->
+          Uf.union uf (var_of_node e.src) (var_of_node e.dst)
+      | Cm_graph.Rel _ | Cm_graph.RelInv _ | Cm_graph.Role _
+      | Cm_graph.RoleInv _ | Cm_graph.HasAttr _ ->
+          ())
+    csg.csg_edges;
+  let v n = Atom.Var (Uf.find uf (var_of_node n)) in
+  let class_atoms =
+    List.filter_map
+      (fun n ->
+        if Cm_graph.is_class_like g n then
+          Some (Atom.atom (cls_pred (Cm_graph.node_name g n)) [ v n ])
+        else None)
+      csg.csg_nodes
+  in
+  let edge_atoms =
+    List.filter_map
+      (fun id ->
+        let e = Digraph.edge graph id in
+        match e.Digraph.lbl.Cm_graph.kind with
+        | Cm_graph.Rel r -> Some (Atom.atom (rel_pred r) [ v e.src; v e.dst ])
+        | Cm_graph.RelInv r ->
+            Some (Atom.atom (rel_pred r) [ v e.dst; v e.src ])
+        | Cm_graph.Role ro ->
+            Some
+              (Atom.atom
+                 (role_pred ~rr:(Cm_graph.node_name g e.src) ro)
+                 [ v e.src; v e.dst ])
+        | Cm_graph.RoleInv ro ->
+            Some
+              (Atom.atom
+                 (role_pred ~rr:(Cm_graph.node_name g e.dst) ro)
+                 [ v e.dst; v e.src ])
+        | Cm_graph.Isa | Cm_graph.IsaInv -> None
+        | Cm_graph.HasAttr _ -> None)
+      csg.csg_edges
+  in
+  let attr_atoms =
+    List.map
+      (fun (n, a, ans) ->
+        let cls = Cm_graph.node_name g n in
+        let owner =
+          match Stree.declaring_class cm cls a with
+          | Some o -> o
+          | None -> cls
+        in
+        Atom.atom (attr_pred ~owner a) [ v n; Atom.Var ans ])
+      csg.csg_outputs
+  in
+  (* Deduplicate atoms that ISA unification may have made identical. *)
+  let body =
+    List.fold_left
+      (fun acc a -> if List.exists (Atom.equal a) acc then acc else acc @ [ a ])
+      []
+      (class_atoms @ edge_atoms @ attr_atoms)
+  in
+  let head = List.map (fun (_, _, ans) -> Atom.Var ans) csg.csg_outputs in
+  Query.make ~name:"csg" ~head body

@@ -1,0 +1,50 @@
+(** Encoding s-trees and conceptual subgraphs (CSGs) as conjunctive
+    formulas over CM predicates ([3]'s recursive encoding, §2/§3.4).
+
+    Predicate naming convention (parsed back by {!parse_pred}):
+    - classes:        [o:cls:C]
+    - relationships:  [o:rel:r]           (canonical src → dst argument order)
+    - roles:          [o:role:RR.role]    (reified instance, filler)
+    - attributes:     [o:attr:Owner.attr] (owner = declaring class) *)
+
+type pred_kind =
+  | PCls of string
+  | PRel of string
+  | PRole of string * string  (** (reified class, role name) *)
+  | PAttr of string * string  (** (declaring class, attribute) *)
+
+val cls_pred : string -> string
+val rel_pred : string -> string
+val role_pred : rr:string -> string -> string
+val attr_pred : owner:string -> string -> string
+
+val parse_pred : string -> pred_kind option
+(** [None] for non-CM predicates (e.g. table names). *)
+
+val view_of_stree : Smg_cm.Cm_graph.t -> Stree.t -> Smg_cq.Query.t
+(** The LAV view [T(cols) → ∃ȳ Φ]: head = the table's columns (as
+    variables named after them, in [col_map] order), body = the CM
+    atoms of the s-tree. ISA edges unify the variables of their two
+    endpoints (identity flows through ISA). *)
+
+(** A conceptual subgraph over a CM graph: class-like nodes, connection
+    edges, and requested attribute outputs. *)
+type csg = {
+  csg_nodes : int list;
+  csg_edges : int list;  (** CM-graph edge identifiers *)
+  csg_outputs : (int * string * string) list;
+      (** (node, attribute, answer-variable name) *)
+  csg_anchor : int option;
+}
+
+val normalize : Smg_cm.Cm_graph.t -> csg -> csg
+(** Add edge endpoints to the node list; deduplicate and sort. *)
+
+val query_of_csg : Smg_cm.Cm_graph.t -> csg -> Smg_cq.Query.t
+(** Encode the CSG: one variable per node (merged across ISA edges),
+    class atoms for every node, relationship/role atoms per edge, and
+    attribute atoms for the outputs; the head lists the answer
+    variables in [csg_outputs] order. *)
+
+val var_of_node : int -> string
+(** The variable name used for a CM-graph node. *)

@@ -1,0 +1,251 @@
+module Cml = Smg_cm.Cml
+module Cm_graph = Smg_cm.Cm_graph
+module Schema = Smg_relational.Schema
+module Digraph = Smg_graph.Digraph
+
+type node_ref = { nr_class : string; nr_copy : int }
+
+type sedge_kind = SRel of string | SRole of string | SIsa
+
+type sedge = { se_src : node_ref; se_kind : sedge_kind; se_dst : node_ref }
+
+type t = {
+  st_table : string;
+  st_nodes : node_ref list;
+  st_edges : sedge list;
+  st_anchor : node_ref option;
+  col_map : (string * node_ref * string) list;
+  id_map : (node_ref * string list) list;
+}
+
+let nref ?(copy = 0) cls = { nr_class = cls; nr_copy = copy }
+
+let equal_ref a b =
+  String.equal a.nr_class b.nr_class && a.nr_copy = b.nr_copy
+
+let make ~table ?anchor ?(edges = []) ?(cols = []) ?(ids = []) nodes =
+  {
+    st_table = table;
+    st_nodes = nodes;
+    st_edges = edges;
+    st_anchor = anchor;
+    col_map = cols;
+    id_map = ids;
+  }
+
+let declaring_class cm cls attr =
+  let candidates = cls :: Cml.ancestors cm cls in
+  List.find_opt
+    (fun c ->
+      match Cml.find_class cm c with
+      | Some d -> List.mem attr d.Cml.attributes
+      | None -> (
+          (* reified relationship "classes" may also carry attributes *)
+          match
+            List.find_opt (fun r -> String.equal r.Cml.rr_name c) cm.Cml.reified
+          with
+          | Some r -> List.mem attr r.Cml.rr_attributes
+          | None -> false))
+    candidates
+
+let node_of_column st col =
+  List.find_map
+    (fun (c, n, a) -> if String.equal c col then Some (n, a) else None)
+    st.col_map
+
+let columns_of_node st n =
+  List.filter_map
+    (fun (c, n', a) -> if equal_ref n n' then Some (c, a) else None)
+    st.col_map
+
+let id_columns st n =
+  List.find_map
+    (fun (n', cols) -> if equal_ref n n' then Some cols else None)
+    st.id_map
+
+let graph_node g (n : node_ref) = Cm_graph.class_node_exn g n.nr_class
+
+let fail table fmt =
+  Printf.ksprintf
+    (fun msg -> invalid_arg (Printf.sprintf "s-tree of %s: %s" table msg))
+    fmt
+
+let validate g (tbl : Schema.table) st =
+  let cm = Cm_graph.cm g in
+  if not (String.equal st.st_table tbl.Schema.tbl_name) then
+    fail st.st_table "table name mismatch with %s" tbl.Schema.tbl_name;
+  if st.st_nodes = [] then fail st.st_table "no nodes";
+  let mem_node n = List.exists (equal_ref n) st.st_nodes in
+  List.iter
+    (fun n ->
+      match Cm_graph.class_node g n.nr_class with
+      | Some _ -> ()
+      | None -> fail st.st_table "unknown class %s" n.nr_class)
+    st.st_nodes;
+  (match st.st_anchor with
+  | Some a when not (mem_node a) -> fail st.st_table "anchor not a node"
+  | Some _ | None -> ());
+  (* Edge well-formedness against the CM. *)
+  List.iter
+    (fun e ->
+      if not (mem_node e.se_src && mem_node e.se_dst) then
+        fail st.st_table "edge endpoint outside node list";
+      match e.se_kind with
+      | SRel r -> (
+          match
+            List.find_opt (fun b -> String.equal b.Cml.rel_name r) cm.Cml.binaries
+          with
+          | None -> fail st.st_table "unknown relationship %s" r
+          | Some b ->
+              if
+                not
+                  (String.equal b.Cml.rel_src e.se_src.nr_class
+                  && String.equal b.Cml.rel_dst e.se_dst.nr_class)
+              then
+                fail st.st_table "relationship %s does not link %s to %s" r
+                  e.se_src.nr_class e.se_dst.nr_class)
+      | SRole ro -> (
+          match
+            List.find_opt
+              (fun rr -> String.equal rr.Cml.rr_name e.se_src.nr_class)
+              cm.Cml.reified
+          with
+          | None -> fail st.st_table "edge role %s: %s is not reified" ro e.se_src.nr_class
+          | Some rr -> (
+              match
+                List.find_opt
+                  (fun x -> String.equal x.Cml.role_name ro)
+                  rr.Cml.roles
+              with
+              | None -> fail st.st_table "reified %s has no role %s" rr.Cml.rr_name ro
+              | Some role ->
+                  if not (String.equal role.Cml.filler e.se_dst.nr_class) then
+                    fail st.st_table "role %s filler mismatch" ro))
+      | SIsa ->
+          if
+            not
+              (List.exists
+                 (fun i ->
+                   String.equal i.Cml.sub e.se_src.nr_class
+                   && String.equal i.Cml.super e.se_dst.nr_class)
+                 cm.Cml.isas)
+          then
+            fail st.st_table "no ISA %s < %s" e.se_src.nr_class
+              e.se_dst.nr_class)
+    st.st_edges;
+  (* Tree shape: connected and |E| = |V| - 1 (undirected, no dup edges). *)
+  let n_nodes = List.length st.st_nodes in
+  if List.length st.st_edges <> n_nodes - 1 then
+    fail st.st_table "not a tree: %d nodes, %d edges" n_nodes
+      (List.length st.st_edges);
+  if n_nodes > 1 then begin
+    let idx n =
+      let rec go k = function
+        | [] -> assert false
+        | x :: rest -> if equal_ref x n then k else go (k + 1) rest
+      in
+      go 0 st.st_nodes
+    in
+    let adj = Array.make n_nodes [] in
+    List.iter
+      (fun e ->
+        let a = idx e.se_src and b = idx e.se_dst in
+        adj.(a) <- b :: adj.(a);
+        adj.(b) <- a :: adj.(b))
+      st.st_edges;
+    let seen = Array.make n_nodes false in
+    let rec dfs v =
+      if not seen.(v) then begin
+        seen.(v) <- true;
+        List.iter dfs adj.(v)
+      end
+    in
+    dfs 0;
+    if not (Array.for_all Fun.id seen) then fail st.st_table "disconnected"
+  end;
+  (* Columns: bijection between table columns and col_map entries. *)
+  let cols = Schema.column_names tbl in
+  List.iter
+    (fun c ->
+      match List.filter (fun (c', _, _) -> String.equal c c') st.col_map with
+      | [ (_, n, a) ] -> (
+          if not (mem_node n) then
+            fail st.st_table "column %s maps to unknown node" c;
+          match declaring_class cm n.nr_class a with
+          | Some _ -> ()
+          | None ->
+              fail st.st_table "column %s: class %s has no attribute %s" c
+                n.nr_class a)
+      | [] -> fail st.st_table "column %s unmapped" c
+      | _ -> fail st.st_table "column %s mapped twice" c)
+    cols;
+  List.iter
+    (fun (c, _, _) ->
+      if not (List.mem c cols) then
+        fail st.st_table "col_map mentions unknown column %s" c)
+    st.col_map;
+  List.iter
+    (fun (n, id_cols) ->
+      if not (mem_node n) then fail st.st_table "id_map node missing";
+      if id_cols = [] then fail st.st_table "empty id column list";
+      List.iter
+        (fun c ->
+          if not (List.mem c cols) then
+            fail st.st_table "id_map mentions unknown column %s" c)
+        id_cols)
+    st.id_map
+
+let matches_sedge g (e : Cm_graph.edge_lbl Digraph.edge) se =
+  let src_ok = e.src = graph_node g se.se_src
+  and dst_ok = e.dst = graph_node g se.se_dst in
+  match (se.se_kind, e.lbl.Cm_graph.kind) with
+  | SRel r, Cm_graph.Rel r' -> src_ok && dst_ok && String.equal r r'
+  | SRole ro, Cm_graph.Role ro' -> src_ok && dst_ok && String.equal ro ro'
+  | SIsa, Cm_graph.Isa -> src_ok && dst_ok
+  | _, _ -> false
+
+let forward_graph_edges g st =
+  let graph = Cm_graph.graph g in
+  List.concat_map
+    (fun se ->
+      Digraph.edges graph
+      |> List.filter_map (fun e ->
+             if matches_sedge g e se then Some e.Digraph.id else None))
+    st.st_edges
+  |> List.sort_uniq compare
+
+let graph_edge_ids g st =
+  let forward = forward_graph_edges g st in
+  let with_inv =
+    List.concat_map
+      (fun id ->
+        match Cm_graph.inverse_edge g id with
+        | Some inv -> [ id; inv ]
+        | None -> [ id ])
+      forward
+  in
+  List.sort_uniq compare with_inv
+
+let pp_ref ppf n =
+  if n.nr_copy = 0 then Fmt.string ppf n.nr_class
+  else Fmt.pf ppf "%s~%d" n.nr_class n.nr_copy
+
+let pp_edge ppf e =
+  let k =
+    match e.se_kind with SRel r -> r | SRole r -> "role:" ^ r | SIsa -> "isa"
+  in
+  Fmt.pf ppf "%a --%s--> %a" pp_ref e.se_src k pp_ref e.se_dst
+
+let pp ppf st =
+  Fmt.pf ppf "@[<v2>s-tree(%s):@,nodes: %a@,edges: %a@,cols: %a@,ids: %a@]"
+    st.st_table
+    (Fmt.list ~sep:Fmt.comma pp_ref)
+    st.st_nodes
+    (Fmt.list ~sep:Fmt.comma pp_edge)
+    st.st_edges
+    (Fmt.list ~sep:Fmt.comma (fun ppf (c, n, a) ->
+         Fmt.pf ppf "%s↦%a.%s" c pp_ref n a))
+    st.col_map
+    (Fmt.list ~sep:Fmt.comma (fun ppf (n, cols) ->
+         Fmt.pf ppf "%a:[%a]" pp_ref n Fmt.(list ~sep:comma string) cols))
+    st.id_map

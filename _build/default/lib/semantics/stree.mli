@@ -1,0 +1,76 @@
+(** Semantic trees (s-trees): the semantics of one table as a subtree of
+    a CM graph (§2 of the paper).
+
+    Nodes are class references with copy indices (copies support multiple
+    or recursive relationships between the same classes). Each table
+    column is associated with exactly one attribute of one node; the
+    [id_map] records which columns identify which node's instances — the
+    "rule expressing how classes involved in the s-tree of T are
+    identified by columns of T". *)
+
+type node_ref = { nr_class : string; nr_copy : int }
+
+type sedge_kind =
+  | SRel of string   (** binary relationship, canonical src → dst *)
+  | SRole of string  (** reified class → filler, role name *)
+  | SIsa             (** subclass → superclass *)
+
+type sedge = { se_src : node_ref; se_kind : sedge_kind; se_dst : node_ref }
+
+type t = {
+  st_table : string;
+  st_nodes : node_ref list;
+  st_edges : sedge list;
+  st_anchor : node_ref option;
+  col_map : (string * node_ref * string) list;
+      (** (table column, node, attribute name); attribute may be declared
+          on the node's class or inherited from an ancestor *)
+  id_map : (node_ref * string list) list;
+      (** node instances are identified by these table columns *)
+}
+
+val nref : ?copy:int -> string -> node_ref
+val equal_ref : node_ref -> node_ref -> bool
+
+val make :
+  table:string ->
+  ?anchor:node_ref ->
+  ?edges:sedge list ->
+  ?cols:(string * node_ref * string) list ->
+  ?ids:(node_ref * string list) list ->
+  node_ref list ->
+  t
+
+val validate : Smg_cm.Cm_graph.t -> Smg_relational.Schema.table -> t -> unit
+(** Check the s-tree against its CM and table: every node's class exists;
+    every edge matches a CM relationship/role/ISA with the right end
+    classes; nodes form a tree; every table column is mapped exactly
+    once; mapped attributes exist on the class or an ancestor; id_map
+    references mapped-or-known columns and s-tree nodes.
+    @raise Invalid_argument with a diagnostic otherwise. *)
+
+val node_of_column : t -> string -> (node_ref * string) option
+(** The (node, attribute) a column maps to. *)
+
+val columns_of_node : t -> node_ref -> (string * string) list
+(** [(column, attribute)] pairs carried by a node. *)
+
+val id_columns : t -> node_ref -> string list option
+
+val graph_node : Smg_cm.Cm_graph.t -> node_ref -> int
+(** Underlying CM-graph node of a reference (copies collapse). *)
+
+val graph_edge_ids : Smg_cm.Cm_graph.t -> t -> int list
+(** CM-graph edge ids realised by the s-tree's edges, including the
+    paired inverses — the table's "pre-selected" edges whose traversal
+    is free during tree search. *)
+
+val forward_graph_edges : Smg_cm.Cm_graph.t -> t -> int list
+(** Like {!graph_edge_ids} but one (canonical-direction) id per s-tree
+    edge, without the inverses. *)
+
+val declaring_class : Smg_cm.Cml.t -> string -> string -> string option
+(** [declaring_class cm cls attr] is the class in [{cls} ∪ ancestors]
+    that declares [attr], searching upwards. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+test/fixtures.ml: List Smg_cm Smg_core Smg_cq Smg_relational Smg_semantics

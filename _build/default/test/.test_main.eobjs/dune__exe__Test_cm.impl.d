@@ -1,0 +1,1 @@
+test/test_cm.ml: Alcotest List Option Smg_cm Smg_graph

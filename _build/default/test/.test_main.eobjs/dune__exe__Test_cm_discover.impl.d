@@ -1,0 +1,1 @@
+test/test_cm_discover.ml: Alcotest List Smg_cm Smg_core Smg_cq Smg_semantics

@@ -1,0 +1,1 @@
+test/test_cq.ml: Alcotest Array Fmt List Option QCheck QCheck_alcotest Smg_cq Smg_relational

@@ -1,0 +1,1 @@
+test/test_discover.ml: Alcotest Array Fixtures List Option Smg_core Smg_cq Smg_eval Smg_relational Smg_semantics String

@@ -1,0 +1,1 @@
+test/test_dsl.ml: Alcotest List Smg_cm Smg_core Smg_dsl Smg_er2rel Smg_eval Smg_relational Smg_semantics String

@@ -1,0 +1,1 @@
+test/test_er2rel.ml: Alcotest Fixtures List Smg_cm Smg_core Smg_er2rel Smg_relational Smg_semantics

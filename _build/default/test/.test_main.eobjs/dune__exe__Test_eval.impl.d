@@ -1,0 +1,1 @@
+test/test_eval.ml: Alcotest Fixtures Lazy List Smg_core Smg_cq Smg_eval Smg_relational

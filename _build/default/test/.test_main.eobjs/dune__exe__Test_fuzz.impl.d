@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Fmt Fun List Printf QCheck QCheck_alcotest Smg_cm Smg_core Smg_cq Smg_er2rel Smg_relational Smg_ric

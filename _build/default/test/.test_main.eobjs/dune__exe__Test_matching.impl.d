@@ -1,0 +1,1 @@
+test/test_matching.ml: Alcotest Fixtures List Option Smg_cq Smg_matching

@@ -1,0 +1,1 @@
+test/test_relational.ml: Alcotest Array List QCheck QCheck_alcotest Smg_relational

@@ -1,0 +1,1 @@
+test/test_ric.ml: Alcotest Fixtures List Smg_cq Smg_relational Smg_ric

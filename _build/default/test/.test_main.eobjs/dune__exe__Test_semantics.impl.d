@@ -1,0 +1,1 @@
+test/test_semantics.ml: Alcotest Fixtures Lazy List Smg_cm Smg_cq Smg_graph Smg_relational Smg_semantics

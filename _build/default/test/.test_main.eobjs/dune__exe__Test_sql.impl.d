@@ -1,0 +1,1 @@
+test/test_sql.ml: Alcotest Fixtures List Smg_cm Smg_core Smg_cq Smg_relational String

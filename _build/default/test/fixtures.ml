@@ -1,0 +1,374 @@
+(* Shared test fixtures: the paper's running examples as reusable
+   scenario builders.
+
+   - [books]: Example 1.1 (person/writes/book/soldAt/bookstore vs
+     hasBookSoldAt)
+   - [employees]: Example 1.2 (programmer+engineer vs employee,
+     ISA encodings)
+   - [projects]: Example 3.1 (control/manage vs proj) *)
+
+module Schema = Smg_relational.Schema
+module Cml = Smg_cm.Cml
+module Cardinality = Smg_cm.Cardinality
+module Stree = Smg_semantics.Stree
+module Mapping = Smg_cq.Mapping
+module Discover = Smg_core.Discover
+
+let n = Stree.nref
+
+(* ---------------- books (Example 1.1) ---------------- *)
+
+module Books = struct
+  let source_schema =
+    Schema.make ~name:"src"
+      [
+        Schema.table ~key:[ "pname" ] "person" [ ("pname", Schema.TString) ];
+        Schema.table ~key:[ "pname"; "bid" ] "writes"
+          [ ("pname", Schema.TString); ("bid", Schema.TString) ];
+        Schema.table ~key:[ "bid" ] "book" [ ("bid", Schema.TString) ];
+        Schema.table ~key:[ "bid"; "sid" ] "soldAt"
+          [ ("bid", Schema.TString); ("sid", Schema.TString) ];
+        Schema.table ~key:[ "sid" ] "bookstore" [ ("sid", Schema.TString) ];
+      ]
+      [
+        Schema.ric ~name:"r1" ~from_:("writes", [ "pname" ]) ~to_:("person", [ "pname" ]);
+        Schema.ric ~name:"r2" ~from_:("writes", [ "bid" ]) ~to_:("book", [ "bid" ]);
+        Schema.ric ~name:"r3" ~from_:("soldAt", [ "bid" ]) ~to_:("book", [ "bid" ]);
+        Schema.ric ~name:"r4" ~from_:("soldAt", [ "sid" ]) ~to_:("bookstore", [ "sid" ]);
+      ]
+
+  let source_cm =
+    Cml.make ~name:"src-cm"
+      ~reified:
+        [
+          Cml.reified "writes"
+            [
+              ("writes_author", "Person", Cardinality.many);
+              ("writes_work", "Book", Cardinality.at_least_one);
+            ];
+          Cml.reified "soldAt"
+            [
+              ("soldAt_item", "Book", Cardinality.many);
+              ("soldAt_store", "Bookstore", Cardinality.many);
+            ];
+        ]
+      [
+        Cml.cls ~id:[ "pname" ] "Person" [ "pname" ];
+        Cml.cls ~id:[ "bid" ] "Book" [ "bid" ];
+        Cml.cls ~id:[ "sid" ] "Bookstore" [ "sid" ];
+      ]
+
+  let source_strees =
+    [
+      Stree.make ~table:"person" ~anchor:(n "Person")
+        ~cols:[ ("pname", n "Person", "pname") ]
+        ~ids:[ (n "Person", [ "pname" ]) ]
+        [ n "Person" ];
+      Stree.make ~table:"book" ~anchor:(n "Book")
+        ~cols:[ ("bid", n "Book", "bid") ]
+        ~ids:[ (n "Book", [ "bid" ]) ]
+        [ n "Book" ];
+      Stree.make ~table:"bookstore" ~anchor:(n "Bookstore")
+        ~cols:[ ("sid", n "Bookstore", "sid") ]
+        ~ids:[ (n "Bookstore", [ "sid" ]) ]
+        [ n "Bookstore" ];
+      Stree.make ~table:"writes" ~anchor:(n "writes")
+        ~edges:
+          [
+            { se_src = n "writes"; se_kind = Stree.SRole "writes_author"; se_dst = n "Person" };
+            { se_src = n "writes"; se_kind = Stree.SRole "writes_work"; se_dst = n "Book" };
+          ]
+        ~cols:[ ("pname", n "Person", "pname"); ("bid", n "Book", "bid") ]
+        ~ids:
+          [
+            (n "Person", [ "pname" ]);
+            (n "Book", [ "bid" ]);
+            (n "writes", [ "pname"; "bid" ]);
+          ]
+        [ n "writes"; n "Person"; n "Book" ];
+      Stree.make ~table:"soldAt" ~anchor:(n "soldAt")
+        ~edges:
+          [
+            { se_src = n "soldAt"; se_kind = Stree.SRole "soldAt_item"; se_dst = n "Book" };
+            { se_src = n "soldAt"; se_kind = Stree.SRole "soldAt_store"; se_dst = n "Bookstore" };
+          ]
+        ~cols:[ ("bid", n "Book", "bid"); ("sid", n "Bookstore", "sid") ]
+        ~ids:
+          [
+            (n "Book", [ "bid" ]);
+            (n "Bookstore", [ "sid" ]);
+            (n "soldAt", [ "bid"; "sid" ]);
+          ]
+        [ n "soldAt"; n "Book"; n "Bookstore" ];
+    ]
+
+  let target_schema =
+    Schema.make ~name:"tgt"
+      [
+        Schema.table ~key:[ "aname"; "sid" ] "hasBookSoldAt"
+          [ ("aname", Schema.TString); ("sid", Schema.TString) ];
+      ]
+      []
+
+  let target_cm =
+    Cml.make ~name:"tgt-cm"
+      ~reified:
+        [
+          Cml.reified "hasBookSoldAt"
+            [
+              ("hb_author", "Author", Cardinality.many);
+              ("hb_store", "Bookstore", Cardinality.many);
+            ];
+        ]
+      [
+        Cml.cls ~id:[ "aname" ] "Author" [ "aname" ];
+        Cml.cls ~id:[ "sid" ] "Bookstore" [ "sid" ];
+      ]
+
+  let target_strees =
+    [
+      Stree.make ~table:"hasBookSoldAt" ~anchor:(n "hasBookSoldAt")
+        ~edges:
+          [
+            { se_src = n "hasBookSoldAt"; se_kind = Stree.SRole "hb_author"; se_dst = n "Author" };
+            { se_src = n "hasBookSoldAt"; se_kind = Stree.SRole "hb_store"; se_dst = n "Bookstore" };
+          ]
+        ~cols:[ ("aname", n "Author", "aname"); ("sid", n "Bookstore", "sid") ]
+        ~ids:
+          [
+            (n "Author", [ "aname" ]);
+            (n "Bookstore", [ "sid" ]);
+            (n "hasBookSoldAt", [ "aname"; "sid" ]);
+          ]
+        [ n "hasBookSoldAt"; n "Author"; n "Bookstore" ];
+    ]
+
+  let source () = Discover.side ~schema:source_schema ~cm:source_cm source_strees
+  let target () = Discover.side ~schema:target_schema ~cm:target_cm target_strees
+
+  let corrs =
+    [
+      Mapping.corr_of_strings "person.pname" "hasBookSoldAt.aname";
+      Mapping.corr_of_strings "bookstore.sid" "hasBookSoldAt.sid";
+    ]
+end
+
+(* ---------------- employees (Example 1.2) ---------------- *)
+
+module Employees = struct
+  let cm =
+    Cml.make ~name:"emp-cm"
+      ~isas:
+        [
+          { Cml.sub = "Engineer"; super = "Employee" };
+          { Cml.sub = "Programmer"; super = "Employee" };
+        ]
+      ~covers:[ ("Employee", [ "Engineer"; "Programmer" ]) ]
+      [
+        Cml.cls ~id:[ "ssn" ] "Employee" [ "ssn"; "name" ];
+        Cml.cls "Engineer" [ "site" ];
+        Cml.cls "Programmer" [ "acnt" ];
+      ]
+
+  let source_schema =
+    Schema.make ~name:"src"
+      [
+        Schema.table ~key:[ "ssn" ] "programmer"
+          [ ("ssn", Schema.TString); ("name", Schema.TString); ("acnt", Schema.TString) ];
+        Schema.table ~key:[ "ssn" ] "engineer"
+          [ ("ssn", Schema.TString); ("name", Schema.TString); ("site", Schema.TString) ];
+      ]
+      []
+
+  let source_strees =
+    [
+      Stree.make ~table:"programmer" ~anchor:(n "Programmer")
+        ~edges:[ { se_src = n "Programmer"; se_kind = Stree.SIsa; se_dst = n "Employee" } ]
+        ~cols:
+          [
+            ("ssn", n "Programmer", "ssn");
+            ("name", n "Programmer", "name");
+            ("acnt", n "Programmer", "acnt");
+          ]
+        ~ids:[ (n "Programmer", [ "ssn" ]) ]
+        [ n "Programmer"; n "Employee" ];
+      Stree.make ~table:"engineer" ~anchor:(n "Engineer")
+        ~edges:[ { se_src = n "Engineer"; se_kind = Stree.SIsa; se_dst = n "Employee" } ]
+        ~cols:
+          [
+            ("ssn", n "Engineer", "ssn");
+            ("name", n "Engineer", "name");
+            ("site", n "Engineer", "site");
+          ]
+        ~ids:[ (n "Engineer", [ "ssn" ]) ]
+        [ n "Engineer"; n "Employee" ];
+    ]
+
+  (* target uses a different identifier (eid) and one flat table *)
+  let target_cm =
+    Cml.make ~name:"emp-cm-t"
+      ~isas:
+        [
+          { Cml.sub = "Engineer"; super = "Employee" };
+          { Cml.sub = "Programmer"; super = "Employee" };
+        ]
+      ~covers:[ ("Employee", [ "Engineer"; "Programmer" ]) ]
+      [
+        Cml.cls ~id:[ "eid" ] "Employee" [ "eid"; "name" ];
+        Cml.cls "Engineer" [ "site" ];
+        Cml.cls "Programmer" [ "acnt" ];
+      ]
+
+  let target_schema =
+    Schema.make ~name:"tgt"
+      [
+        Schema.table ~key:[ "eid" ] "employee"
+          [
+            ("eid", Schema.TString);
+            ("name", Schema.TString);
+            ("site", Schema.TString);
+            ("acnt", Schema.TString);
+          ];
+      ]
+      []
+
+  let target_strees =
+    [
+      Stree.make ~table:"employee" ~anchor:(n "Employee")
+        ~edges:
+          [
+            { se_src = n "Engineer"; se_kind = Stree.SIsa; se_dst = n "Employee" };
+            { se_src = n "Programmer"; se_kind = Stree.SIsa; se_dst = n "Employee" };
+          ]
+        ~cols:
+          [
+            ("eid", n "Employee", "eid");
+            ("name", n "Employee", "name");
+            ("site", n "Engineer", "site");
+            ("acnt", n "Programmer", "acnt");
+          ]
+        ~ids:[ (n "Employee", [ "eid" ]) ]
+        [ n "Employee"; n "Engineer"; n "Programmer" ];
+    ]
+
+  let source () = Discover.side ~schema:source_schema ~cm source_strees
+  let target () = Discover.side ~schema:target_schema ~cm:target_cm target_strees
+
+  let corrs =
+    [
+      Mapping.corr_of_strings "programmer.name" "employee.name";
+      Mapping.corr_of_strings "programmer.acnt" "employee.acnt";
+      Mapping.corr_of_strings "engineer.site" "employee.site";
+    ]
+end
+
+(* ---------------- projects (Example 3.1) ---------------- *)
+
+module Projects = struct
+  let source_cm =
+    Cml.make ~name:"proj-cm-s"
+      ~binaries:
+        [
+          Cml.functional ~total:true "controlledBy" ~src:"Project" ~dst:"Department";
+          Cml.functional ~total:true "hasManager" ~src:"Department" ~dst:"Employee";
+        ]
+      [
+        Cml.cls ~id:[ "proj" ] "Project" [ "proj" ];
+        Cml.cls ~id:[ "dept" ] "Department" [ "dept" ];
+        Cml.cls ~id:[ "mgr" ] "Employee" [ "mgr" ];
+      ]
+
+  let source_schema =
+    Schema.make ~name:"src"
+      [
+        Schema.table ~key:[ "proj" ] "control"
+          [ ("proj", Schema.TString); ("dept", Schema.TString) ];
+        Schema.table ~key:[ "dept" ] "manage"
+          [ ("dept", Schema.TString); ("mgr", Schema.TString) ];
+      ]
+      [
+        Schema.ric ~name:"fk" ~from_:("control", [ "dept" ]) ~to_:("manage", [ "dept" ]);
+      ]
+
+  let source_strees =
+    [
+      Stree.make ~table:"control" ~anchor:(n "Project")
+        ~edges:
+          [
+            { se_src = n "Project"; se_kind = Stree.SRel "controlledBy"; se_dst = n "Department" };
+          ]
+        ~cols:[ ("proj", n "Project", "proj"); ("dept", n "Department", "dept") ]
+        ~ids:[ (n "Project", [ "proj" ]); (n "Department", [ "dept" ]) ]
+        [ n "Project"; n "Department" ];
+      Stree.make ~table:"manage" ~anchor:(n "Department")
+        ~edges:
+          [
+            { se_src = n "Department"; se_kind = Stree.SRel "hasManager"; se_dst = n "Employee" };
+          ]
+        ~cols:[ ("dept", n "Department", "dept"); ("mgr", n "Employee", "mgr") ]
+        ~ids:[ (n "Department", [ "dept" ]); (n "Employee", [ "mgr" ]) ]
+        [ n "Department"; n "Employee" ];
+    ]
+
+  let target_cm =
+    Cml.make ~name:"proj-cm-t"
+      ~binaries:
+        [
+          Cml.functional ~total:true "inDept" ~src:"Proj" ~dst:"Department";
+          Cml.functional "managedBy" ~src:"Proj" ~dst:"Employee";
+        ]
+      [
+        Cml.cls ~id:[ "pnum" ] "Proj" [ "pnum" ];
+        Cml.cls ~id:[ "dept" ] "Department" [ "dept" ];
+        Cml.cls ~id:[ "emp" ] "Employee" [ "emp" ];
+      ]
+
+  let target_schema =
+    Schema.make ~name:"tgt"
+      [
+        Schema.table ~key:[ "pnum" ] "proj"
+          [ ("pnum", Schema.TString); ("dept", Schema.TString); ("emp", Schema.TString) ];
+      ]
+      []
+
+  let target_strees =
+    [
+      Stree.make ~table:"proj" ~anchor:(n "Proj")
+        ~edges:
+          [
+            { se_src = n "Proj"; se_kind = Stree.SRel "inDept"; se_dst = n "Department" };
+            { se_src = n "Proj"; se_kind = Stree.SRel "managedBy"; se_dst = n "Employee" };
+          ]
+        ~cols:
+          [
+            ("pnum", n "Proj", "pnum");
+            ("dept", n "Department", "dept");
+            ("emp", n "Employee", "emp");
+          ]
+        ~ids:[ (n "Proj", [ "pnum" ]); (n "Department", [ "dept" ]); (n "Employee", [ "emp" ]) ]
+        [ n "Proj"; n "Department"; n "Employee" ];
+    ]
+
+  let source () = Discover.side ~schema:source_schema ~cm:source_cm source_strees
+  let target () = Discover.side ~schema:target_schema ~cm:target_cm target_strees
+
+  let corrs =
+    [
+      Mapping.corr_of_strings "control.proj" "proj.pnum";
+      Mapping.corr_of_strings "control.dept" "proj.dept";
+      Mapping.corr_of_strings "manage.mgr" "proj.emp";
+    ]
+end
+
+(* Which source tables a mapping's source query mentions. *)
+let src_tables (m : Mapping.t) =
+  List.sort_uniq compare
+    (List.map
+       (fun (a : Smg_cq.Atom.t) -> a.Smg_cq.Atom.pred)
+       m.Mapping.src_query.Smg_cq.Query.body)
+
+let tgt_tables (m : Mapping.t) =
+  List.sort_uniq compare
+    (List.map
+       (fun (a : Smg_cq.Atom.t) -> a.Smg_cq.Atom.pred)
+       m.Mapping.tgt_query.Smg_cq.Query.body)

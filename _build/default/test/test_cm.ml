@@ -1,0 +1,296 @@
+(* Tests for Smg_cm: cardinalities, CML validation, CM graph compilation,
+   path shapes, disjointness consistency. *)
+
+module Cardinality = Smg_cm.Cardinality
+module Cml = Smg_cm.Cml
+module Cm_graph = Smg_cm.Cm_graph
+module Digraph = Smg_graph.Digraph
+
+(* ---- cardinality ----- *)
+
+let test_card_basics () =
+  Alcotest.(check bool) "1..1 functional" true
+    (Cardinality.is_functional Cardinality.exactly_one);
+  Alcotest.(check bool) "0..1 functional" true
+    (Cardinality.is_functional Cardinality.at_most_one);
+  Alcotest.(check bool) "0..* not functional" false
+    (Cardinality.is_functional Cardinality.many);
+  Alcotest.(check bool) "1..* total" true
+    (Cardinality.is_total Cardinality.at_least_one)
+
+let test_card_compose () =
+  let open Cardinality in
+  Alcotest.(check bool) "1..1 ∘ 1..1 = 1..1" true
+    (equal (compose exactly_one exactly_one) exactly_one);
+  Alcotest.(check bool) "0..1 ∘ 1..1 functional" true
+    (is_functional (compose at_most_one exactly_one));
+  Alcotest.(check bool) "anything ∘ * loses functionality" false
+    (is_functional (compose exactly_one many));
+  Alcotest.(check bool) "totality needs both total" false
+    (is_total (compose at_most_one exactly_one))
+
+let test_card_shape () =
+  let open Cardinality in
+  Alcotest.(check bool) "one-one" true
+    (shape ~forward:exactly_one ~backward:at_most_one = OneOne);
+  Alcotest.(check bool) "many-one" true
+    (shape ~forward:at_most_one ~backward:many = ManyOne);
+  Alcotest.(check bool) "many-many" true
+    (shape ~forward:many ~backward:at_least_one = ManyMany)
+
+let test_card_compatible_shape () =
+  let open Cardinality in
+  Alcotest.(check bool) "equal shapes compatible" true
+    (compatible_shape ManyOne ManyOne);
+  Alcotest.(check bool) "transposes are not" false
+    (compatible_shape ManyOne OneMany)
+
+let test_card_invalid () =
+  Alcotest.check_raises "max < min"
+    (Invalid_argument "Cardinality.make: max < min") (fun () ->
+      ignore (Cardinality.make 2 (Some 1)))
+
+(* ---- CML ----- *)
+
+let employee_cm =
+  Cml.make ~name:"emp"
+    ~isas:
+      [
+        { Cml.sub = "Engineer"; super = "Employee" };
+        { Cml.sub = "Programmer"; super = "Employee" };
+        { Cml.sub = "Kernel_hacker"; super = "Programmer" };
+      ]
+    ~disjointness:[ [ "Kernel_hacker"; "Engineer" ] ]
+    ~covers:[ ("Employee", [ "Engineer"; "Programmer" ]) ]
+    ~binaries:
+      [
+        Cml.functional "worksIn" ~src:"Employee" ~dst:"Department";
+        Cml.many_many "knows" ~src:"Employee" ~dst:"Employee";
+      ]
+    [
+      Cml.cls ~id:[ "ssn" ] "Employee" [ "ssn"; "name" ];
+      Cml.cls "Engineer" [ "site" ];
+      Cml.cls "Programmer" [ "acnt" ];
+      Cml.cls "Kernel_hacker" [];
+      Cml.cls ~id:[ "dname" ] "Department" [ "dname" ];
+    ]
+
+let test_cml_validation () =
+  Alcotest.check_raises "dangling class"
+    (Invalid_argument "CM bad: r references unknown class Nope") (fun () ->
+      ignore
+        (Cml.make ~name:"bad"
+           ~binaries:[ Cml.functional "r" ~src:"A" ~dst:"Nope" ]
+           [ Cml.cls "A" [] ]));
+  Alcotest.check_raises "identifier must be an attribute"
+    (Invalid_argument "CM bad: class A identifier x not an attribute")
+    (fun () -> ignore (Cml.make ~name:"bad" [ Cml.cls ~id:[ "x" ] "A" [] ]))
+
+let test_cml_hierarchy () =
+  Alcotest.(check (list string)) "subclasses" [ "Engineer"; "Programmer" ]
+    (Cml.subclasses employee_cm "Employee");
+  Alcotest.(check (list string)) "ancestors transitive"
+    [ "Programmer"; "Employee" ]
+    (Cml.ancestors employee_cm "Kernel_hacker");
+  Alcotest.(check bool) "disjoint" true
+    (Cml.disjoint employee_cm "Kernel_hacker" "Engineer");
+  Alcotest.(check bool) "not disjoint" false
+    (Cml.disjoint employee_cm "Engineer" "Programmer");
+  Alcotest.(check bool) "self never disjoint" false
+    (Cml.disjoint employee_cm "Engineer" "Engineer")
+
+let test_reify_many_many () =
+  let r = Cml.reify_many_many employee_cm in
+  Alcotest.(check int) "knows got reified" 1 (List.length r.Cml.reified);
+  Alcotest.(check int) "worksIn stays binary" 1 (List.length r.Cml.binaries);
+  (* idempotent on the rest *)
+  let r2 = Cml.reify_many_many r in
+  Alcotest.(check int) "idempotent" 1 (List.length r2.Cml.reified)
+
+let test_n_nodes () =
+  (* 5 classes + 5 attributes (ssn name site acnt dname) *)
+  Alcotest.(check int) "node count" 10 (Cml.n_nodes employee_cm)
+
+(* ---- CM graph ----- *)
+
+let g = Cm_graph.compile employee_cm
+
+let test_graph_structure () =
+  let emp = Cm_graph.class_node_exn g "Employee" in
+  Alcotest.(check bool) "class-like" true (Cm_graph.is_class_like g emp);
+  Alcotest.(check bool) "not reified" false (Cm_graph.is_reified g emp);
+  Alcotest.(check (list string)) "identifier" [ "ssn" ]
+    (Cm_graph.identifier_attrs g emp);
+  Alcotest.(check int) "two attribute edges" 2
+    (List.length (Cm_graph.attr_edges g emp));
+  Alcotest.(check bool) "attr node exists" true
+    (Cm_graph.attr_node g ~owner:"Employee" "name" <> None)
+
+let test_graph_inverses () =
+  let graph = Cm_graph.graph g in
+  Digraph.fold_edges
+    (fun () e ->
+      match e.Digraph.lbl.Cm_graph.kind with
+      | Cm_graph.HasAttr _ ->
+          Alcotest.(check bool) "attr edges have no inverse" true
+            (Cm_graph.inverse_edge g e.Digraph.id = None)
+      | _ -> (
+          match Cm_graph.inverse_edge g e.Digraph.id with
+          | None -> Alcotest.fail "connection edge lacks inverse"
+          | Some inv ->
+              let e' = Digraph.edge graph inv in
+              Alcotest.(check int) "inverse flips src" e.Digraph.src e'.Digraph.dst))
+    () graph
+
+let find_edge g' ~kind_match =
+  let graph = Cm_graph.graph g' in
+  match
+    List.find_opt (fun (e : _ Digraph.edge) -> kind_match e.Digraph.lbl.Cm_graph.kind)
+      (Digraph.edges graph)
+  with
+  | Some e -> e.Digraph.id
+  | None -> Alcotest.fail "edge not found"
+
+let test_path_shape () =
+  (* Engineer -isa-> Employee -worksIn->> Department is many-one *)
+  let isa_id =
+    find_edge g ~kind_match:(function Cm_graph.Isa -> true | _ -> false)
+  in
+  let isa_edge = Digraph.edge (Cm_graph.graph g) isa_id in
+  (* make sure we picked Engineer's isa, any isa works the same *)
+  ignore isa_edge;
+  let works =
+    find_edge g ~kind_match:(function
+      | Cm_graph.Rel "worksIn" -> true
+      | _ -> false)
+  in
+  Alcotest.(check bool) "isa.worksIn is many-one" true
+    (Cm_graph.path_shape g [ isa_id; works ] = Cardinality.ManyOne);
+  let knows =
+    find_edge g ~kind_match:(function
+      | Cm_graph.Rel "knows" -> true
+      | _ -> false)
+  in
+  Alcotest.(check bool) "knows is many-many" true
+    (Cm_graph.path_shape g [ knows ] = Cardinality.ManyMany)
+
+let test_reversals () =
+  let works =
+    find_edge g ~kind_match:(function
+      | Cm_graph.Rel "worksIn" -> true
+      | _ -> false)
+  in
+  let works_inv = Option.get (Cm_graph.inverse_edge g works) in
+  Alcotest.(check int) "functional edge: no reversal" 0
+    (Cm_graph.reversals g [ works ]);
+  Alcotest.(check int) "inverse of functional: one lossy run" 1
+    (Cm_graph.reversals g [ works_inv ]);
+  Alcotest.(check int) "V-shape counts once per run" 1
+    (Cm_graph.reversals g [ works_inv; works ])
+
+let test_consistency () =
+  (* Kernel_hacker -isa-> Programmer -isa-> Employee <-isa- Engineer:
+     puts Kernel_hacker and Engineer in one identity group: inconsistent. *)
+  let graph = Cm_graph.graph g in
+  let isa_edges =
+    List.filter_map
+      (fun (e : _ Digraph.edge) ->
+        match e.Digraph.lbl.Cm_graph.kind with
+        | Cm_graph.Isa -> Some e.Digraph.id
+        | _ -> None)
+      (Digraph.edges graph)
+  in
+  Alcotest.(check bool) "all isa edges together are inconsistent" false
+    (Cm_graph.consistent_subgraph g isa_edges);
+  (* Engineer + Programmer alone are fine (not declared disjoint). *)
+  let eng = Cm_graph.class_node_exn g "Engineer" in
+  let prog = Cm_graph.class_node_exn g "Programmer" in
+  let ok_edges =
+    List.filter
+      (fun id ->
+        let e = Digraph.edge graph id in
+        e.Digraph.src = eng || e.Digraph.src = prog)
+      isa_edges
+  in
+  Alcotest.(check bool) "sibling merge is consistent" true
+    (Cm_graph.consistent_subgraph g ok_edges)
+
+let test_steiner_cost_fn () =
+  let cost = Cm_graph.steiner_cost g ~pre_selected:(fun _ -> false) () in
+  let graph = Cm_graph.graph g in
+  let works =
+    find_edge g ~kind_match:(function
+      | Cm_graph.Rel "worksIn" -> true
+      | _ -> false)
+  in
+  Alcotest.(check (option (float 1e-9))) "functional edge costs 1" (Some 1.)
+    (cost (Digraph.edge graph works));
+  let knows =
+    find_edge g ~kind_match:(function
+      | Cm_graph.Rel "knows" -> true
+      | _ -> false)
+  in
+  Alcotest.(check (option (float 1e-9))) "non-functional untraversable" None
+    (cost (Digraph.edge graph knows));
+  let lossy = Cm_graph.steiner_cost g ~lossy:true ~pre_selected:(fun _ -> false) () in
+  (match lossy (Digraph.edge graph knows) with
+  | Some c -> Alcotest.(check bool) "lossy penalty dominates" true (c > 5.)
+  | None -> Alcotest.fail "lossy edge should be traversable");
+  let pre = Cm_graph.steiner_cost g ~pre_selected:(fun id -> id = works) () in
+  Alcotest.(check (option (float 1e-9))) "pre-selected is (almost) free"
+    (Some 0.001)
+    (pre (Digraph.edge graph works))
+
+let test_reified_graph () =
+  let cm =
+    Cml.make ~name:"sales"
+      ~reified:
+        [
+          Cml.reified ~attrs:[ "date" ] "Sell"
+            [
+              ("seller", "Store", Cardinality.many);
+              ("buyer", "Person", Cardinality.many);
+              ("sold", "Product", Cardinality.many);
+            ];
+        ]
+      [
+        Cml.cls ~id:[ "sid" ] "Store" [ "sid" ];
+        Cml.cls ~id:[ "pid" ] "Person" [ "pid" ];
+        Cml.cls ~id:[ "prodid" ] "Product" [ "prodid" ];
+      ]
+  in
+  let g = Cm_graph.compile cm in
+  let sell = Cm_graph.class_node_exn g "Sell" in
+  Alcotest.(check bool) "reified" true (Cm_graph.is_reified g sell);
+  Alcotest.(check (option int)) "arity 3" (Some 3) (Cm_graph.arity g sell);
+  Alcotest.(check int) "date attribute attached" 1
+    (List.length (Cm_graph.attr_edges g sell))
+
+let suite =
+  [
+    ( "cm.cardinality",
+      [
+        Alcotest.test_case "basics" `Quick test_card_basics;
+        Alcotest.test_case "compose" `Quick test_card_compose;
+        Alcotest.test_case "shape" `Quick test_card_shape;
+        Alcotest.test_case "compatible shapes" `Quick test_card_compatible_shape;
+        Alcotest.test_case "invalid" `Quick test_card_invalid;
+      ] );
+    ( "cm.cml",
+      [
+        Alcotest.test_case "validation" `Quick test_cml_validation;
+        Alcotest.test_case "hierarchy" `Quick test_cml_hierarchy;
+        Alcotest.test_case "reify many-many" `Quick test_reify_many_many;
+        Alcotest.test_case "node count" `Quick test_n_nodes;
+      ] );
+    ( "cm.graph",
+      [
+        Alcotest.test_case "structure" `Quick test_graph_structure;
+        Alcotest.test_case "inverse pairing" `Quick test_graph_inverses;
+        Alcotest.test_case "path shape" `Quick test_path_shape;
+        Alcotest.test_case "reversals" `Quick test_reversals;
+        Alcotest.test_case "disjointness" `Quick test_consistency;
+        Alcotest.test_case "steiner costs" `Quick test_steiner_cost_fn;
+        Alcotest.test_case "reified" `Quick test_reified_graph;
+      ] );
+  ]

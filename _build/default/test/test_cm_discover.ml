@@ -1,0 +1,137 @@
+(* Tests for CM-to-CM mapping discovery (the §6 extension). *)
+
+module Cml = Smg_cm.Cml
+module Cardinality = Smg_cm.Cardinality
+module Cm_discover = Smg_core.Cm_discover
+module Query = Smg_cq.Query
+module Atom = Smg_cq.Atom
+
+(* source ontology: Person works in Department, chairs via partOf *)
+let onto_a =
+  Cml.make ~name:"a"
+    ~binaries:
+      [
+        Cml.functional "worksIn" ~src:"Person" ~dst:"Department";
+        Cml.functional ~kind:Cml.PartOf "chairs" ~src:"Department" ~dst:"School";
+        Cml.functional "reportsTo" ~src:"Department" ~dst:"School";
+      ]
+    ~reified:
+      [
+        Cml.reified "authors"
+          [
+            ("au_p", "Person", Cardinality.many);
+            ("au_d", "Document", Cardinality.many);
+          ];
+      ]
+    [
+      Cml.cls ~id:[ "pname" ] "Person" [ "pname" ];
+      Cml.cls ~id:[ "dname" ] "Department" [ "dname" ];
+      Cml.cls ~id:[ "sname" ] "School" [ "sname" ];
+      Cml.cls ~id:[ "docid" ] "Document" [ "docid"; "doctitle" ];
+    ]
+
+(* target ontology: Employee belongs to Unit, leads via partOf *)
+let onto_b =
+  Cml.make ~name:"b"
+    ~binaries:
+      [
+        Cml.functional "belongsTo" ~src:"Employee" ~dst:"Unit";
+        Cml.functional ~kind:Cml.PartOf "leads" ~src:"Unit" ~dst:"Division";
+      ]
+    ~reified:
+      [
+        Cml.reified "writes"
+          [
+            ("wr_e", "Employee", Cardinality.many);
+            ("wr_r", "Report", Cardinality.many);
+          ];
+      ]
+    [
+      Cml.cls ~id:[ "ename" ] "Employee" [ "ename" ];
+      Cml.cls ~id:[ "uname" ] "Unit" [ "uname" ];
+      Cml.cls ~id:[ "divname" ] "Division" [ "divname" ];
+      Cml.cls ~id:[ "rid" ] "Report" [ "rid"; "rtitle" ];
+    ]
+
+let c = Cm_discover.corr
+
+let body_preds (q : Query.t) =
+  List.sort_uniq compare (List.map (fun (a : Atom.t) -> a.Atom.pred) q.Query.body)
+
+let test_functional_pair () =
+  let rs =
+    Cm_discover.discover ~source:onto_a ~target:onto_b
+      ~corrs:
+        [
+          c ~src:("Person", "pname") ~tgt:("Employee", "ename");
+          c ~src:("Department", "dname") ~tgt:("Unit", "uname");
+        ]
+      ()
+  in
+  Alcotest.(check bool) "found" true (rs <> []);
+  let best = List.hd rs in
+  Alcotest.(check bool) "source uses worksIn" true
+    (List.mem (Smg_semantics.Encode.rel_pred "worksIn") (body_preds best.Cm_discover.src_query));
+  Alcotest.(check bool) "target uses belongsTo" true
+    (List.mem (Smg_semantics.Encode.rel_pred "belongsTo") (body_preds best.Cm_discover.tgt_query))
+
+let test_partof_disambiguation () =
+  (* chairs (partOf) vs reportsTo (plain) both connect Department and
+     School; the target 'leads' is partOf, so strict filtering keeps
+     only the chairs pairing. *)
+  let rs =
+    Cm_discover.discover ~source:onto_a ~target:onto_b
+      ~corrs:
+        [
+          c ~src:("Department", "dname") ~tgt:("Unit", "uname");
+          c ~src:("School", "sname") ~tgt:("Division", "divname");
+        ]
+      ()
+  in
+  Alcotest.(check int) "only the partOf pairing" 1 (List.length rs);
+  Alcotest.(check bool) "uses chairs" true
+    (List.mem (Smg_semantics.Encode.rel_pred "chairs")
+       (body_preds (List.hd rs).Cm_discover.src_query))
+
+let test_many_many_pair () =
+  let rs =
+    Cm_discover.discover ~source:onto_a ~target:onto_b
+      ~corrs:
+        [
+          c ~src:("Person", "pname") ~tgt:("Employee", "ename");
+          c ~src:("Document", "doctitle") ~tgt:("Report", "rtitle");
+        ]
+      ()
+  in
+  Alcotest.(check bool) "found" true (rs <> []);
+  let best = List.hd rs in
+  Alcotest.(check bool) "reified roles paired" true
+    (List.exists
+       (fun p -> p = Smg_semantics.Encode.role_pred ~rr:"authors" "au_p")
+       (body_preds best.Cm_discover.src_query))
+
+let test_unknown_attribute_rejected () =
+  Alcotest.check_raises "unknown attribute"
+    (Invalid_argument "cm corr: class Person has no attribute nope")
+    (fun () ->
+      ignore
+        (Cm_discover.discover ~source:onto_a ~target:onto_b
+           ~corrs:[ c ~src:("Person", "nope") ~tgt:("Employee", "ename") ]
+           ()))
+
+let test_no_corrs () =
+  Alcotest.(check int) "empty input, empty output" 0
+    (List.length
+       (Cm_discover.discover ~source:onto_a ~target:onto_b ~corrs:[] ()))
+
+let suite =
+  [
+    ( "cm_discover",
+      [
+        Alcotest.test_case "functional pair" `Quick test_functional_pair;
+        Alcotest.test_case "partOf disambiguation" `Quick test_partof_disambiguation;
+        Alcotest.test_case "many-many pair" `Quick test_many_many_pair;
+        Alcotest.test_case "unknown attribute" `Quick test_unknown_attribute_rejected;
+        Alcotest.test_case "no correspondences" `Quick test_no_corrs;
+      ] );
+  ]

@@ -1,0 +1,465 @@
+(* Tests for Smg_cq: atoms, query containment/minimization/evaluation,
+   dependencies, the chase, mappings. *)
+
+module Value = Smg_relational.Value
+module Schema = Smg_relational.Schema
+module Instance = Smg_relational.Instance
+module Atom = Smg_cq.Atom
+module Query = Smg_cq.Query
+module Dependency = Smg_cq.Dependency
+module Chase = Smg_cq.Chase
+module Mapping = Smg_cq.Mapping
+
+let v = Atom.v
+let a = Atom.atom
+let q ?name ~head body = Query.make ?name ~head body
+
+(* ---- atoms ----- *)
+
+let test_atom_subst () =
+  let s = Atom.Subst.of_list [ ("x", v "y"); ("z", Atom.str "k") ] in
+  let at = a "r" [ v "x"; v "z"; v "w" ] in
+  let at' = Atom.apply s at in
+  Alcotest.(check bool) "substituted" true
+    (Atom.equal at' (a "r" [ v "y"; Atom.str "k"; v "w" ]))
+
+let test_atom_vars () =
+  Alcotest.(check (list string)) "vars in order, deduped" [ "x"; "y" ]
+    (Atom.vars_of_list [ a "r" [ v "x"; v "y" ]; a "s" [ v "y"; v "x" ] ])
+
+(* ---- containment ----- *)
+
+(* q1(x) :- r(x,y), r(y,z)   q2(x) :- r(x,y)   q1 ⊆ q2 *)
+let q1 = q ~head:[ v "x" ] [ a "r" [ v "x"; v "y" ]; a "r" [ v "y"; v "z" ] ]
+let q2 = q ~head:[ v "x" ] [ a "r" [ v "x"; v "y" ] ]
+
+let test_containment_basic () =
+  Alcotest.(check bool) "q1 ⊆ q2" true (Query.contained_in q1 q2);
+  Alcotest.(check bool) "q2 ⊄ q1" false (Query.contained_in q2 q1)
+
+let test_containment_head_respected () =
+  (* Same bodies, swapped heads: not contained. *)
+  let qa = q ~head:[ v "x"; v "y" ] [ a "r" [ v "x"; v "y" ] ] in
+  let qb = q ~head:[ v "y"; v "x" ] [ a "r" [ v "x"; v "y" ] ] in
+  Alcotest.(check bool) "swapped heads differ" false (Query.contained_in qa qb)
+
+let test_containment_head_var_rigid () =
+  (* Regression for the seed bug: a head variable mapped to itself must
+     stay pinned, not rebind to a fresh variable of the other body. *)
+  let safe = q ~head:[ v "v0"; v "v1" ] [ a "t" [ v "v0"; v "v1" ] ] in
+  let unsafe = q ~head:[ v "v0"; v "v1" ] [ a "t" [ v "f"; v "v1" ] ] in
+  Alcotest.(check bool) "unsafe-headed not contained in safe" false
+    (Query.contained_in unsafe safe);
+  Alcotest.(check bool) "not equivalent" false (Query.equivalent safe unsafe)
+
+let test_constants_in_containment () =
+  let qc = q ~head:[ v "x" ] [ a "r" [ v "x"; Atom.str "fixed" ] ] in
+  Alcotest.(check bool) "constant query ⊆ general" true
+    (Query.contained_in qc q2);
+  Alcotest.(check bool) "general ⊄ constant" false (Query.contained_in q2 qc)
+
+let test_equivalence_renaming () =
+  let qa = q ~head:[ v "x" ] [ a "r" [ v "x"; v "y" ] ] in
+  let qb = q ~head:[ v "u" ] [ a "r" [ v "u"; v "w" ] ] in
+  Alcotest.(check bool) "alpha-equivalent" true (Query.equivalent qa qb)
+
+let test_minimize () =
+  (* r(x,y), r(x,z) minimizes to r(x,y) *)
+  let qq = q ~head:[ v "x" ] [ a "r" [ v "x"; v "y" ]; a "r" [ v "x"; v "z" ] ] in
+  let m = Query.minimize qq in
+  Alcotest.(check int) "one atom after minimization" 1 (List.length m.Query.body);
+  Alcotest.(check bool) "still equivalent" true (Query.equivalent qq m)
+
+let test_minimize_keeps_needed () =
+  let m = Query.minimize q1 in
+  Alcotest.(check int) "path query is its own core" 2
+    (List.length m.Query.body)
+
+(* ---- evaluation ----- *)
+
+let db_schema =
+  Schema.make ~name:"db"
+    [
+      Schema.table "r" [ ("a", Schema.TString); ("b", Schema.TString) ];
+      Schema.table "s" [ ("b", Schema.TString); ("c", Schema.TString) ];
+    ]
+    []
+
+let db =
+  let vs s = Value.VString s in
+  Instance.empty
+  |> fun i -> Instance.add_tuple i "r" ~header:[ "a"; "b" ] [| vs "1"; vs "2" |]
+  |> fun i -> Instance.add_tuple i "r" ~header:[ "a"; "b" ] [| vs "2"; vs "3" |]
+  |> fun i -> Instance.add_tuple i "s" ~header:[ "b"; "c" ] [| vs "2"; vs "9" |]
+
+let test_eval_join () =
+  let query =
+    q ~head:[ v "x"; v "z" ] [ a "r" [ v "x"; v "y" ]; a "s" [ v "y"; v "z" ] ]
+  in
+  let rel = Query.eval db_schema db query in
+  Alcotest.(check int) "one joined answer" 1 (List.length rel.Instance.tuples);
+  Alcotest.(check bool) "answer is (1,9)" true
+    (Value.equal (List.hd rel.Instance.tuples).(0) (Value.VString "1"))
+
+let test_eval_constant_filter () =
+  let query = q ~head:[ v "y" ] [ a "r" [ Atom.str "2"; v "y" ] ] in
+  let rel = Query.eval db_schema db query in
+  Alcotest.(check int) "filtered by constant" 1 (List.length rel.Instance.tuples)
+
+let test_eval_repeated_var () =
+  let query = q ~head:[ v "x" ] [ a "r" [ v "x"; v "x" ] ] in
+  let rel = Query.eval db_schema db query in
+  Alcotest.(check int) "no reflexive r" 0 (List.length rel.Instance.tuples)
+
+(* ---- dependencies & chase ----- *)
+
+let test_tgd_vars () =
+  let t =
+    Dependency.tgd ~name:"t" ~lhs:[ a "r" [ v "x"; v "y" ] ]
+      [ a "s" [ v "y"; v "z" ] ]
+  in
+  Alcotest.(check (list string)) "universal" [ "y" ] (Dependency.universal_vars t);
+  Alcotest.(check (list string)) "existential" [ "z" ]
+    (Dependency.existential_vars t)
+
+let test_chase_tgd () =
+  (* every r(x,y) implies s(y,z) *)
+  let t =
+    Dependency.tgd ~name:"t" ~lhs:[ a "r" [ v "x"; v "y" ] ]
+      [ a "s" [ v "y"; v "z" ] ]
+  in
+  match Chase.run ~schema:db_schema ~tgds:[ t ] ~egds:[] db with
+  | Chase.Saturated i ->
+      (* s already has b=2; the chase adds one for b=3 *)
+      Alcotest.(check int) "s grew by one" 2 (Instance.cardinality i "s")
+  | Chase.Bounded _ -> Alcotest.fail "chase should saturate"
+  | Chase.Failed m -> Alcotest.fail ("chase failed: " ^ m)
+
+let test_chase_does_not_refire () =
+  let t =
+    Dependency.tgd ~name:"t" ~lhs:[ a "r" [ v "x"; v "y" ] ]
+      [ a "s" [ v "y"; v "z" ] ]
+  in
+  match Chase.run ~schema:db_schema ~tgds:[ t ] ~egds:[] db with
+  | Chase.Saturated i1 -> (
+      match Chase.run ~schema:db_schema ~tgds:[ t ] ~egds:[] i1 with
+      | Chase.Saturated i2 ->
+          Alcotest.(check int) "idempotent" (Instance.total_tuples i1)
+            (Instance.total_tuples i2)
+      | _ -> Alcotest.fail "second chase should saturate")
+  | _ -> Alcotest.fail "first chase should saturate"
+
+let test_chase_egd_merges_nulls () =
+  Value.reset_null_counter ();
+  let n1 = Value.fresh_null () in
+  let i =
+    Instance.empty
+    |> fun i ->
+    Instance.add_tuple i "r" ~header:[ "a"; "b" ] [| Value.VString "1"; n1 |]
+    |> fun i ->
+    Instance.add_tuple i "r" ~header:[ "a"; "b" ]
+      [| Value.VString "1"; Value.VString "7" |]
+  in
+  (* key a -> b: the null must merge with "7" *)
+  let e =
+    Dependency.egd ~name:"key"
+      ~lhs:[ a "r" [ v "x"; v "y1" ]; a "r" [ v "x"; v "y2" ] ]
+      ("y1", "y2")
+  in
+  match Chase.run ~schema:db_schema ~tgds:[] ~egds:[ e ] i with
+  | Chase.Saturated res ->
+      Alcotest.(check int) "tuples merged" 1 (Instance.cardinality res "r")
+  | _ -> Alcotest.fail "expected saturation"
+
+let test_chase_egd_conflict () =
+  let i =
+    Instance.empty
+    |> fun i ->
+    Instance.add_tuple i "r" ~header:[ "a"; "b" ]
+      [| Value.VString "1"; Value.VString "7" |]
+    |> fun i ->
+    Instance.add_tuple i "r" ~header:[ "a"; "b" ]
+      [| Value.VString "1"; Value.VString "8" |]
+  in
+  let e =
+    Dependency.egd ~name:"key"
+      ~lhs:[ a "r" [ v "x"; v "y1" ]; a "r" [ v "x"; v "y2" ] ]
+      ("y1", "y2")
+  in
+  match Chase.run ~schema:db_schema ~tgds:[] ~egds:[ e ] i with
+  | Chase.Failed _ -> ()
+  | _ -> Alcotest.fail "expected an egd failure"
+
+let test_exchange () =
+  (* copy r into s, swapping columns and inventing the missing value *)
+  let source =
+    Schema.make ~name:"src" [ Schema.table "r" [ ("a", Schema.TString); ("b", Schema.TString) ] ] []
+  in
+  let target =
+    Schema.make ~name:"tgt"
+      [ Schema.table ~key:[ "b" ] "s" [ ("b", Schema.TString); ("c", Schema.TString) ] ]
+      []
+  in
+  let m =
+    Dependency.tgd ~name:"m" ~lhs:[ a "r" [ v "x"; v "y" ] ]
+      [ a "s" [ v "y"; v "z" ] ]
+  in
+  let src_inst =
+    Instance.add_tuple Instance.empty "r" ~header:[ "a"; "b" ]
+      [| Value.VString "1"; Value.VString "2" |]
+  in
+  match Chase.exchange ~source ~target ~mappings:[ m ] src_inst with
+  | Chase.Saturated i ->
+      Alcotest.(check (list string)) "only target relations" [ "s" ]
+        (Instance.names i);
+      Alcotest.(check int) "one s tuple" 1 (Instance.cardinality i "s");
+      let t = List.hd (Option.get (Instance.relation i "s")).Instance.tuples in
+      Alcotest.(check bool) "labelled null invented" true (Value.is_null t.(1))
+  | _ -> Alcotest.fail "exchange should saturate"
+
+let test_chase_bounded () =
+  (* a tgd that keeps inventing values: r(x,y) → r(y,z) never saturates *)
+  let t =
+    Dependency.tgd ~name:"grow" ~lhs:[ a "r" [ v "x"; v "y" ] ]
+      [ a "r" [ v "y"; v "z" ] ]
+  in
+  match Chase.run ~max_rounds:3 ~schema:db_schema ~tgds:[ t ] ~egds:[] db with
+  | Chase.Bounded _ -> ()
+  | Chase.Saturated _ -> Alcotest.fail "cannot saturate a growing chase"
+  | Chase.Failed m -> Alcotest.fail m
+
+let test_saturate_adds_referenced_atoms () =
+  let schema =
+    Schema.make ~name:"s"
+      [
+        Schema.table ~key:[ "a" ] "t" [ ("a", Schema.TString); ("b", Schema.TString) ];
+        Schema.table ~key:[ "b" ] "u" [ ("b", Schema.TString) ];
+      ]
+      [ Schema.ric ~name:"fk" ~from_:("t", [ "b" ]) ~to_:("u", [ "b" ]) ]
+  in
+  let query = q ~head:[ v "x" ] [ a "t" [ v "x"; v "y" ] ] in
+  let sat = Query.saturate ~schema query in
+  Alcotest.(check int) "u atom added" 2 (List.length sat.Query.body);
+  (* containment under the RIC: t(x,y) ⊆ t(x,y) ∧ u(y) *)
+  let bigger = q ~head:[ v "x" ] [ a "t" [ v "x"; v "y" ]; a "u" [ v "y" ] ] in
+  Alcotest.(check bool) "contained under RICs" true
+    (Query.contained_under ~schema query bigger);
+  Alcotest.(check bool) "not contained plainly" false
+    (Query.contained_in query bigger)
+
+let test_equal_tgd_alpha () =
+  let t1 =
+    Dependency.tgd ~name:"t1" ~lhs:[ a "r" [ v "x"; v "y" ] ]
+      [ a "s" [ v "y"; v "z" ] ]
+  in
+  let t2 =
+    Dependency.tgd ~name:"t2" ~lhs:[ a "r" [ v "p"; v "q" ] ]
+      [ a "s" [ v "q"; v "w" ] ]
+  in
+  let t3 =
+    Dependency.tgd ~name:"t3" ~lhs:[ a "r" [ v "p"; v "q" ] ]
+      [ a "s" [ v "p"; v "w" ] ]
+  in
+  Alcotest.(check bool) "alpha-equivalent tgds" true (Dependency.equal_tgd t1 t2);
+  Alcotest.(check bool) "different variable flow" false
+    (Dependency.equal_tgd t1 t3)
+
+let test_key_egds_and_ric_tgds () =
+  let schema =
+    Schema.make ~name:"k"
+      [
+        Schema.table ~key:[ "id" ] "t" [ ("id", Schema.TInt); ("x", Schema.TInt) ];
+        Schema.table ~key:[ "id" ] "u" [ ("id", Schema.TInt) ];
+      ]
+      [ Schema.ric ~name:"r" ~from_:("t", [ "id" ]) ~to_:("u", [ "id" ]) ]
+  in
+  Alcotest.(check int) "one egd for the non-key column" 1
+    (List.length (Dependency.key_egds schema));
+  Alcotest.(check int) "one tgd per ric" 1
+    (List.length (Dependency.ric_tgds schema))
+
+(* ---- mappings ----- *)
+
+let mk_mapping () =
+  Mapping.make ~name:"m"
+    ~src_query:(q ~head:[ v "x" ] [ a "r" [ v "x"; v "y" ] ])
+    ~tgt_query:(q ~head:[ v "p" ] [ a "s" [ v "p"; v "q" ] ])
+    ~covered:[ Mapping.corr_of_strings "r.a" "s.b" ]
+    ()
+
+let test_mapping_tgd () =
+  let t = Mapping.to_tgd (mk_mapping ()) in
+  Alcotest.(check int) "one existential (q_t)" 1
+    (List.length (Dependency.existential_vars t));
+  Alcotest.(check (list string)) "x is universal" [ "x" ]
+    (Dependency.universal_vars t)
+
+let test_mapping_same_modulo_renaming () =
+  let m1 = mk_mapping () in
+  let m2 =
+    Mapping.make ~name:"m2"
+      ~src_query:(q ~head:[ v "u" ] [ a "r" [ v "u"; v "w" ] ])
+      ~tgt_query:(q ~head:[ v "h" ] [ a "s" [ v "h"; v "k" ] ])
+      ~covered:[ Mapping.corr_of_strings "r.a" "s.b" ]
+      ()
+  in
+  Alcotest.(check bool) "same up to renaming" true (Mapping.same m1 m2)
+
+let test_mapping_same_covered_matters () =
+  let m1 = mk_mapping () in
+  let m2 =
+    Mapping.make ~name:"m2"
+      ~src_query:(q ~head:[ v "x" ] [ a "r" [ v "x"; v "y" ] ])
+      ~tgt_query:(q ~head:[ v "p" ] [ a "s" [ v "p"; v "q" ] ])
+      ~covered:[ Mapping.corr_of_strings "r.b" "s.b" ]
+      ()
+  in
+  Alcotest.(check bool) "different correspondences differ" false
+    (Mapping.same m1 m2)
+
+let test_mapping_algebra_eval () =
+  (* The algebraic form of a CQ evaluates like the CQ itself. *)
+  let query =
+    q ~head:[ v "x"; v "z" ] [ a "r" [ v "x"; v "y" ]; a "s" [ v "y"; v "z" ] ]
+  in
+  let alg = Mapping.algebra_of_query db_schema query in
+  let via_alg = Smg_relational.Algebra.eval db_schema db alg in
+  let via_cq = Query.eval db_schema db query in
+  Alcotest.(check int) "same cardinality"
+    (List.length via_cq.Instance.tuples)
+    (List.length via_alg.Instance.tuples)
+
+let test_is_trivial () =
+  Alcotest.(check bool) "single tables are trivial" true
+    (Mapping.is_trivial (mk_mapping ()))
+
+(* ---- property tests ----- *)
+
+let arb_query =
+  (* random small queries over predicates r/2, s/2 with vars x0..x3 *)
+  let gen =
+    QCheck.Gen.(
+      let var = map (fun i -> v ("x" ^ string_of_int i)) (int_range 0 3) in
+      let atom = map2 (fun p (t1, t2) -> a p [ t1; t2 ])
+          (oneofl [ "r"; "s" ]) (pair var var) in
+      let* body = list_size (int_range 1 4) atom in
+      let* h = var in
+      (* keep the head safe: pick a variable of the body *)
+      let bvars = Atom.vars_of_list body in
+      let h = if List.exists (fun x -> Atom.equal_term (v x) h) bvars then h else v (List.hd bvars) in
+      return (q ~head:[ h ] body))
+  in
+  QCheck.make gen ~print:(fun qq -> Fmt.str "%a" Query.pp qq)
+
+let random_instance seed =
+  let vs k = Value.VString ("p" ^ string_of_int (k mod 4)) in
+  let rec add i k =
+    if k >= 8 then i
+    else
+      let i =
+        Instance.add_tuple i "r" ~header:[ "a"; "b" ]
+          [| vs (seed + k); vs (seed + (2 * k) + 1) |]
+      in
+      let i =
+        Instance.add_tuple i "s" ~header:[ "b"; "c" ]
+          [| vs (seed + (3 * k)); vs (seed + k + 2) |]
+      in
+      add i (k + 1)
+  in
+  add Instance.empty 0
+
+let prop_algebra_agrees_with_cq =
+  (* the relational-algebra rendering of a CQ evaluates to the same
+     answer set as direct CQ evaluation *)
+  QCheck.Test.make ~name:"algebra rendering agrees with CQ evaluation"
+    ~count:100
+    QCheck.(pair arb_query small_int)
+    (fun (qq, seed) ->
+      let inst = random_instance seed in
+      let via_cq = Query.eval db_schema inst qq in
+      let via_alg =
+        Smg_relational.Algebra.eval db_schema inst
+          (Mapping.algebra_of_query db_schema qq)
+      in
+      let as_set (r : Instance.relation) =
+        List.map
+          (fun t -> List.map Value.to_string (Array.to_list t))
+          r.Instance.tuples
+        |> List.sort compare
+      in
+      as_set via_cq = as_set via_alg)
+
+let prop_containment_reflexive =
+  QCheck.Test.make ~name:"containment is reflexive" ~count:100 arb_query
+    (fun qq -> Query.contained_in qq qq)
+
+let prop_minimize_equivalent =
+  QCheck.Test.make ~name:"minimization preserves equivalence" ~count:100
+    arb_query (fun qq ->
+      let m = Query.minimize qq in
+      Query.equivalent qq m && List.length m.Query.body <= List.length qq.Query.body)
+
+let prop_minimize_idempotent =
+  QCheck.Test.make ~name:"minimization is idempotent" ~count:100 arb_query
+    (fun qq ->
+      let m = Query.minimize qq in
+      List.length (Query.minimize m).Query.body = List.length m.Query.body)
+
+let prop_rename_apart_equivalent =
+  QCheck.Test.make ~name:"renaming apart preserves equivalence" ~count:100
+    arb_query (fun qq ->
+      Query.equivalent qq (Query.rename_apart ~suffix:"_r" qq))
+
+let suite =
+  let qt = QCheck_alcotest.to_alcotest in
+  [
+    ( "cq.atom",
+      [
+        Alcotest.test_case "substitution" `Quick test_atom_subst;
+        Alcotest.test_case "vars" `Quick test_atom_vars;
+      ] );
+    ( "cq.containment",
+      [
+        Alcotest.test_case "basic" `Quick test_containment_basic;
+        Alcotest.test_case "heads respected" `Quick test_containment_head_respected;
+        Alcotest.test_case "head vars rigid (regression)" `Quick
+          test_containment_head_var_rigid;
+        Alcotest.test_case "constants" `Quick test_constants_in_containment;
+        Alcotest.test_case "alpha equivalence" `Quick test_equivalence_renaming;
+        Alcotest.test_case "minimize" `Quick test_minimize;
+        Alcotest.test_case "minimize keeps core" `Quick test_minimize_keeps_needed;
+        qt prop_containment_reflexive;
+        qt prop_minimize_equivalent;
+        qt prop_minimize_idempotent;
+        qt prop_rename_apart_equivalent;
+        qt prop_algebra_agrees_with_cq;
+      ] );
+    ( "cq.eval",
+      [
+        Alcotest.test_case "join" `Quick test_eval_join;
+        Alcotest.test_case "constant filter" `Quick test_eval_constant_filter;
+        Alcotest.test_case "repeated variable" `Quick test_eval_repeated_var;
+      ] );
+    ( "cq.chase",
+      [
+        Alcotest.test_case "tgd fires" `Quick test_chase_tgd;
+        Alcotest.test_case "no refiring" `Quick test_chase_does_not_refire;
+        Alcotest.test_case "egd merges nulls" `Quick test_chase_egd_merges_nulls;
+        Alcotest.test_case "egd conflict fails" `Quick test_chase_egd_conflict;
+        Alcotest.test_case "data exchange" `Quick test_exchange;
+        Alcotest.test_case "schema dependencies" `Quick test_key_egds_and_ric_tgds;
+        Alcotest.test_case "bounded chase" `Quick test_chase_bounded;
+        Alcotest.test_case "saturation / contained_under" `Quick
+          test_saturate_adds_referenced_atoms;
+        Alcotest.test_case "tgd variable classification" `Quick test_tgd_vars;
+        Alcotest.test_case "tgd equality" `Quick test_equal_tgd_alpha;
+      ] );
+    ( "cq.mapping",
+      [
+        Alcotest.test_case "to_tgd" `Quick test_mapping_tgd;
+        Alcotest.test_case "same modulo renaming" `Quick test_mapping_same_modulo_renaming;
+        Alcotest.test_case "covered matters" `Quick test_mapping_same_covered_matters;
+        Alcotest.test_case "algebra agrees with CQ" `Quick test_mapping_algebra_eval;
+        Alcotest.test_case "triviality" `Quick test_is_trivial;
+      ] );
+  ]

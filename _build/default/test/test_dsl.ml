@@ -1,0 +1,270 @@
+(* Tests for the scenario DSL: lexer, parser, printer round-trips. *)
+
+module Lexer = Smg_dsl.Lexer
+module Parser = Smg_dsl.Parser
+module Printer = Smg_dsl.Printer
+module Ast = Smg_dsl.Ast
+module Schema = Smg_relational.Schema
+module Cml = Smg_cm.Cml
+
+let sample =
+  {|
+# a comment
+schema s {
+  table person {
+    col pname : string;
+    col age : int;
+    key (pname);
+  }
+  ric r1 : person(age) -> person(age);
+}
+
+cm c {
+  class Person { attrs (pname, age); id (pname); }
+  class Dept { attrs (dname); id (dname); }
+  rel worksIn : Person (0..1) -- (0..*) Dept;
+  partof chairOf : Dept (0..1) -- (0..*) Person;
+  reified meeting {
+    role who : Person (0..*);
+    role where : Dept (1..*);
+    attrs (room);
+  }
+  isa Person < Person;
+  disjoint (Person, Dept);
+  cover Person = (Person);
+}
+
+semantics person {
+  node Person;
+  node Dept;
+  anchor Person;
+  edge Person -rel worksIn-> Dept;
+  col pname -> Person.pname;
+  col age -> Person.age;
+  id Person (pname);
+}
+
+corr person.pname <-> person.pname;
+|}
+
+let test_lexer_tokens () =
+  let toks = Lexer.tokenize "foo { } ( ) : ; , . .. * -> <-> -- - < = 42" in
+  let kinds = List.map (fun l -> l.Lexer.tok) toks in
+  Alcotest.(check int) "token count" 19 (List.length kinds);
+  Alcotest.(check bool) "ident" true (List.hd kinds = Lexer.IDENT "foo");
+  Alcotest.(check bool) "int" true (List.nth kinds 17 = Lexer.INT 42);
+  Alcotest.(check bool) "eof last" true (List.nth kinds 18 = Lexer.EOF)
+
+let test_lexer_comments () =
+  let toks = Lexer.tokenize "a # comment until eol\nb" in
+  Alcotest.(check int) "two idents + eof" 3 (List.length toks)
+
+let test_lexer_error () =
+  match Lexer.tokenize "a ? b" with
+  | exception Lexer.Error (_, 1, 3) -> ()
+  | exception Lexer.Error (_, l, c) ->
+      Alcotest.failf "wrong location %d:%d" l c
+  | _ -> Alcotest.fail "expected a lexer error"
+
+let test_parse_sample () =
+  let doc = Parser.parse sample in
+  Alcotest.(check int) "one schema" 1 (List.length doc.Ast.doc_schemas);
+  Alcotest.(check int) "one cm" 1 (List.length doc.Ast.doc_cms);
+  Alcotest.(check int) "one semantics" 1 (List.length doc.Ast.doc_semantics);
+  Alcotest.(check int) "one corr" 1 (List.length doc.Ast.doc_corrs);
+  let s = List.hd doc.Ast.doc_schemas in
+  let t = Schema.find_table_exn s "person" in
+  Alcotest.(check (list string)) "columns" [ "pname"; "age" ]
+    (Schema.column_names t);
+  Alcotest.(check bool) "int type" true
+    (Schema.column_type t "age" = Some Schema.TInt);
+  let cm = List.hd doc.Ast.doc_cms in
+  Alcotest.(check int) "two binaries" 2 (List.length cm.Cml.binaries);
+  Alcotest.(check bool) "partof parsed" true
+    (List.exists (fun r -> r.Cml.rel_kind = Cml.PartOf) cm.Cml.binaries);
+  Alcotest.(check int) "one reified" 1 (List.length cm.Cml.reified);
+  let rr = List.hd cm.Cml.reified in
+  Alcotest.(check (list string)) "reified attrs" [ "room" ] rr.Cml.rr_attributes
+
+let test_parse_error_location () =
+  match Parser.parse "schema s { table t { col x } }" with
+  | exception Parser.Error msg ->
+      Alcotest.(check bool) "mentions line" true
+        (String.length msg > 0 && String.sub msg 0 4 = "line")
+  | _ -> Alcotest.fail "expected a parse error"
+
+let test_noderef_copies () =
+  let doc =
+    Parser.parse
+      {|
+cm c { class A { attrs (x); id (x); } rel r : A (0..1) -- (0..*) A; }
+schema s { table t { col x : string; col y : string; key (x); } }
+semantics t {
+  node A;
+  node A~1;
+  anchor A;
+  edge A -rel r-> A~1;
+  col x -> A.x;
+  col y -> A~1.x;
+  id A (x);
+  id A~1 (y);
+}
+|}
+  in
+  let st = (List.hd doc.Ast.doc_semantics).Ast.sem_stree in
+  Alcotest.(check int) "two nodes" 2 (List.length st.Smg_semantics.Stree.st_nodes);
+  let copies =
+    List.map (fun n -> n.Smg_semantics.Stree.nr_copy) st.Smg_semantics.Stree.st_nodes
+  in
+  Alcotest.(check (list int)) "copies" [ 0; 1 ] copies
+
+let test_data_blocks () =
+  let doc =
+    Parser.parse
+      {|
+schema s { table t { col a : string; col b : int; } }
+data t {
+  row ("hello \"world\"", 42);
+  row ("x", null);
+}
+|}
+  in
+  match doc.Ast.doc_data with
+  | [ ("t", [ row1; row2 ]) ] ->
+      Alcotest.(check bool) "escaped string" true
+        (List.hd row1 = Smg_relational.Value.VString "hello \"world\"");
+      Alcotest.(check bool) "int" true
+        (List.nth row1 1 = Smg_relational.Value.VInt 42);
+      Alcotest.(check bool) "null" true
+        (Smg_relational.Value.is_null (List.nth row2 1));
+      (* build the instance *)
+      let inst = Ast.instance_of doc (List.hd doc.Ast.doc_schemas) in
+      Alcotest.(check int) "two tuples" 2
+        (Smg_relational.Instance.cardinality inst "t")
+  | _ -> Alcotest.fail "expected one data block with two rows"
+
+let test_data_roundtrip () =
+  let doc =
+    Parser.parse
+      {|
+schema s { table t { col a : string; } }
+data t { row ("a"); row ("b"); }
+|}
+  in
+  let doc2 = Parser.parse (Printer.to_string doc) in
+  Alcotest.(check bool) "data round-trips" true
+    (doc.Ast.doc_data = doc2.Ast.doc_data)
+
+let test_roundtrip_sample () =
+  let doc = Parser.parse sample in
+  let printed = Printer.to_string doc in
+  let doc2 = Parser.parse printed in
+  Alcotest.(check bool) "schemas equal" true
+    (doc.Ast.doc_schemas = doc2.Ast.doc_schemas);
+  Alcotest.(check bool) "cms equal" true (doc.Ast.doc_cms = doc2.Ast.doc_cms);
+  Alcotest.(check bool) "semantics equal" true
+    (doc.Ast.doc_semantics = doc2.Ast.doc_semantics);
+  Alcotest.(check bool) "corrs equal" true (doc.Ast.doc_corrs = doc2.Ast.doc_corrs)
+
+let test_roundtrip_books_scenario () =
+  let doc = Parser.parse_file "../../../scenarios/books.smg" in
+  let doc2 = Parser.parse (Printer.to_string doc) in
+  Alcotest.(check bool) "books round-trips" true (doc = doc2);
+  Alcotest.(check int) "five source tables + one target" 2
+    (List.length doc.Ast.doc_schemas);
+  Alcotest.(check int) "six semantics blocks" 6
+    (List.length doc.Ast.doc_semantics)
+
+(* property: printing any er2rel-designed scenario reparses equal *)
+let test_roundtrip_er2rel () =
+  let cm = Smg_eval.Dataset_hotel.(ignore scenario); () in
+  ignore cm;
+  let cml =
+    Cml.make ~name:"rt"
+      ~binaries:[ Cml.functional "f" ~src:"A" ~dst:"B" ]
+      ~reified:
+        [
+          Smg_cm.Cml.reified ~attrs:[ "w" ] "r"
+            [
+              ("ra", "A", Smg_cm.Cardinality.many);
+              ("rb", "B", Smg_cm.Cardinality.many);
+            ];
+        ]
+      [
+        Cml.cls ~id:[ "a" ] "A" [ "a" ];
+        Cml.cls ~id:[ "b" ] "B" [ "b" ];
+      ]
+  in
+  let schema, strees = Smg_er2rel.Design.design cml in
+  let doc =
+    {
+      Ast.doc_schemas = [ schema ];
+      doc_cms = [ cml ];
+      doc_semantics =
+        List.map
+          (fun st -> { Ast.sem_table = st.Smg_semantics.Stree.st_table; sem_stree = st })
+          strees;
+      doc_corrs = [];
+      doc_data = [];
+    }
+  in
+  let doc2 = Parser.parse (Printer.to_string doc) in
+  Alcotest.(check bool) "er2rel scenario round-trips" true (doc = doc2)
+
+let test_roundtrip_all_eval_scenarios () =
+  (* every benchmark scenario exports to the DSL and reparses equal —
+     the printer/parser pair covers all constructs the datasets use *)
+  List.iter
+    (fun (scen : Smg_eval.Scenario.t) ->
+      let to_doc (side : Smg_core.Discover.side) other_corrs =
+        {
+          Ast.doc_schemas = [ side.Smg_core.Discover.schema ];
+          doc_cms = [ Smg_cm.Cm_graph.cm side.Smg_core.Discover.cmg ];
+          doc_semantics =
+            List.map
+              (fun st ->
+                { Ast.sem_table = st.Smg_semantics.Stree.st_table; sem_stree = st })
+              side.Smg_core.Discover.strees;
+          doc_corrs = other_corrs;
+          doc_data = [];
+        }
+      in
+      let corrs =
+        List.concat_map (fun c -> c.Smg_eval.Scenario.corrs) scen.Smg_eval.Scenario.cases
+        |> List.sort_uniq compare
+      in
+      List.iter
+        (fun doc ->
+          let doc' = Parser.parse (Printer.to_string doc) in
+          Alcotest.(check bool)
+            (scen.Smg_eval.Scenario.scen_name ^ " round-trips")
+            true (doc = doc'))
+        [ to_doc scen.Smg_eval.Scenario.source corrs;
+          to_doc scen.Smg_eval.Scenario.target [] ])
+    (Smg_eval.Datasets.all ())
+
+let suite =
+  [
+    ( "dsl.lexer",
+      [
+        Alcotest.test_case "tokens" `Quick test_lexer_tokens;
+        Alcotest.test_case "comments" `Quick test_lexer_comments;
+        Alcotest.test_case "error location" `Quick test_lexer_error;
+      ] );
+    ( "dsl.parser",
+      [
+        Alcotest.test_case "sample document" `Quick test_parse_sample;
+        Alcotest.test_case "error location" `Quick test_parse_error_location;
+        Alcotest.test_case "node copies" `Quick test_noderef_copies;
+        Alcotest.test_case "data blocks" `Quick test_data_blocks;
+        Alcotest.test_case "data round-trip" `Quick test_data_roundtrip;
+      ] );
+    ( "dsl.roundtrip",
+      [
+        Alcotest.test_case "sample" `Quick test_roundtrip_sample;
+        Alcotest.test_case "books scenario file" `Quick test_roundtrip_books_scenario;
+        Alcotest.test_case "er2rel output" `Quick test_roundtrip_er2rel;
+        Alcotest.test_case "all evaluation scenarios" `Slow
+          test_roundtrip_all_eval_scenarios;
+      ] );
+  ]

@@ -1,0 +1,166 @@
+(* Tests for er2rel forward engineering and reverse engineering. *)
+
+module Schema = Smg_relational.Schema
+module Cml = Smg_cm.Cml
+module Cardinality = Smg_cm.Cardinality
+module Cm_graph = Smg_cm.Cm_graph
+module Stree = Smg_semantics.Stree
+module Design = Smg_er2rel.Design
+module Reverse = Smg_er2rel.Reverse
+module Discover = Smg_core.Discover
+
+let library_cm =
+  Cml.make ~name:"library"
+    ~binaries:[ Cml.functional "publishedBy" ~src:"Book" ~dst:"Publisher" ]
+    ~reified:
+      [
+        Cml.reified "borrows"
+          [
+            ("borrower", "Member", Cardinality.many);
+            ("item", "Book", Cardinality.many);
+          ];
+      ]
+    ~isas:[ { Cml.sub = "Member"; super = "Person" } ]
+    [
+      Cml.cls ~id:[ "isbn" ] "Book" [ "isbn"; "title" ];
+      Cml.cls ~id:[ "pubname" ] "Publisher" [ "pubname" ];
+      Cml.cls ~id:[ "pid" ] "Person" [ "pid"; "name" ];
+      Cml.cls "Member" [ "since" ];
+    ]
+
+let test_design_tables () =
+  let schema, strees = Design.design library_cm in
+  let names = List.map (fun (t : Schema.table) -> t.Schema.tbl_name) schema.Schema.tables in
+  Alcotest.(check (list string)) "tables"
+    [ "book"; "publisher"; "person"; "member"; "borrows" ]
+    names;
+  Alcotest.(check int) "one s-tree per table" (List.length names)
+    (List.length strees)
+
+let test_design_merged_functional () =
+  let schema, _ = Design.design library_cm in
+  let book = Schema.find_table_exn schema "book" in
+  Alcotest.(check (list string)) "FK column for publishedBy"
+    [ "isbn"; "title"; "publishedBy_pubname" ]
+    (Schema.column_names book);
+  Alcotest.(check bool) "ric to publisher" true
+    (List.exists
+       (fun (r : Schema.ric) ->
+         r.Schema.from_table = "book" && r.Schema.to_table = "publisher")
+       schema.Schema.rics)
+
+let test_design_relationship_table () =
+  let schema, _ = Design.design library_cm in
+  let borrows = Schema.find_table_exn schema "borrows" in
+  Alcotest.(check (list string)) "participant keys" [ "pid"; "isbn" ]
+    (Schema.column_names borrows);
+  Alcotest.(check (list string)) "key is the combination" [ "pid"; "isbn" ]
+    borrows.Schema.key
+
+let test_design_isa_ric () =
+  let schema, _ = Design.design library_cm in
+  Alcotest.(check bool) "member references person" true
+    (List.exists
+       (fun (r : Schema.ric) ->
+         r.Schema.from_table = "member" && r.Schema.to_table = "person")
+       schema.Schema.rics)
+
+let test_design_strees_validate () =
+  (* The generated s-trees pass validation against the CM and schema;
+     Discover.side runs that validation for every table. *)
+  let schema, strees = Design.design library_cm in
+  let (_ : Discover.side) = Discover.side ~schema ~cm:library_cm strees in
+  ()
+
+let test_design_table_per_concrete () =
+  let config = { Design.default_config with isa = Design.Table_per_concrete } in
+  let schema, strees = Design.design ~config library_cm in
+  let names = List.map (fun (t : Schema.table) -> t.Schema.tbl_name) schema.Schema.tables in
+  Alcotest.(check bool) "person collapsed away" false (List.mem "person" names);
+  let member = Schema.find_table_exn schema "member" in
+  Alcotest.(check bool) "member inherits name" true
+    (Schema.has_column member "name");
+  let (_ : Discover.side) = Discover.side ~schema ~cm:library_cm strees in
+  ()
+
+let test_design_self_reference () =
+  let cm =
+    Cml.make ~name:"selfref"
+      ~binaries:[ Cml.functional "reportsTo" ~src:"Emp" ~dst:"Emp" ]
+      [ Cml.cls ~id:[ "eid" ] "Emp" [ "eid" ] ]
+  in
+  let schema, strees = Design.design cm in
+  let emp = Schema.find_table_exn schema "emp" in
+  Alcotest.(check (list string)) "self FK column" [ "eid"; "reportsTo_eid" ]
+    (Schema.column_names emp);
+  let (_ : Discover.side) = Discover.side ~schema ~cm strees in
+  ()
+
+let test_key_of_class () =
+  Alcotest.(check (option (pair string (list string)))) "inherited key"
+    (Some ("Person", [ "pid" ]))
+    (Design.key_of_class library_cm "Member");
+  Alcotest.(check (option (pair string (list string)))) "own key"
+    (Some ("Book", [ "isbn" ]))
+    (Design.key_of_class library_cm "Book")
+
+(* ---- reverse engineering ----- *)
+
+let test_reverse_books () =
+  let cm, strees = Reverse.recover Fixtures.Books.source_schema in
+  (* writes and soldAt have composite FK keys: reified *)
+  Alcotest.(check int) "two reified relationships" 2
+    (List.length cm.Cml.reified);
+  Alcotest.(check int) "three entity classes" 3 (List.length cm.Cml.classes);
+  (* recovered semantics validate *)
+  let (_ : Discover.side) =
+    Discover.side ~schema:Fixtures.Books.source_schema ~cm strees
+  in
+  ()
+
+let test_reverse_isa () =
+  let schema =
+    Schema.make ~name:"iso"
+      [
+        Schema.table ~key:[ "id" ] "animal" [ ("id", Schema.TString); ("name", Schema.TString) ];
+        Schema.table ~key:[ "id" ] "dog" [ ("id", Schema.TString); ("breed", Schema.TString) ];
+      ]
+      [ Schema.ric ~name:"isa" ~from_:("dog", [ "id" ]) ~to_:("animal", [ "id" ]) ]
+  in
+  let cm, strees = Reverse.recover schema in
+  Alcotest.(check int) "one ISA" 1 (List.length cm.Cml.isas);
+  Alcotest.(check bool) "dog < animal" true
+    (List.exists (fun i -> i.Cml.sub = "Dog" && i.Cml.super = "Animal") cm.Cml.isas);
+  let (_ : Discover.side) = Discover.side ~schema ~cm strees in
+  ()
+
+let test_roundtrip_forward_then_reverse () =
+  (* er2rel output reverse-engineers into a CM with the same number of
+     entity classes (reified relationships may differ in detail). *)
+  let schema, _ = Design.design library_cm in
+  let cm, strees = Reverse.recover schema in
+  Alcotest.(check bool) "recovers at least the concrete classes" true
+    (List.length cm.Cml.classes >= 4);
+  let (_ : Discover.side) = Discover.side ~schema ~cm strees in
+  ()
+
+let suite =
+  [
+    ( "er2rel.design",
+      [
+        Alcotest.test_case "tables" `Quick test_design_tables;
+        Alcotest.test_case "merged functional rel" `Quick test_design_merged_functional;
+        Alcotest.test_case "relationship table" `Quick test_design_relationship_table;
+        Alcotest.test_case "ISA ric" `Quick test_design_isa_ric;
+        Alcotest.test_case "s-trees validate" `Quick test_design_strees_validate;
+        Alcotest.test_case "table per concrete" `Quick test_design_table_per_concrete;
+        Alcotest.test_case "self reference" `Quick test_design_self_reference;
+        Alcotest.test_case "key resolution" `Quick test_key_of_class;
+      ] );
+    ( "er2rel.reverse",
+      [
+        Alcotest.test_case "books" `Quick test_reverse_books;
+        Alcotest.test_case "ISA recovery" `Quick test_reverse_isa;
+        Alcotest.test_case "forward ∘ reverse" `Quick test_roundtrip_forward_then_reverse;
+      ] );
+  ]

@@ -1,0 +1,226 @@
+(* Property-based end-to-end fuzzing: random conceptual models are
+   forward-engineered with random er2rel configurations; the results
+   must always validate, and mapping discovery over random
+   correspondences between two random scenarios must terminate and
+   produce sound candidates. *)
+
+module Cml = Smg_cm.Cml
+module Cardinality = Smg_cm.Cardinality
+module Schema = Smg_relational.Schema
+module Design = Smg_er2rel.Design
+module Reverse = Smg_er2rel.Reverse
+module Discover = Smg_core.Discover
+module Mapping = Smg_cq.Mapping
+module Query = Smg_cq.Query
+module Atom = Smg_cq.Atom
+
+(* ---- random CM generator ---------------------------------------------- *)
+
+(* Classes C0..C{k-1}; ISA edges only from higher to lower indices (so
+   hierarchies are acyclic); roots carry identifiers, subclasses
+   inherit. Relationships and reified relationships over random
+   endpoints. The [tag] keeps the two sides' vocabularies apart. *)
+let gen_cm tag =
+  QCheck.Gen.(
+    let* k = int_range 3 6 in
+    let name i = Printf.sprintf "%s%d" tag i in
+    let attr i = Printf.sprintf "%sa%d" tag i in
+    (* each class is either a root (owns an id) or a subclass of an
+       earlier class *)
+    let* parents =
+      List.init k Fun.id
+      |> List.map (fun i ->
+             if i = 0 then return None
+             else
+               let* is_sub = bool in
+               if is_sub then
+                 let* p = int_range 0 (i - 1) in
+                 return (Some p)
+               else return None)
+      |> flatten_l
+    in
+    let classes =
+      List.mapi
+        (fun i parent ->
+          match parent with
+          | None -> Cml.cls ~id:[ attr i ] (name i) [ attr i ]
+          | Some _ ->
+              (* own non-id attribute *)
+              Cml.cls (name i) [ attr i ])
+        parents
+    in
+    let isas =
+      List.concat
+        (List.mapi
+           (fun i parent ->
+             match parent with
+             | Some p -> [ { Cml.sub = name i; super = name p } ]
+             | None -> [])
+           parents)
+    in
+    let* n_rels = int_range 1 4 in
+    let* rels =
+      list_repeat n_rels
+        (let* s = int_range 0 (k - 1) in
+         let* d = int_range 0 (k - 1) in
+         let* functional = bool in
+         let* partof = bool in
+         return (s, d, functional, partof))
+    in
+    let binaries =
+      List.mapi
+        (fun j (s, d, functional, partof) ->
+          let kind = if partof then Cml.PartOf else Cml.Ordinary in
+          let rname = Printf.sprintf "%sr%d" tag j in
+          if functional then Cml.functional ~kind rname ~src:(name s) ~dst:(name d)
+          else Cml.many_many ~kind rname ~src:(name s) ~dst:(name d))
+        rels
+    in
+    let* n_reified = int_range 0 2 in
+    let* reified_specs =
+      list_repeat n_reified
+        (let* a = int_range 0 (k - 1) in
+         let* b = int_range 0 (k - 1) in
+         return (a, b))
+    in
+    let reified =
+      List.mapi
+        (fun j (a, b) ->
+          let rr = Printf.sprintf "%sm%d" tag j in
+          Cml.reified rr
+            [
+              (rr ^ "_x", name a, Cardinality.many);
+              (rr ^ "_y", name b, Cardinality.many);
+            ])
+        reified_specs
+    in
+    return (Cml.make ~name:(tag ^ "cm") ~binaries ~reified ~isas classes))
+
+let gen_config =
+  QCheck.Gen.(
+    let* isa = oneofl [ Design.Table_per_class; Design.Table_per_concrete ] in
+    let* merge = bool in
+    return { Design.default_config with isa; merge_functional = merge })
+
+let arb_cm tag =
+  QCheck.make (gen_cm tag) ~print:(fun cm -> Fmt.str "%a" Cml.pp cm)
+
+let pp_config ppf (c : Design.config) =
+  Fmt.pf ppf "isa=%s merge=%b"
+    (match c.Design.isa with
+    | Design.Table_per_class -> "per-class"
+    | Design.Table_per_concrete -> "per-concrete")
+    c.Design.merge_functional
+
+let arb_scenario =
+  let gen =
+    QCheck.Gen.(
+      let* src_cm = gen_cm "s" in
+      let* tgt_cm = gen_cm "t" in
+      let* src_cfg = gen_config in
+      let* tgt_cfg = gen_config in
+      let* seed = int_range 0 10_000 in
+      return (src_cm, tgt_cm, src_cfg, tgt_cfg, seed))
+  in
+  QCheck.make gen ~print:(fun (s, t, c1, c2, seed) ->
+      Fmt.str "seed=%d src[%a] tgt[%a]@.%a@.%a" seed pp_config c1 pp_config c2
+        Cml.pp s Cml.pp t)
+
+(* ---- properties -------------------------------------------------------- *)
+
+let prop_er2rel_validates =
+  QCheck.Test.make ~name:"er2rel output always validates" ~count:60
+    (QCheck.make
+       QCheck.Gen.(pair (gen_cm "s") gen_config)
+       ~print:(fun (cm, cfg) -> Fmt.str "%a@.%a" pp_config cfg Cml.pp cm))
+    (fun (cm, config) ->
+      let schema, strees = Design.design ~config cm in
+      let (_ : Discover.side) = Discover.side ~schema ~cm strees in
+      true)
+
+let prop_er2rel_reverse_roundtrip =
+  QCheck.Test.make ~name:"reverse engineering er2rel output validates"
+    ~count:40 (arb_cm "s")
+    (fun cm ->
+      let schema, _ = Design.design cm in
+      let cm', strees' = Reverse.recover schema in
+      let (_ : Discover.side) = Discover.side ~schema ~cm:cm' strees' in
+      true)
+
+(* pick pseudo-random correspondences between two schemas *)
+let pick_corrs seed (src : Schema.t) (tgt : Schema.t) =
+  let columns (s : Schema.t) =
+    List.concat_map
+      (fun (t : Schema.table) ->
+        List.map (fun c -> (t.Schema.tbl_name, c)) (Schema.column_names t))
+      s.Schema.tables
+  in
+  let sc = columns src and tc = columns tgt in
+  if sc = [] || tc = [] then []
+  else begin
+    let n = 1 + (seed mod 3) in
+    List.init n (fun i ->
+        let s = List.nth sc ((seed + (i * 7)) mod List.length sc) in
+        let t = List.nth tc ((seed + (i * 13)) mod List.length tc) in
+        Mapping.corr ~src:s ~tgt:t)
+    |> List.sort_uniq compare
+  end
+
+let sound_mapping (src : Schema.t) (tgt : Schema.t) corrs (m : Mapping.t) =
+  let safe (q : Query.t) =
+    let bv = Query.body_vars q in
+    List.for_all (fun v -> List.mem v bv) (Query.head_vars q)
+  in
+  let well_formed schema (q : Query.t) =
+    List.for_all
+      (fun (a : Atom.t) ->
+        match Schema.find_table schema a.Atom.pred with
+        | Some t -> List.length a.Atom.args = List.length (Schema.column_names t)
+        | None -> false)
+      q.Query.body
+  in
+  safe m.Mapping.src_query && safe m.Mapping.tgt_query
+  && well_formed src m.Mapping.src_query
+  && well_formed tgt m.Mapping.tgt_query
+  && List.for_all
+       (fun c -> List.exists (fun c' -> Mapping.compare_corr c c' = 0) corrs)
+       m.Mapping.covered
+
+let prop_discover_sound =
+  QCheck.Test.make ~name:"discovery on random scenarios is sound" ~count:60
+    arb_scenario
+    (fun (src_cm, tgt_cm, src_cfg, tgt_cfg, seed) ->
+      let src_schema, src_strees = Design.design ~config:src_cfg src_cm in
+      let tgt_schema, tgt_strees = Design.design ~config:tgt_cfg tgt_cm in
+      let source = Discover.side ~schema:src_schema ~cm:src_cm src_strees in
+      let target = Discover.side ~schema:tgt_schema ~cm:tgt_cm tgt_strees in
+      let corrs = pick_corrs seed src_schema tgt_schema in
+      QCheck.assume (corrs <> []);
+      let options =
+        { Discover.default_options with max_candidates = 10; max_path_len = 5 }
+      in
+      let ms = Discover.discover ~options ~source ~target ~corrs () in
+      List.for_all (sound_mapping src_schema tgt_schema corrs) ms)
+
+let prop_ric_sound =
+  QCheck.Test.make ~name:"RIC baseline on random scenarios is sound" ~count:60
+    arb_scenario
+    (fun (src_cm, tgt_cm, src_cfg, tgt_cfg, seed) ->
+      let src_schema, _ = Design.design ~config:src_cfg src_cm in
+      let tgt_schema, _ = Design.design ~config:tgt_cfg tgt_cm in
+      let corrs = pick_corrs seed src_schema tgt_schema in
+      QCheck.assume (corrs <> []);
+      let ms = Smg_ric.Baseline.generate ~source:src_schema ~target:tgt_schema ~corrs in
+      List.for_all (sound_mapping src_schema tgt_schema corrs) ms)
+
+let suite =
+  let q = QCheck_alcotest.to_alcotest in
+  [
+    ( "fuzz",
+      [
+        q prop_er2rel_validates;
+        q prop_er2rel_reverse_roundtrip;
+        q prop_discover_sound;
+        q prop_ric_sound;
+      ] );
+  ]

@@ -1,0 +1,79 @@
+(* Tests for the name-based schema matcher. *)
+
+module Matcher = Smg_matching.Matcher
+module Mapping = Smg_cq.Mapping
+
+let test_levenshtein () =
+  Alcotest.(check int) "identity" 0 (Matcher.levenshtein "abc" "abc");
+  Alcotest.(check int) "one substitution" 1 (Matcher.levenshtein "abc" "abd");
+  Alcotest.(check int) "insertion" 1 (Matcher.levenshtein "abc" "abcd");
+  Alcotest.(check int) "empty" 3 (Matcher.levenshtein "" "abc");
+  Alcotest.(check int) "kitten/sitting" 3 (Matcher.levenshtein "kitten" "sitting")
+
+let test_tokens () =
+  Alcotest.(check (list string)) "snake case" [ "city"; "name" ]
+    (Matcher.tokens "city_name");
+  Alcotest.(check (list string)) "camel case" [ "city"; "name" ]
+    (Matcher.tokens "cityName");
+  Alcotest.(check (list string)) "dots" [ "a"; "b" ] (Matcher.tokens "a.b");
+  Alcotest.(check (list string)) "single" [ "pname" ] (Matcher.tokens "pname")
+
+let test_similarity () =
+  Alcotest.(check (float 1e-9)) "identical" 1. (Matcher.similarity "name" "name");
+  Alcotest.(check (float 1e-9)) "case/format insensitive" 1.
+    (Matcher.similarity "cityName" "city_name");
+  Alcotest.(check bool) "related > unrelated" true
+    (Matcher.similarity "cityname" "city_name"
+    > Matcher.similarity "cityname" "population")
+
+let test_propose_books () =
+  let results =
+    Matcher.propose ~source:Fixtures.Books.source_schema
+      ~target:Fixtures.Books.target_schema ()
+  in
+  (* target sid should match a source sid column with high confidence *)
+  let sid =
+    List.find_opt
+      (fun (r : Matcher.match_result) ->
+        snd r.corr.Mapping.c_tgt = "sid" && snd r.corr.Mapping.c_src = "sid")
+      results
+  in
+  Alcotest.(check bool) "sid matched" true (Option.is_some sid);
+  (match sid with
+  | Some r -> Alcotest.(check bool) "high confidence" true (r.confidence > 0.8)
+  | None -> ());
+  (* results sorted by decreasing confidence *)
+  let rec sorted = function
+    | a :: (b :: _ as rest) ->
+        (a : Matcher.match_result).confidence >= b.confidence && sorted rest
+    | [ _ ] | [] -> true
+  in
+  Alcotest.(check bool) "sorted" true (sorted results)
+
+let test_propose_threshold () =
+  let all =
+    Matcher.propose ~threshold:0. ~source:Fixtures.Books.source_schema
+      ~target:Fixtures.Books.target_schema ()
+  in
+  let strict =
+    Matcher.propose ~threshold:0.99 ~source:Fixtures.Books.source_schema
+      ~target:Fixtures.Books.target_schema ()
+  in
+  Alcotest.(check bool) "threshold prunes" true
+    (List.length strict <= List.length all);
+  List.iter
+    (fun (r : Matcher.match_result) ->
+      Alcotest.(check bool) "above threshold" true (r.confidence >= 0.99))
+    strict
+
+let suite =
+  [
+    ( "matching",
+      [
+        Alcotest.test_case "levenshtein" `Quick test_levenshtein;
+        Alcotest.test_case "tokenisation" `Quick test_tokens;
+        Alcotest.test_case "similarity" `Quick test_similarity;
+        Alcotest.test_case "propose on books" `Quick test_propose_books;
+        Alcotest.test_case "threshold" `Quick test_propose_threshold;
+      ] );
+  ]

@@ -1,0 +1,263 @@
+(* Tests for Smg_relational: values, schemas, instances, algebra. *)
+
+module Value = Smg_relational.Value
+module Schema = Smg_relational.Schema
+module Instance = Smg_relational.Instance
+module Algebra = Smg_relational.Algebra
+
+let vs s = Value.VString s
+let vi i = Value.VInt i
+
+let people_schema =
+  Schema.make ~name:"demo"
+    [
+      Schema.table ~key:[ "id" ] "person"
+        [ ("id", Schema.TInt); ("name", Schema.TString); ("dept", Schema.TString) ];
+      Schema.table ~key:[ "dept" ] "department"
+        [ ("dept", Schema.TString); ("head", Schema.TString) ];
+    ]
+    [
+      Schema.ric ~name:"fk_dept" ~from_:("person", [ "dept" ])
+        ~to_:("department", [ "dept" ]);
+    ]
+
+let demo_instance =
+  let add = Instance.add_tuple in
+  Instance.empty
+  |> fun i ->
+  add i "person" ~header:[ "id"; "name"; "dept" ]
+    [| vi 1; vs "ada"; vs "cs" |]
+  |> fun i ->
+  add i "person" ~header:[ "id"; "name"; "dept" ]
+    [| vi 2; vs "bob"; vs "math" |]
+  |> fun i ->
+  add i "department" ~header:[ "dept"; "head" ] [| vs "cs"; vs "ada" |]
+
+(* ---- values ----- *)
+
+let test_value_equality () =
+  Alcotest.(check bool) "ints equal" true (Value.equal (vi 3) (vi 3));
+  Alcotest.(check bool) "null labels distinguish" false
+    (Value.equal (Value.VNull 1) (Value.VNull 2));
+  Alcotest.(check bool) "null never equals constant" false
+    (Value.equal (Value.VNull 1) (vi 1));
+  Alcotest.(check bool) "is_null" true (Value.is_null (Value.VNull 7))
+
+let test_fresh_null () =
+  Value.reset_null_counter ();
+  let a = Value.fresh_null () and b = Value.fresh_null () in
+  Alcotest.(check bool) "fresh nulls distinct" false (Value.equal a b)
+
+(* ---- schema ----- *)
+
+let test_schema_validation () =
+  Alcotest.check_raises "duplicate table"
+    (Invalid_argument "duplicate table t") (fun () ->
+      ignore
+        (Schema.make ~name:"bad"
+           [ Schema.table "t" [ ("a", Schema.TInt) ]; Schema.table "t" [ ("a", Schema.TInt) ] ]
+           []));
+  Alcotest.check_raises "key must exist"
+    (Invalid_argument "table t: key column b missing") (fun () ->
+      ignore
+        (Schema.make ~name:"bad"
+           [ Schema.table ~key:[ "b" ] "t" [ ("a", Schema.TInt) ] ]
+           []));
+  Alcotest.check_raises "ric arity"
+    (Invalid_argument "ric r: arity mismatch") (fun () ->
+      ignore
+        (Schema.make ~name:"bad"
+           [
+             Schema.table "t" [ ("a", Schema.TInt); ("b", Schema.TInt) ];
+             Schema.table "u" [ ("c", Schema.TInt) ];
+           ]
+           [ Schema.ric ~name:"r" ~from_:("t", [ "a"; "b" ]) ~to_:("u", [ "c" ]) ]))
+
+let test_schema_lookups () =
+  let t = Schema.find_table_exn people_schema "person" in
+  Alcotest.(check (list string)) "columns" [ "id"; "name"; "dept" ]
+    (Schema.column_names t);
+  Alcotest.(check bool) "has column" true (Schema.has_column t "name");
+  Alcotest.(check bool) "column type" true
+    (Schema.column_type t "id" = Some Schema.TInt);
+  Alcotest.(check int) "rics_from person" 1
+    (List.length (Schema.rics_from people_schema "person"));
+  Alcotest.(check int) "rics_to department" 1
+    (List.length (Schema.rics_to people_schema "department"))
+
+(* ---- instance ----- *)
+
+let test_instance_dedup () =
+  let i =
+    Instance.add_tuple demo_instance "person" ~header:[ "id"; "name"; "dept" ]
+      [| vi 1; vs "ada"; vs "cs" |]
+  in
+  Alcotest.(check int) "duplicate tuple not added" 2
+    (Instance.cardinality i "person")
+
+let test_instance_arity_check () =
+  Alcotest.check_raises "arity mismatch"
+    (Invalid_argument "add_tuple person: arity 2 vs header 3") (fun () ->
+      ignore
+        (Instance.add_tuple demo_instance "person"
+           ~header:[ "id"; "name"; "dept" ]
+           [| vi 9; vs "zoe" |]))
+
+let test_check_keys () =
+  let bad =
+    Instance.add_tuple demo_instance "person" ~header:[ "id"; "name"; "dept" ]
+      [| vi 1; vs "imposter"; vs "cs" |]
+  in
+  Alcotest.(check int) "no violation initially" 0
+    (List.length (Instance.check_keys people_schema demo_instance));
+  Alcotest.(check int) "key violation detected" 1
+    (List.length (Instance.check_keys people_schema bad))
+
+let test_check_rics () =
+  Alcotest.(check int) "bob's dept dangles" 1
+    (List.length (Instance.check_rics people_schema demo_instance));
+  let fixed =
+    Instance.add_tuple demo_instance "department" ~header:[ "dept"; "head" ]
+      [| vs "math"; vs "bob" |]
+  in
+  Alcotest.(check int) "satisfied after insert" 0
+    (List.length (Instance.check_rics people_schema fixed))
+
+(* ---- algebra ----- *)
+
+let eval = Algebra.eval people_schema demo_instance
+
+let test_select () =
+  let r =
+    eval (Algebra.Select (Algebra.Eq (Algebra.Col "dept", Algebra.Const (vs "cs")),
+                          Algebra.Table "person"))
+  in
+  Alcotest.(check int) "one cs person" 1 (List.length r.Instance.tuples)
+
+let test_project_dedups () =
+  let r = eval (Algebra.Project ([ "dept" ], Algebra.Table "person")) in
+  Alcotest.(check int) "two distinct departments" 2
+    (List.length r.Instance.tuples)
+
+let test_natural_join () =
+  let r = eval (Algebra.Join (Algebra.Table "person", Algebra.Table "department")) in
+  Alcotest.(check int) "only cs joins" 1 (List.length r.Instance.tuples);
+  Alcotest.(check (list string)) "merged header" [ "id"; "name"; "dept"; "head" ]
+    r.Instance.header
+
+let test_rename_then_join () =
+  (* Join person.name with department.head after aligning the names. *)
+  let r =
+    eval
+      (Algebra.Join
+         ( Algebra.Table "person",
+           Algebra.Rename ([ ("head", "name"); ("dept", "d2") ], Algebra.Table "department") ))
+  in
+  Alcotest.(check int) "ada heads cs" 1 (List.length r.Instance.tuples)
+
+let test_left_outer () =
+  let r = eval (Algebra.LeftOuter (Algebra.Table "person", Algebra.Table "department")) in
+  Alcotest.(check int) "bob padded with null" 2 (List.length r.Instance.tuples);
+  let bob =
+    List.find
+      (fun t -> Value.equal t.(1) (vs "bob"))
+      r.Instance.tuples
+  in
+  Alcotest.(check bool) "head is null" true (Value.is_null bob.(3))
+
+let test_full_outer () =
+  let i =
+    Instance.add_tuple demo_instance "department" ~header:[ "dept"; "head" ]
+      [| vs "bio"; vs "eve" |]
+  in
+  let r =
+    Algebra.eval people_schema i
+      (Algebra.FullOuter (Algebra.Table "person", Algebra.Table "department"))
+  in
+  (* cs joins, bob unmatched left, bio unmatched right *)
+  Alcotest.(check int) "three rows" 3 (List.length r.Instance.tuples)
+
+let test_union_diff () =
+  let u =
+    eval (Algebra.Union (Algebra.Table "person", Algebra.Table "person"))
+  in
+  Alcotest.(check int) "union dedups" 2 (List.length u.Instance.tuples);
+  let d = eval (Algebra.Diff (Algebra.Table "person", Algebra.Table "person")) in
+  Alcotest.(check int) "self-diff empty" 0 (List.length d.Instance.tuples)
+
+let test_columns_checks () =
+  Alcotest.(check (list string)) "join header" [ "id"; "name"; "dept"; "head" ]
+    (Algebra.columns people_schema
+       (Algebra.Join (Algebra.Table "person", Algebra.Table "department")));
+  Alcotest.check_raises "bad projection"
+    (Invalid_argument "project: unknown column nope") (fun () ->
+      ignore
+        (Algebra.columns people_schema
+           (Algebra.Project ([ "nope" ], Algebra.Table "person"))))
+
+(* property: join is commutative up to column order and tuple content *)
+let prop_join_commutative =
+  QCheck.Test.make ~name:"natural join commutes (as sets of row-maps)"
+    ~count:50
+    QCheck.(list_of_size (QCheck.Gen.int_range 0 8) (pair small_int small_int))
+    (fun pairs ->
+      let inst =
+        List.fold_left
+          (fun i (a, b) ->
+            let i =
+              Instance.add_tuple i "person" ~header:[ "id"; "name"; "dept" ]
+                [| vi a; vs ("n" ^ string_of_int a); vs ("d" ^ string_of_int b) |]
+            in
+            Instance.add_tuple i "department" ~header:[ "dept"; "head" ]
+              [| vs ("d" ^ string_of_int b); vs "h" |])
+          Instance.empty pairs
+      in
+      let as_maps (r : Instance.relation) =
+        List.map
+          (fun t -> List.sort compare (List.combine r.Instance.header (Array.to_list t)))
+          r.Instance.tuples
+        |> List.sort compare
+      in
+      let ab =
+        Algebra.eval people_schema inst
+          (Algebra.Join (Algebra.Table "person", Algebra.Table "department"))
+      in
+      let ba =
+        Algebra.eval people_schema inst
+          (Algebra.Join (Algebra.Table "department", Algebra.Table "person"))
+      in
+      as_maps ab = as_maps ba)
+
+let suite =
+  let q = QCheck_alcotest.to_alcotest in
+  [
+    ( "relational.value",
+      [
+        Alcotest.test_case "equality" `Quick test_value_equality;
+        Alcotest.test_case "fresh nulls" `Quick test_fresh_null;
+      ] );
+    ( "relational.schema",
+      [
+        Alcotest.test_case "validation" `Quick test_schema_validation;
+        Alcotest.test_case "lookups" `Quick test_schema_lookups;
+      ] );
+    ( "relational.instance",
+      [
+        Alcotest.test_case "dedup" `Quick test_instance_dedup;
+        Alcotest.test_case "arity check" `Quick test_instance_arity_check;
+        Alcotest.test_case "key check" `Quick test_check_keys;
+        Alcotest.test_case "ric check" `Quick test_check_rics;
+      ] );
+    ( "relational.algebra",
+      [
+        Alcotest.test_case "select" `Quick test_select;
+        Alcotest.test_case "project dedups" `Quick test_project_dedups;
+        Alcotest.test_case "natural join" `Quick test_natural_join;
+        Alcotest.test_case "rename + join" `Quick test_rename_then_join;
+        Alcotest.test_case "left outer" `Quick test_left_outer;
+        Alcotest.test_case "full outer" `Quick test_full_outer;
+        Alcotest.test_case "union/diff" `Quick test_union_diff;
+        Alcotest.test_case "static columns" `Quick test_columns_checks;
+        q prop_join_commutative;
+      ] );
+  ]

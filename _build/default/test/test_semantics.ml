@@ -1,0 +1,335 @@
+(* Tests for Smg_semantics: s-tree validation, LAV encoding, CSG
+   encoding, and the §3.4 rewriting. *)
+
+module Schema = Smg_relational.Schema
+module Cml = Smg_cm.Cml
+module Cm_graph = Smg_cm.Cm_graph
+module Stree = Smg_semantics.Stree
+module Encode = Smg_semantics.Encode
+module Rewrite = Smg_semantics.Rewrite
+module Atom = Smg_cq.Atom
+module Query = Smg_cq.Query
+
+let n = Stree.nref
+let books_g = lazy (Cm_graph.compile Fixtures.Books.source_cm)
+
+(* ---- validation ----- *)
+
+let test_validate_ok () =
+  let g = Lazy.force books_g in
+  List.iter
+    (fun (st : Stree.t) ->
+      let t = Schema.find_table_exn Fixtures.Books.source_schema st.Stree.st_table in
+      Stree.validate g t st)
+    Fixtures.Books.source_strees
+
+let test_validate_rejects_unmapped_column () =
+  let g = Lazy.force books_g in
+  let t = Schema.find_table_exn Fixtures.Books.source_schema "person" in
+  let bad = Stree.make ~table:"person" [ n "Person" ] in
+  Alcotest.check_raises "unmapped column"
+    (Invalid_argument "s-tree of person: column pname unmapped") (fun () ->
+      Stree.validate g t bad)
+
+let test_validate_rejects_non_tree () =
+  let g = Lazy.force books_g in
+  let t = Schema.find_table_exn Fixtures.Books.source_schema "person" in
+  let bad =
+    Stree.make ~table:"person"
+      ~cols:[ ("pname", n "Person", "pname") ]
+      [ n "Person"; n "Book" ]
+  in
+  Alcotest.check_raises "disconnected"
+    (Invalid_argument "s-tree of person: not a tree: 2 nodes, 0 edges")
+    (fun () -> Stree.validate g t bad)
+
+let test_validate_rejects_wrong_edge () =
+  let g = Lazy.force books_g in
+  let t = Schema.find_table_exn Fixtures.Books.source_schema "writes" in
+  let bad =
+    Stree.make ~table:"writes"
+      ~edges:[ { Stree.se_src = n "writes"; se_kind = Stree.SRole "nope"; se_dst = n "Person" } ]
+      ~cols:[ ("pname", n "Person", "pname"); ("bid", n "Person", "pname") ]
+      [ n "writes"; n "Person" ]
+  in
+  Alcotest.check_raises "unknown role"
+    (Invalid_argument "s-tree of writes: reified writes has no role nope")
+    (fun () -> Stree.validate g t bad)
+
+let test_declaring_class () =
+  let cm = Fixtures.Employees.cm in
+  Alcotest.(check (option string)) "inherited attribute" (Some "Employee")
+    (Stree.declaring_class cm "Programmer" "name");
+  Alcotest.(check (option string)) "own attribute" (Some "Programmer")
+    (Stree.declaring_class cm "Programmer" "acnt");
+  Alcotest.(check (option string)) "missing" None
+    (Stree.declaring_class cm "Programmer" "site")
+
+let test_graph_edges_projection () =
+  let g = Lazy.force books_g in
+  let writes_st =
+    List.find (fun st -> st.Stree.st_table = "writes") Fixtures.Books.source_strees
+  in
+  Alcotest.(check int) "two forward edges" 2
+    (List.length (Stree.forward_graph_edges g writes_st));
+  Alcotest.(check int) "four with inverses" 4
+    (List.length (Stree.graph_edge_ids g writes_st))
+
+(* ---- encoding ----- *)
+
+let test_view_encoding () =
+  let g = Lazy.force books_g in
+  let writes_st =
+    List.find (fun st -> st.Stree.st_table = "writes") Fixtures.Books.source_strees
+  in
+  let view = Encode.view_of_stree g writes_st in
+  Alcotest.(check int) "head = columns" 2 (List.length view.Query.head);
+  (* 3 class atoms + 2 role atoms + 2 attribute atoms *)
+  Alcotest.(check int) "body size" 7 (List.length view.Query.body);
+  Alcotest.(check bool) "mentions the role predicate" true
+    (List.exists
+       (fun (a : Atom.t) -> a.Atom.pred = Encode.role_pred ~rr:"writes" "writes_author")
+       view.Query.body)
+
+let test_view_encoding_isa_unifies () =
+  let g = Cm_graph.compile Fixtures.Employees.cm in
+  let st = List.hd Fixtures.Employees.source_strees in
+  let view = Encode.view_of_stree g st in
+  (* Programmer(x) and Employee(x) must share a variable *)
+  let var_of_cls c =
+    List.find_map
+      (fun (a : Atom.t) ->
+        if a.Atom.pred = Encode.cls_pred c then Some a.Atom.args else None)
+      view.Query.body
+  in
+  Alcotest.(check bool) "same object variable" true
+    (var_of_cls "Programmer" = var_of_cls "Employee")
+
+let test_parse_pred_roundtrip () =
+  Alcotest.(check bool) "cls" true
+    (Encode.parse_pred (Encode.cls_pred "Person") = Some (Encode.PCls "Person"));
+  Alcotest.(check bool) "rel" true
+    (Encode.parse_pred (Encode.rel_pred "writes") = Some (Encode.PRel "writes"));
+  Alcotest.(check bool) "role" true
+    (Encode.parse_pred (Encode.role_pred ~rr:"Sell" "buyer")
+    = Some (Encode.PRole ("Sell", "buyer")));
+  Alcotest.(check bool) "attr" true
+    (Encode.parse_pred (Encode.attr_pred ~owner:"Person" "pname")
+    = Some (Encode.PAttr ("Person", "pname")));
+  Alcotest.(check bool) "table predicates do not parse" true
+    (Encode.parse_pred "person" = None)
+
+let test_csg_encoding () =
+  let g = Lazy.force books_g in
+  let person = Cm_graph.class_node_exn g "Person" in
+  let csg =
+    {
+      Encode.csg_nodes = [ person ];
+      csg_edges = [];
+      csg_outputs = [ (person, "pname", "v0") ];
+      csg_anchor = None;
+    }
+  in
+  let q = Encode.query_of_csg g csg in
+  Alcotest.(check int) "class + attribute atom" 2 (List.length q.Query.body);
+  Alcotest.(check int) "one answer" 1 (List.length q.Query.head)
+
+(* ---- rewriting ----- *)
+
+let books_rewrite ?required_tables csg =
+  let g = Lazy.force books_g in
+  let q = Encode.query_of_csg g csg in
+  Rewrite.rewrite ~cmg:g ~schema:Fixtures.Books.source_schema
+    ~strees:Fixtures.Books.source_strees ?required_tables q
+
+let test_rewrite_single_class () =
+  let g = Lazy.force books_g in
+  let person = Cm_graph.class_node_exn g "Person" in
+  let rws =
+    books_rewrite
+      {
+        Encode.csg_nodes = [ person ];
+        csg_edges = [];
+        csg_outputs = [ (person, "pname", "v0") ];
+        csg_anchor = None;
+      }
+  in
+  (* maximal rewritings: person table alone, or via writes (contained in
+     person? no: writes ⊆ person by the RIC but not as CQs) *)
+  Alcotest.(check bool) "some rewriting mentions person" true
+    (List.exists (fun r -> List.mem "person" r.Rewrite.rw_tables) rws);
+  List.iter
+    (fun r ->
+      let q = r.Rewrite.rw_query in
+      let head_vars = Query.head_vars q in
+      let body_vars = Query.body_vars q in
+      Alcotest.(check bool) "head safe" true
+        (List.for_all (fun v -> List.mem v body_vars) head_vars))
+    rws
+
+let test_rewrite_composition_m5 () =
+  (* The Example 3.3/3.4 query: Person —writes— Book —soldAt— Bookstore. *)
+  let g = Lazy.force books_g in
+  let node = Cm_graph.class_node_exn g in
+  let graph = Cm_graph.graph g in
+  let edges =
+    List.filter_map
+      (fun (e : _ Smg_graph.Digraph.edge) ->
+        match e.Smg_graph.Digraph.lbl.Cm_graph.kind with
+        | Cm_graph.Role _ -> Some e.Smg_graph.Digraph.id
+        | _ -> None)
+      (Smg_graph.Digraph.edges graph)
+  in
+  let rws =
+    books_rewrite ~required_tables:[ "person"; "bookstore" ]
+      {
+        Encode.csg_nodes =
+          [ node "Person"; node "writes"; node "Book"; node "soldAt"; node "Bookstore" ];
+        csg_edges = edges;
+        csg_outputs =
+          [ (node "Person", "pname", "v0"); (node "Bookstore", "sid", "v1") ];
+        csg_anchor = None;
+      }
+  in
+  (* the q'_3 shape must be among the maximal rewritings *)
+  let has_q3 =
+    List.exists
+      (fun r ->
+        let tables = r.Rewrite.rw_tables in
+        List.mem "person" tables && List.mem "writes" tables
+        && List.mem "soldAt" tables && List.mem "bookstore" tables
+        && not (List.mem "book" tables))
+      rws
+  in
+  Alcotest.(check bool) "q'_3 found (book eliminated as contained)" true has_q3;
+  (* and the q'_2 variant (with the book table) must have been pruned *)
+  let has_q2 =
+    List.exists (fun r -> List.mem "book" r.Rewrite.rw_tables) rws
+  in
+  Alcotest.(check bool) "q'_2 pruned" false has_q2
+
+let test_rewrite_unconstrained_prefers_q1 () =
+  (* Without the correspondence-table requirement the maximal rewriting
+     is q'_1 (writes ⋈ soldAt), which subsumes q'_3. *)
+  let g = Lazy.force books_g in
+  let node = Cm_graph.class_node_exn g in
+  let graph = Cm_graph.graph g in
+  let edges =
+    List.filter_map
+      (fun (e : _ Smg_graph.Digraph.edge) ->
+        match e.Smg_graph.Digraph.lbl.Cm_graph.kind with
+        | Cm_graph.Role _ -> Some e.Smg_graph.Digraph.id
+        | _ -> None)
+      (Smg_graph.Digraph.edges graph)
+  in
+  let rws =
+    books_rewrite
+      {
+        Encode.csg_nodes =
+          [ node "Person"; node "writes"; node "Book"; node "soldAt"; node "Bookstore" ];
+        csg_edges = edges;
+        csg_outputs =
+          [ (node "Person", "pname", "v0"); (node "Bookstore", "sid", "v1") ];
+        csg_anchor = None;
+      }
+  in
+  Alcotest.(check bool) "q'_1 among results" true
+    (List.exists
+       (fun r -> r.Rewrite.rw_tables = [ "soldAt"; "writes" ])
+       rws)
+
+let test_rewrite_isa_join_on_keys () =
+  (* Employee attributes drawn from both programmer and engineer join on
+     ssn (Example 1.2's source side). *)
+  let g = Cm_graph.compile Fixtures.Employees.cm in
+  let emp = Cm_graph.class_node_exn g "Employee" in
+  let prog = Cm_graph.class_node_exn g "Programmer" in
+  let eng = Cm_graph.class_node_exn g "Engineer" in
+  let graph = Cm_graph.graph g in
+  let isa_edges =
+    List.filter_map
+      (fun (e : _ Smg_graph.Digraph.edge) ->
+        match e.Smg_graph.Digraph.lbl.Cm_graph.kind with
+        | Cm_graph.Isa -> Some e.Smg_graph.Digraph.id
+        | _ -> None)
+      (Smg_graph.Digraph.edges graph)
+  in
+  let q =
+    Encode.query_of_csg g
+      {
+        Encode.csg_nodes = [ emp; prog; eng ];
+        csg_edges = isa_edges;
+        csg_outputs = [ (prog, "acnt", "v0"); (eng, "site", "v1") ];
+        csg_anchor = Some emp;
+      }
+  in
+  let rws =
+    Rewrite.rewrite ~cmg:g ~schema:Fixtures.Employees.source_schema
+      ~strees:Fixtures.Employees.source_strees q
+  in
+  let joined =
+    List.find_opt
+      (fun r ->
+        List.mem "programmer" r.Rewrite.rw_tables
+        && List.mem "engineer" r.Rewrite.rw_tables)
+      rws
+  in
+  match joined with
+  | None -> Alcotest.fail "expected a programmer ⋈ engineer rewriting"
+  | Some r ->
+      (* the two atoms must share the ssn variable (position 0 of both) *)
+      let q = r.Rewrite.rw_query in
+      let arg0 (a : Atom.t) = List.hd a.Atom.args in
+      let atoms = q.Query.body in
+      let p = List.find (fun (a : Atom.t) -> a.Atom.pred = "programmer") atoms in
+      let e = List.find (fun (a : Atom.t) -> a.Atom.pred = "engineer") atoms in
+      Alcotest.(check bool) "joined on ssn" true
+        (Atom.equal_term (arg0 p) (arg0 e))
+
+let test_rewrite_respects_max_covers () =
+  let g = Lazy.force books_g in
+  let person = Cm_graph.class_node_exn g "Person" in
+  let rws =
+    let q =
+      Encode.query_of_csg g
+        {
+          Encode.csg_nodes = [ person ];
+          csg_edges = [];
+          csg_outputs = [ (person, "pname", "v0") ];
+          csg_anchor = None;
+        }
+    in
+    Rewrite.rewrite ~cmg:g ~schema:Fixtures.Books.source_schema
+      ~strees:Fixtures.Books.source_strees ~max_covers:1 q
+  in
+  Alcotest.(check bool) "bounded enumeration still yields something" true
+    (List.length rws >= 1)
+
+let suite =
+  [
+    ( "semantics.stree",
+      [
+        Alcotest.test_case "validate fixtures" `Quick test_validate_ok;
+        Alcotest.test_case "reject unmapped column" `Quick test_validate_rejects_unmapped_column;
+        Alcotest.test_case "reject non-tree" `Quick test_validate_rejects_non_tree;
+        Alcotest.test_case "reject bad edge" `Quick test_validate_rejects_wrong_edge;
+        Alcotest.test_case "declaring class" `Quick test_declaring_class;
+        Alcotest.test_case "graph edge projection" `Quick test_graph_edges_projection;
+      ] );
+    ( "semantics.encode",
+      [
+        Alcotest.test_case "view of s-tree" `Quick test_view_encoding;
+        Alcotest.test_case "ISA unifies variables" `Quick test_view_encoding_isa_unifies;
+        Alcotest.test_case "predicate naming roundtrip" `Quick test_parse_pred_roundtrip;
+        Alcotest.test_case "CSG encoding" `Quick test_csg_encoding;
+      ] );
+    ( "semantics.rewrite",
+      [
+        Alcotest.test_case "single class" `Quick test_rewrite_single_class;
+        Alcotest.test_case "M5 composition (q'_3)" `Quick test_rewrite_composition_m5;
+        Alcotest.test_case "unconstrained keeps q'_1" `Quick
+          test_rewrite_unconstrained_prefers_q1;
+        Alcotest.test_case "ISA key join" `Quick test_rewrite_isa_join_on_keys;
+        Alcotest.test_case "bounded covers" `Quick test_rewrite_respects_max_covers;
+      ] );
+  ]

@@ -1,0 +1,171 @@
+(* Tests for the SQL renderings: DDL, SELECT-of-query, INSERT-of-mapping,
+   and the DOT export of CM graphs. *)
+
+module Schema = Smg_relational.Schema
+module Value = Smg_relational.Value
+module Sql_ddl = Smg_relational.Sql_ddl
+module Sql = Smg_cq.Sql
+module Atom = Smg_cq.Atom
+module Query = Smg_cq.Query
+module Mapping = Smg_cq.Mapping
+module Dot = Smg_cm.Dot
+module Cm_graph = Smg_cm.Cm_graph
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+(* ---- DDL ----- *)
+
+let test_create_table () =
+  let s = Fixtures.Books.source_schema in
+  let t = Schema.find_table_exn s "writes" in
+  let ddl = Sql_ddl.create_table s t in
+  Alcotest.(check bool) "create" true (contains ~needle:"CREATE TABLE writes" ddl);
+  Alcotest.(check bool) "pk" true
+    (contains ~needle:"PRIMARY KEY (pname, bid)" ddl);
+  Alcotest.(check bool) "fk to person" true
+    (contains ~needle:"FOREIGN KEY (pname) REFERENCES person (pname)" ddl)
+
+let test_create_schema_order () =
+  let ddl = Sql_ddl.create_schema Fixtures.Books.source_schema in
+  (* referenced tables must be created before referencing ones *)
+  let pos needle =
+    let rec go i =
+      if i >= String.length ddl then -1
+      else if contains ~needle (String.sub ddl i (String.length needle)) then i
+      else go (i + 1)
+    in
+    go 0
+  in
+  Alcotest.(check bool) "person before writes" true
+    (pos "CREATE TABLE person" < pos "CREATE TABLE writes");
+  Alcotest.(check bool) "book before soldAt" true
+    (pos "CREATE TABLE book" < pos "CREATE TABLE soldAt")
+
+let test_insert_tuple () =
+  let s = Fixtures.Books.source_schema in
+  let t = Schema.find_table_exn s "writes" in
+  let sql =
+    Sql_ddl.insert_tuple t [| Value.VString "o'neil"; Value.VNull 3 |]
+  in
+  Alcotest.(check string) "escaped + null"
+    "INSERT INTO writes (pname, bid) VALUES ('o''neil', NULL);" sql
+
+(* ---- SELECT of a query ----- *)
+
+let test_select_of_query () =
+  let q =
+    Query.make
+      ~head:[ Atom.v "p"; Atom.v "s" ]
+      [
+        Atom.atom "writes" [ Atom.v "p"; Atom.v "b" ];
+        Atom.atom "soldAt" [ Atom.v "b"; Atom.v "s" ];
+      ]
+  in
+  let sql = Sql.select_of_query Fixtures.Books.source_schema q in
+  Alcotest.(check bool) "select head" true
+    (contains ~needle:"SELECT DISTINCT a0.pname AS v0, a1.sid AS v1" sql);
+  Alcotest.(check bool) "join condition" true
+    (contains ~needle:"a0.bid = a1.bid" sql)
+
+let test_select_with_constant () =
+  let q =
+    Query.make ~head:[ Atom.v "b" ]
+      [ Atom.atom "writes" [ Atom.str "knuth"; Atom.v "b" ] ]
+  in
+  let sql = Sql.select_of_query Fixtures.Books.source_schema q in
+  Alcotest.(check bool) "constant filter" true
+    (contains ~needle:"a0.pname = 'knuth'" sql)
+
+let test_select_unsafe_head_rejected () =
+  let q = Query.make ~head:[ Atom.v "zzz" ] [ Atom.atom "person" [ Atom.v "p" ] ] in
+  Alcotest.check_raises "unsafe"
+    (Invalid_argument "sql: unsafe head variable zzz") (fun () ->
+      ignore (Sql.select_of_query Fixtures.Books.source_schema q))
+
+(* ---- INSERT of a mapping ----- *)
+
+let test_insert_of_mapping () =
+  let m =
+    Mapping.make
+      ~src_query:
+        (Query.make ~head:[ Atom.v "p" ] [ Atom.atom "person" [ Atom.v "p" ] ])
+      ~tgt_query:
+        (Query.make ~head:[ Atom.v "a" ]
+           [ Atom.atom "hasBookSoldAt" [ Atom.v "a"; Atom.v "s" ] ])
+      ~covered:[ Mapping.corr_of_strings "person.pname" "hasBookSoldAt.aname" ]
+      ()
+  in
+  match
+    Sql.insert_of_mapping ~source:Fixtures.Books.source_schema
+      ~target:Fixtures.Books.target_schema m
+  with
+  | [ sql ] ->
+      Alcotest.(check bool) "insert target" true
+        (contains ~needle:"INSERT INTO hasBookSoldAt (aname, sid)" sql);
+      Alcotest.(check bool) "universal column" true
+        (contains ~needle:"a0.pname AS aname" sql);
+      Alcotest.(check bool) "existential column is NULL" true
+        (contains ~needle:"NULL AS sid" sql)
+  | other -> Alcotest.failf "expected one statement, got %d" (List.length other)
+
+let test_insert_of_discovered_m5 () =
+  let ms =
+    Smg_core.Discover.discover ~source:(Fixtures.Books.source ())
+      ~target:(Fixtures.Books.target ()) ~corrs:Fixtures.Books.corrs ()
+  in
+  let stmts =
+    Sql.insert_of_mapping ~source:Fixtures.Books.source_schema
+      ~target:Fixtures.Books.target_schema (List.hd ms)
+  in
+  Alcotest.(check int) "one insert" 1 (List.length stmts);
+  Alcotest.(check bool) "no NULLs needed: M5 is full" false
+    (contains ~needle:"NULL AS" (List.hd stmts))
+
+(* ---- DOT export ----- *)
+
+let test_dot_export () =
+  let g = Cm_graph.compile Fixtures.Books.source_cm in
+  let dot = Dot.of_cm_graph ~name:"books" g in
+  Alcotest.(check bool) "digraph header" true
+    (contains ~needle:"digraph \"books\"" dot);
+  Alcotest.(check bool) "reified diamond" true
+    (contains ~needle:"shape=diamond" dot);
+  Alcotest.(check bool) "class box" true
+    (contains ~needle:"label=\"Person\", shape=box" dot);
+  (* balanced braces *)
+  Alcotest.(check bool) "closed" true (contains ~needle:"}" dot)
+
+let test_dot_highlight () =
+  let g = Cm_graph.compile Fixtures.Books.source_cm in
+  let person = Cm_graph.class_node_exn g "Person" in
+  let dot = Dot.of_cm_graph ~highlight_nodes:[ person ] ~attributes:false g in
+  Alcotest.(check bool) "highlighted" true (contains ~needle:"color=red" dot);
+  Alcotest.(check bool) "attributes suppressed" false
+    (contains ~needle:"shape=oval" dot)
+
+let suite =
+  [
+    ( "sql.ddl",
+      [
+        Alcotest.test_case "create table" `Quick test_create_table;
+        Alcotest.test_case "dependency order" `Quick test_create_schema_order;
+        Alcotest.test_case "insert tuple" `Quick test_insert_tuple;
+      ] );
+    ( "sql.query",
+      [
+        Alcotest.test_case "select" `Quick test_select_of_query;
+        Alcotest.test_case "constants" `Quick test_select_with_constant;
+        Alcotest.test_case "unsafe head" `Quick test_select_unsafe_head_rejected;
+        Alcotest.test_case "insert of mapping" `Quick test_insert_of_mapping;
+        Alcotest.test_case "insert of discovered M5" `Quick
+          test_insert_of_discovered_m5;
+      ] );
+    ( "cm.dot",
+      [
+        Alcotest.test_case "export" `Quick test_dot_export;
+        Alcotest.test_case "highlighting" `Quick test_dot_highlight;
+      ] );
+  ]
