@@ -63,6 +63,52 @@ let exchange_run rows () =
   | Smg_cq.Chase.Saturated _ | Smg_cq.Chase.Bounded _ -> ()
   | Smg_cq.Chase.Failed msg -> failwith msg
 
+(* verification-layer latency on the largest scenario (Mondial):
+   chase-based mapping-equivalence checks across the two methods'
+   candidates, and core computation over a chased exchange result *)
+let verify_fixture =
+  lazy
+    (let scen =
+       List.find
+         (fun s -> s.Smg_eval.Scenario.scen_name = "Mondial")
+         (Lazy.force scenarios)
+     in
+     let case = List.hd scen.Smg_eval.Scenario.cases in
+     let sem =
+       Smg_eval.Experiments.run_method Smg_eval.Experiments.Semantic scen case
+     in
+     let ric =
+       Smg_eval.Experiments.run_method Smg_eval.Experiments.Ric_based scen case
+     in
+     (scen, sem, ric))
+
+let hom_check_run () =
+  let scen, sem, ric = Lazy.force verify_fixture in
+  let source = scen.Smg_eval.Scenario.source.Smg_core.Discover.schema in
+  let target = scen.Smg_eval.Scenario.target.Smg_core.Discover.schema in
+  List.iter
+    (fun r ->
+      List.iter
+        (fun s ->
+          ignore (Smg_verify.Mapverify.equivalent ~source ~target s r))
+        sem)
+    ric
+
+let core_fixture =
+  lazy
+    (let scen, sem, ric = Lazy.force verify_fixture in
+     let source = scen.Smg_eval.Scenario.source.Smg_core.Discover.schema in
+     let target = scen.Smg_eval.Scenario.target.Smg_core.Discover.schema in
+     let tgds = List.map Smg_cq.Mapping.to_tgd (sem @ ric) in
+     match
+       Smg_verify.Mapverify.chase_canonical ~source ~target ~by:tgds
+         (List.hd tgds)
+     with
+     | Some out -> out
+     | None -> failwith "mondial canonical chase failed")
+
+let core_run () = ignore (Smg_verify.Icore.core (Lazy.force core_fixture))
+
 let ablation_run (v : Smg_eval.Ablation.variant) () =
   List.iter
     (fun (scen : Smg_eval.Scenario.t) ->
@@ -113,7 +159,14 @@ let tests () =
              (Staged.stage (ablation_run v)))
          Smg_eval.Ablation.variants)
   in
-  Test.make_grouped ~name:"smg" [ sem; ric; exchange; ablation ]
+  let verify =
+    Test.make_grouped ~name:"verify"
+      [
+        Test.make ~name:"mondial-hom-equivalence" (Staged.stage hom_check_run);
+        Test.make ~name:"mondial-core" (Staged.stage core_run);
+      ]
+  in
+  Test.make_grouped ~name:"smg" [ sem; ric; exchange; ablation; verify ]
 
 let benchmark () =
   let ols =

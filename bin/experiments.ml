@@ -22,6 +22,14 @@ let ablation () =
   Fmt.pr "@.Over the diagnostic micro-scenarios:@.%a@." Smg_eval.Ablation.pp
     (Smg_eval.Ablation.run_micro ())
 
+let redundancy () =
+  let rows =
+    List.map
+      (fun scen -> (scen, Smg_eval.Experiments.redundancy scen))
+      (Smg_eval.Datasets.all ())
+  in
+  Fmt.pr "%a@." Smg_eval.Experiments.pp_redundancy rows
+
 let witness () =
   List.iter
     (fun scen ->
@@ -45,6 +53,8 @@ let all () =
   Fmt.pr "@.";
   fig7 ();
   Fmt.pr "@.";
+  redundancy ();
+  Fmt.pr "@.";
   ablation ()
 
 let cmd_of name doc f = Cmd.v (Cmd.info name ~doc) Term.(const f $ const ())
@@ -66,6 +76,9 @@ let () =
             cmd_of "fig7" "Average recall per domain (paper Figure 7)" fig7;
             cmd_of "cases" "Per-case precision/recall breakdown" cases;
             cmd_of "ablation" "Ablation of the method's ingredients" ablation;
+            cmd_of "redundancy"
+              "RIC candidates equivalent to / subsumed by semantic candidates"
+              redundancy;
             cmd_of "witness"
               "Execute matched mappings vs benchmarks on generated instances"
               witness;

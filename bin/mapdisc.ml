@@ -7,6 +7,7 @@
 
    Subcommands:
      discover FILE   run mapping discovery (semantic, RIC-based, or both)
+     verify FILE     containment/equivalence matrix + dedup report
      match FILE      propose correspondences with the name matcher
      show FILE       parse and pretty-print the scenario (round-trip) *)
 
@@ -15,24 +16,44 @@ module Ast = Smg_dsl.Ast
 module Schema = Smg_relational.Schema
 module Mapping = Smg_cq.Mapping
 module Discover = Smg_core.Discover
+module Mapverify = Smg_verify.Mapverify
 
 let load file =
   let doc = Smg_dsl.Parser.parse_file file in
   match (doc.Ast.doc_schemas, doc.Ast.doc_cms) with
   | [ src_schema; tgt_schema ], [ src_cm; tgt_cm ] ->
-      let strees_for (schema : Schema.t) =
+      (* A table name may occur in both schemas (e.g. [country] on both
+         Mondial sides) and semantics blocks carry only the table name,
+         so select per table the first block whose s-tree validates
+         against this side's CM; keep the first name-match otherwise so
+         genuine validation errors still surface in [Discover.side]. *)
+      let strees_for (schema : Schema.t) (cm : Smg_cm.Cml.t) =
+        let cmg = Smg_cm.Cm_graph.compile cm in
         List.filter_map
-          (fun (b : Ast.semantics_block) ->
-            if Option.is_some (Schema.find_table schema b.Ast.sem_table) then
-              Some b.Ast.sem_stree
-            else None)
-          doc.Ast.doc_semantics
+          (fun (t : Schema.table) ->
+            let blocks =
+              List.filter
+                (fun (b : Ast.semantics_block) ->
+                  String.equal b.Ast.sem_table t.Schema.tbl_name)
+                doc.Ast.doc_semantics
+            in
+            let validates (b : Ast.semantics_block) =
+              match Smg_semantics.Stree.validate cmg t b.Ast.sem_stree with
+              | () -> true
+              | exception Invalid_argument _ -> false
+            in
+            match (List.find_opt validates blocks, blocks) with
+            | Some b, _ | None, b :: _ -> Some b.Ast.sem_stree
+            | None, [] -> None)
+          schema.Schema.tables
       in
       let source =
-        Discover.side ~schema:src_schema ~cm:src_cm (strees_for src_schema)
+        Discover.side ~schema:src_schema ~cm:src_cm
+          (strees_for src_schema src_cm)
       in
       let target =
-        Discover.side ~schema:tgt_schema ~cm:tgt_cm (strees_for tgt_schema)
+        Discover.side ~schema:tgt_schema ~cm:tgt_cm
+          (strees_for tgt_schema tgt_cm)
       in
       (doc, source, target)
   | _ ->
@@ -41,7 +62,13 @@ let load file =
 
 type meth = Semantic | Ric | Both
 
-let run_discover file meth verbose sql =
+let label_by_rank ms =
+  List.mapi
+    (fun i (m : Mapping.t) ->
+      Mapping.rename (Printf.sprintf "%s#%d" m.Mapping.m_name (i + 1)) m)
+    ms
+
+let run_discover file meth verbose sql dedup =
   if verbose then begin
     Logs.set_reporter (Logs_fmt.reporter ());
     Logs.set_level (Some Logs.Debug)
@@ -52,7 +79,19 @@ let run_discover file meth verbose sql =
     Fmt.epr "error: the scenario declares no correspondences@.";
     exit 2
   end;
+  let maybe_dedup title ms =
+    if not dedup then ms
+    else begin
+      let report =
+        Mapverify.dedup ~source:source.Discover.schema
+          ~target:target.Discover.schema (label_by_rank ms)
+      in
+      Fmt.pr "[%s] %s@." title (Mapverify.summary report);
+      report.Mapverify.rp_kept
+    end
+  in
   let print_all title ms =
+    let ms = maybe_dedup title ms in
     Fmt.pr "== %s: %d candidate(s) ==@." title (List.length ms);
     List.iteri
       (fun i m ->
@@ -82,6 +121,97 @@ let run_discover file meth verbose sql =
         (Smg_ric.Baseline.generate ~source:source.Discover.schema
            ~target:target.Discover.schema ~corrs)
   | Semantic -> ()
+
+(* verify: pairwise logical comparison of the candidates both methods
+   produce, then a dedup report over the combined ranked list (semantic
+   first, so a RIC candidate equivalent to a semantic one is absorbed by
+   the semantic representative). *)
+let run_verify file limit =
+  let doc, source, target = load file in
+  let corrs = doc.Ast.doc_corrs in
+  if corrs = [] then begin
+    Fmt.epr "error: the scenario declares no correspondences@.";
+    exit 2
+  end;
+  let s_schema = source.Discover.schema and t_schema = target.Discover.schema in
+  let take n xs = List.filteri (fun i _ -> i < n) xs in
+  let label tag ms =
+    List.mapi
+      (fun i m -> Mapping.rename (Printf.sprintf "%s%d" tag (i + 1)) m)
+      ms
+  in
+  let sem_all = Discover.discover ~source ~target ~corrs () in
+  let ric_all = Smg_ric.Baseline.generate ~source:s_schema ~target:t_schema ~corrs in
+  let truncated name all =
+    if List.length all > limit then
+      Fmt.pr "note: comparing the %d best of %d %s candidate(s)@." limit
+        (List.length all) name
+  in
+  truncated "semantic" sem_all;
+  truncated "RIC-based" ric_all;
+  let sem = label "S" (take limit sem_all)
+  and ric = label "R" (take limit ric_all) in
+  let all = Array.of_list (sem @ ric) in
+  let n = Array.length all in
+  if n = 0 then begin
+    Fmt.epr "error: neither method produced a candidate@.";
+    exit 1
+  end;
+  Array.iter
+    (fun (m : Mapping.t) ->
+      Fmt.pr "%-4s %a@." m.Mapping.m_name Smg_cq.Dependency.pp_tgd
+        (Mapping.to_tgd m))
+    all;
+  (* one implication test per ordered pair; the matrix reads row → column *)
+  let imp =
+    Array.init n (fun i ->
+        Array.init n (fun j ->
+            i = j
+            || Mapverify.implies ~source:s_schema ~target:t_schema all.(i)
+                 all.(j)))
+  in
+  Fmt.pr "@.containment matrix (cell: row = / > / < / . column):@.";
+  Fmt.pr "     %s@."
+    (String.concat " "
+       (Array.to_list
+          (Array.map (fun (m : Mapping.t) -> Printf.sprintf "%3s" m.Mapping.m_name) all)));
+  Array.iteri
+    (fun i (mi : Mapping.t) ->
+      let cells =
+        Array.to_list
+          (Array.init n (fun j ->
+               let s =
+                 match (imp.(i).(j), imp.(j).(i)) with
+                 | true, true -> "="
+                 | true, false -> ">"
+                 | false, true -> "<"
+                 | false, false -> "."
+               in
+               Printf.sprintf "%3s" s))
+      in
+      Fmt.pr "%-4s %s@." mi.Mapping.m_name (String.concat " " cells))
+    all;
+  let report =
+    Mapverify.dedup ~source:s_schema ~target:t_schema (Array.to_list all)
+  in
+  Fmt.pr "@.%a@." Mapverify.pp_report report;
+  (* cross-method redundancy, straight off the implication matrix *)
+  let n_sem = List.length sem in
+  let ric_equiv = ref 0 and ric_subsumed = ref 0 in
+  List.iteri
+    (fun k _ ->
+      let i = n_sem + k in
+      let equiv = ref false and subs = ref false in
+      for j = 0 to n_sem - 1 do
+        if imp.(i).(j) && imp.(j).(i) then equiv := true
+        else if imp.(j).(i) then subs := true
+      done;
+      if !equiv then incr ric_equiv else if !subs then incr ric_subsumed)
+    ric;
+  Fmt.pr
+    "RIC redundancy: %d of %d RIC candidate(s) logically equivalent to a \
+     semantic candidate, %d more subsumed by one@."
+    !ric_equiv (List.length ric) !ric_subsumed
 
 let run_match file threshold =
   let doc, source, target = load file in
@@ -166,6 +296,21 @@ let meth_arg =
 let verbose_arg = Arg.(value & flag & info [ "v"; "verbose" ])
 let sql_arg = Arg.(value & flag & info [ "sql" ] ~doc:"Also print SQL renderings")
 
+let dedup_arg =
+  Arg.(
+    value & flag
+    & info [ "dedup" ]
+        ~doc:
+          "Collapse logically equivalent candidates (keeping the best-ranked \
+           representative) and annotate subsumed ones; prints a dedup summary \
+           line per method")
+
+let limit_arg =
+  Arg.(
+    value & opt int 8
+    & info [ "limit" ] ~docv:"N"
+        ~doc:"Compare at most N candidates per method in the matrix")
+
 let which_arg =
   let side_conv = Arg.enum [ ("source", `Source); ("target", `Target) ] in
   Arg.(value & opt side_conv `Source & info [ "side" ] ~docv:"SIDE")
@@ -177,7 +322,17 @@ let () =
   let discover_cmd =
     Cmd.v
       (Cmd.info "discover" ~doc:"Discover mapping candidates for a scenario")
-      Term.(const run_discover $ file_arg $ meth_arg $ verbose_arg $ sql_arg)
+      Term.(
+        const run_discover $ file_arg $ meth_arg $ verbose_arg $ sql_arg
+        $ dedup_arg)
+  in
+  let verify_cmd =
+    Cmd.v
+      (Cmd.info "verify"
+         ~doc:
+           "Containment/equivalence matrix over both methods' candidates, \
+            dedup report, and cross-method redundancy")
+      Term.(const run_verify $ file_arg $ limit_arg)
   in
   let match_cmd =
     Cmd.v
@@ -214,4 +369,12 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ discover_cmd; match_cmd; show_cmd; exchange_cmd; ddl_cmd; dot_cmd ]))
+          [
+            discover_cmd;
+            verify_cmd;
+            match_cmd;
+            show_cmd;
+            exchange_cmd;
+            ddl_cmd;
+            dot_cmd;
+          ]))

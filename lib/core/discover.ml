@@ -321,7 +321,8 @@ let rec subsets k = function
 
 (* ---- the algorithm ----------------------------------------------------- *)
 
-let discover ?(options = default_options) ~source ~target ~corrs () =
+let discover ?(options = default_options) ?(dedup = false) ~source ~target
+    ~corrs () =
   let lifted = lift source target corrs in
   if lifted = [] then []
   else begin
@@ -749,5 +750,25 @@ let discover ?(options = default_options) ~source ~target ~corrs () =
     let sorted =
       List.sort (fun a b -> compare a.Mapping.score b.Mapping.score) deduped
     in
-    List.filteri (fun i _ -> i < options.max_candidates) sorted
+    let ranked = List.filteri (fun i _ -> i < options.max_candidates) sorted in
+    if not dedup then ranked
+    else begin
+      (* Verification pass: collapse logically equivalent candidates and
+         annotate subsumed ones (lib/verify). Label by rank first so the
+         dedup provenance can refer to candidates unambiguously. *)
+      let labelled =
+        List.mapi
+          (fun i m ->
+            Mapping.rename
+              (Printf.sprintf "%s#%d" m.Mapping.m_name (i + 1))
+              m)
+          ranked
+      in
+      let report =
+        Smg_verify.Mapverify.dedup ~source:source.schema ~target:target.schema
+          labelled
+      in
+      Log.debug (fun m -> m "%s" (Smg_verify.Mapverify.summary report));
+      report.Smg_verify.Mapverify.rp_kept
+    end
   end

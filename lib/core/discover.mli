@@ -52,10 +52,16 @@ val default_options : options
 
 val discover :
   ?options:options ->
+  ?dedup:bool ->
   source:side ->
   target:side ->
   corrs:Smg_cq.Mapping.corr list ->
   unit ->
   Smg_cq.Mapping.t list
 (** Ranked candidate mappings (best first), deduplicated with
-    {!Smg_cq.Mapping.same}. *)
+    {!Smg_cq.Mapping.same}. With [~dedup:true] (default false) a
+    verification pass ({!Smg_verify.Mapverify.dedup}) additionally
+    collapses logically equivalent candidates — keeping the best-ranked
+    representative of each class, renamed ["semantic#rank"] and
+    annotated via provenance — and marks candidates strictly implied by
+    a better-ranked one as subsumed. *)

@@ -52,6 +52,8 @@ let make ?(name = "mapping") ?(outer = false) ?(score = 0.)
     provenance;
   }
 
+let rename name m = { m with m_name = name }
+
 let to_tgd m =
   (* Rename the target query apart, then identify its head variables with
      the source head terms. *)

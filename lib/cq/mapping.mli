@@ -43,6 +43,10 @@ val make :
     accordingly.
     @raise Invalid_argument when head arities disagree with [covered]. *)
 
+val rename : string -> t -> t
+(** Replace [m_name] (e.g. to label candidates by method and rank before
+    a verification or dedup pass). *)
+
 val to_tgd : t -> Dependency.tgd
 (** The GLAV source-to-target tuple-generating dependency: source body
     implies target body, sharing the head variables; all other target

@@ -100,6 +100,50 @@ let run scen =
 
 let run_all = List.map run
 
+(* ---- RIC redundancy (lib/verify) ---------------------------------------- *)
+
+type redundancy = {
+  rd_ric_total : int;
+  rd_ric_equivalent : int;
+  rd_ric_subsumed : int;
+}
+
+let redundancy scen =
+  let source = scen.Scenario.source.Discover.schema in
+  let target = scen.Scenario.target.Discover.schema in
+  List.fold_left
+    (fun acc case ->
+      let sem = run_method Semantic scen case in
+      let ric = run_method Ric_based scen case in
+      List.fold_left
+        (fun acc r ->
+          if List.exists (fun s -> Smg_verify.Mapverify.equivalent ~source ~target s r) sem
+          then { acc with rd_ric_equivalent = acc.rd_ric_equivalent + 1 }
+          else if
+            List.exists (fun s -> Smg_verify.Mapverify.implies ~source ~target s r) sem
+          then { acc with rd_ric_subsumed = acc.rd_ric_subsumed + 1 }
+          else acc)
+        { acc with rd_ric_total = acc.rd_ric_total + List.length ric }
+        ric)
+    { rd_ric_total = 0; rd_ric_equivalent = 0; rd_ric_subsumed = 0 }
+    scen.Scenario.cases
+
+let pp_redundancy ppf rows =
+  Fmt.pf ppf
+    "@[<v>RIC-baseline redundancy vs the semantic candidates (lib/verify)@,%s@,"
+    (String.make 64 '-');
+  Fmt.pf ppf "%-10s %6s %12s %10s@," "Domain" "#RIC" "equivalent" "subsumed";
+  List.iter
+    (fun ((scen : Scenario.t), r) ->
+      Fmt.pf ppf "%-10s %6d %12d %10d@," scen.Scenario.scen_name
+        r.rd_ric_total r.rd_ric_equivalent r.rd_ric_subsumed)
+    rows;
+  let tot f = List.fold_left (fun acc (_, r) -> acc + f r) 0 rows in
+  Fmt.pf ppf "%-10s %6d %12d %10d@,@]" "ALL"
+    (tot (fun r -> r.rd_ric_total))
+    (tot (fun r -> r.rd_ric_equivalent))
+    (tot (fun r -> r.rd_ric_subsumed))
+
 (* ---- rendering ---------------------------------------------------------- *)
 
 let pp_table1 ppf results =

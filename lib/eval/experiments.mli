@@ -41,6 +41,19 @@ val run_case : Scenario.t -> Scenario.case -> case_result list
 val run : Scenario.t -> domain_result
 val run_all : Scenario.t list -> domain_result list
 
+type redundancy = {
+  rd_ric_total : int;       (** RIC candidates across the domain's cases *)
+  rd_ric_equivalent : int;  (** … logically equivalent to a semantic candidate *)
+  rd_ric_subsumed : int;    (** … strictly implied by a semantic candidate *)
+}
+
+val redundancy : Scenario.t -> redundancy
+(** How much of the RIC baseline's output the semantic method already
+    covers, decided by chase-based tgd implication
+    ({!Smg_verify.Mapverify}). *)
+
+val pp_redundancy : Format.formatter -> (Scenario.t * redundancy) list -> unit
+
 val pp_table1 : Format.formatter -> domain_result list -> unit
 (** The Table 1 reproduction: per schema — #tables, associated CM,
     #class-like nodes in CM, #mappings tested, semantic time (s). *)

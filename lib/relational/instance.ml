@@ -24,6 +24,23 @@ let tuple_equal a b =
 
 let mem_tuple r t = List.exists (tuple_equal t) r.tuples
 
+let equal a b =
+  let nonempty i =
+    SMap.bindings i
+    |> List.filter_map (fun (n, r) -> if r.tuples = [] then None else Some n)
+  in
+  let na = nonempty a and nb = nonempty b in
+  List.length na = List.length nb
+  && List.for_all2 String.equal na nb
+  && List.for_all
+       (fun n ->
+         match (SMap.find_opt n a, SMap.find_opt n b) with
+         | Some ra, Some rb ->
+             List.length ra.tuples = List.length rb.tuples
+             && List.for_all (fun t -> mem_tuple rb t) ra.tuples
+         | _, _ -> false)
+       na
+
 let add_tuple i name ~header tup =
   let r = relation_or_empty i name ~header in
   if List.length r.header <> Array.length tup then

@@ -31,6 +31,11 @@ val total_tuples : t -> int
 
 val mem_tuple : relation -> Value.t array -> bool
 
+val equal : t -> t -> bool
+(** Same non-empty relations with the same tuple sets (headers are not
+    compared; tuples are compared as sets, which relations kept through
+    {!add_tuple} already are). *)
+
 val project_tuple : relation -> Value.t array -> string list -> Value.t array
 (** Reorder/select cells of a tuple of this relation by column names.
     @raise Invalid_argument on an unknown column. *)

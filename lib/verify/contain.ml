@@ -1,0 +1,66 @@
+module Atom = Smg_cq.Atom
+module Query = Smg_cq.Query
+
+type frozen = { fz_head : Atom.term list; fz_facts : Atom.t list }
+
+let freeze (q : Query.t) =
+  let s =
+    List.fold_left
+      (fun s x -> Atom.Subst.bind s x (Atom.Cst (Hom.frozen_value x)))
+      Atom.Subst.empty (Query.all_vars q)
+  in
+  {
+    fz_head = List.map (Atom.apply_term s) q.Query.head;
+    fz_facts = List.map (Atom.apply s) q.Query.body;
+  }
+
+(* Pre-bind [from_head] positionally onto [to_head]; fails on a constant
+   mismatch or an inconsistent repeated head variable. *)
+let seed_head from_head to_head =
+  if List.length from_head <> List.length to_head then None
+  else
+    List.fold_left2
+      (fun acc fh th ->
+        match acc with
+        | None -> None
+        | Some s -> (
+            match fh with
+            | Atom.Cst _ -> if Atom.equal_term fh th then acc else None
+            | Atom.Var x -> (
+                match Atom.Subst.find s x with
+                | Some bound ->
+                    if Atom.equal_term bound th then acc else None
+                | None -> Some (Atom.Subst.bind s x th))))
+      (Some Atom.Subst.empty) from_head to_head
+
+let homomorphism ~from_ ~to_ =
+  let fz = freeze to_ in
+  match seed_head from_.Query.head fz.fz_head with
+  | None -> None
+  | Some seed -> Hom.find ~init:seed ~rigid:fz.fz_facts from_.Query.body
+
+let contained_in q1 q2 = Option.is_some (homomorphism ~from_:q2 ~to_:q1)
+let equivalent q1 q2 = contained_in q1 q2 && contained_in q2 q1
+
+(* Dropping atoms only ever weakens a query (q ⊆ q'); the fold check
+   [homomorphism ~from_:q ~to_:q'] supplies the other direction. *)
+let minimize q =
+  let foldable q' = Option.is_some (homomorphism ~from_:q ~to_:q') in
+  let rec shrink body =
+    let try_drop i =
+      let body' = List.filteri (fun j _ -> j <> i) body in
+      if foldable { q with Query.body = body' } then Some body' else None
+    in
+    let rec first i =
+      if i >= List.length body then None
+      else match try_drop i with Some b -> Some b | None -> first (i + 1)
+    in
+    match first 0 with None -> body | Some b -> shrink b
+  in
+  { q with Query.body = shrink q.Query.body }
+
+let is_minimal q =
+  List.length (minimize q).Query.body = List.length q.Query.body
+
+let contained_under ~schema q1 q2 =
+  Option.is_some (homomorphism ~from_:q2 ~to_:(Query.saturate ~schema q1))

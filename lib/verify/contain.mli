@@ -1,0 +1,42 @@
+(** CQ containment, equivalence, and minimization, via canonical
+    instances (Chandra–Merlin) and the fail-first engine of {!Hom}.
+
+    [contained_in q1 q2] freezes [q1] into its canonical instance —
+    every variable becomes a distinguished constant — and searches for a
+    homomorphism of [q2] into it that maps [q2]'s head onto the frozen
+    head of [q1]. These are the same notions as in {!Smg_cq.Query} but
+    computed with degree-ordered search, so they stay usable on the
+    larger queries produced by saturation and on the n² comparisons the
+    verification layer performs. *)
+
+type frozen = {
+  fz_head : Smg_cq.Atom.term list;  (** head terms, variables frozen *)
+  fz_facts : Smg_cq.Atom.t list;    (** body as ground facts *)
+}
+
+val freeze : Smg_cq.Query.t -> frozen
+(** The canonical instance of a query: each variable replaced by the
+    distinguished constant {!Hom.frozen_value}. *)
+
+val homomorphism :
+  from_:Smg_cq.Query.t -> to_:Smg_cq.Query.t -> Smg_cq.Atom.Subst.t option
+(** A head-respecting homomorphism from [from_] into the canonical
+    instance of [to_]; [None] when head arities differ or none exists. *)
+
+val contained_in : Smg_cq.Query.t -> Smg_cq.Query.t -> bool
+(** [contained_in q1 q2]: the answers of [q1] are a subset of those of
+    [q2] on every instance. *)
+
+val equivalent : Smg_cq.Query.t -> Smg_cq.Query.t -> bool
+val minimize : Smg_cq.Query.t -> Smg_cq.Query.t
+(** The core of the query: a minimal equivalent subquery, computed by
+    greedily dropping atoms while a head-fixing fold exists. *)
+
+val is_minimal : Smg_cq.Query.t -> bool
+(** No single atom can be dropped: [minimize] would return the query
+    unchanged (up to the order atoms are tried). *)
+
+val contained_under :
+  schema:Smg_relational.Schema.t -> Smg_cq.Query.t -> Smg_cq.Query.t -> bool
+(** Containment under the schema's referential constraints: [q2] must
+    map into the RIC-saturation of [q1] (see {!Smg_cq.Query.saturate}). *)

@@ -1,0 +1,98 @@
+module Value = Smg_relational.Value
+module Atom = Smg_cq.Atom
+
+let frozen_prefix = "\000frz!"
+let frozen_value x = Value.VString (frozen_prefix ^ x)
+
+let is_frozen = function
+  | Value.VString s ->
+      String.length s >= String.length frozen_prefix
+      && String.equal (String.sub s 0 (String.length frozen_prefix)) frozen_prefix
+  | Value.VInt _ | Value.VFloat _ | Value.VBool _ | Value.VNull _ -> false
+
+(* Extend [subst] so that the flexible argument list maps onto the rigid
+   one; rigid terms (variables included) act as constants. *)
+let unify_args subst qargs fargs =
+  let rec go subst qargs fargs =
+    match (qargs, fargs) with
+    | [], [] -> Some subst
+    | qa :: qrest, fa :: frest -> (
+        match qa with
+        | Atom.Cst _ ->
+            if Atom.equal_term qa fa then go subst qrest frest else None
+        | Atom.Var x -> (
+            match Atom.Subst.find subst x with
+            | Some bound ->
+                if Atom.equal_term bound fa then go subst qrest frest else None
+            | None -> go (Atom.Subst.bind subst x fa) qrest frest))
+    | _, _ -> None
+  in
+  go subst qargs fargs
+
+exception Enough
+
+let search ?(init = Atom.Subst.empty) ?limit ~rigid atoms =
+  let idx = Hashtbl.create 16 in
+  List.iter
+    (fun (f : Atom.t) ->
+      let cur = Option.value ~default:[] (Hashtbl.find_opt idx f.Atom.pred) in
+      Hashtbl.replace idx f.Atom.pred (f :: cur))
+    rigid;
+  let facts_for pred = Option.value ~default:[] (Hashtbl.find_opt idx pred) in
+  let extensions subst (a : Atom.t) =
+    List.filter_map
+      (fun (f : Atom.t) ->
+        if List.length f.Atom.args = List.length a.Atom.args then
+          unify_args subst a.Atom.args f.Atom.args
+        else None)
+      (facts_for a.Atom.pred)
+  in
+  let unbound subst (a : Atom.t) =
+    List.length
+      (List.filter
+         (fun x -> Option.is_none (Atom.Subst.find subst x))
+         (Atom.vars a))
+  in
+  let found = ref [] in
+  let n_found = ref 0 in
+  let rec go subst pending =
+    match pending with
+    | [] -> (
+        found := subst :: !found;
+        incr n_found;
+        match limit with
+        | Some k when !n_found >= k -> raise Enough
+        | Some _ | None -> ())
+    | _ -> (
+        (* fail-first: expand the atom with the fewest consistent images;
+           on ties prefer the more instantiated atom *)
+        let scored =
+          List.mapi
+            (fun i a ->
+              let exts = extensions subst a in
+              (i, (List.length exts, unbound subst a), exts))
+            pending
+        in
+        let best =
+          List.fold_left
+            (fun acc (i, key, exts) ->
+              match acc with
+              | Some (_, best_key, _) when compare best_key key <= 0 -> acc
+              | _ -> Some (i, key, exts))
+            None scored
+        in
+        match best with
+        | None | Some (_, _, []) -> ()
+        | Some (i, _, exts) ->
+            let rest = List.filteri (fun j _ -> j <> i) pending in
+            List.iter (fun s -> go s rest) exts)
+  in
+  (try go init atoms with Enough -> ());
+  List.rev !found
+
+let all ?init ?limit ~rigid atoms = search ?init ?limit ~rigid atoms
+
+let find ?init ~rigid atoms =
+  match search ?init ~limit:1 ~rigid atoms with s :: _ -> Some s | [] -> None
+
+let holds ?init ~rigid atoms = Option.is_some (find ?init ~rigid atoms)

@@ -1,0 +1,45 @@
+(** A CQ homomorphism engine.
+
+    Finds homomorphisms of a list of atoms (the "flexible" side, whose
+    variables may bind) into a list of facts (the "rigid" side, whose
+    terms — variables included — behave as constants). This is the
+    workhorse beneath containment, equivalence, minimization, mapping
+    verification, and core computation.
+
+    Unlike the left-to-right matcher in {!Smg_cq.Query}, the search here
+    is fail-first: at every step the engine extends the atom whose set
+    of consistent images is currently smallest (ties broken toward the
+    most instantiated atom), and a pending atom with no consistent image
+    prunes the branch immediately (forward checking). On the pathological
+    queries produced by saturation and chase output this is the
+    difference between milliseconds and minutes. *)
+
+val frozen_value : string -> Smg_relational.Value.t
+(** [frozen_value x] is the distinguished constant that the variable [x]
+    freezes to when a query is turned into its canonical instance. The
+    value is prefixed so that it can never collide with a constant
+    appearing in a real query or instance. *)
+
+val is_frozen : Smg_relational.Value.t -> bool
+
+val all :
+  ?init:Smg_cq.Atom.Subst.t ->
+  ?limit:int ->
+  rigid:Smg_cq.Atom.t list ->
+  Smg_cq.Atom.t list ->
+  Smg_cq.Atom.Subst.t list
+(** All homomorphisms (up to [limit], when given) of the atom list into
+    the rigid fact list, extending the pre-bindings of [init]. *)
+
+val find :
+  ?init:Smg_cq.Atom.Subst.t ->
+  rigid:Smg_cq.Atom.t list ->
+  Smg_cq.Atom.t list ->
+  Smg_cq.Atom.Subst.t option
+(** The first homomorphism found, if any. *)
+
+val holds :
+  ?init:Smg_cq.Atom.Subst.t ->
+  rigid:Smg_cq.Atom.t list ->
+  Smg_cq.Atom.t list ->
+  bool

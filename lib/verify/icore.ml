@@ -1,0 +1,100 @@
+module Value = Smg_relational.Value
+module Instance = Smg_relational.Instance
+module Atom = Smg_cq.Atom
+module Chase = Smg_cq.Chase
+
+let null_var k = Printf.sprintf "?n%d" k
+
+let term_of_value = function
+  | Value.VNull k -> Atom.Var (null_var k)
+  | v -> Atom.Cst v
+
+let fold_relations inst f acc =
+  List.fold_left
+    (fun acc name ->
+      match Instance.relation inst name with
+      | None -> acc
+      | Some r -> f acc name r)
+    acc (Instance.names inst)
+
+let atoms_of inst =
+  fold_relations inst
+    (fun acc name (r : Instance.relation) ->
+      acc
+      @ List.map
+          (fun tup ->
+            Atom.atom name (List.map term_of_value (Array.to_list tup)))
+          r.Instance.tuples)
+    []
+
+let nulls_of inst =
+  fold_relations inst
+    (fun acc _ (r : Instance.relation) ->
+      List.fold_left
+        (fun acc tup ->
+          Array.fold_left
+            (fun acc v ->
+              match v with
+              | Value.VNull k when not (List.mem k acc) -> k :: acc
+              | _ -> acc)
+            acc tup)
+        acc r.Instance.tuples)
+    []
+  |> List.sort compare
+
+(* Ground facts of the sub-instance whose tuples do not mention null [n]
+   (nulls are ordinary rigid values there). *)
+let ground_without inst n =
+  fold_relations inst
+    (fun acc name (r : Instance.relation) ->
+      acc
+      @ List.filter_map
+          (fun tup ->
+            if Array.exists (Value.equal (Value.VNull n)) tup then None
+            else
+              Some
+                (Atom.atom name
+                   (List.map (fun v -> Atom.Cst v) (Array.to_list tup))))
+          r.Instance.tuples)
+    []
+
+let apply_endomorphism inst subst =
+  fold_relations inst
+    (fun acc name (r : Instance.relation) ->
+      List.fold_left
+        (fun acc tup ->
+          let tup' =
+            Array.map
+              (fun v ->
+                match v with
+                | Value.VNull k -> (
+                    match Atom.Subst.find subst (null_var k) with
+                    | Some (Atom.Cst v') -> v'
+                    | Some (Atom.Var _) | None -> v)
+                | v -> v)
+              tup
+          in
+          Instance.add_tuple acc name ~header:r.Instance.header tup')
+        acc r.Instance.tuples)
+    Instance.empty
+
+(* One greedy fold: the first null admitting a retraction that avoids
+   every tuple mentioning it. *)
+let fold_step inst =
+  let flex = atoms_of inst in
+  List.find_map
+    (fun n ->
+      Option.map
+        (apply_endomorphism inst)
+        (Hom.find ~rigid:(ground_without inst n) flex))
+    (nulls_of inst)
+
+let rec core inst =
+  match fold_step inst with Some inst' -> core inst' | None -> inst
+
+let is_core inst = Option.is_none (fold_step inst)
+
+let of_outcome = function
+  | Chase.Saturated i -> Chase.Saturated (core i)
+  | Chase.Bounded i -> Chase.Bounded (core i)
+  | Chase.Failed _ as f -> f

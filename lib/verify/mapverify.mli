@@ -1,0 +1,100 @@
+(** Containment, equivalence, and dedup of schema-mapping candidates.
+
+    A GLAV candidate ({!Smg_cq.Mapping.t}) reads as a single s-t tgd.
+    Whether one set of tgds logically implies another tgd is decided the
+    classical way (Calì–Torlone): freeze the tgd's left-hand side into a
+    canonical source instance, chase it with the candidate set, and test
+    whether the right-hand side (universal variables frozen, existential
+    ones flexible) maps homomorphically into the chase result. Because
+    the dependencies are source-to-target, the chase terminates after
+    one round of firings.
+
+    [dedup] uses these tests to collapse a ranked candidate list into
+    logical equivalence classes — keeping the best-ranked representative
+    of each class, annotated with what it absorbed — and to annotate the
+    remaining candidates that are strictly implied by a better-ranked
+    one (subsumed: they assert nothing new). Outer-join candidates are
+    compared through their inner-join tgd reading ({!Smg_cq.Mapping.to_tgd}). *)
+
+val chase_canonical :
+  source:Smg_relational.Schema.t ->
+  target:Smg_relational.Schema.t ->
+  by:Smg_cq.Dependency.tgd list ->
+  Smg_cq.Dependency.tgd ->
+  Smg_relational.Instance.t option
+(** [chase_canonical ~source ~target ~by t]: the canonical universal
+    solution for [t]'s frozen left-hand side under the tgds [by] —
+    i.e. the chase of the canonical instance over the namespaced
+    combined schema. [None] if the chase fails. Existential variables
+    appear as labelled nulls, so the result feeds {!Icore.core}
+    directly. *)
+
+val tgd_implied_by :
+  source:Smg_relational.Schema.t ->
+  target:Smg_relational.Schema.t ->
+  by:Smg_cq.Dependency.tgd list ->
+  Smg_cq.Dependency.tgd ->
+  bool
+(** [tgd_implied_by ~source ~target ~by t]: every source instance that
+    fires [t] already receives [t]'s conclusion when chased with [by]. *)
+
+val implies :
+  source:Smg_relational.Schema.t ->
+  target:Smg_relational.Schema.t ->
+  Smg_cq.Mapping.t ->
+  Smg_cq.Mapping.t ->
+  bool
+(** [implies ~source ~target a b]: candidate [a] logically entails
+    candidate [b] (as s-t tgds). *)
+
+val equivalent :
+  source:Smg_relational.Schema.t ->
+  target:Smg_relational.Schema.t ->
+  Smg_cq.Mapping.t ->
+  Smg_cq.Mapping.t ->
+  bool
+
+type rel =
+  | Equivalent      (** each implies the other *)
+  | Implies         (** the left candidate strictly implies the right *)
+  | ImpliedBy       (** the left candidate is strictly implied by the right *)
+  | Incomparable
+
+val relate :
+  source:Smg_relational.Schema.t ->
+  target:Smg_relational.Schema.t ->
+  Smg_cq.Mapping.t ->
+  Smg_cq.Mapping.t ->
+  rel
+
+val rel_symbol : rel -> string
+(** One-character rendering for matrices: ["="], [">"], ["<"], ["."]. *)
+
+type report = {
+  rp_in : int;  (** candidates examined *)
+  rp_kept : Smg_cq.Mapping.t list;
+      (** ranked survivors: class representatives (annotated with what
+          they absorbed) and subsumed candidates (annotated with their
+          subsumer) *)
+  rp_classes : (Smg_cq.Mapping.t * Smg_cq.Mapping.t list) list;
+      (** representative, absorbed equivalents (possibly empty) *)
+  rp_subsumed : (Smg_cq.Mapping.t * int) list;
+      (** subsumed survivor, 1-based rank of its subsuming survivor *)
+}
+
+val n_classes : report -> int
+val n_collapsed : report -> int
+val n_subsumed : report -> int
+
+val dedup :
+  source:Smg_relational.Schema.t ->
+  target:Smg_relational.Schema.t ->
+  Smg_cq.Mapping.t list ->
+  report
+(** The input list must be ranked best-first; representatives keep their
+    relative order. *)
+
+val summary : report -> string
+(** e.g. ["dedup: 12 candidate(s) in, 7 equivalence class(es) out (5 collapsed), 2 subsumed"]. *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,467 @@
+(* Tests for Smg_verify: the fail-first homomorphism engine, CQ
+   containment/equivalence/minimization over canonical instances,
+   chase-based mapping implication and dedup, and core computation —
+   hand-checked fixtures plus qcheck properties. *)
+
+module Value = Smg_relational.Value
+module Schema = Smg_relational.Schema
+module Instance = Smg_relational.Instance
+module Atom = Smg_cq.Atom
+module Query = Smg_cq.Query
+module Dependency = Smg_cq.Dependency
+module Mapping = Smg_cq.Mapping
+module Hom = Smg_verify.Hom
+module Contain = Smg_verify.Contain
+module Mapverify = Smg_verify.Mapverify
+module Icore = Smg_verify.Icore
+
+let v = Atom.v
+let a = Atom.atom
+let q ?name ~head body = Query.make ?name ~head body
+
+(* ---- homomorphism engine ----- *)
+
+let fact p xs = a p (List.map Atom.str xs)
+
+let test_hom_find () =
+  let subst = Hom.find ~rigid:[ fact "r" [ "a"; "b" ] ] [ a "r" [ v "x"; v "y" ] ] in
+  match subst with
+  | None -> Alcotest.fail "expected a homomorphism"
+  | Some s ->
+      Alcotest.(check bool) "x -> a" true
+        (Atom.Subst.find s "x" = Some (Atom.str "a"));
+      Alcotest.(check bool) "y -> b" true
+        (Atom.Subst.find s "y" = Some (Atom.str "b"))
+
+let test_hom_all_count () =
+  let homs =
+    Hom.all
+      ~rigid:[ fact "r" [ "a"; "b" ]; fact "r" [ "a"; "c" ] ]
+      [ a "r" [ v "x"; v "y" ] ]
+  in
+  Alcotest.(check int) "two images" 2 (List.length homs)
+
+let test_hom_limit () =
+  let homs =
+    Hom.all ~limit:1
+      ~rigid:[ fact "r" [ "a"; "b" ]; fact "r" [ "a"; "c" ] ]
+      [ a "r" [ v "x"; v "y" ] ]
+  in
+  Alcotest.(check int) "limit respected" 1 (List.length homs)
+
+let test_hom_forward_check () =
+  (* s(y) has no image at all: the search must fail, not enumerate r's *)
+  Alcotest.(check bool) "no homomorphism" false
+    (Hom.holds
+       ~rigid:[ fact "r" [ "a"; "b" ] ]
+       [ a "r" [ v "x"; v "y" ]; a "s" [ v "y" ] ])
+
+let test_hom_init_pins () =
+  let init = Atom.Subst.of_list [ ("x", Atom.str "z") ] in
+  Alcotest.(check bool) "pre-binding blocks" false
+    (Hom.holds ~init ~rigid:[ fact "r" [ "a"; "b" ] ] [ a "r" [ v "x"; v "y" ] ]);
+  Alcotest.(check bool) "pre-binding satisfiable" true
+    (Hom.holds ~init
+       ~rigid:[ fact "r" [ "a"; "b" ]; fact "r" [ "z"; "b" ] ]
+       [ a "r" [ v "x"; v "y" ] ])
+
+let test_hom_shared_var_join () =
+  (* r(x,y), r(y,z): y must take the same value in both atoms *)
+  Alcotest.(check bool) "join respected" true
+    (Hom.holds
+       ~rigid:[ fact "r" [ "a"; "b" ]; fact "r" [ "b"; "c" ] ]
+       [ a "r" [ v "x"; v "y" ]; a "r" [ v "y"; v "z" ] ]);
+  Alcotest.(check bool) "broken join rejected" false
+    (Hom.holds
+       ~rigid:[ fact "r" [ "a"; "b" ]; fact "r" [ "c"; "d" ] ]
+       [ a "r" [ v "x"; v "y" ]; a "r" [ v "y"; v "z" ] ])
+
+(* ---- containment / equivalence / minimization ----- *)
+
+(* q1(x) :- r(x,y), r(y,z)   q2(x) :- r(x,y)   q1 ⊆ q2 *)
+let q_path = q ~head:[ v "x" ] [ a "r" [ v "x"; v "y" ]; a "r" [ v "y"; v "z" ] ]
+let q_edge = q ~head:[ v "x" ] [ a "r" [ v "x"; v "y" ] ]
+
+let test_containment_basic () =
+  Alcotest.(check bool) "path ⊆ edge" true (Contain.contained_in q_path q_edge);
+  Alcotest.(check bool) "edge ⊄ path" false (Contain.contained_in q_edge q_path)
+
+let test_containment_heads () =
+  let qa = q ~head:[ v "x"; v "y" ] [ a "r" [ v "x"; v "y" ] ] in
+  let qb = q ~head:[ v "y"; v "x" ] [ a "r" [ v "x"; v "y" ] ] in
+  Alcotest.(check bool) "swapped heads differ" false (Contain.contained_in qa qb)
+
+let test_containment_constants () =
+  let qc = q ~head:[ v "x" ] [ a "r" [ v "x"; Atom.str "fixed" ] ] in
+  Alcotest.(check bool) "constant query ⊆ general" true
+    (Contain.contained_in qc q_edge);
+  Alcotest.(check bool) "general ⊄ constant" false
+    (Contain.contained_in q_edge qc)
+
+let test_equivalence_alpha () =
+  let qa = q ~head:[ v "x" ] [ a "r" [ v "x"; v "y" ] ] in
+  let qb = q ~head:[ v "u" ] [ a "r" [ v "u"; v "w" ] ] in
+  Alcotest.(check bool) "alpha-equivalent" true (Contain.equivalent qa qb);
+  Alcotest.(check bool) "inequivalent" false (Contain.equivalent qa q_path)
+
+let test_minimize_folds () =
+  let qq =
+    q ~head:[ v "x" ] [ a "r" [ v "x"; v "y" ]; a "r" [ v "x"; v "z" ] ]
+  in
+  let m = Contain.minimize qq in
+  Alcotest.(check int) "one atom after minimization" 1 (List.length m.Query.body);
+  Alcotest.(check bool) "still equivalent" true (Contain.equivalent m qq);
+  Alcotest.(check bool) "result minimal" true (Contain.is_minimal m)
+
+let test_minimize_keeps_core () =
+  let m = Contain.minimize q_path in
+  Alcotest.(check int) "path query is its own core" 2 (List.length m.Query.body);
+  Alcotest.(check bool) "already minimal" true (Contain.is_minimal q_path)
+
+(* ---- mapping implication, dedup ----- *)
+
+let src_schema =
+  Schema.make ~name:"src"
+    [ Schema.table "s" [ ("a", Schema.TString); ("b", Schema.TString) ] ]
+    []
+
+(* the target deliberately reuses the source's table name [s]: implication
+   must namespace the sides apart (the Mondial pair does this for real) *)
+let tgt_schema =
+  Schema.make ~name:"tgt"
+    [
+      Schema.table "t" [ ("a", Schema.TString); ("b", Schema.TString) ];
+      Schema.table "s" [ ("a", Schema.TString) ];
+    ]
+    []
+
+(* copy: s(x,y) -> t(x,y);  weak: s(x,y) -> ∃w t(x,w) *)
+let tgd_copy =
+  Dependency.tgd ~name:"copy"
+    ~lhs:[ a "s" [ v "x"; v "y" ] ]
+    [ a "t" [ v "x"; v "y" ] ]
+
+let tgd_weak =
+  Dependency.tgd ~name:"weak"
+    ~lhs:[ a "s" [ v "x"; v "y" ] ]
+    [ a "t" [ v "x"; v "w" ] ]
+
+let implied t ~by =
+  Mapverify.tgd_implied_by ~source:src_schema ~target:tgt_schema ~by t
+
+let test_tgd_implication () =
+  Alcotest.(check bool) "copy implies weak" true (implied tgd_weak ~by:[ tgd_copy ]);
+  Alcotest.(check bool) "weak does not imply copy" false
+    (implied tgd_copy ~by:[ tgd_weak ]);
+  Alcotest.(check bool) "self-implication" true (implied tgd_copy ~by:[ tgd_copy ])
+
+let test_tgd_implication_shared_names () =
+  (* lhs and rhs both mention a table called [s]; without namespacing the
+     chase would conflate them (or refuse the combined schema) *)
+  let t =
+    Dependency.tgd ~name:"shared"
+      ~lhs:[ a "s" [ v "x"; v "y" ] ]
+      [ a "s" [ v "x" ] ]
+  in
+  Alcotest.(check bool) "distinct sides" true (implied t ~by:[ t ]);
+  Alcotest.(check bool) "copy does not give target s" false
+    (implied t ~by:[ tgd_copy ])
+
+let test_chase_canonical_has_nulls () =
+  match
+    Mapverify.chase_canonical ~source:src_schema ~target:tgt_schema
+      ~by:[ tgd_weak ] tgd_weak
+  with
+  | None -> Alcotest.fail "chase failed"
+  | Some out ->
+      Alcotest.(check bool) "existential became a labelled null" true
+        (List.exists
+           (fun name ->
+             match Instance.relation out name with
+             | Some r ->
+                 List.exists (fun tup -> Array.exists Value.is_null tup) r.Instance.tuples
+             | None -> false)
+           (Instance.names out))
+
+let mapping name score ~covered ~src ~tgt =
+  Mapping.rename name
+    (Mapping.make ~score ~src_query:src ~tgt_query:tgt ~covered ())
+
+let corr_a = Mapping.corr ~src:("s", "a") ~tgt:("t", "a")
+let corr_b = Mapping.corr ~src:("s", "b") ~tgt:("t", "b")
+
+let m_copy =
+  mapping "m-copy" 0.1 ~covered:[ corr_a; corr_b ]
+    ~src:(q ~head:[ v "x"; v "y" ] [ a "s" [ v "x"; v "y" ] ])
+    ~tgt:(q ~head:[ v "x"; v "y" ] [ a "t" [ v "x"; v "y" ] ])
+
+(* alpha-renamed copy: same logical content, worse score *)
+let m_copy' =
+  mapping "m-copy-renamed" 0.2 ~covered:[ corr_a; corr_b ]
+    ~src:(q ~head:[ v "u"; v "w" ] [ a "s" [ v "u"; v "w" ] ])
+    ~tgt:(q ~head:[ v "u"; v "w" ] [ a "t" [ v "u"; v "w" ] ])
+
+(* projection: strictly weaker than copy *)
+let m_weak =
+  mapping "m-weak" 0.3 ~covered:[ corr_a ]
+    ~src:(q ~head:[ v "x" ] [ a "s" [ v "x"; v "y" ] ])
+    ~tgt:(q ~head:[ v "x" ] [ a "t" [ v "x"; v "w" ] ])
+
+let test_mapping_implies () =
+  let implies = Mapverify.implies ~source:src_schema ~target:tgt_schema in
+  Alcotest.(check bool) "copy implies projection" true (implies m_copy m_weak);
+  Alcotest.(check bool) "projection does not imply copy" false
+    (implies m_weak m_copy);
+  Alcotest.(check bool) "alpha-variants equivalent" true
+    (Mapverify.equivalent ~source:src_schema ~target:tgt_schema m_copy m_copy')
+
+let test_dedup_report () =
+  let r =
+    Mapverify.dedup ~source:src_schema ~target:tgt_schema
+      [ m_copy; m_copy'; m_weak ]
+  in
+  Alcotest.(check int) "3 in" 3 r.Mapverify.rp_in;
+  Alcotest.(check int) "2 classes" 2 (Mapverify.n_classes r);
+  Alcotest.(check int) "1 collapsed" 1 (Mapverify.n_collapsed r);
+  Alcotest.(check int) "1 subsumed" 1 (Mapverify.n_subsumed r);
+  match r.Mapverify.rp_kept with
+  | [ first; second ] ->
+      Alcotest.(check string) "best survives first" "m-copy"
+        first.Mapping.m_name;
+      Alcotest.(check bool) "absorption recorded" true
+        (List.exists
+           (fun note -> String.length note > 0 && note.[0] = 'd')
+           first.Mapping.provenance);
+      Alcotest.(check string) "subsumed survivor kept" "m-weak"
+        second.Mapping.m_name
+  | kept ->
+      Alcotest.failf "expected 2 kept, got %d" (List.length kept)
+
+(* ---- core computation ----- *)
+
+let inst_of_tuples tuples =
+  List.fold_left
+    (fun i tup -> Instance.add_tuple i "r" ~header:[ "a"; "b" ] tup)
+    Instance.empty tuples
+
+let vi n = Value.VInt n
+let vn k = Value.VNull k
+
+let test_core_folds_redundant_null () =
+  (* (1,2) and (1,N0): N0 folds onto 2 *)
+  let i = inst_of_tuples [ [| vi 1; vi 2 |]; [| vi 1; vn 0 |] ] in
+  let c = Icore.core i in
+  Alcotest.(check int) "one tuple left" 1 (Instance.total_tuples c);
+  Alcotest.(check bool) "ground tuple kept" true
+    (match Instance.relation c "r" with
+    | Some r -> Instance.mem_tuple r [| vi 1; vi 2 |]
+    | None -> false);
+  Alcotest.(check bool) "result is a core" true (Icore.is_core c)
+
+let test_core_keeps_needed_null () =
+  (* (1,N0) alone: nothing to fold onto *)
+  let i = inst_of_tuples [ [| vi 1; vn 0 |] ] in
+  let c = Icore.core i in
+  Alcotest.(check bool) "unchanged" true (Instance.equal i c);
+  Alcotest.(check bool) "is core" true (Icore.is_core i)
+
+let test_core_chain () =
+  (* (1,N0),(N0,N1),(1,2),(2,3): the null chain retracts onto the
+     ground path *)
+  let i =
+    inst_of_tuples
+      [ [| vi 1; vn 0 |]; [| vn 0; vn 1 |]; [| vi 1; vi 2 |]; [| vi 2; vi 3 |] ]
+  in
+  let c = Icore.core i in
+  Alcotest.(check int) "only the ground path remains" 2
+    (Instance.total_tuples c);
+  Alcotest.(check bool) "no nulls left" true
+    (match Instance.relation c "r" with
+    | Some r ->
+        List.for_all
+          (fun tup -> not (Array.exists Value.is_null tup))
+          r.Instance.tuples
+    | None -> false)
+
+let test_core_of_chase () =
+  (* chase s(x,y) with s(x,y) -> ∃w1 w2. t(x,w1), t(x,w2): the canonical
+     solution has two interchangeable nulls; its core has one tuple *)
+  let redundant =
+    Dependency.tgd ~name:"redundant"
+      ~lhs:[ a "s" [ v "x"; v "y" ] ]
+      [ a "t" [ v "x"; v "w1" ]; a "t" [ v "x"; v "w2" ] ]
+  in
+  match
+    Mapverify.chase_canonical ~source:src_schema ~target:tgt_schema
+      ~by:[ redundant ] redundant
+  with
+  | None -> Alcotest.fail "chase failed"
+  | Some out ->
+      let tgt_tuples inst =
+        List.fold_left
+          (fun acc name ->
+            if String.length name > 0 && name.[0] = 't' then
+              acc + Instance.cardinality inst name
+            else acc)
+          0 (Instance.names inst)
+      in
+      Alcotest.(check int) "chase produced both variants" 2 (tgt_tuples out);
+      let c = Icore.core out in
+      Alcotest.(check int) "core folded them to one" 1 (tgt_tuples c);
+      Alcotest.(check bool) "idempotent here" true
+        (Instance.equal c (Icore.core c))
+
+(* ---- qcheck properties ----- *)
+
+(* random safe CQs over r/2, s/2: args drawn from a small variable pool
+   (plus an occasional constant), head = up to two body variables *)
+let gen_query =
+  QCheck.Gen.(
+    let var = map (Printf.sprintf "x%d") (int_range 0 3) in
+    let term =
+      frequency [ (5, map Atom.v var); (1, map Atom.str (oneofl [ "c"; "d" ])) ]
+    in
+    let atom =
+      let* p = oneofl [ "r"; "s" ] in
+      let* t1 = map Atom.v var in
+      let* t2 = term in
+      return (a p [ t1; t2 ])
+    in
+    let* body = list_size (int_range 1 4) atom in
+    let bv = Atom.vars_of_list body in
+    let* n_head = int_range 1 (min 2 (List.length bv)) in
+    let head = List.filteri (fun i _ -> i < n_head) bv |> List.map Atom.v in
+    return (q ~head body))
+
+let gen_extension body =
+  QCheck.Gen.(
+    let var =
+      oneofl
+        (match Atom.vars_of_list body with [] -> [ "x0" ] | vs -> vs)
+    in
+    let atom =
+      let* p = oneofl [ "r"; "s" ] in
+      let* t1 = map Atom.v var in
+      let* t2 = map Atom.v var in
+      return (a p [ t1; t2 ])
+    in
+    list_size (int_range 0 2) atom)
+
+let arb_query = QCheck.make gen_query ~print:(Fmt.str "%a" Query.pp)
+
+let arb_query_chain =
+  (* q3 ⊆ q2 ⊆ q1 by construction: each extends the previous body *)
+  let gen =
+    QCheck.Gen.(
+      let* q1 = gen_query in
+      let* e1 = gen_extension q1.Query.body in
+      let q2 = { q1 with Query.body = q1.Query.body @ e1 } in
+      let* e2 = gen_extension q2.Query.body in
+      let q3 = { q2 with Query.body = q2.Query.body @ e2 } in
+      return (q1, q2, q3))
+  in
+  QCheck.make gen ~print:(fun (q1, q2, q3) ->
+      Fmt.str "%a@.%a@.%a" Query.pp q1 Query.pp q2 Query.pp q3)
+
+let prop_containment_reflexive =
+  QCheck.Test.make ~name:"containment is reflexive" ~count:100 arb_query
+    (fun qq -> Contain.contained_in qq qq)
+
+let prop_containment_transitive =
+  QCheck.Test.make ~name:"containment is transitive along extension chains"
+    ~count:100 arb_query_chain (fun (q1, q2, q3) ->
+      (* the chain is contained by construction; transitivity closes it *)
+      Contain.contained_in q3 q2
+      && Contain.contained_in q2 q1
+      && Contain.contained_in q3 q1)
+
+let prop_equivalence_symmetric =
+  QCheck.Test.make ~name:"equivalence is symmetric" ~count:60
+    (QCheck.pair arb_query arb_query) (fun (qa, qb) ->
+      Contain.equivalent qa qb = Contain.equivalent qb qa)
+
+let prop_minimize_equivalent =
+  QCheck.Test.make ~name:"minimize q is equivalent to q and minimal"
+    ~count:60 arb_query (fun qq ->
+      let m = Contain.minimize qq in
+      Contain.equivalent m qq && Contain.is_minimal m)
+
+(* random instances over r/2 with a small pool of constants and nulls *)
+let gen_instance =
+  QCheck.Gen.(
+    let value =
+      frequency
+        [
+          (2, map (fun i -> Value.VInt i) (int_range 0 2));
+          (1, map (fun k -> Value.VNull k) (int_range 0 2));
+        ]
+    in
+    let* tuples = list_size (int_range 0 6) (pair value value) in
+    return
+      (List.fold_left
+         (fun i (x, y) ->
+           Instance.add_tuple i "r" ~header:[ "a"; "b" ] [| x; y |])
+         Instance.empty tuples))
+
+let arb_instance = QCheck.make gen_instance ~print:(Fmt.str "%a" Instance.pp)
+
+let prop_core_idempotent =
+  QCheck.Test.make ~name:"core is idempotent" ~count:100 arb_instance
+    (fun i ->
+      let c = Icore.core i in
+      Icore.is_core c && Instance.equal (Icore.core c) c)
+
+let prop_core_shrinks =
+  QCheck.Test.make ~name:"core never grows the instance" ~count:100
+    arb_instance (fun i ->
+      Instance.total_tuples (Icore.core i) <= Instance.total_tuples i)
+
+(* ---- suite ----- *)
+
+let suite =
+  let t name f = Alcotest.test_case name `Quick f in
+  let p = QCheck_alcotest.to_alcotest in
+  [
+    ( "verify-hom",
+      [
+        t "find binds" test_hom_find;
+        t "all counts" test_hom_all_count;
+        t "limit" test_hom_limit;
+        t "forward check" test_hom_forward_check;
+        t "init pins" test_hom_init_pins;
+        t "shared-variable join" test_hom_shared_var_join;
+      ] );
+    ( "verify-contain",
+      [
+        t "basic containment" test_containment_basic;
+        t "heads respected" test_containment_heads;
+        t "constants" test_containment_constants;
+        t "alpha equivalence" test_equivalence_alpha;
+        t "minimize folds" test_minimize_folds;
+        t "minimize keeps core" test_minimize_keeps_core;
+      ] );
+    ( "verify-mapping",
+      [
+        t "tgd implication" test_tgd_implication;
+        t "shared table names" test_tgd_implication_shared_names;
+        t "canonical chase has nulls" test_chase_canonical_has_nulls;
+        t "mapping implication" test_mapping_implies;
+        t "dedup report" test_dedup_report;
+      ] );
+    ( "verify-core",
+      [
+        t "folds redundant null" test_core_folds_redundant_null;
+        t "keeps needed null" test_core_keeps_needed_null;
+        t "null chain retracts" test_core_chain;
+        t "core of chase" test_core_of_chase;
+      ] );
+    ( "verify-props",
+      [
+        p prop_containment_reflexive;
+        p prop_containment_transitive;
+        p prop_equivalence_symmetric;
+        p prop_minimize_equivalent;
+        p prop_core_idempotent;
+        p prop_core_shrinks;
+      ] );
+  ]
