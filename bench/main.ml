@@ -50,6 +50,8 @@ let exchange_fixture =
      in
      (scen, m))
 
+let exchange_sizes = [ 2; 8; 32 ]
+
 let exchange_run rows () =
   let scen, m = Lazy.force exchange_fixture in
   let source = scen.Smg_eval.Scenario.source.Smg_core.Discover.schema in
@@ -62,6 +64,20 @@ let exchange_run rows () =
   with
   | Smg_cq.Chase.Saturated _ | Smg_cq.Chase.Bounded _ -> ()
   | Smg_cq.Chase.Failed msg -> failwith msg
+
+(* the same mapping and sizes through the plan-based engine *)
+let exchange_engine_run rows () =
+  let scen, m = Lazy.force exchange_fixture in
+  let source = scen.Smg_eval.Scenario.source.Smg_core.Discover.schema in
+  let target = scen.Smg_eval.Scenario.target.Smg_core.Discover.schema in
+  let inst = Smg_eval.Witness.populate ~rows_per_table:rows ~seed:1 source in
+  match
+    Smg_exchange.Engine.run ~laconic:true ~source ~target
+      ~mappings:[ Smg_cq.Mapping.to_tgd m ]
+      inst
+  with
+  | Ok _ -> ()
+  | Error msg -> failwith msg
 
 (* verification-layer latency on the largest scenario (Mondial):
    chase-based mapping-equivalence checks across the two methods'
@@ -149,7 +165,16 @@ let tests () =
            Test.make
              ~name:(Printf.sprintf "rows=%d" rows)
              (Staged.stage (exchange_run rows)))
-         [ 2; 8; 32 ])
+         exchange_sizes)
+  in
+  let exchange_engine =
+    Test.make_grouped ~name:"exchange-engine"
+      (List.map
+         (fun rows ->
+           Test.make
+             ~name:(Printf.sprintf "rows=%d" rows)
+             (Staged.stage (exchange_engine_run rows)))
+         exchange_sizes)
   in
   let ablation =
     Test.make_grouped ~name:"ablation-time"
@@ -166,7 +191,8 @@ let tests () =
         Test.make ~name:"mondial-core" (Staged.stage core_run);
       ]
   in
-  Test.make_grouped ~name:"smg" [ sem; ric; exchange; ablation; verify ]
+  Test.make_grouped ~name:"smg"
+    [ sem; ric; exchange; exchange_engine; ablation; verify ]
 
 let benchmark () =
   let ols =
@@ -181,7 +207,73 @@ let benchmark () =
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) results []
   |> List.sort compare
 
+(* --json: the exchange measurements as BENCH_exchange.json rows. The
+   Bechamel estimate gives ns/run; source and output cardinalities come
+   from one untimed execution per size. *)
+let exchange_meta () =
+  let scen, m = Lazy.force exchange_fixture in
+  let source = scen.Smg_eval.Scenario.source.Smg_core.Discover.schema in
+  let target = scen.Smg_eval.Scenario.target.Smg_core.Discover.schema in
+  let mappings = [ Smg_cq.Mapping.to_tgd m ] in
+  List.map
+    (fun rows ->
+      let inst =
+        Smg_eval.Witness.populate ~rows_per_table:rows ~seed:1 source
+      in
+      let src_n = Smg_relational.Instance.total_tuples inst in
+      let chase_out =
+        match Smg_exchange.Naive.exchange ~source ~target ~mappings inst with
+        | Smg_cq.Chase.Saturated out | Smg_cq.Chase.Bounded out ->
+            Smg_relational.Instance.total_tuples out
+        | Smg_cq.Chase.Failed msg -> failwith msg
+      in
+      let engine_out =
+        match
+          Smg_exchange.Engine.run ~laconic:true ~source ~target ~mappings inst
+        with
+        | Ok rep ->
+            Smg_relational.Instance.total_tuples rep.Smg_exchange.Engine.r_target
+        | Error msg -> failwith msg
+      in
+      (rows, src_n, chase_out, engine_out))
+    exchange_sizes
+
+let bench_json results =
+  let meta = exchange_meta () in
+  let contains hay needle =
+    let lh = String.length hay and ln = String.length needle in
+    let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+    go 0
+  in
+  let rows =
+    List.filter_map
+      (fun (name, ols) ->
+        match Bechamel.Analyze.OLS.estimates ols with
+        | Some [ est ] when contains name "exchange" ->
+            let engine = contains name "exchange-engine" in
+            List.find_map
+              (fun (rows, src_n, chase_out, engine_out) ->
+                if contains name (Printf.sprintf "rows=%d" rows) then
+                  let out = if engine then engine_out else chase_out in
+                  Some
+                    {
+                      Smg_exchange.Obs.br_name =
+                        (if engine then "bench-engine/dblp"
+                         else "bench-chase/dblp");
+                      br_size = src_n;
+                      br_ns_per_run = est;
+                      br_tuples_per_s = float_of_int out /. (est /. 1e9);
+                    }
+                else None)
+              meta
+        | _ -> None)
+      results
+  in
+  Smg_exchange.Obs.write_bench_json ~path:"BENCH_exchange.json" rows;
+  Fmt.pr "@.wrote BENCH_exchange.json (%d rows)@." (List.length rows)
+
 let () =
+  let json = Array.exists (fun a -> a = "--json") Sys.argv in
   (* quality series: Figures 6 and 7, plus the Table 1 characteristics *)
   let results = Smg_eval.Experiments.run_all (Lazy.force scenarios) in
   Fmt.pr "%a@.@." Smg_eval.Experiments.pp_table1 results;
@@ -189,9 +281,11 @@ let () =
   Fmt.pr "%a@.@." Smg_eval.Experiments.pp_fig7 results;
   (* timing: the Table 1 "time" column, measured properly *)
   Fmt.pr "Bechamel timings (full domain runs):@.";
+  let timed = benchmark () in
   List.iter
     (fun (name, ols) ->
       match Bechamel.Analyze.OLS.estimates ols with
       | Some [ est ] -> Fmt.pr "  %-28s %12.0f ns/run@." name est
       | Some _ | None -> Fmt.pr "  %-28s (no estimate)@." name)
-    (benchmark ())
+    timed;
+  if json then bench_json timed

@@ -57,7 +57,137 @@ let all () =
   Fmt.pr "@.";
   ablation ()
 
+(* exchange-scale: the plan-based exchange engine vs the naive chase on
+   the DBLP domain at increasing generated-source sizes; optionally
+   records the measurements as BENCH_exchange.json. *)
+
+let measure f =
+  (* one warm-up-free shot; short runs are repeated for a stable rate *)
+  let x, secs = Smg_exchange.Obs.time f in
+  if secs >= 0.05 then (x, secs, 1)
+  else begin
+    let runs = min 50 (max 2 (int_of_float (0.1 /. max 1e-6 secs))) in
+    let _, total =
+      Smg_exchange.Obs.time (fun () ->
+          for _ = 1 to runs do
+            ignore (f ())
+          done)
+    in
+    (x, total /. float_of_int runs, runs)
+  end
+
+let exchange_scale json smoke seed sizes =
+  let module Scenario = Smg_eval.Scenario in
+  let module Instance = Smg_relational.Instance in
+  let module Obs = Smg_exchange.Obs in
+  let scen =
+    List.find
+      (fun s -> s.Scenario.scen_name = "DBLP")
+      (Smg_eval.Datasets.all ())
+  in
+  let source = scen.Scenario.source.Smg_core.Discover.schema in
+  let target = scen.Scenario.target.Smg_core.Discover.schema in
+  let mappings =
+    List.concat_map
+      (fun (case : Scenario.case) ->
+        match
+          Smg_eval.Experiments.run_method Smg_eval.Experiments.Semantic scen
+            case
+        with
+        | [] -> []
+        | best :: _ ->
+            let best = Smg_cq.Mapping.rename case.Scenario.case_name best in
+            if best.Smg_cq.Mapping.outer then
+              Smg_cq.Mapping.outer_variants ~target best
+            else [ Smg_cq.Mapping.to_tgd best ])
+      scen.Scenario.cases
+  in
+  let sizes =
+    match sizes with
+    | Some s -> s
+    | None -> if smoke then [ 2; 8 ] else [ 4; 16; 64; 256 ]
+  in
+  Fmt.pr
+    "exchange-scale: DBLP, %d tgd(s), sizes (rows/table) %s, seed %d@.@."
+    (List.length mappings)
+    (String.concat "," (List.map string_of_int sizes))
+    seed;
+  Fmt.pr "%8s %8s | %12s %12s %12s | %8s@." "rows" "src" "chase ns"
+    "engine ns" "laconic ns" "speedup";
+  let rows =
+    List.concat_map
+      (fun rows_per_table ->
+        let inst =
+          Smg_eval.Witness.populate ~rows_per_table ~seed source
+        in
+        let src_n = Instance.total_tuples inst in
+        let run_engine laconic () =
+          match
+            Smg_exchange.Engine.run ~laconic ~source ~target ~mappings inst
+          with
+          | Ok rep -> Instance.total_tuples rep.Smg_exchange.Engine.r_target
+          | Error msg -> failwith ("engine: " ^ msg)
+        in
+        let run_chase () =
+          match Smg_exchange.Naive.exchange ~source ~target ~mappings inst with
+          | Smg_cq.Chase.Saturated out | Smg_cq.Chase.Bounded out ->
+              Instance.total_tuples out
+          | Smg_cq.Chase.Failed msg -> failwith ("chase: " ^ msg)
+        in
+        let c_out, c_secs, _ = measure run_chase in
+        let e_out, e_secs, _ = measure (run_engine false) in
+        let l_out, l_secs, _ = measure (run_engine true) in
+        Fmt.pr "%8d %8d | %12.0f %12.0f %12.0f | %7.1fx@." rows_per_table
+          src_n (1e9 *. c_secs) (1e9 *. e_secs) (1e9 *. l_secs)
+          (c_secs /. e_secs);
+        let row name out secs =
+          {
+            Obs.br_name = name;
+            br_size = src_n;
+            br_ns_per_run = 1e9 *. secs;
+            br_tuples_per_s = float_of_int out /. secs;
+          }
+        in
+        [
+          row "chase/dblp" c_out c_secs;
+          row "engine/dblp" e_out e_secs;
+          row "engine-laconic/dblp" l_out l_secs;
+        ])
+      sizes
+  in
+  if json then begin
+    let path = "BENCH_exchange.json" in
+    Obs.write_bench_json ~path rows;
+    Fmt.pr "@.wrote %s (%d rows)@." path (List.length rows)
+  end
+
 let cmd_of name doc f = Cmd.v (Cmd.info name ~doc) Term.(const f $ const ())
+
+let exchange_scale_cmd =
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Write BENCH_exchange.json")
+  in
+  let smoke =
+    Arg.(
+      value & flag
+      & info [ "smoke" ] ~doc:"Tiny sizes only (CI smoke test)")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"S" ~doc:"Source seed")
+  in
+  let sizes =
+    Arg.(
+      value
+      & opt (some (list int)) None
+      & info [ "sizes" ] ~docv:"R1,R2,..."
+          ~doc:"Rows per source table at each scale point")
+  in
+  Cmd.v
+    (Cmd.info "exchange-scale"
+       ~doc:
+         "Plan-based exchange engine vs the naive chase at increasing \
+          source sizes")
+    Term.(const exchange_scale $ json $ smoke $ seed $ sizes)
 
 let () =
   let default = Term.(const all $ const ()) in
@@ -82,5 +212,6 @@ let () =
             cmd_of "witness"
               "Execute matched mappings vs benchmarks on generated instances"
               witness;
+            exchange_scale_cmd;
             cmd_of "all" "Everything" all;
           ]))

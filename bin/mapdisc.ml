@@ -229,7 +229,15 @@ let run_show file =
   let doc = Smg_dsl.Parser.parse_file file in
   Fmt.pr "%a@." Smg_dsl.Printer.pp doc
 
-let run_exchange file =
+(* exchange: execute mappings over a source instance — either a DSL
+   scenario file with data blocks, or a built-in evaluation domain
+   (--scenario) over a generated source of roughly --size tuples. *)
+
+let tgds_of_best ~target (best : Mapping.t) =
+  if best.Mapping.outer then Mapping.outer_variants ~target best
+  else [ Mapping.to_tgd best ]
+
+let exchange_file_inputs file =
   let doc, source, target = load file in
   let corrs = doc.Ast.doc_corrs in
   if corrs = [] then begin
@@ -251,22 +259,136 @@ let run_exchange file =
   | [] ->
       Fmt.epr "error: no mapping discovered@.";
       exit 1
-  | best :: _ -> (
+  | best :: _ ->
       Fmt.pr "Executing: %a@.@." Mapping.pp best;
-      let tgds =
-        if best.Mapping.outer then
-          Mapping.outer_variants ~target:target.Discover.schema best
-        else [ Mapping.to_tgd best ]
+      ( source.Discover.schema,
+        target.Discover.schema,
+        tgds_of_best ~target:target.Discover.schema best,
+        src_inst )
+
+let exchange_scenario_inputs name size seed =
+  let scens = Smg_eval.Datasets.all () in
+  let lname = String.lowercase_ascii name in
+  let scen =
+    match
+      List.find_opt
+        (fun (s : Smg_eval.Scenario.t) ->
+          String.lowercase_ascii s.Smg_eval.Scenario.scen_name = lname)
+        scens
+    with
+    | Some s -> s
+    | None ->
+        Fmt.epr "error: unknown scenario %s (available: %s)@." name
+          (String.concat ", "
+             (List.map
+                (fun (s : Smg_eval.Scenario.t) -> s.Smg_eval.Scenario.scen_name)
+                scens));
+        exit 2
+  in
+  let source = scen.Smg_eval.Scenario.source
+  and target = scen.Smg_eval.Scenario.target in
+  (* the best discovered mapping of every benchmark case, executed
+     together — the engine's preparation dedups equivalent tgds *)
+  let mappings =
+    List.concat_map
+      (fun case ->
+        match
+          Smg_eval.Experiments.run_method Smg_eval.Experiments.Semantic scen
+            case
+        with
+        | [] -> []
+        | best :: _ ->
+            (* label the plan after the benchmark case, not the method *)
+            let best = Mapping.rename case.Smg_eval.Scenario.case_name best in
+            tgds_of_best ~target:target.Discover.schema best)
+      scen.Smg_eval.Scenario.cases
+  in
+  if mappings = [] then begin
+    Fmt.epr "error: discovery produced no mapping for %s@."
+      scen.Smg_eval.Scenario.scen_name;
+    exit 1
+  end;
+  let schema = source.Discover.schema in
+  let n_tables = max 1 (List.length schema.Schema.tables) in
+  let rows = max 1 (size / n_tables) in
+  let inst = Smg_eval.Witness.populate ~rows_per_table:rows ~seed schema in
+  Fmt.pr
+    "scenario %s: %d tgd(s) from %d case(s); source: %d tuple(s) (%d \
+     rows/table, seed %d)@.@."
+    scen.Smg_eval.Scenario.scen_name (List.length mappings)
+    (List.length scen.Smg_eval.Scenario.cases)
+    (Smg_relational.Instance.total_tuples inst)
+    rows seed;
+  (schema, target.Discover.schema, mappings, inst)
+
+let pp_cardinalities ppf inst =
+  List.iter
+    (fun name ->
+      match Smg_relational.Instance.relation inst name with
+      | None -> ()
+      | Some r ->
+          Fmt.pf ppf "  %-24s %d tuple(s)@." name
+            (List.length r.Smg_relational.Instance.tuples))
+    (Smg_relational.Instance.names inst)
+
+let run_exchange file scenario size seed engine no_laconic core print_data =
+  (* a FILE's data blocks are small: print them in full by default *)
+  let print_data = print_data || scenario = None in
+  let source, target, mappings, src_inst =
+    match (scenario, file) with
+    | Some name, _ -> exchange_scenario_inputs name size seed
+    | None, Some file -> exchange_file_inputs file
+    | None, None ->
+        Fmt.epr "error: provide a scenario FILE or --scenario NAME@.";
+        exit 2
+  in
+  let out =
+    match engine with
+    | `Fast -> (
+        match
+          Smg_exchange.Engine.run ~laconic:(not no_laconic) ~source ~target
+            ~mappings src_inst
+        with
+        | Error msg ->
+            Fmt.epr "error: exchange failed: %s@." msg;
+            exit 1
+        | Ok rep ->
+            Fmt.pr "%a@.@." Smg_exchange.Engine.pp_report rep;
+            rep.Smg_exchange.Engine.r_target)
+    | `Chase -> (
+        let outcome, secs =
+          Smg_exchange.Obs.time (fun () ->
+              Smg_exchange.Naive.exchange ~source ~target ~mappings src_inst)
+        in
+        match outcome with
+        | Smg_cq.Chase.Saturated out | Smg_cq.Chase.Bounded out ->
+            Fmt.pr "naive chase: %.3f ms, target tuples: %d@.@."
+              (1000. *. secs)
+              (Smg_relational.Instance.total_tuples out);
+            out
+        | Smg_cq.Chase.Failed msg ->
+            Fmt.epr "error: chase failed: %s@." msg;
+            exit 1)
+  in
+  let out =
+    if not core then out
+    else begin
+      let before = Smg_relational.Instance.total_tuples out in
+      let cored, secs =
+        Smg_exchange.Obs.time (fun () -> Smg_verify.Icore.core out)
       in
-      match
-        Smg_cq.Chase.exchange ~source:source.Discover.schema
-          ~target:target.Discover.schema ~mappings:tgds src_inst
-      with
-      | Smg_cq.Chase.Saturated out | Smg_cq.Chase.Bounded out ->
-          Fmt.pr "Target instance:@.%a@." Smg_relational.Instance.pp out
-      | Smg_cq.Chase.Failed msg ->
-          Fmt.epr "error: chase failed: %s@." msg;
-          exit 1)
+      Fmt.pr "core: %d -> %d tuple(s) (%.3f ms)@.@." before
+        (Smg_relational.Instance.total_tuples cored)
+        (1000. *. secs);
+      cored
+    end
+  in
+  if print_data then
+    Fmt.pr "Target instance:@.%a@." Smg_relational.Instance.pp out
+  else begin
+    Fmt.pr "Target cardinalities:@.";
+    Fmt.pr "%a" pp_cardinalities out
+  end
 
 let run_ddl file =
   let doc, source, target = load file in
@@ -318,6 +440,62 @@ let which_arg =
 let threshold_arg =
   Arg.(value & opt float 0.55 & info [ "t"; "threshold" ] ~docv:"T")
 
+let opt_file_arg = Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE")
+
+let scenario_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "scenario" ] ~docv:"NAME"
+        ~doc:
+          "Run a built-in evaluation domain (dblp, mondial, amalgam, 3sdb, \
+           ut, hotel, network) over a generated source instead of a FILE")
+
+let size_arg =
+  Arg.(
+    value & opt int 1000
+    & info [ "size" ] ~docv:"N"
+        ~doc:
+          "Approximate source-instance size in tuples (--scenario mode; \
+           spread over the source tables)")
+
+let seed_arg =
+  Arg.(
+    value & opt int 42
+    & info [ "seed" ] ~docv:"S"
+        ~doc:"Seed for the generated source instance (--scenario mode)")
+
+let engine_arg =
+  let engine_conv = Arg.enum [ ("fast", `Fast); ("chase", `Chase) ] in
+  Arg.(
+    value & opt engine_conv `Fast
+    & info [ "engine" ] ~docv:"ENGINE"
+        ~doc:
+          "Executor: $(b,fast) (hash-join plans, semi-naive re-firing) or \
+           $(b,chase) (the naive chase baseline)")
+
+let no_laconic_arg =
+  Arg.(
+    value & flag
+    & info [ "no-laconic" ]
+        ~doc:
+          "Disable the laconic preparation/sweep of the fast engine (its \
+           output then matches the naive chase shape)")
+
+let core_arg =
+  Arg.(
+    value & flag
+    & info [ "core" ]
+        ~doc:"Also fold the result to its core (can be slow on large outputs)")
+
+let data_arg =
+  Arg.(
+    value & flag
+    & info [ "data" ]
+        ~doc:
+          "Print the full target instance (default in FILE mode; --scenario \
+           mode prints cardinalities only)")
+
 let () =
   let discover_cmd =
     Cmd.v
@@ -348,9 +526,12 @@ let () =
     Cmd.v
       (Cmd.info "exchange"
          ~doc:
-           "Discover the best mapping and execute it over the scenario's data \
-            blocks")
-      Term.(const run_exchange $ file_arg)
+           "Discover the best mapping(s) and execute them: over a scenario \
+            FILE's data blocks, or over a generated source for a built-in \
+            domain (--scenario NAME --size N)")
+      Term.(
+        const run_exchange $ opt_file_arg $ scenario_arg $ size_arg $ seed_arg
+        $ engine_arg $ no_laconic_arg $ core_arg $ data_arg)
   in
   let ddl_cmd =
     Cmd.v

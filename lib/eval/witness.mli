@@ -11,14 +11,16 @@
 
 val populate :
   ?rows_per_table:int ->
-  seed:int ->
+  ?seed:int ->
   Smg_relational.Schema.t ->
   Smg_relational.Instance.t
 (** Generate an instance: each table is seeded with rows of pooled
-    constants (so joins have matches), then the schema's RIC tgds are
-    chased to saturation (bounded) so referential integrity holds.
-    The result satisfies every RIC; keys hold because each row's key is
-    distinct by construction. *)
+    constants (so joins have matches), then dangling references are
+    repaired round by round — each missing referenced row is inserted
+    with labelled nulls outside the referenced columns, probing a hash
+    index per RIC — so referential integrity holds. The result is a
+    deterministic function of [seed] (default 42); keys hold because
+    each row's key is distinct by construction. *)
 
 type verdict = {
   w_case : string;

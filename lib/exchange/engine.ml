@@ -1,0 +1,510 @@
+module Value = Smg_relational.Value
+module Schema = Smg_relational.Schema
+module Instance = Smg_relational.Instance
+module Index = Smg_relational.Index
+module Dependency = Smg_cq.Dependency
+
+(* ---- mutable per-relation stores --------------------------------------- *)
+
+type store = {
+  s_header : string list;
+  mutable s_tuples : Value.t array list;  (* reverse insertion order *)
+  s_seen : (string, unit) Hashtbl.t;  (* set semantics *)
+  mutable s_indexes : (int list * Index.t) list;
+      (* lazily built, kept up to date by [insert], invalidated by
+         substitution *)
+  mutable s_delta : Value.t array list;  (* tuples new/changed this round *)
+  mutable s_count : int;
+}
+
+let store_of_tuples header tuples =
+  let seen = Hashtbl.create (List.length tuples * 2 + 1) in
+  List.iter (fun tup -> Hashtbl.replace seen (Index.tuple_key tup) ()) tuples;
+  {
+    s_header = header;
+    s_tuples = List.rev tuples;
+    s_seen = seen;
+    s_indexes = [];
+    s_delta = [];
+    s_count = Hashtbl.length seen;
+  }
+
+let insert st tup =
+  let k = Index.tuple_key tup in
+  if Hashtbl.mem st.s_seen k then false
+  else begin
+    Hashtbl.replace st.s_seen k ();
+    st.s_tuples <- tup :: st.s_tuples;
+    st.s_count <- st.s_count + 1;
+    st.s_delta <- tup :: st.s_delta;
+    List.iter (fun (_, ix) -> Index.add ix tup) st.s_indexes;
+    true
+  end
+
+let get_index st cols =
+  match List.assoc_opt cols st.s_indexes with
+  | Some ix -> ix
+  | None ->
+      let ix = Index.build ~key:cols st.s_tuples in
+      st.s_indexes <- (cols, ix) :: st.s_indexes;
+      ix
+
+(* ---- engine state ------------------------------------------------------- *)
+
+(* Source and target tables live in separate stores, so mappings between
+   schemas that share table names (e.g. Mondial's country/city on both
+   sides) execute without renaming — something [Chase.exchange] cannot
+   do, since it merges both schemas into one namespace. *)
+type t = {
+  e_src : (string, store) Hashtbl.t;
+  e_tgt : (string, store) Hashtbl.t;
+  e_target_schema : Schema.t;
+  mutable e_next_null : int;  (* next label in the reserved block *)
+  mutable e_null_limit : int;  (* last label of the reserved block *)
+}
+
+let null_block = 256
+
+let mint_null e =
+  if e.e_next_null > e.e_null_limit then begin
+    let first = Value.alloc_nulls null_block in
+    e.e_next_null <- first;
+    e.e_null_limit <- first + null_block - 1
+  end;
+  let k = e.e_next_null in
+  e.e_next_null <- e.e_next_null + 1;
+  Value.VNull k
+
+let header_of (tbl : Schema.table) =
+  List.map (fun c -> c.Schema.col_name) tbl.Schema.columns
+
+let create ~source ~target inst =
+  let src = Hashtbl.create 16 and tgt = Hashtbl.create 16 in
+  List.iter
+    (fun (tbl : Schema.table) ->
+      let header = header_of tbl in
+      let r = Instance.relation_or_empty inst tbl.Schema.tbl_name ~header in
+      Hashtbl.replace src tbl.Schema.tbl_name
+        (store_of_tuples header r.Instance.tuples))
+    source.Schema.tables;
+  List.iter
+    (fun (tbl : Schema.table) ->
+      Hashtbl.replace tgt tbl.Schema.tbl_name
+        (store_of_tuples (header_of tbl) []))
+    target.Schema.tables;
+  {
+    e_src = src;
+    e_tgt = tgt;
+    e_target_schema = target;
+    e_next_null = 1;
+    e_null_limit = 0;
+  }
+
+(* ---- satisfaction check ------------------------------------------------- *)
+
+(* Restricted-chase trigger test: does some assignment of the
+   existential wildcards extend [env] so every rhs atom is present?
+   Backtracking over the check templates; each template probes the
+   target index on its statically-known positions. *)
+let satisfied e (plan : Plan.t) env (stats : Obs.tstats) =
+  let exenv = Array.make (max plan.Plan.p_nex 1) None in
+  let cell_value cell =
+    match cell with
+    | Plan.KSlot s -> env.(s)
+    | Plan.KConst c -> c
+    | Plan.KEx x -> (
+        match exenv.(x) with
+        | Some v -> v
+        | None -> assert false (* probe positions are statically known *))
+  in
+  let rec go checks =
+    match checks with
+    | [] -> true
+    | (ck : Plan.check) :: rest ->
+        let st = Hashtbl.find e.e_tgt ck.Plan.ck_pred in
+        let candidates =
+          match ck.Plan.ck_probe with
+          | [] -> st.s_tuples
+          | probe ->
+              let ix = get_index st probe in
+              stats.Obs.st_probes <- stats.Obs.st_probes + 1;
+              let tuples =
+                Index.probe ix
+                  (List.map (fun p -> cell_value ck.Plan.ck_cells.(p)) probe)
+              in
+              if tuples = [] then
+                stats.Obs.st_misses <- stats.Obs.st_misses + 1
+              else stats.Obs.st_hits <- stats.Obs.st_hits + 1;
+              tuples
+        in
+        List.exists
+          (fun tup ->
+            let trail = ref [] in
+            let undo () = List.iter (fun x -> exenv.(x) <- None) !trail in
+            let n = Array.length ck.Plan.ck_cells in
+            let rec cells pos =
+              pos = n
+              ||
+              (match ck.Plan.ck_cells.(pos) with
+                | Plan.KSlot s -> Value.equal tup.(pos) env.(s)
+                | Plan.KConst c -> Value.equal tup.(pos) c
+                | Plan.KEx x -> (
+                    match exenv.(x) with
+                    | Some v -> Value.equal tup.(pos) v
+                    | None ->
+                        exenv.(x) <- Some tup.(pos);
+                        trail := x :: !trail;
+                        true))
+              && cells (pos + 1)
+            in
+            if cells 0 && go rest then true
+            else begin
+              undo ();
+              false
+            end)
+          candidates
+  in
+  go plan.Plan.p_checks
+
+(* ---- plan evaluation ---------------------------------------------------- *)
+
+let fire e (plan : Plan.t) env (stats : Obs.tstats) =
+  stats.Obs.st_checks <- stats.Obs.st_checks + 1;
+  if satisfied e plan env stats then
+    stats.Obs.st_satisfied <- stats.Obs.st_satisfied + 1
+  else begin
+    let nulls = Array.init plan.Plan.p_nnulls (fun _ -> mint_null e) in
+    stats.Obs.st_nulls <- stats.Obs.st_nulls + plan.Plan.p_nnulls;
+    List.iter
+      (fun (em : Plan.emit) ->
+        let tup =
+          Array.map
+            (fun cell ->
+              match cell with
+              | Plan.CSlot s -> env.(s)
+              | Plan.CConst c -> c
+              | Plan.CNull k -> nulls.(k)
+              | Plan.CSkolem (f, args) ->
+                  Smg_cq.Chase.skolem_term ~f
+                    ~args:(List.map (fun s -> env.(s)) args))
+            em.Plan.em_cells
+        in
+        let st = Hashtbl.find e.e_tgt em.Plan.em_pred in
+        if insert st tup then stats.Obs.st_emitted <- stats.Obs.st_emitted + 1)
+      plan.Plan.p_emits
+  end
+
+(* [delta]: when [Some (i, tuples)], scan step [i] iterates only the
+   given delta tuples — the semi-naive re-evaluation after an egd
+   substitution changed some source tuples. *)
+let eval_plan e (plan : Plan.t) ?delta (stats : Obs.tstats) =
+  let env = Array.make (max plan.Plan.p_nslots 1) (Value.VNull 0) in
+  let scans = Array.of_list plan.Plan.p_scans in
+  let nscans = Array.length scans in
+  let binding_value b =
+    match b with Plan.Slot s -> env.(s) | Plan.Const c -> c
+  in
+  let matches (sc : Plan.scan) tup =
+    List.for_all
+      (fun (pos, b) -> Value.equal tup.(pos) (binding_value b))
+      sc.Plan.sc_eqs
+    && List.for_all
+         (fun (pos, p0) -> Value.equal tup.(pos) tup.(p0))
+         sc.Plan.sc_selfeqs
+  in
+  let bind (sc : Plan.scan) tup =
+    List.iter (fun (pos, s) -> env.(s) <- tup.(pos)) sc.Plan.sc_binds
+  in
+  let rec step i =
+    if i = nscans then fire e plan env stats
+    else begin
+      let sc = scans.(i) in
+      let use_delta = match delta with Some (j, _) -> j = i | None -> false in
+      if use_delta then begin
+        let tuples = match delta with Some (_, ts) -> ts | None -> [] in
+        List.iter
+          (fun tup ->
+            stats.Obs.st_scanned <- stats.Obs.st_scanned + 1;
+            if matches sc tup then begin
+              bind sc tup;
+              step (i + 1)
+            end)
+          tuples
+      end
+      else begin
+        let st = Hashtbl.find e.e_src sc.Plan.sc_pred in
+        match sc.Plan.sc_eqs with
+        | [] ->
+            List.iter
+              (fun tup ->
+                stats.Obs.st_scanned <- stats.Obs.st_scanned + 1;
+                if
+                  List.for_all
+                    (fun (pos, p0) -> Value.equal tup.(pos) tup.(p0))
+                    sc.Plan.sc_selfeqs
+                then begin
+                  bind sc tup;
+                  step (i + 1)
+                end)
+              st.s_tuples
+        | eqs ->
+            let cols = List.map fst eqs in
+            let ix = get_index st cols in
+            stats.Obs.st_probes <- stats.Obs.st_probes + 1;
+            let bucket =
+              Index.probe ix (List.map (fun (_, b) -> binding_value b) eqs)
+            in
+            if bucket = [] then stats.Obs.st_misses <- stats.Obs.st_misses + 1
+            else stats.Obs.st_hits <- stats.Obs.st_hits + 1;
+            List.iter
+              (fun tup ->
+                if
+                  List.for_all
+                    (fun (pos, p0) -> Value.equal tup.(pos) tup.(p0))
+                    sc.Plan.sc_selfeqs
+                then begin
+                  bind sc tup;
+                  step (i + 1)
+                end)
+              bucket
+      end
+    end
+  in
+  if nscans > 0 then step 0
+
+(* ---- key-egd pass ------------------------------------------------------- *)
+
+type egd_result =
+  | EgdConflict of string
+  | EgdSubst of (int, Value.t) Hashtbl.t * int  (* bindings, merge count *)
+
+(* Group every keyed target table by its (resolved) key cells and unify
+   the non-key columns of each group — union-find over null labels with
+   path compression; a constant/constant clash is a hard failure, as in
+   the chase. Cascades (key cells that only become equal after a
+   substitution) are caught by the next round's pass. *)
+let egd_pass e =
+  let subst : (int, Value.t) Hashtbl.t = Hashtbl.create 16 in
+  let rec resolve v =
+    match v with
+    | Value.VNull k -> (
+        match Hashtbl.find_opt subst k with
+        | Some v' ->
+            let r = resolve v' in
+            if r != v' then Hashtbl.replace subst k r;
+            r
+        | None -> v)
+    | _ -> v
+  in
+  let merges = ref 0 in
+  let conflict = ref None in
+  let unify table col u v =
+    let ru = resolve u and rv = resolve v in
+    if not (Value.equal ru rv) then
+      match (ru, rv) with
+      | Value.VNull k, _ ->
+          Hashtbl.replace subst k rv;
+          incr merges
+      | _, Value.VNull k ->
+          Hashtbl.replace subst k ru;
+          incr merges
+      | _ ->
+          if !conflict = None then
+            conflict :=
+              Some
+                (Printf.sprintf "key egd on %s.%s: %s vs %s" table col
+                   (Value.to_string ru) (Value.to_string rv))
+  in
+  List.iter
+    (fun (tbl : Schema.table) ->
+      if tbl.Schema.key <> [] && !conflict = None then
+        match Hashtbl.find_opt e.e_tgt tbl.Schema.tbl_name with
+        | None -> ()
+        | Some st ->
+            let header = Array.of_list st.s_header in
+            let keypos =
+              List.map
+                (fun k ->
+                  let rec find i =
+                    if header.(i) = k then i else find (i + 1)
+                  in
+                  find 0)
+                tbl.Schema.key
+            in
+            let is_key = Array.map (fun c -> List.mem c tbl.Schema.key) header in
+            let reps = Hashtbl.create (st.s_count + 1) in
+            List.iter
+              (fun tup ->
+                if !conflict = None then begin
+                  let rtup = Array.map resolve tup in
+                  let k =
+                    Index.key_of_values (List.map (fun p -> rtup.(p)) keypos)
+                  in
+                  match Hashtbl.find_opt reps k with
+                  | None -> Hashtbl.replace reps k rtup
+                  | Some rep ->
+                      Array.iteri
+                        (fun i v ->
+                          if (not is_key.(i)) && !conflict = None then
+                            unify tbl.Schema.tbl_name header.(i) rep.(i) v)
+                        rtup
+                end)
+              st.s_tuples)
+    e.e_target_schema.Schema.tables;
+  match !conflict with
+  | Some msg -> EgdConflict msg
+  | None -> EgdSubst (subst, !merges)
+
+(* Rewrite every store (source AND target) through the substitution;
+   changed tuples become the store's delta for semi-naive re-firing, and
+   cached indexes are dropped (rebuilt lazily). *)
+let apply_subst e subst =
+  let rec resolve v =
+    match v with
+    | Value.VNull k -> (
+        match Hashtbl.find_opt subst k with Some v' -> resolve v' | None -> v)
+    | _ -> v
+  in
+  let rewrite _name st =
+    let changed = ref [] in
+    let seen = Hashtbl.create (st.s_count * 2 + 1) in
+    let tuples =
+      List.fold_left
+        (fun acc tup ->
+          let touched = ref false in
+          let tup' =
+            Array.map
+              (fun v ->
+                let r = resolve v in
+                if not (Value.equal r v) then touched := true;
+                r)
+              tup
+          in
+          let k = Index.tuple_key tup' in
+          if Hashtbl.mem seen k then acc
+          else begin
+            Hashtbl.replace seen k ();
+            if !touched then changed := tup' :: !changed;
+            tup' :: acc
+          end)
+        [] st.s_tuples
+    in
+    st.s_tuples <- tuples;
+    st.s_count <- Hashtbl.length seen;
+    Hashtbl.reset st.s_seen;
+    Hashtbl.iter (fun k () -> Hashtbl.replace st.s_seen k ()) seen;
+    st.s_indexes <- [];
+    st.s_delta <- !changed
+  in
+  Hashtbl.iter rewrite e.e_src;
+  Hashtbl.iter rewrite e.e_tgt
+
+let clear_deltas e =
+  Hashtbl.iter (fun _ st -> st.s_delta <- []) e.e_src;
+  Hashtbl.iter (fun _ st -> st.s_delta <- []) e.e_tgt
+
+(* ---- driver ------------------------------------------------------------- *)
+
+type report = {
+  r_target : Instance.t;
+  r_complete : bool;
+  r_rounds : int;
+  r_stats : (string * Obs.tstats) list;
+  r_egd_merges : int;
+  r_sweep_dropped : int;
+  r_seconds : float;
+}
+
+let target_instance e =
+  Hashtbl.fold
+    (fun name st acc ->
+      if st.s_count = 0 then acc
+      else
+        Instance.set acc name
+          { Instance.header = st.s_header; tuples = List.rev st.s_tuples })
+    e.e_tgt Instance.empty
+
+let run ?(max_rounds = 100) ?(laconic = false) ~source ~target ~mappings inst =
+  try
+    let mappings = if laconic then Laconic.prepare mappings else mappings in
+    let card name = Instance.cardinality inst name in
+    let plans = List.map (Plan.compile ~card ~source ~target) mappings in
+    let e = create ~source ~target inst in
+    let stats = List.map (fun (p : Plan.t) -> (p.Plan.p_name, Obs.fresh_tstats ())) plans in
+    let t0 = Unix.gettimeofday () in
+    List.iter2
+      (fun plan (_, st) ->
+        let (), dt = Obs.time (fun () -> eval_plan e plan st) in
+        st.Obs.st_seconds <- st.Obs.st_seconds +. dt)
+      plans stats;
+    clear_deltas e;
+    let egd_merges = ref 0 in
+    let rounds = ref 1 in
+    let complete = ref true in
+    let failed = ref None in
+    let continue_ = ref true in
+    while !continue_ && !failed = None do
+      match egd_pass e with
+      | EgdConflict msg -> failed := Some msg
+      | EgdSubst (_, 0) -> continue_ := false
+      | EgdSubst (subst, n) ->
+          egd_merges := !egd_merges + n;
+          apply_subst e subst;
+          incr rounds;
+          if !rounds > max_rounds then begin
+            complete := false;
+            continue_ := false
+          end
+          else begin
+            (* semi-naive: re-fire each plan only through scan steps
+               whose relation has changed tuples *)
+            let deltas = Hashtbl.create 8 in
+            Hashtbl.iter
+              (fun name st ->
+                if st.s_delta <> [] then Hashtbl.replace deltas name st.s_delta)
+              e.e_src;
+            clear_deltas e;
+            List.iter2
+              (fun (plan : Plan.t) (_, st) ->
+                let (), dt =
+                  Obs.time (fun () ->
+                      List.iteri
+                        (fun i (sc : Plan.scan) ->
+                          match Hashtbl.find_opt deltas sc.Plan.sc_pred with
+                          | Some ts -> eval_plan e plan ~delta:(i, ts) st
+                          | None -> ())
+                        plan.Plan.p_scans)
+                in
+                st.Obs.st_seconds <- st.Obs.st_seconds +. dt)
+              plans stats;
+            clear_deltas e
+          end
+    done;
+    match !failed with
+    | Some msg -> Error msg
+    | None ->
+        let tgt = target_instance e in
+        let tgt, dropped =
+          if laconic then Laconic.sweep tgt else (tgt, 0)
+        in
+        Ok
+          {
+            r_target = tgt;
+            r_complete = !complete;
+            r_rounds = !rounds;
+            r_stats = stats;
+            r_egd_merges = !egd_merges;
+            r_sweep_dropped = dropped;
+            r_seconds = Unix.gettimeofday () -. t0;
+          }
+  with Invalid_argument msg -> Error msg
+
+let pp_report ppf r =
+  Fmt.pf ppf "@[<v>rounds: %d%s  egd merges: %d  swept: %d  %.3f ms@,"
+    r.r_rounds
+    (if r.r_complete then "" else " (bounded)")
+    r.r_egd_merges r.r_sweep_dropped (1000. *. r.r_seconds);
+  List.iter
+    (fun (name, st) -> Fmt.pf ppf "%-24s %a@," name Obs.pp_tstats st)
+    r.r_stats;
+  Fmt.pf ppf "target tuples: %d@]" (Instance.total_tuples r.r_target)

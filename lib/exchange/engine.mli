@@ -1,0 +1,44 @@
+(** The data-exchange execution engine.
+
+    Executes a set of source-to-target tgds (discovered mappings) over a
+    source instance by compiling each to a {!Plan.t} and evaluating the
+    plans with hash-join probes over per-(relation, join-attribute)
+    indexes, batched labelled-null allocation, and Skolem-term cells
+    shared with the chase. Target key egds are enforced by a union-find
+    pass over each keyed table, and after a substitution the plans are
+    re-fired semi-naively — only through scan steps whose relation
+    actually changed.
+
+    The result is a universal solution for the mapping, homomorphically
+    equivalent to the naive {!Smg_cq.Chase.exchange} output; with
+    [~laconic:true] the tgds are normalised first and single-fact
+    redundancy is swept afterwards ({!Laconic}), yielding a near-core
+    instance directly. Unlike [Chase.exchange], source and target live
+    in separate namespaces, so schemas sharing table names execute
+    without renaming. *)
+
+type report = {
+  r_target : Smg_relational.Instance.t;  (** the target instance *)
+  r_complete : bool;  (** false when the round budget was exhausted *)
+  r_rounds : int;
+  r_stats : (string * Obs.tstats) list;  (** per-tgd counters, plan order *)
+  r_egd_merges : int;  (** null bindings made by key egds *)
+  r_sweep_dropped : int;  (** tuples folded by the laconic sweep *)
+  r_seconds : float;  (** end-to-end wall-clock *)
+}
+
+val run :
+  ?max_rounds:int ->
+  ?laconic:bool ->
+  source:Smg_relational.Schema.t ->
+  target:Smg_relational.Schema.t ->
+  mappings:Smg_cq.Dependency.tgd list ->
+  Smg_relational.Instance.t ->
+  (report, string) result
+(** Execute the mappings over a source instance. [max_rounds] (default
+    100) bounds egd/re-fire rounds; [laconic] (default off) enables the
+    {!Laconic} preparation and sweep. [Error] on a key-egd
+    constant/constant conflict or an ill-formed tgd (unknown predicate,
+    arity mismatch, non-universal Skolem argument). *)
+
+val pp_report : Format.formatter -> report -> unit

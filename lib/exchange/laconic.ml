@@ -1,0 +1,245 @@
+module Value = Smg_relational.Value
+module Instance = Smg_relational.Instance
+module Atom = Smg_cq.Atom
+module Query = Smg_cq.Query
+module Dependency = Smg_cq.Dependency
+module Chase = Smg_cq.Chase
+
+(* Variables a tgd "exports": universal variables that occur on the
+   right-hand side, plus the arguments of every Skolem term there
+   (Skolem variables carry their argument names inside the variable
+   name, invisible to Atom.vars). *)
+let exported (t : Dependency.tgd) =
+  let lhs_vars = Atom.vars_of_list t.Dependency.lhs in
+  let rhs_vars = Atom.vars_of_list t.Dependency.rhs in
+  let direct = List.filter (fun x -> List.mem x lhs_vars) rhs_vars in
+  let skolem_args =
+    List.concat_map
+      (fun x ->
+        match Chase.parse_skolem_var x with
+        | Some (_, args) -> List.filter (fun a -> List.mem a lhs_vars) args
+        | None -> [])
+      rhs_vars
+  in
+  List.sort_uniq compare (direct @ skolem_args)
+
+let plain_existentials (t : Dependency.tgd) =
+  List.filter
+    (fun x -> Chase.parse_skolem_var x = None)
+    (Dependency.existential_vars t)
+
+let minimize_tgd (t : Dependency.tgd) =
+  let head = List.map (fun x -> Atom.Var x) (exported t) in
+  let lhs =
+    (Query.minimize (Query.make ~name:"lhs" ~head t.Dependency.lhs)).Query.body
+  in
+  (* On the rhs, Skolem variables denote computed values, so they are
+     pinned alongside the universal head — only plain existentials may
+     fold away. *)
+  let skolems =
+    List.filter
+      (fun x -> Chase.parse_skolem_var x <> None)
+      (Atom.vars_of_list t.Dependency.rhs)
+  in
+  let rhs_head = head @ List.map (fun x -> Atom.Var x) skolems in
+  let rhs =
+    (Query.minimize (Query.make ~name:"rhs" ~head:rhs_head t.Dependency.rhs))
+      .Query.body
+  in
+  { t with Dependency.lhs; rhs }
+
+let specificity (t : Dependency.tgd) =
+  (* Fewer plain existentials = more informative conclusions; among
+     equals, a larger rhs asserts more. Firing the most informative
+     tgds first lets the restricted-chase satisfaction check absorb the
+     triggers of less informative ones, so fewer redundant nulls are
+     minted in the first place. *)
+  (List.length (plain_existentials t), -List.length t.Dependency.rhs)
+
+let prepare tgds =
+  let minimized = List.map minimize_tgd tgds in
+  let deduped =
+    List.fold_left
+      (fun acc t ->
+        if List.exists (Dependency.equal_tgd t) acc then acc else t :: acc)
+      [] minimized
+    |> List.rev
+  in
+  List.stable_sort (fun a b -> compare (specificity a) (specificity b)) deduped
+
+(* ---- post-execution subsumption sweep ---------------------------------- *)
+
+(* Drop a tuple [t] when (i) every labelled null in [t] occurs nowhere
+   else in the instance and (ii) some other live tuple [t'] of the same
+   relation agrees with [t] on every non-null cell, with a consistent
+   assignment for [t]'s nulls. Each drop is the image of a proper
+   endomorphism (map those nulls to [t']'s cells, identity elsewhere),
+   so the result stays homomorphically equivalent — this removes the
+   single-fact redundancy the greedy core fold spends most of its time
+   on, in near-linear time. Nulls shared across facts (genuine joins on
+   invented values) are left for {!Smg_verify.Icore}. *)
+let sweep inst =
+  let counts = Hashtbl.create 256 in
+  let note v =
+    match v with
+    | Value.VNull k ->
+        Hashtbl.replace counts k
+          (1 + Option.value ~default:0 (Hashtbl.find_opt counts k))
+    | _ -> ()
+  in
+  List.iter
+    (fun name ->
+      match Instance.relation inst name with
+      | None -> ()
+      | Some r -> List.iter (fun tup -> Array.iter note tup) r.Instance.tuples)
+    (Instance.names inst);
+  let dropped = ref 0 in
+  let sweep_relation (r : Instance.relation) =
+    let tuples = Array.of_list r.Instance.tuples in
+    let n = Array.length tuples in
+    let alive = Array.make n true in
+    let null_positions tup =
+      let acc = ref [] in
+      Array.iteri
+        (fun i v -> if Value.is_null v then acc := i :: !acc)
+        tup;
+      List.rev !acc
+    in
+    let local_count tup k =
+      Array.fold_left
+        (fun acc v -> if Value.equal v (Value.VNull k) then acc + 1 else acc)
+        0 tup
+    in
+    let key_at positions tup =
+      Smg_relational.Index.key_of_values
+        (List.map (fun p -> tup.(p)) positions)
+    in
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      (* group live tuples by null mask; index each mask's complement *)
+      let by_mask = Hashtbl.create 8 in
+      Array.iteri
+        (fun i tup ->
+          if alive.(i) then begin
+            let mask = null_positions tup in
+            let tbl =
+              match Hashtbl.find_opt by_mask mask with
+              | Some t -> t
+              | None ->
+                  let t = Hashtbl.create 32 in
+                  Hashtbl.replace by_mask mask t;
+                  t
+          in
+            let nonnull =
+              List.filter (fun p -> not (List.mem p mask))
+                (List.init (Array.length tup) Fun.id)
+            in
+            let k = key_at nonnull tup in
+            Hashtbl.replace tbl k
+              (i :: Option.value ~default:[] (Hashtbl.find_opt tbl k))
+          end)
+        tuples;
+      Array.iteri
+        (fun i tup ->
+          if alive.(i) then begin
+            let mask = null_positions tup in
+            if mask <> [] then begin
+              let only_here =
+                List.for_all
+                  (fun p ->
+                    match tup.(p) with
+                    | Value.VNull k ->
+                        Hashtbl.find_opt counts k = Some (local_count tup k)
+                    | _ -> true)
+                  mask
+              in
+              if only_here then begin
+                (* a live tuple agreeing on every non-null cell, with a
+                   consistent image for the nulls *)
+                let consistent j =
+                  j <> i && alive.(j)
+                  &&
+                  let t' = tuples.(j) in
+                  let m = Hashtbl.create 4 in
+                  let n = Array.length tup in
+                  let rec go p =
+                    p = n
+                    ||
+                    (match tup.(p) with
+                      | Value.VNull k -> (
+                          match Hashtbl.find_opt m k with
+                          | Some v -> Value.equal v t'.(p)
+                          | None ->
+                              Hashtbl.replace m k t'.(p);
+                              true)
+                      | v -> Value.equal v t'.(p))
+                    && go (p + 1)
+                  in
+                  go 0
+                in
+                let candidates =
+                  (* A subsuming tuple must agree on our non-null cells
+                     (a null there could not equal our constant), so its
+                     mask is a subset of ours. Same-mask candidates come
+                     from one hash probe on the shared non-null
+                     positions — the common case of duplicated null
+                     patterns; strictly-smaller-mask groups (rarer) are
+                     enumerated. *)
+                  let nonnull =
+                    List.filter
+                      (fun p -> not (List.mem p mask))
+                      (List.init (Array.length tup) Fun.id)
+                  in
+                  let exact =
+                    match Hashtbl.find_opt by_mask mask with
+                    | None -> []
+                    | Some tbl ->
+                        Option.value ~default:[]
+                          (Hashtbl.find_opt tbl (key_at nonnull tup))
+                  in
+                  Hashtbl.fold
+                    (fun mask' tbl acc ->
+                      if
+                        mask' <> mask
+                        && List.for_all (fun p -> List.mem p mask) mask'
+                      then Hashtbl.fold (fun _ is acc -> is @ acc) tbl acc
+                      else acc)
+                    by_mask exact
+                in
+                match List.find_opt consistent candidates with
+                | Some _ ->
+                    alive.(i) <- false;
+                    incr dropped;
+                    changed := true;
+                    List.iter
+                      (fun p ->
+                        match tup.(p) with
+                        | Value.VNull k ->
+                            Hashtbl.replace counts k
+                              (Option.value ~default:0
+                                 (Hashtbl.find_opt counts k)
+                              - 1)
+                        | _ -> ())
+                      mask
+                | None -> ()
+              end
+            end
+          end)
+        tuples
+    done;
+    let kept = ref [] in
+    for i = n - 1 downto 0 do
+      if alive.(i) then kept := tuples.(i) :: !kept
+    done;
+    { r with Instance.tuples = List.rev !kept }
+  in
+  let inst' =
+    List.fold_left
+      (fun acc name ->
+        match Instance.relation inst name with
+        | None -> acc
+        | Some r -> Instance.set acc name (sweep_relation r))
+      inst (Instance.names inst)
+  in
+  (inst', !dropped)

@@ -1,0 +1,26 @@
+(** Laconic-style preparation of mappings and near-core output cleanup.
+
+    Ten Cate et al. (PVLDB 2009) show a schema mapping can be rewritten
+    so that direct execution produces the core universal solution. We
+    implement the practically effective portion of that idea for the
+    discovered-mapping setting: normalise the tgd list before execution
+    ({!prepare}) so fewer redundant triggers fire, and fold the residual
+    single-fact redundancy after execution ({!sweep}) in near-linear
+    time. Nulls genuinely shared between facts are left to the exact
+    core engine, [Smg_verify.Icore]. *)
+
+val prepare : Smg_cq.Dependency.tgd list -> Smg_cq.Dependency.tgd list
+(** Deduplicate (up to logical equivalence), minimise each tgd's lhs
+    and rhs as conjunctive queries (pinning exported universal
+    variables, Skolem arguments, and Skolem terms), and order
+    most-specific-first — fewest plain existentials, then largest rhs —
+    so that the restricted chase's satisfaction check absorbs the
+    triggers of less informative tgds instead of minting fresh nulls. *)
+
+val sweep :
+  Smg_relational.Instance.t -> Smg_relational.Instance.t * int
+(** Drop every tuple whose labelled nulls occur nowhere else and which
+    is subsumed by another tuple of the same relation under a consistent
+    null assignment. Each drop is the image of an endomorphism, so the
+    swept instance is homomorphically equivalent to the input. Returns
+    the instance and the number of tuples dropped. *)

@@ -1,0 +1,58 @@
+module Schema = Smg_relational.Schema
+module Instance = Smg_relational.Instance
+module Atom = Smg_cq.Atom
+module Dependency = Smg_cq.Dependency
+module Chase = Smg_cq.Chase
+
+(* The naive chase executes source and target in one namespace, so a
+   table name occurring on both sides (e.g. [country] in Mondial) would
+   collide. Prefix every target relation, chase, then strip the prefix
+   from the result — the same trick the engine makes unnecessary by
+   keeping the sides in separate stores. *)
+
+let prefix = "tgt!"
+let ns p = prefix ^ p
+
+let ns_schema (s : Schema.t) =
+  Schema.make
+    ~name:(s.Schema.schema_name ^ "!ns")
+    (List.map
+       (fun (t : Schema.table) -> { t with Schema.tbl_name = ns t.tbl_name })
+       s.Schema.tables)
+    []
+
+let ns_tgds tgds =
+  List.map
+    (fun (t : Dependency.tgd) ->
+      {
+        t with
+        Dependency.rhs =
+          List.map
+            (fun (at : Atom.t) -> { at with Atom.pred = ns at.Atom.pred })
+            t.Dependency.rhs;
+      })
+    tgds
+
+let unns_instance inst =
+  let plen = String.length prefix in
+  List.fold_left
+    (fun acc name ->
+      match Instance.relation inst name with
+      | None -> acc
+      | Some r ->
+          let base =
+            if String.length name > plen && String.sub name 0 plen = prefix
+            then String.sub name plen (String.length name - plen)
+            else name
+          in
+          Instance.set acc base r)
+    Instance.empty (Instance.names inst)
+
+let exchange ~source ~target ~mappings inst =
+  match
+    Chase.exchange ~source ~target:(ns_schema target)
+      ~mappings:(ns_tgds mappings) inst
+  with
+  | Chase.Saturated i -> Chase.Saturated (unns_instance i)
+  | Chase.Bounded i -> Chase.Bounded (unns_instance i)
+  | Chase.Failed _ as f -> f

@@ -1,0 +1,18 @@
+(** Baseline executor: the naive {!Smg_cq.Chase.exchange}, wrapped so
+    its output is comparable with {!Engine.run}'s.
+
+    The chase keeps source and target relations in one namespace; this
+    wrapper prefixes every target relation before chasing and strips the
+    prefix afterwards, so schemas whose sides share table names (e.g.
+    Mondial) execute without clashing. Used as the reference
+    implementation in tests and as the comparison point in the
+    exchange-scale experiment. *)
+
+val exchange :
+  source:Smg_relational.Schema.t ->
+  target:Smg_relational.Schema.t ->
+  mappings:Smg_cq.Dependency.tgd list ->
+  Smg_relational.Instance.t ->
+  Smg_cq.Chase.outcome
+(** Chase the mappings over the source instance; the outcome's instance
+    contains target relations only, under their original names. *)

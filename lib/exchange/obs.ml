@@ -1,0 +1,75 @@
+type tstats = {
+  mutable st_scanned : int;
+  mutable st_probes : int;
+  mutable st_hits : int;
+  mutable st_misses : int;
+  mutable st_checks : int;
+  mutable st_satisfied : int;
+  mutable st_emitted : int;
+  mutable st_nulls : int;
+  mutable st_seconds : float;
+}
+
+let fresh_tstats () =
+  {
+    st_scanned = 0;
+    st_probes = 0;
+    st_hits = 0;
+    st_misses = 0;
+    st_checks = 0;
+    st_satisfied = 0;
+    st_emitted = 0;
+    st_nulls = 0;
+    st_seconds = 0.;
+  }
+
+let pp_tstats ppf s =
+  Fmt.pf ppf
+    "scanned %d  probes %d (%d hit/%d miss)  checks %d (%d sat)  emitted %d  \
+     nulls %d  %.3f ms"
+    s.st_scanned s.st_probes s.st_hits s.st_misses s.st_checks s.st_satisfied
+    s.st_emitted s.st_nulls (1000. *. s.st_seconds)
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let x = f () in
+  (x, Unix.gettimeofday () -. t0)
+
+(* ---- benchmark export -------------------------------------------------- *)
+
+type bench_row = {
+  br_name : string;
+  br_size : int;
+  br_ns_per_run : float;
+  br_tuples_per_s : float;
+}
+
+(* Hand-rolled JSON writer: names and numbers only, no string escaping
+   needed beyond quotes (benchmark names are plain identifiers). *)
+let json_escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let write_bench_json ~path rows =
+  let oc = open_out path in
+  output_string oc "[\n";
+  List.iteri
+    (fun i r ->
+      Printf.fprintf oc
+        "  {\"name\": \"%s\", \"size\": %d, \"ns_per_run\": %.1f, \
+         \"tuples_per_s\": %.1f}%s\n"
+        (json_escape r.br_name) r.br_size r.br_ns_per_run r.br_tuples_per_s
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  output_string oc "]\n";
+  close_out oc

@@ -1,0 +1,31 @@
+(** Observability: per-tgd execution counters, wall-clock timing, and
+    benchmark-row JSON export for [BENCH_exchange.json]. *)
+
+type tstats = {
+  mutable st_scanned : int;  (** tuples read by the driving scan *)
+  mutable st_probes : int;  (** hash-index probes issued *)
+  mutable st_hits : int;  (** probes that found at least one tuple *)
+  mutable st_misses : int;  (** probes that found none *)
+  mutable st_checks : int;  (** satisfaction checks run (triggers) *)
+  mutable st_satisfied : int;  (** triggers already satisfied *)
+  mutable st_emitted : int;  (** target tuples actually inserted *)
+  mutable st_nulls : int;  (** labelled nulls minted *)
+  mutable st_seconds : float;  (** wall-clock time in this plan *)
+}
+
+val fresh_tstats : unit -> tstats
+val pp_tstats : Format.formatter -> tstats -> unit
+
+val time : (unit -> 'a) -> 'a * float
+(** [time f] is [(f (), seconds)] by [Unix.gettimeofday]. *)
+
+type bench_row = {
+  br_name : string;
+  br_size : int;
+  br_ns_per_run : float;
+  br_tuples_per_s : float;
+}
+
+val write_bench_json : path:string -> bench_row list -> unit
+(** Write rows as a JSON array of objects with fields [name], [size],
+    [ns_per_run], [tuples_per_s]. *)

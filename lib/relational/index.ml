@@ -1,0 +1,63 @@
+(* Hash indexes over tuple lists, keyed on a subset of column
+   positions. The key is the canonical serialization of the key cells
+   (the same [Value.to_string] + NUL-separator convention the rest of
+   the library uses for tuple hashing), so probing is O(1) per lookup
+   regardless of relation size. *)
+
+type t = {
+  ix_key : int array;  (* column positions forming the key, in order *)
+  ix_tbl : (string, Value.t array list ref) Hashtbl.t;
+  mutable ix_entries : int;
+}
+
+let tuple_key tup =
+  let b = Buffer.create 32 in
+  Array.iteri
+    (fun i v ->
+      if i > 0 then Buffer.add_char b '\x00';
+      Buffer.add_string b (Value.to_string v))
+    tup;
+  Buffer.contents b
+
+let key_of_positions pos tup =
+  let b = Buffer.create 32 in
+  Array.iteri
+    (fun i p ->
+      if i > 0 then Buffer.add_char b '\x00';
+      Buffer.add_string b (Value.to_string tup.(p)))
+    pos;
+  Buffer.contents b
+
+let key_of_values vs =
+  let b = Buffer.create 32 in
+  List.iteri
+    (fun i v ->
+      if i > 0 then Buffer.add_char b '\x00';
+      Buffer.add_string b (Value.to_string v))
+    vs;
+  Buffer.contents b
+
+let create ~key = { ix_key = Array.of_list key; ix_tbl = Hashtbl.create 64; ix_entries = 0 }
+
+let add ix tup =
+  let k = key_of_positions ix.ix_key tup in
+  (match Hashtbl.find_opt ix.ix_tbl k with
+  | Some bucket -> bucket := tup :: !bucket
+  | None -> Hashtbl.replace ix.ix_tbl k (ref [ tup ]));
+  ix.ix_entries <- ix.ix_entries + 1
+
+let build ~key tuples =
+  let ix = create ~key in
+  List.iter (add ix) tuples;
+  ix
+
+let probe ix vs =
+  match Hashtbl.find_opt ix.ix_tbl (key_of_values vs) with
+  | Some bucket -> !bucket
+  | None -> []
+
+let probe_key ix k =
+  match Hashtbl.find_opt ix.ix_tbl k with Some bucket -> !bucket | None -> []
+
+let entries ix = ix.ix_entries
+let distinct_keys ix = Hashtbl.length ix.ix_tbl

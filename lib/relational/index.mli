@@ -1,0 +1,37 @@
+(** Hash indexes over tuple lists, keyed on a subset of column
+    positions.
+
+    The execution engine in [lib/exchange] builds one index per
+    (relation, join-attribute set) pair and probes it with the values
+    bound so far, replacing the nested-loop joins of the naive chase.
+    Keys are serialized with the library-wide [Value.to_string] + NUL
+    convention, so a probe is a single hash lookup. *)
+
+type t
+
+val create : key:int list -> t
+(** An empty index on the given column positions (applied in order). *)
+
+val build : key:int list -> Value.t array list -> t
+
+val add : t -> Value.t array -> unit
+(** Register one more tuple (appends to its bucket). *)
+
+val probe : t -> Value.t list -> Value.t array list
+(** Tuples whose key cells equal the given values (in key-position
+    order); [[]] when the key is absent. *)
+
+val probe_key : t -> string -> Value.t array list
+(** Like {!probe} for a pre-serialized key (see {!key_of_values}). *)
+
+val key_of_positions : int array -> Value.t array -> string
+(** Serialize the cells of [tup] at the given positions. *)
+
+val key_of_values : Value.t list -> string
+
+val tuple_key : Value.t array -> string
+(** Whole-tuple key — the serialization used for set-semantics
+    deduplication. *)
+
+val entries : t -> int
+val distinct_keys : t -> int

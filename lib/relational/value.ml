@@ -31,4 +31,10 @@ let fresh_null () =
   incr counter;
   VNull !counter
 
+let alloc_nulls n =
+  if n < 0 then invalid_arg "alloc_nulls";
+  let first = !counter + 1 in
+  counter := !counter + n;
+  first
+
 let reset_null_counter () = counter := 0

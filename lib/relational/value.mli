@@ -20,5 +20,11 @@ val to_string : t -> string
 val fresh_null : unit -> t
 (** A labelled null with a process-unique label. *)
 
+val alloc_nulls : int -> int
+(** [alloc_nulls n] reserves a block of [n] consecutive labels in one
+    counter bump and returns the first; labels [first .. first+n-1] are
+    then the caller's to mint as [VNull]. Batched null generation for
+    the data-exchange engine. *)
+
 val reset_null_counter : unit -> unit
 (** Reset the label source (tests only, for determinism). *)

@@ -1,0 +1,20 @@
+(** Homomorphic equivalence of instances with labelled nulls — the
+    equivalence oracle for data-exchange outputs.
+
+    Two universal solutions for the same (mapping, source) pair are
+    homomorphically equivalent, so this is the correctness criterion for
+    comparing the plan-based execution engine ([Smg_exchange]) against
+    the naive chase. The check decomposes by null-connected components:
+    a fact without nulls must occur verbatim in the other instance, and
+    each group of facts connected through shared nulls embeds
+    independently of the others — turning one homomorphism search over
+    the whole instance into many small ones. *)
+
+val hom_into :
+  Smg_relational.Instance.t -> Smg_relational.Instance.t -> bool
+(** [hom_into a b]: a homomorphism from [a] into [b] exists — identity
+    on constants, labelled nulls free to bind. *)
+
+val equivalent :
+  Smg_relational.Instance.t -> Smg_relational.Instance.t -> bool
+(** Homomorphisms exist in both directions. *)

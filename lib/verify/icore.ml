@@ -27,37 +27,6 @@ let atoms_of inst =
           r.Instance.tuples)
     []
 
-let nulls_of inst =
-  fold_relations inst
-    (fun acc _ (r : Instance.relation) ->
-      List.fold_left
-        (fun acc tup ->
-          Array.fold_left
-            (fun acc v ->
-              match v with
-              | Value.VNull k when not (List.mem k acc) -> k :: acc
-              | _ -> acc)
-            acc tup)
-        acc r.Instance.tuples)
-    []
-  |> List.sort compare
-
-(* Ground facts of the sub-instance whose tuples do not mention null [n]
-   (nulls are ordinary rigid values there). *)
-let ground_without inst n =
-  fold_relations inst
-    (fun acc name (r : Instance.relation) ->
-      acc
-      @ List.filter_map
-          (fun tup ->
-            if Array.exists (Value.equal (Value.VNull n)) tup then None
-            else
-              Some
-                (Atom.atom name
-                   (List.map (fun v -> Atom.Cst v) (Array.to_list tup))))
-          r.Instance.tuples)
-    []
-
 let apply_endomorphism inst subst =
   fold_relations inst
     (fun acc name (r : Instance.relation) ->
@@ -78,21 +47,135 @@ let apply_endomorphism inst subst =
         acc r.Instance.tuples)
     Instance.empty
 
-(* One greedy fold: the first null admitting a retraction that avoids
-   every tuple mentioning it. *)
-let fold_step inst =
-  let flex = atoms_of inst in
-  List.find_map
-    (fun n ->
-      Option.map
-        (apply_endomorphism inst)
-        (Hom.find ~rigid:(ground_without inst n) flex))
-    (nulls_of inst)
+(* ---- fold search, restricted to null-connected components --------------
+   A retraction avoiding null [n] exists on the whole instance iff one
+   exists on [n]'s component — the facts reachable from [n] through
+   shared nulls: facts of other components never mention [n], so the
+   identity extends any component retraction, and conversely any full
+   retraction restricts to one. Searching only the component (with the
+   full frozen instance minus [n]'s facts as the rigid side) replaces
+   the old whole-instance search, which rescanned and re-matched every
+   fact for every null — the quadratic hot spot of core computation. *)
 
-let rec core inst =
-  match fold_step inst with Some inst' -> core inst' | None -> inst
+let rec uf_find parent k =
+  match Hashtbl.find_opt parent k with
+  | None -> k
+  | Some p ->
+      let r = uf_find parent p in
+      if r <> p then Hashtbl.replace parent k r;
+      r
 
-let is_core inst = Option.is_none (fold_step inst)
+let uf_union parent a b =
+  let ra = uf_find parent a and rb = uf_find parent b in
+  if ra <> rb then Hashtbl.replace parent ra rb
+
+type pass_state = {
+  ps_facts : (string * Value.t array) array;
+  ps_frozen : Atom.t array;  (* every value (nulls included) as a constant *)
+  ps_null_facts : (int, int list) Hashtbl.t;  (* null -> indices of its facts *)
+  ps_parent : (int, int) Hashtbl.t;  (* union-find over null labels *)
+  ps_comps : (int, int list) Hashtbl.t;  (* component root -> fact indices *)
+}
+
+let nulls_of_tuple tup =
+  Array.fold_left
+    (fun acc v -> match v with Value.VNull k -> k :: acc | _ -> acc)
+    [] tup
+
+let build_state inst =
+  let facts =
+    fold_relations inst
+      (fun acc name (r : Instance.relation) ->
+        List.fold_left (fun acc tup -> (name, tup) :: acc) acc r.Instance.tuples)
+      []
+    |> Array.of_list
+  in
+  let frozen =
+    Array.map
+      (fun (name, tup) ->
+        Atom.atom name (List.map (fun v -> Atom.Cst v) (Array.to_list tup)))
+      facts
+  in
+  let null_facts = Hashtbl.create 64 in
+  let parent = Hashtbl.create 64 in
+  Array.iteri
+    (fun i (_, tup) ->
+      match List.sort_uniq compare (nulls_of_tuple tup) with
+      | [] -> ()
+      | k0 :: rest as ks ->
+          List.iter
+            (fun k ->
+              Hashtbl.replace null_facts k
+                (i :: Option.value ~default:[] (Hashtbl.find_opt null_facts k)))
+            ks;
+          List.iter (fun k -> uf_union parent k0 k) rest)
+    facts;
+  let comps = Hashtbl.create 16 in
+  Array.iteri
+    (fun i (_, tup) ->
+      match nulls_of_tuple tup with
+      | [] -> ()
+      | k :: _ ->
+          let root = uf_find parent k in
+          Hashtbl.replace comps root
+            (i :: Option.value ~default:[] (Hashtbl.find_opt comps root)))
+    facts;
+  {
+    ps_facts = facts;
+    ps_frozen = frozen;
+    ps_null_facts = null_facts;
+    ps_parent = parent;
+    ps_comps = comps;
+  }
+
+(* Try to retract null [n] away: a homomorphism of [n]'s component into
+   the frozen instance minus the facts mentioning [n]. *)
+let try_fold st inst n =
+  match Hashtbl.find_opt st.ps_null_facts n with
+  | None -> None (* already folded away *)
+  | Some mention_ids ->
+      let mentions = Hashtbl.create (List.length mention_ids) in
+      List.iter (fun i -> Hashtbl.replace mentions i ()) mention_ids;
+      let comp_ids = Hashtbl.find st.ps_comps (uf_find st.ps_parent n) in
+      let flex =
+        List.map
+          (fun i ->
+            let name, tup = st.ps_facts.(i) in
+            Atom.atom name (List.map term_of_value (Array.to_list tup)))
+          comp_ids
+      in
+      let rigid = ref [] in
+      Array.iteri
+        (fun i atom -> if not (Hashtbl.mem mentions i) then rigid := atom :: !rigid)
+        st.ps_frozen;
+      Option.map (apply_endomorphism inst) (Hom.find ~rigid:!rigid flex)
+
+(* One pass tries every null of the instance once, folding as it goes
+   (nulls eliminated by an earlier fold are skipped); a fold can enable
+   further folds, so passes repeat until one changes nothing. *)
+let core inst =
+  let rec pass inst =
+    let st0 = build_state inst in
+    let nulls =
+      Hashtbl.fold (fun k _ acc -> k :: acc) st0.ps_null_facts []
+      |> List.sort compare
+    in
+    let rec attempt inst st changed = function
+      | [] -> (inst, changed)
+      | n :: rest -> (
+          match try_fold st inst n with
+          | None -> attempt inst st changed rest
+          | Some inst' -> attempt inst' (build_state inst') true rest)
+    in
+    let inst', changed = attempt inst st0 false nulls in
+    if changed then pass inst' else inst'
+  in
+  pass inst
+
+let is_core inst =
+  let st = build_state inst in
+  Hashtbl.fold (fun k _ acc -> k :: acc) st.ps_null_facts []
+  |> List.for_all (fun n -> Option.is_none (try_fold st inst n))
 
 let of_outcome = function
   | Chase.Saturated i -> Chase.Saturated (core i)

@@ -1,0 +1,473 @@
+(* Tests for Smg_exchange: the plan compiler, the hash-join execution
+   engine, the laconic preparation/sweep, and their agreement with the
+   naive chase — qcheck properties over random ground sources plus
+   alcotest fixtures for all seven built-in evaluation domains. *)
+
+module Value = Smg_relational.Value
+module Schema = Smg_relational.Schema
+module Instance = Smg_relational.Instance
+module Atom = Smg_cq.Atom
+module Dependency = Smg_cq.Dependency
+module Chase = Smg_cq.Chase
+module Mapping = Smg_cq.Mapping
+module Hom = Smg_verify.Hom
+module Icore = Smg_verify.Icore
+module Plan = Smg_exchange.Plan
+module Engine = Smg_exchange.Engine
+module Laconic = Smg_exchange.Laconic
+module Scenario = Smg_eval.Scenario
+module Datasets = Smg_eval.Datasets
+module Witness = Smg_eval.Witness
+
+let v = Atom.v
+let a = Atom.atom
+let vs s = Value.VString s
+
+(* ---- helpers ----------------------------------------------------------- *)
+
+(* The naive chase merges both schemas into one namespace, so domains
+   whose sides share table names (Mondial) need the target renamed
+   before the comparison run; Smg_exchange.Naive does that renaming.
+   The engine itself keeps the sides in separate stores. *)
+let naive_exchange = Smg_exchange.Naive.exchange
+
+let hom_into = Smg_verify.Equiv.hom_into
+let hom_equiv = Smg_verify.Equiv.equivalent
+
+(* The instance as atoms with labelled nulls kept as constants — the
+   reading needed when checking that a (source, target) pair satisfies a
+   tgd, where nulls are ordinary values. *)
+let const_atoms inst =
+  List.concat_map
+    (fun name ->
+      match Instance.relation inst name with
+      | None -> []
+      | Some r ->
+          List.map
+            (fun tup ->
+              Atom.atom name (List.map Atom.c (Array.to_list tup)))
+            r.Instance.tuples)
+    (Instance.names inst)
+
+(* (source, target) ⊨ tgd: every lhs match over the source extends to an
+   rhs match over the target (existentials as wildcards). *)
+let satisfies_tgd src_inst tgt_inst (t : Dependency.tgd) =
+  let src_atoms = const_atoms src_inst in
+  let tgt_atoms = const_atoms tgt_inst in
+  Hom.all ~rigid:src_atoms t.Dependency.lhs
+  |> List.for_all (fun s ->
+         let universals = Dependency.universal_vars t in
+         let init =
+           List.fold_left
+             (fun acc x ->
+               match Atom.Subst.find s x with
+               | Some term -> Atom.Subst.bind acc x term
+               | None -> acc)
+             Atom.Subst.empty universals
+         in
+         Hom.holds ~init ~rigid:tgt_atoms t.Dependency.rhs)
+
+(* ---- fixed property-test mapping --------------------------------------- *)
+
+let psource =
+  Schema.make ~name:"psrc"
+    [
+      Schema.table "r" [ ("a", Schema.TString); ("b", Schema.TString) ];
+      Schema.table "u" [ ("b", Schema.TString) ];
+    ]
+    []
+
+let ptarget =
+  Schema.make ~name:"ptgt"
+    [
+      Schema.table ~key:[ "a" ] "s"
+        [ ("a", Schema.TString); ("b", Schema.TString) ];
+      Schema.table "t" [ ("b", Schema.TString); ("c", Schema.TString) ];
+    ]
+    []
+
+let ptgds =
+  [
+    Dependency.tgd ~name:"m1"
+      ~lhs:[ a "r" [ v "x"; v "y" ] ]
+      [ a "s" [ v "x"; v "y" ] ];
+    Dependency.tgd ~name:"m2"
+      ~lhs:[ a "u" [ v "y" ] ]
+      [ a "t" [ v "y"; v "z" ] ];
+    Dependency.tgd ~name:"m3"
+      ~lhs:[ a "r" [ v "x"; v "y" ]; a "u" [ v "y" ] ]
+      [ a "s" [ v "x"; v "w" ]; a "t" [ v "w"; v "c" ] ];
+  ]
+
+let inst_of (rs, us) =
+  let i =
+    List.fold_left
+      (fun i (x, y) ->
+        Instance.add_tuple i "r" ~header:[ "a"; "b" ] [| vs x; vs y |])
+      Instance.empty rs
+  in
+  List.fold_left
+    (fun i y -> Instance.add_tuple i "u" ~header:[ "b" ] [| vs y |])
+    i us
+
+let arb_src =
+  let open QCheck in
+  let pool = Gen.oneofl [ "p"; "q"; "w"; "z" ] in
+  let gen =
+    Gen.pair
+      (Gen.list_size (Gen.int_bound 6) (Gen.pair pool pool))
+      (Gen.list_size (Gen.int_bound 6) pool)
+  in
+  let print (rs, us) =
+    Printf.sprintf "r=[%s] u=[%s]"
+      (String.concat ";" (List.map (fun (x, y) -> x ^ "," ^ y) rs))
+      (String.concat ";" us)
+  in
+  make ~print gen
+
+let engine_run ?laconic inst =
+  Engine.run ?laconic ~source:psource ~target:ptarget ~mappings:ptgds inst
+
+(* (a) the engine's output, joined with the source, satisfies every tgd *)
+let prop_satisfies =
+  QCheck.Test.make ~name:"engine output satisfies every tgd" ~count:100 arb_src
+    (fun src ->
+      let inst = inst_of src in
+      match engine_run inst with
+      | Error _ -> true (* key conflict: no solution exists *)
+      | Ok rep ->
+          List.for_all (satisfies_tgd inst rep.Engine.r_target) ptgds)
+
+(* (b) homomorphically equivalent to the naive-chase solution *)
+let prop_chase_equiv =
+  QCheck.Test.make ~name:"engine ≡hom naive chase" ~count:100 arb_src
+    (fun src ->
+      let inst = inst_of src in
+      let fast = engine_run inst in
+      let naive =
+        naive_exchange ~source:psource ~target:ptarget ~mappings:ptgds inst
+      in
+      match (fast, naive) with
+      | Ok rep, Chase.Saturated i -> hom_equiv rep.Engine.r_target i
+      | Error _, Chase.Failed _ -> true
+      | _ -> false)
+
+(* (c) the laconic path's output embeds into the naive core *)
+let prop_laconic_embeds =
+  QCheck.Test.make ~name:"laconic output embeds into naive core" ~count:100
+    arb_src (fun src ->
+      let inst = inst_of src in
+      match
+        ( engine_run ~laconic:true inst,
+          naive_exchange ~source:psource ~target:ptarget ~mappings:ptgds inst )
+      with
+      | Ok rep, Chase.Saturated i ->
+          let core = Icore.core i in
+          hom_into rep.Engine.r_target core && hom_into core rep.Engine.r_target
+      | Error _, Chase.Failed _ -> true
+      | _ -> false)
+
+(* ---- plan compiler fixtures -------------------------------------------- *)
+
+let test_plan_shape () =
+  let p = Plan.compile ~source:psource ~target:ptarget (List.nth ptgds 2) in
+  Alcotest.(check int) "two scans" 2 (List.length p.Plan.p_scans);
+  (match p.Plan.p_scans with
+  | [ first; second ] ->
+      Alcotest.(check bool) "first scan has no probe key" true
+        (first.Plan.sc_eqs = []);
+      Alcotest.(check bool) "second scan probes the join attribute" true
+        (second.Plan.sc_eqs <> [])
+  | _ -> Alcotest.fail "expected two scans");
+  Alcotest.(check int) "two existential wildcards" 2 p.Plan.p_nex;
+  Alcotest.(check int) "two fresh nulls per trigger" 2 p.Plan.p_nnulls;
+  (* smoke the EXPLAIN printer *)
+  Alcotest.(check bool) "pp renders" true
+    (String.length (Fmt.str "%a" Plan.pp p) > 0)
+
+let test_plan_join_order () =
+  (* with cardinalities, the smaller relation drives the join *)
+  let card = function "r" -> 1000 | _ -> 1 in
+  let p = Plan.compile ~card ~source:psource ~target:ptarget (List.nth ptgds 2) in
+  match p.Plan.p_scans with
+  | first :: _ ->
+      Alcotest.(check string) "small relation first" "u" first.Plan.sc_pred
+  | [] -> Alcotest.fail "no scans"
+
+let test_plan_rejects_bad_arity () =
+  let bad =
+    Dependency.tgd ~name:"bad" ~lhs:[ a "r" [ v "x" ] ] [ a "s" [ v "x"; v "y" ] ]
+  in
+  match Plan.compile ~source:psource ~target:ptarget bad with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "arity mismatch must be rejected"
+
+(* ---- engine fixtures ---------------------------------------------------- *)
+
+let test_engine_simple () =
+  let inst = inst_of ([ ("1", "2") ], [ "2" ]) in
+  match engine_run inst with
+  | Error m -> Alcotest.fail m
+  | Ok rep ->
+      Alcotest.(check int) "one s row" 1
+        (Instance.cardinality rep.Engine.r_target "s");
+      Alcotest.(check int) "one t row (m2's; m3 satisfied)" 1
+        (Instance.cardinality rep.Engine.r_target "t");
+      Alcotest.(check bool) "complete" true rep.Engine.r_complete
+
+let test_engine_key_conflict () =
+  (* two r rows with the same key column and different b: s's key egd
+     equates the constants "2" and "3" *)
+  let inst = inst_of ([ ("1", "2"); ("1", "3") ], []) in
+  match engine_run inst with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected a key-egd conflict"
+
+let test_engine_egd_merges_null () =
+  (* m3 invents w for s(x,w); m1's s(x,y) forces w := y through the key,
+     and the substituted t row then carries the constant *)
+  let inst = inst_of ([ ("1", "2") ], [ "2" ]) in
+  match engine_run inst with
+  | Error m -> Alcotest.fail m
+  | Ok rep -> (
+      match Instance.relation rep.Engine.r_target "s" with
+      | Some { Instance.tuples = [ tup ]; _ } ->
+          Alcotest.(check bool) "s row is ground" true
+            (Value.equal tup.(0) (vs "1") && Value.equal tup.(1) (vs "2"))
+      | _ -> Alcotest.fail "expected exactly one s row")
+
+let test_engine_stats () =
+  let inst = inst_of ([ ("1", "2"); ("3", "4") ], [ "2"; "4" ]) in
+  match engine_run inst with
+  | Error m -> Alcotest.fail m
+  | Ok rep ->
+      Alcotest.(check int) "one stats row per tgd" 3
+        (List.length rep.Engine.r_stats);
+      let total_emitted =
+        List.fold_left
+          (fun acc (_, st) -> acc + st.Smg_exchange.Obs.st_emitted)
+          0 rep.Engine.r_stats
+      in
+      Alcotest.(check int) "emitted = target tuples" total_emitted
+        (Instance.total_tuples rep.Engine.r_target);
+      Alcotest.(check bool) "pp_report renders" true
+        (String.length (Fmt.str "%a" Engine.pp_report rep) > 0)
+
+let test_skolem_merge () =
+  (* two tgds emitting the same Skolem term produce one merged row, and
+     the engine's value is identical to the chase's *)
+  let source =
+    Schema.make ~name:"sk-src"
+      [
+        Schema.table "r" [ ("a", Schema.TString) ];
+        Schema.table "u" [ ("a", Schema.TString) ];
+      ]
+      []
+  in
+  let target =
+    Schema.make ~name:"sk-tgt"
+      [
+        Schema.table ~key:[ "a" ] "s"
+          [ ("a", Schema.TString); ("c", Schema.TString) ];
+      ]
+      []
+  in
+  let sk = Chase.skolem_var ~f:"addr" ~args:[ "x" ] in
+  let tgds =
+    [
+      Dependency.tgd ~name:"k1" ~lhs:[ a "r" [ v "x" ] ]
+        [ a "s" [ v "x"; v sk ] ];
+      Dependency.tgd ~name:"k2" ~lhs:[ a "u" [ v "x" ] ]
+        [ a "s" [ v "x"; v sk ] ];
+    ]
+  in
+  let inst =
+    Instance.add_tuple Instance.empty "r" ~header:[ "a" ] [| vs "1" |]
+    |> fun i -> Instance.add_tuple i "u" ~header:[ "a" ] [| vs "1" |]
+  in
+  match Engine.run ~source ~target ~mappings:tgds inst with
+  | Error m -> Alcotest.fail m
+  | Ok rep -> (
+      Alcotest.(check int) "one merged row" 1
+        (Instance.cardinality rep.Engine.r_target "s");
+      match naive_exchange ~source ~target ~mappings:tgds inst with
+      | Chase.Saturated i ->
+          Alcotest.(check bool) "identical to the chase (ground skolems)"
+            true
+            (Instance.equal rep.Engine.r_target i)
+      | _ -> Alcotest.fail "chase should saturate")
+
+(* ---- laconic fixtures --------------------------------------------------- *)
+
+let test_laconic_prepare_dedups () =
+  let t1 =
+    Dependency.tgd ~name:"d1" ~lhs:[ a "r" [ v "x"; v "y" ] ]
+      [ a "s" [ v "x"; v "y" ] ]
+  in
+  let t2 =
+    (* same dependency, renamed variables *)
+    Dependency.tgd ~name:"d2" ~lhs:[ a "r" [ v "p"; v "q" ] ]
+      [ a "s" [ v "p"; v "q" ] ]
+  in
+  Alcotest.(check int) "equivalent tgds collapse" 1
+    (List.length (Laconic.prepare [ t1; t2 ]))
+
+let test_laconic_prepare_minimizes () =
+  (* a redundant lhs atom folds away *)
+  let t =
+    Dependency.tgd ~name:"redundant"
+      ~lhs:[ a "r" [ v "x"; v "y" ]; a "r" [ v "x"; v "y2" ] ]
+      [ a "s" [ v "x"; v "x" ] ]
+  in
+  match Laconic.prepare [ t ] with
+  | [ t' ] ->
+      Alcotest.(check int) "one lhs atom left" 1
+        (List.length t'.Dependency.lhs)
+  | _ -> Alcotest.fail "expected one tgd"
+
+let test_laconic_sweep () =
+  let n1 = Value.fresh_null () and n2 = Value.fresh_null () in
+  let i =
+    Instance.add_tuple Instance.empty "t" ~header:[ "a"; "b" ]
+      [| vs "1"; vs "c" |]
+    |> fun i ->
+    Instance.add_tuple i "t" ~header:[ "a"; "b" ] [| vs "1"; n1 |]
+    |> fun i ->
+    (* n2 is shared across two tuples: neither may be dropped *)
+    Instance.add_tuple i "t" ~header:[ "a"; "b" ] [| vs "2"; n2 |]
+    |> fun i -> Instance.add_tuple i "u" ~header:[ "b" ] [| n2 |]
+  in
+  let swept, dropped = Laconic.sweep i in
+  Alcotest.(check int) "one tuple folded" 1 dropped;
+  Alcotest.(check int) "t keeps two rows" 2 (Instance.cardinality swept "t");
+  Alcotest.(check int) "u untouched" 1 (Instance.cardinality swept "u")
+
+let test_laconic_near_core () =
+  (* on the fixed mapping the laconic path should produce exactly the
+     core-sized instance *)
+  let inst = inst_of ([ ("1", "2"); ("3", "4") ], [ "2"; "9" ]) in
+  match engine_run ~laconic:true inst with
+  | Error m -> Alcotest.fail m
+  | Ok rep -> (
+      match
+        naive_exchange ~source:psource ~target:ptarget ~mappings:ptgds inst
+      with
+      | Chase.Saturated i ->
+          let core = Icore.core i in
+          Alcotest.(check int) "laconic output is core-sized"
+            (Instance.total_tuples core)
+            (Instance.total_tuples rep.Engine.r_target);
+          Alcotest.(check bool) "and hom-equivalent to it" true
+            (hom_equiv rep.Engine.r_target core)
+      | _ -> Alcotest.fail "chase should saturate")
+
+(* ---- seven built-in domains -------------------------------------------- *)
+
+let scenario_tgds (scen : Scenario.t) =
+  List.concat_map
+    (fun (c : Scenario.case) -> List.map Mapping.to_tgd c.Scenario.benchmark)
+    scen.Scenario.cases
+
+let check_domain ~laconic (scen : Scenario.t) () =
+  let source = scen.Scenario.source.Smg_core.Discover.schema in
+  let target = scen.Scenario.target.Smg_core.Discover.schema in
+  let mappings = scenario_tgds scen in
+  let inst = Witness.populate ~rows_per_table:3 ~seed:7 source in
+  let fast = Engine.run ~laconic ~source ~target ~mappings inst in
+  let naive = naive_exchange ~source ~target ~mappings inst in
+  match (fast, naive) with
+  | Ok rep, Chase.Saturated i ->
+      Alcotest.(check bool)
+        (scen.Scenario.scen_name ^ ": engine ≡hom chase")
+        true
+        (hom_equiv rep.Engine.r_target i)
+  | Error _, Chase.Failed _ -> ()
+  | Ok _, Chase.Failed m ->
+      Alcotest.fail (Printf.sprintf "chase failed (%s) but engine succeeded" m)
+  | Error m, _ -> Alcotest.fail ("engine failed: " ^ m)
+  | _, Chase.Bounded _ -> Alcotest.fail "chase did not saturate"
+
+let test_outer_variants () =
+  (* Example 1.2's outer mapping realised as Skolemized variants: the
+     engine must reproduce the chase's full-outer-join result *)
+  let ms =
+    Smg_core.Discover.discover
+      ~source:(Fixtures.Employees.source ())
+      ~target:(Fixtures.Employees.target ())
+      ~corrs:Fixtures.Employees.corrs ()
+  in
+  let m = List.hd ms in
+  let tgds =
+    Mapping.outer_variants ~target:Fixtures.Employees.target_schema m
+  in
+  let i =
+    Instance.add_tuple Instance.empty "programmer"
+      ~header:[ "ssn"; "name"; "acnt" ]
+      [| vs "1"; vs "ada"; vs "acnt1" |]
+    |> fun i ->
+    Instance.add_tuple i "engineer" ~header:[ "ssn"; "name"; "site" ]
+      [| vs "1"; vs "ada"; vs "site1" |]
+    |> fun i ->
+    Instance.add_tuple i "engineer" ~header:[ "ssn"; "name"; "site" ]
+      [| vs "2"; vs "bob"; vs "site2" |]
+  in
+  let source = Fixtures.Employees.source_schema in
+  let target = Fixtures.Employees.target_schema in
+  match
+    ( Engine.run ~source ~target ~mappings:tgds i,
+      naive_exchange ~source ~target ~mappings:tgds i )
+  with
+  | Ok rep, Chase.Saturated out ->
+      Alcotest.(check int) "two employees (ada merged, bob kept)" 2
+        (Instance.cardinality rep.Engine.r_target "employee");
+      Alcotest.(check bool) "engine ≡hom chase" true
+        (hom_equiv rep.Engine.r_target out)
+  | Error m, _ -> Alcotest.fail ("engine failed: " ^ m)
+  | _ -> Alcotest.fail "chase should saturate"
+
+let domain_tests =
+  List.concat_map
+    (fun (scen : Scenario.t) ->
+      [
+        Alcotest.test_case
+          (scen.Scenario.scen_name ^ " engine ≡hom chase")
+          `Quick
+          (check_domain ~laconic:false scen);
+        Alcotest.test_case
+          (scen.Scenario.scen_name ^ " laconic ≡hom chase")
+          `Quick
+          (check_domain ~laconic:true scen);
+      ])
+    (Datasets.all ())
+
+let suite =
+  let q = QCheck_alcotest.to_alcotest in
+  [
+    ( "exchange plan",
+      [
+        Alcotest.test_case "plan shape" `Quick test_plan_shape;
+        Alcotest.test_case "join order" `Quick test_plan_join_order;
+        Alcotest.test_case "bad arity" `Quick test_plan_rejects_bad_arity;
+      ] );
+    ( "exchange engine",
+      [
+        Alcotest.test_case "simple run" `Quick test_engine_simple;
+        Alcotest.test_case "key conflict" `Quick test_engine_key_conflict;
+        Alcotest.test_case "egd merges null" `Quick test_engine_egd_merges_null;
+        Alcotest.test_case "stats" `Quick test_engine_stats;
+        Alcotest.test_case "skolem merge" `Quick test_skolem_merge;
+        Alcotest.test_case "outer variants" `Quick test_outer_variants;
+        q prop_satisfies;
+        q prop_chase_equiv;
+      ] );
+    ( "exchange laconic",
+      [
+        Alcotest.test_case "prepare dedups" `Quick test_laconic_prepare_dedups;
+        Alcotest.test_case "prepare minimizes" `Quick
+          test_laconic_prepare_minimizes;
+        Alcotest.test_case "sweep" `Quick test_laconic_sweep;
+        Alcotest.test_case "near-core" `Quick test_laconic_near_core;
+        q prop_laconic_embeds;
+      ] );
+    ("exchange domains", domain_tests);
+  ]
