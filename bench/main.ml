@@ -125,6 +125,33 @@ let core_fixture =
 
 let core_run () = ignore (Smg_verify.Icore.core (Lazy.force core_fixture))
 
+(* budget-check overhead: the same Mondial semantic discovery with and
+   without a (never-exhausted) budget threaded through the Steiner DP
+   and path search. The guarded run exercises every fuel check but
+   never degrades, so the delta is pure bookkeeping cost. *)
+let robust_fixture =
+  lazy
+    (List.find
+       (fun s -> s.Smg_eval.Scenario.scen_name = "Mondial")
+       (Lazy.force scenarios))
+
+let robust_unguarded_run () =
+  let scen = Lazy.force robust_fixture in
+  List.iter
+    (fun case ->
+      ignore
+        (Smg_eval.Experiments.run_method Smg_eval.Experiments.Semantic scen
+           case))
+    scen.Smg_eval.Scenario.cases
+
+let robust_guarded_run () =
+  let scen = Lazy.force robust_fixture in
+  List.iter
+    (fun case ->
+      let budget = Smg_robust.Budget.create ~fuel:max_int () in
+      ignore (Smg_eval.Experiments.run_semantic_bounded ~budget scen case))
+    scen.Smg_eval.Scenario.cases
+
 let ablation_run (v : Smg_eval.Ablation.variant) () =
   List.iter
     (fun (scen : Smg_eval.Scenario.t) ->
@@ -191,8 +218,16 @@ let tests () =
         Test.make ~name:"mondial-core" (Staged.stage core_run);
       ]
   in
+  let robust =
+    Test.make_grouped ~name:"robust"
+      [
+        Test.make ~name:"mondial-unguarded"
+          (Staged.stage robust_unguarded_run);
+        Test.make ~name:"mondial-guarded" (Staged.stage robust_guarded_run);
+      ]
+  in
   Test.make_grouped ~name:"smg"
-    [ sem; ric; exchange; exchange_engine; ablation; verify ]
+    [ sem; ric; exchange; exchange_engine; ablation; verify; robust ]
 
 let benchmark () =
   let ols =
@@ -272,6 +307,51 @@ let bench_json results =
   Smg_exchange.Obs.write_bench_json ~path:"BENCH_exchange.json" rows;
   Fmt.pr "@.wrote BENCH_exchange.json (%d rows)@." (List.length rows)
 
+(* --json also records the budget-check overhead pair so the <2%
+   Steiner-DP fuel-check claim in DESIGN.md stays measurable. [size] is
+   the number of Mondial benchmark cases per run; the throughput field
+   is cases per second. *)
+let robust_json results =
+  let contains hay needle =
+    let lh = String.length hay and ln = String.length needle in
+    let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+    go 0
+  in
+  let estimate needle =
+    List.find_map
+      (fun (name, ols) ->
+        if contains name "robust" && contains name needle then
+          match Bechamel.Analyze.OLS.estimates ols with
+          | Some [ est ] -> Some est
+          | Some _ | None -> None
+        else None)
+      results
+  in
+  let cases =
+    List.length (Lazy.force robust_fixture).Smg_eval.Scenario.cases
+  in
+  let row name est =
+    {
+      Smg_exchange.Obs.br_name = name;
+      br_size = cases;
+      br_ns_per_run = est;
+      br_tuples_per_s = float_of_int cases /. (est /. 1e9);
+    }
+  in
+  match (estimate "mondial-unguarded", estimate "mondial-guarded") with
+  | Some plain, Some guarded ->
+      let rows =
+        [
+          row "bench-discover-unguarded/mondial" plain;
+          row "bench-discover-guarded/mondial" guarded;
+        ]
+      in
+      Smg_exchange.Obs.write_bench_json ~path:"BENCH_robust.json" rows;
+      Fmt.pr "wrote BENCH_robust.json (%d rows); budget overhead %+.2f%%@."
+        (List.length rows)
+        ((guarded -. plain) /. plain *. 100.)
+  | _ -> Fmt.pr "robust bench estimates missing; BENCH_robust.json skipped@."
+
 let () =
   let json = Array.exists (fun a -> a = "--json") Sys.argv in
   (* quality series: Figures 6 and 7, plus the Table 1 characteristics *)
@@ -288,4 +368,6 @@ let () =
       | Some [ est ] -> Fmt.pr "  %-28s %12.0f ns/run@." name est
       | Some _ | None -> Fmt.pr "  %-28s (no estimate)@." name)
     timed;
-  if json then bench_json timed
+  if json then (
+    bench_json timed;
+    robust_json timed)

@@ -17,9 +17,28 @@ module Schema = Smg_relational.Schema
 module Mapping = Smg_cq.Mapping
 module Discover = Smg_core.Discover
 module Mapverify = Smg_verify.Mapverify
+module Budget = Smg_robust.Budget
+module Diag = Smg_robust.Diag
+
+(* Exit codes: 0 success (possibly with degraded/approximate results),
+   1 no result, 2 bad input (parse/validation), 3 budget exhausted with
+   only partial results (or, under --strict, any degradation). *)
+
+let parse_scenario file =
+  match Smg_dsl.Parser.parse_file file with
+  | doc -> doc
+  | exception Smg_dsl.Parser.Error (msg, line, col) ->
+      Fmt.epr "%s:%d:%d: %s@." file line col msg;
+      exit 2
+  | exception Sys_error msg ->
+      Fmt.epr "error: %s@." msg;
+      exit 2
+  | exception Invalid_argument msg ->
+      Fmt.epr "%s: %s@." file msg;
+      exit 2
 
 let load file =
-  let doc = Smg_dsl.Parser.parse_file file in
+  let doc = parse_scenario file in
   match (doc.Ast.doc_schemas, doc.Ast.doc_cms) with
   | [ src_schema; tgt_schema ], [ src_cm; tgt_cm ] ->
       (* A table name may occur in both schemas (e.g. [country] on both
@@ -47,14 +66,14 @@ let load file =
             | None, [] -> None)
           schema.Schema.tables
       in
-      let source =
-        Discover.side ~schema:src_schema ~cm:src_cm
-          (strees_for src_schema src_cm)
+      let mk label schema cm =
+        try Discover.side ~schema ~cm (strees_for schema cm)
+        with Invalid_argument msg | Failure msg ->
+          Fmt.epr "%s: %s side: %s@." file label msg;
+          exit 2
       in
-      let target =
-        Discover.side ~schema:tgt_schema ~cm:tgt_cm
-          (strees_for tgt_schema tgt_cm)
-      in
+      let source = mk "source" src_schema src_cm in
+      let target = mk "target" tgt_schema tgt_cm in
       (doc, source, target)
   | _ ->
       Fmt.epr "error: a scenario needs exactly two schemas and two CMs@.";
@@ -68,7 +87,12 @@ let label_by_rank ms =
       Mapping.rename (Printf.sprintf "%s#%d" m.Mapping.m_name (i + 1)) m)
     ms
 
-let run_discover file meth verbose sql dedup =
+let make_budget budget_ms fuel =
+  match (budget_ms, fuel) with
+  | None, None -> None
+  | deadline_ms, fuel -> Some (Budget.create ?deadline_ms ?fuel ())
+
+let run_discover file meth verbose sql dedup budget_ms fuel strict diagnostics =
   if verbose then begin
     Logs.set_reporter (Logs_fmt.reporter ());
     Logs.set_level (Some Logs.Debug)
@@ -110,17 +134,40 @@ let run_discover file meth verbose sql dedup =
         end)
       ms
   in
+  let code = ref 0 in
+  let bump c = if c > !code then code := c in
   (match meth with
   | Semantic | Both ->
-      print_all "semantic"
-        (Discover.discover ~source ~target ~corrs ())
+      let pre = Discover.lint ~source ~target ~corrs in
+      let budget = make_budget budget_ms fuel in
+      let o = Discover.discover_bounded ?budget ~source ~target ~corrs () in
+      let diags = pre @ o.Discover.o_diags in
+      if diagnostics && diags <> [] then
+        Fmt.pr "== diagnostics ==@.%a@.%s@.@." Diag.pp_list diags
+          (Diag.summary diags);
+      let n_approx =
+        List.length (List.filter Mapping.is_approximate o.Discover.o_mappings)
+      in
+      if n_approx > 0 then
+        Fmt.pr
+          "note: %d of %d candidate(s) are approximate (budget-degraded \
+           search)@."
+          n_approx
+          (List.length o.Discover.o_mappings);
+      print_all "semantic" o.Discover.o_mappings;
+      if o.Discover.o_mappings = [] then bump 1;
+      if strict then begin
+        if not o.Discover.o_exact then bump 3;
+        if Diag.has_errors diags then bump 2
+      end
   | Ric -> ());
-  match meth with
+  (match meth with
   | Ric | Both ->
       print_all "RIC-based (Clio-style)"
         (Smg_ric.Baseline.generate ~source:source.Discover.schema
            ~target:target.Discover.schema ~corrs)
-  | Semantic -> ()
+  | Semantic -> ());
+  if !code <> 0 then exit !code
 
 (* verify: pairwise logical comparison of the candidates both methods
    produce, then a dedup report over the combined ranked list (semantic
@@ -331,7 +378,8 @@ let pp_cardinalities ppf inst =
             (List.length r.Smg_relational.Instance.tuples))
     (Smg_relational.Instance.names inst)
 
-let run_exchange file scenario size seed engine no_laconic core print_data =
+let run_exchange file scenario size seed engine no_laconic core print_data
+    budget_ms fuel =
   (* a FILE's data blocks are small: print them in full by default *)
   let print_data = print_data || scenario = None in
   let source, target, mappings, src_inst =
@@ -342,17 +390,25 @@ let run_exchange file scenario size seed engine no_laconic core print_data =
         Fmt.epr "error: provide a scenario FILE or --scenario NAME@.";
         exit 2
   in
+  let partial = ref false in
   let out =
     match engine with
     | `Fast -> (
         match
-          Smg_exchange.Engine.run ~laconic:(not no_laconic) ~source ~target
-            ~mappings src_inst
+          Smg_exchange.Engine.run_bounded
+            ?budget:(make_budget budget_ms fuel)
+            ~laconic:(not no_laconic) ~source ~target ~mappings src_inst
         with
-        | Error msg ->
+        | Smg_exchange.Engine.Failed msg ->
             Fmt.epr "error: exchange failed: %s@." msg;
             exit 1
-        | Ok rep ->
+        | Smg_exchange.Engine.Budget_exhausted (reason, rep) ->
+            partial := true;
+            Fmt.pr "warning: %a budget exhausted; target is a partial prefix@."
+              Budget.pp_reason reason;
+            Fmt.pr "%a@.@." Smg_exchange.Engine.pp_report rep;
+            rep.Smg_exchange.Engine.r_target
+        | Smg_exchange.Engine.Complete rep ->
             Fmt.pr "%a@.@." Smg_exchange.Engine.pp_report rep;
             rep.Smg_exchange.Engine.r_target)
     | `Chase -> (
@@ -388,7 +444,8 @@ let run_exchange file scenario size seed engine no_laconic core print_data =
   else begin
     Fmt.pr "Target cardinalities:@.";
     Fmt.pr "%a" pp_cardinalities out
-  end
+  end;
+  if !partial then exit 3
 
 let run_ddl file =
   let doc, source, target = load file in
@@ -496,13 +553,50 @@ let data_arg =
           "Print the full target instance (default in FILE mode; --scenario \
            mode prints cardinalities only)")
 
+let budget_ms_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "budget-ms" ] ~docv:"MS"
+        ~doc:
+          "Wall-clock deadline in milliseconds; when it passes, exact \
+           searches degrade to approximate fallbacks (discover) or the run \
+           stops with a partial result (exchange, exit 3)")
+
+let fuel_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "fuel" ] ~docv:"N"
+        ~doc:
+          "Deterministic work budget: N units of search/execution work \
+           (Steiner DP rows, enumerated paths, scanned tuples, minted \
+           nulls); same degradation behaviour as --budget-ms, but \
+           reproducible")
+
+let strict_arg =
+  Arg.(
+    value & flag
+    & info [ "strict" ]
+        ~doc:
+          "Exit non-zero on any degradation: 2 when diagnostics contain \
+           errors, 3 when the budget forced approximate results")
+
+let diagnostics_arg =
+  Arg.(
+    value & flag
+    & info [ "diagnostics" ]
+        ~doc:
+          "Print the structured diagnostics of the validation and discovery \
+           stages (severity, stage, subject, location) plus a summary")
+
 let () =
   let discover_cmd =
     Cmd.v
       (Cmd.info "discover" ~doc:"Discover mapping candidates for a scenario")
       Term.(
         const run_discover $ file_arg $ meth_arg $ verbose_arg $ sql_arg
-        $ dedup_arg)
+        $ dedup_arg $ budget_ms_arg $ fuel_arg $ strict_arg $ diagnostics_arg)
   in
   let verify_cmd =
     Cmd.v
@@ -531,7 +625,8 @@ let () =
             domain (--scenario NAME --size N)")
       Term.(
         const run_exchange $ opt_file_arg $ scenario_arg $ size_arg $ seed_arg
-        $ engine_arg $ no_laconic_arg $ core_arg $ data_arg)
+        $ engine_arg $ no_laconic_arg $ core_arg $ data_arg $ budget_ms_arg
+        $ fuel_arg)
   in
   let ddl_cmd =
     Cmd.v

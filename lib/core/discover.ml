@@ -11,6 +11,8 @@ module Rewrite = Smg_semantics.Rewrite
 module Atom = Smg_cq.Atom
 module Query = Smg_cq.Query
 module Mapping = Smg_cq.Mapping
+module Budget = Smg_robust.Budget
+module Diag = Smg_robust.Diag
 
 let log = Logs.Src.create "smg.discover" ~doc:"semantic mapping discovery"
 
@@ -74,22 +76,40 @@ type lifted = {
   l_tattr : string;
 }
 
+(* Lift one correspondence to marked class nodes; the failure (unknown
+   table, unmapped column) becomes data so callers choose between
+   raising (legacy [lift]) and per-correspondence isolation. *)
+let lift1 source target (c : Mapping.corr) =
+  let s_table, s_col = c.Mapping.c_src in
+  let t_table, t_col = c.Mapping.c_tgt in
+  let find sd table col =
+    match
+      List.find_opt
+        (fun st -> String.equal st.Stree.st_table table)
+        sd.strees
+    with
+    | None -> Error (Printf.sprintf "correspondence: no s-tree for table %s" table)
+    | Some st -> (
+        match Stree.node_of_column st col with
+        | Some (n, a) -> (
+            match Stree.graph_node sd.cmg n with
+            | gn -> Ok (gn, a)
+            | exception Invalid_argument m | exception Failure m -> Error m)
+        | None ->
+            Error
+              (Printf.sprintf "correspondence: column %s.%s unmapped" table col))
+  in
+  match (find source s_table s_col, find target t_table t_col) with
+  | Ok (l_snode, l_sattr), Ok (l_tnode, l_tattr) ->
+      Ok { l_corr = c; l_snode; l_sattr; l_tnode; l_tattr }
+  | Error m, _ | _, Error m -> Error m
+
 let lift source target corrs =
   List.map
-    (fun (c : Mapping.corr) ->
-      let s_table, s_col = c.Mapping.c_src in
-      let t_table, t_col = c.Mapping.c_tgt in
-      let find sd table col =
-        let st = stree_of sd table in
-        match Stree.node_of_column st col with
-        | Some (n, a) -> (Stree.graph_node sd.cmg n, a)
-        | None ->
-            invalid_arg
-              (Printf.sprintf "correspondence: column %s.%s unmapped" table col)
-      in
-      let l_snode, l_sattr = find source s_table s_col in
-      let l_tnode, l_tattr = find target t_table t_col in
-      { l_corr = c; l_snode; l_sattr; l_tnode; l_tattr })
+    (fun c ->
+      match lift1 source target c with
+      | Ok l -> l
+      | Error msg -> invalid_arg msg)
     corrs
 
 let uniq xs = List.sort_uniq compare xs
@@ -221,22 +241,27 @@ type cand = {
   c_cost : float;
   c_anchor : int option;
   c_how : string;  (* which search found it, for provenance *)
+  c_approx : bool;
+      (* produced after a budget exhausted: the search degraded to an
+         approximation (shortest-path tree / truncated enumeration) *)
 }
 
-let cand_of_tree cmg (t : Steiner.tree) =
+let cand_of_tree ?(approx = false) cmg (t : Steiner.tree) =
   {
     c_nodes = Steiner.tree_nodes (Cm_graph.graph cmg) t;
     c_edges = t.Steiner.edge_ids;
     c_cost = t.Steiner.cost;
     c_anchor = Some t.Steiner.root;
     c_how = "";
+    c_approx = approx;
   }
 
 (* The Steiner solver reconstructs one optimal tree per root, but ties
    matter (Example 1.3: chairOf and deanOf are both minimal). Enumerate
    same-cost variants as unions of tied cheapest root→terminal paths and
    keep every union whose cost ties the solver's optimum. *)
-let tree_variants cmg ~cost ~terminals (t : Steiner.tree) =
+let tree_variants ?budget ?(approx = false) cmg ~cost ~terminals
+    (t : Steiner.tree) =
   let graph = Cm_graph.graph cmg in
   let edge_cost id =
     Option.value ~default:infinity (cost (Digraph.edge graph id))
@@ -247,13 +272,14 @@ let tree_variants cmg ~cost ~terminals (t : Steiner.tree) =
   let per_terminal =
     List.map
       (fun term ->
-        Paths.best_paths graph ~src:t.Steiner.root ~dst:term ~max_len:6
+        Paths.best_paths ?budget graph ~src:t.Steiner.root ~dst:term ~max_len:6
           ~ok:(fun e -> cost e <> None)
           ~score:path_cost
         |> fun ps -> List.filteri (fun i _ -> i < 4) ps)
       terminals
   in
-  if List.exists (fun ps -> ps = []) per_terminal then [ cand_of_tree cmg t ]
+  if List.exists (fun ps -> ps = []) per_terminal then
+    [ cand_of_tree ~approx cmg t ]
   else begin
     let unions =
       List.fold_left
@@ -282,10 +308,11 @@ let tree_variants cmg ~cost ~terminals (t : Steiner.tree) =
             c_cost = union_cost es;
             c_anchor = Some t.Steiner.root;
             c_how = "";
+            c_approx = approx;
           })
         tied
     in
-    let all = cand_of_tree cmg t :: variants in
+    let all = cand_of_tree ~approx cmg t :: variants in
     (* dedupe by edge set *)
     List.fold_left
       (fun acc c ->
@@ -319,11 +346,63 @@ let rec subsets k = function
   | x :: rest ->
       List.map (fun s -> x :: s) (subsets (k - 1) rest) @ subsets k rest
 
-(* ---- the algorithm ----------------------------------------------------- *)
+(* ---- the algorithm: a stage pipeline ----------------------------------- *)
 
-let discover ?(options = default_options) ?(dedup = false) ~source ~target
-    ~corrs () =
-  let lifted = lift source target corrs in
+type outcome = {
+  o_mappings : Mapping.t list;
+  o_diags : Diag.t list;
+  o_exact : bool;
+}
+
+(* Run context threaded through every stage: the shared resource budget,
+   the diagnostic sink, and whether any search degraded. With
+   [x_collect = None] (the legacy {!discover} entry point) faults
+   propagate as exceptions, exactly as before; with a collector, each
+   correspondence and each target CSG is a fault-isolation domain whose
+   failure yields a diagnostic and partial results instead of aborting
+   the run. *)
+type ctx = {
+  x_budget : Budget.t;
+  x_collect : Diag.collector option;
+  mutable x_degraded : bool;
+}
+
+(* Per-subject containment: in collecting mode any exception a stage
+   throws — bad s-tree, rewriting failure, stray [Invalid_argument] —
+   becomes an [Error] diagnostic and the stage contributes nothing. *)
+let isolate ctx ~subject ~empty f =
+  match ctx.x_collect with
+  | None -> f ()
+  | Some c -> (
+      try f ()
+      with exn ->
+        Diag.add c (Diag.of_exn ~subject Diag.Discover exn);
+        empty)
+
+let approx_note =
+  "budget exhausted during tree search; candidate comes from the \
+   shortest-path / truncated-enumeration fallback"
+
+(* Stage 1: lift correspondences to marked CM-graph nodes. In collecting
+   mode an unliftable correspondence is skipped with a diagnostic. *)
+let stage_lift ctx source target corrs =
+  match ctx.x_collect with
+  | None -> lift source target corrs
+  | Some c ->
+      List.filter_map
+        (fun corr ->
+          match lift1 source target corr with
+          | Ok l -> Some l
+          | Error msg ->
+              Diag.add c
+                (Diag.errorf
+                   ~subject:(Fmt.str "%a" Mapping.pp_corr corr)
+                   Diag.Discover "%s (correspondence skipped)" msg);
+              None)
+        corrs
+
+let discover_core ctx ~options ~dedup ~source ~target ~corrs =
+  let lifted = stage_lift ctx source target corrs in
   if lifted = [] then []
   else begin
     let marked_t = uniq (List.map (fun l -> l.l_tnode) lifted) in
@@ -344,25 +423,28 @@ let discover ?(options = default_options) ?(dedup = false) ~source ~target
     let tgt_graph = Cm_graph.graph target.cmg in
     let src_graph = Cm_graph.graph source.cmg in
 
-    (* -- target CSGs -- *)
+    (* -- stage 2: target CSGs (per-table fault isolation) -- *)
     let case_a =
       List.filter_map
         (fun tbl ->
-          let st = stree_of target tbl in
-          let st_nodes =
-            uniq (List.map (Stree.graph_node target.cmg) st.Stree.st_nodes)
-          in
-          if List.for_all (fun m -> List.mem m st_nodes) marked_t then
-            Some
-              {
-                c_nodes = st_nodes;
-                c_edges = Stree.forward_graph_edges target.cmg st;
-                c_cost = 0.;
-                c_anchor =
-                  Option.map (Stree.graph_node target.cmg) st.Stree.st_anchor;
-                c_how = Printf.sprintf "Case A: target CSG is the s-tree of %s" tbl;
-              }
-          else None)
+          isolate ctx ~subject:("table " ^ tbl) ~empty:None (fun () ->
+              let st = stree_of target tbl in
+              let st_nodes =
+                uniq (List.map (Stree.graph_node target.cmg) st.Stree.st_nodes)
+              in
+              if List.for_all (fun m -> List.mem m st_nodes) marked_t then
+                Some
+                  {
+                    c_nodes = st_nodes;
+                    c_edges = Stree.forward_graph_edges target.cmg st;
+                    c_cost = 0.;
+                    c_anchor =
+                      Option.map (Stree.graph_node target.cmg) st.Stree.st_anchor;
+                    c_how =
+                      Printf.sprintf "Case A: target CSG is the s-tree of %s" tbl;
+                    c_approx = false;
+                  }
+              else None))
         corr_tables_t
     in
     let tgt_csgs =
@@ -372,10 +454,14 @@ let discover ?(options = default_options) ?(dedup = false) ~source ~target
           Cm_graph.steiner_cost target.cmg ~lossy:options.allow_lossy
             ~pre_selected:pre_t ()
         in
-        Steiner.minimal_trees tgt_graph ~cost
-          ~roots:(class_like_nodes target.cmg)
-          ~terminals:marked_t
-        |> List.map (cand_of_tree target.cmg)
+        let sol =
+          Steiner.minimal_trees_bounded ~budget:ctx.x_budget tgt_graph ~cost
+            ~roots:(class_like_nodes target.cmg)
+            ~terminals:marked_t
+        in
+        if not sol.Steiner.exact then ctx.x_degraded <- true;
+        sol.Steiner.trees
+        |> List.map (cand_of_tree ~approx:(not sol.Steiner.exact) target.cmg)
         |> List.map (fun c ->
                { c with c_how = "Case B: target CSG is a minimal functional tree" })
     in
@@ -398,8 +484,15 @@ let discover ?(options = default_options) ?(dedup = false) ~source ~target
             let cost =
               Cm_graph.steiner_cost source.cmg ~lossy ~pre_selected:pre_s ()
             in
-            Steiner.minimal_trees src_graph ~cost ~roots ~terminals
-            |> List.concat_map (tree_variants source.cmg ~cost ~terminals)
+            let sol =
+              Steiner.minimal_trees_bounded ~budget:ctx.x_budget src_graph
+                ~cost ~roots ~terminals
+            in
+            if not sol.Steiner.exact then ctx.x_degraded <- true;
+            sol.Steiner.trees
+            |> List.concat_map
+                 (tree_variants ~budget:ctx.x_budget
+                    ~approx:(not sol.Steiner.exact) source.cmg ~cost ~terminals)
         in
         (* Source nodes corresponding to the target root (Case A.1). *)
         let a1_roots =
@@ -451,8 +544,18 @@ let discover ?(options = default_options) ?(dedup = false) ~source ~target
                             ((1000 * Cm_graph.reversals source.cmg p.Paths.edge_ids)
                             + List.length p.Paths.edge_ids)
                         in
-                        Paths.best_paths src_graph ~src:a ~dst:b
-                          ~max_len:options.max_path_len ~ok ~score
+                        let before = Budget.exhausted ctx.x_budget = None in
+                        let ps =
+                          Paths.best_paths ~budget:ctx.x_budget src_graph
+                            ~src:a ~dst:b ~max_len:options.max_path_len ~ok
+                            ~score
+                        in
+                        let truncated =
+                          before && Budget.exhausted ctx.x_budget <> None
+                        in
+                        if truncated || not before then
+                          ctx.x_degraded <- true;
+                        ps
                         |> List.map (fun (p : _ Paths.path) ->
                                {
                                  c_nodes = uniq p.Paths.nodes;
@@ -471,6 +574,8 @@ let discover ?(options = default_options) ?(dedup = false) ~source ~target
                                       connection"
                                      (Cm_graph.reversals source.cmg
                                         p.Paths.edge_ids);
+                                 c_approx =
+                                   Budget.exhausted ctx.x_budget <> None;
                                })
                     | Some _ | None -> [])
                 | _, _ -> [])
@@ -490,9 +595,10 @@ let discover ?(options = default_options) ?(dedup = false) ~source ~target
           if full <> [] then List.map (fun d1 -> (d1, relevant)) full
           else if options.include_partial && List.length terminals_full > 1
           then begin
-            (* shrink the terminal set until something connects *)
+            (* shrink the terminal set until something connects; once the
+               budget is spent, stop generating ever-smaller subsets *)
             let rec shrink k =
-              if k = 0 then []
+              if k = 0 || not (Budget.ok ctx.x_budget) then []
               else
                 let results =
                   List.concat_map
@@ -720,14 +826,19 @@ let discover ?(options = default_options) ?(dedup = false) ~source ~target
                             ]
                           else []
                         in
-                        Mapping.make ~name:"semantic" ~outer ~provenance
-                          ~score:
-                            (!penalty
-                            +. (0.01 *. float_of_int size)
-                            +. (10. *. float_of_int uncovered))
-                          ~src_query:srw.rw_query ~tgt_query:trw.rw_query
-                          ~covered:(List.map (fun l -> l.l_corr) covered)
-                          ())
+                        let m =
+                          Mapping.make ~name:"semantic" ~outer ~provenance
+                            ~score:
+                              (!penalty
+                              +. (0.01 *. float_of_int size)
+                              +. (10. *. float_of_int uncovered))
+                            ~src_query:srw.rw_query ~tgt_query:trw.rw_query
+                            ~covered:(List.map (fun l -> l.l_corr) covered)
+                            ()
+                        in
+                        if d1.c_approx || d2.c_approx then
+                          Mapping.mark_approximate approx_note m
+                        else m)
                       tgt_rws)
                   src_rws
               end
@@ -735,7 +846,13 @@ let discover ?(options = default_options) ?(dedup = false) ~source ~target
           with_coverage
       end
     in
-    let all = List.concat_map process_tgt tgt_csgs in
+    let all =
+      List.concat_map
+        (fun d2 ->
+          isolate ctx ~subject:("target CSG [" ^ d2.c_how ^ "]") ~empty:[]
+            (fun () -> process_tgt d2))
+        tgt_csgs
+    in
     let deduped =
       List.fold_left
         (fun acc m ->
@@ -752,23 +869,126 @@ let discover ?(options = default_options) ?(dedup = false) ~source ~target
     in
     let ranked = List.filteri (fun i _ -> i < options.max_candidates) sorted in
     if not dedup then ranked
-    else begin
+    else
       (* Verification pass: collapse logically equivalent candidates and
          annotate subsumed ones (lib/verify). Label by rank first so the
-         dedup provenance can refer to candidates unambiguously. *)
-      let labelled =
-        List.mapi
-          (fun i m ->
-            Mapping.rename
-              (Printf.sprintf "%s#%d" m.Mapping.m_name (i + 1))
-              m)
-          ranked
-      in
-      let report =
-        Smg_verify.Mapverify.dedup ~source:source.schema ~target:target.schema
-          labelled
-      in
-      Log.debug (fun m -> m "%s" (Smg_verify.Mapverify.summary report));
-      report.Smg_verify.Mapverify.rp_kept
-    end
+         dedup provenance can refer to candidates unambiguously. In
+         collecting mode a verifier fault degrades to the ranked list. *)
+      isolate ctx ~subject:"dedup" ~empty:ranked (fun () ->
+          let labelled =
+            List.mapi
+              (fun i m ->
+                Mapping.rename
+                  (Printf.sprintf "%s#%d" m.Mapping.m_name (i + 1))
+                  m)
+              ranked
+          in
+          let report =
+            Smg_verify.Mapverify.dedup ~source:source.schema
+              ~target:target.schema labelled
+          in
+          Log.debug (fun m -> m "%s" (Smg_verify.Mapverify.summary report));
+          report.Smg_verify.Mapverify.rp_kept)
   end
+
+(* ---- public entry points ----------------------------------------------- *)
+
+let discover ?(options = default_options) ?(dedup = false) ~source ~target
+    ~corrs () =
+  let ctx =
+    { x_budget = Budget.unlimited (); x_collect = None; x_degraded = false }
+  in
+  discover_core ctx ~options ~dedup ~source ~target ~corrs
+
+let discover_bounded ?(options = default_options) ?(dedup = false) ?budget
+    ~source ~target ~corrs () =
+  let budget = match budget with Some b -> b | None -> Budget.unlimited () in
+  let collector = Diag.collector () in
+  let ctx = { x_budget = budget; x_collect = Some collector; x_degraded = false }
+  in
+  let mappings =
+    (* last-resort containment: a fault outside any per-subject isolation
+       domain still yields a diagnosed, empty outcome rather than an
+       escaped exception *)
+    try discover_core ctx ~options ~dedup ~source ~target ~corrs
+    with exn ->
+      Diag.add collector (Diag.of_exn Diag.Discover exn);
+      []
+  in
+  let n_approx = List.length (List.filter Mapping.is_approximate mappings) in
+  (match Budget.exhausted budget with
+  | Some reason when ctx.x_degraded ->
+      Diag.add collector
+        (Diag.degraded Diag.Discover reason
+           (Fmt.str
+              "tree search fell back to approximate candidates (%d of %d \
+               candidate(s) flagged approximate)"
+              n_approx (List.length mappings)))
+  | Some reason ->
+      Diag.add collector
+        (Diag.warnf Diag.Discover
+           "%s budget exhausted near the end of the search; results are \
+            complete for the explored space"
+           (Fmt.str "%a" Budget.pp_reason reason))
+  | None -> ());
+  {
+    o_mappings = mappings;
+    o_diags = Diag.diags collector;
+    o_exact = (not ctx.x_degraded) && Budget.exhausted budget = None;
+  }
+
+(* ---- upfront validation ------------------------------------------------ *)
+
+let lint ~source ~target ~corrs =
+  let ds = ref [] in
+  let push d = ds := d :: !ds in
+  let side_lint label (s : side) =
+    List.iter
+      (fun (st : Stree.t) ->
+        let tbl = st.Stree.st_table in
+        match Schema.find_table s.schema tbl with
+        | None ->
+            push
+              (Diag.errorf
+                 ~subject:(label ^ " semantics " ^ tbl)
+                 Diag.Validate
+                 "s-tree refers to a table absent from the %s schema" label)
+        | Some t -> (
+            match Stree.validate_result s.cmg t st with
+            | Ok () -> ()
+            | Error msg ->
+                push
+                  (Diag.errorf
+                     ~subject:(label ^ " table " ^ tbl)
+                     Diag.Validate "%s" msg)))
+      s.strees;
+    List.iter
+      (fun (t : Schema.table) ->
+        if
+          not
+            (List.exists
+               (fun (st : Stree.t) ->
+                 String.equal st.Stree.st_table t.Schema.tbl_name)
+               s.strees)
+        then
+          push
+            (Diag.warnf
+               ~subject:(label ^ " table " ^ t.Schema.tbl_name)
+               Diag.Validate
+               "table has no semantics block; correspondences on it cannot \
+                be lifted"))
+      s.schema.Schema.tables
+  in
+  side_lint "source" source;
+  side_lint "target" target;
+  List.iter
+    (fun c ->
+      match lift1 source target c with
+      | Ok _ -> ()
+      | Error msg ->
+          push
+            (Diag.errorf
+               ~subject:(Fmt.str "%a" Mapping.pp_corr c)
+               Diag.Validate "%s" msg))
+    corrs;
+  List.rev !ds

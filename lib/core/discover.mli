@@ -64,4 +64,48 @@ val discover :
     collapses logically equivalent candidates — keeping the best-ranked
     representative of each class, renamed ["semantic#rank"] and
     annotated via provenance — and marks candidates strictly implied by
-    a better-ranked one as subsumed. *)
+    a better-ranked one as subsumed.
+
+    Legacy entry point: unbudgeted, and faults (bad s-tree, unliftable
+    correspondence) propagate as exceptions. Prefer {!discover_bounded}
+    for robust pipelines. *)
+
+type outcome = {
+  o_mappings : Smg_cq.Mapping.t list;
+      (** ranked candidates; degraded ones are flagged via
+          {!Smg_cq.Mapping.is_approximate} *)
+  o_diags : Smg_robust.Diag.t list;
+      (** per-stage diagnostics, in emission order *)
+  o_exact : bool;
+      (** [false] when any search exhausted the budget and fell back to
+          an approximation, or the run ended on an exhausted budget *)
+}
+
+val discover_bounded :
+  ?options:options ->
+  ?dedup:bool ->
+  ?budget:Smg_robust.Budget.t ->
+  source:side ->
+  target:side ->
+  corrs:Smg_cq.Mapping.corr list ->
+  unit ->
+  outcome
+(** Resource-bounded, never-raising {!discover}. The budget's fuel and
+    deadline are threaded through the Steiner DP, path enumeration, and
+    terminal-subset shrinking; when it runs out the exact searches
+    degrade to shortest-path-tree / truncated-enumeration fallbacks and
+    the affected candidates are marked approximate in their provenance.
+    Every correspondence and every target CSG is a fault-isolation
+    domain: an exception there becomes an [Error] diagnostic plus
+    partial results, never an escaped exception. *)
+
+val lint :
+  source:side ->
+  target:side ->
+  corrs:Smg_cq.Mapping.corr list ->
+  Smg_robust.Diag.t list
+(** Upfront validation pass, run without touching the search: every
+    s-tree is checked against its CM and table ([Validate] errors),
+    tables without semantics get a warning, and each correspondence is
+    test-lifted ([Validate] error when it cannot be). An empty result
+    means {!discover} will not trip over its inputs. *)

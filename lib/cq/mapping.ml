@@ -54,6 +54,27 @@ let make ?(name = "mapping") ?(outer = false) ?(score = 0.)
 
 let rename name m = { m with m_name = name }
 
+(* Degraded candidates (budget-exhausted searches answered by an
+   approximation) are flagged by a recognisable provenance prefix, so
+   the flag survives serialisation, renaming, and dedup. *)
+let approx_prefix = "approximate: "
+
+let mark_approximate why m =
+  if
+    List.exists
+      (fun p -> String.length p >= String.length approx_prefix
+                && String.sub p 0 (String.length approx_prefix) = approx_prefix)
+      m.provenance
+  then m
+  else { m with provenance = (approx_prefix ^ why) :: m.provenance }
+
+let is_approximate m =
+  List.exists
+    (fun p ->
+      String.length p >= String.length approx_prefix
+      && String.sub p 0 (String.length approx_prefix) = approx_prefix)
+    m.provenance
+
 let to_tgd m =
   (* Rename the target query apart, then identify its head variables with
      the source head terms. *)

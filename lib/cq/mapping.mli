@@ -47,6 +47,15 @@ val rename : string -> t -> t
 (** Replace [m_name] (e.g. to label candidates by method and rank before
     a verification or dedup pass). *)
 
+val mark_approximate : string -> t -> t
+(** Flag a candidate as derived under resource-budget degradation (an
+    exhausted search answered by an approximation): prepends an
+    ["approximate: <why>"] provenance line. Idempotent. *)
+
+val is_approximate : t -> bool
+(** Whether the candidate carries an ["approximate: …"] provenance
+    flag. *)
+
 val to_tgd : t -> Dependency.tgd
 (** The GLAV source-to-target tuple-generating dependency: source body
     implies target body, sharing the head variables; all other target

@@ -4,15 +4,12 @@ module Cardinality = Smg_cm.Cardinality
 module Stree = Smg_semantics.Stree
 module Mapping = Smg_cq.Mapping
 
-exception Error of string
+exception Error of string * int * int
 
 type state = { mutable toks : Lexer.located list }
 
 let fail (l : Lexer.located) fmt =
-  Printf.ksprintf
-    (fun msg ->
-      raise (Error (Printf.sprintf "line %d, col %d: %s" l.line l.col msg)))
-    fmt
+  Printf.ksprintf (fun msg -> raise (Error (msg, l.line, l.col))) fmt
 
 let peek st =
   match st.toks with [] -> assert false | l :: _ -> l
@@ -95,6 +92,7 @@ let cardinality st =
 (* node reference: IDENT with optional ~k already folded into the ident
    by the lexer's ident charset *)
 let noderef st =
+  let l = peek st in
   let s = ident st in
   match String.index_opt s '~' with
   | None -> Stree.nref s
@@ -102,7 +100,7 @@ let noderef st =
       let cls = String.sub s 0 i in
       let copy =
         try int_of_string (String.sub s (i + 1) (String.length s - i - 1))
-        with Failure _ -> raise (Error (Printf.sprintf "bad copy index in %s" s))
+        with Failure _ -> fail l "bad copy index in %s" s
       in
       Stree.nref ~copy cls
 
@@ -393,7 +391,13 @@ let parse_corr st =
 (* ---- document ----- *)
 
 let parse src =
-  let st = { toks = Lexer.tokenize src } in
+  (* tokenization is eager, so lift lexer errors into [Error] here — the
+     callers then have a single located exception to handle *)
+  let toks =
+    try Lexer.tokenize src
+    with Lexer.Error (msg, line, col) -> raise (Error (msg, line, col))
+  in
+  let st = { toks } in
   let doc = ref Ast.empty in
   let rec go () =
     let l = peek st in
@@ -424,8 +428,8 @@ let parse src =
         fail l "expected a top-level declaration, found %s"
           (Fmt.str "%a" Lexer.pp_token t)
   in
-  (try go () with Lexer.Error (msg, line, col) ->
-    raise (Error (Printf.sprintf "line %d, col %d: %s" line col msg)));
+  (try go ()
+   with Lexer.Error (msg, line, col) -> raise (Error (msg, line, col)));
   !doc
 
 let parse_file path =
@@ -434,3 +438,16 @@ let parse_file path =
   let src = really_input_string ic len in
   close_in ic;
   parse src
+
+(* Result-typed front door: every failure class a malformed scenario can
+   produce becomes a located Parse diagnostic. *)
+let parse_result ?file src =
+  let module Diag = Smg_robust.Diag in
+  match parse src with
+  | doc -> Ok doc
+  | exception Error (msg, line, col) ->
+      Error (Diag.v ~loc:(Diag.loc ?file ~line ~col ()) Diag.Error Diag.Parse msg)
+  | exception Lexer.Error (msg, line, col) ->
+      Error (Diag.v ~loc:(Diag.loc ?file ~line ~col ()) Diag.Error Diag.Parse msg)
+  | exception Invalid_argument msg ->
+      Error (Diag.v ?subject:file Diag.Error Diag.Parse msg)

@@ -30,11 +30,20 @@
     v}
     Node references use [~k] suffixes for copies, e.g. [Person~1]. *)
 
-exception Error of string
-(** Parse error with location information in the message. *)
+exception Error of string * int * int
+(** Parse error: message, line, column — same shape as
+    {!Lexer.Error}, so CLI layers can render [file:line:col: message]
+    uniformly. Lexer errors surface as [Error] too. *)
 
 val parse : string -> Ast.t
 (** @raise Error on malformed input; CM/schema validation errors from
     the underlying constructors propagate as [Invalid_argument]. *)
 
 val parse_file : string -> Ast.t
+(** @raise Error on malformed input.
+    @raise Sys_error when the file cannot be read. *)
+
+val parse_result : ?file:string -> string -> (Ast.t, Smg_robust.Diag.t) result
+(** {!parse} with every failure class — lexer, parser, and constructor
+    validation ([Invalid_argument]) — captured as a located [Parse]
+    diagnostic instead of an exception. *)

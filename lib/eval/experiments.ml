@@ -52,6 +52,22 @@ let run_method kind (scen : Scenario.t) (case : Scenario.case) =
       Baseline.generate ~source:scen.Scenario.source.Discover.schema
         ~target:scen.Scenario.target.Discover.schema ~corrs:case.Scenario.corrs
 
+let run_semantic_bounded ?budget (scen : Scenario.t) (case : Scenario.case) =
+  let o =
+    Discover.discover_bounded ~options:semantic_options ?budget
+      ~source:scen.Scenario.source ~target:scen.Scenario.target
+      ~corrs:case.Scenario.corrs ()
+  in
+  let kept =
+    match o.Discover.o_mappings with
+    | [] -> []
+    | best :: _ as all ->
+        List.filter
+          (fun m -> m.Mapping.score <= best.Mapping.score +. presentation_window)
+          all
+  in
+  { o with Discover.o_mappings = kept }
+
 let time f =
   let t0 = Unix.gettimeofday () in
   let r = f () in

@@ -35,6 +35,16 @@ val run_method :
     its ranked non-trivial candidates up to the score of the first
     benchmark-quality tier; the RIC method returns all candidates. *)
 
+val run_semantic_bounded :
+  ?budget:Smg_robust.Budget.t ->
+  Scenario.t ->
+  Scenario.case ->
+  Smg_core.Discover.outcome
+(** The semantic method under a resource budget: candidates are filtered
+    through the presentation window as in {!run_method}, diagnostics and
+    the exactness flag pass through from
+    {!Smg_core.Discover.discover_bounded}. *)
+
 val run_case : Scenario.t -> Scenario.case -> case_result list
 (** Both methods on one case. *)
 

@@ -3,6 +3,7 @@ module Schema = Smg_relational.Schema
 module Instance = Smg_relational.Instance
 module Index = Smg_relational.Index
 module Dependency = Smg_cq.Dependency
+module Budget = Smg_robust.Budget
 
 (* ---- mutable per-relation stores --------------------------------------- *)
 
@@ -168,11 +169,16 @@ let satisfied e (plan : Plan.t) env (stats : Obs.tstats) =
 
 (* ---- plan evaluation ---------------------------------------------------- *)
 
-let fire e (plan : Plan.t) env (stats : Obs.tstats) =
+let fire ?budget e (plan : Plan.t) env (stats : Obs.tstats) =
   stats.Obs.st_checks <- stats.Obs.st_checks + 1;
   if satisfied e plan env stats then
     stats.Obs.st_satisfied <- stats.Obs.st_satisfied + 1
   else begin
+    (* each minted null costs a fuel unit: a blown null budget stops the
+       run before the instance explodes *)
+    (match budget with
+    | Some b when plan.Plan.p_nnulls > 0 -> Budget.burn_exn b plan.Plan.p_nnulls
+    | Some _ | None -> ());
     let nulls = Array.init plan.Plan.p_nnulls (fun _ -> mint_null e) in
     stats.Obs.st_nulls <- stats.Obs.st_nulls + plan.Plan.p_nnulls;
     List.iter
@@ -197,10 +203,13 @@ let fire e (plan : Plan.t) env (stats : Obs.tstats) =
 (* [delta]: when [Some (i, tuples)], scan step [i] iterates only the
    given delta tuples — the semi-naive re-evaluation after an egd
    substitution changed some source tuples. *)
-let eval_plan e (plan : Plan.t) ?delta (stats : Obs.tstats) =
+let eval_plan ?budget e (plan : Plan.t) ?delta (stats : Obs.tstats) =
   let env = Array.make (max plan.Plan.p_nslots 1) (Value.VNull 0) in
   let scans = Array.of_list plan.Plan.p_scans in
   let nscans = Array.length scans in
+  let tick () =
+    match budget with Some b -> Budget.tick_exn b | None -> ()
+  in
   let binding_value b =
     match b with Plan.Slot s -> env.(s) | Plan.Const c -> c
   in
@@ -216,7 +225,7 @@ let eval_plan e (plan : Plan.t) ?delta (stats : Obs.tstats) =
     List.iter (fun (pos, s) -> env.(s) <- tup.(pos)) sc.Plan.sc_binds
   in
   let rec step i =
-    if i = nscans then fire e plan env stats
+    if i = nscans then fire ?budget e plan env stats
     else begin
       let sc = scans.(i) in
       let use_delta = match delta with Some (j, _) -> j = i | None -> false in
@@ -224,6 +233,7 @@ let eval_plan e (plan : Plan.t) ?delta (stats : Obs.tstats) =
         let tuples = match delta with Some (_, ts) -> ts | None -> [] in
         List.iter
           (fun tup ->
+            tick ();
             stats.Obs.st_scanned <- stats.Obs.st_scanned + 1;
             if matches sc tup then begin
               bind sc tup;
@@ -237,6 +247,7 @@ let eval_plan e (plan : Plan.t) ?delta (stats : Obs.tstats) =
         | [] ->
             List.iter
               (fun tup ->
+                tick ();
                 stats.Obs.st_scanned <- stats.Obs.st_scanned + 1;
                 if
                   List.for_all
@@ -258,6 +269,7 @@ let eval_plan e (plan : Plan.t) ?delta (stats : Obs.tstats) =
             else stats.Obs.st_hits <- stats.Obs.st_hits + 1;
             List.iter
               (fun tup ->
+                tick ();
                 if
                   List.for_all
                     (fun (pos, p0) -> Value.equal tup.(pos) tup.(p0))
@@ -424,7 +436,15 @@ let target_instance e =
           { Instance.header = st.s_header; tuples = List.rev st.s_tuples })
     e.e_tgt Instance.empty
 
-let run ?(max_rounds = 100) ?(laconic = false) ~source ~target ~mappings inst =
+type outcome =
+  | Complete of report
+  | Budget_exhausted of Budget.reason * report
+      (** the target built before the budget ran out — a sound but
+          possibly incomplete prefix of the universal solution *)
+  | Failed of string
+
+let run_core ?budget ?(max_rounds = 100) ?(laconic = false) ~source ~target
+    ~mappings inst =
   try
     let mappings = if laconic then Laconic.prepare mappings else mappings in
     let card name = Instance.cardinality inst name in
@@ -432,62 +452,70 @@ let run ?(max_rounds = 100) ?(laconic = false) ~source ~target ~mappings inst =
     let e = create ~source ~target inst in
     let stats = List.map (fun (p : Plan.t) -> (p.Plan.p_name, Obs.fresh_tstats ())) plans in
     let t0 = Unix.gettimeofday () in
-    List.iter2
-      (fun plan (_, st) ->
-        let (), dt = Obs.time (fun () -> eval_plan e plan st) in
-        st.Obs.st_seconds <- st.Obs.st_seconds +. dt)
-      plans stats;
-    clear_deltas e;
     let egd_merges = ref 0 in
     let rounds = ref 1 in
     let complete = ref true in
     let failed = ref None in
-    let continue_ = ref true in
-    while !continue_ && !failed = None do
-      match egd_pass e with
-      | EgdConflict msg -> failed := Some msg
-      | EgdSubst (_, 0) -> continue_ := false
-      | EgdSubst (subst, n) ->
-          egd_merges := !egd_merges + n;
-          apply_subst e subst;
-          incr rounds;
-          if !rounds > max_rounds then begin
-            complete := false;
-            continue_ := false
-          end
-          else begin
-            (* semi-naive: re-fire each plan only through scan steps
-               whose relation has changed tuples *)
-            let deltas = Hashtbl.create 8 in
-            Hashtbl.iter
-              (fun name st ->
-                if st.s_delta <> [] then Hashtbl.replace deltas name st.s_delta)
-              e.e_src;
-            clear_deltas e;
-            List.iter2
-              (fun (plan : Plan.t) (_, st) ->
-                let (), dt =
-                  Obs.time (fun () ->
-                      List.iteri
-                        (fun i (sc : Plan.scan) ->
-                          match Hashtbl.find_opt deltas sc.Plan.sc_pred with
-                          | Some ts -> eval_plan e plan ~delta:(i, ts) st
-                          | None -> ())
-                        plan.Plan.p_scans)
-                in
-                st.Obs.st_seconds <- st.Obs.st_seconds +. dt)
-              plans stats;
-            clear_deltas e
-          end
-    done;
+    let exhausted = ref None in
+    (try
+       List.iter2
+         (fun plan (_, st) ->
+           let (), dt = Obs.time (fun () -> eval_plan ?budget e plan st) in
+           st.Obs.st_seconds <- st.Obs.st_seconds +. dt)
+         plans stats;
+       clear_deltas e;
+       let continue_ = ref true in
+       while !continue_ && !failed = None do
+         match egd_pass e with
+         | EgdConflict msg -> failed := Some msg
+         | EgdSubst (_, 0) -> continue_ := false
+         | EgdSubst (subst, n) ->
+             egd_merges := !egd_merges + n;
+             apply_subst e subst;
+             incr rounds;
+             if !rounds > max_rounds then begin
+               complete := false;
+               continue_ := false
+             end
+             else begin
+               (* semi-naive: re-fire each plan only through scan steps
+                  whose relation has changed tuples *)
+               let deltas = Hashtbl.create 8 in
+               Hashtbl.iter
+                 (fun name st ->
+                   if st.s_delta <> [] then
+                     Hashtbl.replace deltas name st.s_delta)
+                 e.e_src;
+               clear_deltas e;
+               List.iter2
+                 (fun (plan : Plan.t) (_, st) ->
+                   let (), dt =
+                     Obs.time (fun () ->
+                         List.iteri
+                           (fun i (sc : Plan.scan) ->
+                             match Hashtbl.find_opt deltas sc.Plan.sc_pred with
+                             | Some ts -> eval_plan ?budget e plan ~delta:(i, ts) st
+                             | None -> ())
+                           plan.Plan.p_scans)
+                   in
+                   st.Obs.st_seconds <- st.Obs.st_seconds +. dt)
+                 plans stats;
+               clear_deltas e
+             end
+       done
+     with Budget.Exhausted reason ->
+       exhausted := Some reason;
+       complete := false);
     match !failed with
-    | Some msg -> Error msg
+    | Some msg -> Failed msg
     | None ->
         let tgt = target_instance e in
         let tgt, dropped =
+          (* sweeping a budget-truncated instance is still sound: it only
+             folds redundant tuples within what was built *)
           if laconic then Laconic.sweep tgt else (tgt, 0)
         in
-        Ok
+        let report =
           {
             r_target = tgt;
             r_complete = !complete;
@@ -497,7 +525,20 @@ let run ?(max_rounds = 100) ?(laconic = false) ~source ~target ~mappings inst =
             r_sweep_dropped = dropped;
             r_seconds = Unix.gettimeofday () -. t0;
           }
-  with Invalid_argument msg -> Error msg
+        in
+        (match !exhausted with
+        | Some reason -> Budget_exhausted (reason, report)
+        | None -> Complete report)
+  with Invalid_argument msg -> Failed msg
+
+let run ?max_rounds ?laconic ~source ~target ~mappings inst =
+  match run_core ?max_rounds ?laconic ~source ~target ~mappings inst with
+  | Complete r -> Ok r
+  | Budget_exhausted (_, r) -> Ok r (* unreachable without a budget *)
+  | Failed msg -> Error msg
+
+let run_bounded ?budget ?max_rounds ?laconic ~source ~target ~mappings inst =
+  run_core ?budget ?max_rounds ?laconic ~source ~target ~mappings inst
 
 let pp_report ppf r =
   Fmt.pf ppf "@[<v>rounds: %d%s  egd merges: %d  swept: %d  %.3f ms@,"

@@ -41,4 +41,27 @@ val run :
     constant/constant conflict or an ill-formed tgd (unknown predicate,
     arity mismatch, non-universal Skolem argument). *)
 
+type outcome =
+  | Complete of report
+  | Budget_exhausted of Smg_robust.Budget.reason * report
+      (** the budget ran out mid-execution; the report carries the
+          target built so far (a sound prefix, [r_complete = false]) *)
+  | Failed of string
+      (** key-egd constant conflict or ill-formed tgd *)
+
+val run_bounded :
+  ?budget:Smg_robust.Budget.t ->
+  ?max_rounds:int ->
+  ?laconic:bool ->
+  source:Smg_relational.Schema.t ->
+  target:Smg_relational.Schema.t ->
+  mappings:Smg_cq.Dependency.tgd list ->
+  Smg_relational.Instance.t ->
+  outcome
+(** {!run} under a resource budget: every scanned tuple ticks the
+    budget and every minted labelled null burns a unit of fuel, so both
+    runaway joins and null-generation blowups stop cleanly with
+    [Budget_exhausted] instead of hanging. Without a budget this is
+    {!run} with the result as an {!outcome}. *)
+
 val pp_report : Format.formatter -> report -> unit

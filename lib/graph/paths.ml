@@ -1,6 +1,11 @@
 type 'e path = { edge_ids : int list; nodes : int list }
 
-let simple_paths g ~src ~dst ~max_len ~ok =
+module Budget = Smg_robust.Budget
+
+let simple_paths ?budget g ~src ~dst ~max_len ~ok =
+  let within () =
+    match budget with None -> true | Some b -> Budget.tick b
+  in
   let acc = ref [] in
   let on_path = Hashtbl.create 16 in
   let rec dfs v edges_rev nodes_rev len =
@@ -12,7 +17,7 @@ let simple_paths g ~src ~dst ~max_len ~ok =
     if v <> dst && len < max_len then
       List.iter
         (fun (e : _ Digraph.edge) ->
-          if ok e && not (Hashtbl.mem on_path e.dst) then begin
+          if ok e && (not (Hashtbl.mem on_path e.dst)) && within () then begin
             Hashtbl.replace on_path e.dst ();
             dfs e.dst (e.id :: edges_rev) (e.dst :: nodes_rev) (len + 1);
             Hashtbl.remove on_path e.dst
@@ -23,8 +28,8 @@ let simple_paths g ~src ~dst ~max_len ~ok =
   dfs src [] [ src ] 0;
   List.rev !acc
 
-let best_paths g ~src ~dst ~max_len ~ok ~score =
-  let all = simple_paths g ~src ~dst ~max_len ~ok in
+let best_paths ?budget g ~src ~dst ~max_len ~ok ~score =
+  let all = simple_paths ?budget g ~src ~dst ~max_len ~ok in
   match all with
   | [] -> []
   | _ ->

@@ -10,6 +10,7 @@ type 'e path = {
 }
 
 val simple_paths :
+  ?budget:Smg_robust.Budget.t ->
   'e Digraph.t ->
   src:int ->
   dst:int ->
@@ -18,9 +19,13 @@ val simple_paths :
   'e path list
 (** All simple (node-repetition-free) paths from [src] to [dst] of at
     most [max_len] edges, using only edges accepted by [ok]. The
-    degenerate [src = dst] case yields the empty path. *)
+    degenerate [src = dst] case yields the empty path. The enumeration
+    burns one unit of [budget] fuel per DFS expansion; on exhaustion it
+    stops and returns the paths found so far (a beam rather than the
+    full set — check {!Smg_robust.Budget.exhausted} to tell). *)
 
 val best_paths :
+  ?budget:Smg_robust.Budget.t ->
   'e Digraph.t ->
   src:int ->
   dst:int ->
@@ -28,4 +33,5 @@ val best_paths :
   ok:('e Digraph.edge -> bool) ->
   score:('e path -> float) ->
   'e path list
-(** The simple paths minimising [score] (all ties kept). *)
+(** The simple paths minimising [score] (all ties kept), over the
+    possibly budget-truncated enumeration of {!simple_paths}. *)

@@ -1,10 +1,14 @@
-(** Exact minimum-cost Steiner arborescences (Dreyfus–Wagner).
+(** Minimum-cost Steiner arborescences: exact Dreyfus–Wagner under an
+    optional resource budget, degrading to a shortest-path-tree
+    2-approximation when the budget exhausts.
 
     Used to compute the paper's "minimal functional trees": trees rooted
     at a node from which every terminal is reached along (cheap,
     typically functional) directed paths. Terminal counts here are small
     (≤ 10 or so), which is exactly the regime where the Dreyfus–Wagner
-    dynamic program over terminal subsets is practical. *)
+    dynamic program over terminal subsets is practical — but the DP is
+    exponential in the terminal count, so callers facing adversarial
+    inputs thread a {!Smg_robust.Budget.t} through it. *)
 
 type tree = {
   root : int;
@@ -12,7 +16,15 @@ type tree = {
   cost : float;
 }
 
+type solution = {
+  trees : tree list;
+  exact : bool;
+      (** [false] when the exact DP ran out of budget and the trees come
+          from the shortest-path-tree approximation instead *)
+}
+
 val arborescence :
+  ?budget:Smg_robust.Budget.t ->
   'e Digraph.t ->
   cost:('e Digraph.edge -> float option) ->
   root:int ->
@@ -20,7 +32,23 @@ val arborescence :
   tree option
 (** Minimum-cost arborescence rooted at [root] reaching every terminal,
     or [None] if some terminal is unreachable. Terminals may include the
-    root. @raise Invalid_argument on an empty terminal list. *)
+    root; an empty terminal list is degenerate and yields [None]. With a
+    [budget], exhaustion mid-DP falls back to the union of cheapest
+    root→terminal paths (a 2-approximation). *)
+
+val minimal_trees_bounded :
+  ?budget:Smg_robust.Budget.t ->
+  'e Digraph.t ->
+  cost:('e Digraph.edge -> float option) ->
+  roots:int list ->
+  terminals:int list ->
+  solution
+(** Arborescences over every candidate root, keeping exactly the ones
+    whose cost ties the minimum over the roots (within [eps = 1e-9]).
+    Empty if no root reaches all terminals, or the terminal list is
+    empty. [exact] records whether the Dreyfus–Wagner DP completed
+    within budget; when it did not, the kept trees are shortest-path
+    unions and their costs upper-bound the optimum by at most 2×. *)
 
 val minimal_trees :
   'e Digraph.t ->
@@ -28,9 +56,7 @@ val minimal_trees :
   roots:int list ->
   terminals:int list ->
   tree list
-(** Arborescences over every candidate root, keeping exactly the ones
-    whose cost ties the global minimum (within [eps = 1e-9]). Empty if no
-    root reaches all terminals. *)
+(** [minimal_trees_bounded] without a budget: always exact. *)
 
 val tree_nodes : 'e Digraph.t -> tree -> int list
 (** All nodes touched by the tree (root included), ascending. *)

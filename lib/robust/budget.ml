@@ -1,0 +1,73 @@
+type reason = Fuel | Deadline
+
+type t = {
+  mutable fuel : int;  (* remaining; max_int means unlimited *)
+  has_fuel_limit : bool;
+  deadline : float;  (* absolute, Unix.gettimeofday scale; infinity = none *)
+  interval : int;
+  mutable countdown : int;  (* ticks until the next wall-clock check *)
+  mutable spent : reason option;  (* sticky *)
+}
+
+exception Exhausted of reason
+
+let create ?deadline_ms ?fuel ?(interval = 256) () =
+  let deadline =
+    match deadline_ms with
+    | None -> infinity
+    | Some ms -> Unix.gettimeofday () +. (ms /. 1000.)
+  in
+  {
+    fuel = (match fuel with None -> max_int | Some f -> max 0 f);
+    has_fuel_limit = fuel <> None;
+    deadline;
+    interval = max 1 interval;
+    countdown = max 1 interval;
+    spent = None;
+  }
+
+let unlimited () = create ()
+
+let check_clock b =
+  b.countdown <- b.interval;
+  if b.deadline < infinity && Unix.gettimeofday () > b.deadline then
+    b.spent <- Some Deadline
+
+let burn b n =
+  match b.spent with
+  | Some _ -> false
+  | None ->
+      (if b.has_fuel_limit then begin
+         b.fuel <- b.fuel - n;
+         if b.fuel < 0 then begin
+           b.fuel <- 0;
+           b.spent <- Some Fuel
+         end
+       end);
+      if b.spent = None then begin
+        b.countdown <- b.countdown - 1;
+        if b.countdown <= 0 then check_clock b
+      end;
+      b.spent = None
+
+let tick b = burn b 1
+
+let ok b =
+  (match b.spent with None -> check_clock b | Some _ -> ());
+  b.spent = None
+
+let exhausted b = b.spent
+
+let tick_exn b =
+  if not (tick b) then
+    raise (Exhausted (match b.spent with Some r -> r | None -> Fuel))
+
+let burn_exn b n =
+  if not (burn b n) then
+    raise (Exhausted (match b.spent with Some r -> r | None -> Fuel))
+
+let remaining_fuel b = if b.has_fuel_limit then Some b.fuel else None
+
+let pp_reason ppf = function
+  | Fuel -> Fmt.string ppf "fuel"
+  | Deadline -> Fmt.string ppf "deadline"

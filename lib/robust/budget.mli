@@ -1,0 +1,54 @@
+(** Composable resource budgets: wall-clock deadlines plus deterministic
+    fuel counters.
+
+    A budget is threaded through hot search loops (the Steiner DP, path
+    enumeration, plan evaluation) and consumed with {!tick} / {!burn}.
+    Fuel is exact and deterministic — the same inputs burn the same
+    amount — while the deadline is checked against the wall clock only
+    every [interval] ticks, so the per-tick cost is a decrement and a
+    compare. Once a budget is exhausted it stays exhausted (sticky), so
+    all stages sharing it stop promptly. *)
+
+type reason =
+  | Fuel  (** the deterministic operation counter ran out *)
+  | Deadline  (** the wall-clock deadline passed *)
+
+type t
+
+val create : ?deadline_ms:float -> ?fuel:int -> ?interval:int -> unit -> t
+(** A budget with an optional wall-clock deadline (milliseconds from
+    now) and an optional fuel allowance. Omitted resources are
+    unlimited. [interval] (default 256) is the number of ticks between
+    wall-clock checks. *)
+
+val unlimited : unit -> t
+(** A budget that never exhausts. *)
+
+val tick : t -> bool
+(** Consume one unit of fuel; [true] while the budget still has
+    resources. After exhaustion every call returns [false]. *)
+
+val burn : t -> int -> bool
+(** Consume [n] units at once (one check for a block of [n] cheap
+    operations — this is what keeps guard overhead negligible). *)
+
+val ok : t -> bool
+(** [true] while the budget is not exhausted; forces a wall-clock check,
+    so use at loop heads of non-hot code, not per-element. *)
+
+val exhausted : t -> reason option
+(** Why the budget ran out, if it did. Pure read, no clock check. *)
+
+exception Exhausted of reason
+
+val tick_exn : t -> unit
+val burn_exn : t -> int -> unit
+(** Like {!tick} / {!burn} but raise {!Exhausted} on (first or repeated)
+    exhaustion — for deep recursions where unwinding is the cleanest way
+    out. Callers are expected to catch the exception at a stage
+    boundary. *)
+
+val remaining_fuel : t -> int option
+(** [None] when fuel is unlimited. *)
+
+val pp_reason : Format.formatter -> reason -> unit

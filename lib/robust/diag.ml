@@ -1,0 +1,101 @@
+type severity = Info | Warning | Error
+
+type stage = Parse | Validate | Discover | Exchange | Verify
+
+type loc = { loc_file : string option; loc_line : int; loc_col : int }
+
+type t = {
+  d_severity : severity;
+  d_stage : stage;
+  d_subject : string option;
+  d_loc : loc option;
+  d_message : string;
+}
+
+let loc ?file ~line ~col () = { loc_file = file; loc_line = line; loc_col = col }
+
+let v ?loc ?subject severity stage message =
+  {
+    d_severity = severity;
+    d_stage = stage;
+    d_subject = subject;
+    d_loc = loc;
+    d_message = message;
+  }
+
+let errorf ?loc ?subject stage fmt =
+  Printf.ksprintf (v ?loc ?subject Error stage) fmt
+
+let warnf ?loc ?subject stage fmt =
+  Printf.ksprintf (v ?loc ?subject Warning stage) fmt
+
+let infof ?loc ?subject stage fmt =
+  Printf.ksprintf (v ?loc ?subject Info stage) fmt
+
+let of_exn ?subject stage exn =
+  let message =
+    match exn with
+    | Invalid_argument m | Failure m -> m
+    | e -> Printexc.to_string e
+  in
+  v ?subject Error stage message
+
+let degraded ?subject stage reason what =
+  warnf ?subject stage "budget exhausted (%s): %s"
+    (Fmt.str "%a" Budget.pp_reason reason)
+    what
+
+let is_error d = d.d_severity = Error
+let has_errors ds = List.exists is_error ds
+
+let count ds =
+  List.fold_left
+    (fun (e, w, i) d ->
+      match d.d_severity with
+      | Error -> (e + 1, w, i)
+      | Warning -> (e, w + 1, i)
+      | Info -> (e, w, i + 1))
+    (0, 0, 0) ds
+
+let summary ds =
+  match count ds with
+  | 0, 0, 0 -> "no diagnostics"
+  | e, w, i ->
+      String.concat ", "
+        (List.filter_map
+           (fun (n, what) ->
+             if n = 0 then None else Some (Printf.sprintf "%d %s(s)" n what))
+           [ (e, "error"); (w, "warning"); (i, "info") ])
+
+let exit_code ds = if has_errors ds then 2 else 0
+
+let pp_severity ppf = function
+  | Info -> Fmt.string ppf "info"
+  | Warning -> Fmt.string ppf "warning"
+  | Error -> Fmt.string ppf "error"
+
+let pp_stage ppf = function
+  | Parse -> Fmt.string ppf "parse"
+  | Validate -> Fmt.string ppf "validate"
+  | Discover -> Fmt.string ppf "discover"
+  | Exchange -> Fmt.string ppf "exchange"
+  | Verify -> Fmt.string ppf "verify"
+
+let pp ppf d =
+  (match d.d_loc with
+  | Some l ->
+      Fmt.pf ppf "%s%d:%d: "
+        (match l.loc_file with Some f -> f ^ ":" | None -> "")
+        l.loc_line l.loc_col
+  | None -> ());
+  Fmt.pf ppf "%a [%a]" pp_severity d.d_severity pp_stage d.d_stage;
+  (match d.d_subject with Some s -> Fmt.pf ppf " %s" s | None -> ());
+  Fmt.pf ppf ": %s" d.d_message
+
+let pp_list ppf ds = List.iter (fun d -> Fmt.pf ppf "%a@." pp d) ds
+
+type collector = { mutable items : t list (* reversed *) }
+
+let collector () = { items = [] }
+let add c d = c.items <- d :: c.items
+let diags c = List.rev c.items

@@ -1,0 +1,72 @@
+(** Typed diagnostics: structured severity / stage / subject / location
+    records replacing ad-hoc [failwith] and [Invalid_argument] at
+    pipeline boundaries.
+
+    Stages fail *into* diagnostics: a malformed correspondence, an
+    unvalidatable s-tree, or a blown budget yields a diagnostic and a
+    partial result instead of aborting the run. The CLI renders them as
+    [file:line:col: severity [stage] subject: message] and maps them to
+    exit codes. *)
+
+type severity = Info | Warning | Error
+
+type stage = Parse | Validate | Discover | Exchange | Verify
+
+type loc = { loc_file : string option; loc_line : int; loc_col : int }
+
+type t = {
+  d_severity : severity;
+  d_stage : stage;
+  d_subject : string option;
+      (** what the diagnostic is about: a table, class, correspondence,
+          or candidate name *)
+  d_loc : loc option;
+  d_message : string;
+}
+
+val loc : ?file:string -> line:int -> col:int -> unit -> loc
+
+val v : ?loc:loc -> ?subject:string -> severity -> stage -> string -> t
+
+val errorf :
+  ?loc:loc -> ?subject:string -> stage -> ('a, unit, string, t) format4 -> 'a
+
+val warnf :
+  ?loc:loc -> ?subject:string -> stage -> ('a, unit, string, t) format4 -> 'a
+
+val infof :
+  ?loc:loc -> ?subject:string -> stage -> ('a, unit, string, t) format4 -> 'a
+
+val of_exn : ?subject:string -> stage -> exn -> t
+(** Wrap a stray exception ([Invalid_argument], [Failure], anything) as
+    an [Error] diagnostic — the containment net at stage boundaries. *)
+
+val degraded : ?subject:string -> stage -> Budget.reason -> string -> t
+(** A [Warning] recording that a search exhausted its budget and a
+    fallback answered instead: ["budget exhausted (fuel): <what>"]. *)
+
+val is_error : t -> bool
+val has_errors : t list -> bool
+
+val count : t list -> int * int * int
+(** (errors, warnings, infos). *)
+
+val summary : t list -> string
+(** e.g. ["2 error(s), 1 warning(s)"]; ["no diagnostics"] when empty. *)
+
+val exit_code : t list -> int
+(** 0 when nothing error-severity, 2 otherwise — the CLI's "bad input"
+    exit code. *)
+
+val pp_severity : Format.formatter -> severity -> unit
+val pp_stage : Format.formatter -> stage -> unit
+val pp : Format.formatter -> t -> unit
+val pp_list : Format.formatter -> t list -> unit
+
+(** An append-only accumulator threaded through a pipeline run. *)
+type collector
+
+val collector : unit -> collector
+val add : collector -> t -> unit
+val diags : collector -> t list
+(** Diagnostics in emission order. *)

@@ -249,3 +249,10 @@ let pp ppf st =
     (Fmt.list ~sep:Fmt.comma (fun ppf (n, cols) ->
          Fmt.pf ppf "%a:[%a]" pp_ref n Fmt.(list ~sep:comma string) cols))
     st.id_map
+
+(* Result-typed validation for lint passes: the same checks as
+   [validate], but a failure becomes data instead of an exception. *)
+let validate_result g tbl st =
+  match validate g tbl st with
+  | () -> Ok ()
+  | exception Invalid_argument msg -> Error msg

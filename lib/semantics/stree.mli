@@ -49,6 +49,15 @@ val validate : Smg_cm.Cm_graph.t -> Smg_relational.Schema.table -> t -> unit
     references mapped-or-known columns and s-tree nodes.
     @raise Invalid_argument with a diagnostic otherwise. *)
 
+val validate_result :
+  Smg_cm.Cm_graph.t ->
+  Smg_relational.Schema.table ->
+  t ->
+  (unit, string) result
+(** {!validate} with the failure as data — for upfront lint passes that
+    collect diagnostics across all tables instead of aborting on the
+    first bad s-tree. *)
+
 val node_of_column : t -> string -> (node_ref * string) option
 (** The (node, attribute) a column maps to. *)
 

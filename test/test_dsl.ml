@@ -88,9 +88,10 @@ let test_parse_sample () =
 
 let test_parse_error_location () =
   match Parser.parse "schema s { table t { col x } }" with
-  | exception Parser.Error msg ->
-      Alcotest.(check bool) "mentions line" true
-        (String.length msg > 0 && String.sub msg 0 4 = "line")
+  | exception Parser.Error (msg, line, col) ->
+      Alcotest.(check bool) "has a message" true (String.length msg > 0);
+      Alcotest.(check int) "line" 1 line;
+      Alcotest.(check bool) "plausible column" true (col > 1)
   | _ -> Alcotest.fail "expected a parse error"
 
 let test_noderef_copies () =
