@@ -79,6 +79,50 @@ let exchange_engine_run rows () =
   | Ok _ -> ()
   | Error msg -> failwith msg
 
+(* composition: the DBLP round-trip chain (discovered mapping followed
+   by its quasi-inverse into a primed source copy) run both ways —
+   hop by hop, and in one shot through the composed mapping. The
+   composed clause set is built once in the fixture; only execution is
+   timed, so the pair measures the materialization saving of
+   composing. *)
+let compose_fixture =
+  lazy
+    (let scen, m = Lazy.force exchange_fixture in
+     let source = scen.Smg_eval.Scenario.source.Smg_core.Discover.schema in
+     let target = scen.Smg_eval.Scenario.target.Smg_core.Discover.schema in
+     let m12 = [ Smg_cq.Mapping.to_tgd m ] in
+     let primed = Smg_compose.Invert.prime_schema ~suffix:"_rt" source in
+     let hops =
+       [
+         {
+           Smg_compose.Pipeline.h_source = source;
+           h_target = target;
+           h_tgds = m12;
+         };
+         {
+           Smg_compose.Pipeline.h_source = target;
+           h_target = primed;
+           h_tgds = Smg_compose.Invert.quasi_inverse ~prime:"_rt" m12;
+         };
+       ]
+     in
+     let r = Smg_compose.Pipeline.compose_chain hops in
+     (source, primed, hops, r.Smg_compose.Compose.c_exec))
+
+let compose_sequential_run rows () =
+  let source, _, hops, _ = Lazy.force compose_fixture in
+  let inst = Smg_eval.Witness.populate ~rows_per_table:rows ~seed:1 source in
+  match Smg_compose.Pipeline.sequential hops inst with
+  | Ok _ -> ()
+  | Error _ -> failwith "compose bench: sequential leg failed"
+
+let compose_one_shot_run rows () =
+  let source, primed, _, exec = Lazy.force compose_fixture in
+  let inst = Smg_eval.Witness.populate ~rows_per_table:rows ~seed:1 source in
+  match Smg_compose.Pipeline.one_shot ~source ~target:primed ~exec inst with
+  | Ok _ -> ()
+  | Error _ -> failwith "compose bench: one-shot leg failed"
+
 (* verification-layer latency on the largest scenario (Mondial):
    chase-based mapping-equivalence checks across the two methods'
    candidates, and core computation over a chased exchange result *)
@@ -203,6 +247,20 @@ let tests () =
              (Staged.stage (exchange_engine_run rows)))
          exchange_sizes)
   in
+  let compose =
+    Test.make_grouped ~name:"compose"
+      (List.concat_map
+         (fun rows ->
+           [
+             Test.make
+               ~name:(Printf.sprintf "sequential/rows=%d" rows)
+               (Staged.stage (compose_sequential_run rows));
+             Test.make
+               ~name:(Printf.sprintf "composed/rows=%d" rows)
+               (Staged.stage (compose_one_shot_run rows));
+           ])
+         exchange_sizes)
+  in
   let ablation =
     Test.make_grouped ~name:"ablation-time"
       (List.map
@@ -227,7 +285,7 @@ let tests () =
       ]
   in
   Test.make_grouped ~name:"smg"
-    [ sem; ric; exchange; exchange_engine; ablation; verify; robust ]
+    [ sem; ric; exchange; exchange_engine; compose; ablation; verify; robust ]
 
 let benchmark () =
   let ols =

@@ -161,6 +161,114 @@ let exchange_scale json smoke seed sizes =
     Fmt.pr "@.wrote %s (%d rows)@." path (List.length rows)
   end
 
+(* compose: two-hop round-trip chains (each domain's discovered mapping
+   followed by its quasi-inverse into a primed source copy), composed
+   into one mapping; sequential two-hop exchange vs composed one-shot,
+   with the hom-equivalence verdict. Optionally records BENCH_compose.json. *)
+
+let compose_report json smoke seed size =
+  let module Scenario = Smg_eval.Scenario in
+  let module Instance = Smg_relational.Instance in
+  let module Obs = Smg_exchange.Obs in
+  let module Compose = Smg_compose.Compose in
+  let module Invert = Smg_compose.Invert in
+  let module Pipeline = Smg_compose.Pipeline in
+  let rows_per_table = if smoke then 2 else size in
+  Fmt.pr
+    "compose: round-trip chains (discovered mapping ; quasi-inverse), %d \
+     rows/table, seed %d@.@."
+    rows_per_table seed;
+  Fmt.pr "%-8s | %7s %5s %8s %7s | %12s %12s %7s | %s@." "domain" "clauses"
+    "plain" "residual" "dropped" "seq ns" "composed ns" "speedup" "equiv";
+  let bench_rows =
+    List.concat_map
+      (fun (scen : Scenario.t) ->
+        let source = scen.Scenario.source.Smg_core.Discover.schema in
+        let target = scen.Scenario.target.Smg_core.Discover.schema in
+        let m12 =
+          List.concat_map
+            (fun (case : Scenario.case) ->
+              match
+                Smg_eval.Experiments.run_method Smg_eval.Experiments.Semantic
+                  scen case
+              with
+              | [] -> []
+              | best :: _ ->
+                  let best =
+                    Smg_cq.Mapping.rename case.Scenario.case_name best
+                  in
+                  if best.Smg_cq.Mapping.outer then
+                    Smg_cq.Mapping.outer_variants ~target best
+                  else [ Smg_cq.Mapping.to_tgd best ])
+            scen.Scenario.cases
+        in
+        if m12 = [] then begin
+          Fmt.pr "%-8s | no mapping discovered, skipped@."
+            scen.Scenario.scen_name;
+          []
+        end
+        else begin
+          let primed = Invert.prime_schema ~suffix:"_rt" source in
+          let hops =
+            [
+              { Pipeline.h_source = source; h_target = target; h_tgds = m12 };
+              {
+                Pipeline.h_source = target;
+                h_target = primed;
+                h_tgds = Invert.quasi_inverse ~prime:"_rt" m12;
+              };
+            ]
+          in
+          let r = Pipeline.compose_chain ~max_clauses:1024 hops in
+          let inst = Smg_eval.Witness.populate ~rows_per_table ~seed source in
+          let src_n = Instance.total_tuples inst in
+          let seq () =
+            match Pipeline.sequential hops inst with
+            | Ok out -> Instance.total_tuples out
+            | Error _ -> failwith "sequential leg failed"
+          in
+          let comp () =
+            match
+              Pipeline.one_shot ~source ~target:primed ~exec:r.Compose.c_exec
+                inst
+            with
+            | Ok out -> Instance.total_tuples out
+            | Error _ -> failwith "composed leg failed"
+          in
+          let equiv =
+            match Pipeline.verify hops ~exec:r.Compose.c_exec inst with
+            | Ok vd -> vd.Pipeline.vd_equiv
+            | Error _ -> false
+          in
+          let s_out, s_secs, _ = measure seq in
+          let c_out, c_secs, _ = measure comp in
+          Fmt.pr "%-8s | %7d %5d %8d %7d | %12.0f %12.0f %6.1fx | %b@."
+            scen.Scenario.scen_name
+            (List.length r.Compose.c_clauses)
+            (List.length r.Compose.c_plain)
+            (List.length r.Compose.c_residual)
+            r.Compose.c_dropped (1e9 *. s_secs) (1e9 *. c_secs)
+            (s_secs /. c_secs) equiv;
+          let row name out secs =
+            {
+              Obs.br_name = name;
+              br_size = src_n;
+              br_ns_per_run = 1e9 *. secs;
+              br_tuples_per_s = float_of_int out /. secs;
+            }
+          in
+          let tag = String.lowercase_ascii scen.Scenario.scen_name in
+          [ row ("sequential/" ^ tag) s_out s_secs;
+            row ("composed/" ^ tag) c_out c_secs ]
+        end)
+      (Smg_eval.Datasets.all ())
+  in
+  if json then begin
+    let path = "BENCH_compose.json" in
+    Obs.write_bench_json ~path bench_rows;
+    Fmt.pr "@.wrote %s (%d rows)@." path (List.length bench_rows)
+  end
+
 let cmd_of name doc f = Cmd.v (Cmd.info name ~doc) Term.(const f $ const ())
 
 let exchange_scale_cmd =
@@ -189,6 +297,29 @@ let exchange_scale_cmd =
           source sizes")
     Term.(const exchange_scale $ json $ smoke $ seed $ sizes)
 
+let compose_cmd =
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Write BENCH_compose.json")
+  in
+  let smoke =
+    Arg.(
+      value & flag & info [ "smoke" ] ~doc:"Tiny sizes only (CI smoke test)")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"S" ~doc:"Source seed")
+  in
+  let size =
+    Arg.(
+      value & opt int 4
+      & info [ "size" ] ~docv:"ROWS" ~doc:"Rows per source table")
+  in
+  Cmd.v
+    (Cmd.info "compose"
+       ~doc:
+         "Composed one-shot exchange vs the sequential two-hop pipeline on \
+          round-trip chains over every domain")
+    Term.(const compose_report $ json $ smoke $ seed $ size)
+
 let () =
   let default = Term.(const all $ const ()) in
   let info =
@@ -213,5 +344,6 @@ let () =
               "Execute matched mappings vs benchmarks on generated instances"
               witness;
             exchange_scale_cmd;
+            compose_cmd;
             cmd_of "all" "Everything" all;
           ]))

@@ -9,7 +9,8 @@
      discover FILE   run mapping discovery (semantic, RIC-based, or both)
      verify FILE     containment/equivalence matrix + dedup report
      match FILE      propose correspondences with the name matcher
-     show FILE       parse and pretty-print the scenario (round-trip) *)
+     show FILE       parse and pretty-print the scenario (round-trip)
+     compose         compose a multi-hop pipeline into one mapping *)
 
 open Cmdliner
 module Ast = Smg_dsl.Ast
@@ -19,6 +20,9 @@ module Discover = Smg_core.Discover
 module Mapverify = Smg_verify.Mapverify
 module Budget = Smg_robust.Budget
 module Diag = Smg_robust.Diag
+module Compose = Smg_compose.Compose
+module Invert = Smg_compose.Invert
+module Pipeline = Smg_compose.Pipeline
 
 (* Exit codes: 0 success (possibly with degraded/approximate results),
    1 no result, 2 bad input (parse/validation), 3 budget exhausted with
@@ -92,7 +96,83 @@ let make_budget budget_ms fuel =
   | None, None -> None
   | deadline_ms, fuel -> Some (Budget.create ?deadline_ms ?fuel ())
 
-let run_discover file meth verbose sql dedup budget_ms fuel strict diagnostics =
+(* ---- hand-rolled JSON (same dependency-free style as
+   Smg_exchange.Obs.write_bench_json) ------------------------------------- *)
+
+let json_str s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let json_list f xs = "[" ^ String.concat ", " (List.map f xs) ^ "]"
+
+let json_candidate source target i (m : Mapping.t) =
+  let tgd_str = Fmt.str "%a" Smg_cq.Dependency.pp_tgd (Mapping.to_tgd m) in
+  let exec =
+    if m.Mapping.outer then Mapping.outer_variants ~target m
+    else [ Mapping.to_tgd m ]
+  in
+  let corr (c : Mapping.corr) =
+    let st, sc = c.Mapping.c_src and tt, tc = c.Mapping.c_tgt in
+    Printf.sprintf "{\"src\": %s, \"tgt\": %s}"
+      (json_str (st ^ "." ^ sc))
+      (json_str (tt ^ "." ^ tc))
+  in
+  String.concat ""
+    [
+      "    {\"rank\": ";
+      string_of_int (i + 1);
+      ", \"name\": ";
+      json_str m.Mapping.m_name;
+      ", \"score\": ";
+      Printf.sprintf "%.6g" m.Mapping.score;
+      ", \"outer\": ";
+      string_of_bool m.Mapping.outer;
+      ", \"approximate\": ";
+      string_of_bool (Mapping.is_approximate m);
+      ",\n     \"tgd\": ";
+      json_str tgd_str;
+      ",\n     \"exec_tgds\": ";
+      json_list
+        (fun t -> json_str (Fmt.str "%a" Smg_cq.Dependency.pp_tgd t))
+        exec;
+      ",\n     \"covered\": ";
+      json_list corr m.Mapping.covered;
+      ",\n     \"provenance\": ";
+      json_list json_str m.Mapping.provenance;
+      ",\n     \"source_algebra\": ";
+      json_str (Fmt.str "%a" Smg_relational.Algebra.pp (Mapping.src_algebra source m));
+      "}";
+    ]
+
+let json_diag (d : Diag.t) =
+  String.concat ""
+    [
+      "    {\"severity\": ";
+      json_str (Fmt.str "%a" Diag.pp_severity d.Diag.d_severity);
+      ", \"stage\": ";
+      json_str (Fmt.str "%a" Diag.pp_stage d.Diag.d_stage);
+      ", \"subject\": ";
+      (match d.Diag.d_subject with None -> "null" | Some s -> json_str s);
+      ", \"message\": ";
+      json_str d.Diag.d_message;
+      "}";
+    ]
+
+let run_discover file meth verbose sql dedup budget_ms fuel strict diagnostics
+    json =
   if verbose then begin
     Logs.set_reporter (Logs_fmt.reporter ());
     Logs.set_level (Some Logs.Debug)
@@ -102,6 +182,59 @@ let run_discover file meth verbose sql dedup budget_ms fuel strict diagnostics =
   if corrs = [] then begin
     Fmt.epr "error: the scenario declares no correspondences@.";
     exit 2
+  end;
+  if json then begin
+    (* machine-readable mirror of the human output: candidates with
+       their tgd/exec forms and provenance, plus the structured
+       diagnostics and the exactness flag *)
+    let source_s = source.Discover.schema
+    and target_s = target.Discover.schema in
+    let pre = Discover.lint ~source ~target ~corrs in
+    let budget = make_budget budget_ms fuel in
+    let o = Discover.discover_bounded ?budget ~source ~target ~corrs () in
+    let diags = pre @ o.Discover.o_diags in
+    let dedup_silent ms =
+      if not dedup then ms
+      else
+        (Mapverify.dedup ~source:source_s ~target:target_s (label_by_rank ms))
+          .Mapverify.rp_kept
+    in
+    let sem = dedup_silent o.Discover.o_mappings in
+    let ric =
+      match meth with
+      | Ric | Both ->
+          dedup_silent
+            (Smg_ric.Baseline.generate ~source:source_s ~target:target_s ~corrs)
+      | Semantic -> []
+    in
+    let section ms =
+      match ms with
+      | [] -> "[]"
+      | _ ->
+          "[\n"
+          ^ String.concat ",\n"
+              (List.mapi (json_candidate source_s target_s) ms)
+          ^ "\n  ]"
+    in
+    Fmt.pr "{\"file\": %s,@." (json_str file);
+    Fmt.pr " \"exact\": %b,@." o.Discover.o_exact;
+    (match meth with
+    | Semantic | Both -> Fmt.pr " \"candidates\": %s,@." (section sem)
+    | Ric -> ());
+    (match meth with
+    | Ric | Both -> Fmt.pr " \"ric_candidates\": %s,@." (section ric)
+    | Semantic -> ());
+    Fmt.pr " \"diagnostics\": %s}@."
+      (match diags with
+      | [] -> "[]"
+      | _ -> "[\n" ^ String.concat ",\n" (List.map json_diag diags) ^ "\n  ]");
+    let code = ref 0 in
+    if sem = [] && ric = [] then code := 1;
+    if strict then begin
+      if not o.Discover.o_exact then code := max !code 3;
+      if Diag.has_errors diags then code := max !code 2
+    end;
+    exit !code
   end;
   let maybe_dedup title ms =
     if not dedup then ms
@@ -447,6 +580,118 @@ let run_exchange file scenario size seed engine no_laconic core print_data
   end;
   if !partial then exit 3
 
+(* compose: chain scenario files into a pipeline A → B → … → Z, discover
+   the best mapping per hop, and compose the chain into one A → Z
+   mapping. --invert appends the quasi-inverse of the forward
+   composition (reverse migration into a primed copy of the original
+   source). --verify materializes the chain both ways and compares. *)
+
+let load_hop file =
+  let doc, source, target = load file in
+  let corrs = doc.Ast.doc_corrs in
+  if corrs = [] then begin
+    Fmt.epr "%s: error: the scenario declares no correspondences@." file;
+    exit 2
+  end;
+  match Discover.discover ~source ~target ~corrs () with
+  | [] ->
+      Fmt.epr "%s: error: no mapping discovered@." file;
+      exit 1
+  | best :: _ ->
+      let hop =
+        {
+          Pipeline.h_source = source.Discover.schema;
+          h_target = target.Discover.schema;
+          h_tgds = tgds_of_best ~target:target.Discover.schema best;
+        }
+      in
+      Fmt.pr "%s: %s (%d tgd(s))@." file best.Mapping.m_name
+        (List.length hop.Pipeline.h_tgds);
+      (doc, hop)
+
+let run_compose files invert verify size seed budget_ms fuel =
+  if files = [] then begin
+    Fmt.epr "error: --pipeline needs at least one scenario file@.";
+    exit 2
+  end;
+  let docs_hops = List.map load_hop files in
+  let first_doc = fst (List.hd docs_hops) in
+  let hops0 = List.map snd docs_hops in
+  let budget = make_budget budget_ms fuel in
+  let first = List.hd hops0 in
+  let last0 = List.nth hops0 (List.length hops0 - 1) in
+  let hops =
+    if not invert then hops0
+    else begin
+      let fwd_exec =
+        match hops0 with
+        | [ h ] -> h.Pipeline.h_tgds
+        | _ -> (Pipeline.compose_chain ?budget hops0).Compose.c_exec
+      in
+      let primed = Invert.prime_schema ~suffix:"_inv" first.Pipeline.h_source in
+      Fmt.pr "appending quasi-inverse hop: %s -> %s@."
+        last0.Pipeline.h_target.Schema.schema_name
+        primed.Schema.schema_name;
+      hops0
+      @ [
+          {
+            Pipeline.h_source = last0.Pipeline.h_target;
+            h_target = primed;
+            h_tgds = Invert.quasi_inverse ~prime:"_inv" fwd_exec;
+          };
+        ]
+    end
+  in
+  if List.length hops < 2 then begin
+    Fmt.epr
+      "error: composition needs at least two hops; chain several files with \
+       --pipeline a.smg,b.smg or round-trip one with --invert@.";
+    exit 2
+  end;
+  List.iter (Fmt.epr "warning: %s@.") (Pipeline.check hops);
+  let r = Pipeline.compose_chain ?budget hops in
+  Fmt.pr "@.== composed mapping (%d hop(s)) ==@.%a@." (List.length hops)
+    Compose.pp r;
+  (match r.Compose.c_budget with
+  | Some reason ->
+      Fmt.epr "error: %a budget exhausted during composition@."
+        Budget.pp_reason reason;
+      exit 3
+  | None -> ());
+  if verify then begin
+    let src_schema = (List.hd hops).Pipeline.h_source in
+    let inst =
+      let from_data = Ast.instance_of first_doc src_schema in
+      if Smg_relational.Instance.total_tuples from_data > 0 then begin
+        Fmt.pr "@.verifying over the first scenario's data blocks@.";
+        from_data
+      end
+      else begin
+        let n_tables = max 1 (List.length src_schema.Schema.tables) in
+        let rows = max 1 (size / n_tables) in
+        Fmt.pr "@.verifying over a generated source (%d rows/table, seed %d)@."
+          rows seed;
+        Smg_eval.Witness.populate ~rows_per_table:rows ~seed src_schema
+      end
+    in
+    match Pipeline.verify ?budget hops ~exec:r.Compose.c_exec inst with
+    | Ok vd ->
+        Fmt.pr "%a@." Pipeline.pp_verdict vd;
+        if not vd.Pipeline.vd_equiv then begin
+          Fmt.epr
+            "error: composed one-shot result is not hom-equivalent to the \
+             sequential pipeline@.";
+          exit 1
+        end
+    | Error (Pipeline.Exhausted reason) ->
+        Fmt.epr "error: %a budget exhausted during verification@."
+          Budget.pp_reason reason;
+        exit 3
+    | Error (Pipeline.Failed msg) ->
+        Fmt.epr "error: pipeline execution failed: %s@." msg;
+        exit 1
+  end
+
 let run_ddl file =
   let doc, source, target = load file in
   ignore doc;
@@ -590,13 +835,59 @@ let diagnostics_arg =
           "Print the structured diagnostics of the validation and discovery \
            stages (severity, stage, subject, location) plus a summary")
 
+let json_arg =
+  Arg.(
+    value & flag
+    & info [ "json" ]
+        ~doc:
+          "Emit machine-readable JSON (candidates with tgd/executable forms, \
+           provenance, diagnostics, exactness) instead of the human report")
+
+let pipeline_arg =
+  Arg.(
+    value
+    & opt (list file) []
+    & info [ "pipeline" ] ~docv:"S1.SMG,S2.SMG,..."
+        ~doc:
+          "Scenario files forming the pipeline, in hop order: each file's \
+           target schema is the next file's source")
+
+let invert_arg =
+  Arg.(
+    value & flag
+    & info [ "invert" ]
+        ~doc:
+          "Append the quasi-inverse of the forward composition as a final \
+           hop (reverse migration into a primed copy of the original \
+           source); with a single file this makes a round-trip chain")
+
+let verify_flag_arg =
+  Arg.(
+    value & flag
+    & info [ "verify" ]
+        ~doc:
+          "Materialize the chain hop by hop and in one composed shot, and \
+           check the two results are homomorphically equivalent (exit 1 if \
+           not)")
+
 let () =
   let discover_cmd =
     Cmd.v
       (Cmd.info "discover" ~doc:"Discover mapping candidates for a scenario")
       Term.(
         const run_discover $ file_arg $ meth_arg $ verbose_arg $ sql_arg
-        $ dedup_arg $ budget_ms_arg $ fuel_arg $ strict_arg $ diagnostics_arg)
+        $ dedup_arg $ budget_ms_arg $ fuel_arg $ strict_arg $ diagnostics_arg
+        $ json_arg)
+  in
+  let compose_cmd =
+    Cmd.v
+      (Cmd.info "compose"
+         ~doc:
+           "Compose a multi-hop pipeline of scenarios into a single mapping \
+            (optionally inverted and verified end-to-end)")
+      Term.(
+        const run_compose $ pipeline_arg $ invert_arg $ verify_flag_arg
+        $ size_arg $ seed_arg $ budget_ms_arg $ fuel_arg)
   in
   let verify_cmd =
     Cmd.v
@@ -651,6 +942,7 @@ let () =
             match_cmd;
             show_cmd;
             exchange_cmd;
+            compose_cmd;
             ddl_cmd;
             dot_cmd;
           ]))

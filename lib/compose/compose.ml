@@ -1,0 +1,218 @@
+module Budget = Smg_robust.Budget
+module Atom = Smg_cq.Atom
+module Query = Smg_cq.Query
+module Dependency = Smg_cq.Dependency
+module Sotgd = Smg_cq.Sotgd
+
+type result = {
+  c_clauses : Sotgd.t list;
+  c_plain : Dependency.tgd list;
+  c_residual : (Sotgd.t * string) list;
+  c_exec : Dependency.tgd list;
+  c_exact : bool;
+  c_dropped : int;
+  c_budget : Budget.reason option;
+}
+
+exception Out_of_budget of Budget.reason
+
+let tick budget =
+  match budget with
+  | None -> ()
+  | Some b ->
+      if not (Budget.tick b) then
+        raise (Out_of_budget (Option.get (Budget.exhausted b)))
+
+(* Rename hop-2 function symbols away from hop-1's: fresh copies of a
+   hop-1 clause share function symbols on purpose (that is how
+   unification re-identifies two copies when the data forces it), so an
+   accidental name collision between the hops would wrongly merge
+   unrelated witnesses. *)
+let rename_functions_apart ~used sos =
+  let renamed = Hashtbl.create 8 in
+  let fresh f =
+    match Hashtbl.find_opt renamed f with
+    | Some f' -> f'
+    | None ->
+        let rec go i =
+          let cand = Printf.sprintf "%s_h%d" f i in
+          if Hashtbl.mem used cand then go (i + 1) else cand
+        in
+        let f' = if Hashtbl.mem used f then go 2 else f in
+        Hashtbl.replace used f' ();
+        Hashtbl.replace renamed f f';
+        f'
+  in
+  let rec term (t : Sotgd.term) =
+    match t with
+    | Sotgd.TVar _ | Sotgd.TCst _ -> t
+    | Sotgd.TApp (f, args) -> Sotgd.TApp (fresh f, List.map term args)
+  in
+  List.map
+    (fun (so : Sotgd.t) ->
+      {
+        so with
+        Sotgd.so_rhs =
+          List.map
+            (fun (s : Sotgd.satom) ->
+              { s with Sotgd.s_args = List.map term s.Sotgd.s_args })
+            so.Sotgd.so_rhs;
+      })
+    sos
+
+(* Does the term contain a function application? Premise variables of
+   the first hop may be bound to constants during unification, but a
+   binding to an application would put a Skolem term — a labelled
+   null — into the composed premise; source instances are ground, so
+   such a branch is unsatisfiable and is dropped. *)
+let has_app (t : Sotgd.term) =
+  match t with
+  | Sotgd.TVar _ | Sotgd.TCst _ -> false
+  | Sotgd.TApp _ -> true
+
+let first_order_atom (s : Sotgd.satom) =
+  if List.exists has_app s.Sotgd.s_args then None
+  else Some (Sotgd.atom_of_satom s)
+
+let dedup_atoms atoms =
+  List.fold_left
+    (fun acc a -> if List.exists (Atom.equal a) acc then acc else a :: acc)
+    [] atoms
+  |> List.rev
+
+(* Core the composed premise: keep exactly the variables the conclusion
+   needs (including Skolem arguments) as the head, and fold away
+   redundant joins introduced by overlapping hop-1 copies. *)
+let minimize_lhs ~rhs lhs =
+  let needed =
+    List.concat_map
+      (fun (s : Sotgd.satom) -> List.concat_map Sotgd.term_vars s.Sotgd.s_args)
+      rhs
+  in
+  let lhs_vars = Atom.vars_of_list lhs in
+  let head =
+    List.sort_uniq compare (List.filter (fun x -> List.mem x lhs_vars) needed)
+    |> List.map (fun x -> Atom.Var x)
+  in
+  (Query.minimize (Query.make ~name:"lhs" ~head lhs)).Query.body
+
+(* One hop-2 clause against the Skolemized hop-1 set: resolve every
+   premise atom of [chi] against the conclusion of a fresh copy of some
+   hop-1 clause, backtracking over all choices. Fresh copies rename
+   variables but keep function symbols, so two copies collapse exactly
+   when unification equates their Skolem applications. *)
+let resolve_clause ?budget ~so12 ~emit ~drop (chi : Sotgd.t) =
+  let copies = ref 0 in
+  let chi_lhs = List.map Sotgd.satom_of_atom chi.Sotgd.so_lhs in
+  let rec go subst acc_lhs = function
+    | [] -> begin
+        (* premise: the chosen hop-1 copies' premises under the unifier *)
+        let premise =
+          List.map (Sotgd.apply_satom subst)
+            (List.map Sotgd.satom_of_atom acc_lhs)
+        in
+        match
+          List.fold_left
+            (fun acc s ->
+              match (acc, first_order_atom s) with
+              | Some atoms, Some a -> Some (a :: atoms)
+              | _, _ -> None)
+            (Some []) premise
+        with
+        | None -> drop ()
+        | Some atoms ->
+            let lhs = dedup_atoms (List.rev atoms) in
+            let rhs = List.map (Sotgd.apply_satom subst) chi.Sotgd.so_rhs in
+            if lhs = [] then drop ()
+            else
+              let lhs = minimize_lhs ~rhs lhs in
+              emit { chi with Sotgd.so_lhs = lhs; Sotgd.so_rhs = rhs }
+      end
+    | a :: rest ->
+        List.iter
+          (fun (sigma : Sotgd.t) ->
+            incr copies;
+            let sigma =
+              Sotgd.rename_apart ~suffix:(Printf.sprintf "!%d" !copies) sigma
+            in
+            List.iter
+              (fun r ->
+                tick budget;
+                match Sotgd.unify_satoms subst a r with
+                | Some subst' ->
+                    go subst' (acc_lhs @ sigma.Sotgd.so_lhs) rest
+                | None -> ())
+              sigma.Sotgd.so_rhs)
+          so12
+  in
+  go Sotgd.subst_empty [] chi_lhs
+
+let compose ?budget ?(max_clauses = 256) ~m12 ~m23 () =
+  let so12 = Sotgd.skolemize_set m12 in
+  (* Hop-2 conclusions keep their plain existentials: they are never
+     unified against, so Skolemizing them would only manufacture nested
+     terms the presentation would have to undo again. Pre-existing
+     [sk!] variables still decode to the applications they denote. *)
+  let so23 = List.map Sotgd.of_tgd m23 in
+  let so23 =
+    let used = Hashtbl.create 16 in
+    List.iter
+      (fun so -> List.iter (fun f -> Hashtbl.replace used f ()) (Sotgd.functions so))
+      so12;
+    rename_functions_apart ~used so23
+  in
+  let clauses = ref [] in
+  let n_clauses = ref 0 in
+  let dropped = ref 0 in
+  let truncated = ref false in
+  let budget_hit = ref None in
+  let emit so =
+    if !n_clauses >= max_clauses then truncated := true
+    else begin
+      let canon = Sotgd.canonical so in
+      if not (List.exists (fun (_, c) -> Sotgd.equal c canon) !clauses) then begin
+        let named =
+          { so with Sotgd.so_name = Printf.sprintf "%s.%d" so.Sotgd.so_name !n_clauses }
+        in
+        clauses := (named, canon) :: !clauses;
+        incr n_clauses
+      end
+    end
+  in
+  let drop () = incr dropped in
+  (try
+     List.iter
+       (fun chi ->
+         (* hop-2 clauses are renamed apart from every hop-1 copy *)
+         let chi = Sotgd.rename_apart ~suffix:"?2" chi in
+         resolve_clause ?budget ~so12 ~emit ~drop chi)
+       so23
+   with Out_of_budget r -> budget_hit := Some r);
+  let clauses = List.rev_map fst !clauses in
+  let { Sotgd.ds_plain; ds_residual } = Sotgd.deskolemize clauses in
+  {
+    c_clauses = clauses;
+    c_plain = ds_plain;
+    c_residual = ds_residual;
+    c_exec = List.map Sotgd.to_exec_tgd clauses;
+    c_exact = (not !truncated) && !budget_hit = None;
+    c_dropped = !dropped;
+    c_budget = !budget_hit;
+  }
+
+let pp ppf r =
+  Fmt.pf ppf "@[<v>";
+  List.iter (fun t -> Fmt.pf ppf "%a@," Dependency.pp_tgd t) r.c_plain;
+  List.iter
+    (fun (so, reason) ->
+      Fmt.pf ppf "%a@,  (second-order: %s)@," Sotgd.pp so reason)
+    r.c_residual;
+  Fmt.pf ppf "%d clause%s, %d plain, %d residual, %d dropped branch%s%s%s@]"
+    (List.length r.c_clauses)
+    (if List.length r.c_clauses = 1 then "" else "s")
+    (List.length r.c_plain) (List.length r.c_residual) r.c_dropped
+    (if r.c_dropped = 1 then "" else "es")
+    (if r.c_exact then "" else " (inexact)")
+    (match r.c_budget with
+    | Some reason -> Fmt.str " [budget: %a]" Budget.pp_reason reason
+    | None -> "")

@@ -1,0 +1,46 @@
+(** Composition of schema mappings (Fagin–Kolaitis–Popa–Tan).
+
+    Given s-t tgd sets [M12 : A → B] and [M23 : B → C], computes a
+    single mapping [A → C] whose exchange result is homomorphically
+    equivalent to running the two exchanges in sequence: Skolemize
+    [M12] ({!Smg_cq.Sotgd.skolemize_set}), resolve every premise atom
+    of each [M23] clause against the conclusions of fresh copies of
+    [M12] clauses by first-order unification (backtracking over all
+    choices), and keep the branches whose composed premise stays
+    first-order — a premise variable unified with a Skolem application
+    would demand a labelled null inside the (ground) source instance,
+    so those branches are dropped as unsatisfiable.
+
+    The result is reported in two forms: de-Skolemized plain st-tgds
+    where that is sound, residual second-order clauses (with the
+    reason) where it is not, and an executable encoding of every clause
+    for {!Smg_exchange.Engine}. *)
+
+type result = {
+  c_clauses : Smg_cq.Sotgd.t list;  (** composed clauses, deduplicated *)
+  c_plain : Smg_cq.Dependency.tgd list;
+      (** clauses equivalent to plain st-tgds (presentation form) *)
+  c_residual : (Smg_cq.Sotgd.t * string) list;
+      (** genuinely second-order clauses, with the reason *)
+  c_exec : Smg_cq.Dependency.tgd list;
+      (** every clause in the executable [sk!] encoding — execute this
+          set, never [c_plain], so cross-clause Skolem merging is kept *)
+  c_exact : bool;
+      (** false when the clause cap or the budget truncated the search *)
+  c_dropped : int;  (** unification branches dropped as null-joins *)
+  c_budget : Smg_robust.Budget.reason option;
+}
+
+val compose :
+  ?budget:Smg_robust.Budget.t ->
+  ?max_clauses:int ->
+  m12:Smg_cq.Dependency.tgd list ->
+  m23:Smg_cq.Dependency.tgd list ->
+  unit ->
+  result
+(** Compose two tgd sets. Every unification attempt ticks [budget]; on
+    exhaustion the clauses found so far are returned with
+    [c_exact = false] and [c_budget] set. [max_clauses] (default 256)
+    caps the composed clause count the same way. *)
+
+val pp : Format.formatter -> result -> unit

@@ -1,0 +1,74 @@
+module Schema = Smg_relational.Schema
+module Atom = Smg_cq.Atom
+module Dependency = Smg_cq.Dependency
+
+(* Swap the two sides and canonically rename every variable to [v0,
+   v1, …] (first-seen order over the new premise, then the new
+   conclusion). The renaming matters: the original conclusion may
+   contain [sk!…]-named Skolem variables, which become ordinary
+   universal variables of the reversed premise — renaming strips the
+   Skolem spelling so neither executor mistakes them for computed
+   terms. Variables private to the original premise become existential
+   in the reversal (the inverse cannot reconstruct them). *)
+let reverse_tgd (t : Dependency.tgd) =
+  let tbl = Hashtbl.create 16 in
+  let r x =
+    match Hashtbl.find_opt tbl x with
+    | Some y -> y
+    | None ->
+        let y = Printf.sprintf "v%d" (Hashtbl.length tbl) in
+        Hashtbl.replace tbl x y;
+        y
+  in
+  let rename_atom (a : Atom.t) =
+    {
+      a with
+      Atom.args =
+        List.map
+          (function Atom.Var x -> Atom.Var (r x) | Atom.Cst _ as c -> c)
+          a.Atom.args;
+    }
+  in
+  let lhs = List.map rename_atom t.Dependency.rhs in
+  let rhs = List.map rename_atom t.Dependency.lhs in
+  Dependency.tgd ~name:("inv:" ^ t.Dependency.tgd_name) ~lhs rhs
+
+let prime_table suffix (tb : Schema.table) =
+  { tb with Schema.tbl_name = tb.Schema.tbl_name ^ suffix }
+
+let prime_schema ~suffix (s : Schema.t) =
+  Schema.make
+    ~name:(s.Schema.schema_name ^ suffix)
+    (List.map (prime_table suffix) s.Schema.tables)
+    (List.map
+       (fun (rc : Schema.ric) ->
+         {
+           rc with
+           Schema.from_table = rc.Schema.from_table ^ suffix;
+           Schema.to_table = rc.Schema.to_table ^ suffix;
+         })
+       s.Schema.rics)
+
+let prime_rhs suffix (t : Dependency.tgd) =
+  {
+    t with
+    Dependency.rhs =
+      List.map
+        (fun (a : Atom.t) -> { a with Atom.pred = a.Atom.pred ^ suffix })
+        t.Dependency.rhs;
+  }
+
+let quasi_inverse ?prime tgds =
+  let reversed = List.map reverse_tgd tgds in
+  let reversed =
+    match prime with
+    | None -> reversed
+    | Some suffix -> List.map (prime_rhs suffix) reversed
+  in
+  (* reversal of near-duplicate candidates collapses often; dedup by
+     the canonical CQ-pair reading *)
+  List.fold_left
+    (fun acc t ->
+      if List.exists (Dependency.equal_tgd t) acc then acc else t :: acc)
+    [] reversed
+  |> List.rev

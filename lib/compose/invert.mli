@@ -1,0 +1,28 @@
+(** Reversal-based quasi-inverses of s-t tgd sets.
+
+    The reversal of [∀x̄ φ(x̄,ȳ) → ∃z̄ ψ(x̄,z̄)] is
+    [∀x̄,z̄ ψ(x̄,z̄) → ∃ȳ φ(x̄,ȳ)]: exported data is migrated back, and
+    the source facts that produced it are recovered up to the
+    variables the original mapping never exported (those return as
+    existentials). This is the recovery sense of inversion (Arenas,
+    Pérez, Riveros, "The recovery of a schema mapping") — reversal
+    always yields a recovery, and composing a mapping with its
+    reversal round-trips each source fact to a homomorphic image of
+    itself. It is not the full quasi-inverse construction: no
+    disjunction, no inequality side-conditions. *)
+
+val reverse_tgd : Smg_cq.Dependency.tgd -> Smg_cq.Dependency.tgd
+(** Swap premise and conclusion, canonically renaming all variables
+    (Skolem-named variables become ordinary ones — the inverse treats
+    invented values as opaque). The result is named [inv:<name>]. *)
+
+val quasi_inverse :
+  ?prime:string -> Smg_cq.Dependency.tgd list -> Smg_cq.Dependency.tgd list
+(** Reverse every tgd and deduplicate. [?prime] appends the given
+    suffix to every conclusion predicate, targeting the primed schema
+    copy from {!prime_schema} — chained pipelines (A → B → A′) need
+    the round-trip target to be a distinct schema. *)
+
+val prime_schema : suffix:string -> Smg_relational.Schema.t -> Smg_relational.Schema.t
+(** A copy of the schema with every table (and RIC endpoint) renamed
+    by the suffix. *)

@@ -1,0 +1,76 @@
+(** Multi-hop mapping pipelines: chained composition, sequential and
+    one-shot execution, and the end-to-end equivalence verdict.
+
+    A pipeline is a list of hops [A → B → … → Z], each carrying its
+    schemas and tgd set. {!compose_chain} folds {!Compose.compose} over
+    the hops into a single [A → Z] mapping; {!verify} materializes the
+    chain both ways — hop by hop with {!Smg_exchange.Engine}, and in
+    one shot with the composed mapping — and compares the results with
+    {!Smg_verify.Equiv} hom-equivalence.
+
+    Intermediate semantics are egd-free: composition is defined over
+    the tgds alone, so the sequential leg strips key constraints from
+    every intermediate schema (a mid-pipeline key merge would be
+    composition under target constraints, outside the FKPT algebra).
+    The final target's keys apply to both legs. *)
+
+type hop = {
+  h_source : Smg_relational.Schema.t;
+  h_target : Smg_relational.Schema.t;
+  h_tgds : Smg_cq.Dependency.tgd list;
+}
+
+type error = Exhausted of Smg_robust.Budget.reason | Failed of string
+
+val strip_keys : Smg_relational.Schema.t -> Smg_relational.Schema.t
+
+val check : hop list -> string list
+(** Compatibility warnings: predicates a hop reads that the previous
+    hop's target schema does not provide. *)
+
+val compose_chain :
+  ?budget:Smg_robust.Budget.t ->
+  ?max_clauses:int ->
+  hop list ->
+  Compose.result
+(** Left fold of binary composition over the chain (at least two
+    hops); exactness, dropped-branch counts, and budget exhaustion
+    accumulate across the steps. *)
+
+val sequential :
+  ?budget:Smg_robust.Budget.t ->
+  ?laconic:bool ->
+  hop list ->
+  Smg_relational.Instance.t ->
+  (Smg_relational.Instance.t, error) result
+(** Materialize hop by hop, feeding each hop's target instance to the
+    next hop's plans. *)
+
+val one_shot :
+  ?budget:Smg_robust.Budget.t ->
+  ?laconic:bool ->
+  source:Smg_relational.Schema.t ->
+  target:Smg_relational.Schema.t ->
+  exec:Smg_cq.Dependency.tgd list ->
+  Smg_relational.Instance.t ->
+  (Smg_relational.Instance.t, error) result
+(** Execute a composed mapping's executable clauses directly. *)
+
+type verdict = {
+  vd_equiv : bool;  (** one-shot ≡hom sequential *)
+  vd_seq_seconds : float;
+  vd_comp_seconds : float;
+  vd_seq_tuples : int;
+  vd_comp_tuples : int;
+}
+
+val verify :
+  ?budget:Smg_robust.Budget.t ->
+  ?laconic:bool ->
+  hop list ->
+  exec:Smg_cq.Dependency.tgd list ->
+  Smg_relational.Instance.t ->
+  (verdict, error) result
+(** Run both legs over the given source instance and compare. *)
+
+val pp_verdict : Format.formatter -> verdict -> unit

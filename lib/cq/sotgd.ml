@@ -1,0 +1,385 @@
+module Value = Smg_relational.Value
+
+type term = TVar of string | TCst of Value.t | TApp of string * term list
+type satom = { s_pred : string; s_args : term list }
+type t = { so_name : string; so_lhs : Atom.t list; so_rhs : satom list }
+
+(* ---- variable-name codec ------------------------------------------------ *)
+
+(* Variable names following the [sk!f!args] convention denote Skolem
+   applications; arguments are themselves encoded names (variables,
+   ['=']-prefixed constants, or nested [sk!…] applications), so the two
+   directions below are mutually recursive through the escape-aware
+   codec in {!Chase}. *)
+let rec term_of_var x =
+  match Chase.parse_skolem_var x with
+  | Some (f, args) -> TApp (f, List.map term_of_arg args)
+  | None -> TVar x
+
+and term_of_arg a =
+  match Chase.parse_skolem_var a with
+  | Some (f, args) -> TApp (f, List.map term_of_arg args)
+  | None -> (
+      match Chase.decode_skolem_arg a with
+      | Chase.Sk_var v -> TVar v
+      | Chase.Sk_cst c -> TCst c)
+
+let rec encode_arg = function
+  | TVar v -> Chase.encode_skolem_arg (Chase.Sk_var v)
+  | TCst c -> Chase.encode_skolem_arg (Chase.Sk_cst c)
+  | TApp (f, args) -> Chase.skolem_var ~f ~args:(List.map encode_arg args)
+
+let var_of_app f args = Chase.skolem_var ~f ~args:(List.map encode_arg args)
+
+let term_of_atom_term = function
+  | Atom.Var x -> term_of_var x
+  | Atom.Cst c -> TCst c
+
+let atom_term_of_term = function
+  | TVar v -> Atom.Var v
+  | TCst c -> Atom.Cst c
+  | TApp (f, args) -> Atom.Var (var_of_app f args)
+
+let satom_of_atom (a : Atom.t) =
+  { s_pred = a.Atom.pred; s_args = List.map term_of_atom_term a.Atom.args }
+
+let atom_of_satom s =
+  Atom.atom s.s_pred (List.map atom_term_of_term s.s_args)
+
+(* ---- inspection --------------------------------------------------------- *)
+
+let rec term_vars = function
+  | TVar x -> [ x ]
+  | TCst _ -> []
+  | TApp (_, args) -> List.concat_map term_vars args
+
+let rec term_functions = function
+  | TVar _ | TCst _ -> []
+  | TApp (f, args) -> f :: List.concat_map term_functions args
+
+let uniq xs =
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun x ->
+      if Hashtbl.mem seen x then false
+      else begin
+        Hashtbl.replace seen x ();
+        true
+      end)
+    xs
+
+let rhs_vars so =
+  uniq (List.concat_map (fun s -> List.concat_map term_vars s.s_args) so.so_rhs)
+
+let vars so = uniq (Atom.vars_of_list so.so_lhs @ rhs_vars so)
+
+let functions so =
+  uniq
+    (List.concat_map
+       (fun s -> List.concat_map term_functions s.s_args)
+       so.so_rhs)
+
+(* ---- substitutions and unification -------------------------------------- *)
+
+module Sub = Map.Make (String)
+
+type subst = term Sub.t
+
+let subst_empty = Sub.empty
+let subst_find s x = Sub.find_opt x s
+
+let rec apply_term s = function
+  | TVar x as t -> (
+      match Sub.find_opt x s with
+      | Some t' -> apply_term s t' (* substitutions are built as chains *)
+      | None -> t)
+  | TCst _ as t -> t
+  | TApp (f, args) -> TApp (f, List.map (apply_term s) args)
+
+let apply_satom s sa = { sa with s_args = List.map (apply_term s) sa.s_args }
+
+let rec occurs s x = function
+  | TVar y -> (
+      x = y
+      || match Sub.find_opt y s with Some t -> occurs s x t | None -> false)
+  | TCst _ -> false
+  | TApp (_, args) -> List.exists (occurs s x) args
+
+(* Sound and complete first-order unification (with occur check) over
+   {!term}; the substitution is kept in triangular form, so lookups
+   chase bindings through {!apply_term}. *)
+let rec unify s t1 t2 =
+  let t1 = apply_term s t1 and t2 = apply_term s t2 in
+  match (t1, t2) with
+  | TVar x, TVar y when x = y -> Some s
+  | TVar x, t | t, TVar x -> if occurs s x t then None else Some (Sub.add x t s)
+  | TCst a, TCst b -> if Value.equal a b then Some s else None
+  | TApp (f, fa), TApp (g, ga) ->
+      if f = g && List.length fa = List.length ga then unify_all s fa ga
+      else None
+  | (TCst _ | TApp _), _ -> None
+
+and unify_all s xs ys =
+  match (xs, ys) with
+  | [], [] -> Some s
+  | x :: xs, y :: ys -> (
+      match unify s x y with Some s -> unify_all s xs ys | None -> None)
+  | _ -> None
+
+let unify_satoms s a b =
+  if a.s_pred = b.s_pred && List.length a.s_args = List.length b.s_args then
+    unify_all s a.s_args b.s_args
+  else None
+
+(* ---- renaming ----------------------------------------------------------- *)
+
+let rec rename_term r = function
+  | TVar x -> TVar (r x)
+  | TCst _ as t -> t
+  | TApp (f, args) -> TApp (f, List.map (rename_term r) args)
+
+let rename_vars r so =
+  {
+    so with
+    so_lhs =
+      List.map
+        (fun (a : Atom.t) ->
+          {
+            a with
+            Atom.args =
+              List.map
+                (function
+                  | Atom.Var x -> Atom.Var (r x)
+                  | Atom.Cst _ as t -> t)
+                a.Atom.args;
+          })
+        so.so_lhs;
+    so_rhs =
+      List.map (fun s -> { s with s_args = List.map (rename_term r) s.s_args })
+        so.so_rhs;
+  }
+
+let rename_apart ~suffix so = rename_vars (fun x -> x ^ suffix) so
+
+(* Canonical first-seen variable numbering; the normal form under which
+   two clauses differing only in variable names compare equal. Function
+   names are preserved — clauses with different Skolem functions are
+   genuinely different mappings (they merge differently), so unlike
+   [Dependency.equal_tgd] this never identifies them. *)
+let canonical so =
+  let tbl = Hashtbl.create 16 in
+  let r x =
+    match Hashtbl.find_opt tbl x with
+    | Some y -> y
+    | None ->
+        let y = Printf.sprintf "v%d" (Hashtbl.length tbl) in
+        Hashtbl.replace tbl x y;
+        y
+  in
+  List.iter (fun a -> List.iter (fun v -> ignore (r v)) (Atom.vars a)) so.so_lhs;
+  List.iter
+    (fun s -> List.iter (fun v -> ignore (r v)) (List.concat_map term_vars s.s_args))
+    so.so_rhs;
+  rename_vars r so
+
+let equal a b =
+  let ca = canonical { a with so_name = "" }
+  and cb = canonical { b with so_name = "" } in
+  ca = cb
+
+(* ---- conversion to and from plain tgds ---------------------------------- *)
+
+let of_tgd (t : Dependency.tgd) =
+  {
+    so_name = t.Dependency.tgd_name;
+    so_lhs = t.Dependency.lhs;
+    so_rhs = List.map satom_of_atom t.Dependency.rhs;
+  }
+
+let to_exec_tgd so =
+  Dependency.tgd ~name:so.so_name ~lhs:so.so_lhs
+    (List.map atom_of_satom so.so_rhs)
+
+(* Skolemize every plain existential of every tgd in the set, keeping
+   pre-existing [sk!] variables as the applications they already denote.
+   Function names are fresh across the whole set (including functions
+   already present), so later unification identifies two applications
+   only when they really are the same function of the same mapping —
+   the invariant the composition algorithm relies on. *)
+let skolemize_set tgds =
+  let sos = List.map of_tgd tgds in
+  let used = Hashtbl.create 16 in
+  List.iter
+    (fun so -> List.iter (fun f -> Hashtbl.replace used f ()) (functions so))
+    sos;
+  let fresh_fn base =
+    let rec go i =
+      let cand = if i = 0 then base else Printf.sprintf "%s_%d" base i in
+      if Hashtbl.mem used cand then go (i + 1)
+      else begin
+        Hashtbl.replace used cand ();
+        cand
+      end
+    in
+    go 0
+  in
+  List.mapi
+    (fun i so ->
+      let lhs_vars = Atom.vars_of_list so.so_lhs in
+      let shared =
+        List.filter (fun x -> List.mem x lhs_vars) (rhs_vars so)
+      in
+      let args = List.map (fun x -> TVar x) shared in
+      let assigned = Hashtbl.create 4 in
+      let rec sk t =
+        match t with
+        | TVar x when not (List.mem x lhs_vars) -> (
+            match Hashtbl.find_opt assigned x with
+            | Some a -> a
+            | None ->
+                let f = fresh_fn (Printf.sprintf "sk%d_%s" i x) in
+                let a = TApp (f, args) in
+                Hashtbl.replace assigned x a;
+                a)
+        | TVar _ | TCst _ -> t
+        | TApp (f, aa) -> TApp (f, List.map sk aa)
+      in
+      {
+        so with
+        so_rhs =
+          List.map (fun s -> { s with s_args = List.map sk s.s_args }) so.so_rhs;
+      })
+    sos
+
+type deskolemized = {
+  ds_plain : Dependency.tgd list;
+  ds_residual : (t * string) list;
+}
+
+(* A clause de-Skolemizes soundly when each application is flat, has
+   variable-only arguments covering every universal variable of the
+   clause's conclusion, occurs with a single argument pattern, and its
+   function appears in no other clause of the set: then two triggers
+   agreeing on any application's arguments generate identical
+   conclusions, so replacing each application by a fresh existential
+   changes nothing up to logical equivalence. Anything else is reported
+   as a genuine second-order residue with the reason. *)
+let deskolemize sos =
+  let owner = Hashtbl.create 16 in
+  List.iteri
+    (fun i so ->
+      List.iter
+        (fun f ->
+          match Hashtbl.find_opt owner f with
+          | Some j when j <> i -> Hashtbl.replace owner f (-1) (* shared *)
+          | Some _ -> ()
+          | None -> Hashtbl.replace owner f i)
+        (functions so))
+    sos;
+  let results =
+    List.map
+      (fun so ->
+        let lhs_vars = Atom.vars_of_list so.so_lhs in
+        let shared = List.filter (fun x -> List.mem x lhs_vars) (rhs_vars so) in
+        let patterns = Hashtbl.create 4 in
+        let reason = ref None in
+        let note r = if !reason = None then reason := Some r in
+        let rec scan t =
+          match t with
+          | TVar _ | TCst _ -> ()
+          | TApp (f, args) ->
+              if Hashtbl.find_opt owner f = Some (-1) then
+                note
+                  (Printf.sprintf "function %s is shared across clauses" f);
+              List.iter
+                (fun a ->
+                  match a with
+                  | TVar _ -> ()
+                  | TCst c ->
+                      note
+                        (Printf.sprintf "%s has constant argument %s" f
+                           (Value.to_string c))
+                  | TApp (g, _) ->
+                      note
+                        (Printf.sprintf "nested Skolem term %s(… %s(…) …)" f g))
+                args;
+              let arg_vars = List.concat_map term_vars args in
+              List.iter
+                (fun x ->
+                  if not (List.mem x arg_vars) then
+                    note
+                      (Printf.sprintf
+                         "arguments of %s omit universal variable %s" f x))
+                shared;
+              (match Hashtbl.find_opt patterns f with
+              | Some args' when args' <> args ->
+                  note
+                    (Printf.sprintf "%s is used with differing argument lists"
+                       f)
+              | Some _ -> ()
+              | None -> Hashtbl.replace patterns f args);
+              List.iter scan args
+        in
+        List.iter (fun s -> List.iter scan s.s_args) so.so_rhs;
+        match !reason with
+        | Some r -> Either.Right (so, r)
+        | None ->
+            (* each distinct application becomes a fresh existential *)
+            let fresh = Hashtbl.create 4 in
+            let taken = vars so in
+            let next = ref 0 in
+            let fresh_var () =
+              let rec go () =
+                let v = Printf.sprintf "e%d" !next in
+                incr next;
+                if List.mem v taken then go () else v
+              in
+              go ()
+            in
+            let term = function
+              | TVar x -> Atom.Var x
+              | TCst c -> Atom.Cst c
+              | TApp (f, _) -> (
+                  match Hashtbl.find_opt fresh f with
+                  | Some v -> Atom.Var v
+                  | None ->
+                      let v = fresh_var () in
+                      Hashtbl.replace fresh f v;
+                      Atom.Var v)
+            in
+            let rhs =
+              List.map
+                (fun s -> Atom.atom s.s_pred (List.map term s.s_args))
+                so.so_rhs
+            in
+            Either.Left (Dependency.tgd ~name:so.so_name ~lhs:so.so_lhs rhs))
+      sos
+  in
+  {
+    ds_plain = List.filter_map (function Either.Left t -> Some t | _ -> None) results;
+    ds_residual =
+      List.filter_map (function Either.Right r -> Some r | _ -> None) results;
+  }
+
+(* ---- pretty-printing ---------------------------------------------------- *)
+
+let rec pp_term ppf = function
+  | TVar x -> Fmt.string ppf x
+  | TCst c -> Value.pp ppf c
+  | TApp (f, args) ->
+      Fmt.pf ppf "%s(%a)" f (Fmt.list ~sep:Fmt.comma pp_term) args
+
+let pp_satom ppf s =
+  Fmt.pf ppf "%s(%a)" s.s_pred (Fmt.list ~sep:Fmt.comma pp_term) s.s_args
+
+let pp ppf so =
+  let fns = functions so in
+  let pp_fns ppf = function
+    | [] -> ()
+    | fs -> Fmt.pf ppf "∃%a. " (Fmt.list ~sep:Fmt.comma Fmt.string) fs
+  in
+  Fmt.pf ppf "@[<hov2>%s:@ %a%a@ →@ %a@]" so.so_name pp_fns fns
+    (Fmt.list ~sep:(Fmt.any " ∧ ") Atom.pp)
+    so.so_lhs
+    (Fmt.list ~sep:(Fmt.any " ∧ ") pp_satom)
+    so.so_rhs

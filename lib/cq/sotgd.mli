@@ -1,0 +1,116 @@
+(** Second-order tgds: s-t dependencies whose conclusions may contain
+    Skolem-function applications (Fagin–Kolaitis–Popa–Tan, "Composing
+    schema mappings: second-order dependencies to the rescue").
+
+    This is the explicit-term view of the [sk!f!args] variable-name
+    convention shared by {!Chase} and the plan engine: a clause
+    [∀x̄ φ(x̄) → ψ] where [ψ]'s argument terms are variables, constants,
+    or (possibly nested) applications [f(t̄)] of existentially
+    quantified function symbols. Plain tgds embed via {!of_tgd}; the
+    composition engine ([Smg_compose]) works on this representation and
+    lowers results back to executable tgds with {!to_exec_tgd}. *)
+
+type term =
+  | TVar of string
+  | TCst of Smg_relational.Value.t
+  | TApp of string * term list  (** Skolem-function application *)
+
+type satom = { s_pred : string; s_args : term list }
+
+type t = { so_name : string; so_lhs : Atom.t list; so_rhs : satom list }
+(** One SO-tgd clause. The premise is first-order (plain atoms); only
+    conclusion terms may be applications. A conclusion [TVar] absent
+    from the premise is a plain existential variable. *)
+
+(** {1 Variable-name codec} *)
+
+val term_of_var : string -> term
+(** Interpret a variable name: [sk!…]-named variables decode to the
+    application they denote (recursively), anything else is a [TVar]. *)
+
+val term_of_atom_term : Atom.term -> term
+val atom_term_of_term : term -> Atom.term
+(** [atom_term_of_term] encodes applications back into [sk!…] variable
+    names (the executable spelling); inverse of {!term_of_atom_term}. *)
+
+val satom_of_atom : Atom.t -> satom
+val atom_of_satom : satom -> Atom.t
+
+(** {1 Inspection} *)
+
+val vars : t -> string list
+(** All variables, premise first, in first-occurrence order. *)
+
+val rhs_vars : t -> string list
+val functions : t -> string list
+(** Function symbols of the conclusion, in first-occurrence order. *)
+
+val term_vars : term -> string list
+
+(** {1 Substitution and unification} *)
+
+type subst
+
+val subst_empty : subst
+val subst_find : subst -> string -> term option
+val apply_term : subst -> term -> term
+val apply_satom : subst -> satom -> satom
+
+val unify : subst -> term -> term -> subst option
+(** First-order unification with occur check, extending the given
+    substitution; function applications unify only symbol-wise. *)
+
+val unify_satoms : subst -> satom -> satom -> subst option
+
+(** {1 Renaming and comparison} *)
+
+val rename_apart : suffix:string -> t -> t
+val canonical : t -> t
+(** Variables renamed to [v0, v1, …] in first-occurrence order. *)
+
+val equal : t -> t -> bool
+(** Syntactic equality up to variable renaming ([canonical] forms
+    compared), names ignored. Unlike {!Dependency.equal_tgd} this keeps
+    Skolem functions apart: clauses differing only in function symbols
+    merge data differently and are not identified. *)
+
+(** {1 Conversion} *)
+
+val of_tgd : Dependency.tgd -> t
+(** Embed a plain tgd, decoding any [sk!…]-named existentials into the
+    applications they denote. *)
+
+val to_exec_tgd : t -> Dependency.tgd
+(** Lower to an executable tgd: applications become [sk!…]-named
+    existential variables, which both {!Chase} and the plan engine
+    evaluate as deterministic Skolem terms (nested applications
+    included). *)
+
+val skolemize_set : Dependency.tgd list -> t list
+(** Skolemize a tgd set: every plain existential becomes an application
+    of a fresh function symbol to the clause's premise∩conclusion
+    variables (the restricted chase's merging granularity). Function
+    names are unique across the whole set — including symbols already
+    present — so unification identifies two applications only when they
+    denote the same witness of the same clause. *)
+
+type deskolemized = {
+  ds_plain : Dependency.tgd list;
+      (** clauses equivalent to plain st-tgds, lowered *)
+  ds_residual : (t * string) list;
+      (** genuinely second-order clauses, with the reason *)
+}
+
+val deskolemize : t list -> deskolemized
+(** Lower each clause to a plain tgd when that is sound: every
+    application must be flat, variable-only, cover the clause's
+    conclusion universals, use one argument pattern, and own its
+    function symbol exclusively. Clauses failing the test are returned
+    as residual SO-tgds with a human-readable reason. *)
+
+(** {1 Pretty-printing} *)
+
+val pp_term : Format.formatter -> term -> unit
+val pp_satom : Format.formatter -> satom -> unit
+val pp : Format.formatter -> t -> unit
+(** Renders [name: ∃f,g. φ → ψ] with explicit function terms. *)

@@ -8,6 +8,7 @@ type t = {
   doc_cms : Smg_cm.Cml.t list;
   doc_semantics : semantics_block list;
   doc_corrs : Smg_cq.Mapping.corr list;
+  doc_tgds : Smg_cq.Dependency.tgd list;
   doc_data : (string * Smg_relational.Value.t list list) list;
 }
 
@@ -17,6 +18,7 @@ let empty =
     doc_cms = [];
     doc_semantics = [];
     doc_corrs = [];
+    doc_tgds = [];
     doc_data = [];
   }
 

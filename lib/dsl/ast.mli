@@ -14,6 +14,9 @@ type t = {
   doc_cms : Smg_cm.Cml.t list;
   doc_semantics : semantics_block list;
   doc_corrs : Smg_cq.Mapping.corr list;
+  doc_tgds : Smg_cq.Dependency.tgd list;
+      (** explicit dependencies ([tgd] blocks): saved discovery or
+          composition output, Skolem terms in the [sk f(…)] spelling *)
   doc_data : (string * Smg_relational.Value.t list list) list;
       (** instance rows per table, in column order *)
 }

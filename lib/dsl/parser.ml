@@ -375,6 +375,104 @@ let parse_data st =
   go ();
   (table, List.rev !rows)
 
+(* ---- tgd ----- *)
+
+(* Terms of a dependency atom. Variables are bare identifiers (or
+   [var "…"] when the name is not lexable — composition suffixes
+   variables with characters outside the identifier charset); Skolem
+   applications are spelled [sk f(…)] and lowered back to the
+   [sk!f!args] variable encoding shared by the executors; constants
+   are value literals, with [float "…"] for floats (the lexer has no
+   float token). *)
+let rec parse_term st : Smg_cq.Sotgd.term =
+  let module Sotgd = Smg_cq.Sotgd in
+  let l = next st in
+  match l.Lexer.tok with
+  | Lexer.STRING s -> Sotgd.TCst (Smg_relational.Value.VString s)
+  | Lexer.INT k -> Sotgd.TCst (Smg_relational.Value.VInt k)
+  | Lexer.IDENT "null" -> Sotgd.TCst (Smg_relational.Value.fresh_null ())
+  | Lexer.IDENT "true" -> Sotgd.TCst (Smg_relational.Value.VBool true)
+  | Lexer.IDENT "false" -> Sotgd.TCst (Smg_relational.Value.VBool false)
+  | Lexer.IDENT "float" -> (
+      let l2 = next st in
+      match l2.Lexer.tok with
+      | Lexer.STRING s -> (
+          match float_of_string_opt s with
+          | Some f -> Sotgd.TCst (Smg_relational.Value.VFloat f)
+          | None -> fail l2 "bad float literal %S" s)
+      | t -> fail l2 "expected a float string, found %s" (Fmt.str "%a" Lexer.pp_token t))
+  | Lexer.IDENT "var" -> (
+      let l2 = next st in
+      match l2.Lexer.tok with
+      | Lexer.STRING s -> Sotgd.TVar s
+      | t -> fail l2 "expected a variable string, found %s" (Fmt.str "%a" Lexer.pp_token t))
+  | Lexer.IDENT "sk" ->
+      let l2 = next st in
+      let f =
+        match l2.Lexer.tok with
+        | Lexer.IDENT f | Lexer.STRING f -> f
+        | t ->
+            fail l2 "expected a Skolem function name, found %s"
+              (Fmt.str "%a" Lexer.pp_token t)
+      in
+      Sotgd.TApp (f, parse_term_list st)
+  | Lexer.IDENT x -> Sotgd.TVar x
+  | t -> fail l "expected a term, found %s" (Fmt.str "%a" Lexer.pp_token t)
+
+and parse_term_list st =
+  expect st Lexer.LPAREN;
+  if (peek st).Lexer.tok = Lexer.RPAREN then begin
+    ignore (next st);
+    []
+  end
+  else
+    let rec go acc =
+      let t = parse_term st in
+      match (peek st).Lexer.tok with
+      | Lexer.COMMA ->
+          ignore (next st);
+          go (t :: acc)
+      | _ ->
+          expect st Lexer.RPAREN;
+          List.rev (t :: acc)
+    in
+    go []
+
+let parse_dep_atom st =
+  let pred = ident st in
+  let terms = parse_term_list st in
+  Smg_cq.Atom.atom pred (List.map Smg_cq.Sotgd.atom_term_of_term terms)
+
+(* atom, atom, … ";" *)
+let parse_atom_list st =
+  let rec go acc =
+    let a = parse_dep_atom st in
+    match (peek st).Lexer.tok with
+    | Lexer.COMMA ->
+        ignore (next st);
+        go (a :: acc)
+    | _ ->
+        expect st Lexer.SEMI;
+        List.rev (a :: acc)
+  in
+  go []
+
+let parse_tgd st =
+  let l = next st in
+  let name =
+    match l.Lexer.tok with
+    | Lexer.STRING s -> s
+    | Lexer.IDENT s -> s
+    | t -> fail l "expected a tgd name, found %s" (Fmt.str "%a" Lexer.pp_token t)
+  in
+  expect st Lexer.LBRACE;
+  keyword st "lhs";
+  let lhs = parse_atom_list st in
+  keyword st "rhs";
+  let rhs = parse_atom_list st in
+  expect st Lexer.RBRACE;
+  Smg_cq.Dependency.tgd ~name ~lhs rhs
+
 (* ---- corr ----- *)
 
 let parse_corr st =
@@ -419,6 +517,10 @@ let parse src =
     | Lexer.IDENT "corr" ->
         ignore (next st);
         doc := { !doc with Ast.doc_corrs = !doc.Ast.doc_corrs @ [ parse_corr st ] };
+        go ()
+    | Lexer.IDENT "tgd" ->
+        ignore (next st);
+        doc := { !doc with Ast.doc_tgds = !doc.Ast.doc_tgds @ [ parse_tgd st ] };
         go ()
     | Lexer.IDENT "data" ->
         ignore (next st);

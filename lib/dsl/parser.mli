@@ -2,7 +2,7 @@
 
     Grammar sketch (see the README for a complete example):
     {v
-    document   := (schema | cm | semantics | corr)*
+    document   := (schema | cm | semantics | corr | tgd | data)*
     schema     := "schema" IDENT "{" (table | ric)* "}"
     table      := "table" IDENT "{" (col | key)* "}"
     col        := "col" IDENT ":" type ";"
@@ -25,6 +25,11 @@
     colmap     := "col" IDENT "->" noderef "." IDENT ";"
     id         := "id" noderef "(" idents ")" ";"
     corr       := "corr" IDENT "." IDENT "<->" IDENT "." IDENT ";"
+    tgd        := "tgd" (STRING | IDENT) "{" "lhs" atoms ";" "rhs" atoms ";" "}"
+    atoms      := atom ("," atom)*
+    atom       := IDENT "(" [term ("," term)*] ")"
+    term       := IDENT | "var" STRING | "sk" (IDENT | STRING) "(" terms ")"
+                | value | "float" STRING
     data       := "data" IDENT "{" ("row" "(" value ("," value)* ")" ";")* "}"
     value      := STRING | INT | "null" | "true" | "false"
     v}

@@ -115,16 +115,18 @@ let pp_semantics ppf (b : Ast.semantics_block) =
     st.Stree.id_map;
   Fmt.pf ppf "@]@,}"
 
+let pp_string_lit ppf s =
+  Fmt.pf ppf "\"%s\""
+    (String.concat ""
+       (List.map
+          (fun c ->
+            if c = '"' || c = '\\' then "\\" ^ String.make 1 c
+            else String.make 1 c)
+          (List.init (String.length s) (String.get s))))
+
 let pp_value ppf (v : Smg_relational.Value.t) =
   match v with
-  | Smg_relational.Value.VString s ->
-      Fmt.pf ppf "\"%s\""
-        (String.concat ""
-           (List.map
-              (fun c ->
-                if c = '"' || c = '\\' then "\\" ^ String.make 1 c
-                else String.make 1 c)
-              (List.init (String.length s) (String.get s))))
+  | Smg_relational.Value.VString s -> pp_string_lit ppf s
   | Smg_relational.Value.VInt k -> Fmt.int ppf k
   | Smg_relational.Value.VBool b -> Fmt.bool ppf b
   | Smg_relational.Value.VFloat f -> Fmt.float ppf f
@@ -138,6 +140,54 @@ let pp_data ppf (table, rows) =
     rows;
   Fmt.pf ppf "@]@,}"
 
+(* ---- tgd blocks ----- *)
+
+let term_keywords = [ "var"; "sk"; "null"; "true"; "false"; "float" ]
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9') || c = '~'
+
+(* Would the lexer read this back as one identifier token (and the term
+   parser not mistake it for a keyword)? Composition suffixes variables
+   with [!]/[?], which need the [var "…"] escape hatch. *)
+let lexable_ident s =
+  String.length s > 0
+  && is_ident_start s.[0]
+  && String.for_all is_ident_char s
+  && not (List.mem s term_keywords)
+
+let rec pp_dep_term ppf (t : Smg_cq.Sotgd.term) =
+  match t with
+  | Smg_cq.Sotgd.TVar v ->
+      if lexable_ident v then Fmt.string ppf v
+      else Fmt.pf ppf "var %a" pp_string_lit v
+  | Smg_cq.Sotgd.TCst (Smg_relational.Value.VFloat f) ->
+      (* hex float: exact round-trip, and the lexer has no float token *)
+      Fmt.pf ppf "float \"%h\"" f
+  | Smg_cq.Sotgd.TCst v -> pp_value ppf v
+  | Smg_cq.Sotgd.TApp (f, args) ->
+      let pp_f ppf f =
+        if lexable_ident f then Fmt.string ppf f else pp_string_lit ppf f
+      in
+      Fmt.pf ppf "sk %a(%a)" pp_f f
+        (Fmt.list ~sep:(Fmt.any ", ") pp_dep_term)
+        args
+
+let pp_dep_atom ppf (a : Smg_cq.Atom.t) =
+  Fmt.pf ppf "%s(%a)" a.Smg_cq.Atom.pred
+    (Fmt.list ~sep:(Fmt.any ", ") pp_dep_term)
+    (List.map Smg_cq.Sotgd.term_of_atom_term a.Smg_cq.Atom.args)
+
+let pp_tgd ppf (t : Smg_cq.Dependency.tgd) =
+  Fmt.pf ppf "@[<v2>tgd %a {@,lhs %a;@,rhs %a;@]@,}" pp_string_lit
+    t.Smg_cq.Dependency.tgd_name
+    (Fmt.list ~sep:(Fmt.any ", ") pp_dep_atom)
+    t.Smg_cq.Dependency.lhs
+    (Fmt.list ~sep:(Fmt.any ", ") pp_dep_atom)
+    t.Smg_cq.Dependency.rhs
+
 let pp_corr ppf (c : Mapping.corr) =
   let st, sc = c.Mapping.c_src and tt, tc = c.Mapping.c_tgt in
   Fmt.pf ppf "corr %s.%s <-> %s.%s;" st sc tt tc
@@ -148,6 +198,7 @@ let pp ppf (d : Ast.t) =
   List.iter (fun c -> Fmt.pf ppf "%a@,@," pp_cm c) d.Ast.doc_cms;
   List.iter (fun b -> Fmt.pf ppf "%a@,@," pp_semantics b) d.Ast.doc_semantics;
   List.iter (fun c -> Fmt.pf ppf "%a@," pp_corr c) d.Ast.doc_corrs;
+  List.iter (fun t -> Fmt.pf ppf "%a@,@," pp_tgd t) d.Ast.doc_tgds;
   List.iter (fun b -> Fmt.pf ppf "%a@,@," pp_data b) d.Ast.doc_data;
   Fmt.pf ppf "@]"
 

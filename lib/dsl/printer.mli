@@ -8,3 +8,10 @@ val pp_schema : Format.formatter -> Smg_relational.Schema.t -> unit
 val pp_cm : Format.formatter -> Smg_cm.Cml.t -> unit
 val pp_semantics : Format.formatter -> Ast.semantics_block -> unit
 val pp_corr : Format.formatter -> Smg_cq.Mapping.corr -> unit
+
+val pp_tgd : Format.formatter -> Smg_cq.Dependency.tgd -> unit
+(** A [tgd "name" { lhs …; rhs …; }] block. Skolem-named existential
+    variables print as explicit [sk f(…)] applications and re-parse to
+    the identical [sk!…] encoding; variable names outside the
+    identifier charset use the [var "…"] spelling. Printing then
+    re-parsing any discovered or composed tgd is the identity. *)

@@ -103,16 +103,29 @@ let create ~source ~target inst =
 
 (* ---- satisfaction check ------------------------------------------------- *)
 
+(* The value of a compiled Skolem argument under the trigger's
+   bindings; nested applications (composition output) recurse. *)
+let rec sk_arg_value env = function
+  | Plan.ASlot s -> env.(s)
+  | Plan.AConst c -> c
+  | Plan.AApp (g, nested) ->
+      Smg_cq.Chase.skolem_term ~f:g ~args:(List.map (sk_arg_value env) nested)
+
+let skolem_cell_value env f args =
+  Smg_cq.Chase.skolem_term ~f ~args:(List.map (sk_arg_value env) args)
+
 (* Restricted-chase trigger test: does some assignment of the
    existential wildcards extend [env] so every rhs atom is present?
-   Backtracking over the check templates; each template probes the
-   target index on its statically-known positions. *)
+   Skolem cells are computed from [env], not wildcarded. Backtracking
+   over the check templates; each template probes the target index on
+   its statically-known positions. *)
 let satisfied e (plan : Plan.t) env (stats : Obs.tstats) =
   let exenv = Array.make (max plan.Plan.p_nex 1) None in
   let cell_value cell =
     match cell with
     | Plan.KSlot s -> env.(s)
     | Plan.KConst c -> c
+    | Plan.KSkolem (f, args) -> skolem_cell_value env f args
     | Plan.KEx x -> (
         match exenv.(x) with
         | Some v -> v
@@ -149,6 +162,8 @@ let satisfied e (plan : Plan.t) env (stats : Obs.tstats) =
               (match ck.Plan.ck_cells.(pos) with
                 | Plan.KSlot s -> Value.equal tup.(pos) env.(s)
                 | Plan.KConst c -> Value.equal tup.(pos) c
+                | Plan.KSkolem (f, args) ->
+                    Value.equal tup.(pos) (skolem_cell_value env f args)
                 | Plan.KEx x -> (
                     match exenv.(x) with
                     | Some v -> Value.equal tup.(pos) v
@@ -190,9 +205,7 @@ let fire ?budget e (plan : Plan.t) env (stats : Obs.tstats) =
               | Plan.CSlot s -> env.(s)
               | Plan.CConst c -> c
               | Plan.CNull k -> nulls.(k)
-              | Plan.CSkolem (f, args) ->
-                  Smg_cq.Chase.skolem_term ~f
-                    ~args:(List.map (fun s -> env.(s)) args))
+              | Plan.CSkolem (f, args) -> skolem_cell_value env f args)
             em.Plan.em_cells
         in
         let st = Hashtbl.find e.e_tgt em.Plan.em_pred in

@@ -17,7 +17,11 @@ let exported (t : Dependency.tgd) =
     List.concat_map
       (fun x ->
         match Chase.parse_skolem_var x with
-        | Some (_, args) -> List.filter (fun a -> List.mem a lhs_vars) args
+        | Some _ ->
+            (* all variables of the application, nested args included *)
+            List.filter
+              (fun v -> List.mem v lhs_vars)
+              (Smg_cq.Sotgd.term_vars (Smg_cq.Sotgd.term_of_var x))
         | None -> [])
       rhs_vars
   in

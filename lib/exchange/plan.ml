@@ -17,15 +17,24 @@ type scan = {
   sc_binds : (int * int) list;  (* position -> fresh slot bound here *)
 }
 
+type sk_arg = ASlot of int | AConst of Value.t | AApp of string * sk_arg list
+
 type cell =
   | CSlot of int
   | CConst of Value.t
   | CNull of int  (* index into the trigger's fresh-null vector *)
-  | CSkolem of string * int list  (* Skolem function, argument slots *)
+  | CSkolem of string * sk_arg list
+      (* Skolem function, arguments drawn from bound slots or embedded
+         constants (composition substitutes constants into Skolem
+         arguments) *)
 
 type emit = { em_pred : string; em_cells : cell array }
 
-type check_cell = KSlot of int | KConst of Value.t | KEx of int
+type check_cell =
+  | KSlot of int
+  | KConst of Value.t
+  | KEx of int
+  | KSkolem of string * sk_arg list
 
 type check = {
   ck_pred : string;
@@ -163,18 +172,24 @@ let compile ?card ~source ~target (tgd : Dependency.tgd) =
       incr nex;
       match Chase.parse_skolem_var x with
       | Some (f, args) ->
-          let arg_slots =
-            List.map
-              (fun v ->
+          (* arguments: bound slots, embedded constants, or nested
+             applications (composition output) compiled recursively *)
+          let rec compile_arg a =
+            match Chase.decode_skolem_arg a with
+            | Chase.Sk_cst c -> AConst c
+            | Chase.Sk_var v -> (
                 match Hashtbl.find_opt slot_of v with
-                | Some s -> s
-                | None ->
-                    invalid_arg
-                      (Printf.sprintf "plan %s: skolem argument %s not universal"
-                         tgd.Dependency.tgd_name v))
-              args
+                | Some s -> ASlot s
+                | None -> (
+                    match Chase.parse_skolem_var v with
+                    | Some (g, nested) -> AApp (g, List.map compile_arg nested)
+                    | None ->
+                        invalid_arg
+                          (Printf.sprintf
+                             "plan %s: skolem argument %s not universal"
+                             tgd.Dependency.tgd_name v)))
           in
-          Hashtbl.replace skolem_of x (f, arg_slots)
+          Hashtbl.replace skolem_of x (f, List.map compile_arg args)
       | None ->
           Hashtbl.replace null_of x !nnulls;
           incr nnulls
@@ -203,8 +218,11 @@ let compile ?card ~source ~target (tgd : Dependency.tgd) =
         { em_pred = a.pred; em_cells = cells })
       tgd.Dependency.rhs
   in
-  (* satisfaction-check templates: every existential (Skolem included)
-     is a wildcard, as in the restricted chase *)
+  (* satisfaction-check templates: plain existentials are wildcards, as
+     in the restricted chase, but a Skolem-named existential has a value
+     determined by the trigger's bindings — the check must compute it,
+     or a trigger would be skipped because a *different* Skolem row is
+     already present. *)
   let introduced = Hashtbl.create 8 in
   let checks =
     List.map
@@ -218,7 +236,11 @@ let compile ?card ~source ~target (tgd : Dependency.tgd) =
                  | Atom.Var x -> (
                      match Hashtbl.find_opt slot_of x with
                      | Some s -> KSlot s
-                     | None -> KEx (Hashtbl.find ex_of x)))
+                     | None -> (
+                         existential x;
+                         match Hashtbl.find_opt skolem_of x with
+                         | Some (f, args) -> KSkolem (f, args)
+                         | None -> KEx (Hashtbl.find ex_of x))))
                a.args)
         in
         let probe = ref [] in
@@ -226,7 +248,7 @@ let compile ?card ~source ~target (tgd : Dependency.tgd) =
         Array.iteri
           (fun pos cell ->
             match cell with
-            | KSlot _ | KConst _ -> probe := pos :: !probe
+            | KSlot _ | KConst _ | KSkolem _ -> probe := pos :: !probe
             | KEx e ->
                 if Hashtbl.mem introduced e then probe := pos :: !probe
                 else if not (Hashtbl.mem fresh_here e) then
@@ -271,9 +293,13 @@ let pp_cell names ppf = function
   | CConst c -> Value.pp ppf c
   | CNull k -> Fmt.pf ppf "null_%d" k
   | CSkolem (f, args) ->
-      Fmt.pf ppf "%s(%a)" f
-        (Fmt.list ~sep:Fmt.comma (fun ppf s -> Fmt.string ppf names.(s)))
-        args
+      let rec pp_arg ppf = function
+        | ASlot s -> Fmt.string ppf names.(s)
+        | AConst c -> Value.pp ppf c
+        | AApp (g, nested) ->
+            Fmt.pf ppf "%s(%a)" g (Fmt.list ~sep:Fmt.comma pp_arg) nested
+      in
+      Fmt.pf ppf "%s(%a)" f (Fmt.list ~sep:Fmt.comma pp_arg) args
 
 let pp ppf p =
   Fmt.pf ppf "@[<v2>plan %s:@," p.p_name;

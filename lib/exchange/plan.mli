@@ -22,15 +22,26 @@ type scan = {
   sc_binds : (int * int) list;
 }
 
+type sk_arg =
+  | ASlot of int
+  | AConst of Smg_relational.Value.t
+  | AApp of string * sk_arg list  (** nested Skolem application *)
+
 type cell =
   | CSlot of int
   | CConst of Smg_relational.Value.t
   | CNull of int
-  | CSkolem of string * int list
+  | CSkolem of string * sk_arg list
 
 type emit = { em_pred : string; em_cells : cell array }
 
-type check_cell = KSlot of int | KConst of Smg_relational.Value.t | KEx of int
+type check_cell =
+  | KSlot of int
+  | KConst of Smg_relational.Value.t
+  | KEx of int  (** plain existential: a wildcard of the check *)
+  | KSkolem of string * sk_arg list
+      (** Skolem-named existential: its value is determined by the
+          trigger's bindings and is computed, never wildcarded *)
 
 type check = {
   ck_pred : string;

@@ -1,0 +1,455 @@
+(* Tests for Smg_compose: FKPT composition of s-t tgd sets, the
+   quasi-inverse, and multi-hop pipelines. Fixtures exercise the
+   resolution engine (drop rule, residual second-order clauses, budget
+   exhaustion); qcheck properties check that exchanging with the
+   composed mapping is hom-equivalent to exchanging hop by hop — over a
+   fixed two-hop mapping with random sources, and over round-trip
+   chains (benchmark mapping followed by its quasi-inverse) for all
+   seven built-in evaluation domains. *)
+
+module Value = Smg_relational.Value
+module Schema = Smg_relational.Schema
+module Instance = Smg_relational.Instance
+module Atom = Smg_cq.Atom
+module Dependency = Smg_cq.Dependency
+module Chase = Smg_cq.Chase
+module Sotgd = Smg_cq.Sotgd
+module Mapping = Smg_cq.Mapping
+module Budget = Smg_robust.Budget
+module Mapverify = Smg_verify.Mapverify
+module Compose = Smg_compose.Compose
+module Invert = Smg_compose.Invert
+module Pipeline = Smg_compose.Pipeline
+module Scenario = Smg_eval.Scenario
+module Datasets = Smg_eval.Datasets
+module Witness = Smg_eval.Witness
+
+let v = Atom.v
+let a = Atom.atom
+let vs s = Value.VString s
+
+let tgd = Dependency.tgd
+
+(* ---- Skolem codec ------------------------------------------------------ *)
+
+let test_skolem_codec_roundtrip () =
+  let cases =
+    [
+      ("f", []);
+      ("f", [ "x" ]);
+      ("sk3_z", [ "x"; "y" ]);
+      ("weird!fn", [ "a,b"; "c\\d" ]);
+      ("f", [ "sk!g!x"; "y" ]);
+      (* nested application riding as an argument *)
+      ("f", [ Chase.skolem_var ~f:"g" ~args:[ "x"; "=i42" ] ]);
+    ]
+  in
+  List.iter
+    (fun (f, args) ->
+      match Chase.parse_skolem_var (Chase.skolem_var ~f ~args) with
+      | Some (f', args') ->
+          Alcotest.(check string) "function survives" f f';
+          Alcotest.(check (list string)) "arguments survive" args args'
+      | None -> Alcotest.fail "skolem var did not parse back")
+    cases
+
+let test_skolem_arg_codec () =
+  let cases =
+    [
+      Chase.Sk_var "x";
+      Chase.Sk_cst (Value.VInt 42);
+      Chase.Sk_cst (vs "hello, world!");
+      Chase.Sk_cst (Value.VFloat 3.25);
+      Chase.Sk_cst (Value.VBool true);
+    ]
+  in
+  List.iter
+    (fun arg ->
+      let got = Chase.decode_skolem_arg (Chase.encode_skolem_arg arg) in
+      Alcotest.(check bool) "argument round-trips" true (got = arg))
+    cases
+
+(* ---- unification ------------------------------------------------------- *)
+
+let tv x = Sotgd.TVar x
+let tapp f args = Sotgd.TApp (f, args)
+
+let test_unify_basic () =
+  match Sotgd.unify Sotgd.subst_empty (tapp "f" [ tv "x"; tapp "g" [ tv "y" ] ])
+          (tapp "f" [ Sotgd.TCst (Value.VInt 1); tv "z" ])
+  with
+  | None -> Alcotest.fail "unifiable terms did not unify"
+  | Some s ->
+      Alcotest.(check bool) "x bound to 1" true
+        (Sotgd.apply_term s (tv "x") = Sotgd.TCst (Value.VInt 1));
+      Alcotest.(check bool) "z bound to g(y)" true
+        (Sotgd.apply_term s (tv "z") = tapp "g" [ tv "y" ])
+
+let test_unify_occurs_check () =
+  Alcotest.(check bool) "x against f(x) fails" true
+    (Sotgd.unify Sotgd.subst_empty (tv "x") (tapp "f" [ tv "x" ]) = None);
+  Alcotest.(check bool) "function clash fails" true
+    (Sotgd.unify Sotgd.subst_empty (tapp "f" [ tv "x" ]) (tapp "g" [ tv "x" ])
+    = None)
+
+(* ---- Skolemization and de-Skolemization -------------------------------- *)
+
+let test_skolemize_deskolemize () =
+  let t =
+    tgd ~name:"m"
+      ~lhs:[ a "p" [ v "x"; v "y" ] ]
+      [ a "q" [ v "x"; v "z" ] ]
+  in
+  match Sotgd.skolemize_set [ t ] with
+  | [ so ] -> (
+      Alcotest.(check int) "one function invented" 1
+        (List.length (Sotgd.functions so));
+      let { Sotgd.ds_plain; ds_residual } = Sotgd.deskolemize [ so ] in
+      Alcotest.(check int) "no residual" 0 (List.length ds_residual);
+      match ds_plain with
+      | [ t' ] ->
+          Alcotest.(check bool) "plain form is the original tgd" true
+            (Dependency.equal_tgd t t')
+      | _ -> Alcotest.fail "expected one plain tgd")
+  | _ -> Alcotest.fail "expected one clause"
+
+let test_deskolemize_shared_function_residual () =
+  (* z is shared between the two conclusion atoms: after Skolemization
+     both carry f(x), and splitting them into two clauses makes the
+     function shared — neither clause may be lowered to a plain ∃,
+     because that would forget the atoms agree on the null. *)
+  let clause rhs_pred =
+    {
+      Sotgd.so_name = "c_" ^ rhs_pred;
+      so_lhs = [ a "p" [ v "x" ] ];
+      so_rhs =
+        [ { Sotgd.s_pred = rhs_pred; s_args = [ tv "x"; tapp "f" [ tv "x" ] ] } ];
+    }
+  in
+  let { Sotgd.ds_plain; ds_residual } =
+    Sotgd.deskolemize [ clause "q"; clause "r" ]
+  in
+  Alcotest.(check int) "no plain clauses" 0 (List.length ds_plain);
+  Alcotest.(check int) "both clauses residual" 2 (List.length ds_residual)
+
+(* ---- binary composition fixtures --------------------------------------- *)
+
+let test_compose_simple () =
+  (* p(x,y) → ∃z q(x,z) composed with q(u,v) → r(u,v):
+     p(x,y) → ∃z r(x,z), recovered as a plain tgd. *)
+  let m12 =
+    [ tgd ~name:"m12" ~lhs:[ a "p" [ v "x"; v "y" ] ] [ a "q" [ v "x"; v "z" ] ] ]
+  in
+  let m23 =
+    [ tgd ~name:"m23" ~lhs:[ a "q" [ v "u"; v "v" ] ] [ a "r" [ v "u"; v "v" ] ] ]
+  in
+  let r = Compose.compose ~m12 ~m23 () in
+  Alcotest.(check bool) "exact" true r.Compose.c_exact;
+  Alcotest.(check int) "one clause" 1 (List.length r.Compose.c_clauses);
+  Alcotest.(check int) "no residual" 0 (List.length r.Compose.c_residual);
+  match r.Compose.c_plain with
+  | [ t ] ->
+      Alcotest.(check int) "one existential" 1
+        (List.length (Dependency.existential_vars t));
+      Alcotest.(check bool) "conclusion is r" true
+        (List.for_all
+           (fun (at : Atom.t) -> at.Atom.pred = "r")
+           t.Dependency.rhs)
+  | _ -> Alcotest.fail "expected one plain tgd"
+
+let test_compose_drop_rule () =
+  (* Joining q's second column against q's first column forces a hop-1
+     premise variable onto a Skolem application in some branches; those
+     are unsatisfiable over ground sources and must be dropped, while
+     the t1;t2 branch survives. *)
+  let m12 =
+    [
+      tgd ~name:"t1" ~lhs:[ a "p" [ v "x" ] ] [ a "q" [ v "x"; v "z" ] ];
+      tgd ~name:"t2" ~lhs:[ a "s" [ v "y" ] ] [ a "q" [ v "w"; v "y" ] ];
+    ]
+  in
+  let m23 =
+    [
+      tgd ~name:"chain"
+        ~lhs:[ a "q" [ v "a"; v "b" ]; a "q" [ v "b"; v "c" ] ]
+        [ a "r" [ v "a"; v "c" ] ];
+    ]
+  in
+  let r = Compose.compose ~m12 ~m23 () in
+  Alcotest.(check bool) "exact" true r.Compose.c_exact;
+  Alcotest.(check bool) "some branches dropped" true (r.Compose.c_dropped > 0);
+  Alcotest.(check bool) "a surviving clause exists" true
+    (r.Compose.c_clauses <> []);
+  List.iter
+    (fun (t : Dependency.tgd) ->
+      List.iter
+        (fun (at : Atom.t) ->
+          Alcotest.(check bool) "premises read hop-1 source tables" true
+            (List.mem at.Atom.pred [ "p"; "s" ]))
+        t.Dependency.lhs)
+    r.Compose.c_exec
+
+let test_compose_residual_execution () =
+  (* The shared-null mapping: p(x) → ∃z q(x,z) ∧ t(x,z), with hop 2
+     copying q and t through separate clauses. The composition splits
+     the shared Skolem term across two clauses — genuinely second-order
+     — and executing [c_exec] must still merge the two copies on the
+     same null. *)
+  let m12 =
+    [
+      tgd ~name:"m" ~lhs:[ a "p" [ v "x" ] ]
+        [ a "q" [ v "x"; v "z" ]; a "t" [ v "x"; v "z" ] ];
+    ]
+  in
+  let m23 =
+    [
+      tgd ~name:"cq" ~lhs:[ a "q" [ v "u"; v "w" ] ] [ a "q2" [ v "u"; v "w" ] ];
+      tgd ~name:"ct" ~lhs:[ a "t" [ v "u"; v "w" ] ] [ a "t2" [ v "u"; v "w" ] ];
+    ]
+  in
+  let r = Compose.compose ~m12 ~m23 () in
+  Alcotest.(check int) "both clauses residual" 2
+    (List.length r.Compose.c_residual);
+  Alcotest.(check int) "no plain clause" 0 (List.length r.Compose.c_plain);
+  (* execute on p(1): q2 and t2 must share one labelled null *)
+  let source = Schema.make ~name:"A" [ Schema.table "p" [ ("x", Schema.TString) ] ] [] in
+  let target =
+    Schema.make ~name:"C"
+      [
+        Schema.table "q2" [ ("x", Schema.TString); ("z", Schema.TString) ];
+        Schema.table "t2" [ ("x", Schema.TString); ("z", Schema.TString) ];
+      ]
+      []
+  in
+  let inst = Instance.add_tuple Instance.empty "p" ~header:[ "x" ] [| vs "1" |] in
+  match
+    Pipeline.one_shot ~source ~target ~exec:r.Compose.c_exec inst
+  with
+  | Error _ -> Alcotest.fail "one-shot execution failed"
+  | Ok out -> (
+      let cell pred =
+        match Instance.relation out pred with
+        | Some { Instance.tuples = [ tup ]; _ } -> tup.(1)
+        | _ -> Alcotest.fail ("expected exactly one " ^ pred ^ " tuple")
+      in
+      match (cell "q2", cell "t2") with
+      | (Value.VNull _ as n1), n2 ->
+          Alcotest.(check bool) "q2 and t2 share the invented value" true
+            (Value.equal n1 n2)
+      | _ -> Alcotest.fail "expected a labelled null in q2")
+
+let test_compose_budget_exhaustion () =
+  let m12 =
+    [ tgd ~name:"m12" ~lhs:[ a "p" [ v "x"; v "y" ] ] [ a "q" [ v "x"; v "z" ] ] ]
+  in
+  let m23 =
+    [ tgd ~name:"m23" ~lhs:[ a "q" [ v "u"; v "v" ] ] [ a "r" [ v "u"; v "v" ] ] ]
+  in
+  let budget = Budget.create ~fuel:0 ~interval:1 () in
+  let r = Compose.compose ~budget ~m12 ~m23 () in
+  Alcotest.(check bool) "inexact under exhausted budget" false
+    r.Compose.c_exact;
+  Alcotest.(check bool) "budget reason recorded" true
+    (r.Compose.c_budget <> None)
+
+(* ---- quasi-inverse ----------------------------------------------------- *)
+
+let test_reverse_involution () =
+  let t =
+    tgd ~name:"m"
+      ~lhs:[ a "p" [ v "x"; v "y" ] ]
+      [ a "q" [ v "x"; v "z" ] ]
+  in
+  let back = Invert.reverse_tgd (Invert.reverse_tgd t) in
+  Alcotest.(check bool) "reverse is an involution up to renaming" true
+    (Dependency.equal_tgd t back)
+
+let test_prime_schema () =
+  let s =
+    Schema.make ~name:"A"
+      [ Schema.table ~key:[ "x" ] "p" [ ("x", Schema.TString) ] ]
+      []
+  in
+  let s' = Invert.prime_schema ~suffix:"_p" s in
+  Alcotest.(check (list string)) "tables renamed" [ "p_p" ]
+    (List.map (fun tb -> tb.Schema.tbl_name) s'.Schema.tables)
+
+(* ---- fixed two-hop property -------------------------------------------- *)
+
+let psource =
+  Schema.make ~name:"A"
+    [
+      Schema.table "r" [ ("a", Schema.TString); ("b", Schema.TString) ];
+      Schema.table "u" [ ("b", Schema.TString) ];
+    ]
+    []
+
+let pmid =
+  Schema.make ~name:"B"
+    [
+      Schema.table "s" [ ("a", Schema.TString); ("b", Schema.TString) ];
+      Schema.table "t" [ ("b", Schema.TString); ("c", Schema.TString) ];
+    ]
+    []
+
+let ptarget =
+  Schema.make ~name:"C"
+    [
+      Schema.table "w" [ ("a", Schema.TString); ("c", Schema.TString) ];
+      Schema.table "k" [ ("c", Schema.TString); ("d", Schema.TString) ];
+    ]
+    []
+
+let pm12 =
+  [
+    tgd ~name:"m1" ~lhs:[ a "r" [ v "x"; v "y" ] ] [ a "s" [ v "x"; v "y" ] ];
+    tgd ~name:"m2" ~lhs:[ a "u" [ v "y" ] ] [ a "t" [ v "y"; v "z" ] ];
+  ]
+
+let pm23 =
+  [
+    tgd ~name:"n1"
+      ~lhs:[ a "s" [ v "x"; v "y" ]; a "t" [ v "y"; v "c" ] ]
+      [ a "w" [ v "x"; v "c" ] ];
+    tgd ~name:"n2" ~lhs:[ a "t" [ v "y"; v "c" ] ] [ a "k" [ v "c"; v "d" ] ];
+  ]
+
+let phops =
+  [
+    { Pipeline.h_source = psource; h_target = pmid; h_tgds = pm12 };
+    { Pipeline.h_source = pmid; h_target = ptarget; h_tgds = pm23 };
+  ]
+
+let inst_of (rs, us) =
+  let i =
+    List.fold_left
+      (fun i (x, y) ->
+        Instance.add_tuple i "r" ~header:[ "a"; "b" ] [| vs x; vs y |])
+      Instance.empty rs
+  in
+  List.fold_left
+    (fun i y -> Instance.add_tuple i "u" ~header:[ "b" ] [| vs y |])
+    i us
+
+let arb_src =
+  let open QCheck in
+  let pool = Gen.oneofl [ "p"; "q"; "w"; "z" ] in
+  let gen =
+    Gen.pair
+      (Gen.list_size (Gen.int_bound 6) (Gen.pair pool pool))
+      (Gen.list_size (Gen.int_bound 6) pool)
+  in
+  make ~print:Print.(pair (list (pair string string)) (list string)) gen
+
+let pcomposed = lazy (Pipeline.compose_chain phops)
+
+let prop_composed_equiv_sequential =
+  QCheck.Test.make ~name:"composed one-shot ≡hom sequential two-hop"
+    ~count:60 arb_src (fun src ->
+      let r = Lazy.force pcomposed in
+      match Pipeline.verify phops ~exec:r.Compose.c_exec (inst_of src) with
+      | Ok vd -> vd.Pipeline.vd_equiv
+      | Error _ -> QCheck.Test.fail_report "pipeline execution failed")
+
+(* ---- seven-domain round-trip chains ------------------------------------ *)
+
+let scenario_tgds (scen : Scenario.t) =
+  List.concat_map
+    (fun (c : Scenario.case) -> List.map Mapping.to_tgd c.Scenario.benchmark)
+    scen.Scenario.cases
+
+(* Chain each domain's benchmark mapping S → T with its quasi-inverse
+   T → S′ (a primed copy of the source schema), so every domain yields
+   a genuine two-hop pipeline without hand-writing second hops. *)
+let domain_chain (scen : Scenario.t) =
+  let source = scen.Scenario.source.Smg_core.Discover.schema in
+  let target = scen.Scenario.target.Smg_core.Discover.schema in
+  let m12 = scenario_tgds scen in
+  let primed = Invert.prime_schema ~suffix:"_rt" source in
+  let m23 = Invert.quasi_inverse ~prime:"_rt" m12 in
+  [
+    { Pipeline.h_source = source; h_target = target; h_tgds = m12 };
+    { Pipeline.h_source = target; h_target = primed; h_tgds = m23 };
+  ]
+
+let check_domain_roundtrip (scen : Scenario.t) () =
+  let hops = domain_chain scen in
+  Alcotest.(check (list string)) "hops are compatible" [] (Pipeline.check hops);
+  let r = Pipeline.compose_chain ~max_clauses:1024 hops in
+  Alcotest.(check bool) (scen.Scenario.scen_name ^ ": composition exact") true
+    r.Compose.c_exact;
+  let inst =
+    Witness.populate ~rows_per_table:3 ~seed:7
+      (List.hd hops).Pipeline.h_source
+  in
+  match Pipeline.verify hops ~exec:r.Compose.c_exec inst with
+  | Ok vd ->
+      Alcotest.(check bool)
+        (scen.Scenario.scen_name ^ ": composed ≡hom sequential")
+        true vd.Pipeline.vd_equiv
+  | Error (Pipeline.Failed msg) -> Alcotest.fail ("pipeline failed: " ^ msg)
+  | Error (Pipeline.Exhausted _) -> Alcotest.fail "pipeline exhausted budget"
+
+(* invert(invert(M)) ⊑ M: double reversal returns each tgd up to
+   renaming, so the original set must logically imply it. *)
+let check_domain_inverse_sanity (scen : Scenario.t) () =
+  let source = scen.Scenario.source.Smg_core.Discover.schema in
+  let target = scen.Scenario.target.Smg_core.Discover.schema in
+  let m = scenario_tgds scen in
+  let back = Invert.quasi_inverse (Invert.quasi_inverse m) in
+  List.iter
+    (fun t ->
+      Alcotest.(check bool)
+        (scen.Scenario.scen_name ^ ": " ^ t.Dependency.tgd_name
+       ^ " implied by original")
+        true
+        (Mapverify.tgd_implied_by ~source ~target ~by:m t))
+    back
+
+let domain_tests =
+  List.concat_map
+    (fun (scen : Scenario.t) ->
+      [
+        Alcotest.test_case
+          (scen.Scenario.scen_name ^ " round-trip chain")
+          `Quick
+          (check_domain_roundtrip scen);
+        Alcotest.test_case
+          (scen.Scenario.scen_name ^ " invert∘invert ⊑ id")
+          `Quick
+          (check_domain_inverse_sanity scen);
+      ])
+    (Datasets.all ())
+
+let suite =
+  let q = QCheck_alcotest.to_alcotest in
+  [
+    ( "compose codec",
+      [
+        Alcotest.test_case "skolem var round-trip" `Quick
+          test_skolem_codec_roundtrip;
+        Alcotest.test_case "skolem arg round-trip" `Quick test_skolem_arg_codec;
+        Alcotest.test_case "unify" `Quick test_unify_basic;
+        Alcotest.test_case "occurs check" `Quick test_unify_occurs_check;
+        Alcotest.test_case "skolemize/deskolemize" `Quick
+          test_skolemize_deskolemize;
+        Alcotest.test_case "shared function residual" `Quick
+          test_deskolemize_shared_function_residual;
+      ] );
+    ( "compose binary",
+      [
+        Alcotest.test_case "simple" `Quick test_compose_simple;
+        Alcotest.test_case "drop rule" `Quick test_compose_drop_rule;
+        Alcotest.test_case "residual execution" `Quick
+          test_compose_residual_execution;
+        Alcotest.test_case "budget exhaustion" `Quick
+          test_compose_budget_exhaustion;
+        q prop_composed_equiv_sequential;
+      ] );
+    ( "compose invert",
+      [
+        Alcotest.test_case "reverse involution" `Quick test_reverse_involution;
+        Alcotest.test_case "prime schema" `Quick test_prime_schema;
+      ] );
+    ("compose domains", domain_tests);
+  ]

@@ -206,6 +206,7 @@ let test_roundtrip_er2rel () =
           (fun st -> { Ast.sem_table = st.Smg_semantics.Stree.st_table; sem_stree = st })
           strees;
       doc_corrs = [];
+      doc_tgds = [];
       doc_data = [];
     }
   in
@@ -227,6 +228,7 @@ let test_roundtrip_all_eval_scenarios () =
                 { Ast.sem_table = st.Smg_semantics.Stree.st_table; sem_stree = st })
               side.Smg_core.Discover.strees;
           doc_corrs = other_corrs;
+          doc_tgds = [];
           doc_data = [];
         }
       in
@@ -242,6 +244,78 @@ let test_roundtrip_all_eval_scenarios () =
             true (doc = doc'))
         [ to_doc scen.Smg_eval.Scenario.source corrs;
           to_doc scen.Smg_eval.Scenario.target [] ])
+    (Smg_eval.Datasets.all ())
+
+(* ---- tgd blocks -------------------------------------------------------- *)
+
+let tgd_doc tgds = { Ast.empty with Ast.doc_tgds = tgds }
+
+let test_tgd_block_parse () =
+  let doc =
+    Parser.parse
+      {|tgd "m" { lhs p(x, 3, "lit"), u(x); rhs q(x, sk f(x), var "odd name"); }|}
+  in
+  match doc.Ast.doc_tgds with
+  | [ t ] ->
+      Alcotest.(check string) "name" "m" t.Smg_cq.Dependency.tgd_name;
+      Alcotest.(check int) "two premise atoms" 2
+        (List.length t.Smg_cq.Dependency.lhs);
+      Alcotest.(check int) "one conclusion atom" 1
+        (List.length t.Smg_cq.Dependency.rhs)
+  | _ -> Alcotest.fail "expected one tgd"
+
+let test_tgd_roundtrip_handmade () =
+  (* exercises every escape hatch: composition-suffixed variable names,
+     nested Skolem applications with embedded constants, exact floats,
+     and string literals with quotes *)
+  let open Smg_cq in
+  let v = Atom.v and a = Atom.atom and c = Atom.c in
+  let nested =
+    Chase.skolem_var ~f:"f"
+      ~args:[ "x!1"; "=i3"; Chase.skolem_var ~f:"g" ~args:[ "x!1" ] ]
+  in
+  let tgds =
+    [
+      Dependency.tgd ~name:"weird"
+        ~lhs:
+          [
+            a "p"
+              [
+                v "x!1";
+                c (Smg_relational.Value.VFloat 0.1);
+                c (Smg_relational.Value.VString "a\"b\\c");
+              ];
+          ]
+        [ a "q" [ v nested; v "z" ] ];
+    ]
+  in
+  let doc = tgd_doc tgds in
+  let doc' = Parser.parse (Printer.to_string doc) in
+  Alcotest.(check bool) "handmade tgd round-trips" true (doc = doc')
+
+let test_tgd_roundtrip_discovered () =
+  (* printing then reparsing any tgd the discovery pipeline produces is
+     the identity — inner-join readings and Skolemized outer variants
+     alike, across every benchmark domain *)
+  List.iter
+    (fun (scen : Smg_eval.Scenario.t) ->
+      let target = scen.Smg_eval.Scenario.target.Smg_core.Discover.schema in
+      List.iter
+        (fun (cs : Smg_eval.Scenario.case) ->
+          let tgds =
+            List.concat_map
+              (fun m ->
+                Smg_cq.Mapping.to_tgd m
+                :: Smg_cq.Mapping.outer_variants ~target m)
+              cs.Smg_eval.Scenario.benchmark
+          in
+          let doc = tgd_doc tgds in
+          let doc' = Parser.parse (Printer.to_string doc) in
+          Alcotest.(check bool)
+            (scen.Smg_eval.Scenario.scen_name ^ "/" ^ cs.Smg_eval.Scenario.case_name
+           ^ " tgds round-trip")
+            true (doc = doc'))
+        scen.Smg_eval.Scenario.cases)
     (Smg_eval.Datasets.all ())
 
 let suite =
@@ -267,5 +341,13 @@ let suite =
         Alcotest.test_case "er2rel output" `Quick test_roundtrip_er2rel;
         Alcotest.test_case "all evaluation scenarios" `Slow
           test_roundtrip_all_eval_scenarios;
+      ] );
+    ( "dsl.tgd",
+      [
+        Alcotest.test_case "tgd block parses" `Quick test_tgd_block_parse;
+        Alcotest.test_case "handmade round-trip" `Quick
+          test_tgd_roundtrip_handmade;
+        Alcotest.test_case "discovered tgds round-trip" `Quick
+          test_tgd_roundtrip_discovered;
       ] );
   ]

@@ -6,4 +6,5 @@ let () =
    @ Test_semantics.suite @ Test_ric.suite @ Test_er2rel.suite
    @ Test_discover.suite @ Test_dsl.suite @ Test_matching.suite
    @ Test_eval.suite @ Test_cm_discover.suite @ Test_fuzz.suite @ Test_sql.suite
-   @ Test_verify.suite @ Test_exchange.suite @ Test_robust.suite)
+   @ Test_verify.suite @ Test_exchange.suite @ Test_robust.suite
+   @ Test_compose.suite)
