@@ -52,11 +52,29 @@ let exchange_fixture =
 
 let exchange_sizes = [ 2; 8; 32 ]
 
+(* generated source instances are cached per size so the timed closures
+   measure the exchange itself — populating the source used to dominate
+   both the chase and the engine rows at the larger sizes *)
+let exchange_instances : (int, Smg_relational.Instance.t) Hashtbl.t =
+  Hashtbl.create 8
+
+let exchange_instance rows =
+  match Hashtbl.find_opt exchange_instances rows with
+  | Some inst -> inst
+  | None ->
+      let scen, _ = Lazy.force exchange_fixture in
+      let source = scen.Smg_eval.Scenario.source.Smg_core.Discover.schema in
+      let inst =
+        Smg_eval.Witness.populate ~rows_per_table:rows ~seed:1 source
+      in
+      Hashtbl.replace exchange_instances rows inst;
+      inst
+
 let exchange_run rows () =
   let scen, m = Lazy.force exchange_fixture in
   let source = scen.Smg_eval.Scenario.source.Smg_core.Discover.schema in
   let target = scen.Smg_eval.Scenario.target.Smg_core.Discover.schema in
-  let inst = Smg_eval.Witness.populate ~rows_per_table:rows ~seed:1 source in
+  let inst = exchange_instance rows in
   match
     Smg_cq.Chase.exchange ~source ~target
       ~mappings:[ Smg_cq.Mapping.to_tgd m ]
@@ -70,7 +88,7 @@ let exchange_engine_run rows () =
   let scen, m = Lazy.force exchange_fixture in
   let source = scen.Smg_eval.Scenario.source.Smg_core.Discover.schema in
   let target = scen.Smg_eval.Scenario.target.Smg_core.Discover.schema in
-  let inst = Smg_eval.Witness.populate ~rows_per_table:rows ~seed:1 source in
+  let inst = exchange_instance rows in
   match
     Smg_exchange.Engine.run ~laconic:true ~source ~target
       ~mappings:[ Smg_cq.Mapping.to_tgd m ]
@@ -196,6 +214,39 @@ let robust_guarded_run () =
       ignore (Smg_eval.Experiments.run_semantic_bounded ~budget scen case))
     scen.Smg_eval.Scenario.cases
 
+(* pooled vs sequential runs of the same discovery and exchange
+   workloads. The pool is created once and kept for the whole process —
+   Bechamel re-runs the staged closures many times and per-iteration
+   pool setup would dominate. The pooled entries produce identical
+   results (the pool's determinism guarantee), so the pairs measure
+   dispatch overhead on a single core and speedup on a multicore
+   host. *)
+let parallel_pool =
+  lazy
+    (Smg_parallel.Pool.create ~domains:(Smg_parallel.Pool.default_domains ()))
+
+let parallel_discover_run pool () =
+  let scen = Lazy.force robust_fixture in
+  let pool = if pool then Some (Lazy.force parallel_pool) else None in
+  List.iter
+    (fun case ->
+      ignore (Smg_eval.Experiments.run_semantic_bounded ?pool scen case))
+    scen.Smg_eval.Scenario.cases
+
+let parallel_engine_run pool rows () =
+  let scen, m = Lazy.force exchange_fixture in
+  let source = scen.Smg_eval.Scenario.source.Smg_core.Discover.schema in
+  let target = scen.Smg_eval.Scenario.target.Smg_core.Discover.schema in
+  let inst = Smg_eval.Witness.populate ~rows_per_table:rows ~seed:1 source in
+  let pool = if pool then Some (Lazy.force parallel_pool) else None in
+  match
+    Smg_exchange.Engine.run ?pool ~source ~target
+      ~mappings:[ Smg_cq.Mapping.to_tgd m ]
+      inst
+  with
+  | Ok _ -> ()
+  | Error msg -> failwith msg
+
 let ablation_run (v : Smg_eval.Ablation.variant) () =
   List.iter
     (fun (scen : Smg_eval.Scenario.t) ->
@@ -284,8 +335,31 @@ let tests () =
         Test.make ~name:"mondial-guarded" (Staged.stage robust_guarded_run);
       ]
   in
+  let parallel =
+    Test.make_grouped ~name:"parallel"
+      [
+        Test.make ~name:"mondial-discover-seq"
+          (Staged.stage (parallel_discover_run false));
+        Test.make ~name:"mondial-discover-pool"
+          (Staged.stage (parallel_discover_run true));
+        Test.make ~name:"dblp-engine-seq/rows=32"
+          (Staged.stage (parallel_engine_run false 32));
+        Test.make ~name:"dblp-engine-pool/rows=32"
+          (Staged.stage (parallel_engine_run true 32));
+      ]
+  in
   Test.make_grouped ~name:"smg"
-    [ sem; ric; exchange; exchange_engine; compose; ablation; verify; robust ]
+    [
+      sem;
+      ric;
+      exchange;
+      exchange_engine;
+      compose;
+      ablation;
+      verify;
+      robust;
+      parallel;
+    ]
 
 let benchmark () =
   let ols =

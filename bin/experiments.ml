@@ -161,6 +161,140 @@ let exchange_scale json smoke seed sizes =
     Fmt.pr "@.wrote %s (%d rows)@." path (List.length rows)
   end
 
+(* parallel-scale: the discovery and exchange workloads under a domain
+   pool at increasing domain counts. Speedups are wall-clock ratios
+   against the first domain count in the list (normally 1); on a
+   single-core container they hover around 1.0x and mostly measure the
+   pool's own overhead — the table is meant for multicore hosts. Output
+   invariance across domain counts is asserted on every run: the ranked
+   discovery fingerprint must be identical and the exchange cardinality
+   equal. Optionally records BENCH_parallel.json. *)
+
+let write_parallel_json ~path rows =
+  let oc = open_out path in
+  output_string oc "[\n";
+  List.iteri
+    (fun i (name, domains, ns, speedup) ->
+      if i > 0 then output_string oc ",\n";
+      Printf.fprintf oc
+        "  {\"name\": \"%s\", \"domains\": %d, \"ns_per_run\": %.0f, \
+         \"speedup\": %.3f}"
+        name domains ns speedup)
+    rows;
+  output_string oc "\n]\n";
+  close_out oc
+
+let parallel_scale json smoke seed domains rows =
+  let module Scenario = Smg_eval.Scenario in
+  let module Instance = Smg_relational.Instance in
+  let module Pool = Smg_parallel.Pool in
+  let domain_counts =
+    match domains with
+    | Some l -> l
+    | None -> if smoke then [ 1; 2 ] else [ 1; 2; 4; 8 ]
+  in
+  let rows_per_table =
+    match rows with Some r -> r | None -> if smoke then 16 else 256
+  in
+  let find name =
+    List.find
+      (fun s -> s.Scenario.scen_name = name)
+      (Smg_eval.Datasets.all ())
+  in
+  let mondial = find "Mondial" and dblp = find "DBLP" in
+  (* discovery workload: every Mondial case, per-CSG fan-out *)
+  let discover_once pool =
+    List.concat_map
+      (fun case ->
+        (Smg_eval.Experiments.run_semantic_bounded ?pool mondial case)
+          .Smg_core.Discover.o_mappings)
+      mondial.Scenario.cases
+  in
+  (* exchange workload: DBLP's discovered tgds over a generated source *)
+  let source = dblp.Scenario.source.Smg_core.Discover.schema in
+  let target = dblp.Scenario.target.Smg_core.Discover.schema in
+  let mappings =
+    List.concat_map
+      (fun (case : Scenario.case) ->
+        match
+          Smg_eval.Experiments.run_method Smg_eval.Experiments.Semantic dblp
+            case
+        with
+        | [] -> []
+        | best :: _ ->
+            let best = Smg_cq.Mapping.rename case.Scenario.case_name best in
+            if best.Smg_cq.Mapping.outer then
+              Smg_cq.Mapping.outer_variants ~target best
+            else [ Smg_cq.Mapping.to_tgd best ])
+      dblp.Scenario.cases
+  in
+  let inst = Smg_eval.Witness.populate ~rows_per_table ~seed source in
+  let src_n = Instance.total_tuples inst in
+  let exchange_once pool () =
+    match Smg_exchange.Engine.run ?pool ~source ~target ~mappings inst with
+    | Ok rep -> Instance.total_tuples rep.Smg_exchange.Engine.r_target
+    | Error msg -> failwith ("engine: " ^ msg)
+  in
+  Fmt.pr
+    "parallel-scale: discover/mondial (%d case(s)) and engine/dblp (%d \
+     source tuple(s), seed %d); domains %s@.@."
+    (List.length mondial.Scenario.cases)
+    src_n seed
+    (String.concat "," (List.map string_of_int domain_counts));
+  Fmt.pr "%8s | %13s %8s | %13s %8s@." "domains" "discover ns" "speedup"
+    "exchange ns" "speedup";
+  let fingerprint ms =
+    List.map
+      (fun (m : Smg_cq.Mapping.t) ->
+        (m.Smg_cq.Mapping.m_name, m.Smg_cq.Mapping.score))
+      ms
+  in
+  let base_d = ref None and base_e = ref None in
+  let ref_disc = ref None and ref_out = ref None in
+  let bench_rows =
+    List.concat_map
+      (fun n ->
+        let with_pool f =
+          if n <= 1 then f None
+          else Pool.with_pool ~domains:n (fun p -> f (Some p))
+        in
+        let (disc, d_secs, _), (out, e_secs, _) =
+          with_pool (fun pool ->
+              ( measure (fun () -> discover_once pool),
+                measure (exchange_once pool) ))
+        in
+        (match !ref_disc with
+        | None -> ref_disc := Some (fingerprint disc)
+        | Some fp ->
+            if fp <> fingerprint disc then
+              failwith "discovery output varies with the domain count");
+        (match !ref_out with
+        | None -> ref_out := Some out
+        | Some o ->
+            if o <> out then
+              failwith "exchange cardinality varies with the domain count");
+        let speedup base secs =
+          match !base with
+          | None ->
+              base := Some secs;
+              1.0
+          | Some b -> b /. secs
+        in
+        let d_sp = speedup base_d d_secs and e_sp = speedup base_e e_secs in
+        Fmt.pr "%8d | %13.0f %7.2fx | %13.0f %7.2fx@." n (1e9 *. d_secs) d_sp
+          (1e9 *. e_secs) e_sp;
+        [
+          ("discover/mondial", n, 1e9 *. d_secs, d_sp);
+          ("engine/dblp", n, 1e9 *. e_secs, e_sp);
+        ])
+      domain_counts
+  in
+  if json then begin
+    let path = "BENCH_parallel.json" in
+    write_parallel_json ~path bench_rows;
+    Fmt.pr "@.wrote %s (%d rows)@." path (List.length bench_rows)
+  end
+
 (* compose: two-hop round-trip chains (each domain's discovered mapping
    followed by its quasi-inverse into a primed source copy), composed
    into one mapping; sequential two-hop exchange vs composed one-shot,
@@ -297,6 +431,40 @@ let exchange_scale_cmd =
           source sizes")
     Term.(const exchange_scale $ json $ smoke $ seed $ sizes)
 
+let parallel_scale_cmd =
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Write BENCH_parallel.json")
+  in
+  let smoke =
+    Arg.(
+      value & flag & info [ "smoke" ] ~doc:"Tiny sizes only (CI smoke test)")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"S" ~doc:"Source seed")
+  in
+  let domains =
+    Arg.(
+      value
+      & opt (some (list int)) None
+      & info [ "domains" ] ~docv:"N1,N2,..."
+          ~doc:
+            "Domain counts to sweep (default 1,2,4,8); speedups are \
+             relative to the first")
+  in
+  let rows =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "rows" ] ~docv:"R"
+          ~doc:"Rows per source table for the exchange workload (default 256)")
+  in
+  Cmd.v
+    (Cmd.info "parallel-scale"
+       ~doc:
+         "Pooled discovery and exchange at increasing domain counts, with \
+          output-invariance checks")
+    Term.(const parallel_scale $ json $ smoke $ seed $ domains $ rows)
+
 let compose_cmd =
   let json =
     Arg.(value & flag & info [ "json" ] ~doc:"Write BENCH_compose.json")
@@ -344,6 +512,7 @@ let () =
               "Execute matched mappings vs benchmarks on generated instances"
               witness;
             exchange_scale_cmd;
+            parallel_scale_cmd;
             compose_cmd;
             cmd_of "all" "Everything" all;
           ]))

@@ -96,6 +96,18 @@ let make_budget budget_ms fuel =
   | None, None -> None
   | deadline_ms, fuel -> Some (Budget.create ?deadline_ms ?fuel ())
 
+(* --domains N: 1 means sequential (no pool is created at all); the
+   default comes from Pool.default_domains (SMG_DOMAINS or the
+   recommended domain count, capped at 8). *)
+let with_domains domains f =
+  let domains =
+    match domains with
+    | Some n -> max 1 n
+    | None -> Smg_parallel.Pool.default_domains ()
+  in
+  if domains <= 1 then f None
+  else Smg_parallel.Pool.with_pool ~domains (fun pool -> f (Some pool))
+
 (* ---- hand-rolled JSON (same dependency-free style as
    Smg_exchange.Obs.write_bench_json) ------------------------------------- *)
 
@@ -172,7 +184,7 @@ let json_diag (d : Diag.t) =
     ]
 
 let run_discover file meth verbose sql dedup budget_ms fuel strict diagnostics
-    json =
+    json domains =
   if verbose then begin
     Logs.set_reporter (Logs_fmt.reporter ());
     Logs.set_level (Some Logs.Debug)
@@ -183,6 +195,7 @@ let run_discover file meth verbose sql dedup budget_ms fuel strict diagnostics
     Fmt.epr "error: the scenario declares no correspondences@.";
     exit 2
   end;
+  with_domains domains @@ fun pool ->
   if json then begin
     (* machine-readable mirror of the human output: candidates with
        their tgd/exec forms and provenance, plus the structured
@@ -191,12 +204,13 @@ let run_discover file meth verbose sql dedup budget_ms fuel strict diagnostics
     and target_s = target.Discover.schema in
     let pre = Discover.lint ~source ~target ~corrs in
     let budget = make_budget budget_ms fuel in
-    let o = Discover.discover_bounded ?budget ~source ~target ~corrs () in
+    let o = Discover.discover_bounded ?budget ?pool ~source ~target ~corrs () in
     let diags = pre @ o.Discover.o_diags in
     let dedup_silent ms =
       if not dedup then ms
       else
-        (Mapverify.dedup ~source:source_s ~target:target_s (label_by_rank ms))
+        (Mapverify.dedup ?pool ~source:source_s ~target:target_s
+           (label_by_rank ms))
           .Mapverify.rp_kept
     in
     let sem = dedup_silent o.Discover.o_mappings in
@@ -240,7 +254,7 @@ let run_discover file meth verbose sql dedup budget_ms fuel strict diagnostics
     if not dedup then ms
     else begin
       let report =
-        Mapverify.dedup ~source:source.Discover.schema
+        Mapverify.dedup ?pool ~source:source.Discover.schema
           ~target:target.Discover.schema (label_by_rank ms)
       in
       Fmt.pr "[%s] %s@." title (Mapverify.summary report);
@@ -273,7 +287,7 @@ let run_discover file meth verbose sql dedup budget_ms fuel strict diagnostics
   | Semantic | Both ->
       let pre = Discover.lint ~source ~target ~corrs in
       let budget = make_budget budget_ms fuel in
-      let o = Discover.discover_bounded ?budget ~source ~target ~corrs () in
+      let o = Discover.discover_bounded ?budget ?pool ~source ~target ~corrs () in
       let diags = pre @ o.Discover.o_diags in
       if diagnostics && diags <> [] then
         Fmt.pr "== diagnostics ==@.%a@.%s@.@." Diag.pp_list diags
@@ -512,9 +526,10 @@ let pp_cardinalities ppf inst =
     (Smg_relational.Instance.names inst)
 
 let run_exchange file scenario size seed engine no_laconic core print_data
-    budget_ms fuel =
+    budget_ms fuel domains =
   (* a FILE's data blocks are small: print them in full by default *)
   let print_data = print_data || scenario = None in
+  with_domains domains @@ fun pool ->
   let source, target, mappings, src_inst =
     match (scenario, file) with
     | Some name, _ -> exchange_scenario_inputs name size seed
@@ -530,7 +545,7 @@ let run_exchange file scenario size seed engine no_laconic core print_data
         match
           Smg_exchange.Engine.run_bounded
             ?budget:(make_budget budget_ms fuel)
-            ~laconic:(not no_laconic) ~source ~target ~mappings src_inst
+            ?pool ~laconic:(not no_laconic) ~source ~target ~mappings src_inst
         with
         | Smg_exchange.Engine.Failed msg ->
             Fmt.epr "error: exchange failed: %s@." msg;
@@ -609,11 +624,12 @@ let load_hop file =
         (List.length hop.Pipeline.h_tgds);
       (doc, hop)
 
-let run_compose files invert verify size seed budget_ms fuel =
+let run_compose files invert verify size seed budget_ms fuel domains =
   if files = [] then begin
     Fmt.epr "error: --pipeline needs at least one scenario file@.";
     exit 2
   end;
+  with_domains domains @@ fun pool ->
   let docs_hops = List.map load_hop files in
   let first_doc = fst (List.hd docs_hops) in
   let hops0 = List.map snd docs_hops in
@@ -674,7 +690,7 @@ let run_compose files invert verify size seed budget_ms fuel =
         Smg_eval.Witness.populate ~rows_per_table:rows ~seed src_schema
       end
     in
-    match Pipeline.verify ?budget hops ~exec:r.Compose.c_exec inst with
+    match Pipeline.verify ?budget ?pool hops ~exec:r.Compose.c_exec inst with
     | Ok vd ->
         Fmt.pr "%a@." Pipeline.pp_verdict vd;
         if not vd.Pipeline.vd_equiv then begin
@@ -843,6 +859,19 @@ let json_arg =
           "Emit machine-readable JSON (candidates with tgd/executable forms, \
            provenance, diagnostics, exactness) instead of the human report")
 
+let domains_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "domains" ] ~docv:"N"
+        ~doc:
+          "Number of OCaml domains for the parallel sections (per-CSG \
+           discovery fan-out, dedup implication checks, the exchange \
+           engine's initial scan pass). Defaults to $(b,SMG_DOMAINS) or the \
+           runtime's recommended domain count, capped at 8; $(b,1) runs \
+           fully sequentially. Discovery output is byte-identical and \
+           exchange output homomorphically equivalent for every N")
+
 let pipeline_arg =
   Arg.(
     value
@@ -877,7 +906,7 @@ let () =
       Term.(
         const run_discover $ file_arg $ meth_arg $ verbose_arg $ sql_arg
         $ dedup_arg $ budget_ms_arg $ fuel_arg $ strict_arg $ diagnostics_arg
-        $ json_arg)
+        $ json_arg $ domains_arg)
   in
   let compose_cmd =
     Cmd.v
@@ -887,7 +916,7 @@ let () =
             (optionally inverted and verified end-to-end)")
       Term.(
         const run_compose $ pipeline_arg $ invert_arg $ verify_flag_arg
-        $ size_arg $ seed_arg $ budget_ms_arg $ fuel_arg)
+        $ size_arg $ seed_arg $ budget_ms_arg $ fuel_arg $ domains_arg)
   in
   let verify_cmd =
     Cmd.v
@@ -917,7 +946,7 @@ let () =
       Term.(
         const run_exchange $ opt_file_arg $ scenario_arg $ size_arg $ seed_arg
         $ engine_arg $ no_laconic_arg $ core_arg $ data_arg $ budget_ms_arg
-        $ fuel_arg)
+        $ fuel_arg $ domains_arg)
   in
   let ddl_cmd =
     Cmd.v

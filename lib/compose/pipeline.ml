@@ -84,13 +84,13 @@ let compose_chain ?budget ?max_clauses hops =
       in
       go h1.h_tgds rest
 
-let sequential ?budget ?(laconic = false) hops inst =
+let sequential ?budget ?pool ?(laconic = false) hops inst =
   let rec go inst = function
     | [] -> Ok inst
     | h :: tl ->
         let target = if tl = [] then h.h_target else strip_keys h.h_target in
         (match
-           Engine.run_bounded ?budget ~laconic ~source:h.h_source ~target
+           Engine.run_bounded ?budget ?pool ~laconic ~source:h.h_source ~target
              ~mappings:h.h_tgds inst
          with
         | Engine.Complete rep -> go rep.Engine.r_target tl
@@ -99,9 +99,10 @@ let sequential ?budget ?(laconic = false) hops inst =
   in
   go inst hops
 
-let one_shot ?budget ?(laconic = false) ~source ~target ~exec inst =
+let one_shot ?budget ?pool ?(laconic = false) ~source ~target ~exec inst =
   match
-    Engine.run_bounded ?budget ~laconic ~source ~target ~mappings:exec inst
+    Engine.run_bounded ?budget ?pool ~laconic ~source ~target ~mappings:exec
+      inst
   with
   | Engine.Complete rep -> Ok rep.Engine.r_target
   | Engine.Budget_exhausted (r, _) -> Error (Exhausted r)
@@ -115,18 +116,20 @@ type verdict = {
   vd_comp_tuples : int;
 }
 
-let verify ?budget ?laconic hops ~exec inst =
+let verify ?budget ?pool ?laconic hops ~exec inst =
   match hops with
   | [] -> invalid_arg "verify: no hops"
   | first :: _ ->
       let last = List.nth hops (List.length hops - 1) in
-      let seq, seq_s = Obs.time (fun () -> sequential ?budget ?laconic hops inst) in
+      let seq, seq_s =
+        Obs.time (fun () -> sequential ?budget ?pool ?laconic hops inst)
+      in
       (match seq with
       | Error e -> Error e
       | Ok seq ->
           let comp, comp_s =
             Obs.time (fun () ->
-                one_shot ?budget ?laconic ~source:first.h_source
+                one_shot ?budget ?pool ?laconic ~source:first.h_source
                   ~target:last.h_target ~exec inst)
           in
           (match comp with

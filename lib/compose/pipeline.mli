@@ -39,15 +39,18 @@ val compose_chain :
 
 val sequential :
   ?budget:Smg_robust.Budget.t ->
+  ?pool:Smg_parallel.Pool.t ->
   ?laconic:bool ->
   hop list ->
   Smg_relational.Instance.t ->
   (Smg_relational.Instance.t, error) result
 (** Materialize hop by hop, feeding each hop's target instance to the
-    next hop's plans. *)
+    next hop's plans. With a [pool], each hop's initial scan pass fans
+    out across its domains ({!Smg_exchange.Engine.run}). *)
 
 val one_shot :
   ?budget:Smg_robust.Budget.t ->
+  ?pool:Smg_parallel.Pool.t ->
   ?laconic:bool ->
   source:Smg_relational.Schema.t ->
   target:Smg_relational.Schema.t ->
@@ -66,11 +69,14 @@ type verdict = {
 
 val verify :
   ?budget:Smg_robust.Budget.t ->
+  ?pool:Smg_parallel.Pool.t ->
   ?laconic:bool ->
   hop list ->
   exec:Smg_cq.Dependency.tgd list ->
   Smg_relational.Instance.t ->
   (verdict, error) result
-(** Run both legs over the given source instance and compare. *)
+(** Run both legs over the given source instance and compare. Both legs
+    use the [pool] when given; the verdict is unaffected by the domain
+    count (engine outputs are hom-equivalent either way). *)
 
 val pp_verdict : Format.formatter -> verdict -> unit

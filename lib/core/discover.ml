@@ -13,6 +13,7 @@ module Query = Smg_cq.Query
 module Mapping = Smg_cq.Mapping
 module Budget = Smg_robust.Budget
 module Diag = Smg_robust.Diag
+module Pool = Smg_parallel.Pool
 
 let log = Logs.Src.create "smg.discover" ~doc:"semantic mapping discovery"
 
@@ -365,6 +366,12 @@ type ctx = {
   x_budget : Budget.t;
   x_collect : Diag.collector option;
   mutable x_degraded : bool;
+  x_pool : Pool.t option;
+      (* when set, the per-target-CSG searches fan out across the pool's
+         domains. Each task runs under its own sub-context — sub-budget
+         from [Budget.split], private collector and degradation flag —
+         merged back in CSG order, so the output is byte-identical for
+         any domain count (including 1). *)
 }
 
 (* Per-subject containment: in collecting mode any exception a stage
@@ -467,8 +474,26 @@ let discover_core ctx ~options ~dedup ~source ~target ~corrs =
     in
     Log.debug (fun m -> m "%d target CSG candidate(s)" (List.length tgt_csgs));
 
+    (* Source-side Steiner state shared by every target CSG: the two cost
+       functions are fixed for the whole run, so their all-pairs matrices
+       (fuel-free, mutex-guarded) are computed once and shared — across
+       CSGs sequentially, and across domains in pooled runs. *)
+    let src_cost_strict =
+      Cm_graph.steiner_cost source.cmg ~lossy:false ~pre_selected:pre_s ()
+    in
+    let src_cost_lossy =
+      Cm_graph.steiner_cost source.cmg ~lossy:true ~pre_selected:pre_s ()
+    in
+    let src_sctx_strict = Steiner.context src_graph ~cost:src_cost_strict in
+    let src_sctx_lossy = Steiner.context src_graph ~cost:src_cost_lossy in
+
     (* -- per-target-CSG source search -- *)
-    let process_tgt d2 =
+    let process_tgt ctx d2 =
+      (* DP memo sessions are per task: a memo hit skips the DP's fuel
+         burn, so sharing them across concurrent tasks would make fuel
+         accounting depend on the steal schedule. *)
+      let sess_strict = Steiner.session src_sctx_strict in
+      let sess_lossy = Steiner.session src_sctx_lossy in
       let relevant = List.filter (fun l -> List.mem l.l_tnode d2.c_nodes) lifted in
       if relevant = [] || not (Cm_graph.consistent_subgraph target.cmg d2.c_edges)
       then []
@@ -481,12 +506,11 @@ let discover_core ctx ~options ~dedup ~source ~target ~corrs =
         let trees ~roots ~terminals ~lossy =
           if roots = [] || terminals = [] then []
           else
-            let cost =
-              Cm_graph.steiner_cost source.cmg ~lossy ~pre_selected:pre_s ()
-            in
+            let cost = if lossy then src_cost_lossy else src_cost_strict in
+            let sess = if lossy then sess_lossy else sess_strict in
             let sol =
-              Steiner.minimal_trees_bounded ~budget:ctx.x_budget src_graph
-                ~cost ~roots ~terminals
+              Steiner.minimal_trees_in ~budget:ctx.x_budget sess ~roots
+                ~terminals
             in
             if not sol.Steiner.exact then ctx.x_degraded <- true;
             sol.Steiner.trees
@@ -846,12 +870,55 @@ let discover_core ctx ~options ~dedup ~source ~target ~corrs =
           with_coverage
       end
     in
+    let subject d2 = "target CSG [" ^ d2.c_how ^ "]" in
     let all =
-      List.concat_map
-        (fun d2 ->
-          isolate ctx ~subject:("target CSG [" ^ d2.c_how ^ "]") ~empty:[]
-            (fun () -> process_tgt d2))
-        tgt_csgs
+      match ctx.x_pool with
+      | None ->
+          List.concat_map
+            (fun d2 ->
+              isolate ctx ~subject:(subject d2) ~empty:[] (fun () ->
+                  process_tgt ctx d2))
+            tgt_csgs
+      | Some pool ->
+          (* Deterministic parallel fan-out: one task per target CSG,
+             each under an equal fuel share of the run budget, results
+             merged in CSG order. Fuel shares depend on the CSG count
+             only — never on the number of domains or the steal
+             schedule — so any domain count yields the same output. *)
+          let csgs = Array.of_list tgt_csgs in
+          let n = Array.length csgs in
+          let subs =
+            Array.of_list (Budget.split ctx.x_budget ~parts:n)
+          in
+          let tasks =
+            Pool.map pool ~chunk:1
+              (fun i ->
+                let d2 = csgs.(i) in
+                let tctx =
+                  {
+                    x_budget = subs.(i);
+                    x_collect =
+                      Option.map (fun _ -> Diag.collector ()) ctx.x_collect;
+                    x_degraded = false;
+                    x_pool = None;
+                  }
+                in
+                let ms =
+                  isolate tctx ~subject:(subject d2) ~empty:[] (fun () ->
+                      process_tgt tctx d2)
+                in
+                (ms, tctx))
+              (Array.init n Fun.id)
+          in
+          List.concat_map
+            (fun (ms, tctx) ->
+              Budget.absorb ctx.x_budget tctx.x_budget;
+              if tctx.x_degraded then ctx.x_degraded <- true;
+              (match (ctx.x_collect, tctx.x_collect) with
+              | Some c, Some sub -> List.iter (Diag.add c) (Diag.diags sub)
+              | _, _ -> ());
+              ms)
+            (Array.to_list tasks)
     in
     let deduped =
       List.fold_left
@@ -884,7 +951,7 @@ let discover_core ctx ~options ~dedup ~source ~target ~corrs =
               ranked
           in
           let report =
-            Smg_verify.Mapverify.dedup ~source:source.schema
+            Smg_verify.Mapverify.dedup ?pool:ctx.x_pool ~source:source.schema
               ~target:target.schema labelled
           in
           Log.debug (fun m -> m "%s" (Smg_verify.Mapverify.summary report));
@@ -893,18 +960,29 @@ let discover_core ctx ~options ~dedup ~source ~target ~corrs =
 
 (* ---- public entry points ----------------------------------------------- *)
 
-let discover ?(options = default_options) ?(dedup = false) ~source ~target
-    ~corrs () =
+let discover ?(options = default_options) ?(dedup = false) ?pool ~source
+    ~target ~corrs () =
   let ctx =
-    { x_budget = Budget.unlimited (); x_collect = None; x_degraded = false }
+    {
+      x_budget = Budget.unlimited ();
+      x_collect = None;
+      x_degraded = false;
+      x_pool = pool;
+    }
   in
   discover_core ctx ~options ~dedup ~source ~target ~corrs
 
 let discover_bounded ?(options = default_options) ?(dedup = false) ?budget
-    ~source ~target ~corrs () =
+    ?pool ~source ~target ~corrs () =
   let budget = match budget with Some b -> b | None -> Budget.unlimited () in
   let collector = Diag.collector () in
-  let ctx = { x_budget = budget; x_collect = Some collector; x_degraded = false }
+  let ctx =
+    {
+      x_budget = budget;
+      x_collect = Some collector;
+      x_degraded = false;
+      x_pool = pool;
+    }
   in
   let mappings =
     (* last-resort containment: a fault outside any per-subject isolation

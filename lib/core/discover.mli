@@ -53,6 +53,7 @@ val default_options : options
 val discover :
   ?options:options ->
   ?dedup:bool ->
+  ?pool:Smg_parallel.Pool.t ->
   source:side ->
   target:side ->
   corrs:Smg_cq.Mapping.corr list ->
@@ -68,7 +69,16 @@ val discover :
 
     Legacy entry point: unbudgeted, and faults (bad s-tree, unliftable
     correspondence) propagate as exceptions. Prefer {!discover_bounded}
-    for robust pipelines. *)
+    for robust pipelines.
+
+    With a [pool], the per-target-CSG searches and the dedup pass's
+    implication checks fan out across its domains. The ranked output is
+    byte-identical for every domain count (including 1): tasks are keyed
+    by CSG rank and merged in rank order, and each task receives an
+    equal fuel share via {!Smg_robust.Budget.split}, so fuel accounting
+    never depends on the steal schedule. (A pooled run may differ from a
+    pool-less run of the same inputs under a fuel budget — the fuel is
+    pre-split rather than consumed first-come-first-served.) *)
 
 type outcome = {
   o_mappings : Smg_cq.Mapping.t list;
@@ -85,6 +95,7 @@ val discover_bounded :
   ?options:options ->
   ?dedup:bool ->
   ?budget:Smg_robust.Budget.t ->
+  ?pool:Smg_parallel.Pool.t ->
   source:side ->
   target:side ->
   corrs:Smg_cq.Mapping.corr list ->

@@ -52,9 +52,10 @@ let run_method kind (scen : Scenario.t) (case : Scenario.case) =
       Baseline.generate ~source:scen.Scenario.source.Discover.schema
         ~target:scen.Scenario.target.Discover.schema ~corrs:case.Scenario.corrs
 
-let run_semantic_bounded ?budget (scen : Scenario.t) (case : Scenario.case) =
+let run_semantic_bounded ?budget ?pool (scen : Scenario.t) (case : Scenario.case)
+    =
   let o =
-    Discover.discover_bounded ~options:semantic_options ?budget
+    Discover.discover_bounded ~options:semantic_options ?budget ?pool
       ~source:scen.Scenario.source ~target:scen.Scenario.target
       ~corrs:case.Scenario.corrs ()
   in

@@ -37,13 +37,16 @@ val run_method :
 
 val run_semantic_bounded :
   ?budget:Smg_robust.Budget.t ->
+  ?pool:Smg_parallel.Pool.t ->
   Scenario.t ->
   Scenario.case ->
   Smg_core.Discover.outcome
 (** The semantic method under a resource budget: candidates are filtered
     through the presentation window as in {!run_method}, diagnostics and
     the exactness flag pass through from
-    {!Smg_core.Discover.discover_bounded}. *)
+    {!Smg_core.Discover.discover_bounded}. With a [pool] the per-CSG
+    searches fan out across its domains; the ranked output is identical
+    for any domain count. *)
 
 val run_case : Scenario.t -> Scenario.case -> case_result list
 (** Both methods on one case. *)

@@ -18,16 +18,24 @@ type store = {
   mutable s_count : int;
 }
 
-let store_of_tuples header tuples =
-  let seen = Hashtbl.create (List.length tuples * 2 + 1) in
-  List.iter (fun tup -> Hashtbl.replace seen (Index.tuple_key tup) ()) tuples;
+(* [track = false] skips hashing the initial tuples into [s_seen]:
+   right for stores that only receive [insert] after a substitution
+   rebuilt [s_seen] (i.e. source stores — [fire] inserts into target
+   stores only). Initial tuples are trusted to be duplicate-free, as
+   [Instance] relations are. Hashing every source tuple up front was
+   the single largest fixed cost on small exchanges. *)
+let store_of_tuples ?(track = true) header tuples =
+  let n = List.length tuples in
+  let seen = Hashtbl.create (if track then (n * 2) + 1 else 16) in
+  if track then
+    List.iter (fun tup -> Hashtbl.replace seen (Index.tuple_key tup) ()) tuples;
   {
     s_header = header;
     s_tuples = List.rev tuples;
     s_seen = seen;
     s_indexes = [];
     s_delta = [];
-    s_count = Hashtbl.length seen;
+    s_count = n;
   }
 
 let insert st tup =
@@ -49,6 +57,30 @@ let get_index st cols =
       let ix = Index.build ~key:cols st.s_tuples in
       st.s_indexes <- (cols, ix) :: st.s_indexes;
       ix
+
+(* Below this tuple count, a filtered scan beats paying for the hash
+   index: building it costs a full pass plus hashing every tuple, which
+   at dblp-size instances (hundreds of tuples) was measurably slower
+   than the naive chase. Stores that already have the index keep using
+   it (inserts maintain it either way). *)
+let index_threshold = 64
+
+let probe_linear st cols vals =
+  List.filter
+    (fun tup ->
+      List.for_all2 (fun c v -> Value.equal tup.(c) v) cols vals)
+    st.s_tuples
+
+(* [cache = false] additionally guarantees the probe never mutates the
+   store — required by the parallel scan phase, where worker domains
+   probe stores concurrently and only pre-built indexes may be used. *)
+let probe_store ?(cache = true) st cols vals =
+  match List.assoc_opt cols st.s_indexes with
+  | Some ix -> Index.probe ix vals
+  | None ->
+      if (not cache) || st.s_count < index_threshold then
+        probe_linear st cols vals
+      else Index.probe (get_index st cols) vals
 
 (* ---- engine state ------------------------------------------------------- *)
 
@@ -86,7 +118,7 @@ let create ~source ~target inst =
       let header = header_of tbl in
       let r = Instance.relation_or_empty inst tbl.Schema.tbl_name ~header in
       Hashtbl.replace src tbl.Schema.tbl_name
-        (store_of_tuples header r.Instance.tuples))
+        (store_of_tuples ~track:false header r.Instance.tuples))
     source.Schema.tables;
   List.iter
     (fun (tbl : Schema.table) ->
@@ -119,7 +151,7 @@ let skolem_cell_value env f args =
    Skolem cells are computed from [env], not wildcarded. Backtracking
    over the check templates; each template probes the target index on
    its statically-known positions. *)
-let satisfied e (plan : Plan.t) env (stats : Obs.tstats) =
+let satisfied ?(cache = true) e (plan : Plan.t) env (stats : Obs.tstats) =
   let exenv = Array.make (max plan.Plan.p_nex 1) None in
   let cell_value cell =
     match cell with
@@ -140,10 +172,9 @@ let satisfied e (plan : Plan.t) env (stats : Obs.tstats) =
           match ck.Plan.ck_probe with
           | [] -> st.s_tuples
           | probe ->
-              let ix = get_index st probe in
               stats.Obs.st_probes <- stats.Obs.st_probes + 1;
               let tuples =
-                Index.probe ix
+                probe_store ~cache st probe
                   (List.map (fun p -> cell_value ck.Plan.ck_cells.(p)) probe)
               in
               if tuples = [] then
@@ -215,8 +246,12 @@ let fire ?budget e (plan : Plan.t) env (stats : Obs.tstats) =
 
 (* [delta]: when [Some (i, tuples)], scan step [i] iterates only the
    given delta tuples — the semi-naive re-evaluation after an egd
-   substitution changed some source tuples. *)
-let eval_plan ?budget e (plan : Plan.t) ?delta (stats : Obs.tstats) =
+   substitution changed some source tuples (the parallel scan phase
+   reuses the same restriction to hand each worker its driving chunk).
+   [sink]: what to do with a completed binding; defaults to {!fire}.
+   [cache = false] keeps the evaluation read-only (see {!probe_store}). *)
+let eval_plan ?budget ?(cache = true) ?sink e (plan : Plan.t) ?delta
+    (stats : Obs.tstats) =
   let env = Array.make (max plan.Plan.p_nslots 1) (Value.VNull 0) in
   let scans = Array.of_list plan.Plan.p_scans in
   let nscans = Array.length scans in
@@ -237,8 +272,13 @@ let eval_plan ?budget e (plan : Plan.t) ?delta (stats : Obs.tstats) =
   let bind (sc : Plan.scan) tup =
     List.iter (fun (pos, s) -> env.(s) <- tup.(pos)) sc.Plan.sc_binds
   in
+  let emit =
+    match sink with
+    | Some f -> f
+    | None -> fun env -> fire ?budget e plan env stats
+  in
   let rec step i =
-    if i = nscans then fire ?budget e plan env stats
+    if i = nscans then emit env
     else begin
       let sc = scans.(i) in
       let use_delta = match delta with Some (j, _) -> j = i | None -> false in
@@ -273,10 +313,10 @@ let eval_plan ?budget e (plan : Plan.t) ?delta (stats : Obs.tstats) =
               st.s_tuples
         | eqs ->
             let cols = List.map fst eqs in
-            let ix = get_index st cols in
             stats.Obs.st_probes <- stats.Obs.st_probes + 1;
             let bucket =
-              Index.probe ix (List.map (fun (_, b) -> binding_value b) eqs)
+              probe_store ~cache st cols
+                (List.map (fun (_, b) -> binding_value b) eqs)
             in
             if bucket = [] then stats.Obs.st_misses <- stats.Obs.st_misses + 1
             else stats.Obs.st_hits <- stats.Obs.st_hits + 1;
@@ -296,6 +336,126 @@ let eval_plan ?budget e (plan : Plan.t) ?delta (stats : Obs.tstats) =
     end
   in
   if nscans > 0 then step 0
+
+(* ---- parallel initial pass ---------------------------------------------- *)
+
+module Pool = Smg_parallel.Pool
+
+(* The initial (non-delta) pass of one plan, fanned out over a pool.
+
+   Phase 1 (parallel, read-only): the driving scan's tuples are split
+   into chunks — a fixed fan-out independent of the domain count — and
+   each chunk worker enumerates its join bindings against pre-built
+   indexes. Bindings already satisfied in the current target snapshot
+   are dropped (satisfaction is monotone: inserting tuples can only
+   satisfy more triggers, so a snapshot-satisfied trigger stays
+   satisfied); surviving bindings are collected as env copies.
+
+   Phase 2 (sequential): the collected envs are re-played through
+   {!fire} in chunk order. [fire] re-checks satisfaction against the
+   live target — a binding satisfied by an earlier binding's inserts is
+   skipped exactly as in a sequential run — and does all null minting
+   and inserting on the caller's domain, so the one-null-per-ground-
+   Skolem-term interning and the store mutations stay single-threaded.
+   The result is the same restricted-chase output as the sequential
+   pass (null labels may differ: a homomorphic isomorphism).
+
+   Budgets: each chunk gets an equal fuel share ([Budget.split] over
+   the fixed chunk count, so fuel accounting does not depend on the
+   domain count); a chunk that exhausts its share stops early but its
+   collected prefix is still merged, and the exhaustion is re-raised
+   after the merge — the target built so far is a sound prefix, exactly
+   the [run_bounded] contract. *)
+let parallel_chunks = 32
+
+let eval_plan_parallel pool ?budget e (plan : Plan.t) (stats : Obs.tstats) =
+  match plan.Plan.p_scans with
+  | [] -> ()
+  | sc0 :: rest ->
+      (* pre-build every index the read-only phase will probe *)
+      List.iter
+        (fun (sc : Plan.scan) ->
+          if sc.Plan.sc_eqs <> [] then begin
+            let st = Hashtbl.find e.e_src sc.Plan.sc_pred in
+            if st.s_count >= index_threshold then
+              ignore (get_index st (List.map fst sc.Plan.sc_eqs))
+          end)
+        rest;
+      List.iter
+        (fun (ck : Plan.check) ->
+          if ck.Plan.ck_probe <> [] then begin
+            let st = Hashtbl.find e.e_tgt ck.Plan.ck_pred in
+            if st.s_count >= index_threshold then
+              ignore (get_index st ck.Plan.ck_probe)
+          end)
+        plan.Plan.p_checks;
+      let driving =
+        Array.of_list (Hashtbl.find e.e_src sc0.Plan.sc_pred).s_tuples
+      in
+      let n = Array.length driving in
+      if n > 0 then begin
+        let chunk = max 1 ((n + parallel_chunks - 1) / parallel_chunks) in
+        let nchunks = (n + chunk - 1) / chunk in
+        let subs =
+          match budget with
+          | None -> Array.make nchunks None
+          | Some b ->
+              Array.of_list
+                (List.map Option.some (Budget.split b ~parts:nchunks))
+        in
+        let results =
+          Pool.map pool ~chunk:1
+            (fun k ->
+              let cstats = Obs.fresh_tstats () in
+              let lo = k * chunk in
+              let tuples =
+                Array.to_list (Array.sub driving lo (min chunk (n - lo)))
+              in
+              let acc = ref [] in
+              let hit = ref None in
+              (try
+                 eval_plan ?budget:subs.(k) ~cache:false e plan
+                   ~delta:(0, tuples) cstats
+                   ~sink:(fun env ->
+                     (* count a check only for bindings settled here: the
+                        survivors are re-checked (and counted) by [fire]
+                        at merge, keeping the totals equal to a
+                        sequential run's *)
+                     if satisfied ~cache:false e plan env cstats then begin
+                       cstats.Obs.st_checks <- cstats.Obs.st_checks + 1;
+                       cstats.Obs.st_satisfied <-
+                         cstats.Obs.st_satisfied + 1
+                     end
+                     else acc := Array.copy env :: !acc)
+               with Budget.Exhausted r -> hit := Some r);
+              (List.rev !acc, cstats, !hit))
+            (Array.init nchunks Fun.id)
+        in
+        let exhausted = ref None in
+        Array.iteri
+          (fun k (_, cstats, hit) ->
+            (match (budget, subs.(k)) with
+            | Some b, Some sub -> Budget.absorb b sub
+            | _, _ -> ());
+            (match hit with
+            | Some r when !exhausted = None -> exhausted := Some r
+            | _ -> ());
+            stats.Obs.st_scanned <- stats.Obs.st_scanned + cstats.Obs.st_scanned;
+            stats.Obs.st_probes <- stats.Obs.st_probes + cstats.Obs.st_probes;
+            stats.Obs.st_hits <- stats.Obs.st_hits + cstats.Obs.st_hits;
+            stats.Obs.st_misses <- stats.Obs.st_misses + cstats.Obs.st_misses;
+            stats.Obs.st_checks <- stats.Obs.st_checks + cstats.Obs.st_checks;
+            stats.Obs.st_satisfied <-
+              stats.Obs.st_satisfied + cstats.Obs.st_satisfied)
+          results;
+        Array.iter
+          (fun (envs, _, _) ->
+            List.iter (fun env -> fire ?budget e plan env stats) envs)
+          results;
+        match !exhausted with
+        | Some r -> raise (Budget.Exhausted r)
+        | None -> ()
+      end
 
 (* ---- key-egd pass ------------------------------------------------------- *)
 
@@ -456,8 +616,8 @@ type outcome =
           possibly incomplete prefix of the universal solution *)
   | Failed of string
 
-let run_core ?budget ?(max_rounds = 100) ?(laconic = false) ~source ~target
-    ~mappings inst =
+let run_core ?budget ?pool ?(max_rounds = 100) ?(laconic = false) ~source
+    ~target ~mappings inst =
   try
     let mappings = if laconic then Laconic.prepare mappings else mappings in
     let card name = Instance.cardinality inst name in
@@ -473,7 +633,12 @@ let run_core ?budget ?(max_rounds = 100) ?(laconic = false) ~source ~target
     (try
        List.iter2
          (fun plan (_, st) ->
-           let (), dt = Obs.time (fun () -> eval_plan ?budget e plan st) in
+           let (), dt =
+             Obs.time (fun () ->
+                 match pool with
+                 | Some pool -> eval_plan_parallel pool ?budget e plan st
+                 | None -> eval_plan ?budget e plan st)
+           in
            st.Obs.st_seconds <- st.Obs.st_seconds +. dt)
          plans stats;
        clear_deltas e;
@@ -544,14 +709,15 @@ let run_core ?budget ?(max_rounds = 100) ?(laconic = false) ~source ~target
         | None -> Complete report)
   with Invalid_argument msg -> Failed msg
 
-let run ?max_rounds ?laconic ~source ~target ~mappings inst =
-  match run_core ?max_rounds ?laconic ~source ~target ~mappings inst with
+let run ?pool ?max_rounds ?laconic ~source ~target ~mappings inst =
+  match run_core ?pool ?max_rounds ?laconic ~source ~target ~mappings inst with
   | Complete r -> Ok r
   | Budget_exhausted (_, r) -> Ok r (* unreachable without a budget *)
   | Failed msg -> Error msg
 
-let run_bounded ?budget ?max_rounds ?laconic ~source ~target ~mappings inst =
-  run_core ?budget ?max_rounds ?laconic ~source ~target ~mappings inst
+let run_bounded ?budget ?pool ?max_rounds ?laconic ~source ~target ~mappings
+    inst =
+  run_core ?budget ?pool ?max_rounds ?laconic ~source ~target ~mappings inst
 
 let pp_report ppf r =
   Fmt.pf ppf "@[<v>rounds: %d%s  egd merges: %d  swept: %d  %.3f ms@,"

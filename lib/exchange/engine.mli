@@ -28,6 +28,7 @@ type report = {
 }
 
 val run :
+  ?pool:Smg_parallel.Pool.t ->
   ?max_rounds:int ->
   ?laconic:bool ->
   source:Smg_relational.Schema.t ->
@@ -39,7 +40,17 @@ val run :
     100) bounds egd/re-fire rounds; [laconic] (default off) enables the
     {!Laconic} preparation and sweep. [Error] on a key-egd
     constant/constant conflict or an ill-formed tgd (unknown predicate,
-    arity mismatch, non-universal Skolem argument). *)
+    arity mismatch, non-universal Skolem argument).
+
+    With a [pool], each plan's initial pass fans its driving scan out
+    across the pool's domains: workers enumerate join bindings against
+    pre-built indexes (read-only) and pre-filter triggers already
+    satisfied in the target snapshot; all inserting, null minting and
+    Skolem interning happens on the calling domain while replaying the
+    surviving bindings in deterministic chunk order. The output is
+    homomorphically equivalent to the sequential run's for any domain
+    count (null labels may differ). Egd rounds and semi-naive re-firing
+    stay sequential. *)
 
 type outcome =
   | Complete of report
@@ -51,6 +62,7 @@ type outcome =
 
 val run_bounded :
   ?budget:Smg_robust.Budget.t ->
+  ?pool:Smg_parallel.Pool.t ->
   ?max_rounds:int ->
   ?laconic:bool ->
   source:Smg_relational.Schema.t ->
@@ -62,6 +74,11 @@ val run_bounded :
     budget and every minted labelled null burns a unit of fuel, so both
     runaway joins and null-generation blowups stop cleanly with
     [Budget_exhausted] instead of hanging. Without a budget this is
-    {!run} with the result as an {!outcome}. *)
+    {!run} with the result as an {!outcome}. In pooled runs each scan
+    chunk receives an equal fuel share ({!Smg_robust.Budget.split} over
+    a fixed chunk count, so accounting is independent of the domain
+    count); a chunk exhausting its share still contributes the bindings
+    it collected, and the target built when the budget runs out remains
+    a sound prefix. *)
 
 val pp_report : Format.formatter -> report -> unit

@@ -1,11 +1,44 @@
 type 'e edge = { id : int; src : int; dst : int; lbl : 'e }
 
+(* CSR (compressed sparse row) adjacency: [out_e] holds edge ids grouped
+   by source node, [out_idx.(v) .. out_idx.(v+1) - 1] is node [v]'s
+   slice, ids ascending within a slice (counting sort is stable and the
+   edge array is already in id order). Same for [in_idx]/[in_e] keyed by
+   destination. Two int reads locate a node's neighbourhood and the
+   whole structure is four flat int arrays — no per-node boxing, no
+   pointer chasing in the Dijkstra / path-search hot loops. *)
 type 'e t = {
   n : int;
   edge_arr : 'e edge array;
-  out_arr : int list array;  (* edge ids, ascending *)
-  in_arr : int list array;
+  out_idx : int array;  (* length n+1 *)
+  out_e : int array;  (* length n_edges, edge ids grouped by src *)
+  in_idx : int array;
+  in_e : int array;
 }
+
+let csr ~n ~m ~(key : int -> int) =
+  let idx = Array.make (n + 1) 0 in
+  for e = 0 to m - 1 do
+    let k = key e in
+    idx.(k + 1) <- idx.(k + 1) + 1
+  done;
+  for v = 1 to n do
+    idx.(v) <- idx.(v) + idx.(v - 1)
+  done;
+  let cursor = Array.copy idx in
+  let cells = Array.make m 0 in
+  for e = 0 to m - 1 do
+    let k = key e in
+    cells.(cursor.(k)) <- e;
+    cursor.(k) <- cursor.(k) + 1
+  done;
+  (idx, cells)
+
+let of_edge_array ~n edge_arr =
+  let m = Array.length edge_arr in
+  let out_idx, out_e = csr ~n ~m ~key:(fun e -> edge_arr.(e).src) in
+  let in_idx, in_e = csr ~n ~m ~key:(fun e -> edge_arr.(e).dst) in
+  { n; edge_arr; out_idx; out_e; in_idx; in_e }
 
 let make ~n triples =
   let check v =
@@ -21,23 +54,33 @@ let make ~n triples =
            { id; src; dst; lbl })
          triples)
   in
-  let out_arr = Array.make n [] and in_arr = Array.make n [] in
-  (* Fill in reverse so lists end up in ascending id order. *)
-  for i = Array.length edge_arr - 1 downto 0 do
-    let e = edge_arr.(i) in
-    out_arr.(e.src) <- e.id :: out_arr.(e.src);
-    in_arr.(e.dst) <- e.id :: in_arr.(e.dst)
-  done;
-  { n; edge_arr; out_arr; in_arr }
+  of_edge_array ~n edge_arr
 
 let n_nodes g = g.n
 let n_edges g = Array.length g.edge_arr
 let edge g id = g.edge_arr.(id)
 let edges g = Array.to_list g.edge_arr
-let out_edges g v = List.map (fun id -> g.edge_arr.(id)) g.out_arr.(v)
-let in_edges g v = List.map (fun id -> g.edge_arr.(id)) g.in_arr.(v)
 let nodes g = List.init g.n Fun.id
 let fold_edges f acc g = Array.fold_left f acc g.edge_arr
+
+let slice_list g idx cells v =
+  let lo = idx.(v) and hi = idx.(v + 1) in
+  List.init (hi - lo) (fun k -> g.edge_arr.(cells.(lo + k)))
+
+let out_edges g v = slice_list g g.out_idx g.out_e v
+let in_edges g v = slice_list g g.in_idx g.in_e v
+let out_degree g v = g.out_idx.(v + 1) - g.out_idx.(v)
+let in_degree g v = g.in_idx.(v + 1) - g.in_idx.(v)
+
+let iter_out g v f =
+  for k = g.out_idx.(v) to g.out_idx.(v + 1) - 1 do
+    f g.edge_arr.(g.out_e.(k))
+  done
+
+let iter_in g v f =
+  for k = g.in_idx.(v) to g.in_idx.(v + 1) - 1 do
+    f g.edge_arr.(g.in_e.(k))
+  done
 
 let map_labels f g =
   {
@@ -49,7 +92,14 @@ let reverse g =
   let edge_arr =
     Array.map (fun e -> { e with src = e.dst; dst = e.src }) g.edge_arr
   in
-  { n = g.n; edge_arr; out_arr = g.in_arr; in_arr = g.out_arr }
+  {
+    n = g.n;
+    edge_arr;
+    out_idx = g.in_idx;
+    out_e = g.in_e;
+    in_idx = g.out_idx;
+    in_e = g.out_e;
+  }
 
 let is_tree_under g ~root ~edge_ids =
   let in_deg = Hashtbl.create 16 in
@@ -71,9 +121,7 @@ let is_tree_under g ~root ~edge_ids =
     let rec go v =
       if not (Hashtbl.mem visited v) then begin
         Hashtbl.replace visited v ();
-        List.iter
-          (fun e -> if Hashtbl.mem chosen e.id then go e.dst)
-          (out_edges g v)
+        iter_out g v (fun e -> if Hashtbl.mem chosen e.id then go e.dst)
       end
     in
     go root;

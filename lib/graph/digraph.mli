@@ -2,7 +2,12 @@
 
     The graph is immutable once built. Node payloads are the caller's
     business; edges carry an arbitrary label. Parallel edges and self
-    loops are allowed. *)
+    loops are allowed.
+
+    Adjacency is stored in CSR (compressed sparse row) form — flat int
+    arrays of edge ids grouped by endpoint — so neighbourhood iteration
+    ({!iter_out} / {!iter_in}) is allocation-free and cache-friendly.
+    Immutability also makes a graph safe to share between domains. *)
 
 type 'e edge = private {
   id : int;  (** position in {!edges}; unique *)
@@ -28,10 +33,23 @@ val edges : 'e t -> 'e edge list
 (** All edges, in identifier order. *)
 
 val out_edges : 'e t -> int -> 'e edge list
-(** Edges leaving the given node, in identifier order. *)
+(** Edges leaving the given node, in identifier order. Allocates; hot
+    loops should use {!iter_out} over the CSR arrays instead. *)
 
 val in_edges : 'e t -> int -> 'e edge list
-(** Edges entering the given node, in identifier order. *)
+(** Edges entering the given node, in identifier order. Allocates; hot
+    loops should use {!iter_in}. *)
+
+val out_degree : 'e t -> int -> int
+val in_degree : 'e t -> int -> int
+
+val iter_out : 'e t -> int -> ('e edge -> unit) -> unit
+(** [iter_out g v f] applies [f] to each edge leaving [v], in identifier
+    order, without allocating — a direct walk of [v]'s CSR slice. *)
+
+val iter_in : 'e t -> int -> ('e edge -> unit) -> unit
+(** Allocation-free iteration over the edges entering [v], in identifier
+    order. *)
 
 val nodes : 'e t -> int list
 (** [0; 1; ...; n-1]. *)

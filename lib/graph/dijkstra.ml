@@ -70,8 +70,7 @@ let run g ~cost ~src =
     | Some (d, v) ->
         if not settled.(v) then begin
           settled.(v) <- true;
-          List.iter
-            (fun (e : _ Digraph.edge) ->
+          Digraph.iter_out g v (fun e ->
               match cost e with
               | None -> ()
               | Some c ->
@@ -82,7 +81,6 @@ let run g ~cost ~src =
                     pred.(e.dst) <- e.src;
                     Heap.push heap (nd, e.dst)
                   end)
-            (Digraph.out_edges g v)
         end;
         loop ()
   in

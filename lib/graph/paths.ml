@@ -15,14 +15,12 @@ let simple_paths ?budget g ~src ~dst ~max_len ~ok =
     (* Keep extending even after touching dst only if dst <> v later; a
        simple path visiting dst must end there, so stop here. *)
     if v <> dst && len < max_len then
-      List.iter
-        (fun (e : _ Digraph.edge) ->
+      Digraph.iter_out g v (fun e ->
           if ok e && (not (Hashtbl.mem on_path e.dst)) && within () then begin
             Hashtbl.replace on_path e.dst ();
             dfs e.dst (e.id :: edges_rev) (e.dst :: nodes_rev) (len + 1);
             Hashtbl.remove on_path e.dst
           end)
-        (Digraph.out_edges g v)
   in
   Hashtbl.replace on_path src ();
   dfs src [] [ src ] 0;

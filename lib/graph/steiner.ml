@@ -148,6 +148,62 @@ let shortest_path_tree g sp ~cost ~root ~terminals =
     Some { root; edge_ids; cost = total }
   end
 
+(* ---- shared all-pairs context + per-caller DP memo --------------------- *)
+
+(* The all-pairs matrix depends only on (graph, cost) and burns no fuel,
+   so it is safe to share across domains: computed once under the mutex,
+   read-only afterwards. *)
+type 'e context = {
+  cg : 'e Digraph.t;
+  ccost : 'e Digraph.edge -> float option;
+  clock : Mutex.t;
+  mutable csp : Dijkstra.result array option;
+}
+
+let context g ~cost = { cg = g; ccost = cost; clock = Mutex.create (); csp = None }
+
+let context_sp ctx =
+  Mutex.lock ctx.clock;
+  let sp =
+    match ctx.csp with
+    | Some sp -> sp
+    | None ->
+        let sp = Dijkstra.all_pairs ctx.cg ~cost:ctx.ccost in
+        ctx.csp <- Some sp;
+        sp
+  in
+  Mutex.unlock ctx.clock;
+  sp
+
+(* The DP memo is per session, not per context: a memo hit skips the
+   DP's fuel burn, so sharing it across concurrently running tasks would
+   make fuel accounting depend on the steal schedule. One session per
+   task keeps each task's burn a function of its own inputs only. Only
+   budget-complete (exact) solutions are cached — a degraded result
+   reflects how much fuel happened to remain at the time. *)
+type 'e session = {
+  sctx : 'e context;
+  memo : (int list, int -> tree option) Hashtbl.t;
+}
+
+let session sctx = { sctx; memo = Hashtbl.create 16 }
+
+let solve_all_in ?budget s ~terminals =
+  let key = List.sort_uniq compare terminals in
+  match Hashtbl.find_opt s.memo key with
+  | Some reconstruct -> (reconstruct, true)
+  | None -> (
+      let sp = context_sp s.sctx in
+      match dreyfus_wagner ?budget s.sctx.cg sp ~terminals:key with
+      | Some reconstruct ->
+          Hashtbl.replace s.memo key reconstruct;
+          (reconstruct, true)
+      | None ->
+          ( (fun root ->
+              shortest_path_tree s.sctx.cg sp ~cost:s.sctx.ccost ~root
+                ~terminals:key),
+            false ))
+
 let solve_all ?budget g ~cost ~terminals =
   let sp = Dijkstra.all_pairs g ~cost in
   match dreyfus_wagner ?budget g sp ~terminals with
@@ -173,6 +229,12 @@ let minimal_trees_bounded ?budget g ~cost ~roots ~terminals =
   if terminals = [] || roots = [] then { trees = []; exact = true }
   else
     let solve, exact = solve_all ?budget g ~cost ~terminals in
+    { trees = keep_minimal (List.filter_map solve roots); exact }
+
+let minimal_trees_in ?budget s ~roots ~terminals =
+  if terminals = [] || roots = [] then { trees = []; exact = true }
+  else
+    let solve, exact = solve_all_in ?budget s ~terminals in
     { trees = keep_minimal (List.filter_map solve roots); exact }
 
 let minimal_trees g ~cost ~roots ~terminals =

@@ -58,5 +58,34 @@ val minimal_trees :
   tree list
 (** [minimal_trees_bounded] without a budget: always exact. *)
 
+type 'e context
+(** Shared all-pairs shortest-path state for one (graph, cost) pair.
+    The matrix is computed lazily on first use, under a mutex, and is
+    read-only afterwards — safe to share between domains. It burns no
+    fuel, so sharing it never perturbs budget accounting. *)
+
+val context :
+  'e Digraph.t -> cost:('e Digraph.edge -> float option) -> 'e context
+
+type 'e session
+(** A per-caller solver over a shared {!context}: memoizes exact
+    Dreyfus–Wagner solutions by terminal set, so repeated solves over
+    the same terminals (e.g. across candidate roots, or across the
+    shrinking-subset search) pay for the DP once. Not thread-safe —
+    one session per task; memo hits skip the DP's fuel burn, so a
+    session shared across concurrent tasks would make fuel accounting
+    schedule-dependent. Budget-degraded solutions are never cached. *)
+
+val session : 'e context -> 'e session
+
+val minimal_trees_in :
+  ?budget:Smg_robust.Budget.t ->
+  'e session ->
+  roots:int list ->
+  terminals:int list ->
+  solution
+(** {!minimal_trees_bounded} through a session's memo and its context's
+    shared all-pairs matrix. *)
+
 val tree_nodes : 'e Digraph.t -> tree -> int list
 (** All nodes touched by the tree (root included), ascending. *)

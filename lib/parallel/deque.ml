@@ -1,0 +1,91 @@
+(* Chase–Lev work-stealing deque over OCaml 5 atomics.
+
+   Layout: a growable circular buffer indexed by monotonically
+   increasing [top] (steal end) and [bottom] (owner end) counters,
+   masked into the array. Invariants:
+
+   - only the owner writes [bottom] and the buffer;
+   - [top] only ever advances, by exactly one, through a successful
+     compare-and-set (thief) or the owner's last-element pop;
+   - growth copies the live window [top, bottom) into a fresh array and
+     publishes it through an [Atomic]; old arrays are never mutated, so
+     a thief that read the buffer before a growth still sees the
+     correct element for any index its subsequent compare-and-set can
+     win.
+
+   A slot can only be reused by [push] after [bottom] wraps past it,
+   which the growth check prevents while any index in the live window
+   still points there — so a thief's read-then-CAS either returns the
+   element that was at its index or fails the CAS. *)
+
+type 'a buffer = { mask : int; data : 'a option array }
+
+type 'a t = {
+  top : int Atomic.t;
+  bottom : int Atomic.t;  (* written by the owner, read by thieves *)
+  buf : 'a buffer Atomic.t;
+}
+
+let create () =
+  {
+    top = Atomic.make 0;
+    bottom = Atomic.make 0;
+    buf = Atomic.make { mask = 31; data = Array.make 32 None };
+  }
+
+let grow q ~bottom ~top =
+  let old = Atomic.get q.buf in
+  let size = 2 * (old.mask + 1) in
+  let data = Array.make size None in
+  for i = top to bottom - 1 do
+    data.(i land (size - 1)) <- old.data.(i land old.mask)
+  done;
+  Atomic.set q.buf { mask = size - 1; data }
+
+let push q v =
+  let b = Atomic.get q.bottom and t = Atomic.get q.top in
+  if b - t > (Atomic.get q.buf).mask then grow q ~bottom:b ~top:t;
+  let buf = Atomic.get q.buf in
+  buf.data.(b land buf.mask) <- Some v;
+  Atomic.set q.bottom (b + 1)
+
+let pop q =
+  let b = Atomic.get q.bottom - 1 in
+  Atomic.set q.bottom b;
+  let t = Atomic.get q.top in
+  if b < t then begin
+    (* empty: restore the canonical empty state *)
+    Atomic.set q.bottom t;
+    None
+  end
+  else begin
+    let buf = Atomic.get q.buf in
+    let slot = b land buf.mask in
+    let v = buf.data.(slot) in
+    if b > t then begin
+      buf.data.(slot) <- None;
+      v
+    end
+    else begin
+      (* last element: race a thief for it through [top] *)
+      let won = Atomic.compare_and_set q.top t (t + 1) in
+      Atomic.set q.bottom (t + 1);
+      if won then begin
+        buf.data.(slot) <- None;
+        v
+      end
+      else None
+    end
+  end
+
+let steal q =
+  let t = Atomic.get q.top in
+  let b = Atomic.get q.bottom in
+  if t >= b then None
+  else begin
+    let buf = Atomic.get q.buf in
+    let v = buf.data.(t land buf.mask) in
+    if Atomic.compare_and_set q.top t (t + 1) then v else None
+  end
+
+let size q = max 0 (Atomic.get q.bottom - Atomic.get q.top)

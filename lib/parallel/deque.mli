@@ -1,0 +1,33 @@
+(** A lock-free work-stealing deque (Chase–Lev).
+
+    One domain — the owner — pushes and pops at the bottom in LIFO
+    order; any other domain steals from the top in FIFO order. The only
+    synchronisation point is a compare-and-set on the top index when
+    owner and thief race for the last element, so the owner's fast path
+    is two plain atomic reads and a write.
+
+    The buffer is circular and grows geometrically; growth never
+    mutates a previously published array, so a thief holding a stale
+    buffer still reads a consistent element or loses its
+    compare-and-set. Every pushed element is taken exactly once, split
+    between {!pop} and {!steal}. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val push : 'a t -> 'a -> unit
+(** Owner only: add an element at the bottom. *)
+
+val pop : 'a t -> 'a option
+(** Owner only: remove the most recently pushed element; [None] when
+    the deque is empty (or the last element was stolen first). *)
+
+val steal : 'a t -> 'a option
+(** Any domain: remove the oldest element. [None] when the deque looks
+    empty or the compare-and-set lost a race — callers treat both as
+    "nothing here right now" and move on to another victim. *)
+
+val size : 'a t -> int
+(** A snapshot estimate of the number of queued elements (racy; for
+    heuristics and tests only). *)

@@ -1,0 +1,66 @@
+(** A work-stealing domain pool over OCaml 5 multicore (stdlib only).
+
+    A pool owns [domains - 1] worker domains plus the calling domain,
+    which participates in every parallel section. Each participant has
+    its own {!Deque}: the section's tasks are seeded into the caller's
+    deque and idle participants steal from the others, so load balances
+    without a central locked queue.
+
+    Determinism: {!map}, {!map_list} and {!for_} key every result by
+    its input index, so the output is independent of the number of
+    domains and of the steal schedule — a prerequisite for the
+    byte-identical discovery guarantee upstream. Tasks must not mutate
+    shared state except through their own result slot.
+
+    Budgets ({!Smg_robust.Budget}) are not shared between domains —
+    they are mutable and unsynchronised. Callers split a budget into
+    per-task sub-budgets ({!Smg_robust.Budget.split}), hand one to each
+    task, and {!Smg_robust.Budget.absorb} them back after the join;
+    because the split is per task (not per domain), fuel accounting is
+    the same for every domain count.
+
+    Sections do not nest: a task that calls back into its own pool runs
+    the nested section inline on its own domain. When [domains = 1] the
+    pool spawns nothing and every entry point degrades to the plain
+    sequential fold. *)
+
+type t
+
+val create : domains:int -> t
+(** A pool with [max 1 domains] participants (spawning [domains - 1]
+    worker domains). Shut it down with {!shutdown} — worker domains are
+    not collected by the GC. *)
+
+val shutdown : t -> unit
+(** Terminate and join the worker domains. Idempotent; the pool must
+    not be used afterwards. *)
+
+val with_pool : domains:int -> (t -> 'a) -> 'a
+(** [create], run, [shutdown] (also on exceptions). *)
+
+val size : t -> int
+(** Number of participating domains, including the caller. *)
+
+val default_domains : unit -> int
+(** The [SMG_DOMAINS] environment variable when set and positive;
+    otherwise [Domain.recommended_domain_count ()] capped at 8. *)
+
+val run : t -> (unit -> unit) array -> unit
+(** Execute every task, work-stealing across the pool's domains, and
+    return when all have finished. The first exception a task raises is
+    re-raised in the caller after the join (remaining tasks still
+    run). *)
+
+val map : t -> ?chunk:int -> ('a -> 'b) -> 'a array -> 'b array
+(** Parallel [Array.map], order-preserving. Inputs are grouped into
+    chunks of [chunk] elements (default: adaptive, targetting ~4 tasks
+    per domain) and each chunk is one task. *)
+
+val map_list : t -> ?chunk:int -> ('a -> 'b) -> 'a list -> 'b list
+(** Parallel order-preserving [List.map] (via {!map}). *)
+
+val mapi_list : t -> ?chunk:int -> (int -> 'a -> 'b) -> 'a list -> 'b list
+
+val for_ : t -> ?chunk:int -> int -> int -> (int -> unit) -> unit
+(** [for_ pool lo hi body] runs [body i] for [lo <= i < hi] across the
+    pool. The body must only write state owned by index [i]. *)

@@ -25,16 +25,14 @@ let pp ppf = function
   | VNull n -> Fmt.pf ppf "_N%d" n
 
 let to_string v = Fmt.str "%a" pp v
-let counter = ref 0
+(* Atomic so that any domain can mint labels: parallel runs only need
+   fresh labels to be distinct, not consecutive. *)
+let counter = Atomic.make 0
 
-let fresh_null () =
-  incr counter;
-  VNull !counter
+let fresh_null () = VNull (Atomic.fetch_and_add counter 1 + 1)
 
 let alloc_nulls n =
   if n < 0 then invalid_arg "alloc_nulls";
-  let first = !counter + 1 in
-  counter := !counter + n;
-  first
+  Atomic.fetch_and_add counter n + 1
 
-let reset_null_counter () = counter := 0
+let reset_null_counter () = Atomic.set counter 0

@@ -2,6 +2,7 @@ type reason = Fuel | Deadline
 
 type t = {
   mutable fuel : int;  (* remaining; max_int means unlimited *)
+  granted : int;  (* initial fuel allowance, for split/absorb accounting *)
   has_fuel_limit : bool;
   deadline : float;  (* absolute, Unix.gettimeofday scale; infinity = none *)
   interval : int;
@@ -11,20 +12,26 @@ type t = {
 
 exception Exhausted of reason
 
+let make ~fuel ~has_fuel_limit ~deadline ~interval =
+  {
+    fuel;
+    granted = fuel;
+    has_fuel_limit;
+    deadline;
+    interval = max 1 interval;
+    countdown = max 1 interval;
+    spent = None;
+  }
+
 let create ?deadline_ms ?fuel ?(interval = 256) () =
   let deadline =
     match deadline_ms with
     | None -> infinity
     | Some ms -> Unix.gettimeofday () +. (ms /. 1000.)
   in
-  {
-    fuel = (match fuel with None -> max_int | Some f -> max 0 f);
-    has_fuel_limit = fuel <> None;
-    deadline;
-    interval = max 1 interval;
-    countdown = max 1 interval;
-    spent = None;
-  }
+  make
+    ~fuel:(match fuel with None -> max_int | Some f -> max 0 f)
+    ~has_fuel_limit:(fuel <> None) ~deadline ~interval
 
 let unlimited () = create ()
 
@@ -67,6 +74,41 @@ let burn_exn b n =
     raise (Exhausted (match b.spent with Some r -> r | None -> Fuel))
 
 let remaining_fuel b = if b.has_fuel_limit then Some b.fuel else None
+
+(* Equal fuel shares (remainder to the first children) under the parent's
+   absolute deadline. The parent keeps its own state — children are the
+   currency: consume them with [absorb] after the forked work joins. The
+   split is a function of the parent's remaining fuel and [parts] only,
+   never of scheduling, which is what keeps parallel fuel accounting
+   deterministic for any domain count. *)
+let split b ~parts =
+  let parts = max 1 parts in
+  if not b.has_fuel_limit then
+    List.init parts (fun _ ->
+        make ~fuel:max_int ~has_fuel_limit:false ~deadline:b.deadline
+          ~interval:b.interval)
+  else
+    let share = b.fuel / parts and extra = b.fuel mod parts in
+    List.init parts (fun i ->
+        let fuel = share + if i < extra then 1 else 0 in
+        make ~fuel ~has_fuel_limit:true ~deadline:b.deadline
+          ~interval:b.interval)
+
+let absorb b child =
+  (if b.has_fuel_limit && child.has_fuel_limit then begin
+     let consumed = child.granted - max 0 child.fuel in
+     b.fuel <- b.fuel - consumed;
+     if b.fuel <= 0 then begin
+       b.fuel <- 0;
+       if b.spent = None then b.spent <- Some Fuel
+     end
+   end);
+  (* a child's deadline is the parent's own deadline, so its passing is
+     the parent's passing; a child merely running out of its fuel share
+     is not — the parent may still have fuel for sequential follow-up *)
+  match child.spent with
+  | Some Deadline when b.spent = None -> b.spent <- Some Deadline
+  | _ -> ()
 
 let pp_reason ppf = function
   | Fuel -> Fmt.string ppf "fuel"

@@ -51,4 +51,19 @@ val burn_exn : t -> int -> unit
 val remaining_fuel : t -> int option
 (** [None] when fuel is unlimited. *)
 
+val split : t -> parts:int -> t list
+(** [split b ~parts] divides [b]'s remaining fuel into [parts] equal
+    shares (remainder going to the first children), each under [b]'s
+    absolute deadline. [b] itself is unchanged — charge the children's
+    consumption back with {!absorb} after the forked work joins. The
+    share sizes depend only on [b]'s remaining fuel and [parts], so
+    forked fuel accounting is deterministic for any domain count. *)
+
+val absorb : t -> t -> unit
+(** [absorb b child] charges the fuel a {!split} child consumed back to
+    [b] (exhausting [b] if its fuel reaches zero) and propagates a
+    deadline exhaustion — the child's deadline is [b]'s own. A child
+    that merely spent its fuel share does not exhaust [b]: [b] may
+    still have fuel left for the remaining work. *)
+
 val pp_reason : Format.formatter -> reason -> unit

@@ -134,45 +134,77 @@ let n_subsumed r = List.length r.rp_subsumed
 let annotate (m : Mapping.t) note =
   { m with Mapping.provenance = m.Mapping.provenance @ [ note ] }
 
-let dedup ~source ~target ms =
+let dedup ?pool ~source ~target ms =
+  let arr = Array.of_list ms in
+  let n = Array.length arr in
+  (* Each chase-based implication check is independent of the others, so
+     with a pool the whole pairwise matrix is computed up front as
+     parallel tasks keyed by (i, j) — schedule-independent, hence the
+     same answers for any domain count. Without a pool, checks run
+     lazily with the original greedy short-circuiting. *)
+  let cache = Hashtbl.create (max 16 (n * n)) in
+  let imp i j =
+    match Hashtbl.find_opt cache (i, j) with
+    | Some b -> b
+    | None ->
+        let b = implies ~source ~target arr.(i) arr.(j) in
+        Hashtbl.add cache (i, j) b;
+        b
+  in
+  (match pool with
+  | Some pool when n > 1 ->
+      let pairs =
+        Array.init (n * (n - 1)) (fun k ->
+            let i = k / (n - 1) and r = k mod (n - 1) in
+            (i, if r >= i then r + 1 else r))
+      in
+      let res =
+        Smg_parallel.Pool.map pool
+          (fun (i, j) -> implies ~source ~target arr.(i) arr.(j))
+          pairs
+      in
+      Array.iteri (fun k p -> Hashtbl.replace cache p res.(k)) pairs
+  | Some _ | None -> ());
+  let eqv i j = imp i j && imp j i in
   (* Pass 1: group into logical equivalence classes, best-ranked
      representative first. *)
-  let classes =
+  let classes_idx =
     List.fold_left
-      (fun classes m ->
+      (fun classes i ->
         let rec absorb = function
           | [] -> None
           | (rep, eqs) :: rest ->
-              if equivalent ~source ~target rep m then
-                Some ((rep, eqs @ [ m ]) :: rest)
-              else
-                Option.map (fun cs -> (rep, eqs) :: cs) (absorb rest)
+              if eqv rep i then Some ((rep, eqs @ [ i ]) :: rest)
+              else Option.map (fun cs -> (rep, eqs) :: cs) (absorb rest)
         in
         match absorb classes with
         | Some classes -> classes
-        | None -> classes @ [ (m, []) ])
-      [] ms
+        | None -> classes @ [ (i, []) ])
+      []
+      (List.init n Fun.id)
   in
   (* Pass 2: a representative strictly implied by a better-ranked one is
      subsumed — it asserts nothing the stronger candidate does not. *)
-  let reps = List.map fst classes in
-  let subsumed =
+  let reps_idx = List.map fst classes_idx in
+  let subsumed_idx =
     List.concat
       (List.mapi
          (fun i m ->
-           let better = List.filteri (fun j _ -> j < i) reps in
-           match
-             List.find_index
-               (fun s -> implies ~source ~target s m)
-               better
-           with
+           let better = List.filteri (fun j _ -> j < i) reps_idx in
+           match List.find_index (fun s -> imp s m) better with
            | Some j -> [ (m, j + 1) ]
            | None -> [])
-         reps)
+         reps_idx)
   in
+  let classes =
+    List.map
+      (fun (rep, eqs) -> (arr.(rep), List.map (fun i -> arr.(i)) eqs))
+      classes_idx
+  in
+  let subsumed = List.map (fun (m, j) -> (arr.(m), j)) subsumed_idx in
   let kept =
-    List.mapi
-      (fun i (rep, eqs) ->
+    List.map2
+      (fun (rep_i, eqs_i) (rep, eqs) ->
         let rep =
           if eqs = [] then rep
           else
@@ -183,16 +215,17 @@ let dedup ~source ~target ms =
                  (String.concat ", "
                     (List.map (fun (m : Mapping.t) -> m.Mapping.m_name) eqs)))
         in
-        match List.assq_opt (List.nth reps i) subsumed with
+        ignore eqs_i;
+        match List.assoc_opt rep_i subsumed_idx with
         | Some j ->
             annotate rep
               (Printf.sprintf
                  "dedup: subsumed — logically implied by stronger candidate #%d"
                  j)
         | None -> rep)
-      classes
+      classes_idx classes
   in
-  { rp_in = List.length ms; rp_kept = kept; rp_classes = classes; rp_subsumed = subsumed }
+  { rp_in = n; rp_kept = kept; rp_classes = classes; rp_subsumed = subsumed }
 
 let summary r =
   Printf.sprintf

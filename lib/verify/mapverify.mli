@@ -87,12 +87,16 @@ val n_collapsed : report -> int
 val n_subsumed : report -> int
 
 val dedup :
+  ?pool:Smg_parallel.Pool.t ->
   source:Smg_relational.Schema.t ->
   target:Smg_relational.Schema.t ->
   Smg_cq.Mapping.t list ->
   report
 (** The input list must be ranked best-first; representatives keep their
-    relative order. *)
+    relative order. With a [pool], the pairwise implication matrix is
+    computed up front as independent parallel chase tasks; the report is
+    identical for any domain count (the matrix, not the schedule,
+    determines it). *)
 
 val summary : report -> string
 (** e.g. ["dedup: 12 candidate(s) in, 7 equivalence class(es) out (5 collapsed), 2 subsumed"]. *)
