@@ -403,6 +403,211 @@ let compose_report json smoke seed size =
     Fmt.pr "@.wrote %s (%d rows)@." path (List.length bench_rows)
   end
 
+(* serve-load: the HTTP service under concurrent client load, in one
+   process — the server runs in its own domain (with its own handler
+   pool) on an ephemeral port, client domains drive it over loopback
+   sockets. Measures the cold (first-request) latency per scenario
+   against the warm (plan-cache hit) latency distribution, and the
+   sustained warm throughput; optionally records BENCH_serve.json. *)
+
+let find_substring hay needle from =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i =
+    if i + nn > nh then None
+    else if String.sub hay i nn = needle then Some i
+    else go (i + 1)
+  in
+  if nn = 0 then Some from else go from
+
+let http_request ~port meth path body =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      let req =
+        Printf.sprintf
+          "%s %s HTTP/1.1\r\nHost: localhost\r\nContent-Length: %d\r\n\
+           Connection: close\r\n\r\n%s"
+          meth path (String.length body) body
+      in
+      let n = String.length req in
+      let off = ref 0 in
+      while !off < n do
+        off := !off + Unix.write_substring fd req !off (n - !off)
+      done;
+      let buf = Buffer.create 8192 and chunk = Bytes.create 8192 in
+      let rec drain () =
+        match Unix.read fd chunk 0 8192 with
+        | 0 -> ()
+        | k ->
+            Buffer.add_subbytes buf chunk 0 k;
+            drain ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> drain ()
+      in
+      drain ();
+      let raw = Buffer.contents buf in
+      let status =
+        try int_of_string (String.sub raw 9 3) with _ -> failwith "bad status"
+      in
+      let body =
+        match find_substring raw "\r\n\r\n" 0 with
+        | Some i -> String.sub raw (i + 4) (String.length raw - i - 4)
+        | None -> ""
+      in
+      (status, body))
+
+let percentile xs q =
+  let n = Array.length xs in
+  if n = 0 then 0.0
+  else begin
+    let xs = Array.copy xs in
+    Array.sort compare xs;
+    xs.(min (n - 1) (max 0 (int_of_float (ceil (q *. float_of_int n)) - 1)))
+  end
+
+let serve_load json smoke domains clients =
+  let cfg =
+    {
+      Smg_serve.Server.default_config with
+      port = 0;
+      domains;
+      max_inflight = 128;
+    }
+  in
+  let srv = Smg_serve.Server.create cfg in
+  let server_domain = Domain.spawn (fun () -> Smg_serve.Server.run srv) in
+  let port = Smg_serve.Server.port srv in
+  let scens =
+    if smoke then [ "dblp" ]
+    else [ "3sdb"; "amalgam"; "dblp"; "hotel"; "mondial"; "network"; "ut" ]
+  in
+  let warm_iters = if smoke then 8 else 30 in
+  (* small instances: the point of the measurement is the cached
+     parse/discover/compile work a warm request skips, so per-request
+     chase execution must not drown it *)
+  let size = 64 in
+  let path scen =
+    Printf.sprintf "/scenarios/%s/exchange?size=%d" scen size
+  in
+  let disc_path scen = Printf.sprintf "/scenarios/%s/discover" scen in
+  let timed_post p =
+    let t0 = Unix.gettimeofday () in
+    let status, _ = http_request ~port "POST" p "" in
+    let dt = Unix.gettimeofday () -. t0 in
+    if status <> 200 then failwith (Printf.sprintf "%s -> %d" p status);
+    dt
+  in
+  Fmt.pr
+    "serve-load: port %d, %d server domain(s), %d client(s), %d scenario(s), \
+     size %d@.@."
+    port domains clients (List.length scens) size;
+  Fmt.pr "%10s %9s | %9s %9s %9s | %7s@." "scenario" "endpoint" "cold ms"
+    "p50 ms" "p95 ms" "ratio";
+  (* cold then warm, per scenario, single client: the cold request pays
+     parse + discovery + witness generation + plan compilation, warm
+     ones hit the caches. Discover is served entirely from the cache
+     when warm; exchange re-executes the chase per request over cached
+     plans, so its ratio floors at the execution cost. *)
+  let measure scen endpoint p =
+    let cold = timed_post p in
+    let lats = Array.init warm_iters (fun _ -> timed_post p) in
+    let p50 = percentile lats 0.50 and p95 = percentile lats 0.95 in
+    let ratio = cold /. max 1e-9 p50 in
+    Fmt.pr "%10s %9s | %9.2f %9.2f %9.2f | %6.1fx@." scen endpoint
+      (1000. *. cold) (1000. *. p50) (1000. *. p95) ratio;
+    (cold, p50, p95, ratio)
+  in
+  let per_scen =
+    List.map
+      (fun scen ->
+        let d = measure scen "discover" (disc_path scen) in
+        let e = measure scen "exchange" (path scen) in
+        let cold_d, p50_d, _, _ = d and cold_e, p50_e, _, _ = e in
+        let combined = (cold_d +. cold_e) /. max 1e-9 (p50_d +. p50_e) in
+        Fmt.pr "%10s %9s | %29s | %6.1fx@." "" "combined" "" combined;
+        (scen, d, e, combined))
+      scens
+  in
+  (* sustained warm throughput: [clients] domains hammer the cached
+     scenarios concurrently *)
+  let reqs_per_client = if smoke then 10 else 40 in
+  let scen_arr = Array.of_list scens in
+  let t0 = Unix.gettimeofday () in
+  let workers =
+    List.init clients (fun c ->
+        Domain.spawn (fun () ->
+            for i = 0 to reqs_per_client - 1 do
+              let scen = scen_arr.((c + i) mod Array.length scen_arr) in
+              ignore (timed_post (path scen))
+            done))
+  in
+  List.iter Domain.join workers;
+  let wall = Unix.gettimeofday () -. t0 in
+  let total = clients * reqs_per_client in
+  let rps = float_of_int total /. wall in
+  Fmt.pr "@.throughput: %d request(s) over %d client(s) in %.2f s = %.1f \
+          req/s@."
+    total clients wall rps;
+  (* a final metrics scrape doubles as a corruption check: the counters
+     must add up to exactly what we sent *)
+  let status, metrics_body = http_request ~port "GET" "/metrics" "" in
+  if status <> 200 then failwith "metrics scrape failed";
+  let counter endpoint =
+    (* the endpoint's request counter, scraped textually *)
+    let key = Printf.sprintf "\"%s\": {\"requests\": " endpoint in
+    match find_substring metrics_body key 0 with
+    | None -> -1
+    | Some i ->
+        let j = ref (i + String.length key) in
+        let k = ref !j in
+        while
+          !k < String.length metrics_body
+          && metrics_body.[!k] >= '0'
+          && metrics_body.[!k] <= '9'
+        do
+          incr k
+        done;
+        if !k > !j then int_of_string (String.sub metrics_body !j (!k - !j))
+        else -1
+  in
+  let check endpoint expected =
+    let got = counter endpoint in
+    if got <> expected then
+      failwith
+        (Printf.sprintf "metrics corrupted: %d %s request(s) recorded, %d sent"
+           got endpoint expected);
+    Fmt.pr "metrics: %d %s request(s) recorded (expected %d)@." got endpoint
+      expected
+  in
+  check "discover" (List.length scens * (1 + warm_iters));
+  check "exchange" (List.length scens * (1 + warm_iters) + total);
+  Smg_serve.Server.stop srv;
+  Domain.join server_domain;
+  if json then begin
+    let path = "BENCH_serve.json" in
+    let endpoint_json (cold, p50, p95, ratio) =
+      Printf.sprintf
+        "{\"cold_ms\": %.3f, \"warm_p50_ms\": %.3f, \"warm_p95_ms\": %.3f, \
+         \"warm_cold_ratio\": %.2f}"
+        (1000. *. cold) (1000. *. p50) (1000. *. p95) ratio
+    in
+    let row (scen, d, e, combined) =
+      Printf.sprintf
+        "  {\"name\": \"serve/%s\", \"size\": %d,\n   \"discover\": %s,\n   \
+         \"exchange\": %s,\n   \"warm_cold_ratio\": %.2f}"
+        scen size (endpoint_json d) (endpoint_json e) combined
+    in
+    let oc = open_out path in
+    Printf.fprintf oc
+      "{\"throughput_rps\": %.1f,\n \"clients\": %d,\n \"server_domains\": \
+       %d,\n \"requests\": %d,\n \"scenarios\": [\n%s\n ]}\n"
+      rps clients domains total
+      (String.concat ",\n" (List.map row per_scen));
+    close_out oc;
+    Fmt.pr "@.wrote %s (%d scenario(s))@." path (List.length per_scen)
+  end
+
 let cmd_of name doc f = Cmd.v (Cmd.info name ~doc) Term.(const f $ const ())
 
 let exchange_scale_cmd =
@@ -488,6 +693,32 @@ let compose_cmd =
           round-trip chains over every domain")
     Term.(const compose_report $ json $ smoke $ seed $ size)
 
+let serve_load_cmd =
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Write BENCH_serve.json")
+  in
+  let smoke =
+    Arg.(
+      value & flag & info [ "smoke" ] ~doc:"One scenario, few requests (CI)")
+  in
+  let domains =
+    Arg.(
+      value & opt int 4
+      & info [ "domains" ] ~docv:"N" ~doc:"Server handler domains")
+  in
+  let clients =
+    Arg.(
+      value & opt int 4
+      & info [ "clients" ] ~docv:"C"
+          ~doc:"Concurrent client domains for the throughput phase")
+  in
+  Cmd.v
+    (Cmd.info "serve-load"
+       ~doc:
+         "Cold-vs-warm latency and concurrent throughput of the mapdisc \
+          HTTP service (in-process server on an ephemeral port)")
+    Term.(const serve_load $ json $ smoke $ domains $ clients)
+
 let () =
   let default = Term.(const all $ const ()) in
   let info =
@@ -512,6 +743,7 @@ let () =
               "Execute matched mappings vs benchmarks on generated instances"
               witness;
             exchange_scale_cmd;
+            serve_load_cmd;
             parallel_scale_cmd;
             compose_cmd;
             cmd_of "all" "Everything" all;

@@ -43,44 +43,12 @@ let parse_scenario file =
 
 let load file =
   let doc = parse_scenario file in
-  match (doc.Ast.doc_schemas, doc.Ast.doc_cms) with
-  | [ src_schema; tgt_schema ], [ src_cm; tgt_cm ] ->
-      (* A table name may occur in both schemas (e.g. [country] on both
-         Mondial sides) and semantics blocks carry only the table name,
-         so select per table the first block whose s-tree validates
-         against this side's CM; keep the first name-match otherwise so
-         genuine validation errors still surface in [Discover.side]. *)
-      let strees_for (schema : Schema.t) (cm : Smg_cm.Cml.t) =
-        let cmg = Smg_cm.Cm_graph.compile cm in
-        List.filter_map
-          (fun (t : Schema.table) ->
-            let blocks =
-              List.filter
-                (fun (b : Ast.semantics_block) ->
-                  String.equal b.Ast.sem_table t.Schema.tbl_name)
-                doc.Ast.doc_semantics
-            in
-            let validates (b : Ast.semantics_block) =
-              match Smg_semantics.Stree.validate cmg t b.Ast.sem_stree with
-              | () -> true
-              | exception Invalid_argument _ -> false
-            in
-            match (List.find_opt validates blocks, blocks) with
-            | Some b, _ | None, b :: _ -> Some b.Ast.sem_stree
-            | None, [] -> None)
-          schema.Schema.tables
-      in
-      let mk label schema cm =
-        try Discover.side ~schema ~cm (strees_for schema cm)
-        with Invalid_argument msg | Failure msg ->
-          Fmt.epr "%s: %s side: %s@." file label msg;
-          exit 2
-      in
-      let source = mk "source" src_schema src_cm in
-      let target = mk "target" tgt_schema tgt_cm in
-      (doc, source, target)
-  | _ ->
-      Fmt.epr "error: a scenario needs exactly two schemas and two CMs@.";
+  (* the lowering itself lives in Smg_serve.Registry so the CLI and the
+     HTTP service build identical sides from the same document *)
+  match Smg_serve.Registry.sides_of_doc doc with
+  | Ok (source, target) -> (doc, source, target)
+  | Error msg ->
+      Fmt.epr "%s: %s@." file msg;
       exit 2
 
 type meth = Semantic | Ric | Both
@@ -108,80 +76,9 @@ let with_domains domains f =
   if domains <= 1 then f None
   else Smg_parallel.Pool.with_pool ~domains (fun pool -> f (Some pool))
 
-(* ---- hand-rolled JSON (same dependency-free style as
-   Smg_exchange.Obs.write_bench_json) ------------------------------------- *)
-
-let json_str s =
-  let buf = Buffer.create (String.length s + 2) in
-  Buffer.add_char buf '"';
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | '\t' -> Buffer.add_string buf "\\t"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.add_char buf '"';
-  Buffer.contents buf
-
-let json_list f xs = "[" ^ String.concat ", " (List.map f xs) ^ "]"
-
-let json_candidate source target i (m : Mapping.t) =
-  let tgd_str = Fmt.str "%a" Smg_cq.Dependency.pp_tgd (Mapping.to_tgd m) in
-  let exec =
-    if m.Mapping.outer then Mapping.outer_variants ~target m
-    else [ Mapping.to_tgd m ]
-  in
-  let corr (c : Mapping.corr) =
-    let st, sc = c.Mapping.c_src and tt, tc = c.Mapping.c_tgt in
-    Printf.sprintf "{\"src\": %s, \"tgt\": %s}"
-      (json_str (st ^ "." ^ sc))
-      (json_str (tt ^ "." ^ tc))
-  in
-  String.concat ""
-    [
-      "    {\"rank\": ";
-      string_of_int (i + 1);
-      ", \"name\": ";
-      json_str m.Mapping.m_name;
-      ", \"score\": ";
-      Printf.sprintf "%.6g" m.Mapping.score;
-      ", \"outer\": ";
-      string_of_bool m.Mapping.outer;
-      ", \"approximate\": ";
-      string_of_bool (Mapping.is_approximate m);
-      ",\n     \"tgd\": ";
-      json_str tgd_str;
-      ",\n     \"exec_tgds\": ";
-      json_list
-        (fun t -> json_str (Fmt.str "%a" Smg_cq.Dependency.pp_tgd t))
-        exec;
-      ",\n     \"covered\": ";
-      json_list corr m.Mapping.covered;
-      ",\n     \"provenance\": ";
-      json_list json_str m.Mapping.provenance;
-      ",\n     \"source_algebra\": ";
-      json_str (Fmt.str "%a" Smg_relational.Algebra.pp (Mapping.src_algebra source m));
-      "}";
-    ]
-
-let json_diag (d : Diag.t) =
-  String.concat ""
-    [
-      "    {\"severity\": ";
-      json_str (Fmt.str "%a" Diag.pp_severity d.Diag.d_severity);
-      ", \"stage\": ";
-      json_str (Fmt.str "%a" Diag.pp_stage d.Diag.d_stage);
-      ", \"subject\": ";
-      (match d.Diag.d_subject with None -> "null" | Some s -> json_str s);
-      ", \"message\": ";
-      json_str d.Diag.d_message;
-      "}";
-    ]
+(* The JSON encodings live in Smg_serve.Render so the CLI's --json
+   output and the HTTP service's response bodies are byte-identical. *)
+module Render = Smg_serve.Render
 
 let run_discover file meth verbose sql dedup budget_ms fuel strict diagnostics
     json domains =
@@ -197,56 +94,23 @@ let run_discover file meth verbose sql dedup budget_ms fuel strict diagnostics
   end;
   with_domains domains @@ fun pool ->
   if json then begin
-    (* machine-readable mirror of the human output: candidates with
-       their tgd/exec forms and provenance, plus the structured
-       diagnostics and the exactness flag *)
-    let source_s = source.Discover.schema
-    and target_s = target.Discover.schema in
-    let pre = Discover.lint ~source ~target ~corrs in
+    (* machine-readable mirror of the human output, rendered by the
+       module the HTTP service shares so the bytes match a served
+       POST /scenarios/:name/discover response *)
     let budget = make_budget budget_ms fuel in
-    let o = Discover.discover_bounded ?budget ?pool ~source ~target ~corrs () in
-    let diags = pre @ o.Discover.o_diags in
-    let dedup_silent ms =
-      if not dedup then ms
-      else
-        (Mapverify.dedup ?pool ~source:source_s ~target:target_s
-           (label_by_rank ms))
-          .Mapverify.rp_kept
+    let meth =
+      match meth with Semantic -> `Semantic | Ric -> `Ric | Both -> `Both
     in
-    let sem = dedup_silent o.Discover.o_mappings in
-    let ric =
-      match meth with
-      | Ric | Both ->
-          dedup_silent
-            (Smg_ric.Baseline.generate ~source:source_s ~target:target_s ~corrs)
-      | Semantic -> []
+    let out =
+      Render.discover_json ?budget ?pool ~meth ~dedup ~file ~source ~target
+        ~corrs ()
     in
-    let section ms =
-      match ms with
-      | [] -> "[]"
-      | _ ->
-          "[\n"
-          ^ String.concat ",\n"
-              (List.mapi (json_candidate source_s target_s) ms)
-          ^ "\n  ]"
-    in
-    Fmt.pr "{\"file\": %s,@." (json_str file);
-    Fmt.pr " \"exact\": %b,@." o.Discover.o_exact;
-    (match meth with
-    | Semantic | Both -> Fmt.pr " \"candidates\": %s,@." (section sem)
-    | Ric -> ());
-    (match meth with
-    | Ric | Both -> Fmt.pr " \"ric_candidates\": %s,@." (section ric)
-    | Semantic -> ());
-    Fmt.pr " \"diagnostics\": %s}@."
-      (match diags with
-      | [] -> "[]"
-      | _ -> "[\n" ^ String.concat ",\n" (List.map json_diag diags) ^ "\n  ]");
+    print_string out.Render.dj_json;
     let code = ref 0 in
-    if sem = [] && ric = [] then code := 1;
+    if out.Render.dj_count = 0 then code := 1;
     if strict then begin
-      if not o.Discover.o_exact then code := max !code 3;
-      if Diag.has_errors diags then code := max !code 2
+      if not out.Render.dj_exact then code := max !code 3;
+      if Diag.has_errors out.Render.dj_diags then code := max !code 2
     end;
     exit !code
   end;
@@ -431,7 +295,7 @@ let tgds_of_best ~target (best : Mapping.t) =
   if best.Mapping.outer then Mapping.outer_variants ~target best
   else [ Mapping.to_tgd best ]
 
-let exchange_file_inputs file =
+let exchange_file_inputs ~quiet file =
   let doc, source, target = load file in
   let corrs = doc.Ast.doc_corrs in
   if corrs = [] then begin
@@ -454,13 +318,15 @@ let exchange_file_inputs file =
       Fmt.epr "error: no mapping discovered@.";
       exit 1
   | best :: _ ->
-      Fmt.pr "Executing: %a@.@." Mapping.pp best;
+      if not quiet then Fmt.pr "Executing: %a@.@." Mapping.pp best;
       ( source.Discover.schema,
         target.Discover.schema,
         tgds_of_best ~target:target.Discover.schema best,
-        src_inst )
+        src_inst,
+        [ ("file", Render.json_str file) ],
+        file )
 
-let exchange_scenario_inputs name size seed =
+let exchange_scenario_inputs ~quiet name size seed =
   let scens = Smg_eval.Datasets.all () in
   let lname = String.lowercase_ascii name in
   let scen =
@@ -482,21 +348,9 @@ let exchange_scenario_inputs name size seed =
   let source = scen.Smg_eval.Scenario.source
   and target = scen.Smg_eval.Scenario.target in
   (* the best discovered mapping of every benchmark case, executed
-     together — the engine's preparation dedups equivalent tgds *)
-  let mappings =
-    List.concat_map
-      (fun case ->
-        match
-          Smg_eval.Experiments.run_method Smg_eval.Experiments.Semantic scen
-            case
-        with
-        | [] -> []
-        | best :: _ ->
-            (* label the plan after the benchmark case, not the method *)
-            let best = Mapping.rename case.Smg_eval.Scenario.case_name best in
-            tgds_of_best ~target:target.Discover.schema best)
-      scen.Smg_eval.Scenario.cases
-  in
+     together — the engine's preparation dedups equivalent tgds; the
+     construction is shared with the HTTP service's registry *)
+  let mappings = Smg_serve.Registry.scenario_tgds scen in
   if mappings = [] then begin
     Fmt.epr "error: discovery produced no mapping for %s@."
       scen.Smg_eval.Scenario.scen_name;
@@ -506,14 +360,24 @@ let exchange_scenario_inputs name size seed =
   let n_tables = max 1 (List.length schema.Schema.tables) in
   let rows = max 1 (size / n_tables) in
   let inst = Smg_eval.Witness.populate ~rows_per_table:rows ~seed schema in
-  Fmt.pr
-    "scenario %s: %d tgd(s) from %d case(s); source: %d tuple(s) (%d \
-     rows/table, seed %d)@.@."
-    scen.Smg_eval.Scenario.scen_name (List.length mappings)
-    (List.length scen.Smg_eval.Scenario.cases)
-    (Smg_relational.Instance.total_tuples inst)
-    rows seed;
-  (schema, target.Discover.schema, mappings, inst)
+  if not quiet then
+    Fmt.pr
+      "scenario %s: %d tgd(s) from %d case(s); source: %d tuple(s) (%d \
+       rows/table, seed %d)@.@."
+      scen.Smg_eval.Scenario.scen_name (List.length mappings)
+      (List.length scen.Smg_eval.Scenario.cases)
+      (Smg_relational.Instance.total_tuples inst)
+      rows seed;
+  ( schema,
+    target.Discover.schema,
+    mappings,
+    inst,
+    [
+      ("scenario", Render.json_str scen.Smg_eval.Scenario.scen_name);
+      ("size", string_of_int size);
+      ("seed", string_of_int seed);
+    ],
+    String.lowercase_ascii scen.Smg_eval.Scenario.scen_name )
 
 let pp_cardinalities ppf inst =
   List.iter
@@ -526,18 +390,48 @@ let pp_cardinalities ppf inst =
     (Smg_relational.Instance.names inst)
 
 let run_exchange file scenario size seed engine no_laconic core print_data
-    budget_ms fuel domains =
+    budget_ms fuel json domains =
   (* a FILE's data blocks are small: print them in full by default *)
   let print_data = print_data || scenario = None in
   with_domains domains @@ fun pool ->
-  let source, target, mappings, src_inst =
+  let source, target, mappings, src_inst, head, subject =
     match (scenario, file) with
-    | Some name, _ -> exchange_scenario_inputs name size seed
-    | None, Some file -> exchange_file_inputs file
+    | Some name, _ -> exchange_scenario_inputs ~quiet:json name size seed
+    | None, Some file -> exchange_file_inputs ~quiet:json file
     | None, None ->
         Fmt.epr "error: provide a scenario FILE or --scenario NAME@.";
         exit 2
   in
+  if json then begin
+    (* the bytes of this document match a served
+       POST /scenarios/:name/exchange response: same Render module,
+       canonical null numbering, no timings *)
+    if engine <> `Fast || core then begin
+      Fmt.epr "error: --json supports the fast engine without --core@.";
+      exit 2
+    end;
+    let laconic = not no_laconic in
+    match
+      Smg_exchange.Engine.run_bounded
+        ?budget:(make_budget budget_ms fuel)
+        ?pool ~laconic ~source ~target ~mappings src_inst
+    with
+    | Smg_exchange.Engine.Failed msg ->
+        Fmt.epr "error: exchange failed: %s@." msg;
+        exit 1
+    | Smg_exchange.Engine.Complete rep ->
+        print_string (Render.exchange_json ~head ~laconic rep);
+        exit 0
+    | Smg_exchange.Engine.Budget_exhausted (reason, rep) ->
+        let diag =
+          Diag.degraded ~subject Diag.Exchange reason
+            "target instance is a partial prefix"
+        in
+        print_string
+          (Render.exchange_json ~head ~exhausted:reason ~diags:[ diag ]
+             ~laconic rep);
+        exit 3
+  end;
   let partial = ref false in
   let out =
     match engine with
@@ -758,6 +652,45 @@ let which_arg =
 let threshold_arg =
   Arg.(value & opt float 0.55 & info [ "t"; "threshold" ] ~docv:"T")
 
+(* serve: the discovery/exchange service. The accept loop owns the
+   calling domain; SIGTERM/SIGINT flip the stop flag, the loop drains
+   in-flight connections, and the per-endpoint counters are logged on
+   the way out. *)
+let run_serve port domains max_inflight budget_ms fuel no_preload =
+  let domains =
+    match domains with
+    | Some n -> max 1 n
+    | None -> Smg_parallel.Pool.default_domains ()
+  in
+  let cfg =
+    {
+      Smg_serve.Server.port;
+      domains;
+      max_inflight;
+      budget_ms = Option.map int_of_float budget_ms;
+      fuel;
+      preload = not no_preload;
+    }
+  in
+  let srv =
+    try Smg_serve.Server.create cfg
+    with Unix.Unix_error (e, _, _) ->
+      Fmt.epr "error: cannot bind 127.0.0.1:%d: %s@." port
+        (Unix.error_message e);
+      exit 2
+  in
+  (* a peer closing mid-response must surface as EPIPE, not kill us *)
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let stop _ = Smg_serve.Server.stop srv in
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+  Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+  Fmt.pr "mapdisc serve: listening on 127.0.0.1:%d (%d domain(s), max %d \
+          connection(s))@."
+    (Smg_serve.Server.port srv) domains max_inflight;
+  Smg_serve.Server.run srv;
+  Fmt.pr "mapdisc serve: shutdown@.";
+  Fmt.pr "%a" Smg_serve.Metrics.pp_summary (Smg_serve.Server.metrics srv)
+
 let opt_file_arg = Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE")
 
 let scenario_arg =
@@ -872,6 +805,28 @@ let domains_arg =
            fully sequentially. Discovery output is byte-identical and \
            exchange output homomorphically equivalent for every N")
 
+let port_arg =
+  Arg.(
+    value & opt int 8080
+    & info [ "port" ] ~docv:"P"
+        ~doc:"Listen on 127.0.0.1:$(docv); $(b,0) picks an ephemeral port")
+
+let max_inflight_arg =
+  Arg.(
+    value & opt int 64
+    & info [ "max-inflight" ] ~docv:"K"
+        ~doc:
+          "Admission control: with $(docv) connections open, new ones are \
+           answered 429 and closed")
+
+let no_preload_arg =
+  Arg.(
+    value & flag
+    & info [ "no-preload" ]
+        ~doc:
+          "Start with an empty registry instead of preloading the seven \
+           built-in evaluation domains")
+
 let pipeline_arg =
   Arg.(
     value
@@ -936,6 +891,19 @@ let () =
       (Cmd.info "show" ~doc:"Parse and pretty-print a scenario file")
       Term.(const run_show $ file_arg)
   in
+  let serve_cmd =
+    Cmd.v
+      (Cmd.info "serve"
+         ~doc:
+           "Serve discovery and exchange over HTTP, caching parsed \
+            scenarios, discovery output, and compiled tgd plans per \
+            content hash (PUT /scenarios/:name, then POST \
+            /scenarios/:name/{discover,exchange,compose,verify}; GET \
+            /metrics for counters)")
+      Term.(
+        const run_serve $ port_arg $ domains_arg $ max_inflight_arg
+        $ budget_ms_arg $ fuel_arg $ no_preload_arg)
+  in
   let exchange_cmd =
     Cmd.v
       (Cmd.info "exchange"
@@ -946,7 +914,7 @@ let () =
       Term.(
         const run_exchange $ opt_file_arg $ scenario_arg $ size_arg $ seed_arg
         $ engine_arg $ no_laconic_arg $ core_arg $ data_arg $ budget_ms_arg
-        $ fuel_arg $ domains_arg)
+        $ fuel_arg $ json_arg $ domains_arg)
   in
   let ddl_cmd =
     Cmd.v
@@ -972,6 +940,7 @@ let () =
             show_cmd;
             exchange_cmd;
             compose_cmd;
+            serve_cmd;
             ddl_cmd;
             dot_cmd;
           ]))

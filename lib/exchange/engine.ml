@@ -594,7 +594,7 @@ type report = {
   r_target : Instance.t;
   r_complete : bool;
   r_rounds : int;
-  r_stats : (string * Obs.tstats) list;
+  r_stats : (string * Obs.stats) list;
   r_egd_merges : int;
   r_sweep_dropped : int;
   r_seconds : float;
@@ -616,12 +616,33 @@ type outcome =
           possibly incomplete prefix of the universal solution *)
   | Failed of string
 
-let run_core ?budget ?pool ?(max_rounds = 100) ?(laconic = false) ~source
-    ~target ~mappings inst =
+(* ---- compile / execute split -------------------------------------------
+
+   A [compiled] value is pure immutable data (schemas + plans): compile
+   once, execute over any number of instances — including concurrently
+   from several domains, since every execution allocates its own engine
+   state and counter accumulators. This is the artifact the lib/serve
+   scenario registry caches. *)
+
+type compiled = {
+  c_source : Schema.t;
+  c_target : Schema.t;
+  c_plans : Plan.t list;
+  c_laconic : bool;
+}
+
+let compile ?card ?(laconic = false) ~source ~target ~mappings () =
   try
     let mappings = if laconic then Laconic.prepare mappings else mappings in
-    let card name = Instance.cardinality inst name in
-    let plans = List.map (Plan.compile ~card ~source ~target) mappings in
+    let plans = List.map (Plan.compile ?card ~source ~target) mappings in
+    Ok { c_source = source; c_target = target; c_plans = plans; c_laconic = laconic }
+  with Invalid_argument msg -> Error msg
+
+let execute ?budget ?pool ?(max_rounds = 100) compiled inst =
+  let { c_source = source; c_target = target; c_plans = plans; c_laconic = laconic } =
+    compiled
+  in
+  try
     let e = create ~source ~target inst in
     let stats = List.map (fun (p : Plan.t) -> (p.Plan.p_name, Obs.fresh_tstats ())) plans in
     let t0 = Unix.gettimeofday () in
@@ -698,7 +719,8 @@ let run_core ?budget ?pool ?(max_rounds = 100) ?(laconic = false) ~source
             r_target = tgt;
             r_complete = !complete;
             r_rounds = !rounds;
-            r_stats = stats;
+            r_stats =
+              List.map (fun (name, st) -> (name, Obs.snapshot st)) stats;
             r_egd_merges = !egd_merges;
             r_sweep_dropped = dropped;
             r_seconds = Unix.gettimeofday () -. t0;
@@ -708,6 +730,13 @@ let run_core ?budget ?pool ?(max_rounds = 100) ?(laconic = false) ~source
         | Some reason -> Budget_exhausted (reason, report)
         | None -> Complete report)
   with Invalid_argument msg -> Failed msg
+
+let run_core ?budget ?pool ?max_rounds ?laconic ~source ~target ~mappings inst
+    =
+  let card name = Instance.cardinality inst name in
+  match compile ~card ?laconic ~source ~target ~mappings () with
+  | Error msg -> Failed msg
+  | Ok compiled -> execute ?budget ?pool ?max_rounds compiled inst
 
 let run ?pool ?max_rounds ?laconic ~source ~target ~mappings inst =
   match run_core ?pool ?max_rounds ?laconic ~source ~target ~mappings inst with
@@ -725,6 +754,6 @@ let pp_report ppf r =
     (if r.r_complete then "" else " (bounded)")
     r.r_egd_merges r.r_sweep_dropped (1000. *. r.r_seconds);
   List.iter
-    (fun (name, st) -> Fmt.pf ppf "%-24s %a@," name Obs.pp_tstats st)
+    (fun (name, st) -> Fmt.pf ppf "%-24s %a@," name Obs.pp_stats st)
     r.r_stats;
   Fmt.pf ppf "target tuples: %d@]" (Instance.total_tuples r.r_target)

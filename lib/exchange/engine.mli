@@ -21,7 +21,9 @@ type report = {
   r_target : Smg_relational.Instance.t;  (** the target instance *)
   r_complete : bool;  (** false when the round budget was exhausted *)
   r_rounds : int;
-  r_stats : (string * Obs.tstats) list;  (** per-tgd counters, plan order *)
+  r_stats : (string * Obs.stats) list;
+      (** per-tgd counters in plan order — immutable snapshots, safe to
+          hold across (and aggregate over) concurrent executions *)
   r_egd_merges : int;  (** null bindings made by key egds *)
   r_sweep_dropped : int;  (** tuples folded by the laconic sweep *)
   r_seconds : float;  (** end-to-end wall-clock *)
@@ -80,5 +82,49 @@ val run_bounded :
     count); a chunk exhausting its share still contributes the bindings
     it collected, and the target built when the budget runs out remains
     a sound prefix. *)
+
+(** {1 Compile / execute split}
+
+    A {!compiled} value is immutable plan data: the tgds lowered to
+    {!Plan.t} (after the optional laconic preparation), plus the two
+    schemas. Compiling is the parse/lower/order work a long-running
+    service wants to pay once per scenario; executing allocates all
+    mutable state (stores, counters, null labels) per call, so one
+    [compiled] value may be executed by several domains concurrently. *)
+
+type compiled = {
+  c_source : Smg_relational.Schema.t;
+  c_target : Smg_relational.Schema.t;
+  c_plans : Plan.t list;
+  c_laconic : bool;
+}
+
+val compile :
+  ?card:(string -> int) ->
+  ?laconic:bool ->
+  source:Smg_relational.Schema.t ->
+  target:Smg_relational.Schema.t ->
+  mappings:Smg_cq.Dependency.tgd list ->
+  unit ->
+  (compiled, string) result
+(** Compile the mappings to executable plans. [card] gives per-table
+    source cardinalities for the greedy join ordering (pass the
+    cardinalities of a representative instance; omitted, the order is
+    purely structural). [laconic] (default off) runs the {!Laconic}
+    preparation and marks the compiled value so {!execute} applies the
+    closing sweep. [Error] on an ill-formed tgd (unknown predicate,
+    arity mismatch, non-universal Skolem argument). *)
+
+val execute :
+  ?budget:Smg_robust.Budget.t ->
+  ?pool:Smg_parallel.Pool.t ->
+  ?max_rounds:int ->
+  compiled ->
+  Smg_relational.Instance.t ->
+  outcome
+(** Execute compiled plans over a source instance. Semantics are those
+    of {!run_bounded} minus the compilation: without a [budget] the
+    outcome is [Complete] or [Failed]; with one it may be
+    [Budget_exhausted] carrying the sound prefix built so far. *)
 
 val pp_report : Format.formatter -> report -> unit

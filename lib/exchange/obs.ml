@@ -30,6 +30,38 @@ let pp_tstats ppf s =
     s.st_scanned s.st_probes s.st_hits s.st_misses s.st_checks s.st_satisfied
     s.st_emitted s.st_nulls (1000. *. s.st_seconds)
 
+type stats = {
+  n_scanned : int;
+  n_probes : int;
+  n_hits : int;
+  n_misses : int;
+  n_checks : int;
+  n_satisfied : int;
+  n_emitted : int;
+  n_nulls : int;
+  n_seconds : float;
+}
+
+let snapshot (s : tstats) =
+  {
+    n_scanned = s.st_scanned;
+    n_probes = s.st_probes;
+    n_hits = s.st_hits;
+    n_misses = s.st_misses;
+    n_checks = s.st_checks;
+    n_satisfied = s.st_satisfied;
+    n_emitted = s.st_emitted;
+    n_nulls = s.st_nulls;
+    n_seconds = s.st_seconds;
+  }
+
+let pp_stats ppf s =
+  Fmt.pf ppf
+    "scanned %d  probes %d (%d hit/%d miss)  checks %d (%d sat)  emitted %d  \
+     nulls %d  %.3f ms"
+    s.n_scanned s.n_probes s.n_hits s.n_misses s.n_checks s.n_satisfied
+    s.n_emitted s.n_nulls (1000. *. s.n_seconds)
+
 let time f =
   let t0 = Unix.gettimeofday () in
   let x = f () in

@@ -1,5 +1,11 @@
 (** Observability: per-tgd execution counters, wall-clock timing, and
-    benchmark-row JSON export for [BENCH_exchange.json]. *)
+    benchmark-row JSON export for [BENCH_exchange.json].
+
+    The mutable {!tstats} accumulator is strictly per-run scratch state:
+    the engine allocates a fresh one per plan per execution and never
+    shares it — reports expose only the immutable {!stats} snapshot, so
+    two requests executing the same cached plan concurrently (the
+    [lib/serve] case) cannot corrupt each other's counters. *)
 
 type tstats = {
   mutable st_scanned : int;  (** tuples read by the driving scan *)
@@ -15,6 +21,22 @@ type tstats = {
 
 val fresh_tstats : unit -> tstats
 val pp_tstats : Format.formatter -> tstats -> unit
+
+(** Immutable per-run counter snapshot — what reports carry. *)
+type stats = {
+  n_scanned : int;
+  n_probes : int;
+  n_hits : int;
+  n_misses : int;
+  n_checks : int;
+  n_satisfied : int;
+  n_emitted : int;
+  n_nulls : int;
+  n_seconds : float;
+}
+
+val snapshot : tstats -> stats
+val pp_stats : Format.formatter -> stats -> unit
 
 val time : (unit -> 'a) -> 'a * float
 (** [time f] is [(f (), seconds)] by [Unix.gettimeofday]. *)

@@ -159,6 +159,36 @@ let run t tasks =
     | None -> ()
   end
 
+(* ---- service mode -------------------------------------------------------
+
+   No sections, no per-task join: the owning domain pushes tasks as
+   they arrive (one epoch bump per submit keeps the no-lost-wakeup
+   argument of [run]: the bump happens under the lock workers re-check
+   before sleeping) and [drain] waits for [pending] to reach zero,
+   helping with unclaimed tasks first so a burst the workers have not
+   stolen yet cannot strand the caller. *)
+
+let submit t f =
+  if t.size = 1 then (try f () with _ -> ())
+  else begin
+    ignore (Atomic.fetch_and_add t.pending 1);
+    Deque.push t.deques.(0) (fun () -> try f () with _ -> ());
+    Mutex.lock t.lock;
+    t.epoch <- t.epoch + 1;
+    Condition.broadcast t.wake;
+    Mutex.unlock t.lock
+  end
+
+let drain t =
+  if t.size > 1 then begin
+    while try_work t 0 do () done;
+    Mutex.lock t.lock;
+    while Atomic.get t.pending > 0 do
+      Condition.wait t.done_ t.lock
+    done;
+    Mutex.unlock t.lock
+  end
+
 let chunk_size t ?chunk n =
   match chunk with
   | Some c -> max 1 c

@@ -64,3 +64,26 @@ val mapi_list : t -> ?chunk:int -> (int -> 'a -> 'b) -> 'a list -> 'b list
 val for_ : t -> ?chunk:int -> int -> int -> (int -> unit) -> unit
 (** [for_ pool lo hi body] runs [body i] for [lo <= i < hi] across the
     pool. The body must only write state owned by index [i]. *)
+
+(** {1 Service mode}
+
+    A long-running producer (the [lib/serve] accept loop) pushes tasks
+    one at a time with {!submit}; worker domains pick them up as they
+    arrive, with no join per task. Service mode and the sectioned
+    {!run}/{!map} entry points must not be interleaved on the same pool
+    (they share the completion counter); tasks submitted to a service
+    pool may themselves call {!run} on a {e different} pool, or on this
+    one — where, running on a worker domain, the section degrades to
+    inline sequential execution as usual. *)
+
+val submit : t -> (unit -> unit) -> unit
+(** Enqueue one task. Must be called from the domain that created the
+    pool (tasks are pushed onto the caller's own deque). On a pool of
+    size 1 the task runs inline before [submit] returns. Exceptions the
+    task raises are swallowed (service tasks own their error
+    reporting). *)
+
+val drain : t -> unit
+(** Block until every submitted task has finished, helping to run still
+    unclaimed tasks from the calling domain. Quiescence point for
+    graceful shutdown: [drain] then {!shutdown}. *)

@@ -1,0 +1,380 @@
+type meth = GET | PUT | POST | DELETE
+
+type request = {
+  rq_meth : meth;
+  rq_path : string;
+  rq_segments : string list;
+  rq_query : (string * string) list;
+  rq_headers : (string * string) list;
+  rq_body : string;
+  rq_version : string;
+}
+
+type reject = { rj_status : int; rj_reason : string }
+type event = Request of request | Reject of reject | Eof
+
+type limits = { max_line : int; max_headers : int; max_body : int }
+
+let default_limits =
+  { max_line = 8192; max_headers = 64; max_body = 8 * 1024 * 1024 }
+
+(* ---- buffered reader ---------------------------------------------------- *)
+
+type reader = {
+  src : bytes -> int -> int -> int;
+  limits : limits;
+  buf : Buffer.t;  (* bytes read but not yet consumed *)
+  mutable pos : int;  (* consumption offset into [buf] *)
+  scratch : Bytes.t;
+  mutable total_in : int;
+}
+
+let reader ?(limits = default_limits) src =
+  {
+    src;
+    limits;
+    buf = Buffer.create 4096;
+    pos = 0;
+    scratch = Bytes.create 4096;
+    total_in = 0;
+  }
+
+let of_string ?limits ?(chunk = 4096) s =
+  let off = ref 0 in
+  reader ?limits (fun buf o len ->
+      let n = min (min chunk len) (String.length s - !off) in
+      if n <= 0 then 0
+      else begin
+        Bytes.blit_string s !off buf o n;
+        off := !off + n;
+        n
+      end)
+
+let bytes_in r = r.total_in
+let available r = Buffer.length r.buf - r.pos
+
+(* Drop already-consumed bytes once they dominate the buffer, so a
+   long-lived keep-alive connection doesn't accumulate request bytes. *)
+let compact r =
+  if r.pos > 65536 && r.pos > Buffer.length r.buf / 2 then begin
+    let rest = Buffer.sub r.buf r.pos (available r) in
+    Buffer.clear r.buf;
+    Buffer.add_string r.buf rest;
+    r.pos <- 0
+  end
+
+(* [true] when more bytes arrived, [false] at end of stream. *)
+let refill r =
+  let n = r.src r.scratch 0 (Bytes.length r.scratch) in
+  if n > 0 then begin
+    Buffer.add_subbytes r.buf r.scratch 0 n;
+    r.total_in <- r.total_in + n;
+    true
+  end
+  else false
+
+(* The next CRLF-terminated line, its bound enforced while reading —
+   an attacker sending an endless line is cut off at [limit] bytes. *)
+type line = Line of string | Line_eof | Line_too_long | Line_malformed
+
+let read_line r ~limit =
+  let rec search scan_from =
+    let len = Buffer.length r.buf in
+    let rec scan i =
+      if i >= len - 1 then None
+      else if Buffer.nth r.buf i = '\r' && Buffer.nth r.buf (i + 1) = '\n' then
+        Some i
+      else scan (i + 1)
+    in
+    match scan (max scan_from r.pos) with
+    | Some i -> if i - r.pos <= limit then `Found i else `Too_long
+    | None ->
+        (* enforce the bound *while* searching: an endless line is cut
+           off as soon as the unscanned prefix exceeds it, it never
+           grows the buffer further *)
+        if available r > limit then `Too_long
+        else if refill r then search (max r.pos (len - 1))
+        else if available r = 0 then `Eof
+        else `Mid_line
+  in
+  match search r.pos with
+  | `Found i ->
+      let line = Buffer.sub r.buf r.pos (i - r.pos) in
+      r.pos <- i + 2;
+      (* a stray CR inside the line means the first CRLF we split at
+         was not this line's terminator in the sender's eyes *)
+      if String.contains line '\r' then Line_malformed else Line line
+  | `Too_long -> Line_too_long
+  | `Eof -> Line_eof
+  | `Mid_line -> Line_malformed
+
+let read_body r len =
+  let rec go () = if available r >= len then true else refill r && go () in
+  if not (go ()) then None
+  else begin
+    let body = Buffer.sub r.buf r.pos len in
+    r.pos <- r.pos + len;
+    compact r;
+    Some body
+  end
+
+(* ---- percent decoding --------------------------------------------------- *)
+
+let hex_val c =
+  match c with
+  | '0' .. '9' -> Some (Char.code c - Char.code '0')
+  | 'a' .. 'f' -> Some (Char.code c - Char.code 'a' + 10)
+  | 'A' .. 'F' -> Some (Char.code c - Char.code 'A' + 10)
+  | _ -> None
+
+let percent_decode s =
+  let n = String.length s in
+  let b = Buffer.create n in
+  let rec go i =
+    if i >= n then Some (Buffer.contents b)
+    else
+      match s.[i] with
+      | '%' ->
+          if i + 2 >= n then None
+          else (
+            match (hex_val s.[i + 1], hex_val s.[i + 2]) with
+            | Some h, Some l ->
+                let code = (h * 16) + l in
+                (* encoded control bytes are as hostile as raw ones *)
+                if code < 0x20 || code = 0x7f then None
+                else (
+                  Buffer.add_char b (Char.chr code);
+                  go (i + 3))
+            | _ -> None)
+      | '+' ->
+          Buffer.add_char b ' ';
+          go (i + 1)
+      | c when Char.code c < 0x20 || Char.code c = 0x7f -> None
+      | c ->
+          Buffer.add_char b c;
+          go (i + 1)
+  in
+  go 0
+
+let split_on_char_nonempty c s =
+  List.filter (fun x -> x <> "") (String.split_on_char c s)
+
+let parse_query q =
+  let pairs = split_on_char_nonempty '&' q in
+  let rec go acc = function
+    | [] -> Some (List.rev acc)
+    | p :: rest -> (
+        let k, v =
+          match String.index_opt p '=' with
+          | Some i ->
+              ( String.sub p 0 i,
+                String.sub p (i + 1) (String.length p - i - 1) )
+          | None -> (p, "")
+        in
+        match (percent_decode k, percent_decode v) with
+        | Some k, Some v -> go ((k, v) :: acc) rest
+        | _ -> None)
+  in
+  go [] pairs
+
+(* ---- request parsing ---------------------------------------------------- *)
+
+let is_tchar c =
+  match c with
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' -> true
+  | '!' | '#' | '$' | '%' | '&' | '\'' | '*' | '+' | '-' | '.' | '^' | '_'
+  | '`' | '|' | '~' ->
+      true
+  | _ -> false
+
+let is_token s = s <> "" && String.for_all is_tchar s
+
+let parse_headers r =
+  let rec go acc n total =
+    if n > r.limits.max_headers then Error { rj_status = 413; rj_reason = "too many headers" }
+    else
+      match read_line r ~limit:r.limits.max_line with
+      | Line_eof | Line_malformed ->
+          Error { rj_status = 400; rj_reason = "malformed header" }
+      | Line_too_long ->
+          Error { rj_status = 413; rj_reason = "header line too long" }
+      | Line "" -> Ok (List.rev acc)
+      | Line l -> (
+          if total + String.length l > r.limits.max_headers * 256 then
+            Error { rj_status = 413; rj_reason = "header block too large" }
+          else
+            match String.index_opt l ':' with
+            | None | Some 0 ->
+                Error { rj_status = 400; rj_reason = "malformed header" }
+            | Some i ->
+                let name = String.sub l 0 i in
+                let value =
+                  String.trim (String.sub l (i + 1) (String.length l - i - 1))
+                in
+                if not (is_token name) then
+                  Error { rj_status = 400; rj_reason = "malformed header name" }
+                else
+                  go
+                    ((String.lowercase_ascii name, value) :: acc)
+                    (n + 1)
+                    (total + String.length l))
+  in
+  go [] 0 0
+
+let find_header headers name = List.assoc_opt name headers
+
+let next_request r =
+  compact r;
+  match read_line r ~limit:r.limits.max_line with
+  | Line_eof -> Eof
+  | Line_too_long -> Reject { rj_status = 413; rj_reason = "request line too long" }
+  | Line_malformed -> Reject { rj_status = 400; rj_reason = "malformed request line" }
+  | Line line -> (
+      match String.split_on_char ' ' line with
+      | [ meth_s; target; version ]
+        when meth_s <> "" && target <> "" ->
+          let version_ok = version = "HTTP/1.1" || version = "HTTP/1.0" in
+          if not version_ok then
+            Reject { rj_status = 400; rj_reason = "unsupported HTTP version" }
+          else if not (is_token meth_s) then
+            Reject { rj_status = 400; rj_reason = "malformed method" }
+          else (
+            let meth =
+              match meth_s with
+              | "GET" -> Some GET
+              | "PUT" -> Some PUT
+              | "POST" -> Some POST
+              | "DELETE" -> Some DELETE
+              | _ -> None
+            in
+            match meth with
+            | None -> Reject { rj_status = 405; rj_reason = "method not supported" }
+            | Some meth -> (
+                let path, query_s =
+                  match String.index_opt target '?' with
+                  | Some i ->
+                      ( String.sub target 0 i,
+                        String.sub target (i + 1) (String.length target - i - 1)
+                      )
+                  | None -> (target, "")
+                in
+                if String.length path = 0 || path.[0] <> '/' then
+                  Reject { rj_status = 400; rj_reason = "malformed request target" }
+                else
+                  let segments =
+                    List.map percent_decode (split_on_char_nonempty '/' path)
+                  in
+                  if List.exists (fun s -> s = None) segments then
+                    Reject { rj_status = 400; rj_reason = "malformed percent escape" }
+                  else
+                    let segments = List.filter_map Fun.id segments in
+                    match parse_query query_s with
+                    | None ->
+                        Reject { rj_status = 400; rj_reason = "malformed query string" }
+                    | Some query -> (
+                        match parse_headers r with
+                        | Error rj -> Reject rj
+                        | Ok headers -> (
+                            if find_header headers "transfer-encoding" <> None
+                            then
+                              Reject
+                                {
+                                  rj_status = 400;
+                                  rj_reason =
+                                    "transfer codings not supported (use \
+                                     Content-Length)";
+                                }
+                            else
+                              let cls =
+                                List.filter
+                                  (fun (n, _) -> n = "content-length")
+                                  headers
+                              in
+                              let content_length =
+                                (* absent means a zero-length body
+                                   (RFC 7230 §3.3.3); bodies are framed
+                                   by Content-Length alone *)
+                                match cls with
+                                | [] -> `Len 0
+                                | [ (_, v) ] -> (
+                                    match int_of_string_opt (String.trim v) with
+                                    | Some n when n >= 0 -> `Len n
+                                    | Some _ | None -> `Bad)
+                                | _ :: _ :: _ -> `Bad
+                              in
+                              match content_length with
+                              | `Bad ->
+                                  Reject
+                                    {
+                                      rj_status = 400;
+                                      rj_reason = "malformed Content-Length";
+                                    }
+                              | `Len n when n > r.limits.max_body ->
+                                  Reject
+                                    {
+                                      rj_status = 413;
+                                      rj_reason = "body exceeds the size limit";
+                                    }
+                              | `Len n -> (
+                                  match read_body r n with
+                                  | None ->
+                                      Reject
+                                        {
+                                          rj_status = 400;
+                                          rj_reason = "truncated body";
+                                        }
+                                  | Some body ->
+                                      Request
+                                        {
+                                          rq_meth = meth;
+                                          rq_path = path;
+                                          rq_segments = segments;
+                                          rq_query = query;
+                                          rq_headers = headers;
+                                          rq_body = body;
+                                          rq_version = version;
+                                        })))))
+      | _ -> Reject { rj_status = 400; rj_reason = "malformed request line" })
+
+let keep_alive rq =
+  let conn =
+    Option.map String.lowercase_ascii (find_header rq.rq_headers "connection")
+  in
+  match (rq.rq_version, conn) with
+  | _, Some "close" -> false
+  | "HTTP/1.0", Some "keep-alive" -> true
+  | "HTTP/1.0", _ -> false
+  | _, _ -> true
+
+let header rq name = find_header rq.rq_headers (String.lowercase_ascii name)
+let query rq name = List.assoc_opt name rq.rq_query
+
+let status_text = function
+  | 200 -> "OK"
+  | 201 -> "Created"
+  | 204 -> "No Content"
+  | 400 -> "Bad Request"
+  | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
+  | 409 -> "Conflict"
+  | 413 -> "Payload Too Large"
+  | 429 -> "Too Many Requests"
+  | 500 -> "Internal Server Error"
+  | 503 -> "Service Unavailable"
+  | c when c >= 200 && c < 300 -> "OK"
+  | c when c >= 400 && c < 500 -> "Bad Request"
+  | _ -> "Error"
+
+let response ?(content_type = "application/json") ?(close = false) ~status body
+    =
+  let b = Buffer.create (String.length body + 160) in
+  Buffer.add_string b
+    (Printf.sprintf "HTTP/1.1 %d %s\r\n" status (status_text status));
+  Buffer.add_string b (Printf.sprintf "Content-Type: %s\r\n" content_type);
+  Buffer.add_string b
+    (Printf.sprintf "Content-Length: %d\r\n" (String.length body));
+  Buffer.add_string b
+    (if close then "Connection: close\r\n" else "Connection: keep-alive\r\n");
+  Buffer.add_string b "\r\n";
+  Buffer.add_string b body;
+  Buffer.contents b

@@ -1,0 +1,90 @@
+(** A strict, allocation-light HTTP/1.1 request parser and response
+    writer for the [mapdisc serve] endpoint.
+
+    Deliberately minimal: [Content-Length] bodies only (no chunked
+    transfer coding), no header continuations, CRLF line endings, and
+    hard bounds on the request line, header block, and body. Anything
+    outside that profile is answered with a definite status code —
+    the parser never raises on wire input, whatever the bytes are:
+
+    - 400 for malformed request lines, versions, headers, escapes, a
+      malformed or duplicated [Content-Length], or a
+      [Transfer-Encoding] header (a missing [Content-Length] means a
+      zero-length body, RFC 7230 §3.3.3);
+    - 405 for an unknown method token;
+    - 413 when the request line, header block, or declared body exceeds
+      its bound.
+
+    The reader is pull-based over an abstract byte source, so unit
+    tests drive it from strings (chunked arbitrarily) and the server
+    drives it from a socket; buffered bytes persist between requests,
+    which is what makes pipelined requests work. *)
+
+type meth = GET | PUT | POST | DELETE
+
+type request = {
+  rq_meth : meth;
+  rq_path : string;  (** raw path, query string stripped *)
+  rq_segments : string list;  (** percent-decoded path segments *)
+  rq_query : (string * string) list;  (** percent-decoded query pairs *)
+  rq_headers : (string * string) list;  (** names lowercased *)
+  rq_body : string;
+  rq_version : string;  (** ["HTTP/1.1"] or ["HTTP/1.0"] *)
+}
+
+type reject = { rj_status : int; rj_reason : string }
+
+type event =
+  | Request of request
+  | Reject of reject
+      (** answer with [rj_status] and close the connection: after a
+          framing violation the stream position is untrustworthy *)
+  | Eof  (** clean end of stream between requests *)
+
+type limits = {
+  max_line : int;  (** request line and each header line, bytes *)
+  max_headers : int;  (** number of header lines *)
+  max_body : int;  (** declared [Content-Length], bytes *)
+}
+
+val default_limits : limits
+(** 8 KiB lines, 64 headers, 8 MiB bodies. *)
+
+type reader
+
+val reader : ?limits:limits -> (bytes -> int -> int -> int) -> reader
+(** [reader read] wraps a byte source: [read buf off len] returns the
+    number of bytes written into [buf] at [off] (0 for end of stream),
+    like [Unix.read]. Exceptions from the source propagate. *)
+
+val of_string : ?limits:limits -> ?chunk:int -> string -> reader
+(** A reader over a fixed string, delivered [chunk] (default 4096)
+    bytes at a time — test harness for the parser. *)
+
+val next_request : reader -> event
+(** Parse the next request off the stream. After [Reject] the reader
+    must not be used again. *)
+
+val bytes_in : reader -> int
+(** Total bytes consumed from the source so far. *)
+
+val keep_alive : request -> bool
+(** Whether the connection should stay open after answering this
+    request (HTTP/1.1 without [Connection: close], or HTTP/1.0 with
+    [Connection: keep-alive]). *)
+
+val header : request -> string -> string option
+(** Case-insensitive header lookup. *)
+
+val query : request -> string -> string option
+val status_text : int -> string
+
+val response :
+  ?content_type:string ->
+  ?close:bool ->
+  status:int ->
+  string ->
+  string
+(** Serialize a response: status line, [Content-Type] (default
+    [application/json]), [Content-Length], [Connection], blank line,
+    body. *)

@@ -1,0 +1,141 @@
+(* A ring of the last [window] latencies per endpoint keeps quantile
+   memory bounded however long the service runs. *)
+
+let window = 1024
+
+type ep = {
+  mutable e_requests : int;
+  mutable e_2xx : int;
+  mutable e_4xx : int;
+  mutable e_5xx : int;
+  mutable e_hits : int;
+  mutable e_misses : int;
+  mutable e_exhausted : int;
+  mutable e_bytes_in : int;
+  mutable e_bytes_out : int;
+  e_lat : float array;
+  mutable e_lat_n : int;  (* total recorded; ring index = n mod window *)
+}
+
+type t = {
+  m_lock : Mutex.t;
+  m_eps : (string, ep) Hashtbl.t;
+  m_started : float;
+  m_inflight : int Atomic.t;
+}
+
+let create () =
+  {
+    m_lock = Mutex.create ();
+    m_eps = Hashtbl.create 8;
+    m_started = Unix.gettimeofday ();
+    m_inflight = Atomic.make 0;
+  }
+
+let inflight t = t.m_inflight
+
+let ep_of t name =
+  match Hashtbl.find_opt t.m_eps name with
+  | Some e -> e
+  | None ->
+      let e =
+        {
+          e_requests = 0;
+          e_2xx = 0;
+          e_4xx = 0;
+          e_5xx = 0;
+          e_hits = 0;
+          e_misses = 0;
+          e_exhausted = 0;
+          e_bytes_in = 0;
+          e_bytes_out = 0;
+          e_lat = Array.make window 0.0;
+          e_lat_n = 0;
+        }
+      in
+      Hashtbl.add t.m_eps name e;
+      e
+
+let record t ~endpoint ~status ?hit ?(exhausted = false) ~bytes_in ~bytes_out
+    ~seconds () =
+  Mutex.lock t.m_lock;
+  let e = ep_of t endpoint in
+  e.e_requests <- e.e_requests + 1;
+  if status >= 200 && status < 300 then e.e_2xx <- e.e_2xx + 1
+  else if status >= 400 && status < 500 then e.e_4xx <- e.e_4xx + 1
+  else if status >= 500 then e.e_5xx <- e.e_5xx + 1;
+  (match hit with
+  | Some `Hit -> e.e_hits <- e.e_hits + 1
+  | Some `Miss -> e.e_misses <- e.e_misses + 1
+  | None -> ());
+  if exhausted then e.e_exhausted <- e.e_exhausted + 1;
+  e.e_bytes_in <- e.e_bytes_in + bytes_in;
+  e.e_bytes_out <- e.e_bytes_out + bytes_out;
+  e.e_lat.(e.e_lat_n mod window) <- seconds;
+  e.e_lat_n <- e.e_lat_n + 1;
+  Mutex.unlock t.m_lock
+
+(* nearest-rank quantile over the filled part of the ring *)
+let quantile e q =
+  let n = min e.e_lat_n window in
+  if n = 0 then None
+  else begin
+    let xs = Array.sub e.e_lat 0 n in
+    Array.sort compare xs;
+    let idx = min (n - 1) (int_of_float (ceil (q *. float_of_int n)) - 1) in
+    Some xs.(max 0 idx)
+  end
+
+let ms = function None -> "null" | Some s -> Printf.sprintf "%.3f" (s *. 1000.)
+
+let to_json t ~scenarios =
+  Mutex.lock t.m_lock;
+  let names =
+    List.sort String.compare
+      (Hashtbl.fold (fun k _ acc -> k :: acc) t.m_eps [])
+  in
+  let ep name =
+    let e = Hashtbl.find t.m_eps name in
+    Printf.sprintf
+      "  %s: {\"requests\": %d, \"2xx\": %d, \"4xx\": %d, \"5xx\": %d, \
+       \"cache_hits\": %d, \"cache_misses\": %d, \"budget_exhausted\": %d, \
+       \"bytes_in\": %d, \"bytes_out\": %d, \"p50_ms\": %s, \"p95_ms\": %s}"
+      (Render.json_str name) e.e_requests e.e_2xx e.e_4xx e.e_5xx e.e_hits
+      e.e_misses e.e_exhausted e.e_bytes_in e.e_bytes_out
+      (ms (quantile e 0.50))
+      (ms (quantile e 0.95))
+  in
+  let body =
+    match names with
+    | [] -> "{}"
+    | _ -> "{\n" ^ String.concat ",\n" (List.map ep names) ^ "\n }"
+  in
+  let uptime = Unix.gettimeofday () -. t.m_started in
+  let s =
+    Printf.sprintf
+      "{\"uptime_s\": %.3f,\n \"inflight\": %d,\n \"scenarios\": %d,\n \
+       \"endpoints\": %s}\n"
+      uptime
+      (Atomic.get t.m_inflight)
+      scenarios body
+  in
+  Mutex.unlock t.m_lock;
+  s
+
+let pp_summary ppf t =
+  Mutex.lock t.m_lock;
+  let names =
+    List.sort String.compare
+      (Hashtbl.fold (fun k _ acc -> k :: acc) t.m_eps [])
+  in
+  List.iter
+    (fun name ->
+      let e = Hashtbl.find t.m_eps name in
+      Fmt.pf ppf
+        "  %-12s %5d req  %d/%d/%d 2xx/4xx/5xx  %d hit %d miss  %d \
+         exhausted  p95 %s ms@."
+        name e.e_requests e.e_2xx e.e_4xx e.e_5xx e.e_hits e.e_misses
+        e.e_exhausted
+        (ms (quantile e 0.95)))
+    names;
+  Mutex.unlock t.m_lock

@@ -1,0 +1,38 @@
+(** Service observability: per-endpoint counters and latency quantiles,
+    updated under one mutex so concurrent handlers never corrupt them,
+    rendered as the [GET /metrics] JSON document and as the summary the
+    server logs on graceful shutdown. *)
+
+type t
+
+val create : unit -> t
+
+val record :
+  t ->
+  endpoint:string ->
+  status:int ->
+  ?hit:[ `Hit | `Miss ] ->
+  ?exhausted:bool ->
+  bytes_in:int ->
+  bytes_out:int ->
+  seconds:float ->
+  unit ->
+  unit
+(** Account one answered request. [endpoint] is the route label
+    ([discover], [exchange], [metrics], …); [hit] feeds the cache
+    counters, [exhausted] the budget-exhaustion counter. *)
+
+val inflight : t -> int Atomic.t
+(** Open connections right now — incremented by the accept loop,
+    decremented on close; also the admission-control gauge. *)
+
+val to_json : t -> scenarios:int -> string
+(** The [GET /metrics] document: uptime, open connections, scenario
+    count, and per endpoint requests, status classes (2xx/4xx/5xx),
+    cache hits/misses, budget exhaustions, bytes in/out, and p50/p95
+    latency in milliseconds over a sliding window of the last 1024
+    requests. Endpoints are name-sorted; quantiles are [null] until the
+    endpoint has served a request. *)
+
+val pp_summary : Format.formatter -> t -> unit
+(** One line per endpoint — the shutdown log. *)

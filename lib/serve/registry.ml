@@ -1,0 +1,395 @@
+module Ast = Smg_dsl.Ast
+module Schema = Smg_relational.Schema
+module Instance = Smg_relational.Instance
+module Mapping = Smg_cq.Mapping
+module Discover = Smg_core.Discover
+module Diag = Smg_robust.Diag
+module Engine = Smg_exchange.Engine
+module Scenario = Smg_eval.Scenario
+
+type kind = Dsl of Ast.t | Builtin of Scenario.t
+
+type entry = {
+  en_name : string;
+  en_hash : string;
+  en_kind : kind;
+  en_source : Discover.side;
+  en_target : Discover.side;
+  en_corrs : Mapping.corr list;
+  en_created : float;
+}
+
+(* One cell per scenario name: the entry plus every cached artifact.
+   [c_lock] makes each cell's caches single-flight; the table lock only
+   guards the name -> cell map, so requests against different scenarios
+   never contend. *)
+type cell = {
+  mutable c_entry : entry;
+  c_lock : Mutex.t;
+  c_discover : (string, Render.discover_output) Hashtbl.t;
+  mutable c_tgds : (Smg_cq.Dependency.tgd list, string) result option;
+  c_instances : (string, Instance.t) Hashtbl.t;
+  c_plans : (string, Engine.compiled) Hashtbl.t;
+}
+
+type t = { t_lock : Mutex.t; t_cells : (string, cell) Hashtbl.t }
+
+let create () = { t_lock = Mutex.create (); t_cells = Hashtbl.create 16 }
+
+let with_lock m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+let fresh_cell entry =
+  {
+    c_entry = entry;
+    c_lock = Mutex.create ();
+    c_discover = Hashtbl.create 4;
+    c_tgds = None;
+    c_instances = Hashtbl.create 4;
+    c_plans = Hashtbl.create 4;
+  }
+
+(* ---- lowering ---------------------------------------------------------- *)
+
+let sides_of_doc (doc : Ast.t) =
+  match (doc.Ast.doc_schemas, doc.Ast.doc_cms) with
+  | [ src_schema; tgt_schema ], [ src_cm; tgt_cm ] ->
+      (* mirror of the CLI loader: semantics blocks carry only a table
+         name, so pick per table the first block whose s-tree validates
+         against this side's CM, falling back to the first name match
+         so genuine validation errors still surface in Discover.side *)
+      let strees_for (schema : Schema.t) (cm : Smg_cm.Cml.t) =
+        let cmg = Smg_cm.Cm_graph.compile cm in
+        List.filter_map
+          (fun (t : Schema.table) ->
+            let blocks =
+              List.filter
+                (fun (b : Ast.semantics_block) ->
+                  String.equal b.Ast.sem_table t.Schema.tbl_name)
+                doc.Ast.doc_semantics
+            in
+            let validates (b : Ast.semantics_block) =
+              match Smg_semantics.Stree.validate cmg t b.Ast.sem_stree with
+              | () -> true
+              | exception Invalid_argument _ -> false
+            in
+            match (List.find_opt validates blocks, blocks) with
+            | Some b, _ | None, b :: _ -> Some b.Ast.sem_stree
+            | None, [] -> None)
+          schema.Schema.tables
+      in
+      let mk label schema cm =
+        try Ok (Discover.side ~schema ~cm (strees_for schema cm))
+        with Invalid_argument msg | Failure msg ->
+          Error (Printf.sprintf "%s side: %s" label msg)
+      in
+      Result.bind (mk "source" src_schema src_cm) (fun source ->
+          Result.map
+            (fun target -> (source, target))
+            (mk "target" tgt_schema tgt_cm))
+  | _ -> Error "a scenario needs exactly two schemas and two CMs"
+
+let tgds_of_best ~target (best : Mapping.t) =
+  if best.Mapping.outer then Mapping.outer_variants ~target best
+  else [ Mapping.to_tgd best ]
+
+let scenario_tgds (scen : Scenario.t) =
+  let target = scen.Scenario.target in
+  List.concat_map
+    (fun (case : Scenario.case) ->
+      match Smg_eval.Experiments.run_method Smg_eval.Experiments.Semantic scen case with
+      | [] -> []
+      | best :: _ ->
+          let best = Mapping.rename case.Scenario.case_name best in
+          tgds_of_best ~target:target.Discover.schema best)
+    scen.Scenario.cases
+
+(* ---- registration ------------------------------------------------------ *)
+
+let put t ~name ~text =
+  match Smg_dsl.Parser.parse_result ~file:name text with
+  | Error d -> Error d
+  | Ok doc -> (
+      match sides_of_doc doc with
+      | Error msg -> Error (Diag.errorf ~subject:name Diag.Validate "%s" msg)
+      | Ok (source, target) ->
+          if doc.Ast.doc_corrs = [] then
+            Error
+              (Diag.errorf ~subject:name Diag.Validate
+                 "the scenario declares no correspondences")
+          else begin
+            let hash = Digest.to_hex (Digest.string text) in
+            with_lock t.t_lock @@ fun () ->
+            match Hashtbl.find_opt t.t_cells name with
+            | Some cell when cell.c_entry.en_hash = hash ->
+                Ok (cell.c_entry, true)
+            | prior ->
+                let entry =
+                  {
+                    en_name = name;
+                    en_hash = hash;
+                    en_kind = Dsl doc;
+                    en_source = source;
+                    en_target = target;
+                    en_corrs = doc.Ast.doc_corrs;
+                    en_created = Unix.gettimeofday ();
+                  }
+                in
+                (match prior with
+                | Some _ -> Hashtbl.replace t.t_cells name (fresh_cell entry)
+                | None -> Hashtbl.add t.t_cells name (fresh_cell entry));
+                Ok (entry, false)
+          end)
+
+let find t name =
+  with_lock t.t_lock @@ fun () ->
+  Option.map (fun c -> c.c_entry) (Hashtbl.find_opt t.t_cells name)
+
+let names t =
+  with_lock t.t_lock @@ fun () ->
+  List.sort String.compare
+    (Hashtbl.fold (fun name _ acc -> name :: acc) t.t_cells [])
+
+let remove t name =
+  with_lock t.t_lock @@ fun () ->
+  let existed = Hashtbl.mem t.t_cells name in
+  Hashtbl.remove t.t_cells name;
+  existed
+
+let size t = with_lock t.t_lock @@ fun () -> Hashtbl.length t.t_cells
+
+let preload_builtins t =
+  List.iter
+    (fun (scen : Scenario.t) ->
+      let name = String.lowercase_ascii scen.Scenario.scen_name in
+      let corrs =
+        List.concat_map (fun (c : Scenario.case) -> c.Scenario.corrs)
+          scen.Scenario.cases
+      in
+      let entry =
+        {
+          en_name = name;
+          en_hash = "builtin:" ^ name;
+          en_kind = Builtin scen;
+          en_source = scen.Scenario.source;
+          en_target = scen.Scenario.target;
+          en_corrs = corrs;
+          en_created = Unix.gettimeofday ();
+        }
+      in
+      with_lock t.t_lock @@ fun () ->
+      if not (Hashtbl.mem t.t_cells name) then
+        Hashtbl.add t.t_cells name (fresh_cell entry))
+    (Smg_eval.Datasets.all ())
+
+(* The cell backing an entry, if the registry still holds that exact
+   content; a concurrent replacement makes requests against the stale
+   entry compute uncached rather than pollute the new cell's caches. *)
+let cell_of t (entry : entry) =
+  with_lock t.t_lock @@ fun () ->
+  match Hashtbl.find_opt t.t_cells entry.en_name with
+  | Some cell when cell.c_entry.en_hash = entry.en_hash -> Some cell
+  | _ -> None
+
+(* ---- discovery --------------------------------------------------------- *)
+
+type hit = [ `Hit | `Miss ]
+
+let discover_key meth dedup =
+  (match meth with `Semantic -> "sem" | `Ric -> "ric" | `Both -> "both")
+  ^ if dedup then ":dedup" else ""
+
+let compute_discover ?budget ~meth ~dedup (entry : entry) =
+  Render.discover_json ?budget ~meth ~dedup ~file:entry.en_name
+    ~source:entry.en_source ~target:entry.en_target ~corrs:entry.en_corrs ()
+
+let discover t ?budget ~meth ~dedup entry =
+  match cell_of t entry with
+  | None -> (compute_discover ?budget ~meth ~dedup entry, `Miss)
+  | Some cell -> (
+      let key = discover_key meth dedup in
+      with_lock cell.c_lock @@ fun () ->
+      match Hashtbl.find_opt cell.c_discover key with
+      | Some out -> (out, `Hit)
+      | None ->
+          let out = compute_discover ?budget ~meth ~dedup entry in
+          Hashtbl.add cell.c_discover key out;
+          (out, `Miss))
+
+(* ---- executable tgds --------------------------------------------------- *)
+
+let compute_tgds (entry : entry) =
+  match entry.en_kind with
+  | Builtin scen -> (
+      match scenario_tgds scen with
+      | [] ->
+          Error
+            (Printf.sprintf "discovery produced no mapping for %s"
+               scen.Scenario.scen_name)
+      | tgds -> Ok tgds)
+  | Dsl _ -> (
+      match
+        Discover.discover ~source:entry.en_source ~target:entry.en_target
+          ~corrs:entry.en_corrs ()
+      with
+      | [] -> Error "no mapping discovered"
+      | best :: _ ->
+          Ok (tgds_of_best ~target:entry.en_target.Discover.schema best))
+
+let entry_tgds t entry =
+  match cell_of t entry with
+  | None -> compute_tgds entry
+  | Some cell -> (
+      with_lock cell.c_lock @@ fun () ->
+      match cell.c_tgds with
+      | Some r -> r
+      | None ->
+          let r = compute_tgds entry in
+          cell.c_tgds <- Some r;
+          r)
+
+(* ---- exchange ---------------------------------------------------------- *)
+
+type exchange_result =
+  | Ex_ok of string * hit
+  | Ex_partial of Smg_robust.Budget.reason * string
+  | Ex_bad of string
+  | Ex_failed of string
+
+(* How to obtain the source instance, and the head fields of the
+   response document. A scenario with data blocks executes them (after
+   a RIC check, as the CLI does); otherwise a deterministic witness
+   instance is generated lazily — so a warm request can reuse the
+   cached one — sized like [mapdisc exchange --scenario]: [size] total
+   tuples split over the source tables. *)
+let instance_plan ~size ~seed (entry : entry) =
+  let schema = entry.en_source.Discover.schema in
+  let witness () =
+    let n_tables = max 1 (List.length schema.Schema.tables) in
+    let rows = max 1 (size / n_tables) in
+    Smg_eval.Witness.populate ~rows_per_table:rows ~seed schema
+  in
+  let dims = [ ("size", string_of_int size); ("seed", string_of_int seed) ] in
+  match entry.en_kind with
+  | Builtin scen ->
+      Ok
+        ( witness,
+          Printf.sprintf "%d:%d" size seed,
+          ("scenario", Render.json_str scen.Scenario.scen_name) :: dims )
+  | Dsl doc ->
+      let inst = Ast.instance_of doc schema in
+      if Instance.total_tuples inst = 0 then
+        Ok
+          ( witness,
+            Printf.sprintf "%d:%d" size seed,
+            ("file", Render.json_str entry.en_name) :: dims )
+      else begin
+        match Instance.check_rics schema inst with
+        | [] ->
+            Ok
+              ( (fun () -> inst),
+                "data",
+                [ ("file", Render.json_str entry.en_name) ] )
+        | violations ->
+            Error
+              (Printf.sprintf
+                 "source data violates %d referential constraint(s)"
+                 (List.length violations))
+      end
+
+let compile_for ~laconic (entry : entry) inst tgds =
+  Engine.compile
+    ~card:(fun name -> Instance.cardinality inst name)
+    ~laconic ~source:entry.en_source.Discover.schema
+    ~target:entry.en_target.Discover.schema ~mappings:tgds ()
+
+let exchange t ?budget ?(size = 1000) ?(seed = 42) ?(laconic = true) entry =
+  match entry_tgds t entry with
+  | Error msg -> Ex_failed msg
+  | Ok tgds -> (
+      match instance_plan ~size ~seed entry with
+      | Error msg -> Ex_bad msg
+      | Ok (make_inst, inst_key, head) -> (
+          let plan_key = Printf.sprintf "%s:%b" inst_key laconic in
+          let inst, compiled, hit =
+            match cell_of t entry with
+            | None ->
+                let inst = make_inst () in
+                (inst, compile_for ~laconic entry inst tgds, `Miss)
+            | Some cell ->
+                with_lock cell.c_lock @@ fun () ->
+                let inst =
+                  match Hashtbl.find_opt cell.c_instances inst_key with
+                  | Some i -> i
+                  | None ->
+                      let i = make_inst () in
+                      Hashtbl.add cell.c_instances inst_key i;
+                      i
+                in
+                (match Hashtbl.find_opt cell.c_plans plan_key with
+                | Some c -> (inst, Ok c, `Hit)
+                | None -> (
+                    match compile_for ~laconic entry inst tgds with
+                    | Ok c ->
+                        Hashtbl.add cell.c_plans plan_key c;
+                        (inst, Ok c, `Miss)
+                    | Error msg -> (inst, Error msg, `Miss)))
+          in
+          match compiled with
+          | Error msg -> Ex_failed msg
+          | Ok compiled -> (
+              (* execution allocates all mutable state per call, so a
+                 cached compiled value is safe under concurrency *)
+              match Engine.execute ?budget compiled inst with
+              | Engine.Failed msg -> Ex_failed msg
+              | Engine.Complete rep ->
+                  Ex_ok (Render.exchange_json ~head ~laconic rep, hit)
+              | Engine.Budget_exhausted (reason, rep) ->
+                  let diag =
+                    Diag.degraded ~subject:entry.en_name Diag.Exchange reason
+                      "target instance is a partial prefix"
+                  in
+                  Ex_partial
+                    ( reason,
+                      Render.exchange_json ~head ~exhausted:reason
+                        ~diags:[ diag ] ~laconic rep ))))
+
+(* ---- info -------------------------------------------------------------- *)
+
+let info_json t entry =
+  let kind = match entry.en_kind with Dsl _ -> "dsl" | Builtin _ -> "builtin" in
+  let n_tables (side : Discover.side) =
+    List.length side.Discover.schema.Schema.tables
+  in
+  let d, p, i =
+    match cell_of t entry with
+    | None -> (0, 0, 0)
+    | Some cell ->
+        with_lock cell.c_lock @@ fun () ->
+        ( Hashtbl.length cell.c_discover,
+          Hashtbl.length cell.c_plans,
+          Hashtbl.length cell.c_instances )
+  in
+  String.concat ""
+    [
+      "{\"name\": ";
+      Render.json_str entry.en_name;
+      ", \"hash\": ";
+      Render.json_str entry.en_hash;
+      ", \"kind\": ";
+      Render.json_str kind;
+      ", \"source_tables\": ";
+      string_of_int (n_tables entry.en_source);
+      ", \"target_tables\": ";
+      string_of_int (n_tables entry.en_target);
+      ", \"corrs\": ";
+      string_of_int (List.length entry.en_corrs);
+      ", \"cached\": {\"discover\": ";
+      string_of_int d;
+      ", \"plans\": ";
+      string_of_int p;
+      ", \"instances\": ";
+      string_of_int i;
+      "}}";
+    ]

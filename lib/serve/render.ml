@@ -1,0 +1,241 @@
+module Mapping = Smg_cq.Mapping
+module Discover = Smg_core.Discover
+module Mapverify = Smg_verify.Mapverify
+module Diag = Smg_robust.Diag
+module Instance = Smg_relational.Instance
+module Value = Smg_relational.Value
+module Engine = Smg_exchange.Engine
+
+(* Hand-rolled JSON in the same dependency-free style as
+   Smg_exchange.Obs.write_bench_json. *)
+
+let json_str s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let json_list f xs = "[" ^ String.concat ", " (List.map f xs) ^ "]"
+
+let json_candidate source target i (m : Mapping.t) =
+  let tgd_str = Fmt.str "%a" Smg_cq.Dependency.pp_tgd (Mapping.to_tgd m) in
+  let exec =
+    if m.Mapping.outer then Mapping.outer_variants ~target m
+    else [ Mapping.to_tgd m ]
+  in
+  let corr (c : Mapping.corr) =
+    let st, sc = c.Mapping.c_src and tt, tc = c.Mapping.c_tgt in
+    Printf.sprintf "{\"src\": %s, \"tgt\": %s}"
+      (json_str (st ^ "." ^ sc))
+      (json_str (tt ^ "." ^ tc))
+  in
+  String.concat ""
+    [
+      "    {\"rank\": ";
+      string_of_int (i + 1);
+      ", \"name\": ";
+      json_str m.Mapping.m_name;
+      ", \"score\": ";
+      Printf.sprintf "%.6g" m.Mapping.score;
+      ", \"outer\": ";
+      string_of_bool m.Mapping.outer;
+      ", \"approximate\": ";
+      string_of_bool (Mapping.is_approximate m);
+      ",\n     \"tgd\": ";
+      json_str tgd_str;
+      ",\n     \"exec_tgds\": ";
+      json_list
+        (fun t -> json_str (Fmt.str "%a" Smg_cq.Dependency.pp_tgd t))
+        exec;
+      ",\n     \"covered\": ";
+      json_list corr m.Mapping.covered;
+      ",\n     \"provenance\": ";
+      json_list json_str m.Mapping.provenance;
+      ",\n     \"source_algebra\": ";
+      json_str
+        (Fmt.str "%a" Smg_relational.Algebra.pp (Mapping.src_algebra source m));
+      "}";
+    ]
+
+let json_diag (d : Diag.t) =
+  String.concat ""
+    [
+      "    {\"severity\": ";
+      json_str (Fmt.str "%a" Diag.pp_severity d.Diag.d_severity);
+      ", \"stage\": ";
+      json_str (Fmt.str "%a" Diag.pp_stage d.Diag.d_stage);
+      ", \"subject\": ";
+      (match d.Diag.d_subject with None -> "null" | Some s -> json_str s);
+      ", \"message\": ";
+      json_str d.Diag.d_message;
+      "}";
+    ]
+
+let label_by_rank ms =
+  List.mapi
+    (fun i (m : Mapping.t) ->
+      Mapping.rename (Printf.sprintf "%s#%d" m.Mapping.m_name (i + 1)) m)
+    ms
+
+(* ---- discover ----------------------------------------------------------- *)
+
+type discover_output = {
+  dj_json : string;
+  dj_diags : Diag.t list;
+  dj_exact : bool;
+  dj_count : int;
+}
+
+let discover_json ?budget ?pool ?(meth = `Both) ?(dedup = false) ~file ~source
+    ~target ~corrs () =
+  let source_s = source.Discover.schema and target_s = target.Discover.schema in
+  let pre = Discover.lint ~source ~target ~corrs in
+  let o = Discover.discover_bounded ?budget ?pool ~source ~target ~corrs () in
+  let diags = pre @ o.Discover.o_diags in
+  let dedup_silent ms =
+    if not dedup then ms
+    else
+      (Mapverify.dedup ?pool ~source:source_s ~target:target_s
+         (label_by_rank ms))
+        .Mapverify.rp_kept
+  in
+  let sem = dedup_silent o.Discover.o_mappings in
+  let ric =
+    match meth with
+    | `Ric | `Both ->
+        dedup_silent
+          (Smg_ric.Baseline.generate ~source:source_s ~target:target_s ~corrs)
+    | `Semantic -> []
+  in
+  let section ms =
+    match ms with
+    | [] -> "[]"
+    | _ ->
+        "[\n"
+        ^ String.concat ",\n" (List.mapi (json_candidate source_s target_s) ms)
+        ^ "\n  ]"
+  in
+  let b = Buffer.create 4096 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  line "{\"file\": %s," (json_str file);
+  line " \"exact\": %b," o.Discover.o_exact;
+  (match meth with
+  | `Semantic | `Both -> line " \"candidates\": %s," (section sem)
+  | `Ric -> ());
+  (match meth with
+  | `Ric | `Both -> line " \"ric_candidates\": %s," (section ric)
+  | `Semantic -> ());
+  line " \"diagnostics\": %s}"
+    (match diags with
+    | [] -> "[]"
+    | _ -> "[\n" ^ String.concat ",\n" (List.map json_diag diags) ^ "\n  ]");
+  {
+    dj_json = Buffer.contents b;
+    dj_diags = diags;
+    dj_exact = o.Discover.o_exact;
+    dj_count = List.length sem + List.length ric;
+  }
+
+(* ---- exchange ----------------------------------------------------------- *)
+
+let value_json ~canon (v : Value.t) =
+  match v with
+  | Value.VInt i -> string_of_int i
+  | Value.VString s -> json_str s
+  | Value.VFloat f -> Printf.sprintf "%.17g" f
+  | Value.VBool b -> string_of_bool b
+  | Value.VNull k -> Printf.sprintf "\"_N%d\"" (canon k)
+
+let exchange_json ~head ?exhausted ?(diags = []) ~laconic
+    (r : Engine.report) =
+  let inst = r.Engine.r_target in
+  let tables = List.sort String.compare (Instance.names inst) in
+  (* canonical null labels: numbered by first occurrence over
+     name-sorted tables, tuples in relation order, cells left to right —
+     independent of the process-global label counter *)
+  let canon_tbl = Hashtbl.create 64 in
+  let next = ref 0 in
+  let canon k =
+    match Hashtbl.find_opt canon_tbl k with
+    | Some c -> c
+    | None ->
+        incr next;
+        Hashtbl.add canon_tbl k !next;
+        !next
+  in
+  List.iter
+    (fun name ->
+      match Instance.relation inst name with
+      | None -> ()
+      | Some rel ->
+          List.iter
+            (fun tup ->
+              Array.iter
+                (fun v -> match v with Value.VNull k -> ignore (canon k) | _ -> ())
+                tup)
+            rel.Instance.tuples)
+    tables;
+  let b = Buffer.create 4096 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  Buffer.add_string b "{";
+  List.iter (fun (k, v) -> Buffer.add_string b (Printf.sprintf "\"%s\": %s,\n " k v)) head;
+  line "\"engine\": \"fast\",";
+  line " \"laconic\": %b," laconic;
+  line " \"complete\": %b," r.Engine.r_complete;
+  line " \"exhausted\": %s,"
+    (match exhausted with
+    | None -> "null"
+    | Some reason -> json_str (Fmt.str "%a" Smg_robust.Budget.pp_reason reason));
+  line " \"rounds\": %d," r.Engine.r_rounds;
+  line " \"egd_merges\": %d," r.Engine.r_egd_merges;
+  line " \"sweep_dropped\": %d," r.Engine.r_sweep_dropped;
+  line " \"target_tuples\": %d," (Instance.total_tuples inst);
+  let stat (name, (s : Smg_exchange.Obs.stats)) =
+    Printf.sprintf
+      "    {\"tgd\": %s, \"scanned\": %d, \"probes\": %d, \"hits\": %d, \
+       \"misses\": %d, \"checks\": %d, \"satisfied\": %d, \"emitted\": %d, \
+       \"nulls\": %d}"
+      (json_str name) s.Smg_exchange.Obs.n_scanned s.Smg_exchange.Obs.n_probes
+      s.Smg_exchange.Obs.n_hits s.Smg_exchange.Obs.n_misses
+      s.Smg_exchange.Obs.n_checks s.Smg_exchange.Obs.n_satisfied
+      s.Smg_exchange.Obs.n_emitted s.Smg_exchange.Obs.n_nulls
+  in
+  line " \"stats\": %s,"
+    (match r.Engine.r_stats with
+    | [] -> "[]"
+    | stats -> "[\n" ^ String.concat ",\n" (List.map stat stats) ^ "\n  ]");
+  let relation name =
+    match Instance.relation inst name with
+    | None -> Printf.sprintf "  %s: {}" (json_str name)
+    | Some rel ->
+        let tuple tup =
+          "["
+          ^ String.concat ", "
+              (Array.to_list (Array.map (value_json ~canon) tup))
+          ^ "]"
+        in
+        Printf.sprintf "  %s: {\"header\": %s,\n   \"tuples\": [%s]}"
+          (json_str name)
+          (json_list json_str rel.Instance.header)
+          (String.concat ",\n    " (List.map tuple rel.Instance.tuples))
+  in
+  line " \"target\": %s,"
+    (match tables with
+    | [] -> "{}"
+    | _ -> "{\n" ^ String.concat ",\n" (List.map relation tables) ^ "\n  }");
+  line " \"diagnostics\": %s}"
+    (match diags with
+    | [] -> "[]"
+    | _ -> "[\n" ^ String.concat ",\n" (List.map json_diag diags) ^ "\n  ]");
+  Buffer.contents b

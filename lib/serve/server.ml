@@ -1,0 +1,401 @@
+module Budget = Smg_robust.Budget
+module Diag = Smg_robust.Diag
+module Mapping = Smg_cq.Mapping
+module Discover = Smg_core.Discover
+module Mapverify = Smg_verify.Mapverify
+module Pipeline = Smg_compose.Pipeline
+module Invert = Smg_compose.Invert
+module Compose = Smg_compose.Compose
+
+type config = {
+  port : int;
+  domains : int;
+  max_inflight : int;
+  budget_ms : int option;
+  fuel : int option;
+  preload : bool;
+}
+
+let default_config =
+  {
+    port = 8080;
+    domains = 1;
+    max_inflight = 64;
+    budget_ms = None;
+    fuel = None;
+    preload = true;
+  }
+
+type t = {
+  cfg : config;
+  listen_fd : Unix.file_descr;
+  bound_port : int;
+  reg : Registry.t;
+  met : Metrics.t;
+  stop_flag : bool Atomic.t;
+}
+
+let create cfg =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  let addr = Unix.ADDR_INET (Unix.inet_addr_loopback, cfg.port) in
+  (try Unix.bind fd addr
+   with e ->
+     Unix.close fd;
+     raise e);
+  Unix.listen fd 128;
+  let bound_port =
+    match Unix.getsockname fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | Unix.ADDR_UNIX _ -> cfg.port
+  in
+  let reg = Registry.create () in
+  if cfg.preload then Registry.preload_builtins reg;
+  {
+    cfg;
+    listen_fd = fd;
+    bound_port;
+    reg;
+    met = Metrics.create ();
+    stop_flag = Atomic.make false;
+  }
+
+let port t = t.bound_port
+let registry t = t.reg
+let metrics t = t.met
+let stop t = Atomic.set t.stop_flag true
+
+(* ---- request answering -------------------------------------------------- *)
+
+(* What a route handler produces; [aw_hit]/[aw_exhausted] feed the
+   cache and budget counters. *)
+type answer = {
+  aw_endpoint : string;
+  aw_status : int;
+  aw_body : string;
+  aw_hit : [ `Hit | `Miss ] option;
+  aw_exhausted : bool;
+}
+
+let answer ?hit ?(exhausted = false) aw_endpoint aw_status aw_body =
+  { aw_endpoint; aw_status; aw_body; aw_hit = hit; aw_exhausted = exhausted }
+
+let error_body ?(diags = []) msg =
+  Printf.sprintf "{\"error\": %s,\n \"diagnostics\": %s}\n"
+    (Render.json_str msg)
+    (match diags with
+    | [] -> "[]"
+    | _ ->
+        "[\n" ^ String.concat ",\n" (List.map Render.json_diag diags) ^ "\n  ]")
+
+let q_int rq name default =
+  match Http.query rq name with
+  | None -> Ok default
+  | Some s -> (
+      match int_of_string_opt s with
+      | Some n -> Ok n
+      | None -> Error (Printf.sprintf "query parameter %s: not an integer" name))
+
+let request_budget t rq =
+  match (q_int rq "budget_ms" (-1), q_int rq "fuel" (-1)) with
+  | Error e, _ | _, Error e -> Error e
+  | Ok bms, Ok fl ->
+      let deadline_ms =
+        Option.map float_of_int
+          (if bms >= 0 then Some bms else t.cfg.budget_ms)
+      in
+      let fuel = if fl >= 0 then Some fl else t.cfg.fuel in
+      Ok
+        (match (deadline_ms, fuel) with
+        | None, None -> None
+        | _ -> Some (Budget.create ?deadline_ms ?fuel ()))
+
+let scenario_or_404 t name k =
+  match Registry.find t.reg name with
+  | Some entry -> k entry
+  | None ->
+      answer "get" 404
+        (error_body (Printf.sprintf "no scenario named %s" name))
+
+(* ---- handlers ----------------------------------------------------------- *)
+
+let handle_put t name body =
+  match Registry.put t.reg ~name ~text:body with
+  | Error d -> answer "put" 400 (error_body ~diags:[ d ] d.Diag.d_message)
+  | Ok (entry, cached) ->
+      let status = if cached then 200 else 201 in
+      let hit = if cached then `Hit else `Miss in
+      answer ~hit "put" status
+        (Printf.sprintf "{\"cached\": %b,\n \"scenario\": %s}\n" cached
+           (Registry.info_json t.reg entry))
+
+let handle_discover t rq entry =
+  let meth =
+    match Http.query rq "method" with
+    | None | Some "both" -> Ok `Both
+    | Some "semantic" -> Ok `Semantic
+    | Some "ric" -> Ok `Ric
+    | Some other ->
+        Error (Printf.sprintf "unknown method %s (semantic|ric|both)" other)
+  in
+  match (meth, request_budget t rq) with
+  | Error e, _ | _, Error e -> answer "discover" 400 (error_body e)
+  | Ok meth, Ok budget ->
+      let dedup = Http.query rq "dedup" = Some "true" in
+      let out, hit = Registry.discover t.reg ?budget ~meth ~dedup entry in
+      answer ~hit "discover" 200 out.Render.dj_json
+
+let handle_exchange t rq entry =
+  match (q_int rq "size" 1000, q_int rq "seed" 42, request_budget t rq) with
+  | Error e, _, _ | _, Error e, _ | _, _, Error e ->
+      answer "exchange" 400 (error_body e)
+  | Ok size, Ok seed, Ok budget -> (
+      let laconic = Http.query rq "laconic" <> Some "false" in
+      match Registry.exchange t.reg ?budget ~size ~seed ~laconic entry with
+      | Registry.Ex_ok (body, hit) -> answer ~hit "exchange" 200 body
+      | Registry.Ex_partial (_reason, body) ->
+          answer ~exhausted:true "exchange" 503 body
+      | Registry.Ex_bad msg -> answer "exchange" 400 (error_body msg)
+      | Registry.Ex_failed msg -> answer "exchange" 500 (error_body msg))
+
+let handle_verify _t rq (entry : Registry.entry) =
+  match q_int rq "limit" 6 with
+  | Error e -> answer "verify" 400 (error_body e)
+  | Ok limit ->
+      let source = entry.Registry.en_source
+      and target = entry.Registry.en_target in
+      let s_schema = source.Discover.schema
+      and t_schema = target.Discover.schema in
+      let corrs = entry.Registry.en_corrs in
+      let take n xs = List.filteri (fun i _ -> i < n) xs in
+      let label tag ms =
+        List.mapi
+          (fun i m -> Mapping.rename (Printf.sprintf "%s%d" tag (i + 1)) m)
+          ms
+      in
+      let sem = label "S" (take limit (Discover.discover ~source ~target ~corrs ()))
+      and ric =
+        label "R"
+          (take limit
+             (Smg_ric.Baseline.generate ~source:s_schema ~target:t_schema
+                ~corrs))
+      in
+      let all = sem @ ric in
+      if all = [] then
+        answer "verify" 500 (error_body "neither method produced a candidate")
+      else begin
+        let rp = Mapverify.dedup ~source:s_schema ~target:t_schema all in
+        let names =
+          Render.json_list
+            (fun (m : Mapping.t) -> Render.json_str m.Mapping.m_name)
+            rp.Mapverify.rp_kept
+        in
+        answer "verify" 200
+          (Printf.sprintf
+             "{\"scenario\": %s,\n \"candidates\": %d,\n \"classes\": %d,\n \
+              \"collapsed\": %d,\n \"subsumed\": %d,\n \"kept\": %s}\n"
+             (Render.json_str entry.Registry.en_name)
+             rp.Mapverify.rp_in (Mapverify.n_classes rp)
+             (Mapverify.n_collapsed rp) (Mapverify.n_subsumed rp) names)
+      end
+
+(* Round-trip composition: the entry's mapping chained with its
+   reversal into a primed copy of the source schema — the smallest
+   pipeline that exercises {!Smg_compose} end to end. *)
+let handle_compose t rq (entry : Registry.entry) =
+  match request_budget t rq with
+  | Error e -> answer "compose" 400 (error_body e)
+  | Ok budget -> (
+      match Registry.entry_tgds t.reg entry with
+      | Error msg -> answer "compose" 500 (error_body msg)
+      | Ok fwd ->
+          let src = entry.Registry.en_source.Discover.schema
+          and tgt = entry.Registry.en_target.Discover.schema in
+          let primed = Invert.prime_schema ~suffix:"_inv" src in
+          let hops =
+            [
+              { Pipeline.h_source = src; h_target = tgt; h_tgds = fwd };
+              {
+                Pipeline.h_source = tgt;
+                h_target = primed;
+                h_tgds = Invert.quasi_inverse ~prime:"_inv" fwd;
+              };
+            ]
+          in
+          let r = Pipeline.compose_chain ?budget hops in
+          let tgds =
+            Render.json_list
+              (fun tgd ->
+                Render.json_str
+                  (Fmt.str "%a" Smg_cq.Dependency.pp_tgd tgd))
+              r.Compose.c_exec
+          in
+          let exhausted, diags =
+            match r.Compose.c_budget with
+            | None -> ("null", [])
+            | Some reason ->
+                ( Render.json_str (Fmt.str "%a" Budget.pp_reason reason),
+                  [
+                    Diag.degraded ~subject:entry.Registry.en_name Diag.Verify
+                      reason "composition truncated";
+                  ] )
+          in
+          let body =
+            Printf.sprintf
+              "{\"scenario\": %s,\n \"exact\": %b,\n \"clauses\": %d,\n \
+               \"plain\": %d,\n \"residual\": %d,\n \"dropped\": %d,\n \
+               \"exhausted\": %s,\n \"tgds\": %s,\n \"diagnostics\": %s}\n"
+              (Render.json_str entry.Registry.en_name)
+              r.Compose.c_exact
+              (List.length r.Compose.c_clauses)
+              (List.length r.Compose.c_plain)
+              (List.length r.Compose.c_residual)
+              r.Compose.c_dropped exhausted tgds
+              (match diags with
+              | [] -> "[]"
+              | _ ->
+                  "[\n"
+                  ^ String.concat ",\n" (List.map Render.json_diag diags)
+                  ^ "\n  ]")
+          in
+          let status = if r.Compose.c_budget = None then 200 else 503 in
+          answer ~exhausted:(r.Compose.c_budget <> None) "compose" status body)
+
+(* ---- routing ------------------------------------------------------------ *)
+
+let route t (rq : Http.request) =
+  match (rq.Http.rq_meth, rq.Http.rq_segments) with
+  | Http.GET, [ "healthz" ] -> answer "healthz" 200 "{\"ok\": true}\n"
+  | Http.GET, [ "metrics" ] ->
+      answer "metrics" 200
+        (Metrics.to_json t.met ~scenarios:(Registry.size t.reg))
+  | Http.GET, [ "scenarios" ] ->
+      answer "list" 200
+        (Printf.sprintf "{\"scenarios\": %s}\n"
+           (Render.json_list Render.json_str (Registry.names t.reg)))
+  | Http.PUT, [ "scenarios"; name ] -> handle_put t name rq.Http.rq_body
+  | Http.GET, [ "scenarios"; name ] ->
+      scenario_or_404 t name (fun entry ->
+          answer "get" 200 (Registry.info_json t.reg entry ^ "\n"))
+  | Http.DELETE, [ "scenarios"; name ] ->
+      if Registry.remove t.reg name then
+        answer "delete" 200 "{\"deleted\": true}\n"
+      else
+        answer "delete" 404
+          (error_body (Printf.sprintf "no scenario named %s" name))
+  | Http.POST, [ "scenarios"; name; action ] -> (
+      scenario_or_404 t name (fun entry ->
+          match action with
+          | "discover" -> handle_discover t rq entry
+          | "exchange" -> handle_exchange t rq entry
+          | "verify" -> handle_verify t rq entry
+          | "compose" -> handle_compose t rq entry
+          | _ ->
+              answer "other" 404
+                (error_body (Printf.sprintf "unknown action %s" action))))
+  | _, ("healthz" | "metrics" | "scenarios") :: _ ->
+      answer "other" 405 (error_body "method not allowed")
+  | _ -> answer "other" 404 (error_body "not found")
+
+let safe_route t rq =
+  try route t rq
+  with exn ->
+    answer "other" 500
+      (error_body
+         ~diags:[ Diag.of_exn Diag.Exchange exn ]
+         (Printexc.to_string exn))
+
+(* ---- connection loop ---------------------------------------------------- *)
+
+let write_all fd s =
+  let n = String.length s in
+  let rec go off =
+    if off < n then
+      match Unix.write_substring fd s off (n - off) with
+      | written -> go (off + written)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+  in
+  go 0
+
+let handle_conn t fd =
+  Unix.setsockopt_float fd Unix.SO_RCVTIMEO 5.0;
+  let read buf off len =
+    match Unix.read fd buf off len with
+    | n -> n
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> 0
+    | exception
+        Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        0 (* receive timeout: treat as end of stream *)
+  in
+  let reader = Http.reader read in
+  let rec loop () =
+    let before = Http.bytes_in reader in
+    let t0 = Unix.gettimeofday () in
+    match Http.next_request reader with
+    | Http.Eof -> ()
+    | Http.Reject rj ->
+        let body = error_body rj.Http.rj_reason in
+        let resp = Http.response ~close:true ~status:rj.Http.rj_status body in
+        write_all fd resp;
+        Metrics.record t.met ~endpoint:"reject" ~status:rj.Http.rj_status
+          ~bytes_in:(Http.bytes_in reader - before)
+          ~bytes_out:(String.length resp)
+          ~seconds:(Unix.gettimeofday () -. t0)
+          ()
+    | Http.Request rq ->
+        let aw = safe_route t rq in
+        let keep = Http.keep_alive rq && not (Atomic.get t.stop_flag) in
+        let resp =
+          Http.response ~close:(not keep) ~status:aw.aw_status aw.aw_body
+        in
+        write_all fd resp;
+        Metrics.record t.met ~endpoint:aw.aw_endpoint ~status:aw.aw_status
+          ?hit:aw.aw_hit ~exhausted:aw.aw_exhausted
+          ~bytes_in:(Http.bytes_in reader - before)
+          ~bytes_out:(String.length resp)
+          ~seconds:(Unix.gettimeofday () -. t0)
+          ();
+        if keep then loop ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      ignore (Atomic.fetch_and_add (Metrics.inflight t.met) (-1)))
+    (fun () -> try loop () with Unix.Unix_error _ -> ())
+
+let too_busy = "{\"error\": \"too many connections\", \"diagnostics\": []}\n"
+
+let accept_loop t dispatch =
+  while not (Atomic.get t.stop_flag) do
+    match Unix.select [ t.listen_fd ] [] [] 0.2 with
+    | [], _, _ -> ()
+    | _ :: _, _, _ -> (
+        match Unix.accept t.listen_fd with
+        | exception Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN), _, _) -> ()
+        | fd, _ ->
+            let gauge = Metrics.inflight t.met in
+            if Atomic.get gauge >= t.cfg.max_inflight then begin
+              let resp = Http.response ~close:true ~status:429 too_busy in
+              (try write_all fd resp with Unix.Unix_error _ -> ());
+              (try Unix.close fd with Unix.Unix_error _ -> ());
+              Metrics.record t.met ~endpoint:"admission" ~status:429
+                ~bytes_in:0
+                ~bytes_out:(String.length resp)
+                ~seconds:0.0 ()
+            end
+            else begin
+              ignore (Atomic.fetch_and_add gauge 1);
+              dispatch (fun () -> handle_conn t fd)
+            end)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done
+
+let run t =
+  let finish () = try Unix.close t.listen_fd with Unix.Unix_error _ -> () in
+  Fun.protect ~finally:finish (fun () ->
+      if t.cfg.domains <= 1 then accept_loop t (fun f -> f ())
+      else
+        Smg_parallel.Pool.with_pool ~domains:t.cfg.domains (fun pool ->
+            accept_loop t (Smg_parallel.Pool.submit pool);
+            (* serve every accepted connection before returning *)
+            Smg_parallel.Pool.drain pool))

@@ -1,0 +1,65 @@
+(** The [mapdisc serve] daemon: discovery and exchange as a concurrent
+    HTTP service over the scenario {!Registry}.
+
+    One listening socket on the loopback interface; the accept loop
+    runs on the calling domain and dispatches each connection onto the
+    {!Smg_parallel.Pool} service queue (or handles it inline with one
+    domain). Admission control is connection-level: when
+    [max_inflight] connections are open, new ones are answered
+    [429 Too Many Requests] and closed. Each request gets a fresh
+    {!Smg_robust.Budget} from the configured deadline/fuel (overridable
+    per request via [budget_ms]/[fuel] query parameters).
+
+    Routes ([:name] is percent-decoded, so slashes can be encoded):
+    {v
+    GET    /healthz                      liveness
+    GET    /metrics                      counters + latency quantiles
+    GET    /scenarios                    registered names
+    PUT    /scenarios/:name             register a .smg body
+    GET    /scenarios/:name             entry + cache summary
+    DELETE /scenarios/:name             drop the entry
+    POST   /scenarios/:name/discover    the CLI discover --json body
+    POST   /scenarios/:name/exchange    the CLI exchange --json body
+    POST   /scenarios/:name/verify      containment/dedup summary
+    POST   /scenarios/:name/compose     round-trip composition report
+    v}
+
+    Status mapping follows the CLI exit codes: bad input (exit 2) is
+    400, no result / engine failure (exit 1) is 500, budget exhausted
+    with a partial prefix (exit 3) is 503 with the partial document and
+    a degradation diagnostic in [diagnostics]. Error bodies are
+    [{"error": .., "diagnostics": [..]}] with {!Render.json_diag}
+    objects. *)
+
+type config = {
+  port : int;  (** 0 picks an ephemeral port; see {!port} *)
+  domains : int;  (** handler domains; 1 serves inline *)
+  max_inflight : int;  (** connection admission bound *)
+  budget_ms : int option;  (** default per-request deadline *)
+  fuel : int option;  (** default per-request fuel *)
+  preload : bool;  (** preload the seven builtin domains *)
+}
+
+val default_config : config
+(** port 8080, domains 1, max_inflight 64, no budget, preload on. *)
+
+type t
+
+val create : config -> t
+(** Bind and listen on 127.0.0.1. @raise Unix.Unix_error when the port
+    is taken. *)
+
+val port : t -> int
+(** The bound port — the real one when the config said 0. *)
+
+val registry : t -> Registry.t
+val metrics : t -> Metrics.t
+
+val run : t -> unit
+(** Accept and serve until {!stop}; then drain in-flight connections,
+    close the socket, and return. Installs no signal handlers — the
+    caller owns SIGTERM/SIGINT wiring. *)
+
+val stop : t -> unit
+(** Ask {!run} to return; safe from a signal handler or another
+    domain. *)

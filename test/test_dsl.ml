@@ -168,7 +168,13 @@ let test_roundtrip_sample () =
   Alcotest.(check bool) "corrs equal" true (doc.Ast.doc_corrs = doc2.Ast.doc_corrs)
 
 let test_roundtrip_books_scenario () =
-  let doc = Parser.parse_file "../../../scenarios/books.smg" in
+  (* tests run from _build/default/test under dune runtest, from the
+     repo root under dune exec *)
+  let path =
+    if Sys.file_exists "scenarios/books.smg" then "scenarios/books.smg"
+    else "../../../scenarios/books.smg"
+  in
+  let doc = Parser.parse_file path in
   let doc2 = Parser.parse (Printer.to_string doc) in
   Alcotest.(check bool) "books round-trips" true (doc = doc2);
   Alcotest.(check int) "five source tables + one target" 2

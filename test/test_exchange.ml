@@ -245,7 +245,7 @@ let test_engine_stats () =
         (List.length rep.Engine.r_stats);
       let total_emitted =
         List.fold_left
-          (fun acc (_, st) -> acc + st.Smg_exchange.Obs.st_emitted)
+          (fun acc (_, st) -> acc + st.Smg_exchange.Obs.n_emitted)
           0 rep.Engine.r_stats
       in
       Alcotest.(check int) "emitted = target tuples" total_emitted
