@@ -247,6 +247,41 @@ let parallel_engine_run pool rows () =
   | Ok _ -> ()
   | Error msg -> failwith msg
 
+(* generated-scenario workloads (lib/generate): parameter vector →
+   scenario synthesis, seeded witness population at 10k tuples, and
+   per-case discovery over the frozen mid-size shape *)
+let generate_params =
+  lazy
+    (Smg_generate.Params.clamp
+       {
+         Smg_generate.Params.seed = 7;
+         isa_depth = 2;
+         n_roots = 3;
+         reify = 2;
+         partof = 1;
+         attrs_per_class = 2;
+         corr_density = 0.8;
+         scale = 10_000;
+       })
+
+let generate_scenario =
+  lazy (Smg_generate.Gen.build (Lazy.force generate_params))
+
+let generate_build_run () =
+  ignore (Smg_generate.Gen.build (Lazy.force generate_params))
+
+let generate_populate_run () =
+  ignore (Smg_generate.Gen.source_instance (Lazy.force generate_scenario))
+
+let generate_discover_run () =
+  let g = Lazy.force generate_scenario in
+  List.iter
+    (fun (_, corrs) ->
+      ignore
+        (Smg_core.Discover.discover ~source:g.Smg_generate.Gen.g_source
+           ~target:g.Smg_generate.Gen.g_target ~corrs ()))
+    g.Smg_generate.Gen.g_cases
+
 let ablation_run (v : Smg_eval.Ablation.variant) () =
   List.iter
     (fun (scen : Smg_eval.Scenario.t) ->
@@ -335,6 +370,14 @@ let tests () =
         Test.make ~name:"mondial-guarded" (Staged.stage robust_guarded_run);
       ]
   in
+  let generate =
+    Test.make_grouped ~name:"generate"
+      [
+        Test.make ~name:"build/mid" (Staged.stage generate_build_run);
+        Test.make ~name:"populate/10k" (Staged.stage generate_populate_run);
+        Test.make ~name:"discover/cases" (Staged.stage generate_discover_run);
+      ]
+  in
   let parallel =
     Test.make_grouped ~name:"parallel"
       [
@@ -358,6 +401,7 @@ let tests () =
       ablation;
       verify;
       robust;
+      generate;
       parallel;
     ]
 

@@ -184,10 +184,12 @@ let write_parallel_json ~path rows =
   output_string oc "\n]\n";
   close_out oc
 
-let parallel_scale json smoke seed domains rows =
+let parallel_scale json smoke seed domains rows gen_tuples =
   let module Scenario = Smg_eval.Scenario in
   let module Instance = Smg_relational.Instance in
   let module Pool = Smg_parallel.Pool in
+  let module Gen = Smg_generate.Gen in
+  let module Gparams = Smg_generate.Params in
   let domain_counts =
     match domains with
     | Some l -> l
@@ -195,6 +197,9 @@ let parallel_scale json smoke seed domains rows =
   in
   let rows_per_table =
     match rows with Some r -> r | None -> if smoke then 16 else 256
+  in
+  let gen_tuples =
+    match gen_tuples with Some n -> n | None -> if smoke then 2_000 else 100_000
   in
   let find name =
     List.find
@@ -235,22 +240,64 @@ let parallel_scale json smoke seed domains rows =
     | Ok rep -> Instance.total_tuples rep.Smg_exchange.Engine.r_target
     | Error msg -> failwith ("engine: " ^ msg)
   in
+  (* the large-fixture workload the hand-written domains cannot supply:
+     a generated scenario (lib/generate) whose witness instance scales
+     to whatever --gen-tuples asks for *)
+  let gen_p =
+    Gparams.clamp
+      {
+        Gparams.seed = 7;
+        isa_depth = 2;
+        n_roots = 3;
+        reify = 2;
+        partof = 1;
+        attrs_per_class = 2;
+        corr_density = 0.8;
+        scale = gen_tuples;
+      }
+  in
+  let g = Gen.build gen_p in
+  let g_source = g.Gen.g_source.Smg_core.Discover.schema in
+  let g_target = g.Gen.g_target.Smg_core.Discover.schema in
+  let g_tgds =
+    match
+      Smg_core.Discover.discover ~source:g.Gen.g_source ~target:g.Gen.g_target
+        ~corrs:g.Gen.g_corrs ()
+    with
+    | [] -> failwith "no mapping discovered on the generated fixture"
+    | best :: _ ->
+        if best.Smg_cq.Mapping.outer then
+          Smg_cq.Mapping.outer_variants ~target:g_target best
+        else [ Smg_cq.Mapping.to_tgd best ]
+  in
+  let g_inst = Gen.source_instance g in
+  let g_n = Instance.total_tuples g_inst in
+  let gen_once pool () =
+    match
+      Smg_exchange.Engine.run ?pool ~source:g_source ~target:g_target
+        ~mappings:g_tgds g_inst
+    with
+    | Ok rep -> Instance.total_tuples rep.Smg_exchange.Engine.r_target
+    | Error msg -> failwith ("generated engine: " ^ msg)
+  in
   Fmt.pr
-    "parallel-scale: discover/mondial (%d case(s)) and engine/dblp (%d \
-     source tuple(s), seed %d); domains %s@.@."
+    "parallel-scale: discover/mondial (%d case(s)), engine/dblp (%d source \
+     tuple(s), seed %d), engine/generated (%s: %d source tuple(s)); domains \
+     %s@.@."
     (List.length mondial.Scenario.cases)
-    src_n seed
+    src_n seed (Gparams.label gen_p) g_n
     (String.concat "," (List.map string_of_int domain_counts));
-  Fmt.pr "%8s | %13s %8s | %13s %8s@." "domains" "discover ns" "speedup"
-    "exchange ns" "speedup";
+  Fmt.pr "%8s | %13s %8s | %13s %8s | %13s %8s@." "domains" "discover ns"
+    "speedup" "exchange ns" "speedup" "generated ns" "speedup";
   let fingerprint ms =
     List.map
       (fun (m : Smg_cq.Mapping.t) ->
         (m.Smg_cq.Mapping.m_name, m.Smg_cq.Mapping.score))
       ms
   in
-  let base_d = ref None and base_e = ref None in
-  let ref_disc = ref None and ref_out = ref None in
+  let base_d = ref None and base_e = ref None and base_g = ref None in
+  let ref_disc = ref None and ref_out = ref None and ref_gen = ref None in
+  let gen_tag = Printf.sprintf "engine/generated_%dk" (g_n / 1000) in
   let bench_rows =
     List.concat_map
       (fun n ->
@@ -258,10 +305,11 @@ let parallel_scale json smoke seed domains rows =
           if n <= 1 then f None
           else Pool.with_pool ~domains:n (fun p -> f (Some p))
         in
-        let (disc, d_secs, _), (out, e_secs, _) =
+        let (disc, d_secs, _), (out, e_secs, _), (gout, g_secs, _) =
           with_pool (fun pool ->
               ( measure (fun () -> discover_once pool),
-                measure (exchange_once pool) ))
+                measure (exchange_once pool),
+                measure (gen_once pool) ))
         in
         (match !ref_disc with
         | None -> ref_disc := Some (fingerprint disc)
@@ -273,6 +321,13 @@ let parallel_scale json smoke seed domains rows =
         | Some o ->
             if o <> out then
               failwith "exchange cardinality varies with the domain count");
+        (match !ref_gen with
+        | None -> ref_gen := Some gout
+        | Some o ->
+            if o <> gout then
+              failwith
+                "generated-fixture exchange cardinality varies with the \
+                 domain count");
         let speedup base secs =
           match !base with
           | None ->
@@ -280,12 +335,15 @@ let parallel_scale json smoke seed domains rows =
               1.0
           | Some b -> b /. secs
         in
-        let d_sp = speedup base_d d_secs and e_sp = speedup base_e e_secs in
-        Fmt.pr "%8d | %13.0f %7.2fx | %13.0f %7.2fx@." n (1e9 *. d_secs) d_sp
-          (1e9 *. e_secs) e_sp;
+        let d_sp = speedup base_d d_secs
+        and e_sp = speedup base_e e_secs
+        and g_sp = speedup base_g g_secs in
+        Fmt.pr "%8d | %13.0f %7.2fx | %13.0f %7.2fx | %13.0f %7.2fx@." n
+          (1e9 *. d_secs) d_sp (1e9 *. e_secs) e_sp (1e9 *. g_secs) g_sp;
         [
           ("discover/mondial", n, 1e9 *. d_secs, d_sp);
           ("engine/dblp", n, 1e9 *. e_secs, e_sp);
+          (gen_tag, n, 1e9 *. g_secs, g_sp);
         ])
       domain_counts
   in
@@ -293,6 +351,198 @@ let parallel_scale json smoke seed domains rows =
     let path = "BENCH_parallel.json" in
     write_parallel_json ~path bench_rows;
     Fmt.pr "@.wrote %s (%d rows)@." path (List.length bench_rows)
+  end
+
+(* generate: the stress matrix over lib/generate's parameter grid —
+   ISA depth × correspondence density × witness scale, fixed companion
+   shape (3 roots, 2 reified relationships, a partOf chain). Each cell
+   synthesizes a scenario, runs semantic discovery (raw and deduped
+   against the RIC baseline) on the focus case, and pushes the witness
+   instance through the exchange engine; quality is the best
+   candidate's correspondence coverage. Optionally records
+   BENCH_generate.json. *)
+
+let generate_matrix json smoke seed =
+  let module Gen = Smg_generate.Gen in
+  let module Gparams = Smg_generate.Params in
+  let module Instance = Smg_relational.Instance in
+  let module Mapping = Smg_cq.Mapping in
+  let module Discover = Smg_core.Discover in
+  let isa_depths = if smoke then [ 0; 2 ] else [ 0; 1; 2 ] in
+  let densities = if smoke then [ 1.0 ] else [ 0.5; 0.8; 1.0 ] in
+  let scales = if smoke then [ 100 ] else [ 1_000; 10_000; 100_000 ] in
+  Fmt.pr
+    "generate: isa depth %s × corr density %s × scale %s, seed %d (roots 3, \
+     reify 2, partof 1, attrs 2)@.@."
+    (String.concat "," (List.map string_of_int isa_depths))
+    (String.concat "," (List.map (Printf.sprintf "%.1f") densities))
+    (String.concat "," (List.map string_of_int scales))
+    seed;
+  Fmt.pr "%-22s | %5s %4s %4s | %4s %4s %5s | %8s %8s | %6s | %9s %9s@."
+    "cell" "cases" "sem" "ric" "in" "out" "cover" "disc ns" "dedup ns" "src"
+    "exch ns" "tgt";
+  let cells =
+    List.concat_map
+      (fun isa ->
+        List.concat_map
+          (fun density ->
+            List.map (fun scale -> (isa, density, scale)) scales)
+          densities)
+      isa_depths
+  in
+  let rows =
+    List.concat_map
+      (fun (isa, density, scale) ->
+        let p =
+          Gparams.clamp
+            {
+              Gparams.seed;
+              isa_depth = isa;
+              n_roots = 3;
+              reify = 2;
+              partof = 1;
+              attrs_per_class = 2;
+              corr_density = density;
+              scale;
+            }
+        in
+        let g = Gen.build p in
+        let source = g.Gen.g_source and target = g.Gen.g_target in
+        (* one discovery run per target-table case, like the built-in
+           domains' case lists; the cell aggregates over them *)
+        let per_case, d_secs, _ =
+          measure (fun () ->
+              List.map
+                (fun (tbl, corrs) ->
+                  (tbl, corrs, Discover.discover ~source ~target ~corrs ()))
+                g.Gen.g_cases)
+        in
+        let n_corrs =
+          List.fold_left (fun a (_, cs, _) -> a + List.length cs) 0 per_case
+        in
+        let sem = List.concat_map (fun (_, _, ms) -> ms) per_case in
+        let ric =
+          List.concat_map
+            (fun (_, corrs, _) ->
+              Smg_ric.Baseline.generate
+                ~source:source.Smg_core.Discover.schema
+                ~target:target.Smg_core.Discover.schema ~corrs)
+            per_case
+        in
+        let labelled =
+          List.mapi
+            (fun i (m : Mapping.t) ->
+              Mapping.rename (Printf.sprintf "%s#%d" m.Mapping.m_name (i + 1)) m)
+            (sem @ ric)
+        in
+        let report, dd_secs, _ =
+          measure (fun () ->
+              Smg_verify.Mapverify.dedup
+                ~source:source.Smg_core.Discover.schema
+                ~target:target.Smg_core.Discover.schema labelled)
+        in
+        (* quality: per solved case, the best candidate's correspondence
+           coverage, averaged over the cases that produced a candidate *)
+        let coverage =
+          let covs =
+            List.filter_map
+              (fun (_, corrs, ms) ->
+                match ms with
+                | [] -> None
+                | (best : Mapping.t) :: _ ->
+                    Some
+                      (float_of_int (List.length best.Mapping.covered)
+                      /. float_of_int (max 1 (List.length corrs))))
+              per_case
+          in
+          match covs with
+          | [] -> 0.0
+          | _ ->
+              List.fold_left ( +. ) 0.0 covs /. float_of_int (List.length covs)
+        in
+        let solved =
+          List.length (List.filter (fun (_, _, ms) -> ms <> []) per_case)
+        in
+        let inst = Gen.source_instance g in
+        let src_n = Instance.total_tuples inst in
+        (* every solved case's best mapping, executed together — the
+           construction mapdisc serve uses for builtin scenarios *)
+        let tgds =
+          List.concat_map
+            (fun (tbl, _, ms) ->
+              match ms with
+              | [] -> []
+              | best :: _ ->
+                  let best = Mapping.rename tbl best in
+                  if best.Mapping.outer then
+                    Mapping.outer_variants
+                      ~target:target.Smg_core.Discover.schema best
+                  else [ Mapping.to_tgd best ])
+            per_case
+        in
+        let exch =
+          if tgds = [] then None
+          else
+            match
+              measure (fun () ->
+                  match
+                    Smg_exchange.Engine.run
+                      ~source:source.Smg_core.Discover.schema
+                      ~target:target.Smg_core.Discover.schema ~mappings:tgds
+                      inst
+                  with
+                  | Ok rep ->
+                      Some
+                        (Instance.total_tuples rep.Smg_exchange.Engine.r_target)
+                  | Error _ -> None)
+            with
+            | Some out, secs, _ -> Some (out, secs)
+            | None, _, _ -> None
+        in
+        let label = Printf.sprintf "i%d_c%02d_n%d" isa
+            (int_of_float (density *. 100.)) scale in
+        Fmt.pr
+          "%-22s | %2d/%-2d %4d %4d | %4d %4d %4.0f%% | %8.0f %8.0f | %6d | \
+           %9s %9s@."
+          label solved (List.length per_case) (List.length sem)
+          (List.length ric) report.Smg_verify.Mapverify.rp_in
+          (List.length report.Smg_verify.Mapverify.rp_kept)
+          (100. *. coverage) (1e9 *. d_secs) (1e9 *. dd_secs) src_n
+          (match exch with
+           | Some (_, s) -> Printf.sprintf "%.0f" (1e9 *. s)
+           | None -> "-")
+          (match exch with Some (o, _) -> string_of_int o | None -> "-");
+        [
+          Printf.sprintf
+            "  {\"name\": \"generate/%s\", \"seed\": %d, \"isa_depth\": %d, \
+             \"corr_density\": %.2f, \"scale\": %d,\n   \"source_tuples\": \
+             %d, \"cases\": %d, \"solved_cases\": %d, \"corrs\": %d, \
+             \"semantic_candidates\": %d, \"ric_candidates\": %d,\n   \
+             \"dedup_in\": %d, \"dedup_kept\": %d, \"coverage\": %.3f,\n   \
+             \"discover_ns\": %.0f, \"dedup_ns\": %.0f, \"exchange_ns\": %s, \
+             \"target_tuples\": %s}"
+            label seed isa density scale src_n (List.length per_case) solved
+            n_corrs (List.length sem) (List.length ric)
+            report.Smg_verify.Mapverify.rp_in
+            (List.length report.Smg_verify.Mapverify.rp_kept)
+            coverage (1e9 *. d_secs) (1e9 *. dd_secs)
+            (match exch with
+             | Some (_, s) -> Printf.sprintf "%.0f" (1e9 *. s)
+             | None -> "null")
+            (match exch with
+             | Some (o, _) -> string_of_int o
+             | None -> "null");
+        ])
+      cells
+  in
+  if json then begin
+    let path = "BENCH_generate.json" in
+    let oc = open_out path in
+    output_string oc "[\n";
+    output_string oc (String.concat ",\n" rows);
+    output_string oc "\n]\n";
+    close_out oc;
+    Fmt.pr "@.wrote %s (%d cells)@." path (List.length rows)
   end
 
 (* compose: two-hop round-trip chains (each domain's discovered mapping
@@ -663,12 +913,22 @@ let parallel_scale_cmd =
       & info [ "rows" ] ~docv:"R"
           ~doc:"Rows per source table for the exchange workload (default 256)")
   in
+  let gen_tuples =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "gen-tuples" ] ~docv:"N"
+          ~doc:
+            "Source-instance size for the generated-fixture exchange \
+             workload (default 100000; smoke 2000)")
+  in
   Cmd.v
     (Cmd.info "parallel-scale"
        ~doc:
          "Pooled discovery and exchange at increasing domain counts, with \
           output-invariance checks")
-    Term.(const parallel_scale $ json $ smoke $ seed $ domains $ rows)
+    Term.(
+      const parallel_scale $ json $ smoke $ seed $ domains $ rows $ gen_tuples)
 
 let compose_cmd =
   let json =
@@ -692,6 +952,26 @@ let compose_cmd =
          "Composed one-shot exchange vs the sequential two-hop pipeline on \
           round-trip chains over every domain")
     Term.(const compose_report $ json $ smoke $ seed $ size)
+
+let generate_cmd =
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Write BENCH_generate.json")
+  in
+  let smoke =
+    Arg.(
+      value & flag
+      & info [ "smoke" ] ~doc:"Two cells at tiny scale (CI smoke test)")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"S" ~doc:"Generator seed")
+  in
+  Cmd.v
+    (Cmd.info "generate"
+       ~doc:
+         "Stress matrix over generated scenarios: ISA depth × correspondence \
+          density × witness scale, semantic discovery vs the RIC baseline \
+          with dedup, exchange at each cell's scale")
+    Term.(const generate_matrix $ json $ smoke $ seed)
 
 let serve_load_cmd =
   let json =
@@ -746,5 +1026,6 @@ let () =
             serve_load_cmd;
             parallel_scale_cmd;
             compose_cmd;
+            generate_cmd;
             cmd_of "all" "Everything" all;
           ]))

@@ -295,18 +295,37 @@ let tgds_of_best ~target (best : Mapping.t) =
   if best.Mapping.outer then Mapping.outer_variants ~target best
   else [ Mapping.to_tgd best ]
 
-let exchange_file_inputs ~quiet file =
+let exchange_file_inputs ~quiet file size seed =
   let doc, source, target = load file in
   let corrs = doc.Ast.doc_corrs in
   if corrs = [] then begin
     Fmt.epr "error: the scenario declares no correspondences@.";
     exit 2
   end;
-  let src_inst = Ast.instance_of doc source.Discover.schema in
-  if Smg_relational.Instance.total_tuples src_inst = 0 then begin
-    Fmt.epr "error: the scenario has no data blocks for source tables@.";
-    exit 2
-  end;
+  (* a file without data blocks runs over a seeded witness instance —
+     the same fallback (and head fields) the HTTP service uses, so the
+     --json bytes still match a served exchange response *)
+  let from_data = Ast.instance_of doc source.Discover.schema in
+  let src_inst, head =
+    if Smg_relational.Instance.total_tuples from_data > 0 then
+      (from_data, [ ("file", Render.json_str file) ])
+    else begin
+      let schema = source.Discover.schema in
+      let n_tables = max 1 (List.length schema.Schema.tables) in
+      let rows = max 1 (size / n_tables) in
+      if not quiet then
+        Fmt.pr
+          "no data blocks; generating a witness source (%d rows/table, seed \
+           %d)@."
+          rows seed;
+      ( Smg_eval.Witness.populate ~rows_per_table:rows ~seed schema,
+        [
+          ("file", Render.json_str file);
+          ("size", string_of_int size);
+          ("seed", string_of_int seed);
+        ] )
+    end
+  in
   (match Smg_relational.Instance.check_rics source.Discover.schema src_inst with
   | [] -> ()
   | violations ->
@@ -323,7 +342,7 @@ let exchange_file_inputs ~quiet file =
         target.Discover.schema,
         tgds_of_best ~target:target.Discover.schema best,
         src_inst,
-        [ ("file", Render.json_str file) ],
+        head,
         file )
 
 let exchange_scenario_inputs ~quiet name size seed =
@@ -391,16 +410,19 @@ let pp_cardinalities ppf inst =
 
 let run_exchange file scenario size seed engine no_laconic core print_data
     budget_ms fuel json domains =
-  (* a FILE's data blocks are small: print them in full by default *)
-  let print_data = print_data || scenario = None in
   with_domains domains @@ fun pool ->
   let source, target, mappings, src_inst, head, subject =
     match (scenario, file) with
     | Some name, _ -> exchange_scenario_inputs ~quiet:json name size seed
-    | None, Some file -> exchange_file_inputs ~quiet:json file
+    | None, Some file -> exchange_file_inputs ~quiet:json file size seed
     | None, None ->
         Fmt.epr "error: provide a scenario FILE or --scenario NAME@.";
         exit 2
+  in
+  (* a FILE's data blocks are small: print them in full by default; a
+     generated witness source (head carries "size") is not *)
+  let print_data =
+    print_data || (scenario = None && not (List.mem_assoc "size" head))
   in
   if json then begin
     (* the bytes of this document match a served
@@ -618,6 +640,127 @@ let run_dot file which =
        ~name:side.Discover.schema.Smg_relational.Schema.schema_name
        side.Discover.cmg)
 
+(* generate: synthesize a complete discovery scenario from a seeded
+   parameter vector (lib/generate). --emit-dsl prints the scenario as
+   .smg text (round-trips through the parser); --check N instead runs N
+   consecutive seeds through discovery + dedup + exchange under a fuel
+   budget and reports a smoke summary — the CI generate job. *)
+
+module Gen = Smg_generate.Gen
+module Gparams = Smg_generate.Params
+
+let run_generate seed isa_depth roots reify partof attrs density scale emit_dsl
+    with_data out check fuel =
+  let params seed =
+    Gparams.clamp
+      {
+        Gparams.seed;
+        isa_depth;
+        n_roots = roots;
+        reify;
+        partof;
+        attrs_per_class = attrs;
+        corr_density = density;
+        scale;
+      }
+  in
+  if check > 0 then begin
+    let crashes = ref 0
+    and violations = ref 0
+    and no_map = ref 0
+    and egd = ref 0
+    and ok = ref 0 in
+    for s = seed to seed + check - 1 do
+      let p = params s in
+      match
+        let g = Gen.build p in
+        let source = g.Gen.g_source and target = g.Gen.g_target in
+        let inst = Gen.source_instance ~scale:(min p.Gparams.scale 500) g in
+        let n_viol =
+          List.length
+            (Smg_relational.Instance.check_rics source.Discover.schema inst)
+        in
+        if n_viol > 0 then violations := !violations + n_viol;
+        let budget = Budget.create ~fuel:(Option.value ~default:500_000 fuel) () in
+        let o =
+          Discover.discover_bounded ~budget ~source ~target
+            ~corrs:g.Gen.g_corrs ()
+        in
+        let sem = Render.label_by_rank o.Discover.o_mappings in
+        let ric =
+          Render.label_by_rank
+            (Smg_ric.Baseline.generate ~source:source.Discover.schema
+               ~target:target.Discover.schema ~corrs:g.Gen.g_corrs)
+        in
+        let _report =
+          Mapverify.dedup ~source:source.Discover.schema
+            ~target:target.Discover.schema (sem @ ric)
+        in
+        match o.Discover.o_mappings with
+        | [] -> `No_map
+        | best :: _ -> (
+            let tgds = tgds_of_best ~target:target.Discover.schema best in
+            match
+              Smg_exchange.Engine.run ~source:source.Discover.schema
+                ~target:target.Discover.schema ~mappings:tgds inst
+            with
+            | Ok _ -> `Ok
+            | Error _ -> `Egd)
+      with
+      | `Ok -> incr ok
+      | `No_map -> incr no_map
+      | `Egd -> incr egd
+      | exception e ->
+          incr crashes;
+          Fmt.epr "seed %d: CRASH %s@." s (Printexc.to_string e)
+    done;
+    Fmt.pr
+      "generate --check %d: %d exchanged, %d without candidates, %d target-egd \
+       conflicts, %d RIC violation(s), %d crash(es)@."
+      check !ok !no_map !egd !violations !crashes;
+    if !crashes > 0 || !violations > 0 then exit 1
+  end
+  else begin
+    let p = params seed in
+    let g = Gen.build p in
+    if emit_dsl then begin
+      let text = Gen.dsl ~with_data g in
+      match out with
+      | None -> print_string text
+      | Some path ->
+          let oc = open_out path in
+          output_string oc text;
+          close_out oc;
+          Fmt.pr "wrote %s (%d bytes)@." path (String.length text)
+    end
+    else begin
+      let side_stats label (side : Discover.side) =
+        let n_cols =
+          List.fold_left
+            (fun acc (t : Schema.table) ->
+              acc + List.length (Schema.column_names t))
+            0 side.Discover.schema.Schema.tables
+        in
+        Fmt.pr "%-7s %d table(s), %d column(s), %d RIC(s)@." label
+          (List.length side.Discover.schema.Schema.tables)
+          n_cols
+          (List.length side.Discover.schema.Schema.rics)
+      in
+      Fmt.pr "%a@." Gparams.pp p;
+      side_stats "source:" g.Gen.g_source;
+      side_stats "target:" g.Gen.g_target;
+      Fmt.pr "cases:  %d target table(s) with correspondences; focus case %d \
+              corr(s)@."
+        (List.length g.Gen.g_cases)
+        (List.length g.Gen.g_corrs);
+      let inst = Gen.source_instance g in
+      Fmt.pr "data:   %d source tuple(s) at scale %d (0 RIC violation(s) by \
+              construction)@."
+        (Smg_relational.Instance.total_tuples inst)
+        p.Gparams.scale
+    end
+  end
+
 let file_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
 
@@ -656,7 +799,7 @@ let threshold_arg =
    calling domain; SIGTERM/SIGINT flip the stop flag, the loop drains
    in-flight connections, and the per-endpoint counters are logged on
    the way out. *)
-let run_serve port domains max_inflight budget_ms fuel no_preload =
+let run_serve port domains max_inflight budget_ms fuel seed no_preload =
   let domains =
     match domains with
     | Some n -> max 1 n
@@ -669,6 +812,7 @@ let run_serve port domains max_inflight budget_ms fuel no_preload =
       max_inflight;
       budget_ms = Option.map int_of_float budget_ms;
       fuel;
+      seed;
       preload = not no_preload;
     }
   in
@@ -714,7 +858,84 @@ let seed_arg =
   Arg.(
     value & opt int 42
     & info [ "seed" ] ~docv:"S"
-        ~doc:"Seed for the generated source instance (--scenario mode)")
+        ~doc:
+          "Seed for generated witness instances (--scenario mode, or a FILE \
+           without data blocks); echoed in the --json head so runs are \
+           reproducible from their artifact")
+
+(* generate parameter vector — defaults mirror Smg_generate.Params.default *)
+let gen_seed_arg =
+  Arg.(
+    value & opt int 42
+    & info [ "seed" ] ~docv:"S"
+        ~doc:"Master seed; every artifact is a pure function of the vector")
+
+let isa_depth_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "isa-depth" ] ~docv:"D" ~doc:"ISA chain length under each root (0-4)")
+
+let roots_arg =
+  Arg.(
+    value & opt int 3
+    & info [ "roots" ] ~docv:"N" ~doc:"Root entity count (1-8)")
+
+let reify_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "reify" ] ~docv:"N" ~doc:"Reified n-ary relationship count (0-4)")
+
+let partof_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "partof" ] ~docv:"L" ~doc:"partOf chain length off the first root (0-4)")
+
+let attrs_arg =
+  Arg.(
+    value & opt int 2
+    & info [ "attrs" ] ~docv:"K" ~doc:"Plain attributes per class (1-6)")
+
+let density_arg =
+  Arg.(
+    value & opt float 1.0
+    & info [ "corr-density" ] ~docv:"F"
+        ~doc:"Fraction of each case's correspondences kept (0.05-1.0)")
+
+let scale_arg =
+  Arg.(
+    value & opt int 200
+    & info [ "scale" ] ~docv:"N"
+        ~doc:"Witness-instance size in tuples, spread over the source tables \
+              (10-2000000)")
+
+let emit_dsl_arg =
+  Arg.(
+    value & flag
+    & info [ "emit-dsl" ]
+        ~doc:"Print the scenario as .smg DSL text (round-trips through the \
+              parser) instead of a summary")
+
+let with_data_arg =
+  Arg.(
+    value & flag
+    & info [ "with-data" ]
+        ~doc:"Embed the witness source instance as data blocks in the emitted \
+              DSL (only sensible at small --scale)")
+
+let out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "o"; "out" ] ~docv:"PATH" ~doc:"Write the emitted DSL to PATH")
+
+let check_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "check" ] ~docv:"N"
+        ~doc:
+          "Smoke mode: run N consecutive seeds (starting at --seed) through \
+           lowering, population, discovery + dedup, and exchange under a fuel \
+           budget; exit 1 on any crash or RIC violation")
 
 let engine_arg =
   let engine_conv = Arg.enum [ ("fast", `Fast); ("chase", `Chase) ] in
@@ -902,7 +1123,20 @@ let () =
             /metrics for counters)")
       Term.(
         const run_serve $ port_arg $ domains_arg $ max_inflight_arg
-        $ budget_ms_arg $ fuel_arg $ no_preload_arg)
+        $ budget_ms_arg $ fuel_arg $ seed_arg $ no_preload_arg)
+  in
+  let generate_cmd =
+    Cmd.v
+      (Cmd.info "generate"
+         ~doc:
+           "Synthesize a discovery scenario from a seeded parameter vector \
+            (ISA depth, reified relationships, partOf chains, correspondence \
+            density, witness scale); --emit-dsl prints valid .smg text, \
+            --check N smoke-tests N seeds end-to-end")
+      Term.(
+        const run_generate $ gen_seed_arg $ isa_depth_arg $ roots_arg
+        $ reify_arg $ partof_arg $ attrs_arg $ density_arg $ scale_arg
+        $ emit_dsl_arg $ with_data_arg $ out_arg $ check_arg $ fuel_arg)
   in
   let exchange_cmd =
     Cmd.v
@@ -940,6 +1174,7 @@ let () =
             show_cmd;
             exchange_cmd;
             compose_cmd;
+            generate_cmd;
             serve_cmd;
             ddl_cmd;
             dot_cmd;

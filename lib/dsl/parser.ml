@@ -45,20 +45,26 @@ let try_keyword st kw =
       true
   | _ -> false
 
-(* "(" idents ")" *)
+(* "(" idents ")" — possibly empty, which the printer emits for e.g. a
+   class with attributes but no identifier *)
 let ident_list st =
   expect st Lexer.LPAREN;
-  let rec go acc =
-    let x = ident st in
-    match (peek st).Lexer.tok with
-    | Lexer.COMMA ->
-        ignore (next st);
-        go (x :: acc)
-    | _ ->
-        expect st Lexer.RPAREN;
-        List.rev (x :: acc)
-  in
-  go []
+  if (peek st).Lexer.tok = Lexer.RPAREN then begin
+    ignore (next st);
+    []
+  end
+  else
+    let rec go acc =
+      let x = ident st in
+      match (peek st).Lexer.tok with
+      | Lexer.COMMA ->
+          ignore (next st);
+          go (x :: acc)
+      | _ ->
+          expect st Lexer.RPAREN;
+          List.rev (x :: acc)
+    in
+    go []
 
 let col_type st =
   let l = next st in
@@ -346,6 +352,16 @@ let parse_value st =
   | Lexer.IDENT "null" -> Smg_relational.Value.fresh_null ()
   | Lexer.IDENT "true" -> Smg_relational.Value.VBool true
   | Lexer.IDENT "false" -> Smg_relational.Value.VBool false
+  | Lexer.IDENT "float" -> (
+      let l2 = next st in
+      match l2.Lexer.tok with
+      | Lexer.STRING s -> (
+          match float_of_string_opt s with
+          | Some f -> Smg_relational.Value.VFloat f
+          | None -> fail l2 "bad float literal %S" s)
+      | t ->
+          fail l2 "expected a float string, found %s"
+            (Fmt.str "%a" Lexer.pp_token t))
   | t -> fail l "expected a value literal, found %s" (Fmt.str "%a" Lexer.pp_token t)
 
 let parse_data st =

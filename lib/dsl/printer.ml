@@ -129,7 +129,10 @@ let pp_value ppf (v : Smg_relational.Value.t) =
   | Smg_relational.Value.VString s -> pp_string_lit ppf s
   | Smg_relational.Value.VInt k -> Fmt.int ppf k
   | Smg_relational.Value.VBool b -> Fmt.bool ppf b
-  | Smg_relational.Value.VFloat f -> Fmt.float ppf f
+  | Smg_relational.Value.VFloat f ->
+      (* hex float in the [float "…"] spelling: the lexer has no float
+         token, and %h round-trips exactly *)
+      Fmt.pf ppf "float \"%h\"" f
   | Smg_relational.Value.VNull _ -> Fmt.string ppf "null"
 
 let pp_data ppf (table, rows) =

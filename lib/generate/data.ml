@@ -1,0 +1,161 @@
+module Schema = Smg_relational.Schema
+module Instance = Smg_relational.Instance
+module Value = Smg_relational.Value
+
+let topo_tables (schema : Schema.t) =
+  let deps t =
+    List.filter_map
+      (fun (r : Schema.ric) ->
+        if String.equal r.Schema.to_table t then None else Some r.Schema.to_table)
+      (Schema.rics_from schema t)
+  in
+  let rec go placed remaining =
+    match
+      List.partition
+        (fun t -> List.for_all (fun d -> List.mem d placed) (deps t))
+        remaining
+    with
+    | [], rest -> placed @ rest (* RIC cycle: give up on the remainder *)
+    | ready, rest -> go (placed @ ready) rest
+  in
+  go [] (List.map (fun (t : Schema.table) -> t.Schema.tbl_name) schema.Schema.tables)
+
+(* A foreign-key group during row construction: the positions the
+   from-columns occupy in the row, and the parent key tuples (projected
+   onto to_cols, so component order matches from_cols). *)
+type group = { positions : int array; parents : Value.t array array }
+
+let populate ~scale ~seed (schema : Schema.t) =
+  let n_tables = max 1 (List.length schema.Schema.tables) in
+  let per_table = max 1 (scale / n_tables) in
+  let master = Rng.make (seed lxor 0x9e3779b9) in
+  List.fold_left
+    (fun inst tname ->
+      let rng = Rng.split master in
+      let tbl = Schema.find_table_exn schema tname in
+      let header = Schema.column_names tbl in
+      let ncols = List.length header in
+      let pos_of =
+        let h = Hashtbl.create ncols in
+        List.iteri (fun i c -> Hashtbl.replace h c i) header;
+        fun c -> Hashtbl.find h c
+      in
+      let rics = Schema.rics_from schema tname in
+      let groups =
+        List.filter_map
+          (fun (r : Schema.ric) ->
+            match Instance.relation inst r.Schema.to_table with
+            | None -> None
+            | Some prel ->
+                let parents =
+                  Array.of_list
+                    (List.map
+                       (fun tup ->
+                         Instance.project_tuple prel tup r.Schema.to_cols)
+                       prel.Instance.tuples)
+                in
+                if Array.length parents = 0 then None
+                else
+                  Some
+                    ( r.Schema.from_cols,
+                      {
+                        positions =
+                          Array.of_list (List.map pos_of r.Schema.from_cols);
+                        parents;
+                      } ))
+          rics
+      in
+      if List.length groups < List.length rics then
+        (* some referenced table is empty: any row would dangle *)
+        Instance.set inst tname { Instance.header; tuples = [] }
+      else begin
+        let key = tbl.Schema.key in
+        let in_key c = List.mem c key in
+        let covered_key_cols =
+          List.concat_map
+            (fun (cols, _) -> List.filter in_key cols)
+            groups
+        in
+        let free_key_cols =
+          List.filter (fun c -> not (List.mem c covered_key_cols)) key
+        in
+        (* with a free key column the counter alone makes keys unique,
+           so every FK group may sample; otherwise the key-overlapping
+           groups must enumerate distinct parent combinations *)
+        let key_groups, fk_groups =
+          if key = [] || free_key_cols <> [] then ([], List.map snd groups)
+          else
+            let kg, fg =
+              List.partition (fun (cols, _) -> List.exists in_key cols) groups
+            in
+            (List.map snd kg, List.map snd fg)
+        in
+        let cap =
+          List.fold_left
+            (fun acc (g : group) ->
+              if acc >= per_table then acc
+              else acc * Array.length g.parents)
+            1 key_groups
+        in
+        let n =
+          if key_groups = [] then per_table else min per_table cap
+        in
+        let offsets =
+          List.map (fun (g : group) -> Rng.int rng (Array.length g.parents))
+            key_groups
+        in
+        let free_positions = List.map pos_of free_key_cols in
+        let key_positions = List.map pos_of key in
+        let colname = Array.of_list header in
+        let tuples = ref [] in
+        for i = n - 1 downto 0 do
+          let row = Array.make ncols Value.(VString "") in
+          let assigned = Array.make ncols false in
+          let put g pi =
+            let ptup = g.parents.(pi) in
+            Array.iteri
+              (fun k pos ->
+                if not assigned.(pos) then begin
+                  row.(pos) <- ptup.(k);
+                  assigned.(pos) <- true
+                end)
+              g.positions
+          in
+          (* mixed-radix digits over the key groups: injective for
+             i < cap, hence distinct keys *)
+          ignore
+            (List.fold_left2
+               (fun quot (g : group) off ->
+                 let m = Array.length g.parents in
+                 put g (((quot mod m) + off) mod m);
+                 quot / m)
+               i key_groups offsets);
+          List.iter
+            (fun pos ->
+              row.(pos) <- Value.VString (Printf.sprintf "k_%s_%d" tname i);
+              assigned.(pos) <- true)
+            free_positions;
+          List.iter
+            (fun (g : group) -> put g (Rng.int rng (Array.length g.parents)))
+            fk_groups;
+          (* plain attributes are a function of the key cells, so rows
+             agreeing on (any superset of) the key agree everywhere and
+             key-derived functional dependencies survive mapping joins
+             into keyed target tables; keyless tables just sample *)
+          Array.iteri
+            (fun pos filled ->
+              if not filled then
+                let pick =
+                  match key_positions with
+                  | [] -> Rng.int rng 7
+                  | kps ->
+                      let cells = List.map (fun kp -> row.(kp)) kps in
+                      Hashtbl.hash (colname.(pos), cells) mod 7
+                in
+                row.(pos) <- Value.VString (Printf.sprintf "c%d" pick))
+            assigned;
+          tuples := row :: !tuples
+        done;
+        Instance.set inst tname { Instance.header; tuples = !tuples }
+      end)
+    Instance.empty (topo_tables schema)

@@ -1,0 +1,203 @@
+module Cml = Smg_cm.Cml
+module Design = Smg_er2rel.Design
+module Schema = Smg_relational.Schema
+module Instance = Smg_relational.Instance
+module Stree = Smg_semantics.Stree
+module Mapping = Smg_cq.Mapping
+module Discover = Smg_core.Discover
+module Ast = Smg_dsl.Ast
+
+type t = {
+  g_params : Params.t;
+  g_cm_source : Cml.t;
+  g_cm_target : Cml.t;
+  g_source : Discover.side;
+  g_target : Discover.side;
+  g_cases : (string * Mapping.corr list) list;
+  g_corrs : Mapping.corr list;
+}
+
+(* Attribute names are globally unique across the universe, so provenance
+   matching reduces to attribute lookup. Among several source columns
+   carrying the same attribute (an entity column plus merged FK copies),
+   prefer the one whose node is its table's own anchor, then the
+   lexicographically first (table, column) — a total, deterministic
+   order. *)
+let source_column_index (strees : Stree.t list) =
+  let by_attr = Hashtbl.create 64 in
+  let by_name = Hashtbl.create 64 in
+  List.iter
+    (fun (st : Stree.t) ->
+      let anchor_class =
+        match st.Stree.st_anchor with
+        | Some a -> a.Stree.nr_class
+        | None -> ""
+      in
+      List.iter
+        (fun (col, (node : Stree.node_ref), attr) ->
+          let pref = if String.equal node.Stree.nr_class anchor_class then 0 else 1 in
+          let cand = (pref, st.Stree.st_table, col) in
+          let upd tbl key =
+            match Hashtbl.find_opt tbl key with
+            | Some best when compare best cand <= 0 -> ()
+            | _ -> Hashtbl.replace tbl key cand
+          in
+          upd by_attr attr;
+          upd by_name (col, attr))
+        st.Stree.col_map)
+    strees;
+  (by_attr, by_name)
+
+(* One correspondence case per target table — discovery's unit of work
+   is a single mapping requirement, whose marked nodes must fit one
+   target CSG (§3: a case's correspondences land in one s-tree /
+   functional tree, not across the whole schema). Density thins each
+   case independently, keeping at least one column. *)
+let derive_cases rng density ~source_strees ~target_strees =
+  let by_attr, by_name = source_column_index source_strees in
+  List.filter_map
+    (fun (st : Stree.t) ->
+      let all =
+        List.filter_map
+          (fun (col, _, attr) ->
+            (* prefer the identically-named source column: when a table
+               reifies two roles over the same class, both role columns
+               carry the class-key attribute, and resolving both to one
+               source column would assert the two fillers equal — a
+               constraint the witness data (rightly) refutes *)
+            let resolved =
+              match Hashtbl.find_opt by_name (col, attr) with
+              | Some _ as hit -> hit
+              | None -> Hashtbl.find_opt by_attr attr
+            in
+            match resolved with
+            | None -> None
+            | Some (_, s_table, s_col) ->
+                Some
+                  (Mapping.corr ~src:(s_table, s_col)
+                     ~tgt:(st.Stree.st_table, col)))
+          st.Stree.col_map
+      in
+      let kept =
+        if density >= 1.0 then all
+        else begin
+          let n = List.length all in
+          let keep = max 1 (int_of_float (ceil (density *. float_of_int n))) in
+          let shuffled = Rng.shuffle rng all in
+          List.filteri (fun i _ -> i < keep) shuffled
+        end
+      in
+      match kept with [] -> None | _ -> Some (st.Stree.st_table, List.sort compare kept))
+    target_strees
+
+(* The scenario's headline correspondence set: the case of one "focus"
+   table, preferring targets whose s-tree spans several nodes (those
+   exercise the join-discovery machinery rather than pure renames). *)
+let pick_focus rng (target_strees : Stree.t list) cases =
+  let weight tbl =
+    match
+      List.find_opt
+        (fun (st : Stree.t) -> String.equal st.Stree.st_table tbl)
+        target_strees
+    with
+    | Some st -> List.length st.Stree.st_nodes
+    | None -> 0
+  in
+  let ranked =
+    List.sort
+      (fun (a, _) (b, _) -> compare (weight b, a) (weight a, b))
+      cases
+  in
+  let top = List.filteri (fun i _ -> i < 3) ranked in
+  Rng.pick rng top
+
+let build params =
+  let p = Params.clamp params in
+  let rng = Rng.make p.Params.seed in
+  let universe = Gencm.build p rng in
+  let cm_source = { universe with Cml.cm_name = "Source" } in
+  let cm_target = { universe with Cml.cm_name = "Target" } in
+  let src_cfg =
+    {
+      Design.isa = Design.Table_per_class;
+      merge_functional = true;
+      table_name = (fun c -> "s_" ^ String.lowercase_ascii c);
+    }
+  in
+  (* the target flips at least one design axis so the sides always
+     differ structurally *)
+  let tgt_isa =
+    if p.Params.isa_depth > 0 && Rng.bool rng then Design.Table_per_concrete
+    else Design.Table_per_class
+  in
+  let tgt_merge =
+    match tgt_isa with
+    | Design.Table_per_class -> false
+    | Design.Table_per_concrete -> Rng.bool rng
+  in
+  let tgt_cfg =
+    {
+      Design.isa = tgt_isa;
+      merge_functional = tgt_merge;
+      table_name = (fun c -> "t_" ^ String.lowercase_ascii c);
+    }
+  in
+  let s_schema, s_strees = Design.design ~config:src_cfg cm_source in
+  let t_schema, t_strees = Design.design ~config:tgt_cfg cm_target in
+  let cases =
+    derive_cases rng p.Params.corr_density ~source_strees:s_strees
+      ~target_strees:t_strees
+  in
+  let _, corrs = pick_focus rng t_strees cases in
+  {
+    g_params = p;
+    g_cm_source = cm_source;
+    g_cm_target = cm_target;
+    g_source = Discover.side ~schema:s_schema ~cm:cm_source s_strees;
+    g_target = Discover.side ~schema:t_schema ~cm:cm_target t_strees;
+    g_cases = cases;
+    g_corrs = corrs;
+  }
+
+let source_instance ?scale g =
+  let scale = Option.value ~default:g.g_params.Params.scale scale in
+  Data.populate ~scale ~seed:g.g_params.Params.seed
+    g.g_source.Discover.schema
+
+let target_instance ?scale g =
+  let scale = Option.value ~default:g.g_params.Params.scale scale in
+  Data.populate ~scale ~seed:g.g_params.Params.seed
+    g.g_target.Discover.schema
+
+let doc ?(with_data = false) g =
+  let blocks side =
+    List.map
+      (fun (st : Stree.t) ->
+        { Ast.sem_table = st.Stree.st_table; sem_stree = st })
+      side.Discover.strees
+  in
+  let data =
+    if not with_data then []
+    else
+      let inst = source_instance g in
+      List.filter_map
+        (fun (t : Schema.table) ->
+          match Instance.relation inst t.Schema.tbl_name with
+          | None | Some { Instance.tuples = []; _ } -> None
+          | Some rel ->
+              Some
+                ( t.Schema.tbl_name,
+                  List.map Array.to_list rel.Instance.tuples ))
+        g.g_source.Discover.schema.Schema.tables
+  in
+  {
+    Ast.doc_schemas =
+      [ g.g_source.Discover.schema; g.g_target.Discover.schema ];
+    doc_cms = [ g.g_cm_source; g.g_cm_target ];
+    doc_semantics = blocks g.g_source @ blocks g.g_target;
+    doc_corrs = g.g_corrs;
+    doc_tgds = [];
+    doc_data = data;
+  }
+
+let dsl ?with_data g = Smg_dsl.Printer.to_string (doc ?with_data g)

@@ -1,0 +1,51 @@
+(** Assemble a complete discovery scenario from a parameter vector.
+
+    Both sides lower the *same* generated universe CM through
+    {!Smg_er2rel.Design} under different configurations (the source is
+    always the merged Table_per_class design; the target flips the ISA
+    encoding and/or functional merging), so the two schemas genuinely
+    differ while sharing conceptual semantics. Correspondences are
+    derived from s-tree column provenance: a target column maps to the
+    source column carrying the same (globally unique) attribute,
+    preferring an identically-named column (so role copies stay
+    distinct), then columns anchored on their own entity table;
+    [corr_density] keeps a seeded subset.
+
+    Everything — CM, configs, correspondences, data — is a pure function
+    of the clamped {!Params.t}. *)
+
+type t = {
+  g_params : Params.t;  (** the clamped vector that produced this *)
+  g_cm_source : Smg_cm.Cml.t;
+  g_cm_target : Smg_cm.Cml.t;
+  g_source : Smg_core.Discover.side;
+  g_target : Smg_core.Discover.side;
+  g_cases : (string * Smg_cq.Mapping.corr list) list;
+      (** one correspondence case per target table — discovery's unit of
+          work is a single mapping requirement whose marked nodes fit
+          one target CSG, so consumers sweeping the whole scenario run
+          discovery per case (like {!Smg_eval.Scenario.case}s) *)
+  g_corrs : Smg_cq.Mapping.corr list;
+      (** the focus case embedded in the emitted [.smg]: the case of a
+          seeded pick among the join-heaviest target tables *)
+}
+
+val build : Params.t -> t
+(** @raise Invalid_argument only on an er2rel/validation bug — generated
+    shapes are designed to lower and validate; the qcheck harness pins
+    this down. *)
+
+val source_instance : ?scale:int -> t -> Smg_relational.Instance.t
+(** Seeded witness data for the source schema satisfying its keys and
+    RICs ({!Data.populate}); [scale] defaults to the vector's. *)
+
+val target_instance : ?scale:int -> t -> Smg_relational.Instance.t
+
+val doc : ?with_data:bool -> t -> Smg_dsl.Ast.t
+(** The scenario as a parsed document (two schemas, two CMs, semantics
+    blocks, correspondences); [with_data] embeds the source instance as
+    [data] blocks — only sensible at small scale. *)
+
+val dsl : ?with_data:bool -> t -> string
+(** {!doc} through {!Smg_dsl.Printer} — valid [.smg] text that
+    round-trips through the parser. *)

@@ -1,0 +1,120 @@
+module Cml = Smg_cm.Cml
+module Cardinality = Smg_cm.Cardinality
+
+let lc = String.lowercase_ascii
+let root_name i = Printf.sprintf "E%d" i
+let sub_name i d = Printf.sprintf "E%dS%d" i d
+let branch_name i = Printf.sprintf "E%dB" i
+let part_name j = Printf.sprintf "P%d" j
+let id_of cls = lc cls ^ "_id"
+
+let attrs_of cls k = List.init k (fun a -> Printf.sprintf "%s_a%d" (lc cls) a)
+
+let mk_entity ?(with_id = true) cls k =
+  if with_id then Cml.cls ~id:[ id_of cls ] cls (id_of cls :: attrs_of cls k)
+  else Cml.cls cls (attrs_of cls k)
+
+let concrete_leaves (cm : Cml.t) =
+  List.filter_map
+    (fun (c : Cml.class_decl) ->
+      if Cml.subclasses cm c.Cml.class_name = [] then Some c.Cml.class_name
+      else None)
+    cm.Cml.classes
+
+let build (p : Params.t) rng =
+  let k = p.Params.attrs_per_class in
+  let roots = List.init p.Params.n_roots root_name in
+  let root_classes = List.map (fun c -> mk_entity c k) roots in
+  (* ISA chains: E<i>S1 < … < E<i>S<depth> below each root, subclasses
+     inherit the root identifier; an optional side branch E<i>B makes
+     the first level genuinely disjoint. *)
+  let branch = p.Params.isa_depth >= 1 && Rng.bool rng in
+  let sub_classes, isas, disjointness =
+    List.fold_left
+      (fun (cs, is, ds) i ->
+        let chain =
+          List.init p.Params.isa_depth (fun d -> sub_name i (d + 1))
+        in
+        let chain_classes =
+          List.map (fun c -> mk_entity ~with_id:false c k) chain
+        in
+        let chain_isas =
+          List.mapi
+            (fun d sub ->
+              let super = if d = 0 then root_name i else sub_name i d in
+              { Cml.sub; super })
+            chain
+        in
+        if branch then
+          let b = branch_name i in
+          ( cs @ chain_classes @ [ mk_entity ~with_id:false b k ],
+            is @ chain_isas @ [ { Cml.sub = b; super = root_name i } ],
+            ds @ [ [ sub_name i 1; b ] ] )
+        else (cs @ chain_classes, is @ chain_isas, ds))
+      ([], [], [])
+      (List.init p.Params.n_roots Fun.id)
+  in
+  (* partOf chain off the first root: P1 partOf E0, P2 partOf P1, … *)
+  let part_classes =
+    List.init p.Params.partof (fun j -> mk_entity (part_name (j + 1)) k)
+  in
+  let part_rels =
+    List.init p.Params.partof (fun j ->
+        let j = j + 1 in
+        let whole = if j = 1 then root_name 0 else part_name (j - 1) in
+        Cml.functional ~kind:Cml.PartOf ~total:true
+          (Printf.sprintf "w%d" j)
+          ~src:(part_name j) ~dst:whole)
+  in
+  (* functional spine E<i> -> E<i-1>: always oriented towards lower
+     indices so merged foreign keys can never form a RIC cycle *)
+  let fun_rels =
+    List.init
+      (max 0 (p.Params.n_roots - 1))
+      (fun i ->
+        Cml.functional
+          ~total:(Rng.bool rng)
+          (Printf.sprintf "f%d" (i + 1))
+          ~src:(root_name (i + 1))
+          ~dst:(root_name i))
+  in
+  let mm_rels =
+    if p.Params.n_roots >= 2 && Rng.bool rng then
+      [
+        Cml.many_many "m0" ~src:(root_name 0)
+          ~dst:(root_name (p.Params.n_roots - 1));
+      ]
+    else []
+  in
+  let classes = root_classes @ sub_classes @ part_classes in
+  let class_names = List.map (fun (c : Cml.class_decl) -> c.Cml.class_name) classes in
+  (* role fillers range over every class (roots, subclasses, parts):
+     abstract fillers exercise inherited identifiers and, under
+     Table_per_concrete, foreign keys without a target table *)
+  let reified =
+    List.init p.Params.reify (fun j ->
+        let n_roles =
+          if List.length class_names >= 3 && Rng.bool rng then 3 else 2
+        in
+        let pool = Rng.shuffle rng class_names in
+        let fillers =
+          List.init n_roles (fun r -> List.nth pool (r mod List.length pool))
+        in
+        let functional_first = Rng.bool rng in
+        let roles =
+          List.mapi
+            (fun r f ->
+              ( Printf.sprintf "r%d_ro%d" j r,
+                f,
+                if r = 0 && functional_first then Cardinality.at_most_one
+                else Cardinality.many ))
+            fillers
+        in
+        Cml.reified
+          ~attrs:[ Printf.sprintf "r%d_x0" j ]
+          (Printf.sprintf "R%d" j)
+          roles)
+  in
+  Cml.make ~name:"Universe"
+    ~binaries:(fun_rels @ part_rels @ mm_rels)
+    ~reified ~isas ~disjointness classes

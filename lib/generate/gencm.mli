@@ -1,0 +1,22 @@
+(** Synthesize a "universe" conceptual model from a parameter vector.
+
+    The universe covers every construct of the paper's case analysis in
+    one connected CM: a spine of root entity classes linked by
+    functional relationships, an ISA chain (optionally with a disjoint
+    side branch) under each root, a partOf chain hanging off the first
+    root, reified n-ary relationships over the concrete classes, and an
+    optional many-many binary. Source and target sides of a scenario
+    are two er2rel lowerings of this one universe — the same trick the
+    paper's own evaluation plays with schemas derived from a shared
+    conceptual design.
+
+    Attribute names are globally unique (prefixed by their class), which
+    is what lets {!Gen} derive correspondences purely from s-tree column
+    provenance. *)
+
+val build : Params.t -> Rng.t -> Smg_cm.Cml.t
+(** Deterministic in the (clamped) params and the stream state.
+    @raise Invalid_argument never — shapes are valid by construction. *)
+
+val concrete_leaves : Smg_cm.Cml.t -> string list
+(** Classes without subclasses, in declaration order. *)

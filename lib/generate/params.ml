@@ -1,0 +1,55 @@
+type t = {
+  seed : int;
+  isa_depth : int;
+  n_roots : int;
+  reify : int;
+  partof : int;
+  attrs_per_class : int;
+  corr_density : float;
+  scale : int;
+}
+
+let default =
+  {
+    seed = 42;
+    isa_depth = 1;
+    n_roots = 3;
+    reify = 1;
+    partof = 1;
+    attrs_per_class = 2;
+    corr_density = 1.0;
+    scale = 200;
+  }
+
+let clamp p =
+  {
+    seed = p.seed land max_int;
+    isa_depth = max 0 (min 4 p.isa_depth);
+    n_roots = max 1 (min 8 p.n_roots);
+    reify = max 0 (min 4 p.reify);
+    partof = max 0 (min 4 p.partof);
+    attrs_per_class = max 1 (min 6 p.attrs_per_class);
+    corr_density = Float.max 0.05 (Float.min 1.0 p.corr_density);
+    scale = max 10 (min 2_000_000 p.scale);
+  }
+
+let label p =
+  Printf.sprintf "gen_s%d_i%d_r%d_p%d_c%02d_n%d" p.seed p.isa_depth p.reify
+    p.partof
+    (int_of_float (Float.round (p.corr_density *. 100.)))
+    p.scale
+
+let pp ppf p =
+  Fmt.pf ppf
+    "seed=%d isa_depth=%d n_roots=%d reify=%d partof=%d attrs=%d \
+     corr_density=%.2f scale=%d"
+    p.seed p.isa_depth p.n_roots p.reify p.partof p.attrs_per_class
+    p.corr_density p.scale
+
+let to_json p =
+  Printf.sprintf
+    "{\"seed\": %d, \"isa_depth\": %d, \"n_roots\": %d, \"reify\": %d, \
+     \"partof\": %d, \"attrs_per_class\": %d, \"corr_density\": %.2f, \
+     \"scale\": %d}"
+    p.seed p.isa_depth p.n_roots p.reify p.partof p.attrs_per_class
+    p.corr_density p.scale

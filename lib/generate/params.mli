@@ -1,0 +1,36 @@
+(** The generator's parameter vector.
+
+    One vector fully determines one scenario: the CM shape knobs follow
+    the paper's case analysis (ISA hierarchies, reified n-ary
+    relationships, partOf chains), [corr_density] thins the derived
+    correspondence set, and [scale] sizes the seeded source instance.
+    Equal vectors always produce byte-identical scenarios and data. *)
+
+type t = {
+  seed : int;  (** master seed; every derived stream forks from it *)
+  isa_depth : int;  (** ISA-chain depth under each root class (0 = none) *)
+  n_roots : int;  (** root entity classes *)
+  reify : int;  (** reified n-ary relationships *)
+  partof : int;  (** partOf-chain length hanging off the first root *)
+  attrs_per_class : int;  (** non-identifier attributes per class *)
+  corr_density : float;  (** fraction of derivable correspondences kept *)
+  scale : int;  (** approximate total source tuples *)
+}
+
+val default : t
+(** [seed 42; isa_depth 1; n_roots 3; reify 1; partof 1;
+    attrs_per_class 2; corr_density 1.0; scale 200]. *)
+
+val clamp : t -> t
+(** Clip every knob into its supported range (depths 0–4, 1–8 roots,
+    density 0.05–1.0, scale 10–2,000,000, …) so arbitrary vectors — CLI
+    input, qcheck shrinking — always denote a valid scenario. *)
+
+val label : t -> string
+(** Compact deterministic name, usable as a registry/scenario id. *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_json : t -> string
+(** One-line JSON object with every knob — embedded in bench artifacts
+    so any row is reproducible from the file alone. *)

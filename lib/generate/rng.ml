@@ -1,0 +1,29 @@
+type t = { mutable s : int }
+
+let make seed = { s = seed land max_int }
+
+(* Splitmix-style: a Weyl sequence through an avalanche mixer. The
+   multipliers are odd constants chosen to fit OCaml's 63-bit int; the
+   goal is a stable, well-scrambled deterministic stream, not
+   cryptographic quality. *)
+let next t =
+  t.s <- (t.s + 0x2545F4914F6CDD1D) land max_int;
+  let z = t.s in
+  let z = (z lxor (z lsr 30)) * 0x1B03738712FAD5C9 land max_int in
+  let z = (z lxor (z lsr 27)) * 0x2545F4914F6CDD1D land max_int in
+  z lxor (z lsr 31)
+
+let int t n = if n <= 0 then 0 else next t mod n
+let bool t = next t land 1 = 1
+let float t = Float.of_int (next t land 0xFFFFFFFF) /. 4294967296.0
+let split t = make (next t)
+
+let pick t xs =
+  match xs with
+  | [] -> invalid_arg "Rng.pick: empty list"
+  | _ -> List.nth xs (int t (List.length xs))
+
+let shuffle t xs =
+  List.map (fun x -> (next t, x)) xs
+  |> List.stable_sort (fun (a, _) (b, _) -> Int.compare a b)
+  |> List.map snd

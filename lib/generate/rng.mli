@@ -1,0 +1,36 @@
+(** A small deterministic PRNG for the scenario generator.
+
+    Scenario synthesis must be reproducible from a single integer seed —
+    across OCaml versions, domain counts, and process runs — so the
+    generator owns its stream instead of going through [Stdlib.Random]
+    (whose algorithm is not part of our determinism contract). The mixer
+    is a splitmix-style sequence over the 63-bit native int range:
+    statistically decent, trivially portable, and stable by
+    construction. *)
+
+type t
+
+val make : int -> t
+(** A fresh stream; equal seeds give equal streams. *)
+
+val next : t -> int
+(** Next raw draw in [0, max_int]. *)
+
+val int : t -> int -> int
+(** [int t n] draws from [0, n)]; [n <= 0] yields 0. *)
+
+val bool : t -> bool
+
+val float : t -> float
+(** Uniform draw in [0, 1). *)
+
+val split : t -> t
+(** Derive an independent stream (e.g. one per table) so consumption in
+    one component cannot shift the draws of another. *)
+
+val pick : t -> 'a list -> 'a
+(** Uniform element of a non-empty list.
+    @raise Invalid_argument on an empty list. *)
+
+val shuffle : t -> 'a list -> 'a list
+(** Deterministic permutation keyed by the stream. *)

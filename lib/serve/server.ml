@@ -13,6 +13,7 @@ type config = {
   max_inflight : int;
   budget_ms : int option;
   fuel : int option;
+  seed : int;
   preload : bool;
 }
 
@@ -23,6 +24,7 @@ let default_config =
     max_inflight = 64;
     budget_ms = None;
     fuel = None;
+    seed = 42;
     preload = true;
   }
 
@@ -146,7 +148,7 @@ let handle_discover t rq entry =
       answer ~hit "discover" 200 out.Render.dj_json
 
 let handle_exchange t rq entry =
-  match (q_int rq "size" 1000, q_int rq "seed" 42, request_budget t rq) with
+  match (q_int rq "size" 1000, q_int rq "seed" t.cfg.seed, request_budget t rq) with
   | Error e, _, _ | _, Error e, _ | _, _, Error e ->
       answer "exchange" 400 (error_body e)
   | Ok size, Ok seed, Ok budget -> (

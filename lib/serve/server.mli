@@ -37,11 +37,13 @@ type config = {
   max_inflight : int;  (** connection admission bound *)
   budget_ms : int option;  (** default per-request deadline *)
   fuel : int option;  (** default per-request fuel *)
+  seed : int;  (** default witness seed for generated exchange sources *)
   preload : bool;  (** preload the seven builtin domains *)
 }
 
 val default_config : config
-(** port 8080, domains 1, max_inflight 64, no budget, preload on. *)
+(** port 8080, domains 1, max_inflight 64, no budget, seed 42,
+    preload on. *)
 
 type t
 
