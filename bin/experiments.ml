@@ -726,7 +726,9 @@ let serve_load json smoke domains clients =
     }
   in
   let srv = Smg_serve.Server.create cfg in
-  let server_domain = Domain.spawn (fun () -> Smg_serve.Server.run srv) in
+  let server_domain =
+    Domain.spawn (fun () -> ignore (Smg_serve.Server.run srv))
+  in
   let port = Smg_serve.Server.port srv in
   let scens =
     if smoke then [ "dblp" ]
@@ -857,6 +859,32 @@ let serve_load json smoke domains clients =
     close_out oc;
     Fmt.pr "@.wrote %s (%d scenario(s))@." path (List.length per_scen)
   end
+
+(* chaos: the robustness benchmark — drive the fault-injected service
+   and record survival rate, retry counts, breaker trips, and
+   journal-recovery latency. Exits 1 if the survival contract breaks,
+   so CI catches a regression the same way it catches a failing test. *)
+let chaos_bench json smoke seed domains =
+  let requests = if smoke then 200 else 1000 in
+  let journal = Filename.temp_file "mapdisc_chaos" ".journal" in
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let cfg =
+    {
+      (Smg_serve.Chaos.config ~journal ~seed ~requests ~domains ()) with
+      Smg_serve.Chaos.c_log = (fun line -> Fmt.epr "%s@." line);
+    }
+  in
+  let r = Smg_serve.Chaos.run cfg in
+  (try Sys.remove journal with Sys_error _ -> ());
+  Fmt.pr "%a" Smg_serve.Chaos.pp_report r;
+  if json then begin
+    let path = "BENCH_chaos.json" in
+    let oc = open_out path in
+    output_string oc (Smg_serve.Chaos.report_json r);
+    close_out oc;
+    Fmt.pr "@.wrote %s@." path
+  end;
+  if not (Smg_serve.Chaos.ok r) then exit 1
 
 let cmd_of name doc f = Cmd.v (Cmd.info name ~doc) Term.(const f $ const ())
 
@@ -999,6 +1027,30 @@ let serve_load_cmd =
           HTTP service (in-process server on an ephemeral port)")
     Term.(const serve_load $ json $ smoke $ domains $ clients)
 
+let chaos_cmd =
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Write BENCH_chaos.json")
+  in
+  let smoke =
+    Arg.(value & flag & info [ "smoke" ] ~doc:"200 requests instead of 1000")
+  in
+  let seed =
+    Arg.(value & opt int 7 & info [ "seed" ] ~docv:"S" ~doc:"Fault-plane seed")
+  in
+  let domains =
+    Arg.(
+      value & opt int 4
+      & info [ "domains" ] ~docv:"N" ~doc:"Server handler domains")
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Survival benchmark: the seeded chaos workload (with a journal and \
+          a kill-and-recover phase) against the fault-injected service; \
+          records survival rate, retry counts, breaker trips, and recovery \
+          latency")
+    Term.(const chaos_bench $ json $ smoke $ seed $ domains)
+
 let () =
   let default = Term.(const all $ const ()) in
   let info =
@@ -1024,6 +1076,7 @@ let () =
               witness;
             exchange_scale_cmd;
             serve_load_cmd;
+            chaos_cmd;
             parallel_scale_cmd;
             compose_cmd;
             generate_cmd;

@@ -799,7 +799,8 @@ let threshold_arg =
    calling domain; SIGTERM/SIGINT flip the stop flag, the loop drains
    in-flight connections, and the per-endpoint counters are logged on
    the way out. *)
-let run_serve port domains max_inflight budget_ms fuel seed no_preload =
+let run_serve port domains max_inflight budget_ms fuel seed no_preload journal
+    idle_timeout drain_deadline =
   let domains =
     match domains with
     | Some n -> max 1 n
@@ -814,6 +815,12 @@ let run_serve port domains max_inflight budget_ms fuel seed no_preload =
       fuel;
       seed;
       preload = not no_preload;
+      journal;
+      fault = None;
+      idle_timeout_s = idle_timeout;
+      drain_deadline_s = drain_deadline;
+      retry = Smg_robust.Retry.default;
+      breaker = Smg_robust.Breaker.default_config;
     }
   in
   let srv =
@@ -828,12 +835,49 @@ let run_serve port domains max_inflight budget_ms fuel seed no_preload =
   let stop _ = Smg_serve.Server.stop srv in
   Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
   Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+  let met = Smg_serve.Server.metrics srv in
+  (match journal with
+  | Some path ->
+      Fmt.pr "mapdisc serve: journal %s (%d scenario(s) recovered in %.1f ms)@."
+        path
+        (Smg_serve.Metrics.recovered_count met)
+        (Smg_serve.Metrics.recovery_ms met)
+  | None -> ());
   Fmt.pr "mapdisc serve: listening on 127.0.0.1:%d (%d domain(s), max %d \
           connection(s))@."
     (Smg_serve.Server.port srv) domains max_inflight;
-  Smg_serve.Server.run srv;
+  let drained = Smg_serve.Server.run srv in
+  if not drained then
+    Fmt.epr
+      "mapdisc serve: warning: drain deadline (%.1fs) passed with requests \
+       still in flight@."
+      drain_deadline;
   Fmt.pr "mapdisc serve: shutdown@.";
-  Fmt.pr "%a" Smg_serve.Metrics.pp_summary (Smg_serve.Server.metrics srv)
+  Fmt.pr "%a" Smg_serve.Metrics.pp_summary met
+
+(* chaos: the survival proof. Drives the same seeded workload against
+   a clean and a fault-injected in-process server and classifies every
+   response against the contract; exit 0 only when nothing hung,
+   crashed, or corrupted (and, with --journal, the post-crash restart
+   reproduced the reference bytes). *)
+let run_chaos seed requests domains journal json =
+  let domains =
+    match domains with
+    | Some n -> max 1 n
+    | None -> Smg_parallel.Pool.default_domains ()
+  in
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let cfg =
+    {
+      (Smg_serve.Chaos.config ?journal ~seed ~requests ~domains ()) with
+      Smg_serve.Chaos.c_log =
+        (fun line -> if not json then Fmt.epr "%s@." line);
+    }
+  in
+  let report = Smg_serve.Chaos.run cfg in
+  if json then print_string (Smg_serve.Chaos.report_json report)
+  else Fmt.pr "%a" Smg_serve.Chaos.pp_report report;
+  exit (if Smg_serve.Chaos.ok report then 0 else 1)
 
 let opt_file_arg = Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE")
 
@@ -1048,6 +1092,38 @@ let no_preload_arg =
           "Start with an empty registry instead of preloading the seven \
            built-in evaluation domains")
 
+let journal_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "journal" ] ~docv:"FILE"
+        ~doc:
+          "Crash-safe registry journal: scenario mutations are fsynced to \
+           $(docv) before they are acknowledged and replayed on startup, \
+           re-warming the recovered scenarios' caches")
+
+let idle_timeout_arg =
+  Arg.(
+    value & opt float 5.0
+    & info [ "idle-timeout" ] ~docv:"S"
+        ~doc:
+          "Per-connection read/write deadline in seconds; an idle socket is \
+           answered 408 and closed")
+
+let drain_deadline_arg =
+  Arg.(
+    value & opt float 10.0
+    & info [ "drain-deadline" ] ~docv:"S"
+        ~doc:
+          "Bound in seconds on the shutdown drain of in-flight requests; \
+           past it stuck work is abandoned to process exit")
+
+let chaos_requests_arg =
+  Arg.(
+    value & opt int 1000
+    & info [ "requests" ] ~docv:"K"
+        ~doc:"Workload length (clamped to at least 8)")
+
 let pipeline_arg =
   Arg.(
     value
@@ -1123,7 +1199,23 @@ let () =
             /metrics for counters)")
       Term.(
         const run_serve $ port_arg $ domains_arg $ max_inflight_arg
-        $ budget_ms_arg $ fuel_arg $ seed_arg $ no_preload_arg)
+        $ budget_ms_arg $ fuel_arg $ seed_arg $ no_preload_arg $ journal_arg
+        $ idle_timeout_arg $ drain_deadline_arg)
+  in
+  let chaos_cmd =
+    Cmd.v
+      (Cmd.info "chaos"
+         ~doc:
+           "Prove the service survives injected faults: drive a seeded \
+            workload against a clean and a faulted in-process server and \
+            classify every response (byte-identical, retried, breaker shed, \
+            sound partial, clean error — never a hang, crash, or corrupt \
+            body); with --journal, kill the faulted server and check the \
+            restart recovers every scenario byte-identically. Exit 0 only \
+            when the contract holds")
+      Term.(
+        const run_chaos $ seed_arg $ chaos_requests_arg $ domains_arg
+        $ journal_arg $ json_arg)
   in
   let generate_cmd =
     Cmd.v
@@ -1176,6 +1268,7 @@ let () =
             compose_cmd;
             generate_cmd;
             serve_cmd;
+            chaos_cmd;
             ddl_cmd;
             dot_cmd;
           ]))

@@ -638,9 +638,18 @@ let compile ?card ?(laconic = false) ~source ~target ~mappings () =
     Ok { c_source = source; c_target = target; c_plans = plans; c_laconic = laconic }
   with Invalid_argument msg -> Error msg
 
-let execute ?budget ?pool ?(max_rounds = 100) compiled inst =
+let execute ?budget ?fault ?pool ?(max_rounds = 100) compiled inst =
   let { c_source = source; c_target = target; c_plans = plans; c_laconic = laconic } =
     compiled
+  in
+  (* the engine_step injection point fires once per plan evaluation
+     (initial pass and every semi-naive re-fire): a Raise escapes to
+     the caller's supervisor, a Delay burns wall clock against the
+     budget — both failure modes the chaos harness classifies *)
+  let step () =
+    match fault with
+    | Some f -> Smg_robust.Fault.fire f Smg_robust.Fault.Engine_step
+    | None -> ()
   in
   try
     let e = create ~source ~target inst in
@@ -654,6 +663,7 @@ let execute ?budget ?pool ?(max_rounds = 100) compiled inst =
     (try
        List.iter2
          (fun plan (_, st) ->
+           step ();
            let (), dt =
              Obs.time (fun () ->
                  match pool with
@@ -688,6 +698,7 @@ let execute ?budget ?pool ?(max_rounds = 100) compiled inst =
                clear_deltas e;
                List.iter2
                  (fun (plan : Plan.t) (_, st) ->
+                   step ();
                    let (), dt =
                      Obs.time (fun () ->
                          List.iteri
@@ -731,12 +742,12 @@ let execute ?budget ?pool ?(max_rounds = 100) compiled inst =
         | None -> Complete report)
   with Invalid_argument msg -> Failed msg
 
-let run_core ?budget ?pool ?max_rounds ?laconic ~source ~target ~mappings inst
-    =
+let run_core ?budget ?fault ?pool ?max_rounds ?laconic ~source ~target
+    ~mappings inst =
   let card name = Instance.cardinality inst name in
   match compile ~card ?laconic ~source ~target ~mappings () with
   | Error msg -> Failed msg
-  | Ok compiled -> execute ?budget ?pool ?max_rounds compiled inst
+  | Ok compiled -> execute ?budget ?fault ?pool ?max_rounds compiled inst
 
 let run ?pool ?max_rounds ?laconic ~source ~target ~mappings inst =
   match run_core ?pool ?max_rounds ?laconic ~source ~target ~mappings inst with
@@ -744,9 +755,10 @@ let run ?pool ?max_rounds ?laconic ~source ~target ~mappings inst =
   | Budget_exhausted (_, r) -> Ok r (* unreachable without a budget *)
   | Failed msg -> Error msg
 
-let run_bounded ?budget ?pool ?max_rounds ?laconic ~source ~target ~mappings
-    inst =
-  run_core ?budget ?pool ?max_rounds ?laconic ~source ~target ~mappings inst
+let run_bounded ?budget ?fault ?pool ?max_rounds ?laconic ~source ~target
+    ~mappings inst =
+  run_core ?budget ?fault ?pool ?max_rounds ?laconic ~source ~target ~mappings
+    inst
 
 let pp_report ppf r =
   Fmt.pf ppf "@[<v>rounds: %d%s  egd merges: %d  swept: %d  %.3f ms@,"

@@ -64,6 +64,7 @@ type outcome =
 
 val run_bounded :
   ?budget:Smg_robust.Budget.t ->
+  ?fault:Smg_robust.Fault.t ->
   ?pool:Smg_parallel.Pool.t ->
   ?max_rounds:int ->
   ?laconic:bool ->
@@ -81,7 +82,13 @@ val run_bounded :
     a fixed chunk count, so accounting is independent of the domain
     count); a chunk exhausting its share still contributes the bindings
     it collected, and the target built when the budget runs out remains
-    a sound prefix. *)
+    a sound prefix.
+
+    [fault] consults the [Engine_step] injection point once per plan
+    evaluation (initial pass and each semi-naive re-fire): an injected
+    raise escapes to the caller (chaos supervision turns it into a
+    diagnosed 500); an injected delay burns wall clock against the
+    budget. *)
 
 (** {1 Compile / execute split}
 
@@ -117,6 +124,7 @@ val compile :
 
 val execute :
   ?budget:Smg_robust.Budget.t ->
+  ?fault:Smg_robust.Fault.t ->
   ?pool:Smg_parallel.Pool.t ->
   ?max_rounds:int ->
   compiled ->

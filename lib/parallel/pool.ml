@@ -27,6 +27,8 @@ type t = {
   fault : (exn * Printexc.raw_backtrace) option Atomic.t;
   mutable workers : unit Domain.t array;
   mutable worker_ids : Domain.id list;
+  mutable supervisor : (exn -> unit) option;
+      (* service-mode exception sink; see [set_supervisor] *)
 }
 
 let finish_task t =
@@ -94,6 +96,7 @@ let create ~domains =
       fault = Atomic.make None;
       workers = [||];
       worker_ids = [];
+      supervisor = None;
     }
   in
   let workers =
@@ -168,11 +171,20 @@ let run t tasks =
    helping with unclaimed tasks first so a burst the workers have not
    stolen yet cannot strand the caller. *)
 
+let set_supervisor t f = t.supervisor <- Some f
+
+let supervised t f () =
+  try f ()
+  with exn -> (
+    match t.supervisor with
+    | Some s -> ( try s exn with _ -> ())
+    | None -> ())
+
 let submit t f =
-  if t.size = 1 then (try f () with _ -> ())
+  if t.size = 1 then supervised t f ()
   else begin
     ignore (Atomic.fetch_and_add t.pending 1);
-    Deque.push t.deques.(0) (fun () -> try f () with _ -> ());
+    Deque.push t.deques.(0) (supervised t f);
     Mutex.lock t.lock;
     t.epoch <- t.epoch + 1;
     Condition.broadcast t.wake;
@@ -187,6 +199,31 @@ let drain t =
       Condition.wait t.done_ t.lock
     done;
     Mutex.unlock t.lock
+  end
+
+(* OCaml's Condition has no timed wait, so the bounded drain helps
+   with unclaimed work and then polls [pending] on a short sleep. The
+   poll only runs while a stuck task is the bottleneck, so the 1 ms
+   granularity costs nothing on the happy path (the helping loop has
+   already emptied the deques by then). *)
+let drain_timeout t ~seconds =
+  if t.size <= 1 then true
+  else begin
+    while try_work t 0 do () done;
+    let give_up = Unix.gettimeofday () +. Float.max 0. seconds in
+    let rec wait () =
+      if Atomic.get t.pending <= 0 then true
+      else if Unix.gettimeofday () >= give_up then false
+      else begin
+        while try_work t 0 do () done;
+        if Atomic.get t.pending <= 0 then true
+        else begin
+          Unix.sleepf 0.001;
+          wait ()
+        end
+      end
+    in
+    wait ()
   end
 
 let chunk_size t ?chunk n =

@@ -80,10 +80,24 @@ val submit : t -> (unit -> unit) -> unit
 (** Enqueue one task. Must be called from the domain that created the
     pool (tasks are pushed onto the caller's own deque). On a pool of
     size 1 the task runs inline before [submit] returns. Exceptions the
-    task raises are swallowed (service tasks own their error
-    reporting). *)
+    task raises are reported to the {!set_supervisor} callback (and
+    swallowed when none is set) — a raising service task can never
+    kill its worker domain. *)
+
+val set_supervisor : t -> (exn -> unit) -> unit
+(** Install the service-mode exception sink: called, on the domain the
+    task ran on, with any exception a {!submit}ted task raises.
+    Exceptions the callback itself raises are dropped. Sectioned
+    {!run}/{!map} exceptions still propagate to the caller as before.
+    Set before the first {!submit}; not synchronised. *)
 
 val drain : t -> unit
 (** Block until every submitted task has finished, helping to run still
     unclaimed tasks from the calling domain. Quiescence point for
     graceful shutdown: [drain] then {!shutdown}. *)
+
+val drain_timeout : t -> seconds:float -> bool
+(** Like {!drain} but bounded: helps with unclaimed tasks, then waits
+    at most [seconds] for in-flight ones. [true] when the pool reached
+    quiescence — only then is {!shutdown} safe to call without
+    risking a join on a stuck domain. *)

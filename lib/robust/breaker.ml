@@ -1,0 +1,85 @@
+type config = { threshold : int; cooldown_s : float }
+
+let default_config = { threshold = 5; cooldown_s = 1. }
+
+type state = Closed | Open of float (* shed until *) | Half_open
+
+type t = {
+  cfg : config;
+  lock : Mutex.t;
+  mutable st : state;
+  mutable failures : int;  (* consecutive, while Closed *)
+  mutable trips : int;
+  mutable probing : bool;  (* a half-open probe is outstanding *)
+}
+
+let create ?(config = default_config) () =
+  {
+    cfg = { config with threshold = max 1 config.threshold };
+    lock = Mutex.create ();
+    st = Closed;
+    failures = 0;
+    trips = 0;
+    probing = false;
+  }
+
+type verdict = Allow | Shed of int
+
+let retry_after cfg = max 1 (int_of_float (Float.ceil cfg.cooldown_s))
+
+let admit t ~now =
+  Mutex.lock t.lock;
+  let v =
+    match t.st with
+    | Closed -> Allow
+    | Open until when now >= until ->
+        t.st <- Half_open;
+        t.probing <- true;
+        Allow
+    | Open until ->
+        Shed (max 1 (int_of_float (Float.ceil (until -. now))))
+    | Half_open when not t.probing ->
+        t.probing <- true;
+        Allow
+    | Half_open -> Shed (retry_after t.cfg)
+  in
+  Mutex.unlock t.lock;
+  v
+
+let success t =
+  Mutex.lock t.lock;
+  t.st <- Closed;
+  t.failures <- 0;
+  t.probing <- false;
+  Mutex.unlock t.lock
+
+let failure t ~now =
+  Mutex.lock t.lock;
+  (match t.st with
+  | Half_open ->
+      t.st <- Open (now +. t.cfg.cooldown_s);
+      t.trips <- t.trips + 1;
+      t.probing <- false
+  | Closed ->
+      t.failures <- t.failures + 1;
+      if t.failures >= t.cfg.threshold then begin
+        t.st <- Open (now +. t.cfg.cooldown_s);
+        t.trips <- t.trips + 1;
+        t.failures <- 0
+      end
+  | Open _ -> ());
+  Mutex.unlock t.lock
+
+let state t =
+  Mutex.lock t.lock;
+  let s =
+    match t.st with Closed -> `Closed | Open _ -> `Open | Half_open -> `Half_open
+  in
+  Mutex.unlock t.lock;
+  s
+
+let trips t =
+  Mutex.lock t.lock;
+  let n = t.trips in
+  Mutex.unlock t.lock;
+  n

@@ -1,0 +1,44 @@
+(** Per-resource circuit breaker: Closed -> Open -> Half_open.
+
+    Counts consecutive failures against a threshold; once tripped the
+    breaker sheds further work for a cooldown (callers translate a
+    [Shed] verdict into 503 + [Retry-After]), then half-opens to admit
+    a single probe. A successful probe closes the breaker; a failed one
+    re-opens it for another cooldown. Time is passed in by the caller
+    ([now], any monotone-enough seconds scale) so tests drive the state
+    machine without sleeping. Thread-safe. *)
+
+type config = {
+  threshold : int;  (** consecutive failures before tripping; min 1 *)
+  cooldown_s : float;  (** how long Open sheds before half-opening *)
+}
+
+val default_config : config
+(** threshold 5, cooldown 1 s. *)
+
+type t
+
+val create : ?config:config -> unit -> t
+
+type verdict =
+  | Allow
+  | Shed of int
+      (** shed now; the payload is the suggested [Retry-After] in whole
+          seconds (at least 1) *)
+
+val admit : t -> now:float -> verdict
+(** Consult before doing the work. In Open state, [Allow] is returned
+    once the cooldown has passed (the caller becomes the half-open
+    probe); while a probe is outstanding, further calls shed. *)
+
+val success : t -> unit
+(** Report after the admitted work succeeded. Resets to Closed. *)
+
+val failure : t -> now:float -> unit
+(** Report after the admitted work failed. Trips to Open when the
+    consecutive-failure count reaches the threshold, and immediately
+    re-opens from Half_open. *)
+
+val state : t -> [ `Closed | `Open | `Half_open ]
+val trips : t -> int
+(** How many times the breaker has transitioned into Open. *)

@@ -1,10 +1,22 @@
 type reason = Fuel | Deadline
 
+(* The deadline is a relative allowance drained by a monotonic-ized
+   elapsed-time accumulator, not an absolute gettimeofday target. The
+   stdlib's Unix has no clock_gettime(MONOTONIC) binding, and
+   gettimeofday is wall clock: an NTP step would either fire the
+   deadline spuriously (forward jump) or arm it forever (backward
+   jump against an absolute target). Accumulating only the positive
+   deltas between successive observations keeps a backward jump from
+   ever rewinding the budget; a forward jump still overcounts that
+   one interval, which errs on the side of stopping — the safe
+   direction for a guard rail. *)
 type t = {
   mutable fuel : int;  (* remaining; max_int means unlimited *)
   granted : int;  (* initial fuel allowance, for split/absorb accounting *)
   has_fuel_limit : bool;
-  deadline : float;  (* absolute, Unix.gettimeofday scale; infinity = none *)
+  allowance : float;  (* seconds of wall time granted; infinity = none *)
+  mutable elapsed : float;  (* positive-delta accumulated seconds *)
+  mutable last : float;  (* previous clock observation *)
   interval : int;
   mutable countdown : int;  (* ticks until the next wall-clock check *)
   mutable spent : reason option;  (* sticky *)
@@ -12,33 +24,41 @@ type t = {
 
 exception Exhausted of reason
 
-let make ~fuel ~has_fuel_limit ~deadline ~interval =
+let make ~fuel ~has_fuel_limit ~allowance ~interval =
   {
     fuel;
     granted = fuel;
     has_fuel_limit;
-    deadline;
+    allowance;
+    elapsed = 0.;
+    last = (if allowance < infinity then Unix.gettimeofday () else 0.);
     interval = max 1 interval;
     countdown = max 1 interval;
-    spent = None;
+    (* a zero allowance is spent from birth: waiting for the clock to
+       visibly advance past 0 would leave the budget's fate to timer
+       resolution *)
+    spent = (if allowance <= 0. then Some Deadline else None);
   }
 
 let create ?deadline_ms ?fuel ?(interval = 256) () =
-  let deadline =
-    match deadline_ms with
-    | None -> infinity
-    | Some ms -> Unix.gettimeofday () +. (ms /. 1000.)
+  let allowance =
+    match deadline_ms with None -> infinity | Some ms -> ms /. 1000.
   in
   make
     ~fuel:(match fuel with None -> max_int | Some f -> max 0 f)
-    ~has_fuel_limit:(fuel <> None) ~deadline ~interval
+    ~has_fuel_limit:(fuel <> None) ~allowance ~interval
 
 let unlimited () = create ()
 
 let check_clock b =
   b.countdown <- b.interval;
-  if b.deadline < infinity && Unix.gettimeofday () > b.deadline then
-    b.spent <- Some Deadline
+  if b.allowance < infinity then begin
+    let now = Unix.gettimeofday () in
+    let dt = now -. b.last in
+    b.last <- now;
+    if dt > 0. then b.elapsed <- b.elapsed +. dt;
+    if b.elapsed > b.allowance then b.spent <- Some Deadline
+  end
 
 let burn b n =
   match b.spent with
@@ -75,24 +95,30 @@ let burn_exn b n =
 
 let remaining_fuel b = if b.has_fuel_limit then Some b.fuel else None
 
-(* Equal fuel shares (remainder to the first children) under the parent's
-   absolute deadline. The parent keeps its own state — children are the
-   currency: consume them with [absorb] after the forked work joins. The
-   split is a function of the parent's remaining fuel and [parts] only,
-   never of scheduling, which is what keeps parallel fuel accounting
-   deterministic for any domain count. *)
+(* Equal fuel shares (remainder to the first children) under the
+   parent's remaining time allowance. The parent keeps its own state —
+   children are the currency: consume them with [absorb] after the
+   forked work joins. The split is a function of the parent's remaining
+   fuel and [parts] only, never of scheduling, which is what keeps
+   parallel fuel accounting deterministic for any domain count. *)
 let split b ~parts =
   let parts = max 1 parts in
+  (* sync the parent's clock so the children's allowance reflects time
+     already spent; their own accumulators start from the fork *)
+  if b.allowance < infinity && b.spent = None then check_clock b;
+  let allowance =
+    if b.allowance < infinity then Float.max 0. (b.allowance -. b.elapsed)
+    else infinity
+  in
   if not b.has_fuel_limit then
     List.init parts (fun _ ->
-        make ~fuel:max_int ~has_fuel_limit:false ~deadline:b.deadline
+        make ~fuel:max_int ~has_fuel_limit:false ~allowance
           ~interval:b.interval)
   else
     let share = b.fuel / parts and extra = b.fuel mod parts in
     List.init parts (fun i ->
         let fuel = share + if i < extra then 1 else 0 in
-        make ~fuel ~has_fuel_limit:true ~deadline:b.deadline
-          ~interval:b.interval)
+        make ~fuel ~has_fuel_limit:true ~allowance ~interval:b.interval)
 
 let absorb b child =
   (if b.has_fuel_limit && child.has_fuel_limit then begin
@@ -103,9 +129,10 @@ let absorb b child =
        if b.spent = None then b.spent <- Some Fuel
      end
    end);
-  (* a child's deadline is the parent's own deadline, so its passing is
-     the parent's passing; a child merely running out of its fuel share
-     is not — the parent may still have fuel for sequential follow-up *)
+  (* a child's allowance is the parent's remaining allowance at the
+     fork, so its deadline passing is the parent's passing; a child
+     merely running out of its fuel share is not — the parent may
+     still have fuel for sequential follow-up *)
   match child.spent with
   | Some Deadline when b.spent = None -> b.spent <- Some Deadline
   | _ -> ()

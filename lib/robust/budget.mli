@@ -4,10 +4,17 @@
     A budget is threaded through hot search loops (the Steiner DP, path
     enumeration, plan evaluation) and consumed with {!tick} / {!burn}.
     Fuel is exact and deterministic — the same inputs burn the same
-    amount — while the deadline is checked against the wall clock only
+    amount — while the deadline is checked against the clock only
     every [interval] ticks, so the per-tick cost is a decrement and a
     compare. Once a budget is exhausted it stays exhausted (sticky), so
-    all stages sharing it stop promptly. *)
+    all stages sharing it stop promptly.
+
+    Deadlines are monotonic-safe: the allowance is drained by an
+    elapsed-time accumulator that ignores negative deltas between
+    successive [Unix.gettimeofday] observations (the stdlib has no
+    monotonic-clock binding), so an NTP step backwards can never arm a
+    deadline forever, and a step forwards at worst fires it early —
+    the safe direction for a guard rail. *)
 
 type reason =
   | Fuel  (** the deterministic operation counter ran out *)
@@ -54,7 +61,8 @@ val remaining_fuel : t -> int option
 val split : t -> parts:int -> t list
 (** [split b ~parts] divides [b]'s remaining fuel into [parts] equal
     shares (remainder going to the first children), each under [b]'s
-    absolute deadline. [b] itself is unchanged — charge the children's
+    remaining time allowance. [b] itself is unchanged (beyond a clock
+    sync) — charge the children's
     consumption back with {!absorb} after the forked work joins. The
     share sizes depend only on [b]'s remaining fuel and [parts], so
     forked fuel accounting is deterministic for any domain count. *)

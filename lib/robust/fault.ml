@@ -1,0 +1,147 @@
+type point =
+  | Parse
+  | Registry_store
+  | Plan_compile
+  | Engine_step
+  | Pool_task
+  | Socket_read
+  | Socket_write
+
+let all_points =
+  [
+    Parse;
+    Registry_store;
+    Plan_compile;
+    Engine_step;
+    Pool_task;
+    Socket_read;
+    Socket_write;
+  ]
+
+let point_index = function
+  | Parse -> 0
+  | Registry_store -> 1
+  | Plan_compile -> 2
+  | Engine_step -> 3
+  | Pool_task -> 4
+  | Socket_read -> 5
+  | Socket_write -> 6
+
+let point_name = function
+  | Parse -> "parse"
+  | Registry_store -> "registry_store"
+  | Plan_compile -> "plan_compile"
+  | Engine_step -> "engine_step"
+  | Pool_task -> "pool_task"
+  | Socket_read -> "socket_read"
+  | Socket_write -> "socket_write"
+
+type action = Raise | Delay of float | Short
+
+type spec = { p_raise : float; p_delay : float; delay_s : float; p_short : float }
+
+let quiet = { p_raise = 0.; p_delay = 0.; delay_s = 0.; p_short = 0. }
+
+type plan = (point * spec) list
+
+(* Same splitmix-style mixer as Smg_generate.Rng (inlined: smg_robust
+   sits below smg_generate). Each point gets its own stream, seeded by
+   mixing the master seed with the point index, so consultation order
+   across points cannot perturb any single point's decisions. *)
+let mix z =
+  let z = (z + 0x2545F4914F6CDD1D) land max_int in
+  let z = (z lxor (z lsr 30)) * 0x1B03738712FAD5C9 land max_int in
+  let z = (z lxor (z lsr 27)) * 0x2545F4914F6CDD1D land max_int in
+  z lxor (z lsr 31)
+
+type slot = {
+  spec : spec;
+  mutable state : int;  (* per-point stream cursor *)
+  mutable consulted : int;
+  mutable fired : int;
+  log : Buffer.t;
+}
+
+type t = { lock : Mutex.t; slots : slot array }
+
+exception Injected of point
+
+let () =
+  Printexc.register_printer (function
+    | Injected p -> Some (Fmt.str "Fault.Injected(%s)" (point_name p))
+    | _ -> None)
+
+let create ~seed plan =
+  let slots =
+    Array.of_list
+      (List.map
+         (fun p ->
+           let spec =
+             match List.assoc_opt p plan with Some s -> s | None -> quiet
+           in
+           {
+             spec;
+             state = mix (seed lxor ((point_index p + 1) * 0x1E3779B97F4A7C15)) land max_int;
+             consulted = 0;
+             fired = 0;
+             log = Buffer.create 64;
+           })
+         all_points)
+  in
+  { lock = Mutex.create (); slots }
+
+let uniform slot =
+  slot.state <- (slot.state + 0x2545F4914F6CDD1D) land max_int;
+  let z = mix slot.state in
+  Float.of_int (z land 0xFFFFFFFF) /. 4294967296.0
+
+let decide t point =
+  let slot = t.slots.(point_index point) in
+  Mutex.lock t.lock;
+  let u = uniform slot in
+  slot.consulted <- slot.consulted + 1;
+  let s = slot.spec in
+  let action =
+    if u < s.p_raise then Some Raise
+    else if u < s.p_raise +. s.p_delay then Some (Delay s.delay_s)
+    else if u < s.p_raise +. s.p_delay +. s.p_short then Some Short
+    else None
+  in
+  Buffer.add_char slot.log
+    (match action with
+    | None -> '.'
+    | Some Raise -> 'R'
+    | Some (Delay _) -> 'D'
+    | Some Short -> 'S');
+  if action <> None then slot.fired <- slot.fired + 1;
+  Mutex.unlock t.lock;
+  action
+
+let fire t point =
+  match decide t point with
+  | None -> ()
+  | Some (Delay s) -> if s > 0. then Unix.sleepf s
+  | Some (Raise | Short) -> raise (Injected point)
+
+let decisions t point = t.slots.(point_index point).consulted
+let injected t point = t.slots.(point_index point).fired
+
+let total_injected t =
+  Array.fold_left (fun acc s -> acc + s.fired) 0 t.slots
+
+let schedule t =
+  Mutex.lock t.lock;
+  let rows =
+    List.map
+      (fun p ->
+        (point_name p, Buffer.contents t.slots.(point_index p).log))
+      all_points
+  in
+  Mutex.unlock t.lock;
+  rows
+
+let schedule_digest t =
+  schedule t
+  |> List.map (fun (name, log) -> name ^ ":" ^ log)
+  |> String.concat "\n"
+  |> Digest.string |> Digest.to_hex

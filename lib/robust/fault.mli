@@ -1,0 +1,85 @@
+(** Deterministic fault injection for chaos testing.
+
+    A fault plane is a set of named injection points, each with its own
+    seeded random stream and a probability vector over three actions:
+    raise, delay, or a short (truncated) read/write. Subsystems consult
+    their point at well-defined moments ({!fire} / {!decide}); the k-th
+    consultation of a point always yields the same decision for the
+    same seed, independent of domain count or scheduling, because each
+    point owns an independent splittable stream (the same splitmix
+    mixer as [Smg_generate.Rng] — inlined here since [smg_robust] sits
+    below [smg_generate] in the dependency order) advanced by a
+    per-point counter. Replaying a run therefore replays its failure
+    schedule byte for byte. *)
+
+type point =
+  | Parse  (** scenario text parsing inside a registry [PUT] *)
+  | Registry_store  (** registry mutation / journal append *)
+  | Plan_compile  (** TGD plan compilation in the plan cache *)
+  | Engine_step  (** one plan-evaluation step inside [Engine.execute] *)
+  | Pool_task  (** a connection task entering a pool domain *)
+  | Socket_read  (** consulted once per accepted connection *)
+  | Socket_write  (** consulted once per response write *)
+
+val all_points : point list
+(** In declaration order — the order {!schedule} reports. *)
+
+val point_name : point -> string
+(** Stable lower-snake name ([parse], [registry_store], ...). *)
+
+type action =
+  | Raise  (** the point raises {!Injected} *)
+  | Delay of float  (** sleep this many seconds, then continue *)
+  | Short  (** truncate the read/write (socket points only) *)
+
+type spec = {
+  p_raise : float;
+  p_delay : float;
+  delay_s : float;  (** sleep length when the delay arm fires *)
+  p_short : float;
+}
+(** Per-point probability vector. Arms are disjoint: a uniform draw
+    [u] in [[0,1)] fires raise when [u < p_raise], delay when
+    [u < p_raise +. p_delay], short when [u < p_raise +. p_delay +.
+    p_short], and passes otherwise. *)
+
+val quiet : spec
+(** All probabilities zero — the point never fires. *)
+
+type plan = (point * spec) list
+(** Points absent from the plan never fire. *)
+
+type t
+
+val create : seed:int -> plan -> t
+(** Thread-safe: every point may be consulted from any domain. *)
+
+exception Injected of point
+(** What {!fire} raises when the raise arm (or, outside socket code,
+    the short arm) fires. *)
+
+val decide : t -> point -> action option
+(** Draw the point's next decision and record it in the schedule.
+    [None] means pass. Callers that can honour [Delay]/[Short]
+    natively (the socket paths) use this directly. *)
+
+val fire : t -> point -> unit
+(** {!decide}, then apply the generic behaviour: [Raise] and [Short]
+    raise {!Injected}, [Delay s] sleeps [s] seconds. *)
+
+val decisions : t -> point -> int
+(** How many times the point has been consulted. *)
+
+val injected : t -> point -> int
+(** How many consultations fired (any arm). *)
+
+val total_injected : t -> int
+
+val schedule : t -> (string * string) list
+(** One row per point (in {!all_points} order): the point name and its
+    decision log, one char per consultation — ['.'] pass, ['R'] raise,
+    ['D'] delay, ['S'] short. Two runs with the same seed and the same
+    per-point consultation order produce byte-identical schedules. *)
+
+val schedule_digest : t -> string
+(** MD5 hex over {!schedule} — the replay fingerprint. *)

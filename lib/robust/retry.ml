@@ -1,0 +1,57 @@
+type policy = {
+  attempts : int;
+  base_delay_s : float;
+  multiplier : float;
+  max_delay_s : float;
+  jitter : float;
+  seed : int;
+}
+
+let default =
+  {
+    attempts = 3;
+    base_delay_s = 0.001;
+    multiplier = 8.;
+    max_delay_s = 0.05;
+    jitter = 0.5;
+    seed = 0;
+  }
+
+(* Same mixer as Fault; the jitter for retry [k] is drawn from the
+   policy seed and [k] alone, so the backoff sequence is reproducible
+   without threading a stream through callers. *)
+let mix z =
+  let z = (z + 0x2545F4914F6CDD1D) land max_int in
+  let z = (z lxor (z lsr 30)) * 0x1B03738712FAD5C9 land max_int in
+  let z = (z lxor (z lsr 27)) * 0x2545F4914F6CDD1D land max_int in
+  z lxor (z lsr 31)
+
+let delay_s p ~retry =
+  let retry = max 1 retry in
+  let exp_backoff =
+    p.base_delay_s *. (p.multiplier ** Float.of_int (retry - 1))
+  in
+  let capped = Float.min p.max_delay_s exp_backoff in
+  let u =
+    Float.of_int (mix (p.seed lxor (retry * 0x1E3779B97F4A7C15)) land 0xFFFFFFFF)
+    /. 4294967296.0
+  in
+  Float.max 0. (capped *. (1. -. (p.jitter *. u)))
+
+type 'a outcome = { result : ('a, exn) result; tries : int }
+
+let run ?(sleep = Unix.sleepf) p ~retryable f =
+  let attempts = max 1 p.attempts in
+  let rec go tried =
+    match f () with
+    | v -> { result = Ok v; tries = tried + 1 }
+    | exception exn ->
+        let tried = tried + 1 in
+        if tried >= attempts || not (retryable exn) then
+          { result = Error exn; tries = tried }
+        else begin
+          sleep (delay_s p ~retry:tried);
+          go tried
+        end
+  in
+  go 0

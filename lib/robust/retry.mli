@@ -1,0 +1,41 @@
+(** Bounded retry with exponential backoff and deterministic jitter.
+
+    Wraps transient operations (registry mutations, plan-cache
+    compiles, journal appends) so an injected or real transient failure
+    is absorbed server-side instead of surfacing as a 500. The backoff
+    sequence is a pure function of the policy, so tests can assert the
+    exact delays; jitter comes from the policy's own seeded stream, not
+    the global RNG. *)
+
+type policy = {
+  attempts : int;  (** total tries including the first; min 1 *)
+  base_delay_s : float;  (** backoff before the first retry *)
+  multiplier : float;  (** backoff growth per retry *)
+  max_delay_s : float;  (** backoff cap *)
+  jitter : float;  (** fraction of the delay drawn uniformly, [0..1] *)
+  seed : int;  (** jitter stream seed *)
+}
+
+val default : policy
+(** 3 attempts, 1 ms base, x8 growth, 50 ms cap, 0.5 jitter, seed 0. *)
+
+val delay_s : policy -> retry:int -> float
+(** The exact sleep before retry number [retry] (1-based): clamped
+    exponential backoff plus that retry's deterministic jitter draw. *)
+
+type 'a outcome = {
+  result : ('a, exn) result;  (** [Error] carries the last exception *)
+  tries : int;  (** total executions, [>= 1] *)
+}
+
+val run :
+  ?sleep:(float -> unit) ->
+  policy ->
+  retryable:(exn -> bool) ->
+  (unit -> 'a) ->
+  'a outcome
+(** Run the thunk, retrying while it raises an exception [retryable]
+    accepts and attempts remain. Non-retryable exceptions and
+    exhaustion both end in [Error] (nothing is raised — the caller
+    chooses whether to re-raise). [sleep] defaults to [Unix.sleepf];
+    tests inject a recorder. *)

@@ -1,0 +1,96 @@
+(** The chaos harness: proof that [mapdisc serve] survives injected
+    faults.
+
+    A run drives the same deterministic request workload twice over an
+    in-process server — once clean to record reference bytes, once with
+    a {!Smg_robust.Fault} plane armed — and classifies every faulted
+    response against the survival contract: it must be byte-identical
+    to the clean run (possibly after client retries), a breaker shed, a
+    sound budget partial, or a clean 4xx/5xx carrying an error document
+    — never a hang, a crash, or a corrupt body. When a journal path is
+    given the faulted server is then killed and restarted from its
+    journal, and the recovered server must answer the warm probes with
+    the reference bytes again.
+
+    The workload is synthesised from the seed with
+    {!Smg_generate.Gen}: two generated scenarios are PUT, exercised
+    through exchange / discover / verify / compose / list / healthz
+    (plus deliberate malformed queries and tiny-fuel budget partials),
+    one is deleted and re-registered near the end, and two warm
+    exchange probes close the run. *)
+
+type config = {
+  c_seed : int;
+  c_requests : int;  (** clamped to at least 8 *)
+  c_domains : int;
+  c_plan : Smg_robust.Fault.plan;
+  c_breaker : Smg_robust.Breaker.config;
+  c_retry : Smg_robust.Retry.policy;
+  c_journal : string option;
+      (** arms the kill-and-recover phase; the file is created by the
+          faulted server and replayed by its successor *)
+  c_log : string -> unit;  (** progress lines; default drops them *)
+}
+
+val default_plan : Smg_robust.Fault.plan
+(** The standard chaos mix: raises on every point, delays on the
+    engine and socket points, short reads/writes on the sockets. *)
+
+val no_delay_plan : Smg_robust.Fault.plan
+(** {!default_plan} with the delay arms folded into passes — the
+    time-independent plan the determinism property uses. *)
+
+val config : ?journal:string -> seed:int -> requests:int -> domains:int -> unit -> config
+(** {!default_plan}, a chaos-tuned breaker (threshold 3, 250 ms
+    cooldown) so trips actually occur in a run, and the default retry
+    policy. *)
+
+type report = {
+  r_seed : int;
+  r_requests : int;
+  r_domains : int;
+  (* per-request classification *)
+  r_identical : int;  (** first response byte-identical to reference *)
+  r_retried : int;  (** byte-identical after client transport retries *)
+  r_shed : int;  (** 503 from an open circuit breaker *)
+  r_partial : int;  (** sound budget partial differing from reference *)
+  r_clean_error : int;  (** definite 4xx/5xx with an error document *)
+  r_hangs : int;  (** no response within the per-request deadline *)
+  r_crashes : int;  (** server unreachable after every retry *)
+  r_corrupt : int;  (** a response matching no contract class *)
+  r_client_retries : int;  (** extra transport attempts spent *)
+  (* server-side robustness counters (from /metrics atomics) *)
+  r_server_retries : int;
+  r_supervised : int;
+  r_breaker_trips : int;
+  r_breaker_shed : int;
+  r_timeouts : int;
+  (* fault plane *)
+  r_injected : (string * int) list;  (** per point: consultations fired *)
+  r_schedule_digest : string;  (** {!Smg_robust.Fault.schedule_digest} *)
+  r_outcome_digest : string;
+      (** MD5 over every request's (index, class, status, body-MD5) —
+          equal digests mean equal runs *)
+  (* journal recovery phase (zeros / [true] when no journal) *)
+  r_recovered : int;
+  r_recovery_ms : float;
+  r_recovery_ok : bool;
+      (** restarted server holds every scenario and answers the warm
+          probes with the reference bytes *)
+  r_drained : bool;  (** both shutdown drains reached quiescence *)
+  r_seconds : float;
+}
+
+val run : config -> report
+
+val ok : report -> bool
+(** The survival verdict: no hangs, no crashes, no corrupt bodies, the
+    drains quiesced, and (when journaled) recovery reproduced the
+    reference bytes. *)
+
+val survival : report -> float
+(** Fraction of requests answered inside the contract (everything but
+    hangs, crashes, corrupt). *)
+
+val report_json : report -> string
+val pp_report : Format.formatter -> report -> unit

@@ -356,6 +356,7 @@ let status_text = function
   | 400 -> "Bad Request"
   | 404 -> "Not Found"
   | 405 -> "Method Not Allowed"
+  | 408 -> "Request Timeout"
   | 409 -> "Conflict"
   | 413 -> "Payload Too Large"
   | 429 -> "Too Many Requests"
@@ -365,14 +366,17 @@ let status_text = function
   | c when c >= 400 && c < 500 -> "Bad Request"
   | _ -> "Error"
 
-let response ?(content_type = "application/json") ?(close = false) ~status body
-    =
+let response ?(content_type = "application/json") ?(close = false)
+    ?retry_after ~status body =
   let b = Buffer.create (String.length body + 160) in
   Buffer.add_string b
     (Printf.sprintf "HTTP/1.1 %d %s\r\n" status (status_text status));
   Buffer.add_string b (Printf.sprintf "Content-Type: %s\r\n" content_type);
   Buffer.add_string b
     (Printf.sprintf "Content-Length: %d\r\n" (String.length body));
+  (match retry_after with
+  | Some s -> Buffer.add_string b (Printf.sprintf "Retry-After: %d\r\n" (max 1 s))
+  | None -> ());
   Buffer.add_string b
     (if close then "Connection: close\r\n" else "Connection: keep-alive\r\n");
   Buffer.add_string b "\r\n";

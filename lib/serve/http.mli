@@ -82,9 +82,11 @@ val status_text : int -> string
 val response :
   ?content_type:string ->
   ?close:bool ->
+  ?retry_after:int ->
   status:int ->
   string ->
   string
 (** Serialize a response: status line, [Content-Type] (default
-    [application/json]), [Content-Length], [Connection], blank line,
-    body. *)
+    [application/json]), [Content-Length], an optional [Retry-After]
+    in whole seconds (clamped to at least 1 — sent on 429 and 503 so
+    well-behaved clients back off), [Connection], blank line, body. *)

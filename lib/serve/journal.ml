@@ -1,0 +1,96 @@
+type op = Put of { name : string; text : string } | Delete of string
+
+let be32 n =
+  let b = Bytes.create 4 in
+  Bytes.set b 0 (Char.chr ((n lsr 24) land 0xff));
+  Bytes.set b 1 (Char.chr ((n lsr 16) land 0xff));
+  Bytes.set b 2 (Char.chr ((n lsr 8) land 0xff));
+  Bytes.set b 3 (Char.chr (n land 0xff));
+  Bytes.unsafe_to_string b
+
+let read_be32 s off =
+  (Char.code s.[off] lsl 24)
+  lor (Char.code s.[off + 1] lsl 16)
+  lor (Char.code s.[off + 2] lsl 8)
+  lor Char.code s.[off + 3]
+
+let checksum payload = String.sub (Digest.string payload) 0 4
+
+let payload_of = function
+  | Put { name; text } -> "P" ^ be32 (String.length name) ^ name ^ text
+  | Delete name -> "D" ^ be32 (String.length name) ^ name
+
+let encode op =
+  let p = payload_of op in
+  be32 (String.length p) ^ checksum p ^ p
+
+let op_of_payload p =
+  let len = String.length p in
+  if len < 5 then None
+  else
+    let nlen = read_be32 p 1 in
+    if nlen < 0 || 5 + nlen > len then None
+    else
+      let name = String.sub p 5 nlen in
+      match p.[0] with
+      | 'P' -> Some (Put { name; text = String.sub p (5 + nlen) (len - 5 - nlen) })
+      | 'D' when len = 5 + nlen -> Some (Delete name)
+      | _ -> None
+
+(* Decode the longest clean prefix of [data]: ops plus the offset where
+   the first torn or corrupt record begins. *)
+let decode data =
+  let len = String.length data in
+  let rec go acc off =
+    if off + 8 > len then (List.rev acc, off)
+    else
+      let plen = read_be32 data off in
+      if plen < 0 || off + 8 + plen > len then (List.rev acc, off)
+      else
+        let payload = String.sub data (off + 8) plen in
+        if String.sub data (off + 4) 4 <> checksum payload then
+          (List.rev acc, off)
+        else
+          match op_of_payload payload with
+          | None -> (List.rev acc, off)
+          | Some op -> go (op :: acc) (off + 8 + plen)
+  in
+  go [] 0
+
+let replay path =
+  if not (Sys.file_exists path) then ([], 0)
+  else begin
+    let ic = open_in_bin path in
+    let data =
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    decode data
+  end
+
+type t = { fd : Unix.file_descr; lock : Mutex.t }
+
+let open_append path =
+  let _, clean = replay path in
+  let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT ] 0o644 in
+  ignore (Unix.ftruncate fd clean);
+  ignore (Unix.lseek fd 0 Unix.SEEK_END);
+  { fd; lock = Mutex.create () }
+
+let append t op =
+  let record = encode op in
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () ->
+      let len = String.length record in
+      let written = ref 0 in
+      while !written < len do
+        written :=
+          !written
+          + Unix.write_substring t.fd record !written (len - !written)
+      done;
+      Unix.fsync t.fd)
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()

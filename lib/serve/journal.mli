@@ -1,0 +1,39 @@
+(** Crash-safe registry journal: an append-only log of the mutations
+    ([PUT] bodies and [DELETE]s) that built the current registry, so a
+    restarted [mapdisc serve --journal FILE] replays it and recovers
+    every registered scenario.
+
+    Wire format, per record: a 4-byte big-endian payload length, a
+    4-byte checksum (the first 4 bytes of the payload's MD5), then the
+    payload — an op byte (['P'] put, ['D'] delete), a 4-byte big-endian
+    name length, the name, and (for put) the scenario text. Replay
+    scans from the start and stops at the first record whose length
+    field runs past the file or whose checksum disagrees: a torn tail
+    (the crash window is an interrupted append) silently truncates to
+    the committed prefix, which {!open_append} then makes physical so
+    the next append never stacks bytes after garbage. *)
+
+type op = Put of { name : string; text : string } | Delete of string
+
+val encode : op -> string
+(** One framed record, exactly as appended — exposed so tests can build
+    journals and truncate them at arbitrary byte offsets. *)
+
+val replay : string -> op list * int
+(** [replay path] is the committed ops in append order plus the byte
+    offset where the clean prefix ends. A missing file is an empty
+    journal ([[], 0]). Read errors mid-file end the prefix like a torn
+    record; only opening the file can raise ([Unix.Unix_error]). *)
+
+type t
+
+val open_append : string -> t
+(** Open (creating if needed) for appending, after truncating to the
+    clean-prefix offset {!replay} reports — call [replay] first to
+    collect the ops, then [open_append] to resume writing. *)
+
+val append : t -> op -> unit
+(** Append one record and flush it to stable storage ([fsync]) before
+    returning — an acknowledged mutation survives a crash. *)
+
+val close : t -> unit

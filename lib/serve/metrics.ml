@@ -22,6 +22,16 @@ type t = {
   m_eps : (string, ep) Hashtbl.t;
   m_started : float;
   m_inflight : int Atomic.t;
+  (* robustness plane: plain atomics — they are bumped from inside
+     supervision/retry paths that must never contend on the stats lock *)
+  m_retries : int Atomic.t;  (* extra attempts beyond the first *)
+  m_retry_ok : int Atomic.t;  (* operations that succeeded after retrying *)
+  m_supervised : int Atomic.t;  (* handler exceptions contained as 500s *)
+  m_breaker_trips : int Atomic.t;
+  m_breaker_shed : int Atomic.t;  (* requests answered 503 by an open breaker *)
+  m_timeouts : int Atomic.t;  (* idle connections answered 408 *)
+  m_recovered : int Atomic.t;  (* scenarios replayed from the journal *)
+  m_recovery_ms : float Atomic.t;  (* startup replay + re-warm latency *)
 }
 
 let create () =
@@ -30,9 +40,38 @@ let create () =
     m_eps = Hashtbl.create 8;
     m_started = Unix.gettimeofday ();
     m_inflight = Atomic.make 0;
+    m_retries = Atomic.make 0;
+    m_retry_ok = Atomic.make 0;
+    m_supervised = Atomic.make 0;
+    m_breaker_trips = Atomic.make 0;
+    m_breaker_shed = Atomic.make 0;
+    m_timeouts = Atomic.make 0;
+    m_recovered = Atomic.make 0;
+    m_recovery_ms = Atomic.make 0.;
   }
 
 let inflight t = t.m_inflight
+
+let retried t ~tries ~ok =
+  ignore (Atomic.fetch_and_add t.m_retries (max 0 (tries - 1)));
+  if ok then ignore (Atomic.fetch_and_add t.m_retry_ok 1)
+
+let supervised t = ignore (Atomic.fetch_and_add t.m_supervised 1)
+let breaker_tripped t = ignore (Atomic.fetch_and_add t.m_breaker_trips 1)
+let breaker_shed t = ignore (Atomic.fetch_and_add t.m_breaker_shed 1)
+let timed_out t = ignore (Atomic.fetch_and_add t.m_timeouts 1)
+
+let recovered t ~scenarios ~seconds =
+  ignore (Atomic.fetch_and_add t.m_recovered scenarios);
+  Atomic.set t.m_recovery_ms (seconds *. 1000.)
+
+let retries t = Atomic.get t.m_retries
+let breaker_trips t = Atomic.get t.m_breaker_trips
+let breaker_shed_count t = Atomic.get t.m_breaker_shed
+let supervised_count t = Atomic.get t.m_supervised
+let timeout_count t = Atomic.get t.m_timeouts
+let recovered_count t = Atomic.get t.m_recovered
+let recovery_ms t = Atomic.get t.m_recovery_ms
 
 let ep_of t name =
   match Hashtbl.find_opt t.m_eps name with
@@ -114,10 +153,20 @@ let to_json t ~scenarios =
   let s =
     Printf.sprintf
       "{\"uptime_s\": %.3f,\n \"inflight\": %d,\n \"scenarios\": %d,\n \
-       \"endpoints\": %s}\n"
+       \"robustness\": {\"retries\": %d, \"retry_success\": %d, \
+       \"supervised_errors\": %d, \"breaker_trips\": %d, \"breaker_shed\": \
+       %d, \"timeouts_408\": %d, \"recovered_scenarios\": %d, \
+       \"recovery_ms\": %.3f},\n \"endpoints\": %s}\n"
       uptime
       (Atomic.get t.m_inflight)
-      scenarios body
+      scenarios (Atomic.get t.m_retries) (Atomic.get t.m_retry_ok)
+      (Atomic.get t.m_supervised)
+      (Atomic.get t.m_breaker_trips)
+      (Atomic.get t.m_breaker_shed)
+      (Atomic.get t.m_timeouts)
+      (Atomic.get t.m_recovered)
+      (Atomic.get t.m_recovery_ms)
+      body
   in
   Mutex.unlock t.m_lock;
   s

@@ -26,6 +26,34 @@ val inflight : t -> int Atomic.t
 (** Open connections right now — incremented by the accept loop,
     decremented on close; also the admission-control gauge. *)
 
+(** {1 Robustness counters}
+
+    Lock-free (plain atomics): bumped from supervision, retry, breaker
+    and recovery paths. *)
+
+val retried : t -> tries:int -> ok:bool -> unit
+(** One retried operation: [tries - 1] extra attempts, [ok] whether it
+    ultimately succeeded. *)
+
+val supervised : t -> unit
+(** A handler exception contained by supervision (answered 500). *)
+
+val breaker_tripped : t -> unit
+val breaker_shed : t -> unit
+val timed_out : t -> unit
+
+val recovered : t -> scenarios:int -> seconds:float -> unit
+(** Journal recovery accounting: scenarios replayed and the startup
+    replay + re-warm latency. *)
+
+val retries : t -> int
+val breaker_trips : t -> int
+val breaker_shed_count : t -> int
+val supervised_count : t -> int
+val timeout_count : t -> int
+val recovered_count : t -> int
+val recovery_ms : t -> float
+
 val to_json : t -> scenarios:int -> string
 (** The [GET /metrics] document: uptime, open connections, scenario
     count, and per endpoint requests, status classes (2xx/4xx/5xx),

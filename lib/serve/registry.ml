@@ -32,13 +32,52 @@ type cell = {
   c_plans : (string, Engine.compiled) Hashtbl.t;
 }
 
-type t = { t_lock : Mutex.t; t_cells : (string, cell) Hashtbl.t }
+type t = {
+  t_lock : Mutex.t;
+  t_cells : (string, cell) Hashtbl.t;
+  t_fault : Smg_robust.Fault.t option;
+  t_retry : Smg_robust.Retry.policy;
+  t_on_retry : tries:int -> ok:bool -> unit;
+}
 
-let create () = { t_lock = Mutex.create (); t_cells = Hashtbl.create 16 }
+let create ?fault ?(retry = Smg_robust.Retry.default)
+    ?(on_retry = fun ~tries:_ ~ok:_ -> ()) () =
+  {
+    t_lock = Mutex.create ();
+    t_cells = Hashtbl.create 16;
+    t_fault = fault;
+    t_retry = retry;
+    t_on_retry = on_retry;
+  }
 
 let with_lock m f =
   Mutex.lock m;
   Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+let fire t point =
+  match t.t_fault with
+  | Some f -> Smg_robust.Fault.fire f point
+  | None -> ()
+
+(* Store and compile faults are the transient class: absorbed by the
+   retry policy server-side, so a flaky mutation surfaces to the client
+   as a (slightly slower) success, not a 500. Anything else — parse
+   faults included — is not retried. *)
+let transient = function
+  | Smg_robust.Fault.Injected
+      (Smg_robust.Fault.Registry_store | Smg_robust.Fault.Plan_compile) ->
+      true
+  | _ -> false
+
+let with_retry t f =
+  let o = Smg_robust.Retry.run t.t_retry ~retryable:transient f in
+  (match o.Smg_robust.Retry.result with
+  | Ok _ when o.Smg_robust.Retry.tries > 1 ->
+      t.t_on_retry ~tries:o.Smg_robust.Retry.tries ~ok:true
+  | Error _ when o.Smg_robust.Retry.tries > 1 ->
+      t.t_on_retry ~tries:o.Smg_robust.Retry.tries ~ok:false
+  | _ -> ());
+  match o.Smg_robust.Retry.result with Ok v -> v | Error e -> raise e
 
 let fresh_cell entry =
   {
@@ -108,6 +147,9 @@ let scenario_tgds (scen : Scenario.t) =
 (* ---- registration ------------------------------------------------------ *)
 
 let put t ~name ~text =
+  (* a parse fault is not retryable: it raises out of [put] into the
+     server's supervisor, which answers a diagnosed 500 *)
+  fire t Smg_robust.Fault.Parse;
   match Smg_dsl.Parser.parse_result ~file:name text with
   | Error d -> Error d
   | Ok doc -> (
@@ -136,9 +178,12 @@ let put t ~name ~text =
                     en_created = Unix.gettimeofday ();
                   }
                 in
-                (match prior with
-                | Some _ -> Hashtbl.replace t.t_cells name (fresh_cell entry)
-                | None -> Hashtbl.add t.t_cells name (fresh_cell entry));
+                let cell = fresh_cell entry in
+                with_retry t (fun () ->
+                    fire t Smg_robust.Fault.Registry_store;
+                    match prior with
+                    | Some _ -> Hashtbl.replace t.t_cells name cell
+                    | None -> Hashtbl.add t.t_cells name cell);
                 Ok (entry, false)
           end)
 
@@ -154,7 +199,10 @@ let names t =
 let remove t name =
   with_lock t.t_lock @@ fun () ->
   let existed = Hashtbl.mem t.t_cells name in
-  Hashtbl.remove t.t_cells name;
+  if existed then
+    with_retry t (fun () ->
+        fire t Smg_robust.Fault.Registry_store;
+        Hashtbl.remove t.t_cells name);
   existed
 
 let size t = with_lock t.t_lock @@ fun () -> Hashtbl.length t.t_cells
@@ -298,11 +346,13 @@ let instance_plan ~size ~seed (entry : entry) =
                  (List.length violations))
       end
 
-let compile_for ~laconic (entry : entry) inst tgds =
-  Engine.compile
-    ~card:(fun name -> Instance.cardinality inst name)
-    ~laconic ~source:entry.en_source.Discover.schema
-    ~target:entry.en_target.Discover.schema ~mappings:tgds ()
+let compile_for t ~laconic (entry : entry) inst tgds =
+  with_retry t (fun () ->
+      fire t Smg_robust.Fault.Plan_compile;
+      Engine.compile
+        ~card:(fun name -> Instance.cardinality inst name)
+        ~laconic ~source:entry.en_source.Discover.schema
+        ~target:entry.en_target.Discover.schema ~mappings:tgds ())
 
 let exchange t ?budget ?(size = 1000) ?(seed = 42) ?(laconic = true) entry =
   match entry_tgds t entry with
@@ -316,7 +366,7 @@ let exchange t ?budget ?(size = 1000) ?(seed = 42) ?(laconic = true) entry =
             match cell_of t entry with
             | None ->
                 let inst = make_inst () in
-                (inst, compile_for ~laconic entry inst tgds, `Miss)
+                (inst, compile_for t ~laconic entry inst tgds, `Miss)
             | Some cell ->
                 with_lock cell.c_lock @@ fun () ->
                 let inst =
@@ -330,7 +380,7 @@ let exchange t ?budget ?(size = 1000) ?(seed = 42) ?(laconic = true) entry =
                 (match Hashtbl.find_opt cell.c_plans plan_key with
                 | Some c -> (inst, Ok c, `Hit)
                 | None -> (
-                    match compile_for ~laconic entry inst tgds with
+                    match compile_for t ~laconic entry inst tgds with
                     | Ok c ->
                         Hashtbl.add cell.c_plans plan_key c;
                         (inst, Ok c, `Miss)
@@ -341,7 +391,7 @@ let exchange t ?budget ?(size = 1000) ?(seed = 42) ?(laconic = true) entry =
           | Ok compiled -> (
               (* execution allocates all mutable state per call, so a
                  cached compiled value is safe under concurrency *)
-              match Engine.execute ?budget compiled inst with
+              match Engine.execute ?budget ?fault:t.t_fault compiled inst with
               | Engine.Failed msg -> Ex_failed msg
               | Engine.Complete rep ->
                   Ex_ok (Render.exchange_json ~head ~laconic rep, hit)

@@ -27,7 +27,22 @@ type entry = {
 
 type t
 
-val create : unit -> t
+val create :
+  ?fault:Smg_robust.Fault.t ->
+  ?retry:Smg_robust.Retry.policy ->
+  ?on_retry:(tries:int -> ok:bool -> unit) ->
+  unit ->
+  t
+(** [fault] wires the registry's injection points ([Parse] before a
+    PUT's parse, [Registry_store] around mutations, [Plan_compile]
+    around plan compilation, and [Engine_step] forwarded into
+    {!Smg_exchange.Engine.execute}). Store and compile faults are
+    transient: they are retried under [retry] (default
+    {!Smg_robust.Retry.default}), with [on_retry] reporting each
+    retried operation's total tries and final outcome — the server's
+    metrics hook. A parse fault, or a transient one that survives every
+    attempt, raises [Smg_robust.Fault.Injected] out of the mutating
+    call for the caller's supervisor to turn into a diagnosed 500. *)
 
 val sides_of_doc :
   Smg_dsl.Ast.t ->

@@ -1,5 +1,8 @@
 module Budget = Smg_robust.Budget
 module Diag = Smg_robust.Diag
+module Fault = Smg_robust.Fault
+module Retry = Smg_robust.Retry
+module Breaker = Smg_robust.Breaker
 module Mapping = Smg_cq.Mapping
 module Discover = Smg_core.Discover
 module Mapverify = Smg_verify.Mapverify
@@ -15,6 +18,12 @@ type config = {
   fuel : int option;
   seed : int;
   preload : bool;
+  journal : string option;
+  fault : Fault.t option;
+  idle_timeout_s : float;
+  drain_deadline_s : float;
+  retry : Retry.policy;
+  breaker : Breaker.config;
 }
 
 let default_config =
@@ -26,6 +35,12 @@ let default_config =
     fuel = None;
     seed = 42;
     preload = true;
+    journal = None;
+    fault = None;
+    idle_timeout_s = 5.0;
+    drain_deadline_s = 10.0;
+    retry = Retry.default;
+    breaker = Breaker.default_config;
   }
 
 type t = {
@@ -35,7 +50,60 @@ type t = {
   reg : Registry.t;
   met : Metrics.t;
   stop_flag : bool Atomic.t;
+  journal : Journal.t option;
+  br_lock : Mutex.t;
+  breakers : (string, Breaker.t) Hashtbl.t;  (* per scenario name *)
 }
+
+(* Replay the journal into the registry. Each op is retried through
+   any injected parse/store faults (the journal is ground truth — a
+   recovery must not be derailed by the same chaos it proves against),
+   then the recovered DSL entries re-warm their discovery caches so
+   the first post-restart request is as warm as the last pre-crash
+   one. Builtins are never journaled: a journaled DELETE of one is
+   replayed like any other op, after the preload. *)
+let recover reg met path =
+  let t0 = Unix.gettimeofday () in
+  let ops, _clean = Journal.replay path in
+  let apply op =
+    let rec attempt n =
+      match
+        match op with
+        | Journal.Put { name; text } -> (
+            match Registry.put reg ~name ~text with
+            | Ok _ -> `Done (Some name)
+            | Error _ -> `Done None (* journaled yet unparsable: skip *))
+        | Journal.Delete name ->
+            ignore (Registry.remove reg name);
+            `Done None
+      with
+      | `Done r -> r
+      | exception Fault.Injected _ when n < 10 -> attempt (n + 1)
+      | exception Fault.Injected _ -> None
+    in
+    attempt 0
+  in
+  let recovered = List.filter_map apply ops in
+  (* the last op for a name wins; warm only names still registered *)
+  let warm name =
+    match Registry.find reg name with
+    | None -> ()
+    | Some entry ->
+        (try ignore (Registry.entry_tgds reg entry)
+         with Fault.Injected _ -> ());
+        (try
+           ignore (Registry.discover reg ~meth:`Both ~dedup:false entry)
+         with Fault.Injected _ -> ())
+  in
+  (* a later Delete in the journal wins over an earlier Put: only
+     names still registered count as recovered *)
+  let names =
+    List.sort_uniq String.compare recovered
+    |> List.filter (fun n -> Option.is_some (Registry.find reg n))
+  in
+  List.iter warm names;
+  Metrics.recovered met ~scenarios:(List.length names)
+    ~seconds:(Unix.gettimeofday () -. t0)
 
 let create cfg =
   let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
@@ -51,21 +119,72 @@ let create cfg =
     | Unix.ADDR_INET (_, p) -> p
     | Unix.ADDR_UNIX _ -> cfg.port
   in
-  let reg = Registry.create () in
+  let met = Metrics.create () in
+  let reg =
+    Registry.create ?fault:cfg.fault ~retry:cfg.retry
+      ~on_retry:(fun ~tries ~ok -> Metrics.retried met ~tries ~ok)
+      ()
+  in
   if cfg.preload then Registry.preload_builtins reg;
+  let journal =
+    match cfg.journal with
+    | None -> None
+    | Some path ->
+        recover reg met path;
+        Some (Journal.open_append path)
+  in
   {
     cfg;
     listen_fd = fd;
     bound_port;
     reg;
-    met = Metrics.create ();
+    met;
     stop_flag = Atomic.make false;
+    journal;
+    br_lock = Mutex.create ();
+    breakers = Hashtbl.create 8;
   }
 
 let port t = t.bound_port
 let registry t = t.reg
 let metrics t = t.met
 let stop t = Atomic.set t.stop_flag true
+
+let breaker_for t name =
+  Mutex.lock t.br_lock;
+  let b =
+    match Hashtbl.find_opt t.breakers name with
+    | Some b -> b
+    | None ->
+        let b = Breaker.create ~config:t.cfg.breaker () in
+        Hashtbl.add t.breakers name b;
+        b
+  in
+  Mutex.unlock t.br_lock;
+  b
+
+(* Durability barrier: the mutation is only acknowledged once its
+   journal record is fsynced. The append is retried through injected
+   store faults; if it still fails the in-memory entry is rolled back
+   so a client retry replays the whole mutation instead of hitting the
+   idempotent-PUT cache over an unjournaled entry. *)
+let journal_append t op =
+  match t.journal with
+  | None -> Ok ()
+  | Some j ->
+      let o =
+        Retry.run t.cfg.retry
+          ~retryable:(function Fault.Injected _ -> true | _ -> false)
+          (fun () ->
+            (match t.cfg.fault with
+            | Some f -> Fault.fire f Fault.Registry_store
+            | None -> ());
+            Journal.append j op)
+      in
+      if o.Retry.tries > 1 then
+        Metrics.retried t.met ~tries:o.Retry.tries
+          ~ok:(Result.is_ok o.Retry.result);
+      o.Retry.result
 
 (* ---- request answering -------------------------------------------------- *)
 
@@ -77,10 +196,22 @@ type answer = {
   aw_body : string;
   aw_hit : [ `Hit | `Miss ] option;
   aw_exhausted : bool;
+  aw_retry_after : int option;  (* Retry-After seconds on 429/503 *)
 }
 
-let answer ?hit ?(exhausted = false) aw_endpoint aw_status aw_body =
-  { aw_endpoint; aw_status; aw_body; aw_hit = hit; aw_exhausted = exhausted }
+let answer ?hit ?(exhausted = false) ?retry_after aw_endpoint aw_status aw_body
+    =
+  {
+    aw_endpoint;
+    aw_status;
+    aw_body;
+    aw_hit = hit;
+    aw_exhausted = exhausted;
+    aw_retry_after =
+      (match retry_after with
+      | Some _ -> retry_after
+      | None -> if aw_status = 503 || aw_status = 429 then Some 1 else None);
+  }
 
 let error_body ?(diags = []) msg =
   Printf.sprintf "{\"error\": %s,\n \"diagnostics\": %s}\n"
@@ -124,12 +255,23 @@ let scenario_or_404 t name k =
 let handle_put t name body =
   match Registry.put t.reg ~name ~text:body with
   | Error d -> answer "put" 400 (error_body ~diags:[ d ] d.Diag.d_message)
-  | Ok (entry, cached) ->
-      let status = if cached then 200 else 201 in
-      let hit = if cached then `Hit else `Miss in
-      answer ~hit "put" status
-        (Printf.sprintf "{\"cached\": %b,\n \"scenario\": %s}\n" cached
-           (Registry.info_json t.reg entry))
+  | Ok (entry, cached) -> (
+      match
+        if cached then Ok ()
+        else journal_append t (Journal.Put { name; text = body })
+      with
+      | Error exn ->
+          ignore (try Registry.remove t.reg name with Fault.Injected _ -> true);
+          answer "put" 500
+            (error_body
+               ~diags:[ Diag.of_exn Diag.Validate exn ]
+               "journal append failed; the scenario was not registered")
+      | Ok () ->
+          let status = if cached then 200 else 201 in
+          let hit = if cached then `Hit else `Miss in
+          answer ~hit "put" status
+            (Printf.sprintf "{\"cached\": %b,\n \"scenario\": %s}\n" cached
+               (Registry.info_json t.reg entry)))
 
 let handle_discover t rq entry =
   let meth =
@@ -279,12 +421,18 @@ let route t (rq : Http.request) =
   | Http.GET, [ "scenarios"; name ] ->
       scenario_or_404 t name (fun entry ->
           answer "get" 200 (Registry.info_json t.reg entry ^ "\n"))
-  | Http.DELETE, [ "scenarios"; name ] ->
-      if Registry.remove t.reg name then
-        answer "delete" 200 "{\"deleted\": true}\n"
-      else
+  | Http.DELETE, [ "scenarios"; name ] -> (
+      if not (Registry.remove t.reg name) then
         answer "delete" 404
           (error_body (Printf.sprintf "no scenario named %s" name))
+      else
+        match journal_append t (Journal.Delete name) with
+        | Ok () -> answer "delete" 200 "{\"deleted\": true}\n"
+        | Error exn ->
+            answer "delete" 500
+              (error_body
+                 ~diags:[ Diag.of_exn Diag.Validate exn ]
+                 "journal append failed; the delete is not durable"))
   | Http.POST, [ "scenarios"; name; action ] -> (
       scenario_or_404 t name (fun entry ->
           match action with
@@ -299,13 +447,49 @@ let route t (rq : Http.request) =
       answer "other" 405 (error_body "method not allowed")
   | _ -> answer "other" 404 (error_body "not found")
 
-let safe_route t rq =
-  try route t rq
+(* Supervision: an exception anywhere in a handler — injected or
+   genuine — is contained as a diagnosed 500 on this request; the
+   domain and the connection live on. *)
+let supervise t endpoint f =
+  try f ()
   with exn ->
-    answer "other" 500
+    Metrics.supervised t.met;
+    answer endpoint 500
       (error_body
          ~diags:[ Diag.of_exn Diag.Exchange exn ]
          (Printexc.to_string exn))
+
+(* POST actions run behind the scenario's circuit breaker: repeated
+   5xx answers trip it and later requests shed immediately with 503 +
+   Retry-After instead of burning a domain on work that keeps failing;
+   after the cooldown one probe is admitted and its outcome decides
+   between closing and re-opening. Only 500s count as failures:
+   2xx/3xx/4xx say nothing bad about the scenario's health, and a 503
+   budget partial is a successful degraded answer to a client-chosen
+   budget, not a fault. *)
+let safe_route t rq =
+  match (rq.Http.rq_meth, rq.Http.rq_segments) with
+  | Http.POST, [ "scenarios"; name; action ] ->
+      let br = breaker_for t name in
+      (match Breaker.admit br ~now:(Unix.gettimeofday ()) with
+      | Breaker.Shed retry_after ->
+          Metrics.breaker_shed t.met;
+          answer ~retry_after action 503
+            (error_body
+               (Printf.sprintf
+                  "circuit open for scenario %s: shedding after repeated \
+                   failures"
+                  name))
+      | Breaker.Allow ->
+          let before = Breaker.trips br in
+          let aw = supervise t action (fun () -> route t rq) in
+          if aw.aw_status = 500 then begin
+            Breaker.failure br ~now:(Unix.gettimeofday ());
+            if Breaker.trips br > before then Metrics.breaker_tripped t.met
+          end
+          else Breaker.success br;
+          aw)
+  | _ -> supervise t "other" (fun () -> route t rq)
 
 (* ---- connection loop ---------------------------------------------------- *)
 
@@ -319,26 +503,71 @@ let write_all fd s =
   in
   go 0
 
+(* An idle or stalled peer hit the read/write deadline. *)
+exception Conn_timeout
+
+(* An injected socket fault drops the connection mid-exchange. *)
+exception Conn_drop
+
 let handle_conn t fd =
-  Unix.setsockopt_float fd Unix.SO_RCVTIMEO 5.0;
+  (* the injected socket decisions are drawn once per connection, so
+     the fault schedule depends on connection order alone, never on
+     how the kernel chunks the byte stream *)
+  let rd_fault =
+    match t.cfg.fault with
+    | Some f -> Fault.decide f Fault.Socket_read
+    | None -> None
+  in
+  let wr_fault () =
+    match t.cfg.fault with
+    | Some f -> Fault.decide f Fault.Socket_write
+    | None -> None
+  in
+  Unix.setsockopt_float fd Unix.SO_RCVTIMEO t.cfg.idle_timeout_s;
+  Unix.setsockopt_float fd Unix.SO_SNDTIMEO t.cfg.idle_timeout_s;
+  let reads = ref 0 in
   let read buf off len =
-    match Unix.read fd buf off len with
-    | n -> n
-    | exception Unix.Unix_error (Unix.EINTR, _, _) -> 0
-    | exception
-        Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
-        0 (* receive timeout: treat as end of stream *)
+    (* a Short read fault delivers the first chunk then fakes EOF, so
+       a request spanning reads is seen truncated — a clean 400 *)
+    if rd_fault = Some Fault.Short && !reads >= 1 then 0
+    else
+      match Unix.read fd buf off len with
+      | n ->
+          incr reads;
+          n
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> 0
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          raise Conn_timeout
+  in
+  let send resp =
+    match wr_fault () with
+    | None -> write_all fd resp
+    | Some (Fault.Delay s) ->
+        if s > 0. then Unix.sleepf s;
+        write_all fd resp
+    | Some Fault.Raise -> raise Conn_drop
+    | Some Fault.Short ->
+        (* cut inside the status line: the client sees a torn response
+           it can never mistake for a complete one *)
+        write_all fd (String.sub resp 0 (min 20 (String.length resp)));
+        raise Conn_drop
   in
   let reader = Http.reader read in
+  (* bytes consumed up to the last request boundary: when the idle
+     deadline strikes, anything past this mark is a half-sent request
+     (slowloris) deserving a 408; at the mark, the peer is merely idle
+     between keep-alive requests and is closed silently *)
+  let boundary = ref 0 in
   let rec loop () =
     let before = Http.bytes_in reader in
+    boundary := before;
     let t0 = Unix.gettimeofday () in
     match Http.next_request reader with
     | Http.Eof -> ()
     | Http.Reject rj ->
         let body = error_body rj.Http.rj_reason in
         let resp = Http.response ~close:true ~status:rj.Http.rj_status body in
-        write_all fd resp;
+        send resp;
         Metrics.record t.met ~endpoint:"reject" ~status:rj.Http.rj_status
           ~bytes_in:(Http.bytes_in reader - before)
           ~bytes_out:(String.length resp)
@@ -348,9 +577,10 @@ let handle_conn t fd =
         let aw = safe_route t rq in
         let keep = Http.keep_alive rq && not (Atomic.get t.stop_flag) in
         let resp =
-          Http.response ~close:(not keep) ~status:aw.aw_status aw.aw_body
+          Http.response ~close:(not keep) ?retry_after:aw.aw_retry_after
+            ~status:aw.aw_status aw.aw_body
         in
-        write_all fd resp;
+        send resp;
         Metrics.record t.met ~endpoint:aw.aw_endpoint ~status:aw.aw_status
           ?hit:aw.aw_hit ~exhausted:aw.aw_exhausted
           ~bytes_in:(Http.bytes_in reader - before)
@@ -363,7 +593,34 @@ let handle_conn t fd =
     ~finally:(fun () ->
       (try Unix.close fd with Unix.Unix_error _ -> ());
       ignore (Atomic.fetch_and_add (Metrics.inflight t.met) (-1)))
-    (fun () -> try loop () with Unix.Unix_error _ -> ())
+    (fun () ->
+      (* the pool_task point fires inside the protect, so an injected
+         task death still closes the socket and releases the inflight
+         slot; the raise escapes to the dispatcher's supervisor *)
+      (match t.cfg.fault with
+      | Some f -> Fault.fire f Fault.Pool_task
+      | None -> ());
+      (match rd_fault with
+      | Some Fault.Raise -> raise Conn_drop
+      | Some (Fault.Delay s) -> if s > 0. then Unix.sleepf s
+      | Some Fault.Short | None -> ());
+      try loop () with
+      | Unix.Unix_error _ | Conn_drop -> ()
+      | Conn_timeout when Http.bytes_in reader > !boundary ->
+          (* slowloris containment: the peer went idle with a request
+             half-sent; answer 408 and close *)
+          Metrics.timed_out t.met;
+          let resp =
+            Http.response ~close:true ~status:408
+              (error_body "connection idle past the read deadline")
+          in
+          (try send resp with Unix.Unix_error _ | Conn_drop -> ());
+          Metrics.record t.met ~endpoint:"timeout" ~status:408 ~bytes_in:0
+            ~bytes_out:(String.length resp) ~seconds:t.cfg.idle_timeout_s ()
+      | Conn_timeout ->
+          (* idle between keep-alive requests: close without ceremony,
+             exactly as if the peer had hung up *)
+          ())
 
 let too_busy = "{\"error\": \"too many connections\", \"diagnostics\": []}\n"
 
@@ -377,7 +634,9 @@ let accept_loop t dispatch =
         | fd, _ ->
             let gauge = Metrics.inflight t.met in
             if Atomic.get gauge >= t.cfg.max_inflight then begin
-              let resp = Http.response ~close:true ~status:429 too_busy in
+              let resp =
+                Http.response ~close:true ~retry_after:1 ~status:429 too_busy
+              in
               (try write_all fd resp with Unix.Unix_error _ -> ());
               (try Unix.close fd with Unix.Unix_error _ -> ());
               Metrics.record t.met ~endpoint:"admission" ~status:429
@@ -393,11 +652,31 @@ let accept_loop t dispatch =
   done
 
 let run t =
-  let finish () = try Unix.close t.listen_fd with Unix.Unix_error _ -> () in
+  let finish () =
+    (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+    Option.iter Journal.close t.journal
+  in
   Fun.protect ~finally:finish (fun () ->
-      if t.cfg.domains <= 1 then accept_loop t (fun f -> f ())
-      else
-        Smg_parallel.Pool.with_pool ~domains:t.cfg.domains (fun pool ->
-            accept_loop t (Smg_parallel.Pool.submit pool);
-            (* serve every accepted connection before returning *)
-            Smg_parallel.Pool.drain pool))
+      if t.cfg.domains <= 1 then begin
+        (* inline dispatch still supervises: an injected task death
+           must not take the accept loop down with it *)
+        accept_loop t (fun f ->
+            try f () with _ -> Metrics.supervised t.met);
+        true
+      end
+      else begin
+        let pool = Smg_parallel.Pool.create ~domains:t.cfg.domains in
+        Smg_parallel.Pool.set_supervisor pool (fun _ ->
+            Metrics.supervised t.met);
+        accept_loop t (Smg_parallel.Pool.submit pool);
+        (* bounded drain: serve what we can within the deadline, but a
+           stuck request must not turn SIGTERM into a hang — when the
+           drain times out the workers are abandoned (joining a stuck
+           domain would block forever) and process exit reaps them *)
+        let drained =
+          Smg_parallel.Pool.drain_timeout pool
+            ~seconds:t.cfg.drain_deadline_s
+        in
+        if drained then Smg_parallel.Pool.shutdown pool;
+        drained
+      end)

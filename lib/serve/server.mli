@@ -39,11 +39,25 @@ type config = {
   fuel : int option;  (** default per-request fuel *)
   seed : int;  (** default witness seed for generated exchange sources *)
   preload : bool;  (** preload the seven builtin domains *)
+  journal : string option;
+      (** crash-safe registry journal: mutations are appended (fsynced
+          before the response) and replayed on startup, re-warming the
+          recovered scenarios' caches *)
+  fault : Smg_robust.Fault.t option;  (** chaos injection plane *)
+  idle_timeout_s : float;
+      (** per-connection read/write deadline; an idle socket is
+          answered 408 and closed (slowloris containment) *)
+  drain_deadline_s : float;
+      (** bound on the shutdown drain of in-flight requests *)
+  retry : Smg_robust.Retry.policy;
+      (** backoff for transient registry / plan-cache / journal ops *)
+  breaker : Smg_robust.Breaker.config;  (** per-scenario circuit breaker *)
 }
 
 val default_config : config
 (** port 8080, domains 1, max_inflight 64, no budget, seed 42,
-    preload on. *)
+    preload on, no journal, no faults, 5 s idle timeout, 10 s drain
+    deadline, default retry policy and breaker config. *)
 
 type t
 
@@ -57,10 +71,14 @@ val port : t -> int
 val registry : t -> Registry.t
 val metrics : t -> Metrics.t
 
-val run : t -> unit
-(** Accept and serve until {!stop}; then drain in-flight connections,
-    close the socket, and return. Installs no signal handlers — the
-    caller owns SIGTERM/SIGINT wiring. *)
+val run : t -> bool
+(** Accept and serve until {!stop}; then drain in-flight connections
+    (bounded by [drain_deadline_s]), close the socket, and return
+    whether the drain reached quiescence — [false] means a stuck
+    request was abandoned to process exit. Handler exceptions are
+    supervised: each becomes a diagnosed 500 on its own request, never
+    a dead domain. Installs no signal handlers — the caller owns
+    SIGTERM/SIGINT wiring. *)
 
 val stop : t -> unit
 (** Ask {!run} to return; safe from a signal handler or another

@@ -235,7 +235,7 @@ let test_fixture_serve_parity () =
   Fun.protect
     ~finally:(fun () ->
       Server.stop srv;
-      Domain.join d)
+      ignore (Domain.join d))
     (fun () ->
       let port = Server.port srv in
       let status, _ = http_request ~port "PUT" ("/scenarios/" ^ name) text in

@@ -534,6 +534,182 @@ let test_exchange_budget () =
   | Engine.Complete _ -> Alcotest.fail "tiny budget completed"
   | Engine.Failed msg -> Alcotest.failf "exchange failed: %s" msg
 
+(* ---- fault plane -------------------------------------------------------- *)
+
+module Fault = Smg_robust.Fault
+module Retry = Smg_robust.Retry
+module Breaker = Smg_robust.Breaker
+
+let test_fault_replay () =
+  (* the same seed replays the same schedule, consultation by
+     consultation, whatever the interleaving of other points *)
+  let plan =
+    [
+      (Fault.Parse, { Fault.p_raise = 0.3; p_delay = 0.2; delay_s = 0.; p_short = 0.1 });
+      (Fault.Engine_step, { Fault.p_raise = 0.5; p_delay = 0.; delay_s = 0.; p_short = 0. });
+    ]
+  in
+  let consult f =
+    for i = 1 to 200 do
+      ignore (Fault.decide f Fault.Parse);
+      if i mod 3 = 0 then ignore (Fault.decide f Fault.Engine_step)
+    done
+  in
+  let a = Fault.create ~seed:99 plan and b = Fault.create ~seed:99 plan in
+  consult a;
+  consult b;
+  Alcotest.(check string) "same digest" (Fault.schedule_digest a)
+    (Fault.schedule_digest b);
+  Alcotest.(check bool) "schedules equal" true
+    (Fault.schedule a = Fault.schedule b);
+  let c = Fault.create ~seed:100 plan in
+  consult c;
+  Alcotest.(check bool) "different seed diverges" true
+    (Fault.schedule_digest a <> Fault.schedule_digest c)
+
+let test_fault_bounds () =
+  let n = 2000 in
+  let consult_all f p = for _ = 1 to n do ignore (Fault.decide f p) done in
+  (* p = 0: never fires; absent from the plan: never fires *)
+  let never = Fault.create ~seed:1 [ (Fault.Parse, Fault.quiet) ] in
+  consult_all never Fault.Parse;
+  consult_all never Fault.Pool_task;
+  Alcotest.(check int) "quiet never fires" 0 (Fault.total_injected never);
+  Alcotest.(check int) "consultations counted" n
+    (Fault.decisions never Fault.Parse);
+  (* p = 1: always fires, and fire raises Injected *)
+  let always =
+    Fault.create ~seed:1
+      [ (Fault.Parse, { Fault.quiet with Fault.p_raise = 1.0 }) ]
+  in
+  consult_all always Fault.Parse;
+  Alcotest.(check int) "certain always fires" n
+    (Fault.injected always Fault.Parse);
+  (match Fault.fire always Fault.Parse with
+  | () -> Alcotest.fail "expected Injected"
+  | exception Fault.Injected Fault.Parse -> ());
+  (* p = 0.5: the stream is statistically plausible *)
+  let half =
+    Fault.create ~seed:7
+      [ (Fault.Parse, { Fault.quiet with Fault.p_raise = 0.5 }) ]
+  in
+  consult_all half Fault.Parse;
+  let k = Fault.injected half Fault.Parse in
+  Alcotest.(check bool) "half fires about half the time" true
+    (k > (n * 2 / 5) && k < (n * 3 / 5))
+
+let test_retry_backoff () =
+  (* jitter 0 makes the sequence the pure clamped exponential *)
+  let p =
+    {
+      Retry.attempts = 4;
+      base_delay_s = 0.01;
+      multiplier = 2.;
+      max_delay_s = 0.04;
+      jitter = 0.;
+      seed = 0;
+    }
+  in
+  Alcotest.(check (float 1e-9)) "retry 1" 0.01 (Retry.delay_s p ~retry:1);
+  Alcotest.(check (float 1e-9)) "retry 2" 0.02 (Retry.delay_s p ~retry:2);
+  Alcotest.(check (float 1e-9)) "retry 3" 0.04 (Retry.delay_s p ~retry:3);
+  Alcotest.(check (float 1e-9)) "capped" 0.04 (Retry.delay_s p ~retry:9);
+  let sleeps = ref [] in
+  let fails = ref 2 in
+  let o =
+    Retry.run
+      ~sleep:(fun s -> sleeps := s :: !sleeps)
+      p
+      ~retryable:(fun _ -> true)
+      (fun () ->
+        if !fails > 0 then begin
+          decr fails;
+          failwith "transient"
+        end;
+        42)
+  in
+  Alcotest.(check bool) "succeeds" true (o.Retry.result = Ok 42);
+  Alcotest.(check int) "three tries" 3 o.Retry.tries;
+  Alcotest.(check (list (float 1e-9))) "exact backoff sleeps" [ 0.01; 0.02 ]
+    (List.rev !sleeps)
+
+let test_retry_gives_up () =
+  let p = { Retry.default with Retry.attempts = 3; jitter = 0. } in
+  let tries = ref 0 in
+  let o =
+    Retry.run
+      ~sleep:(fun _ -> ())
+      p
+      ~retryable:(fun _ -> true)
+      (fun () -> incr tries; failwith "always")
+  in
+  Alcotest.(check bool) "error result" true (Result.is_error o.Retry.result);
+  Alcotest.(check int) "all attempts used" 3 o.Retry.tries;
+  Alcotest.(check int) "thunk ran each time" 3 !tries;
+  (* a non-retryable exception ends the loop on the first try *)
+  let o2 =
+    Retry.run
+      ~sleep:(fun _ -> ())
+      p
+      ~retryable:(fun _ -> false)
+      (fun () -> raise Exit)
+  in
+  Alcotest.(check int) "non-retryable stops" 1 o2.Retry.tries;
+  Alcotest.(check bool) "carries the exn" true (o2.Retry.result = Error Exit)
+
+let test_breaker_fsm () =
+  (* fake clock: the whole FSM is driven without sleeping *)
+  let br = Breaker.create ~config:{ Breaker.threshold = 2; cooldown_s = 10. } () in
+  let t0 = 1000. in
+  Alcotest.(check bool) "starts closed" true (Breaker.state br = `Closed);
+  Alcotest.(check bool) "closed admits" true (Breaker.admit br ~now:t0 = Breaker.Allow);
+  Breaker.failure br ~now:t0;
+  Alcotest.(check bool) "below threshold stays closed" true
+    (Breaker.state br = `Closed);
+  Breaker.failure br ~now:t0;
+  Alcotest.(check bool) "threshold opens" true (Breaker.state br = `Open);
+  Alcotest.(check int) "one trip" 1 (Breaker.trips br);
+  (match Breaker.admit br ~now:(t0 +. 5.) with
+  | Breaker.Shed ra -> Alcotest.(check bool) "retry-after positive" true (ra >= 1)
+  | Breaker.Allow -> Alcotest.fail "open must shed inside the cooldown");
+  (* past the cooldown: one probe is admitted, duplicates shed *)
+  Alcotest.(check bool) "half-open probe" true
+    (Breaker.admit br ~now:(t0 +. 11.) = Breaker.Allow);
+  Alcotest.(check bool) "half-open state" true (Breaker.state br = `Half_open);
+  Alcotest.(check bool) "second probe sheds" true
+    (Breaker.admit br ~now:(t0 +. 11.) <> Breaker.Allow);
+  Breaker.failure br ~now:(t0 +. 11.);
+  Alcotest.(check bool) "failed probe re-opens" true (Breaker.state br = `Open);
+  Alcotest.(check int) "second trip" 2 (Breaker.trips br);
+  Alcotest.(check bool) "probe again later" true
+    (Breaker.admit br ~now:(t0 +. 22.) = Breaker.Allow);
+  Breaker.success br;
+  Alcotest.(check bool) "successful probe closes" true
+    (Breaker.state br = `Closed);
+  Alcotest.(check bool) "closed again admits" true
+    (Breaker.admit br ~now:(t0 +. 23.) = Breaker.Allow)
+
+let test_budget_wall_allowance () =
+  (* the relative allowance drains against real elapsed time; interval 1
+     checks the clock on every tick *)
+  let b = Budget.create ~deadline_ms:30. ~interval:1 () in
+  let ticks = ref 0 in
+  while Budget.tick b && !ticks < 1000 do
+    incr ticks;
+    Unix.sleepf 0.005
+  done;
+  Alcotest.(check bool) "deadline fired" true
+    (Budget.exhausted b = Some Budget.Deadline);
+  Alcotest.(check bool) "fired in bounded ticks" true (!ticks < 1000);
+  (* children of a split inherit only the remaining allowance *)
+  let parent = Budget.create ~deadline_ms:30. ~interval:1 () in
+  Unix.sleepf 0.05;
+  match Budget.split parent ~parts:2 with
+  | [ c1; c2 ] ->
+      Alcotest.(check bool) "spent parent's children are born spent" false
+        (Budget.ok c1 && Budget.ok c2)
+  | _ -> Alcotest.fail "split arity"
+
 let suite =
   let q = QCheck_alcotest.to_alcotest in
   [
@@ -544,7 +720,20 @@ let suite =
         Alcotest.test_case "deadline" `Quick test_budget_deadline;
         Alcotest.test_case "unlimited" `Quick test_budget_unlimited;
         Alcotest.test_case "exceptions" `Quick test_budget_exn;
+        Alcotest.test_case "wall allowance" `Quick test_budget_wall_allowance;
       ] );
+    ( "robust.fault",
+      [
+        Alcotest.test_case "seeded replay" `Quick test_fault_replay;
+        Alcotest.test_case "probability bounds" `Quick test_fault_bounds;
+      ] );
+    ( "robust.retry",
+      [
+        Alcotest.test_case "exact backoff" `Quick test_retry_backoff;
+        Alcotest.test_case "gives up" `Quick test_retry_gives_up;
+      ] );
+    ( "robust.breaker",
+      [ Alcotest.test_case "state machine" `Quick test_breaker_fsm ] );
     ( "robust.diag",
       [
         Alcotest.test_case "render" `Quick test_diag_render;

@@ -311,14 +311,14 @@ let http_request ~port meth path body =
       in
       (status, body))
 
-let with_server ?(domains = 1) f =
-  let cfg = { Server.default_config with Server.port = 0; domains } in
+let with_server ?(domains = 1) ?(cfg = Server.default_config) f =
+  let cfg = { cfg with Server.port = 0; domains } in
   let srv = Server.create cfg in
   let d = Domain.spawn (fun () -> Server.run srv) in
   Fun.protect
     ~finally:(fun () ->
       Server.stop srv;
-      Domain.join d)
+      ignore (Domain.join d))
     (fun () -> f srv (Server.port srv))
 
 (* The CLI's exchange --json path, computed in-process: the same
@@ -428,7 +428,7 @@ let test_admission_control () =
   Fun.protect
     ~finally:(fun () ->
       Server.stop srv;
-      Domain.join d)
+      ignore (Domain.join d))
     (fun () ->
       let port = Server.port srv in
       let holder = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
@@ -515,6 +515,311 @@ let test_concurrent_load_and_metrics () =
     (1 + (clients * per_client))
     recorded
 
+(* ---- robustness: journal, faults, breaker, chaos ------------------------ *)
+
+module Journal = Smg_serve.Journal
+module Chaos = Smg_serve.Chaos
+module Fault = Smg_robust.Fault
+module Breaker = Smg_robust.Breaker
+
+let contains_sub s needle =
+  let nl = String.length needle and sl = String.length s in
+  let rec go i = i + nl <= sl && (String.sub s i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+(* like http_request, but keeps the raw response so headers are
+   checkable *)
+let http_request_raw ~port meth path body =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      let req =
+        Printf.sprintf
+          "%s %s HTTP/1.1\r\nHost: t\r\nContent-Length: %d\r\nConnection: close\r\n\r\n%s"
+          meth path (String.length body) body
+      in
+      let n = String.length req in
+      let off = ref 0 in
+      while !off < n do
+        off := !off + Unix.write_substring fd req !off (n - !off)
+      done;
+      let buf = Buffer.create 4096 and chunk = Bytes.create 4096 in
+      let rec drain () =
+        match Unix.read fd chunk 0 4096 with
+        | 0 -> ()
+        | k ->
+            Buffer.add_subbytes buf chunk 0 k;
+            drain ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> drain ()
+      in
+      drain ();
+      Buffer.contents buf)
+
+let tmp_journal () = Filename.temp_file "smg_test_journal" ".j"
+
+let test_journal_roundtrip () =
+  let path = tmp_journal () in
+  let ops =
+    [
+      Journal.Put { name = "a"; text = "schema s {}" };
+      Journal.Delete "a";
+      Journal.Put { name = "weird/name\n"; text = String.make 5000 'z' };
+    ]
+  in
+  let j = Journal.open_append path in
+  List.iter (Journal.append j) ops;
+  Journal.close j;
+  let got, clean = Journal.replay path in
+  Alcotest.(check bool) "ops replay in order" true (got = ops);
+  Alcotest.(check int) "clean prefix is the whole file" clean
+    (Unix.stat path).Unix.st_size;
+  Sys.remove path
+
+let test_journal_corrupt_record_drops_tail () =
+  let path = tmp_journal () in
+  let ops =
+    [
+      Journal.Put { name = "one"; text = "alpha" };
+      Journal.Put { name = "two"; text = "beta" };
+      Journal.Put { name = "three"; text = "gamma" };
+    ]
+  in
+  let r1 = Journal.encode (List.nth ops 0) in
+  let full = String.concat "" (List.map Journal.encode ops) in
+  (* flip a byte inside the second record's payload *)
+  let bytes = Bytes.of_string full in
+  let pos = String.length r1 + 10 in
+  Bytes.set bytes pos (Char.chr (Char.code (Bytes.get bytes pos) lxor 0xFF));
+  let oc = open_out_bin path in
+  output_bytes oc bytes;
+  close_out oc;
+  let got, clean = Journal.replay path in
+  Alcotest.(check bool) "only the intact prefix survives" true
+    (got = [ List.nth ops 0 ]);
+  Alcotest.(check int) "clean offset ends before the damage"
+    (String.length r1) clean;
+  (* open_append truncates the garbage and appends cleanly after it *)
+  let j = Journal.open_append path in
+  Journal.append j (Journal.Delete "one");
+  Journal.close j;
+  let got2, _ = Journal.replay path in
+  Alcotest.(check bool) "append after truncation" true
+    (got2 = [ List.nth ops 0; Journal.Delete "one" ]);
+  Sys.remove path
+
+let prop_journal_torn_tail =
+  (* crash-window exhaustion: truncating the journal at EVERY byte
+     offset recovers exactly the records wholly before the cut *)
+  QCheck.Test.make ~name:"journal: every truncation yields the committed prefix"
+    ~count:15
+    QCheck.(
+      small_list
+        (pair
+           (string_gen_of_size (Gen.int_range 1 8) Gen.printable)
+           (string_gen_of_size (Gen.int_range 0 24) Gen.printable)))
+    (fun pairs ->
+      let ops =
+        List.map
+          (fun (name, text) ->
+            if String.length text mod 3 = 0 then Journal.Delete name
+            else Journal.Put { name; text })
+          pairs
+      in
+      let encoded = List.map Journal.encode ops in
+      let full = String.concat "" encoded in
+      let sizes = List.map String.length encoded in
+      let path = tmp_journal () in
+      let ok = ref true in
+      for cut = 0 to String.length full do
+        let oc = open_out_bin path in
+        output_string oc (String.sub full 0 cut);
+        close_out oc;
+        let got, clean = Journal.replay path in
+        let rec committed k off = function
+          | sz :: rest when off + sz <= cut -> committed (k + 1) (off + sz) rest
+          | _ -> (k, off)
+        in
+        let k, off = committed 0 0 sizes in
+        let expect = List.filteri (fun i _ -> i < k) ops in
+        if got <> expect || clean <> off then ok := false
+      done;
+      Sys.remove path;
+      !ok)
+
+let test_journal_recovery_byte_identity () =
+  (* a journaled server is stopped; its successor must recover every
+     scenario and serve warm bytes identical to the original's *)
+  let path = tmp_journal () in
+  Sys.remove path;
+  let cfg =
+    { Server.default_config with Server.preload = false; journal = Some path }
+  in
+  let text = Lazy.force books_src in
+  let before =
+    with_server ~cfg @@ fun _srv port ->
+    let status, _ = http_request ~port "PUT" "/scenarios/books" text in
+    Alcotest.(check int) "put journaled" 201 status;
+    let s1, _ = http_request ~port "PUT" "/scenarios/doomed" text in
+    Alcotest.(check int) "second put" 201 s1;
+    let s2, _ = http_request ~port "DELETE" "/scenarios/doomed" "" in
+    Alcotest.(check int) "delete journaled" 200 s2;
+    let s3, body = http_request ~port "POST" "/scenarios/books/discover" "" in
+    Alcotest.(check int) "discover before" 200 s3;
+    body
+  in
+  with_server ~cfg @@ fun srv port ->
+  let met = Server.metrics srv in
+  Alcotest.(check int) "one scenario recovered (delete replayed)" 1
+    (Metrics.recovered_count met);
+  Alcotest.(check bool) "recovery latency recorded" true
+    (Metrics.recovery_ms met > 0.);
+  let s, names = http_request ~port "GET" "/scenarios" "" in
+  Alcotest.(check int) "list after restart" 200 s;
+  Alcotest.(check bool) "books recovered" true (contains_sub names "books");
+  Alcotest.(check bool) "doomed stayed deleted" false
+    (contains_sub names "doomed");
+  let s4, after = http_request ~port "POST" "/scenarios/books/discover" "" in
+  Alcotest.(check int) "discover after" 200 s4;
+  Alcotest.(check string) "byte-identical across the restart" before after;
+  Sys.remove path
+
+let test_slowloris_408 () =
+  (* a connection that sends half a request and goes idle must be
+     answered 408 and closed at the deadline, not parked forever *)
+  let cfg =
+    {
+      Server.default_config with
+      Server.preload = false;
+      idle_timeout_s = 0.3;
+    }
+  in
+  with_server ~cfg @@ fun srv port ->
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      let partial = "GET /healthz HTT" in
+      ignore (Unix.write_substring fd partial 0 (String.length partial));
+      Unix.setsockopt_float fd Unix.SO_RCVTIMEO 5.0;
+      let buf = Buffer.create 256 and chunk = Bytes.create 256 in
+      let rec drain () =
+        match Unix.read fd chunk 0 256 with
+        | 0 -> ()
+        | k ->
+            Buffer.add_subbytes buf chunk 0 k;
+            drain ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> drain ()
+        | exception Unix.Unix_error _ -> ()
+      in
+      drain ();
+      let raw = Buffer.contents buf in
+      Alcotest.(check bool) "408 answered" true
+        (contains_sub raw "HTTP/1.1 408");
+      Alcotest.(check bool) "reason in body" true
+        (contains_sub raw "idle past the read deadline"));
+  Alcotest.(check int) "timeout counted" 1
+    (Metrics.timeout_count (Server.metrics srv))
+
+let test_supervised_parse_fault () =
+  (* a certain parse fault becomes a diagnosed 500 on that request;
+     the server keeps answering afterwards *)
+  let fault =
+    Fault.create ~seed:3
+      [ (Fault.Parse, { Fault.quiet with Fault.p_raise = 1.0 }) ]
+  in
+  let cfg =
+    { Server.default_config with Server.preload = false; fault = Some fault }
+  in
+  with_server ~cfg @@ fun srv port ->
+  let status, body =
+    http_request ~port "PUT" "/scenarios/x" (Lazy.force books_src)
+  in
+  Alcotest.(check int) "supervised 500" 500 status;
+  Alcotest.(check bool) "diagnostic attached" true
+    (contains_sub body "\"diagnostics\"");
+  Alcotest.(check bool) "names the injection" true
+    (contains_sub body "parse");
+  let s2, _ = http_request ~port "GET" "/healthz" "" in
+  Alcotest.(check int) "server alive after the fault" 200 s2;
+  Alcotest.(check bool) "supervision counted" true
+    (Metrics.supervised_count (Server.metrics srv) >= 1)
+
+let test_breaker_sheds_with_retry_after () =
+  (* every engine step raises: two 500s trip the scenario's breaker,
+     the third request sheds 503 with Retry-After without touching the
+     engine *)
+  let fault =
+    Fault.create ~seed:5
+      [ (Fault.Engine_step, { Fault.quiet with Fault.p_raise = 1.0 }) ]
+  in
+  let cfg =
+    {
+      Server.default_config with
+      Server.fault = Some fault;
+      breaker = { Breaker.threshold = 2; cooldown_s = 60. };
+    }
+  in
+  with_server ~cfg @@ fun srv port ->
+  let p = "/scenarios/dblp/exchange?size=24" in
+  let s1, _ = http_request ~port "POST" p "" in
+  let s2, _ = http_request ~port "POST" p "" in
+  Alcotest.(check (list int)) "two supervised 500s" [ 500; 500 ] [ s1; s2 ];
+  let raw = http_request_raw ~port "POST" p "" in
+  Alcotest.(check bool) "third sheds 503" true
+    (contains_sub raw "HTTP/1.1 503");
+  Alcotest.(check bool) "retry-after header" true
+    (contains_sub raw "Retry-After:");
+  Alcotest.(check bool) "circuit named" true (contains_sub raw "circuit open");
+  let met = Server.metrics srv in
+  Alcotest.(check bool) "trip counted" true (Metrics.breaker_trips met >= 1);
+  Alcotest.(check bool) "shed counted" true
+    (Metrics.breaker_shed_count met >= 1);
+  (* an unrelated scenario's breaker is untouched: its requests still
+     reach the (failing) engine rather than shedding *)
+  let s4, _ = http_request ~port "POST" "/scenarios/mondial/exchange?size=24" "" in
+  Alcotest.(check int) "other scenario not shed" 500 s4
+
+let chaos_deterministic_report ~seed ~domains =
+  let cfg =
+    {
+      (Chaos.config ~seed ~requests:40 ~domains ()) with
+      Chaos.c_plan = Chaos.no_delay_plan;
+      c_breaker = { Breaker.threshold = 3; cooldown_s = 0. };
+    }
+  in
+  Chaos.run cfg
+
+let prop_chaos_deterministic =
+  (* the tentpole determinism property: the same fault seed yields a
+     byte-identical failure schedule and outcome classification whether
+     the server runs 1 domain or 4 — and the survival contract holds *)
+  QCheck.Test.make ~name:"chaos: seed replays identically at 1 and 4 domains"
+    ~count:2
+    QCheck.(int_range 1 10_000)
+    (fun seed ->
+      let a = chaos_deterministic_report ~seed ~domains:1 in
+      let b = chaos_deterministic_report ~seed ~domains:4 in
+      Chaos.ok a && Chaos.ok b
+      && String.equal a.Chaos.r_schedule_digest b.Chaos.r_schedule_digest
+      && String.equal a.Chaos.r_outcome_digest b.Chaos.r_outcome_digest)
+
+let test_chaos_journaled_run () =
+  (* a small end-to-end chaos run with the kill-and-recover phase *)
+  let journal = tmp_journal () in
+  let cfg = Chaos.config ~journal ~seed:11 ~requests:60 ~domains:2 () in
+  let r = Chaos.run cfg in
+  (try Sys.remove journal with Sys_error _ -> ());
+  Alcotest.(check int) "no hangs" 0 r.Chaos.r_hangs;
+  Alcotest.(check int) "no crashes" 0 r.Chaos.r_crashes;
+  Alcotest.(check int) "no corrupt bodies" 0 r.Chaos.r_corrupt;
+  Alcotest.(check bool) "recovery byte-identical" true r.Chaos.r_recovery_ok;
+  Alcotest.(check bool) "both scenarios recovered" true (r.Chaos.r_recovered >= 2);
+  Alcotest.(check bool) "drains quiesced" true r.Chaos.r_drained;
+  Alcotest.(check bool) "verdict" true (Chaos.ok r)
+
 let suite =
   let q = QCheck_alcotest.to_alcotest in
   [
@@ -559,5 +864,29 @@ let suite =
         Alcotest.test_case "admission control 429" `Quick test_admission_control;
         Alcotest.test_case "concurrent load, domains=4" `Slow
           test_concurrent_load_and_metrics;
+      ] );
+    ( "serve-journal",
+      [
+        Alcotest.test_case "append/replay roundtrip" `Quick
+          test_journal_roundtrip;
+        Alcotest.test_case "corrupt record drops tail" `Quick
+          test_journal_corrupt_record_drops_tail;
+        q prop_journal_torn_tail;
+        Alcotest.test_case "restart recovers byte-identical" `Quick
+          test_journal_recovery_byte_identity;
+      ] );
+    ( "serve-robust",
+      [
+        Alcotest.test_case "slowloris answered 408" `Quick test_slowloris_408;
+        Alcotest.test_case "parse fault supervised to 500" `Quick
+          test_supervised_parse_fault;
+        Alcotest.test_case "breaker sheds with retry-after" `Quick
+          test_breaker_sheds_with_retry_after;
+      ] );
+    ( "serve-chaos",
+      [
+        q prop_chaos_deterministic;
+        Alcotest.test_case "journaled chaos run survives" `Slow
+          test_chaos_journaled_run;
       ] );
   ]
