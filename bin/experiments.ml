@@ -353,6 +353,236 @@ let parallel_scale json smoke seed domains rows gen_tuples =
     Fmt.pr "@.wrote %s (%d rows)@." path (List.length bench_rows)
   end
 
+
+(* incremental: delta-chase maintenance (lib/delta) vs a full re-chase
+   on the generated large fixture, across batch sizes from 0.1% to 50%
+   of the source. Each fraction applies one batch (half deletes of
+   existing tuples, half fresh inserts) through Maintain.apply, times
+   it against Engine.execute over the same post-batch source with the
+   same compiled plans, asserts the maintained target is homomorphically
+   equivalent to the rebuild, then rolls the batch back with its inverse
+   so fractions are independent (the rollback is digest-checked). The
+   rebuild's rendered document is also asserted byte-identical at 1 and
+   4 domains. Optionally records BENCH_incremental.json. *)
+
+let write_incremental_json ~path rows =
+  let oc = open_out path in
+  output_string oc "[\n";
+  List.iteri
+    (fun i (frac, ops, delta_ns, rebuild_ns, speedup, equiv) ->
+      if i > 0 then output_string oc ",\n";
+      Printf.fprintf oc
+        "  {\"name\": \"incremental/generated\", \"fraction\": %.4f, \
+         \"batch_ops\": %d, \"delta_ns\": %.0f, \"rebuild_ns\": %.0f, \
+         \"speedup\": %.2f, \"hom_equivalent\": %b}"
+        frac ops delta_ns rebuild_ns speedup equiv)
+    rows;
+  output_string oc "\n]\n";
+  close_out oc
+
+let incremental json smoke seed gen_tuples =
+  let module Gen = Smg_generate.Gen in
+  let module Gparams = Smg_generate.Params in
+  let module Instance = Smg_relational.Instance in
+  let module Index = Smg_relational.Index in
+  let module Value = Smg_relational.Value in
+  let module Schema = Smg_relational.Schema in
+  let module Maintain = Smg_delta.Maintain in
+  let module Batch = Smg_delta.Batch in
+  let module Engine = Smg_exchange.Engine in
+  let module Pool = Smg_parallel.Pool in
+  let gen_tuples =
+    match gen_tuples with Some n -> n | None -> if smoke then 2_000 else 100_000
+  in
+  let gen_p =
+    Gparams.clamp
+      {
+        Gparams.seed;
+        isa_depth = 2;
+        n_roots = 3;
+        reify = 2;
+        partof = 1;
+        attrs_per_class = 2;
+        corr_density = 0.8;
+        scale = gen_tuples;
+      }
+  in
+  let g = Gen.build gen_p in
+  let source = g.Gen.g_source.Smg_core.Discover.schema in
+  let target = g.Gen.g_target.Smg_core.Discover.schema in
+  let mappings =
+    match
+      Smg_core.Discover.discover ~source:g.Gen.g_source ~target:g.Gen.g_target
+        ~corrs:g.Gen.g_corrs ()
+    with
+    | [] -> failwith "no mapping discovered on the generated fixture"
+    | best :: _ ->
+        if best.Smg_cq.Mapping.outer then
+          Smg_cq.Mapping.outer_variants ~target best
+        else [ Smg_cq.Mapping.to_tgd best ]
+  in
+  let inst = Gen.source_instance g in
+  let src_n = Instance.total_tuples inst in
+  let compiled =
+    match
+      Maintain.prepare
+        ~card:(fun n -> Instance.cardinality inst n)
+        ~source ~target ~mappings ()
+    with
+    | Ok c -> c
+    | Error m -> failwith ("prepare: " ^ m)
+  in
+  (* one compiled plan serves both paths; its bulk execution must be a
+     deterministic function of the source, domain count included *)
+  let rendered domains =
+    Pool.with_pool ~domains (fun pool ->
+        match Engine.execute ~pool compiled inst with
+        | Engine.Complete r -> Smg_serve.Render.exchange_json ~head:[] ~laconic:false r
+        | _ -> failwith "bulk execution did not complete")
+  in
+  if rendered 1 <> rendered 4 then
+    failwith "rebuild document differs between 1 and 4 domains";
+  let source_digest i =
+    Digest.to_hex
+      (Digest.string
+         (String.concat "\x00"
+            (List.map
+               (fun name ->
+                 match Instance.relation i name with
+                 | None -> name
+                 | Some r ->
+                     name ^ ":"
+                     ^ String.concat "\x01"
+                         (List.sort String.compare
+                            (List.map Index.tuple_key r.Instance.tuples)))
+               (List.sort String.compare (Instance.names i)))))
+  in
+  let base_digest = source_digest inst in
+  let st =
+    match Maintain.init compiled inst with
+    | Ok st -> st
+    | Error m -> failwith ("init: " ^ m)
+  in
+  let fresh_row =
+    (* synthesized inserts: values no generated witness produces, typed
+       per column, distinct per (fraction, table, row) *)
+    let counter = ref 0 in
+    fun (t : Schema.table) ->
+      incr counter;
+      let i = !counter in
+      Array.of_list
+        (List.mapi
+           (fun j (c : Schema.column) ->
+             match c.Schema.col_type with
+             | Schema.TString -> Value.VString (Printf.sprintf "zz_%d_%d" i j)
+             | Schema.TInt -> Value.VInt (1_000_000 + (i * 16) + j)
+             | Schema.TFloat -> Value.VFloat (1e6 +. float_of_int ((i * 16) + j))
+             | Schema.TBool -> Value.VBool (i mod 2 = 0))
+           t.Schema.columns)
+  in
+  let fractions =
+    if smoke then [ 0.01; 0.1; 0.5 ]
+    else [ 0.001; 0.005; 0.01; 0.05; 0.1; 0.5 ]
+  in
+  Fmt.pr
+    "incremental: generated fixture %s (%d source tuple(s), %d tgd(s)), \
+     fractions %s@.@."
+    (Gparams.label gen_p) src_n (List.length mappings)
+    (String.concat "," (List.map (Printf.sprintf "%.3f") fractions));
+  Fmt.pr "%9s %8s | %13s %13s | %8s | %s@." "fraction" "ops" "delta ns"
+    "rebuild ns" "speedup" "equiv";
+  let failures = ref [] in
+  let rows =
+    List.map
+      (fun frac ->
+        let step = max 2 (int_of_float (1.0 /. frac)) in
+        let cur = Maintain.source st in
+        let deletes =
+          List.concat_map
+            (fun name ->
+              match Instance.relation cur name with
+              | None -> []
+              | Some r ->
+                  List.filteri (fun i _ -> i mod step = 0) r.Instance.tuples
+                  |> List.map (fun tup -> (name, tup)))
+            (List.sort String.compare (Instance.names cur))
+        in
+        let inserts =
+          List.map
+            (fun (name, _) ->
+              (name, fresh_row (Schema.find_table_exn source name)))
+            deletes
+        in
+        let batch =
+          List.map (fun (n, t) -> Batch.Delete (n, t)) deletes
+          @ List.map (fun (n, t) -> Batch.Insert (n, t)) inserts
+        in
+        let ops = List.length batch in
+        let (st', c), delta_secs =
+          Smg_exchange.Obs.time (fun () ->
+              match Maintain.apply st batch with
+              | Ok r -> r
+              | Error m -> failwith ("apply: " ^ m))
+        in
+        ignore c;
+        if Sys.getenv_opt "SMG_INCR_DEBUG" <> None then
+          Fmt.pr
+            "  [debug] fired=%d fadd=%d fret=%d merges=%d erebuild=%d \
+             frebuild=%d@."
+            c.Maintain.mc_triggers_fired c.Maintain.mc_facts_added
+            c.Maintain.mc_facts_retracted c.Maintain.mc_egd_merges
+            c.Maintain.mc_egd_rebuilds c.Maintain.mc_full_rebuilds;
+        let final = Maintain.source st' in
+        let rep, rebuild_secs =
+          Smg_exchange.Obs.time (fun () ->
+              match Engine.execute compiled final with
+              | Engine.Complete r -> r
+              | _ -> failwith "rebuild did not complete")
+        in
+        let equiv =
+          Smg_verify.Equiv.equivalent (Maintain.target st')
+            rep.Engine.r_target
+        in
+        if not equiv then
+          failures :=
+            Printf.sprintf "fraction %.4f: maintained target not ≡hom" frac
+            :: !failures;
+        let speedup = rebuild_secs /. max 1e-9 delta_secs in
+        if (not smoke) && frac <= 0.01 && speedup < 5.0 then
+          failures :=
+            Printf.sprintf
+              "fraction %.4f: delta-maintain only %.1fx over a full rebuild \
+               (need >= 5x)"
+              frac speedup
+            :: !failures;
+        (* roll back so the next fraction starts from the base state *)
+        let inverse =
+          List.map (fun (n, t) -> Batch.Delete (n, t)) inserts
+          @ List.map (fun (n, t) -> Batch.Insert (n, t)) deletes
+        in
+        (match Maintain.apply st' inverse with
+        | Ok _ -> ()
+        | Error m -> failwith ("rollback: " ^ m));
+        if source_digest (Maintain.source st') <> base_digest then
+          failwith
+            (Printf.sprintf "fraction %.4f: rollback did not restore the base \
+                             source" frac);
+        Fmt.pr "%9.3f %8d | %13.0f %13.0f | %7.1fx | %b@." frac ops
+          (1e9 *. delta_secs) (1e9 *. rebuild_secs) speedup equiv;
+        (frac, ops, 1e9 *. delta_secs, 1e9 *. rebuild_secs, speedup, equiv))
+      fractions
+  in
+  if json then begin
+    let path = "BENCH_incremental.json" in
+    write_incremental_json ~path rows;
+    Fmt.pr "@.wrote %s (%d rows)@." path (List.length rows)
+  end;
+  match !failures with
+  | [] -> ()
+  | fs ->
+      List.iter (fun m -> Fmt.epr "error: %s@." m) (List.rev fs);
+      exit 1
+
 (* generate: the stress matrix over lib/generate's parameter grid —
    ISA depth × correspondence density × witness scale, fixed companion
    shape (3 roots, 2 reified relationships, a partOf chain). Each cell
@@ -958,6 +1188,33 @@ let parallel_scale_cmd =
     Term.(
       const parallel_scale $ json $ smoke $ seed $ domains $ rows $ gen_tuples)
 
+let incremental_cmd =
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Write BENCH_incremental.json")
+  in
+  let smoke =
+    Arg.(
+      value & flag
+      & info [ "smoke" ] ~doc:"Tiny fixture, three fractions (CI smoke test)")
+  in
+  let seed =
+    Arg.(value & opt int 7 & info [ "seed" ] ~docv:"S" ~doc:"Generator seed")
+  in
+  let gen_tuples =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "gen-tuples" ] ~docv:"N"
+          ~doc:"Source-instance size (default 100000; smoke 2000)")
+  in
+  Cmd.v
+    (Cmd.info "incremental"
+       ~doc:
+         "Delta-chase maintenance vs a full re-chase across batch sizes on \
+          the generated fixture, with per-row homomorphic-equivalence and \
+          rollback checks")
+    Term.(const incremental $ json $ smoke $ seed $ gen_tuples)
+
 let compose_cmd =
   let json =
     Arg.(value & flag & info [ "json" ] ~doc:"Write BENCH_compose.json")
@@ -1078,6 +1335,7 @@ let () =
             serve_load_cmd;
             chaos_cmd;
             parallel_scale_cmd;
+            incremental_cmd;
             compose_cmd;
             generate_cmd;
             cmd_of "all" "Everything" all;

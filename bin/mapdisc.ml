@@ -318,7 +318,7 @@ let exchange_file_inputs ~quiet file size seed =
           "no data blocks; generating a witness source (%d rows/table, seed \
            %d)@."
           rows seed;
-      ( Smg_eval.Witness.populate ~rows_per_table:rows ~seed schema,
+      ( Smg_eval.Witness.populate_cached ~rows_per_table:rows ~seed schema,
         [
           ("file", Render.json_str file);
           ("size", string_of_int size);
@@ -378,7 +378,7 @@ let exchange_scenario_inputs ~quiet name size seed =
   let schema = source.Discover.schema in
   let n_tables = max 1 (List.length schema.Schema.tables) in
   let rows = max 1 (size / n_tables) in
-  let inst = Smg_eval.Witness.populate ~rows_per_table:rows ~seed schema in
+  let inst = Smg_eval.Witness.populate_cached ~rows_per_table:rows ~seed schema in
   if not quiet then
     Fmt.pr
       "scenario %s: %d tgd(s) from %d case(s); source: %d tuple(s) (%d \
@@ -408,8 +408,76 @@ let pp_cardinalities ppf inst =
             (List.length r.Smg_relational.Instance.tuples))
     (Smg_relational.Instance.names inst)
 
+(* --apply-delta: instead of one bulk execution, initialize the
+   incremental maintenance state over the source, apply the batch, and
+   print the maintained target — the same Smg_delta.Maintain path (and,
+   under --json, the same document construction) as a served
+   POST /scenarios/:name/delta. *)
+let run_exchange_delta ~json ~print_data ~source ~target ~mappings ~src_inst
+    ~head path =
+  let text =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  match Smg_delta.Batch.parse ~schema:source text with
+  | Error m ->
+      Fmt.epr "error: %s: %s@." path m;
+      exit 2
+  | Ok batch -> (
+      let fail m =
+        Fmt.epr "error: exchange failed: %s@." m;
+        exit 1
+      in
+      let prepared =
+        Smg_delta.Maintain.prepare
+          ~card:(fun n -> Smg_relational.Instance.cardinality src_inst n)
+          ~source ~target ~mappings ()
+      in
+      match prepared with
+      | Error m -> fail m
+      | Ok compiled -> (
+          match Smg_delta.Maintain.init compiled src_inst with
+          | Error m -> fail m
+          | Ok st -> (
+              match Smg_delta.Maintain.apply st batch with
+              | Error m -> fail m
+              | Ok (st, c) ->
+                  let head =
+                    head
+                    @ [
+                        ( "batch",
+                          string_of_int (Smg_delta.Maintain.batches st) );
+                        ("delta", Smg_serve.Registry.counters_json c);
+                      ]
+                  in
+                  let rep = Smg_delta.Maintain.report st in
+                  if json then begin
+                    print_string
+                      (Render.exchange_json ~head ~laconic:false rep);
+                    exit 0
+                  end;
+                  let ins, del = Smg_delta.Batch.counts batch in
+                  Fmt.pr
+                    "delta: %d insert(s), %d delete(s); fired %d trigger(s),                      added %d fact(s), retracted %d, collected %d null(s)                      (%.3f ms)@.@."
+                    ins del c.Smg_delta.Maintain.mc_triggers_fired
+                    c.Smg_delta.Maintain.mc_facts_added
+                    c.Smg_delta.Maintain.mc_facts_retracted
+                    c.Smg_delta.Maintain.mc_nulls_collected
+                    (1000. *. c.Smg_delta.Maintain.mc_seconds);
+                  let out = rep.Smg_exchange.Engine.r_target in
+                  if print_data then
+                    Fmt.pr "Target instance:@.%a@."
+                      Smg_relational.Instance.pp out
+                  else begin
+                    Fmt.pr "Target cardinalities:@.";
+                    Fmt.pr "%a" pp_cardinalities out
+                  end;
+                  exit 0)))
+
 let run_exchange file scenario size seed engine no_laconic core print_data
-    budget_ms fuel json domains =
+    budget_ms fuel json domains apply_delta =
   with_domains domains @@ fun pool ->
   let source, target, mappings, src_inst, head, subject =
     match (scenario, file) with
@@ -419,6 +487,15 @@ let run_exchange file scenario size seed engine no_laconic core print_data
         Fmt.epr "error: provide a scenario FILE or --scenario NAME@.";
         exit 2
   in
+  (match apply_delta with
+  | Some path ->
+      if engine <> `Fast || core then begin
+        Fmt.epr "error: --apply-delta supports the fast engine without                  --core@.";
+        exit 2
+      end;
+      run_exchange_delta ~json ~print_data ~source ~target ~mappings ~src_inst
+        ~head path
+  | None -> ());
   (* a FILE's data blocks are small: print them in full by default; a
      generated witness source (head carries "size") is not *)
   let print_data =
@@ -603,7 +680,7 @@ let run_compose files invert verify size seed budget_ms fuel domains =
         let rows = max 1 (size / n_tables) in
         Fmt.pr "@.verifying over a generated source (%d rows/table, seed %d)@."
           rows seed;
-        Smg_eval.Witness.populate ~rows_per_table:rows ~seed src_schema
+        Smg_eval.Witness.populate_cached ~rows_per_table:rows ~seed src_schema
       end
     in
     match Pipeline.verify ?budget ?pool hops ~exec:r.Compose.c_exec inst with
@@ -981,6 +1058,18 @@ let check_arg =
            lowering, population, discovery + dedup, and exchange under a fuel \
            budget; exit 1 on any crash or RIC violation")
 
+let apply_delta_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "apply-delta" ] ~docv:"FILE"
+        ~doc:
+          "Apply a batch of source inserts/deletes (one $(b,+)/$(b,-) \
+           $(i,table(values...)) per line) incrementally: the target is \
+           maintained through the delta chase instead of re-chased. With \
+           --json the document matches a served POST \
+           /scenarios/:name/delta body")
+
 let engine_arg =
   let engine_conv = Arg.enum [ ("fast", `Fast); ("chase", `Chase) ] in
   Arg.(
@@ -1240,7 +1329,7 @@ let () =
       Term.(
         const run_exchange $ opt_file_arg $ scenario_arg $ size_arg $ seed_arg
         $ engine_arg $ no_laconic_arg $ core_arg $ data_arg $ budget_ms_arg
-        $ fuel_arg $ json_arg $ domains_arg)
+        $ fuel_arg $ json_arg $ domains_arg $ apply_delta_arg)
   in
   let ddl_cmd =
     Cmd.v

@@ -1,0 +1,186 @@
+module Value = Smg_relational.Value
+module Schema = Smg_relational.Schema
+
+type op = Insert of string * Value.t array | Delete of string * Value.t array
+type t = op list
+
+let counts ops =
+  List.fold_left
+    (fun (i, d) op ->
+      match op with Insert _ -> (i + 1, d) | Delete _ -> (i, d + 1))
+    (0, 0) ops
+
+(* ---- rendering ---------------------------------------------------------- *)
+
+let quote_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      (match c with '"' | '\\' -> Buffer.add_char buf '\\' | _ -> ());
+      Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let render_value = function
+  | Value.VInt i -> string_of_int i
+  | Value.VFloat f -> Printf.sprintf "%.17g" f
+  | Value.VBool b -> if b then "true" else "false"
+  | Value.VString s -> quote_string s
+  | Value.VNull _ -> invalid_arg "Batch.to_string: labelled null in a delta"
+
+let render_op op =
+  let line sign tbl tup =
+    Printf.sprintf "%c %s(%s)" sign tbl
+      (String.concat ", " (Array.to_list (Array.map render_value tup)))
+  in
+  match op with
+  | Insert (tbl, tup) -> line '+' tbl tup
+  | Delete (tbl, tup) -> line '-' tbl tup
+
+let to_string ops = String.concat "\n" (List.map render_op ops) ^ "\n"
+
+(* ---- parsing ------------------------------------------------------------ *)
+
+exception Bad of string
+
+(* Split the text between the parentheses into raw value tokens,
+   honouring double quotes and backslash escapes so strings may contain
+   commas and parens. A quoted token carries a leading ['"'] marker so
+   the typed conversion can tell ["true"] from [true]. *)
+let split_values s =
+  let n = String.length s in
+  let out = ref [] and buf = Buffer.create 16 in
+  let quoted = ref false (* the current token began with a quote *)
+  and in_q = ref false
+  and any = ref false in
+  let flush () =
+    let tok = Buffer.contents buf in
+    Buffer.clear buf;
+    let tok = if !quoted then "\"" ^ tok else String.trim tok in
+    if !quoted || tok <> "" || !any then out := tok :: !out;
+    quoted := false;
+    any := false
+  in
+  let i = ref 0 in
+  while !i < n do
+    let c = s.[!i] in
+    if !in_q then begin
+      if c = '\\' && !i + 1 < n then begin
+        Buffer.add_char buf s.[!i + 1];
+        incr i
+      end
+      else if c = '"' then in_q := false
+      else Buffer.add_char buf c
+    end
+    else begin
+      match c with
+      | '"' ->
+          if Buffer.length buf <> 0 && String.trim (Buffer.contents buf) <> ""
+          then raise (Bad "unexpected quote inside a value");
+          Buffer.clear buf;
+          in_q := true;
+          quoted := true;
+          any := true
+      | ',' -> flush ()
+      | _ ->
+          if not (c = ' ' || c = '\t') then any := true;
+          Buffer.add_char buf c
+    end;
+    incr i
+  done;
+  if !in_q then raise (Bad "unterminated string");
+  if Buffer.length buf <> 0 || !quoted || !any then flush ();
+  List.rev !out
+
+let value_of_token (col : Schema.column) tok =
+  let fail () =
+    raise
+      (Bad
+         (Printf.sprintf "bad %s value for column %s: %s"
+            (match col.Schema.col_type with
+            | Schema.TInt -> "int"
+            | Schema.TString -> "string"
+            | Schema.TFloat -> "float"
+            | Schema.TBool -> "bool")
+            col.Schema.col_name
+            (if tok = "" then "<empty>" else tok)))
+  in
+  let unquoted =
+    if String.length tok > 0 && tok.[0] = '"' then
+      Some (String.sub tok 1 (String.length tok - 1))
+    else None
+  in
+  match col.Schema.col_type with
+  | Schema.TString -> (
+      match unquoted with
+      | Some s -> Value.VString s
+      | None -> if tok = "" then fail () else Value.VString tok)
+  | Schema.TInt -> (
+      match (unquoted, int_of_string_opt tok) with
+      | None, Some i -> Value.VInt i
+      | _ -> fail ())
+  | Schema.TFloat -> (
+      match (unquoted, float_of_string_opt tok) with
+      | None, Some f -> Value.VFloat f
+      | _ -> fail ())
+  | Schema.TBool -> (
+      match (unquoted, tok) with
+      | None, "true" -> Value.VBool true
+      | None, "false" -> Value.VBool false
+      | _ -> fail ())
+
+let parse_line ~schema line =
+  let line = String.trim line in
+  if line = "" || line.[0] = '#' then None
+  else begin
+    let sign =
+      match line.[0] with
+      | '+' -> `Insert
+      | '-' -> `Delete
+      | c -> raise (Bad (Printf.sprintf "expected '+' or '-', got %c" c))
+    in
+    let rest = String.trim (String.sub line 1 (String.length line - 1)) in
+    let lpar =
+      match String.index_opt rest '(' with
+      | Some i -> i
+      | None -> raise (Bad "expected table(values...)")
+    in
+    if rest.[String.length rest - 1] <> ')' then
+      raise (Bad "expected closing ')'");
+    let tbl_name = String.trim (String.sub rest 0 lpar) in
+    let inner = String.sub rest (lpar + 1) (String.length rest - lpar - 2) in
+    let tbl =
+      match Schema.find_table schema tbl_name with
+      | Some t -> t
+      | None ->
+          raise (Bad (Printf.sprintf "unknown source table %s" tbl_name))
+    in
+    let toks = split_values inner in
+    let cols = tbl.Schema.columns in
+    if List.length toks <> List.length cols then
+      raise
+        (Bad
+           (Printf.sprintf "%s expects %d values, got %d" tbl_name
+              (List.length cols) (List.length toks)));
+    let tup = Array.of_list (List.map2 value_of_token cols toks) in
+    Some
+      (match sign with
+      | `Insert -> Insert (tbl_name, tup)
+      | `Delete -> Delete (tbl_name, tup))
+  end
+
+let parse ~schema text =
+  let lines = String.split_on_char '\n' text in
+  let ops = ref [] in
+  let err = ref None in
+  List.iteri
+    (fun i line ->
+      if !err = None then
+        match parse_line ~schema line with
+        | Some op -> ops := op :: !ops
+        | None -> ()
+        | exception Bad msg -> err := Some (Printf.sprintf "line %d: %s" (i + 1) msg))
+    lines;
+  match !err with Some msg -> Error msg | None -> Ok (List.rev !ops)

@@ -1,0 +1,36 @@
+(** The delta wire format: a batch of source inserts and deletes.
+
+    One operation per line against a source schema (within a batch all
+    deletes are applied before all inserts, so a tuple both deleted and
+    inserted ends up present):
+
+    {v
+    # comment
+    + person(1, "Ada Lovelace", true)
+    - city("London", 8900000)
+    v}
+
+    [+] inserts, [-] deletes; values are typed by the table's columns
+    (ints, floats, [true]/[false], strings either bare or
+    double-quoted with backslash escapes). Blank lines and [#]
+    comments are skipped. Inserting a present tuple and deleting an
+    absent one are no-ops, so batches are idempotent per operation.
+    See docs/INCREMENTAL.md. *)
+
+type op =
+  | Insert of string * Smg_relational.Value.t array
+  | Delete of string * Smg_relational.Value.t array
+
+type t = op list
+
+val parse : schema:Smg_relational.Schema.t -> string -> (t, string) result
+(** Parse and validate against the source schema: unknown tables,
+    arity mismatches, and unparsable values are reported with their
+    line number. *)
+
+val to_string : t -> string
+(** Render in the wire format; [parse] of the result round-trips.
+    @raise Invalid_argument on a labelled null (deltas are ground). *)
+
+val counts : t -> int * int
+(** [(inserts, deletes)]. *)

@@ -1,0 +1,817 @@
+module Value = Smg_relational.Value
+module Schema = Smg_relational.Schema
+module Instance = Smg_relational.Instance
+module Index = Smg_relational.Index
+module Chase = Smg_cq.Chase
+module Engine = Smg_exchange.Engine
+module Plan = Smg_exchange.Plan
+module Obs = Smg_exchange.Obs
+module Stores = Engine.Stores
+module Fault = Smg_robust.Fault
+
+(* ---- counters ----------------------------------------------------------- *)
+
+type counters = {
+  mc_src_inserted : int;
+  mc_src_deleted : int;
+  mc_triggers_seen : int;
+  mc_triggers_fired : int;
+  mc_facts_added : int;
+  mc_facts_retracted : int;
+  mc_nulls_minted : int;
+  mc_nulls_collected : int;
+  mc_egd_merges : int;
+  mc_egd_rebuilds : int;
+  mc_full_rebuilds : int;
+  mc_seconds : float;
+}
+
+let zero_counters =
+  {
+    mc_src_inserted = 0;
+    mc_src_deleted = 0;
+    mc_triggers_seen = 0;
+    mc_triggers_fired = 0;
+    mc_facts_added = 0;
+    mc_facts_retracted = 0;
+    mc_nulls_minted = 0;
+    mc_nulls_collected = 0;
+    mc_egd_merges = 0;
+    mc_egd_rebuilds = 0;
+    mc_full_rebuilds = 0;
+    mc_seconds = 0.;
+  }
+
+let add_counters a b =
+  {
+    mc_src_inserted = a.mc_src_inserted + b.mc_src_inserted;
+    mc_src_deleted = a.mc_src_deleted + b.mc_src_deleted;
+    mc_triggers_seen = a.mc_triggers_seen + b.mc_triggers_seen;
+    mc_triggers_fired = a.mc_triggers_fired + b.mc_triggers_fired;
+    mc_facts_added = a.mc_facts_added + b.mc_facts_added;
+    mc_facts_retracted = a.mc_facts_retracted + b.mc_facts_retracted;
+    mc_nulls_minted = a.mc_nulls_minted + b.mc_nulls_minted;
+    mc_nulls_collected = a.mc_nulls_collected + b.mc_nulls_collected;
+    mc_egd_merges = a.mc_egd_merges + b.mc_egd_merges;
+    mc_egd_rebuilds = a.mc_egd_rebuilds + b.mc_egd_rebuilds;
+    mc_full_rebuilds = a.mc_full_rebuilds + b.mc_full_rebuilds;
+    mc_seconds = a.mc_seconds +. b.mc_seconds;
+  }
+
+(* per-apply accumulator, folded into [counters] at the end *)
+type acc = {
+  mutable a_src_ins : int;
+  mutable a_src_del : int;
+  mutable a_seen : int;
+  mutable a_fired : int;
+  mutable a_fadd : int;
+  mutable a_fret : int;
+  mutable a_nmint : int;
+  mutable a_ncoll : int;
+  mutable a_emerge : int;
+  mutable a_erebuild : int;
+  mutable a_frebuild : int;
+  a_changed : (string, unit) Hashtbl.t;  (* target tables with new facts *)
+  mutable a_keyed_retract : bool;
+}
+
+let fresh_acc () =
+  {
+    a_src_ins = 0;
+    a_src_del = 0;
+    a_seen = 0;
+    a_fired = 0;
+    a_fadd = 0;
+    a_fret = 0;
+    a_nmint = 0;
+    a_ncoll = 0;
+    a_emerge = 0;
+    a_erebuild = 0;
+    a_frebuild = 0;
+    a_changed = Hashtbl.create 8;
+    a_keyed_retract = false;
+  }
+
+let counters_of acc seconds =
+  {
+    mc_src_inserted = acc.a_src_ins;
+    mc_src_deleted = acc.a_src_del;
+    mc_triggers_seen = acc.a_seen;
+    mc_triggers_fired = acc.a_fired;
+    mc_facts_added = acc.a_fadd;
+    mc_facts_retracted = acc.a_fret;
+    mc_nulls_minted = acc.a_nmint;
+    mc_nulls_collected = acc.a_ncoll;
+    mc_egd_merges = acc.a_emerge;
+    mc_egd_rebuilds = acc.a_erebuild;
+    mc_full_rebuilds = acc.a_frebuild;
+    mc_seconds = seconds;
+  }
+
+(* ---- state -------------------------------------------------------------- *)
+
+(* A canonical (pre-egd) target fact with its support count: the number
+   of live (derivation, emission) pairs producing it. Facts are
+   physically shared between the per-table bucket and the derivation
+   records, so retraction is pointer-chasing, not lookups. *)
+type fact = {
+  ft_table : string;
+  ft_tuple : Value.t array;
+  mutable ft_supp : int;
+}
+
+type facts_tbl = {
+  fb_header : string list;
+  fb_by_key : (string, fact) Hashtbl.t;
+  mutable fb_order : fact list;  (* reverse creation order; may hold dead *)
+  mutable fb_dead : int;
+}
+
+type deriv = { dv_facts : fact list }
+
+(* How to rebuild the source tuple a scan step matched, from the
+   completed env: every scan position is statically a bound slot, a
+   constant, or a copy of an earlier position (the compiler covers all
+   of them), so the trigger's source tuples need no storage. *)
+type cell_src = TFill of int | TLit of Value.t | TCopy of int
+
+type plan_info = {
+  pi_plan : Plan.t;
+  pi_stats : Obs.tstats;
+  pi_scans : (string * cell_src array) array;  (* (pred, tuple template) *)
+  pi_perm : int array;
+      (* slots in variable-name order: the bulk plan and its per-atom
+         delta variants number slots differently (scan order differs),
+         so trigger keys are serialized through this permutation to
+         make the same logical trigger hash identically everywhere *)
+}
+
+type state = {
+  ms_compiled : Engine.compiled;
+  ms_plans : plan_info list;
+  ms_delta : plan_info list list;
+      (* per plan, the reordered variants (scan 0 = one lhs atom each);
+         stats are shared with the base plan_info *)
+  ms_src : (string, Stores.t) Hashtbl.t;
+  ms_tgt : (string, facts_tbl) Hashtbl.t;
+  ms_derivs : (string, deriv) Hashtbl.t;
+  ms_by_src : (string, string list ref) Hashtbl.t;
+  ms_null_occ : (int, int) Hashtbl.t;  (* null label -> occurrences in facts *)
+  ms_src_nulls : (int, int) Hashtbl.t;  (* null label -> occurrences in source *)
+  ms_subst : (int, Value.t) Hashtbl.t;  (* key-egd bindings over the facts *)
+  ms_keyed : (string * int list * bool array) list;
+      (* keyed target tables: (name, key positions, per-column is-key) *)
+  ms_keyed_set : (string, unit) Hashtbl.t;
+  mutable ms_batches : int;
+  mutable ms_totals : counters;
+  mutable ms_poisoned : string option;
+}
+
+exception Internal of string
+exception Conflict of string
+exception Invalid of string  (* bad batch op: rejected before any mutation *)
+
+(* ---- skolem cells ------------------------------------------------------- *)
+
+let rec sk_arg_value env = function
+  | Plan.ASlot s -> env.(s)
+  | Plan.AConst c -> c
+  | Plan.AApp (g, nested) ->
+      Chase.skolem_term ~f:g ~args:(List.map (sk_arg_value env) nested)
+
+let emit_tuple env (em : Plan.emit) =
+  Array.map
+    (fun cell ->
+      match cell with
+      | Plan.CSlot s -> env.(s)
+      | Plan.CConst c -> c
+      | Plan.CSkolem (f, args) ->
+          Chase.skolem_term ~f ~args:(List.map (sk_arg_value env) args)
+      | Plan.CNull _ ->
+          raise (Internal "anonymous null in a skolemized plan"))
+    em.Plan.em_cells
+
+(* ---- null / fact bookkeeping -------------------------------------------- *)
+
+let bump tbl k d =
+  let v = match Hashtbl.find_opt tbl k with Some v -> v | None -> 0 in
+  let v' = v + d in
+  if v' <= 0 then Hashtbl.remove tbl k else Hashtbl.replace tbl k v';
+  (v, v')
+
+let note_src_tuple st tup d =
+  Array.iter
+    (fun v ->
+      match v with
+      | Value.VNull k -> ignore (bump st.ms_src_nulls k d)
+      | _ -> ())
+    tup
+
+let add_fact st acc table tup =
+  let fb =
+    match Hashtbl.find_opt st.ms_tgt table with
+    | Some fb -> fb
+    | None -> raise (Internal ("emission into unknown table " ^ table))
+  in
+  let key = Index.tuple_key tup in
+  match Hashtbl.find_opt fb.fb_by_key key with
+  | Some f ->
+      f.ft_supp <- f.ft_supp + 1;
+      f
+  | None ->
+      let f = { ft_table = table; ft_tuple = tup; ft_supp = 1 } in
+      Hashtbl.replace fb.fb_by_key key f;
+      fb.fb_order <- f :: fb.fb_order;
+      acc.a_fadd <- acc.a_fadd + 1;
+      Hashtbl.replace acc.a_changed table ();
+      Array.iter
+        (fun v ->
+          match v with
+          | Value.VNull k ->
+              let old, _ = bump st.ms_null_occ k 1 in
+              if old = 0 then acc.a_nmint <- acc.a_nmint + 1
+          | _ -> ())
+        tup;
+      f
+
+let retract_fact st acc f =
+  let fb = Hashtbl.find st.ms_tgt f.ft_table in
+  Hashtbl.remove fb.fb_by_key (Index.tuple_key f.ft_tuple);
+  fb.fb_dead <- fb.fb_dead + 1;
+  acc.a_fret <- acc.a_fret + 1;
+  if Hashtbl.mem st.ms_keyed_set f.ft_table then acc.a_keyed_retract <- true;
+  Array.iter
+    (fun v ->
+      match v with
+      | Value.VNull k ->
+          let _, now = bump st.ms_null_occ k (-1) in
+          if now = 0 then acc.a_ncoll <- acc.a_ncoll + 1
+      | _ -> ())
+    f.ft_tuple
+
+(* ---- derivation recording ----------------------------------------------- *)
+
+let src_key pred tup = pred ^ "\x01" ^ Index.tuple_key tup
+
+let src_tuple env tpl =
+  let n = Array.length tpl in
+  let out = Array.make n (Value.VNull 0) in
+  Array.iteri
+    (fun i c ->
+      match c with
+      | TFill s -> out.(i) <- env.(s)
+      | TLit v -> out.(i) <- v
+      | TCopy _ -> ())
+    tpl;
+  Array.iteri
+    (fun i c -> match c with TCopy p -> out.(i) <- out.(p) | _ -> ())
+    tpl;
+  out
+
+let record_trigger st acc pi env =
+  acc.a_seen <- acc.a_seen + 1;
+  let dkey =
+    pi.pi_plan.Plan.p_name ^ "\x01"
+    ^ Index.tuple_key (Array.map (fun s -> env.(s)) pi.pi_perm)
+  in
+  if not (Hashtbl.mem st.ms_derivs dkey) then begin
+    acc.a_fired <- acc.a_fired + 1;
+    let facts =
+      List.map
+        (fun em -> add_fact st acc em.Plan.em_pred (emit_tuple env em))
+        pi.pi_plan.Plan.p_emits
+    in
+    Hashtbl.replace st.ms_derivs dkey { dv_facts = facts };
+    Array.iter
+      (fun (pred, tpl) ->
+        let sk = src_key pred (src_tuple env tpl) in
+        match Hashtbl.find_opt st.ms_by_src sk with
+        | Some l -> l := dkey :: !l
+        | None -> Hashtbl.replace st.ms_by_src sk (ref [ dkey ]))
+      pi.pi_scans
+  end
+
+let kill_src_tuple st acc pred tup =
+  note_src_tuple st tup (-1);
+  let sk = src_key pred tup in
+  match Hashtbl.find_opt st.ms_by_src sk with
+  | None -> ()
+  | Some l ->
+      Hashtbl.remove st.ms_by_src sk;
+      List.iter
+        (fun dkey ->
+          match Hashtbl.find_opt st.ms_derivs dkey with
+          | None -> ()  (* stale entry: already killed via another tuple *)
+          | Some d ->
+              Hashtbl.remove st.ms_derivs dkey;
+              List.iter
+                (fun f ->
+                  f.ft_supp <- f.ft_supp - 1;
+                  if f.ft_supp = 0 then retract_fact st acc f)
+                d.dv_facts)
+        !l
+
+(* ---- key-egd layer ------------------------------------------------------ *)
+
+let resolve st v =
+  let rec go v =
+    match v with
+    | Value.VNull k -> (
+        match Hashtbl.find_opt st.ms_subst k with Some v' -> go v' | None -> v)
+    | _ -> v
+  in
+  go v
+
+(* One grouping pass over the given keyed tables: facts agreeing on
+   their resolved key get their non-key columns unified. Returns the
+   number of new bindings; [`Src_null] reports whether any binding hit
+   a null that also occurs in the source (the caller must then fall
+   back to a full rebuild: resolving the source can create triggers the
+   un-resolved enumeration never saw). Raises {!Conflict} on a
+   constant/constant clash. *)
+let egd_tables_pass st acc tables =
+  let merges = ref 0 and src_null = ref false in
+  let unify table col u v =
+    let ru = resolve st u and rv = resolve st v in
+    if not (Value.equal ru rv) then
+      match (ru, rv) with
+      | Value.VNull k, other | other, Value.VNull k ->
+          Hashtbl.replace st.ms_subst k other;
+          incr merges;
+          acc.a_emerge <- acc.a_emerge + 1;
+          if Hashtbl.mem st.ms_src_nulls k then src_null := true
+      | _ ->
+          raise
+            (Conflict
+               (Printf.sprintf "key egd on %s.%s: %s vs %s" table col
+                  (Value.to_string ru) (Value.to_string rv)))
+  in
+  List.iter
+    (fun (name, keypos, is_key) ->
+      match Hashtbl.find_opt st.ms_tgt name with
+      | None -> ()
+      | Some fb ->
+          let header = Array.of_list fb.fb_header in
+          let reps = Hashtbl.create (Hashtbl.length fb.fb_by_key + 1) in
+          List.iter
+            (fun f ->
+              if f.ft_supp > 0 then begin
+                let rtup = Array.map (resolve st) f.ft_tuple in
+                let k =
+                  Index.key_of_values (List.map (fun p -> rtup.(p)) keypos)
+                in
+                match Hashtbl.find_opt reps k with
+                | None -> Hashtbl.replace reps k rtup
+                | Some rep ->
+                    Array.iteri
+                      (fun i v ->
+                        if not is_key.(i) then unify name header.(i) rep.(i) v)
+                      rtup
+              end)
+            (List.rev fb.fb_order)
+    )
+    tables;
+  (!merges, !src_null)
+
+(* Fixpoint: a seeded pass over the tables that changed; any new
+   binding can cascade through unchanged tables (their resolved keys
+   may now collide), so a productive seed pass escalates to full
+   passes until quiet. *)
+let egd_fixpoint st acc ~seed =
+  let src_null = ref false in
+  let m0, s0 = egd_tables_pass st acc seed in
+  src_null := s0;
+  if m0 > 0 then begin
+    let continue_ = ref true in
+    while !continue_ do
+      let m, s = egd_tables_pass st acc st.ms_keyed in
+      if s then src_null := true;
+      if m = 0 then continue_ := false
+    done
+  end;
+  !src_null
+
+(* ---- loading / rebuilds ------------------------------------------------- *)
+
+let header_of (tbl : Schema.table) =
+  List.map (fun c -> c.Schema.col_name) tbl.Schema.columns
+
+let perm_of (p : Plan.t) =
+  let idx = Array.init (Array.length p.Plan.p_slot_names) (fun i -> i) in
+  Array.sort
+    (fun a b ->
+      String.compare p.Plan.p_slot_names.(a) p.Plan.p_slot_names.(b))
+    idx;
+  idx
+
+let scan_template source (sc : Plan.scan) =
+  let tbl = Schema.find_table_exn source sc.Plan.sc_pred in
+  let arity = List.length tbl.Schema.columns in
+  let tpl = Array.make arity (TCopy (-1)) in
+  List.iter
+    (fun (pos, b) ->
+      tpl.(pos) <-
+        (match b with Plan.Slot s -> TFill s | Plan.Const c -> TLit c))
+    sc.Plan.sc_eqs;
+  List.iter (fun (pos, s) -> tpl.(pos) <- TFill s) sc.Plan.sc_binds;
+  List.iter (fun (pos, p0) -> tpl.(pos) <- TCopy p0) sc.Plan.sc_selfeqs;
+  Array.iter
+    (function
+      | TCopy -1 -> raise (Internal ("uncovered scan position in " ^ sc.Plan.sc_pred))
+      | _ -> ())
+    tpl;
+  (sc.Plan.sc_pred, tpl)
+
+(* Clear every container and re-derive everything from [inst] with a
+   full (delta-free) enumeration of each plan. *)
+let load st acc inst =
+  Hashtbl.reset st.ms_src;
+  Hashtbl.reset st.ms_tgt;
+  Hashtbl.reset st.ms_derivs;
+  Hashtbl.reset st.ms_by_src;
+  Hashtbl.reset st.ms_null_occ;
+  Hashtbl.reset st.ms_src_nulls;
+  Hashtbl.reset st.ms_subst;
+  List.iter
+    (fun (tbl : Schema.table) ->
+      let header = header_of tbl in
+      let r = Instance.relation_or_empty inst tbl.Schema.tbl_name ~header in
+      List.iter (fun tup -> note_src_tuple st tup 1) r.Instance.tuples;
+      Hashtbl.replace st.ms_src tbl.Schema.tbl_name
+        (Stores.of_tuples ~header r.Instance.tuples))
+    st.ms_compiled.Engine.c_source.Schema.tables;
+  List.iter
+    (fun (tbl : Schema.table) ->
+      Hashtbl.replace st.ms_tgt tbl.Schema.tbl_name
+        {
+          fb_header = header_of tbl;
+          fb_by_key = Hashtbl.create 64;
+          fb_order = [];
+          fb_dead = 0;
+        })
+    st.ms_compiled.Engine.c_target.Schema.tables;
+  let lookup pred = Hashtbl.find st.ms_src pred in
+  List.iter
+    (fun pi ->
+      let (), dt =
+        Obs.time (fun () ->
+            Engine.enumerate ~src:lookup pi.pi_plan pi.pi_stats
+              ~sink:(fun env -> record_trigger st acc pi env))
+      in
+      pi.pi_stats.Obs.st_seconds <- pi.pi_stats.Obs.st_seconds +. dt)
+    st.ms_plans
+
+let source st =
+  List.fold_left
+    (fun acc (tbl : Schema.table) ->
+      match Hashtbl.find_opt st.ms_src tbl.Schema.tbl_name with
+      | None -> acc
+      | Some s ->
+          if Stores.count s = 0 then acc
+          else
+            Instance.set acc tbl.Schema.tbl_name
+              { Instance.header = Stores.header s; tuples = Stores.tuples s })
+    Instance.empty st.ms_compiled.Engine.c_source.Schema.tables
+
+(* The source with the current substitution applied and duplicates
+   folded — what the bulk engine would chase after rewriting. Only used
+   by the full-rebuild fallback. *)
+let resolved_source st =
+  List.fold_left
+    (fun acc (tbl : Schema.table) ->
+      match Hashtbl.find_opt st.ms_src tbl.Schema.tbl_name with
+      | None -> acc
+      | Some s ->
+          let seen = Hashtbl.create 64 in
+          let tuples =
+            List.filter_map
+              (fun tup ->
+                let tup' = Array.map (resolve st) tup in
+                let k = Index.tuple_key tup' in
+                if Hashtbl.mem seen k then None
+                else begin
+                  Hashtbl.replace seen k ();
+                  Some tup'
+                end)
+              (Stores.tuples s)
+          in
+          if tuples = [] then acc
+          else
+            Instance.set acc tbl.Schema.tbl_name
+              { Instance.header = Stores.header s; tuples })
+    Instance.empty st.ms_compiled.Engine.c_source.Schema.tables
+
+(* Hash indexes the delta variants will probe, built outside the
+   latency-sensitive apply path. [load] replaces the stores, so this
+   runs after every (re)load. *)
+let prewarm_variants st =
+  let lookup pred = Hashtbl.find st.ms_src pred in
+  List.iter
+    (List.iter (fun vi -> Engine.prewarm ~src:lookup vi.pi_plan))
+    st.ms_delta
+
+(* Rebuild everything from the resolved source. Each iteration strictly
+   reduces the number of distinct labelled nulls in the source (every
+   triggering merge binds at least one of them away), so this
+   terminates. *)
+let rec full_rebuild st acc =
+  acc.a_frebuild <- acc.a_frebuild + 1;
+  let inst = resolved_source st in
+  load st acc inst;
+  if egd_fixpoint st acc ~seed:st.ms_keyed then full_rebuild st acc
+  else prewarm_variants st
+
+(* ---- public construction ------------------------------------------------ *)
+
+let prepare ?card ~source ~target ~mappings () =
+  Engine.compile ?card ~laconic:false ~source ~target
+    ~mappings:(Skolemize.tgds mappings) ()
+
+let keyed_meta (target : Schema.t) =
+  List.filter_map
+    (fun (tbl : Schema.table) ->
+      if tbl.Schema.key = [] then None
+      else begin
+        let header = Array.of_list (header_of tbl) in
+        let keypos =
+          List.map
+            (fun k ->
+              let rec find i = if header.(i) = k then i else find (i + 1) in
+              find 0)
+            tbl.Schema.key
+        in
+        let is_key =
+          Array.map (fun c -> List.mem c tbl.Schema.key) header
+        in
+        Some (tbl.Schema.tbl_name, keypos, is_key)
+      end)
+    target.Schema.tables
+
+let init compiled inst =
+  if compiled.Engine.c_laconic then
+    Error "delta maintenance requires non-laconic plans (Maintain.prepare)"
+  else if
+    List.exists (fun (p : Plan.t) -> p.Plan.p_nnulls > 0)
+      compiled.Engine.c_plans
+  then
+    Error
+      "delta maintenance requires skolemized plans (Maintain.prepare): a \
+       plan still mints anonymous nulls"
+  else begin
+    let source_schema = compiled.Engine.c_source in
+    let target_schema = compiled.Engine.c_target in
+    let keyed = keyed_meta target_schema in
+    let keyed_set = Hashtbl.create 8 in
+    List.iter (fun (n, _, _) -> Hashtbl.replace keyed_set n ()) keyed;
+    match
+      let info stats (p : Plan.t) =
+        {
+          pi_plan = p;
+          pi_stats = stats;
+          pi_scans =
+            Array.of_list
+              (List.map (scan_template source_schema) p.Plan.p_scans);
+          pi_perm = perm_of p;
+        }
+      in
+      let plans =
+        List.map (fun p -> info (Obs.fresh_tstats ()) p) compiled.Engine.c_plans
+      in
+      let delta_infos =
+        List.map2
+          (fun pi variants -> List.map (info pi.pi_stats) variants)
+          plans compiled.Engine.c_delta
+      in
+      let st =
+        {
+          ms_compiled = compiled;
+          ms_plans = plans;
+          ms_delta = delta_infos;
+          ms_src = Hashtbl.create 16;
+          ms_tgt = Hashtbl.create 16;
+          ms_derivs = Hashtbl.create 1024;
+          ms_by_src = Hashtbl.create 1024;
+          ms_null_occ = Hashtbl.create 256;
+          ms_src_nulls = Hashtbl.create 16;
+          ms_subst = Hashtbl.create 16;
+          ms_keyed = keyed;
+          ms_keyed_set = keyed_set;
+          ms_batches = 0;
+          ms_totals = zero_counters;
+          ms_poisoned = None;
+        }
+      in
+      let acc = fresh_acc () in
+      let t0 = Unix.gettimeofday () in
+      load st acc inst;
+      if egd_fixpoint st acc ~seed:st.ms_keyed then full_rebuild st acc
+      else prewarm_variants st;
+      st.ms_totals <-
+        add_counters st.ms_totals
+          (counters_of acc (Unix.gettimeofday () -. t0));
+      st
+    with
+    | st -> Ok st
+    | exception Conflict msg -> Error msg
+    | exception Internal msg -> Error ("internal: " ^ msg)
+    | exception Invalid_argument msg -> Error msg
+  end
+
+(* ---- apply -------------------------------------------------------------- *)
+
+let validate st ops =
+  List.iter
+    (fun op ->
+      let pred, tup =
+        match op with
+        | Batch.Insert (p, t) -> (p, t)
+        | Batch.Delete (p, t) -> (p, t)
+      in
+      match Hashtbl.find_opt st.ms_src pred with
+      | None -> raise (Invalid (Printf.sprintf "unknown source table %s" pred))
+      | Some s ->
+          if Array.length tup <> List.length (Stores.header s) then
+            raise
+              (Invalid
+                 (Printf.sprintf "%s expects %d values, got %d" pred
+                    (List.length (Stores.header s))
+                    (Array.length tup))))
+    ops
+
+let apply ?fault st batch =
+  match st.ms_poisoned with
+  | Some msg -> Error ("maintain state poisoned by earlier failure: " ^ msg)
+  | None -> (
+      (match fault with
+      | Some f -> Fault.fire f Fault.Delta_apply
+      | None -> ());
+      let t0 = Unix.gettimeofday () in
+      let acc = fresh_acc () in
+      match
+        validate st batch;
+        (* deletes first, then inserts: a tuple both deleted and
+           inserted in one batch ends up present. Deletes are grouped
+           per table so each store is swept once per batch, not once
+           per tuple. *)
+        let doomed : (string, Value.t array list ref) Hashtbl.t =
+          Hashtbl.create 8
+        in
+        List.iter
+          (fun op ->
+            match op with
+            | Batch.Delete (pred, tup) -> (
+                match Hashtbl.find_opt doomed pred with
+                | Some l -> l := tup :: !l
+                | None -> Hashtbl.replace doomed pred (ref [ tup ]))
+            | Batch.Insert _ -> ())
+          batch;
+        Hashtbl.iter
+          (fun pred l ->
+            let s = Hashtbl.find st.ms_src pred in
+            let removed = Stores.remove_many s (List.rev !l) in
+            List.iter
+              (fun tup ->
+                acc.a_src_del <- acc.a_src_del + 1;
+                kill_src_tuple st acc pred tup)
+              removed)
+          doomed;
+        let fresh : (string, Value.t array list ref) Hashtbl.t =
+          Hashtbl.create 8
+        in
+        List.iter
+          (fun op ->
+            match op with
+            | Batch.Insert (pred, tup) ->
+                let s = Hashtbl.find st.ms_src pred in
+                if Stores.insert s tup then begin
+                  acc.a_src_ins <- acc.a_src_ins + 1;
+                  note_src_tuple st tup 1;
+                  match Hashtbl.find_opt fresh pred with
+                  | Some l -> l := tup :: !l
+                  | None -> Hashtbl.replace fresh pred (ref [ tup ])
+                end
+            | Batch.Delete _ -> ())
+          batch;
+        (* one reordered variant per lhs atom, each driven from the
+           tuples newly inserted into that atom's table: every new
+           trigger contains at least one fresh tuple, so leading with
+           the delta covers them all without re-running the bulk plan's
+           join prefix. A trigger with fresh tuples in several atoms is
+           found once per such atom; the canonical dkey dedups it. *)
+        let lookup pred = Hashtbl.find st.ms_src pred in
+        List.iter2
+          (fun pi variants ->
+            let (), dt =
+              Obs.time (fun () ->
+                  List.iter
+                    (fun vi ->
+                      match vi.pi_plan.Plan.p_scans with
+                      | [] -> ()
+                      | sc0 :: _ -> (
+                          match Hashtbl.find_opt fresh sc0.Plan.sc_pred with
+                          | Some ts ->
+                              Engine.enumerate ~src:lookup
+                                ~delta:(0, List.rev !ts) vi.pi_plan
+                                vi.pi_stats
+                                ~sink:(fun env -> record_trigger st acc vi env)
+                          | None -> ()))
+                    variants)
+            in
+            pi.pi_stats.Obs.st_seconds <- pi.pi_stats.Obs.st_seconds +. dt)
+          st.ms_plans st.ms_delta;
+        (* the stores log inserts for the bulk engine's semi-naive
+           rounds; the maintainer re-fires from its own batch, so the
+           log would only grow without bound *)
+        Hashtbl.iter
+          (fun pred _ -> Stores.clear_delta (Hashtbl.find st.ms_src pred))
+          fresh;
+        if st.ms_keyed <> [] then begin
+          if acc.a_keyed_retract && Hashtbl.length st.ms_subst > 0 then begin
+            (* which merges the retracted facts justified is ambiguous:
+               recompute the substitution over the surviving facts *)
+            Hashtbl.reset st.ms_subst;
+            acc.a_erebuild <- acc.a_erebuild + 1;
+            if egd_fixpoint st acc ~seed:st.ms_keyed then full_rebuild st acc
+          end
+          else begin
+            (* retraction alone never creates a key collision, so the
+               seed is exactly the keyed tables with new facts *)
+            let seed =
+              List.filter
+                (fun (n, _, _) -> Hashtbl.mem acc.a_changed n)
+                st.ms_keyed
+            in
+            if seed <> [] then
+              if egd_fixpoint st acc ~seed then full_rebuild st acc
+          end
+        end
+      with
+      | () ->
+          st.ms_batches <- st.ms_batches + 1;
+          let c = counters_of acc (Unix.gettimeofday () -. t0) in
+          st.ms_totals <- add_counters st.ms_totals c;
+          Ok (st, c)
+      | exception Invalid msg -> Error msg  (* nothing mutated: not poisoned *)
+      | exception Conflict msg ->
+          st.ms_poisoned <- Some msg;
+          Error msg
+      | exception Internal msg ->
+          st.ms_poisoned <- Some msg;
+          Error ("internal: " ^ msg))
+
+(* ---- materialization ---------------------------------------------------- *)
+
+let target st =
+  List.fold_left
+    (fun acc (tbl : Schema.table) ->
+      match Hashtbl.find_opt st.ms_tgt tbl.Schema.tbl_name with
+      | None -> acc
+      | Some fb ->
+          let live =
+            List.filter (fun f -> f.ft_supp > 0) (List.rev fb.fb_order)
+          in
+          if fb.fb_dead > 0 then begin
+            fb.fb_order <- List.rev live;
+            fb.fb_dead <- 0
+          end;
+          let seen = Hashtbl.create (List.length live + 1) in
+          let tuples =
+            List.filter_map
+              (fun f ->
+                let tup = Array.map (resolve st) f.ft_tuple in
+                let k = Index.tuple_key tup in
+                if Hashtbl.mem seen k then None
+                else begin
+                  Hashtbl.replace seen k ();
+                  Some tup
+                end)
+              live
+          in
+          if tuples = [] then acc
+          else
+            Instance.set acc tbl.Schema.tbl_name
+              { Instance.header = fb.fb_header; tuples })
+    Instance.empty st.ms_compiled.Engine.c_target.Schema.tables
+
+let report st =
+  {
+    Engine.r_target = target st;
+    r_complete = true;
+    r_rounds = st.ms_batches;
+    r_stats =
+      List.map
+        (fun pi -> (pi.pi_plan.Plan.p_name, Obs.snapshot pi.pi_stats))
+        st.ms_plans;
+    r_egd_merges = Hashtbl.length st.ms_subst;
+    r_sweep_dropped = 0;
+    r_seconds = st.ms_totals.mc_seconds;
+  }
+
+let totals st = st.ms_totals
+let batches st = st.ms_batches
+
+let live_stats st =
+  let facts =
+    Hashtbl.fold (fun _ fb n -> n + Hashtbl.length fb.fb_by_key) st.ms_tgt 0
+  in
+  (facts, Hashtbl.length st.ms_derivs, Hashtbl.length st.ms_null_occ)

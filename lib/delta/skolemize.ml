@@ -1,0 +1,24 @@
+module Atom = Smg_cq.Atom
+module Dependency = Smg_cq.Dependency
+module Chase = Smg_cq.Chase
+
+let tgd_at i (t : Dependency.tgd) =
+  let ex = Dependency.existential_vars t in
+  if ex = [] then t
+  else begin
+    let frontier = Dependency.universal_vars t in
+    (* the position [i] disambiguates tgds that share a name, so two
+       different dependencies can never intern the same Skolem term *)
+    let name y = Printf.sprintf "dx%d!%s!%s" i t.Dependency.tgd_name y in
+    let rewrite_term = function
+      | Atom.Var v when List.mem v ex ->
+          Atom.Var (Chase.skolem_var ~f:(name v) ~args:frontier)
+      | term -> term
+    in
+    let rewrite_atom (a : Atom.t) =
+      { a with Atom.args = List.map rewrite_term a.Atom.args }
+    in
+    { t with Dependency.rhs = List.map rewrite_atom t.Dependency.rhs }
+  end
+
+let tgds ts = List.mapi tgd_at ts

@@ -1,0 +1,20 @@
+(** Skolemization of s-t tgds for incremental maintenance.
+
+    The restricted chase decides per trigger whether firing is needed,
+    so the set of target facts it builds depends on evaluation order —
+    fatal for counting-based retraction, where a fact's support must be
+    a pure function of the source. Replacing every existential variable
+    with a Skolem term over the tgd's frontier (the universal variables
+    shared by both sides) makes the pre-egd target instance the
+    semi-oblivious-chase canonical instance: a deterministic function of
+    the set of triggers, independent of order, and still a universal
+    solution (homomorphically equivalent to the restricted-chase
+    output). One compiled plan then serves both bulk execution and
+    delta maintenance, emitting the same facts either way. *)
+
+val tgds : Smg_cq.Dependency.tgd list -> Smg_cq.Dependency.tgd list
+(** Rewrite each tgd's existential variables to Skolem variables
+    ({!Smg_cq.Chase.skolem_var}) applied to the tgd's frontier, using a
+    Skolem function name unique to the (tgd position, variable) pair so
+    distinct existentials never share nulls. Tgds without existentials
+    pass through unchanged. *)

@@ -103,6 +103,31 @@ let populate ?(rows_per_table = 4) ?(seed = 42) schema =
   in
   repair base 0
 
+(* Populated witnesses are pure functions of (schema, rows, seed), and
+   both the CLI's FILE-witness path and the HTTP registry regenerate
+   them per invocation at identical keys — memoize process-wide. The
+   schema participates via its printed form, so two structurally equal
+   schemas share an entry. Entries are never evicted: the witness
+   sizes in play are bounded by the caller's --size. *)
+let populate_cache : (string, Instance.t) Hashtbl.t = Hashtbl.create 8
+let populate_lock = Mutex.create ()
+
+let populate_cached ?(rows_per_table = 4) ?(seed = 42) schema =
+  let key =
+    Printf.sprintf "%d:%d:%s" rows_per_table seed
+      (Digest.to_hex (Digest.string (Fmt.str "%a" Schema.pp schema)))
+  in
+  Mutex.lock populate_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock populate_lock)
+    (fun () ->
+      match Hashtbl.find_opt populate_cache key with
+      | Some inst -> inst
+      | None ->
+          let inst = populate ~rows_per_table ~seed schema in
+          Hashtbl.add populate_cache key inst;
+          inst)
+
 type verdict = {
   w_case : string;
   w_agree : bool;

@@ -22,6 +22,16 @@ val populate :
     deterministic function of [seed] (default 42); keys hold because
     each row's key is distinct by construction. *)
 
+val populate_cached :
+  ?rows_per_table:int ->
+  ?seed:int ->
+  Smg_relational.Schema.t ->
+  Smg_relational.Instance.t
+(** {!populate}, memoized process-wide by (schema digest, rows, seed)
+    under a mutex — the CLI witness path and the HTTP registry share
+    one generated instance per key instead of rebuilding it every
+    invocation. Callers must not mutate the result. *)
+
 type verdict = {
   w_case : string;
   w_agree : bool;       (** discovered answers = benchmark answers *)

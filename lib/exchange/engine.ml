@@ -9,13 +9,18 @@ module Budget = Smg_robust.Budget
 
 type store = {
   s_header : string list;
-  mutable s_tuples : Value.t array list;  (* reverse insertion order *)
-  s_seen : (string, unit) Hashtbl.t;  (* set semantics *)
+  mutable s_tuples : Value.t array list;
+      (* reverse insertion order; holds [s_dead] tombstoned tuples
+         until the next [compact] *)
+  s_seen : (string, Value.t array) Hashtbl.t;
+      (* set semantics: serialized key -> the live physical tuple *)
   mutable s_indexes : (int list * Index.t) list;
-      (* lazily built, kept up to date by [insert], invalidated by
-         substitution *)
+      (* lazily built, kept up to date by [insert] and [remove_many],
+         invalidated by substitution *)
   mutable s_delta : Value.t array list;  (* tuples new/changed this round *)
-  mutable s_count : int;
+  mutable s_count : int;  (* live tuples *)
+  mutable s_dead : int;  (* tombstones still present in [s_tuples] *)
+  mutable s_ix_dead : int;  (* tombstones still present in the indexes *)
 }
 
 (* [track = false] skips hashing the initial tuples into [s_seen]:
@@ -28,7 +33,7 @@ let store_of_tuples ?(track = true) header tuples =
   let n = List.length tuples in
   let seen = Hashtbl.create (if track then (n * 2) + 1 else 16) in
   if track then
-    List.iter (fun tup -> Hashtbl.replace seen (Index.tuple_key tup) ()) tuples;
+    List.iter (fun tup -> Hashtbl.replace seen (Index.tuple_key tup) tup) tuples;
   {
     s_header = header;
     s_tuples = List.rev tuples;
@@ -36,13 +41,32 @@ let store_of_tuples ?(track = true) header tuples =
     s_indexes = [];
     s_delta = [];
     s_count = n;
+    s_dead = 0;
+    s_ix_dead = 0;
   }
+
+(* Is this exact array the store's live copy of its tuple? Only
+   meaningful on tracked stores; tombstoned tuples (and stale copies of
+   a tuple that was removed and re-inserted) answer false. *)
+let live st tup =
+  match Hashtbl.find_opt st.s_seen (Index.tuple_key tup) with
+  | Some t0 -> t0 == tup
+  | None -> false
+
+(* Sweep tombstones out of [s_tuples]. Insertion order is preserved, so
+   materialization stays deterministic no matter how removal and
+   compaction interleave. *)
+let compact st =
+  if st.s_dead > 0 then begin
+    st.s_tuples <- List.filter (live st) st.s_tuples;
+    st.s_dead <- 0
+  end
 
 let insert st tup =
   let k = Index.tuple_key tup in
   if Hashtbl.mem st.s_seen k then false
   else begin
-    Hashtbl.replace st.s_seen k ();
+    Hashtbl.replace st.s_seen k tup;
     st.s_tuples <- tup :: st.s_tuples;
     st.s_count <- st.s_count + 1;
     st.s_delta <- tup :: st.s_delta;
@@ -50,13 +74,15 @@ let insert st tup =
     true
   end
 
-let get_index st cols =
-  match List.assoc_opt cols st.s_indexes with
-  | Some ix -> ix
-  | None ->
-      let ix = Index.build ~key:cols st.s_tuples in
-      st.s_indexes <- (cols, ix) :: st.s_indexes;
-      ix
+(* Rebuild the cached indexes from the live tuples. Paid only when the
+   rot bound in [remove_many] trips, so the cost is amortized O(1) per
+   removal. *)
+let prune_indexes st =
+  compact st;
+  st.s_indexes <-
+    List.map (fun (cols, _) -> (cols, Index.build ~key:cols st.s_tuples))
+      st.s_indexes;
+  st.s_ix_dead <- 0
 
 (* Below this tuple count, a filtered scan beats paying for the hash
    index: building it costs a full pass plus hashing every tuple, which
@@ -65,22 +91,63 @@ let get_index st cols =
    it (inserts maintain it either way). *)
 let index_threshold = 64
 
+(* Batch removal, O(|batch|) rather than O(|store|): each doomed tuple
+   is unregistered from [s_seen] but stays in [s_tuples] — and in any
+   cached index bucket — as a tombstone. Probes filter tombstones with
+   the liveness check only while rot exists (the bulk path never
+   removes, so it never pays), and rot past the live count triggers an
+   amortized rebuild. Returns the tuples actually removed (the store's
+   own arrays), in batch order. *)
+let remove_many st tups =
+  let removed = ref [] in
+  List.iter
+    (fun tup ->
+      let k = Index.tuple_key tup in
+      match Hashtbl.find_opt st.s_seen k with
+      | None -> ()
+      | Some t0 ->
+          Hashtbl.remove st.s_seen k;
+          removed := t0 :: !removed;
+          st.s_count <- st.s_count - 1;
+          st.s_dead <- st.s_dead + 1;
+          if st.s_indexes <> [] then st.s_ix_dead <- st.s_ix_dead + 1)
+    tups;
+  if !removed <> [] && st.s_delta <> [] then
+    st.s_delta <- List.filter (live st) st.s_delta;
+  if st.s_ix_dead > index_threshold && st.s_ix_dead > st.s_count then
+    prune_indexes st;
+  List.rev !removed
+
+let get_index st cols =
+  match List.assoc_opt cols st.s_indexes with
+  | Some ix -> ix
+  | None ->
+      compact st;
+      let ix = Index.build ~key:cols st.s_tuples in
+      st.s_indexes <- (cols, ix) :: st.s_indexes;
+      ix
+
 let probe_linear st cols vals =
   List.filter
     (fun tup ->
-      List.for_all2 (fun c v -> Value.equal tup.(c) v) cols vals)
+      (st.s_dead = 0 || live st tup)
+      && List.for_all2 (fun c v -> Value.equal tup.(c) v) cols vals)
     st.s_tuples
 
 (* [cache = false] additionally guarantees the probe never mutates the
    store — required by the parallel scan phase, where worker domains
    probe stores concurrently and only pre-built indexes may be used. *)
 let probe_store ?(cache = true) st cols vals =
+  let indexed ix =
+    let bucket = Index.probe ix vals in
+    if st.s_ix_dead = 0 then bucket else List.filter (live st) bucket
+  in
   match List.assoc_opt cols st.s_indexes with
-  | Some ix -> Index.probe ix vals
+  | Some ix -> indexed ix
   | None ->
       if (not cache) || st.s_count < index_threshold then
         probe_linear st cols vals
-      else Index.probe (get_index st cols) vals
+      else indexed (get_index st cols)
 
 (* ---- engine state ------------------------------------------------------- *)
 
@@ -247,11 +314,15 @@ let fire ?budget e (plan : Plan.t) env (stats : Obs.tstats) =
 (* [delta]: when [Some (i, tuples)], scan step [i] iterates only the
    given delta tuples — the semi-naive re-evaluation after an egd
    substitution changed some source tuples (the parallel scan phase
-   reuses the same restriction to hand each worker its driving chunk).
-   [sink]: what to do with a completed binding; defaults to {!fire}.
-   [cache = false] keeps the evaluation read-only (see {!probe_store}). *)
-let eval_plan ?budget ?(cache = true) ?sink e (plan : Plan.t) ?delta
-    (stats : Obs.tstats) =
+   reuses the same restriction to hand each worker its driving chunk;
+   lib/delta seeds it with a batch's inserted tuples). [src] maps a
+   predicate to its store — the engine passes its own source table, an
+   incremental maintainer passes the stores it owns. [sink] consumes
+   each completed binding (the env array is reused across bindings:
+   copy it if it must outlive the callback). [cache = false] keeps the
+   evaluation read-only (see {!probe_store}). *)
+let enumerate ~src ?budget ?(cache = true) (plan : Plan.t) ?delta
+    (stats : Obs.tstats) ~sink =
   let env = Array.make (max plan.Plan.p_nslots 1) (Value.VNull 0) in
   let scans = Array.of_list plan.Plan.p_scans in
   let nscans = Array.length scans in
@@ -272,11 +343,7 @@ let eval_plan ?budget ?(cache = true) ?sink e (plan : Plan.t) ?delta
   let bind (sc : Plan.scan) tup =
     List.iter (fun (pos, s) -> env.(s) <- tup.(pos)) sc.Plan.sc_binds
   in
-  let emit =
-    match sink with
-    | Some f -> f
-    | None -> fun env -> fire ?budget e plan env stats
-  in
+  let emit = sink in
   let rec step i =
     if i = nscans then emit env
     else begin
@@ -295,7 +362,7 @@ let eval_plan ?budget ?(cache = true) ?sink e (plan : Plan.t) ?delta
           tuples
       end
       else begin
-        let st = Hashtbl.find e.e_src sc.Plan.sc_pred in
+        let st = src sc.Plan.sc_pred in
         match sc.Plan.sc_eqs with
         | [] ->
             List.iter
@@ -303,9 +370,10 @@ let eval_plan ?budget ?(cache = true) ?sink e (plan : Plan.t) ?delta
                 tick ();
                 stats.Obs.st_scanned <- stats.Obs.st_scanned + 1;
                 if
-                  List.for_all
-                    (fun (pos, p0) -> Value.equal tup.(pos) tup.(p0))
-                    sc.Plan.sc_selfeqs
+                  (st.s_dead = 0 || live st tup)
+                  && List.for_all
+                       (fun (pos, p0) -> Value.equal tup.(pos) tup.(p0))
+                       sc.Plan.sc_selfeqs
                 then begin
                   bind sc tup;
                   step (i + 1)
@@ -336,6 +404,17 @@ let eval_plan ?budget ?(cache = true) ?sink e (plan : Plan.t) ?delta
     end
   in
   if nscans > 0 then step 0
+
+let eval_plan ?budget ?(cache = true) ?sink e (plan : Plan.t) ?delta
+    (stats : Obs.tstats) =
+  let sink =
+    match sink with
+    | Some f -> f
+    | None -> fun env -> fire ?budget e plan env stats
+  in
+  enumerate
+    ~src:(fun pred -> Hashtbl.find e.e_src pred)
+    ?budget ~cache plan ?delta stats ~sink
 
 (* ---- parallel initial pass ---------------------------------------------- *)
 
@@ -551,6 +630,7 @@ let apply_subst e subst =
     | _ -> v
   in
   let rewrite _name st =
+    compact st;
     let changed = ref [] in
     let seen = Hashtbl.create (st.s_count * 2 + 1) in
     let tuples =
@@ -568,7 +648,7 @@ let apply_subst e subst =
           let k = Index.tuple_key tup' in
           if Hashtbl.mem seen k then acc
           else begin
-            Hashtbl.replace seen k ();
+            Hashtbl.replace seen k tup';
             if !touched then changed := tup' :: !changed;
             tup' :: acc
           end)
@@ -576,8 +656,10 @@ let apply_subst e subst =
     in
     st.s_tuples <- tuples;
     st.s_count <- Hashtbl.length seen;
+    st.s_dead <- 0;
+    st.s_ix_dead <- 0;
     Hashtbl.reset st.s_seen;
-    Hashtbl.iter (fun k () -> Hashtbl.replace st.s_seen k ()) seen;
+    Hashtbl.iter (fun k tup -> Hashtbl.replace st.s_seen k tup) seen;
     st.s_indexes <- [];
     st.s_delta <- !changed
   in
@@ -628,6 +710,7 @@ type compiled = {
   c_source : Schema.t;
   c_target : Schema.t;
   c_plans : Plan.t list;
+  c_delta : Plan.t list list;
   c_laconic : bool;
 }
 
@@ -635,11 +718,38 @@ let compile ?card ?(laconic = false) ~source ~target ~mappings () =
   try
     let mappings = if laconic then Laconic.prepare mappings else mappings in
     let plans = List.map (Plan.compile ?card ~source ~target) mappings in
-    Ok { c_source = source; c_target = target; c_plans = plans; c_laconic = laconic }
+    (* one reordered variant per lhs atom: scan 0 is that atom, so a
+       semi-naive re-evaluation can drive the join from the delta
+       instead of re-running the full prefix of the bulk plan. Laconic
+       plans are never maintained incrementally, so skip the work. *)
+    let delta =
+      if laconic then List.map (fun _ -> []) mappings
+      else
+        List.map
+          (fun (tgd : Dependency.tgd) ->
+            List.mapi
+              (fun i _ -> Plan.compile ?card ~lead:i ~source ~target tgd)
+              tgd.Dependency.lhs)
+          mappings
+    in
+    Ok
+      {
+        c_source = source;
+        c_target = target;
+        c_plans = plans;
+        c_delta = delta;
+        c_laconic = laconic;
+      }
   with Invalid_argument msg -> Error msg
 
 let execute ?budget ?fault ?pool ?(max_rounds = 100) compiled inst =
-  let { c_source = source; c_target = target; c_plans = plans; c_laconic = laconic } =
+  let {
+    c_source = source;
+    c_target = target;
+    c_plans = plans;
+    c_delta = _;
+    c_laconic = laconic;
+  } =
     compiled
   in
   (* the engine_step injection point fires once per plan evaluation
@@ -759,6 +869,42 @@ let run_bounded ?budget ?fault ?pool ?max_rounds ?laconic ~source ~target
     ~mappings inst =
   run_core ?budget ?fault ?pool ?max_rounds ?laconic ~source ~target ~mappings
     inst
+
+(* ---- store + enumeration surface for incremental maintenance ----------- *)
+
+module Stores = struct
+  type nonrec t = store
+
+  let of_tuples ~header tuples = store_of_tuples header tuples
+  let header st = st.s_header
+
+  let tuples st =
+    compact st;
+    List.rev st.s_tuples
+
+  let count st = st.s_count
+  let mem st tup = Hashtbl.mem st.s_seen (Index.tuple_key tup)
+  let insert = insert
+  let remove_many = remove_many
+  let clear_delta st = st.s_delta <- []
+end
+
+(* Build the hash indexes a plan's probing scans will want, so the
+   first incremental evaluation after [init] doesn't pay an O(store)
+   index build inside its timed path. *)
+let prewarm ~src (plan : Plan.t) =
+  List.iter
+    (fun (sc : Plan.scan) ->
+      match sc.Plan.sc_eqs with
+      | [] -> ()
+      | eqs ->
+          let st = src sc.Plan.sc_pred in
+          if st.s_count >= index_threshold then
+            ignore (get_index st (List.map fst eqs)))
+    plan.Plan.p_scans
+
+let enumerate ~src ?budget ?delta plan stats ~sink =
+  enumerate ~src ?budget plan ?delta stats ~sink
 
 let pp_report ppf r =
   Fmt.pf ppf "@[<v>rounds: %d%s  egd merges: %d  swept: %d  %.3f ms@,"

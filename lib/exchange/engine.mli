@@ -103,6 +103,12 @@ type compiled = {
   c_source : Smg_relational.Schema.t;
   c_target : Smg_relational.Schema.t;
   c_plans : Plan.t list;
+  c_delta : Plan.t list list;
+      (** per plan (same order as [c_plans]), one reordered variant per
+          lhs atom: variant [j] puts atom [j] at scan 0, so incremental
+          maintenance can drive the join from a batch of tuples newly
+          inserted into that atom's table instead of re-running the
+          bulk plan's full join prefix. Empty lists under [laconic]. *)
   c_laconic : bool;
 }
 
@@ -136,3 +142,70 @@ val execute :
     [Budget_exhausted] carrying the sound prefix built so far. *)
 
 val pp_report : Format.formatter -> report -> unit
+
+(** {1 Stores and trigger enumeration}
+
+    The engine's mutable per-relation store and the compiled-plan scan
+    loop, exposed for incremental maintenance (lib/delta): a maintainer
+    owns its own stores across update batches and re-enumerates
+    triggers seeded from each batch's delta, reusing exactly the
+    hash-join evaluation the bulk path runs. *)
+
+module Stores : sig
+  type t
+  (** A mutable tuple store with set semantics, lazily-built hash-join
+      indexes, and O(1) membership. *)
+
+  val of_tuples : header:string list -> Smg_relational.Value.t array list -> t
+  (** Build a store over duplicate-free initial tuples. *)
+
+  val header : t -> string list
+
+  val tuples : t -> Smg_relational.Value.t array list
+  (** Current tuples in insertion order. *)
+
+  val count : t -> int
+  val mem : t -> Smg_relational.Value.t array -> bool
+
+  val insert : t -> Smg_relational.Value.t array -> bool
+  (** [false] if the tuple was already present. Maintains any built
+      indexes. *)
+
+  val remove_many :
+    t -> Smg_relational.Value.t array list -> Smg_relational.Value.t array list
+  (** Remove a batch of tuples in O(batch), not O(store): each doomed
+      tuple is unregistered from the membership set and tombstoned in
+      place — both in the scan list and in any built index bucket.
+      Probes filter tombstones while rot exists, and rot past the live
+      count triggers an amortized rebuild. Returns the tuples actually
+      removed, in batch order (absent ones are skipped silently). *)
+
+  val clear_delta : t -> unit
+  (** Forget the tuples recorded as "new this round" by {!insert} — an
+      incremental maintainer drives re-evaluation from its own batch,
+      so it drains this engine-side log after each apply to keep the
+      store O(live tuples). *)
+end
+
+val prewarm : src:(string -> Stores.t) -> Plan.t -> unit
+(** Build the hash indexes the plan's probing scans will use, so the
+    first {!enumerate} after construction doesn't pay the O(store)
+    index builds inside a latency-sensitive path. *)
+
+val enumerate :
+  src:(string -> Stores.t) ->
+  ?budget:Smg_robust.Budget.t ->
+  ?delta:int * Smg_relational.Value.t array list ->
+  Plan.t ->
+  Obs.tstats ->
+  sink:(Smg_relational.Value.t array -> unit) ->
+  unit
+(** Enumerate every complete binding (trigger) of a compiled plan's
+    scans over the stores named by [src], calling [sink] on each. With
+    [delta:(i, tuples)], scan step [i] iterates only the given tuples —
+    the semi-naive restriction: a binding is produced only if its
+    [i]-th atom comes from the delta. The env array passed to [sink] is
+    reused between bindings; copy it if it must survive the callback.
+    Every scanned tuple ticks the [budget] ({!Smg_robust.Budget.tick_exn},
+    so runaway joins raise [Budget.Exhausted] exactly as in bulk
+    execution). *)

@@ -59,7 +59,7 @@ type t = {
 
 (* ---- compilation ------------------------------------------------------- *)
 
-let order_atoms ?card atoms =
+let order_atoms ?card ?lead atoms =
   (* Left-deep greedy join order: start from the most selective atom
      (most constants, then smallest relation), then repeatedly take the
      atom sharing the most variables with the bound set (ties: smallest
@@ -101,20 +101,26 @@ let order_atoms ?card atoms =
   | [] -> []
   | _ ->
       let first =
-        List.fold_left
-          (fun best a ->
-            match best with
-            | None -> Some a
-            | Some b ->
-                if (n_consts a, -cardinality a) > (n_consts b, -cardinality b)
-                then Some a
-                else best)
-          None atoms
+        match lead with
+        | Some i -> List.nth atoms i
+        | None ->
+            Option.get
+              (List.fold_left
+                 (fun best a ->
+                   match best with
+                   | None -> Some a
+                   | Some b ->
+                       if
+                         (n_consts a, -cardinality a)
+                         > (n_consts b, -cardinality b)
+                       then Some a
+                       else best)
+                 None atoms)
       in
-      let a = Option.get first in
+      let a = first in
       go (Atom.vars a) [ a ] (List.filter (fun a' -> a' != a) atoms)
 
-let compile ?card ~source ~target (tgd : Dependency.tgd) =
+let compile ?card ?lead ~source ~target (tgd : Dependency.tgd) =
   let slot_of = Hashtbl.create 16 in
   let slot_names = ref [] in
   let nslots = ref 0 in
@@ -160,7 +166,7 @@ let compile ?card ~source ~target (tgd : Dependency.tgd) =
           sc_selfeqs = List.rev !selfeqs;
           sc_binds = List.rev !binds;
         })
-      (order_atoms ?card tgd.Dependency.lhs)
+      (order_atoms ?card ?lead tgd.Dependency.lhs)
   in
   (* existentials: rhs variables with no lhs slot *)
   let nnulls = ref 0 and nex = ref 0 in

@@ -63,6 +63,7 @@ type t = {
 
 val compile :
   ?card:(string -> int) ->
+  ?lead:int ->
   source:Smg_relational.Schema.t ->
   target:Smg_relational.Schema.t ->
   Smg_cq.Dependency.tgd ->
@@ -70,7 +71,11 @@ val compile :
 (** Compile a tgd whose lhs predicates are [source] tables and whose
     rhs predicates are [target] tables. [card] gives per-table
     cardinalities for the greedy join ordering (most-selective-first);
-    without it the order is purely structural.
+    without it the order is purely structural. [lead] forces the lhs
+    atom at that index (in the tgd's own atom order) to become scan 0,
+    with the rest ordered greedily around it — how the incremental
+    maintainer gets one plan variant per atom, each driven by the
+    tuples newly inserted into that atom's table.
     @raise Invalid_argument on unknown predicates, arity mismatches, or
     a Skolem argument that is not universally quantified. *)
 

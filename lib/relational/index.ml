@@ -46,6 +46,16 @@ let add ix tup =
   | None -> Hashtbl.replace ix.ix_tbl k (ref [ tup ]));
   ix.ix_entries <- ix.ix_entries + 1
 
+let remove ix tup =
+  let k = key_of_positions ix.ix_key tup in
+  match Hashtbl.find_opt ix.ix_tbl k with
+  | None -> ()
+  | Some bucket ->
+      let before = List.length !bucket in
+      bucket := List.filter (fun t -> t != tup) !bucket;
+      ix.ix_entries <- ix.ix_entries - (before - List.length !bucket);
+      if !bucket = [] then Hashtbl.remove ix.ix_tbl k
+
 let build ~key tuples =
   let ix = create ~key in
   List.iter (add ix) tuples;

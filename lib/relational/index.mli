@@ -17,6 +17,13 @@ val build : key:int list -> Value.t array list -> t
 val add : t -> Value.t array -> unit
 (** Register one more tuple (appends to its bucket). *)
 
+val remove : t -> Value.t array -> unit
+(** Drop the physically-identical tuple from its bucket (a no-op when
+    the exact array was never added). Physical identity is the right
+    notion here: the callers in [lib/exchange] index the store's own
+    tuple arrays, so removal must not confuse two structurally equal
+    arrays inserted at different times. *)
+
 val probe : t -> Value.t list -> Value.t array list
 (** Tuples whose key cells equal the given values (in key-position
     order); [[]] when the key is absent. *)

@@ -6,6 +6,7 @@ type point =
   | Pool_task
   | Socket_read
   | Socket_write
+  | Delta_apply
 
 let all_points =
   [
@@ -16,6 +17,7 @@ let all_points =
     Pool_task;
     Socket_read;
     Socket_write;
+    Delta_apply;
   ]
 
 let point_index = function
@@ -26,6 +28,7 @@ let point_index = function
   | Pool_task -> 4
   | Socket_read -> 5
   | Socket_write -> 6
+  | Delta_apply -> 7
 
 let point_name = function
   | Parse -> "parse"
@@ -35,6 +38,7 @@ let point_name = function
   | Pool_task -> "pool_task"
   | Socket_read -> "socket_read"
   | Socket_write -> "socket_write"
+  | Delta_apply -> "delta_apply"
 
 type action = Raise | Delay of float | Short
 

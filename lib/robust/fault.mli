@@ -20,6 +20,10 @@ type point =
   | Pool_task  (** a connection task entering a pool domain *)
   | Socket_read  (** consulted once per accepted connection *)
   | Socket_write  (** consulted once per response write *)
+  | Delta_apply
+      (** one delta batch entering incremental maintenance (appended
+          after the original seven points, so pre-existing seeded
+          schedules are unchanged) *)
 
 val all_points : point list
 (** In declaration order — the order {!schedule} reports. *)

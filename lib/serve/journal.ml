@@ -1,4 +1,7 @@
-type op = Put of { name : string; text : string } | Delete of string
+type op =
+  | Put of { name : string; text : string }
+  | Delete of string
+  | Delta of { name : string; text : string }
 
 let be32 n =
   let b = Bytes.create 4 in
@@ -19,6 +22,7 @@ let checksum payload = String.sub (Digest.string payload) 0 4
 let payload_of = function
   | Put { name; text } -> "P" ^ be32 (String.length name) ^ name ^ text
   | Delete name -> "D" ^ be32 (String.length name) ^ name
+  | Delta { name; text } -> "A" ^ be32 (String.length name) ^ name ^ text
 
 let encode op =
   let p = payload_of op in
@@ -35,6 +39,7 @@ let op_of_payload p =
       match p.[0] with
       | 'P' -> Some (Put { name; text = String.sub p (5 + nlen) (len - 5 - nlen) })
       | 'D' when len = 5 + nlen -> Some (Delete name)
+      | 'A' -> Some (Delta { name; text = String.sub p (5 + nlen) (len - 5 - nlen) })
       | _ -> None
 
 (* Decode the longest clean prefix of [data]: ops plus the offset where
@@ -69,14 +74,14 @@ let replay path =
     decode data
   end
 
-type t = { fd : Unix.file_descr; lock : Mutex.t }
+type t = { fd : Unix.file_descr; lock : Mutex.t; mutable pos : int }
 
 let open_append path =
   let _, clean = replay path in
   let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT ] 0o644 in
   ignore (Unix.ftruncate fd clean);
   ignore (Unix.lseek fd 0 Unix.SEEK_END);
-  { fd; lock = Mutex.create () }
+  { fd; lock = Mutex.create (); pos = clean }
 
 let append t op =
   let record = encode op in
@@ -91,6 +96,11 @@ let append t op =
           !written
           + Unix.write_substring t.fd record !written (len - !written)
       done;
-      Unix.fsync t.fd)
+      Unix.fsync t.fd;
+      t.pos <- t.pos + len)
+
+let position t =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) (fun () -> t.pos)
 
 let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()

@@ -5,15 +5,20 @@
 
     Wire format, per record: a 4-byte big-endian payload length, a
     4-byte checksum (the first 4 bytes of the payload's MD5), then the
-    payload — an op byte (['P'] put, ['D'] delete), a 4-byte big-endian
-    name length, the name, and (for put) the scenario text. Replay
+    payload — an op byte (['P'] put, ['D'] delete, ['A'] delta), a
+    4-byte big-endian name length, the name, and (for put and delta)
+    the body text — a scenario document for put, a {!Smg_delta.Batch}
+    wire-format batch for delta. Replay
     scans from the start and stops at the first record whose length
     field runs past the file or whose checksum disagrees: a torn tail
     (the crash window is an interrupted append) silently truncates to
     the committed prefix, which {!open_append} then makes physical so
     the next append never stacks bytes after garbage. *)
 
-type op = Put of { name : string; text : string } | Delete of string
+type op =
+  | Put of { name : string; text : string }
+  | Delete of string
+  | Delta of { name : string; text : string }
 
 val encode : op -> string
 (** One framed record, exactly as appended — exposed so tests can build
@@ -35,5 +40,10 @@ val open_append : string -> t
 val append : t -> op -> unit
 (** Append one record and flush it to stable storage ([fsync]) before
     returning — an acknowledged mutation survives a crash. *)
+
+val position : t -> int
+(** Byte offset after the last committed record — the clean-prefix
+    offset at open time plus everything appended since. Surfaced by
+    [GET /healthz]. *)
 
 val close : t -> unit

@@ -6,6 +6,8 @@ module Discover = Smg_core.Discover
 module Diag = Smg_robust.Diag
 module Engine = Smg_exchange.Engine
 module Scenario = Smg_eval.Scenario
+module Batch = Smg_delta.Batch
+module Maintain = Smg_delta.Maintain
 
 type kind = Dsl of Ast.t | Builtin of Scenario.t
 
@@ -30,6 +32,7 @@ type cell = {
   mutable c_tgds : (Smg_cq.Dependency.tgd list, string) result option;
   c_instances : (string, Instance.t) Hashtbl.t;
   c_plans : (string, Engine.compiled) Hashtbl.t;
+  c_maintain : (string, Maintain.state) Hashtbl.t;
 }
 
 type t = {
@@ -87,6 +90,7 @@ let fresh_cell entry =
     c_tgds = None;
     c_instances = Hashtbl.create 4;
     c_plans = Hashtbl.create 4;
+    c_maintain = Hashtbl.create 2;
   }
 
 (* ---- lowering ---------------------------------------------------------- *)
@@ -316,7 +320,7 @@ let instance_plan ~size ~seed (entry : entry) =
   let witness () =
     let n_tables = max 1 (List.length schema.Schema.tables) in
     let rows = max 1 (size / n_tables) in
-    Smg_eval.Witness.populate ~rows_per_table:rows ~seed schema
+    Smg_eval.Witness.populate_cached ~rows_per_table:rows ~seed schema
   in
   let dims = [ ("size", string_of_int size); ("seed", string_of_int seed) ] in
   match entry.en_kind with
@@ -404,6 +408,93 @@ let exchange t ?budget ?(size = 1000) ?(seed = 42) ?(laconic = true) entry =
                     ( reason,
                       Render.exchange_json ~head ~exhausted:reason
                         ~diags:[ diag ] ~laconic rep ))))
+
+(* ---- incremental deltas ------------------------------------------------- *)
+
+type delta_result = Dl_ok of string | Dl_bad of string | Dl_failed of string
+
+let counters_json (c : Maintain.counters) =
+  Printf.sprintf
+    "{\"src_inserted\": %d, \"src_deleted\": %d, \"triggers_fired\": %d, \
+     \"facts_added\": %d, \"facts_retracted\": %d, \"nulls_minted\": %d, \
+     \"nulls_collected\": %d, \"egd_merges\": %d, \"egd_rebuilds\": %d, \
+     \"full_rebuilds\": %d, \"seconds\": %.6f}"
+    c.Maintain.mc_src_inserted c.Maintain.mc_src_deleted
+    c.Maintain.mc_triggers_fired c.Maintain.mc_facts_added
+    c.Maintain.mc_facts_retracted c.Maintain.mc_nulls_minted
+    c.Maintain.mc_nulls_collected c.Maintain.mc_egd_merges
+    c.Maintain.mc_egd_rebuilds c.Maintain.mc_full_rebuilds
+    c.Maintain.mc_seconds
+
+(* The maintained state is keyed like the cached instances, so a delta
+   against [size, seed] mutates exactly the instance the exchange
+   endpoint serves for those parameters. On success the cell's cached
+   instance is replaced by the maintained source — later exchanges (and
+   a re-init after a poisoning failure) see the delta'd data. *)
+let delta t ?(size = 1000) ?(seed = 42) entry (batch : Batch.t) =
+  match entry_tgds t entry with
+  | Error msg -> Dl_failed msg
+  | Ok tgds -> (
+      match instance_plan ~size ~seed entry with
+      | Error msg -> Dl_bad msg
+      | Ok (make_inst, inst_key, head) -> (
+          match cell_of t entry with
+          | None ->
+              Dl_failed "scenario was replaced concurrently; retry the delta"
+          | Some cell -> (
+              with_lock cell.c_lock @@ fun () ->
+              let st_or_err =
+                match Hashtbl.find_opt cell.c_maintain inst_key with
+                | Some st -> Ok st
+                | None -> (
+                    let inst =
+                      match Hashtbl.find_opt cell.c_instances inst_key with
+                      | Some i -> i
+                      | None ->
+                          let i = make_inst () in
+                          Hashtbl.add cell.c_instances inst_key i;
+                          i
+                    in
+                    let prep =
+                      with_retry t (fun () ->
+                          fire t Smg_robust.Fault.Plan_compile;
+                          Maintain.prepare
+                            ~card:(fun n -> Instance.cardinality inst n)
+                            ~source:entry.en_source.Discover.schema
+                            ~target:entry.en_target.Discover.schema
+                            ~mappings:tgds ())
+                    in
+                    match prep with
+                    | Error m -> Error m
+                    | Ok compiled -> (
+                        match Maintain.init compiled inst with
+                        | Error m -> Error m
+                        | Ok st ->
+                            Hashtbl.replace cell.c_maintain inst_key st;
+                            Ok st))
+              in
+              match st_or_err with
+              | Error m -> Dl_failed m
+              | Ok st -> (
+                  match Maintain.apply ?fault:t.t_fault st batch with
+                  | Error m ->
+                      (* poisoned: drop it so the next delta re-inits
+                         from the last good instance *)
+                      Hashtbl.remove cell.c_maintain inst_key;
+                      Dl_failed m
+                  | Ok (st, c) ->
+                      Hashtbl.replace cell.c_instances inst_key
+                        (Maintain.source st);
+                      let head =
+                        head
+                        @ [
+                            ("batch", string_of_int (Maintain.batches st));
+                            ("delta", counters_json c);
+                          ]
+                      in
+                      Dl_ok
+                        (Render.exchange_json ~head ~laconic:false
+                           (Maintain.report st))))))
 
 (* ---- info -------------------------------------------------------------- *)
 

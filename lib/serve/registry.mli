@@ -111,6 +111,32 @@ val exchange :
 val entry_tgds : t -> entry -> (Smg_cq.Dependency.tgd list, string) result
 (** The entry's executable tgds (cached; discovers on first use). *)
 
+type delta_result =
+  | Dl_ok of string
+      (** the maintained target as an exchange document, with the
+          batch sequence number and per-batch counters in the head *)
+  | Dl_bad of string  (** client-side: no data, RIC violations *)
+  | Dl_failed of string
+      (** key-egd conflict or engine failure; the maintained state is
+          dropped and the next delta re-initializes from the last
+          successfully maintained instance *)
+
+val counters_json : Smg_delta.Maintain.counters -> string
+(** The per-batch counters as a JSON object — the [delta] head field,
+    shared with the CLI's [--apply-delta] output so the bytes match a
+    served response. *)
+
+val delta :
+  t -> ?size:int -> ?seed:int -> entry -> Smg_delta.Batch.t -> delta_result
+(** Apply a batch of source inserts/deletes incrementally
+    ({!Smg_delta.Maintain}). The maintained state is cached per
+    instance key — the same [size:seed] (or data-block) key as the
+    cached instances — created on first use by a bulk init over the
+    cached instance. On success the cached instance is replaced by the
+    maintained source, so later exchange requests against the same key
+    see the delta'd data. An empty batch is a consistent read of the
+    maintained document. *)
+
 val info_json : t -> entry -> string
 (** Registry-entry summary: name, hash, kind, table/corr counts, and
     how many cached artifacts (discovery variants, compiled plans,

@@ -55,6 +55,24 @@ type t = {
   breakers : (string, Breaker.t) Hashtbl.t;  (* per scenario name *)
 }
 
+(* A served delta journals its instance key as a leading comment line
+   ([# key SIZE SEED]) inside the batch text — the batch parser skips
+   it, and replay reads it back so the delta lands on the same
+   maintained state it mutated live. *)
+let delta_key text =
+  let default = (1000, 42) in
+  match String.index_opt text '\n' with
+  | Some i when i > 6 && String.sub text 0 6 = "# key " -> (
+      match
+        String.split_on_char ' ' (String.trim (String.sub text 6 (i - 6)))
+      with
+      | [ a; b ] -> (
+          match (int_of_string_opt a, int_of_string_opt b) with
+          | Some size, Some seed -> (size, seed)
+          | _ -> default)
+      | _ -> default)
+  | _ -> default
+
 (* Replay the journal into the registry. Each op is retried through
    any injected parse/store faults (the journal is ground truth — a
    recovery must not be derailed by the same chaos it proves against),
@@ -76,6 +94,17 @@ let recover reg met path =
         | Journal.Delete name ->
             ignore (Registry.remove reg name);
             `Done None
+        | Journal.Delta { name; text } -> (
+            match Registry.find reg name with
+            | None -> `Done None (* delta after a delete: skip *)
+            | Some entry -> (
+                let schema = entry.Registry.en_source.Discover.schema in
+                match Smg_delta.Batch.parse ~schema text with
+                | Error _ -> `Done None
+                | Ok batch ->
+                    let size, seed = delta_key text in
+                    ignore (Registry.delta reg ~size ~seed entry batch);
+                    `Done (Some name)))
       with
       | `Done r -> r
       | exception Fault.Injected _ when n < 10 -> attempt (n + 1)
@@ -343,6 +372,41 @@ let handle_verify _t rq (entry : Registry.entry) =
              (Mapverify.n_collapsed rp) (Mapverify.n_subsumed rp) names)
       end
 
+(* Incremental source mutation: parse the batch against the scenario's
+   source schema, make it durable (journal-first, so a crash between
+   the fsync and the in-memory apply replays it), then maintain the
+   materialized target through {!Registry.delta}. An empty batch is a
+   consistent read of the maintained document and is not journaled. *)
+let handle_delta t rq (entry : Registry.entry) =
+  match (q_int rq "size" 1000, q_int rq "seed" t.cfg.seed) with
+  | Error e, _ | _, Error e -> answer "delta" 400 (error_body e)
+  | Ok size, Ok seed -> (
+      let schema = entry.Registry.en_source.Discover.schema in
+      match Smg_delta.Batch.parse ~schema rq.Http.rq_body with
+      | Error m -> answer "delta" 400 (error_body m)
+      | Ok batch -> (
+          let journaled =
+            if batch = [] then Ok ()
+            else
+              let text =
+                Printf.sprintf "# key %d %d\n%s" size seed
+                  (Smg_delta.Batch.to_string batch)
+              in
+              journal_append t
+                (Journal.Delta { name = entry.Registry.en_name; text })
+          in
+          match journaled with
+          | Error exn ->
+              answer "delta" 500
+                (error_body
+                   ~diags:[ Diag.of_exn Diag.Validate exn ]
+                   "journal append failed; the delta was not applied")
+          | Ok () -> (
+              match Registry.delta t.reg ~size ~seed entry batch with
+              | Registry.Dl_ok body -> answer "delta" 200 body
+              | Registry.Dl_bad m -> answer "delta" 400 (error_body m)
+              | Registry.Dl_failed m -> answer "delta" 500 (error_body m))))
+
 (* Round-trip composition: the entry's mapping chained with its
    reversal into a primed copy of the source schema — the smallest
    pipeline that exercises {!Smg_compose} end to end. *)
@@ -409,7 +473,41 @@ let handle_compose t rq (entry : Registry.entry) =
 
 let route t (rq : Http.request) =
   match (rq.Http.rq_meth, rq.Http.rq_segments) with
-  | Http.GET, [ "healthz" ] -> answer "healthz" 200 "{\"ok\": true}\n"
+  | Http.GET, [ "healthz" ] ->
+      let breakers =
+        Mutex.lock t.br_lock;
+        let l =
+          Hashtbl.fold
+            (fun name b acc ->
+              let st =
+                match Breaker.state b with
+                | `Closed -> "closed"
+                | `Open -> "open"
+                | `Half_open -> "half_open"
+              in
+              (name, st, Breaker.trips b) :: acc)
+            t.breakers []
+        in
+        Mutex.unlock t.br_lock;
+        List.sort (fun (a, _, _) (b, _, _) -> String.compare a b) l
+      in
+      let body =
+        Printf.sprintf
+          "{\"ok\": true,\n \"scenarios\": %d,\n \"pool\": %d,\n \
+           \"journal\": %s,\n \"breakers\": %s}\n"
+          (Registry.size t.reg) t.cfg.domains
+          (match t.journal with
+          | None -> "null"
+          | Some j ->
+              Printf.sprintf "{\"position\": %d}" (Journal.position j))
+          (Render.json_list
+             (fun (name, st, trips) ->
+               Printf.sprintf
+                 "{\"scenario\": %s, \"state\": %s, \"trips\": %d}"
+                 (Render.json_str name) (Render.json_str st) trips)
+             breakers)
+      in
+      answer "healthz" 200 body
   | Http.GET, [ "metrics" ] ->
       answer "metrics" 200
         (Metrics.to_json t.met ~scenarios:(Registry.size t.reg))
@@ -440,6 +538,7 @@ let route t (rq : Http.request) =
           | "exchange" -> handle_exchange t rq entry
           | "verify" -> handle_verify t rq entry
           | "compose" -> handle_compose t rq entry
+          | "delta" -> handle_delta t rq entry
           | _ ->
               answer "other" 404
                 (error_body (Printf.sprintf "unknown action %s" action))))

@@ -12,7 +12,8 @@
 
     Routes ([:name] is percent-decoded, so slashes can be encoded):
     {v
-    GET    /healthz                      liveness
+    GET    /healthz                      liveness + breaker states,
+                                         journal position, pool size
     GET    /metrics                      counters + latency quantiles
     GET    /scenarios                    registered names
     PUT    /scenarios/:name             register a .smg body
@@ -22,6 +23,10 @@
     POST   /scenarios/:name/exchange    the CLI exchange --json body
     POST   /scenarios/:name/verify      containment/dedup summary
     POST   /scenarios/:name/compose     round-trip composition report
+    POST   /scenarios/:name/delta       incremental source mutation:
+                                         the body is a Smg_delta.Batch,
+                                         maintained (not re-chased)
+                                         into the cached instance
     v}
 
     Status mapping follows the CLI exit codes: bad input (exit 2) is

@@ -1,0 +1,529 @@
+(* Tests for Smg_delta: the batch wire format, skolemization, and
+   incremental maintenance — counting retraction, null collection, the
+   key-egd layer under inserts and deletes — against the oracle of a
+   full re-chase of the maintained source, plus a qcheck property over
+   generated scenarios at 1 and 4 domains. *)
+
+module Value = Smg_relational.Value
+module Schema = Smg_relational.Schema
+module Instance = Smg_relational.Instance
+module Atom = Smg_cq.Atom
+module Dependency = Smg_cq.Dependency
+module Engine = Smg_exchange.Engine
+module Plan = Smg_exchange.Plan
+module Batch = Smg_delta.Batch
+module Maintain = Smg_delta.Maintain
+module Skolemize = Smg_delta.Skolemize
+module Pool = Smg_parallel.Pool
+module Render = Smg_serve.Render
+module Gen = Smg_generate.Gen
+module Params = Smg_generate.Params
+
+let v = Atom.v
+let a = Atom.atom
+let vs s = Value.VString s
+let hom_equiv = Smg_verify.Equiv.equivalent
+
+let contains_sub s needle =
+  let n = String.length needle and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+let fuzz_count default =
+  match Sys.getenv_opt "SMG_FUZZ_COUNT" with
+  | Some s -> ( match int_of_string_opt s with Some n -> min n default | None -> default)
+  | None -> default
+
+(* ---- fixture ------------------------------------------------------------ *)
+
+let fsource =
+  Schema.make ~name:"dsrc"
+    [
+      Schema.table "r" [ ("a", Schema.TString); ("b", Schema.TString) ];
+      Schema.table "u" [ ("b", Schema.TString) ];
+    ]
+    []
+
+let ftarget =
+  Schema.make ~name:"dtgt"
+    [
+      Schema.table ~key:[ "a" ] "s"
+        [ ("a", Schema.TString); ("b", Schema.TString) ];
+      Schema.table "t" [ ("b", Schema.TString); ("c", Schema.TString) ];
+    ]
+    []
+
+let ftgds =
+  [
+    Dependency.tgd ~name:"m1"
+      ~lhs:[ a "r" [ v "x"; v "y" ] ]
+      [ a "s" [ v "x"; v "y" ] ];
+    Dependency.tgd ~name:"m2"
+      ~lhs:[ a "u" [ v "y" ] ]
+      [ a "t" [ v "y"; v "z" ] ];
+    Dependency.tgd ~name:"m3"
+      ~lhs:[ a "r" [ v "x"; v "y" ]; a "u" [ v "y" ] ]
+      [ a "s" [ v "x"; v "w" ]; a "t" [ v "w"; v "c" ] ];
+  ]
+
+let inst_of rows =
+  List.fold_left
+    (fun acc (name, header, tup) ->
+      Instance.add_tuple acc name ~header (Array.of_list (List.map vs tup)))
+    Instance.empty rows
+
+let r_header = [ "a"; "b" ]
+let u_header = [ "b" ]
+
+let base_inst =
+  inst_of
+    [
+      ("r", r_header, [ "a1"; "b1" ]);
+      ("r", r_header, [ "a2"; "b2" ]);
+      ("u", u_header, [ "b1" ]);
+    ]
+
+let prepare_exn ?(source = fsource) ?(target = ftarget) tgds =
+  match Maintain.prepare ~source ~target ~mappings:tgds () with
+  | Ok c -> c
+  | Error m -> Alcotest.failf "prepare: %s" m
+
+let init_exn compiled inst =
+  match Maintain.init compiled inst with
+  | Ok st -> st
+  | Error m -> Alcotest.failf "init: %s" m
+
+let apply_exn st batch =
+  match Maintain.apply st batch with
+  | Ok (st, c) -> (st, c)
+  | Error m -> Alcotest.failf "apply: %s" m
+
+let rebuild ?pool compiled inst =
+  match Engine.execute ?pool compiled inst with
+  | Engine.Complete r -> r
+  | Engine.Budget_exhausted _ -> Alcotest.fail "rebuild exhausted"
+  | Engine.Failed m -> Alcotest.failf "rebuild: %s" m
+
+let check_equiv_rebuild msg st =
+  let compiled_target = (Maintain.report st).Engine.r_target in
+  let fresh =
+    rebuild
+      (prepare_exn ftgds)
+      (Maintain.source st)
+  in
+  if not (hom_equiv compiled_target fresh.Engine.r_target) then
+    Alcotest.failf "%s: maintained target not ≡hom a full re-chase" msg
+
+(* ---- batch wire format -------------------------------------------------- *)
+
+let test_batch_parse () =
+  let text =
+    "# a comment\n\n+ r(a3, \"b three, \\\"quoted\\\"\")\n- u(b1)\n+ u(b9)\n"
+  in
+  match Batch.parse ~schema:fsource text with
+  | Error m -> Alcotest.failf "parse: %s" m
+  | Ok ops ->
+      Alcotest.(check int) "ops" 3 (List.length ops);
+      let ins, del = Batch.counts ops in
+      Alcotest.(check int) "inserts" 2 ins;
+      Alcotest.(check int) "deletes" 1 del;
+      (match List.hd ops with
+      | Batch.Insert ("r", tup) ->
+          Alcotest.(check string)
+            "quoted string" "b three, \"quoted\""
+            (match tup.(1) with Value.VString s -> s | _ -> "?")
+      | _ -> Alcotest.fail "expected insert into r");
+      (* render → reparse round-trips *)
+      let text' = Batch.to_string ops in
+      (match Batch.parse ~schema:fsource text' with
+      | Ok ops' -> Alcotest.(check bool) "round-trip" true (ops = ops')
+      | Error m -> Alcotest.failf "reparse: %s" m)
+
+let test_batch_errors () =
+  let bad text frag =
+    match Batch.parse ~schema:fsource text with
+    | Ok _ -> Alcotest.failf "accepted %S" text
+    | Error m ->
+        if not (contains_sub m frag) then
+          Alcotest.failf "error %S lacks %S" m frag
+  in
+  bad "+ nosuch(1)" "unknown source table";
+  bad "+ r(onlyone)" "expects 2 values";
+  bad "* r(a, b)" "expected '+' or '-'";
+  bad "+ r(a, \"unterminated)" "unterminated"
+
+(* ---- skolemization ------------------------------------------------------ *)
+
+let test_skolemize () =
+  let compiled = prepare_exn ftgds in
+  List.iter
+    (fun (p : Plan.t) ->
+      Alcotest.(check int)
+        (p.Plan.p_name ^ " mints no anonymous nulls")
+        0 p.Plan.p_nnulls)
+    compiled.Engine.c_plans;
+  (* skolemized plans executed in bulk are ≡hom the restricted chase *)
+  let plain =
+    match
+      Engine.run ~source:fsource ~target:ftarget ~mappings:ftgds base_inst
+    with
+    | Ok r -> r.Engine.r_target
+    | Error m -> Alcotest.failf "plain run: %s" m
+  in
+  let skolem = (rebuild compiled base_inst).Engine.r_target in
+  Alcotest.(check bool) "skolem ≡hom restricted" true (hom_equiv plain skolem)
+
+(* ---- maintenance -------------------------------------------------------- *)
+
+let test_init_matches_bulk () =
+  let compiled = prepare_exn ftgds in
+  let st = init_exn compiled base_inst in
+  let bulk = (rebuild compiled base_inst).Engine.r_target in
+  Alcotest.(check bool)
+    "init target ≡hom bulk" true
+    (hom_equiv (Maintain.target st) bulk);
+  check_equiv_rebuild "init" st
+
+let test_insert_delete_equiv () =
+  let compiled = prepare_exn ftgds in
+  let st = init_exn compiled base_inst in
+  let batch =
+    [
+      Batch.Insert ("r", [| vs "a3"; vs "b2" |]);
+      Batch.Insert ("u", [| vs "b2" |]);
+      Batch.Delete ("u", [| vs "b1" |]);
+    ]
+  in
+  let st, c = apply_exn st batch in
+  Alcotest.(check int) "src inserted" 2 c.Maintain.mc_src_inserted;
+  Alcotest.(check int) "src deleted" 1 c.Maintain.mc_src_deleted;
+  check_equiv_rebuild "after batch" st;
+  (* idempotence: re-inserting and re-deleting the same tuples is a
+     no-op batch *)
+  let st, c2 =
+    apply_exn st
+      [
+        Batch.Insert ("r", [| vs "a3"; vs "b2" |]);
+        Batch.Delete ("u", [| vs "b1" |]);
+      ]
+  in
+  Alcotest.(check int) "no-op inserts" 0 c2.Maintain.mc_src_inserted;
+  Alcotest.(check int) "no-op deletes" 0 c2.Maintain.mc_src_deleted;
+  check_equiv_rebuild "after no-op" st
+
+(* A delete that removes a null's last supporting derivation must
+   retract every fact carrying the null — the null disappears from the
+   maintained target entirely. *)
+let test_null_collected () =
+  let source =
+    Schema.make ~name:"nsrc" [ Schema.table "n" [ ("x", Schema.TString) ] ] []
+  in
+  let target =
+    Schema.make ~name:"ntgt"
+      [
+        Schema.table "p" [ ("x", Schema.TString); ("y", Schema.TString) ];
+        Schema.table "q" [ ("y", Schema.TString) ];
+      ]
+      []
+  in
+  let tgds =
+    [
+      Dependency.tgd ~name:"share"
+        ~lhs:[ a "n" [ v "x" ] ]
+        [ a "p" [ v "x"; v "y" ] ; a "q" [ v "y" ] ];
+    ]
+  in
+  let compiled = prepare_exn ~source ~target tgds in
+  let inst =
+    List.fold_left
+      (fun acc x ->
+        Instance.add_tuple acc "n" ~header:[ "x" ] [| vs x |])
+      Instance.empty [ "a"; "b" ]
+  in
+  let st = init_exn compiled inst in
+  let nulls_of inst =
+    List.fold_left
+      (fun acc name ->
+        match Instance.relation inst name with
+        | None -> acc
+        | Some r ->
+            List.fold_left
+              (fun acc tup ->
+                Array.fold_left
+                  (fun acc v ->
+                    match v with Value.VNull k -> k :: acc | _ -> acc)
+                  acc tup)
+              acc r.Instance.tuples)
+      [] (Instance.names inst)
+    |> List.sort_uniq compare
+  in
+  let before = nulls_of (Maintain.target st) in
+  Alcotest.(check int) "two shared nulls" 2 (List.length before);
+  let st, c = apply_exn st [ Batch.Delete ("n", [| vs "a" |]) ] in
+  Alcotest.(check int) "facts retracted" 2 c.Maintain.mc_facts_retracted;
+  Alcotest.(check int) "null collected" 1 c.Maintain.mc_nulls_collected;
+  let after = nulls_of (Maintain.target st) in
+  Alcotest.(check int) "one null left" 1 (List.length after);
+  Alcotest.(check int)
+    "target facts" 2
+    (Instance.total_tuples (Maintain.target st))
+
+(* Counting: a fact emitted by several derivations survives until the
+   last one dies. *)
+let test_shared_support () =
+  let source =
+    Schema.make ~name:"wsrc"
+      [ Schema.table "w" [ ("x", Schema.TString); ("y", Schema.TString) ] ]
+      []
+  in
+  let target =
+    Schema.make ~name:"wtgt" [ Schema.table "o" [ ("x", Schema.TString) ] ] []
+  in
+  let tgds =
+    [
+      Dependency.tgd ~name:"proj"
+        ~lhs:[ a "w" [ v "x"; v "y" ] ]
+        [ a "o" [ v "x" ] ];
+    ]
+  in
+  let compiled = prepare_exn ~source ~target tgds in
+  let inst =
+    inst_of
+      [
+        ("w", [ "x"; "y" ], [ "k"; "1" ]);
+        ("w", [ "x"; "y" ], [ "k"; "2" ]);
+      ]
+  in
+  let st = init_exn compiled inst in
+  Alcotest.(check int) "one fact" 1 (Instance.total_tuples (Maintain.target st));
+  let st, c = apply_exn st [ Batch.Delete ("w", [| vs "k"; vs "1" |]) ] in
+  Alcotest.(check int) "not retracted yet" 0 c.Maintain.mc_facts_retracted;
+  Alcotest.(check int) "still there" 1 (Instance.total_tuples (Maintain.target st));
+  let st, c = apply_exn st [ Batch.Delete ("w", [| vs "k"; vs "2" |]) ] in
+  Alcotest.(check int) "retracted" 1 c.Maintain.mc_facts_retracted;
+  Alcotest.(check int) "gone" 0 (Instance.total_tuples (Maintain.target st))
+
+(* Key egds: inserts merge nulls incrementally; a retraction of facts
+   from a keyed table forces the substitution rebuild — both states
+   must agree with a full re-chase. *)
+let test_egd_paths () =
+  let compiled = prepare_exn ftgds in
+  let st = init_exn compiled base_inst in
+  (* m1 and m3 both emit s(a1, _): the egd binds m3's skolem null to
+     b1, so the maintained report must show merges *)
+  let r = Maintain.report st in
+  Alcotest.(check bool) "merges happened" true (r.Engine.r_egd_merges > 0);
+  check_equiv_rebuild "egd init" st;
+  (* retraction touching the keyed table: u(b1) supports m3 *)
+  let st, c = apply_exn st [ Batch.Delete ("u", [| vs "b1" |]) ] in
+  Alcotest.(check bool) "egd rebuilt" true (c.Maintain.mc_egd_rebuilds > 0);
+  check_equiv_rebuild "egd retract" st;
+  (* and growing it back *)
+  let st, _ = apply_exn st [ Batch.Insert ("u", [| vs "b1" |]) ] in
+  check_equiv_rebuild "egd reinsert" st
+
+let test_conflict_poisons () =
+  let source =
+    Schema.make ~name:"csrc"
+      [ Schema.table "c" [ ("k", Schema.TString); ("v", Schema.TString) ] ]
+      []
+  in
+  let target =
+    Schema.make ~name:"ctgt"
+      [
+        Schema.table ~key:[ "k" ] "d"
+          [ ("k", Schema.TString); ("v", Schema.TString) ];
+      ]
+      []
+  in
+  let tgds =
+    [
+      Dependency.tgd ~name:"copy"
+        ~lhs:[ a "c" [ v "k"; v "x" ] ]
+        [ a "d" [ v "k"; v "x" ] ];
+    ]
+  in
+  let compiled = prepare_exn ~source ~target tgds in
+  let st = init_exn compiled (inst_of [ ("c", [ "k"; "v" ], [ "k1"; "x" ]) ]) in
+  (match Maintain.apply st [ Batch.Insert ("c", [| vs "k1"; vs "y" |]) ] with
+  | Ok _ -> Alcotest.fail "constant/constant conflict accepted"
+  | Error m ->
+      Alcotest.(check bool) "names the egd" true (contains_sub m "key egd"));
+  match Maintain.apply st [] with
+  | Ok _ -> Alcotest.fail "poisoned state accepted a batch"
+  | Error m ->
+      Alcotest.(check bool) "poisoned" true (contains_sub m "poisoned")
+
+(* ---- property: generated scenarios -------------------------------------- *)
+
+let gen_params =
+  QCheck.Gen.(
+    let* seed = int_bound 1_000_000 in
+    let* isa_depth = int_bound 2 in
+    let* n_roots = int_range 1 3 in
+    let* reify = int_bound 2 in
+    let* attrs_per_class = int_range 1 3 in
+    let* dens = int_range 5 10 in
+    let* scale = int_range 20 60 in
+    return
+      {
+        Params.seed;
+        isa_depth;
+        n_roots;
+        reify;
+        partof = 1;
+        attrs_per_class;
+        corr_density = float_of_int dens /. 10.;
+        scale;
+      })
+
+let arb_params =
+  QCheck.make gen_params ~print:(fun p -> Fmt.str "%a" Params.pp p)
+
+let discovered_tgds g =
+  match
+    Smg_core.Discover.discover ~source:g.Gen.g_source ~target:g.Gen.g_target
+      ~corrs:g.Gen.g_corrs ()
+  with
+  | [] -> []
+  | best :: _ ->
+      if best.Smg_cq.Mapping.outer then
+        Smg_cq.Mapping.outer_variants
+          ~target:g.Gen.g_target.Smg_core.Discover.schema best
+      else [ Smg_cq.Mapping.to_tgd best ]
+
+(* Split the instance's tuples deterministically: every [k]-th tuple of
+   each relation goes to the second component. *)
+let split_inst k inst =
+  List.fold_left
+    (fun (kept, out) name ->
+      match Instance.relation inst name with
+      | None -> (kept, out)
+      | Some r ->
+          let keep, drop =
+            List.partition
+              (fun tup -> Hashtbl.hash (Smg_relational.Index.tuple_key tup) mod k <> 0)
+              r.Instance.tuples
+          in
+          let kept =
+            if keep = [] then kept
+            else Instance.set kept name { r with Instance.tuples = keep }
+          in
+          ((kept : Instance.t), (name, r.Instance.header, drop) :: out))
+    (Instance.empty, []) (Instance.names inst)
+
+let prop_maintain_equiv =
+  QCheck.Test.make
+    ~name:
+      "maintained target ≡hom full re-chase on generated scenarios; \
+       rebuild bytes identical at 1 and 4 domains"
+    ~count:(fuzz_count 25) arb_params (fun p ->
+      let g = Gen.build p in
+      match discovered_tgds g with
+      | [] -> true
+      | tgds -> (
+          let source = g.Gen.g_source.Smg_core.Discover.schema in
+          let target = g.Gen.g_target.Smg_core.Discover.schema in
+          match Maintain.prepare ~source ~target ~mappings:tgds () with
+          | Error m -> QCheck.Test.fail_reportf "prepare: %s" m
+          | Ok compiled -> (
+              let full = Gen.source_instance g in
+              (* start from a strict subset, then batch the withheld
+                 tuples back in while deleting a slice of the base *)
+              let base, withheld = split_inst 3 full in
+              let _, doomed = split_inst 5 base in
+              let batch =
+                List.concat_map
+                  (fun (name, _, tuples) ->
+                    List.map (fun t -> Batch.Insert (name, t)) tuples)
+                  withheld
+                @ List.concat_map
+                    (fun (name, _, tuples) ->
+                      List.map (fun t -> Batch.Delete (name, t)) tuples)
+                    doomed
+              in
+              (* doomed ⊆ base and base ∩ withheld = ∅, so the post-batch
+                 source is just [full] minus the doomed tuples *)
+              let final_expected =
+                List.fold_left
+                  (fun inst (name, _, tuples) ->
+                    match Instance.relation inst name with
+                    | None -> inst
+                    | Some r ->
+                        let dead =
+                          List.map Smg_relational.Index.tuple_key tuples
+                        in
+                        let keep =
+                          List.filter
+                            (fun t ->
+                              not
+                                (List.mem
+                                   (Smg_relational.Index.tuple_key t)
+                                   dead))
+                            r.Instance.tuples
+                        in
+                        Instance.set inst name
+                          { r with Instance.tuples = keep })
+                  full doomed
+              in
+              (* a key-egd conflict is a legitimate outcome on generated
+                 data — the property then is that the bulk chase of the
+                 same source reports one too *)
+              let oracle_fails inst =
+                match Engine.execute compiled inst with
+                | Engine.Failed _ -> true
+                | _ -> false
+              in
+              match Maintain.init compiled base with
+              | Error m ->
+                  oracle_fails base
+                  || QCheck.Test.fail_reportf "init: %s (bulk succeeds)" m
+              | Ok st -> (
+                  match Maintain.apply st batch with
+                  | Error m ->
+                      oracle_fails final_expected
+                      || QCheck.Test.fail_reportf "apply: %s (bulk succeeds)"
+                           m
+                  | Ok (st, _) ->
+                      let final = Maintain.source st in
+                      let run domains =
+                        Pool.with_pool ~domains (fun pool ->
+                            match Engine.execute ~pool compiled final with
+                            | Engine.Complete r -> r
+                            | Engine.Budget_exhausted _ ->
+                                QCheck.Test.fail_report "rebuild exhausted"
+                            | Engine.Failed m ->
+                                QCheck.Test.fail_reportf "rebuild: %s" m)
+                      in
+                      let r1 = run 1 and r4 = run 4 in
+                      let doc r =
+                        Render.exchange_json ~head:[] ~laconic:false r
+                      in
+                      String.equal (doc r1) (doc r4)
+                      && hom_equiv (Maintain.target st) r1.Engine.r_target))))
+
+let suite =
+  let q = QCheck_alcotest.to_alcotest in
+  [
+    ( "delta",
+      [
+        Alcotest.test_case "batch parses and round-trips" `Quick
+          test_batch_parse;
+        Alcotest.test_case "batch rejects bad input" `Quick test_batch_errors;
+        Alcotest.test_case "skolemized plans are null-free and ≡hom" `Quick
+          test_skolemize;
+        Alcotest.test_case "init matches bulk execution" `Quick
+          test_init_matches_bulk;
+        Alcotest.test_case "insert/delete batches track the re-chase" `Quick
+          test_insert_delete_equiv;
+        Alcotest.test_case "last support retracts the null everywhere" `Quick
+          test_null_collected;
+        Alcotest.test_case "shared support counts down, not off" `Quick
+          test_shared_support;
+        Alcotest.test_case "egd merges maintained through both paths" `Quick
+          test_egd_paths;
+        Alcotest.test_case "key conflict errors and poisons" `Quick
+          test_conflict_poisons;
+        q prop_maintain_equiv;
+      ] );
+  ]

@@ -685,6 +685,116 @@ let test_journal_recovery_byte_identity () =
   Alcotest.(check string) "byte-identical across the restart" before after;
   Sys.remove path
 
+let test_journal_delta_roundtrip () =
+  (* the Delta op frames like the others, interleaves with them, and
+     [position] tracks the committed byte offset through appends *)
+  let path = tmp_journal () in
+  let ops =
+    [
+      Journal.Put { name = "s"; text = "schema s {}" };
+      Journal.Delta { name = "s"; text = "# key 64 42\n+ person(\"hopper\")\n" };
+      Journal.Delta { name = "s"; text = "- soldAt(\"taocp\", \"strand\")\n" };
+      Journal.Delete "s";
+    ]
+  in
+  let j = Journal.open_append path in
+  List.iter (Journal.append j) ops;
+  let pos = Journal.position j in
+  Journal.close j;
+  Alcotest.(check int) "position is the file size" pos
+    (Unix.stat path).Unix.st_size;
+  let got, clean = Journal.replay path in
+  Alcotest.(check bool) "delta ops replay in order" true (got = ops);
+  Alcotest.(check int) "clean prefix is the whole file" clean pos;
+  Sys.remove path
+
+(* one batch against the books scenario: a new author picks up an
+   existing book, and one listing goes away *)
+let books_batch =
+  "# grow the bookstore graph\n\
+   + person(\"hopper\")\n\
+   + writes(\"hopper\", \"taocp\")\n\
+   - soldAt(\"discipline\", \"powell\")\n"
+
+let test_served_delta_endpoint () =
+  with_server @@ fun _srv port ->
+  let s0, _ = http_request ~port "PUT" "/scenarios/books" (Lazy.force books_src) in
+  Alcotest.(check int) "put" 201 s0;
+  let s1, body = http_request ~port "POST" "/scenarios/books/delta" books_batch in
+  Alcotest.(check int) "delta applied" 200 s1;
+  Alcotest.(check bool) "counters in the head" true
+    (contains_sub body "\"src_inserted\": 2, \"src_deleted\": 1");
+  Alcotest.(check bool) "batch sequence" true (contains_sub body "\"batch\": 1");
+  Alcotest.(check bool) "new author reached the target" true
+    (contains_sub body "hopper");
+  (* an empty batch is a consistent read of the maintained document *)
+  let s2, read = http_request ~port "POST" "/scenarios/books/delta" "" in
+  Alcotest.(check int) "empty batch reads" 200 s2;
+  Alcotest.(check bool) "read sees the maintained data" true
+    (contains_sub read "hopper");
+  let s3, bad =
+    http_request ~port "POST" "/scenarios/books/delta" "+ nosuch(\"x\")\n"
+  in
+  Alcotest.(check int) "unknown table rejected" 400 s3;
+  Alcotest.(check bool) "diagnostic names the table" true
+    (contains_sub bad "nosuch")
+
+(* The counters head carries the batch's wall-clock, the one
+   legitimately non-deterministic byte span in a maintained document —
+   blank it so the rest can be compared exactly. *)
+let scrub_seconds body =
+  match String.index_opt body 's' with
+  | None -> body
+  | Some _ ->
+      let needle = "\"seconds\": " in
+      let nl = String.length needle in
+      let b = Buffer.create (String.length body) in
+      let i = ref 0 in
+      let n = String.length body in
+      while !i < n do
+        if !i + nl <= n && String.sub body !i nl = needle then begin
+          Buffer.add_string b needle;
+          Buffer.add_char b '_';
+          i := !i + nl;
+          while !i < n && body.[!i] <> '}' do incr i done
+        end
+        else begin
+          Buffer.add_char b body.[!i];
+          incr i
+        end
+      done;
+      Buffer.contents b
+
+let test_delta_journal_recovery_byte_identity () =
+  (* a journaled delta must survive kill/restart: the successor replays
+     the PUT and the delta and serves the maintained document with the
+     same bytes *)
+  let path = tmp_journal () in
+  Sys.remove path;
+  let cfg =
+    { Server.default_config with Server.preload = false; journal = Some path }
+  in
+  let before =
+    with_server ~cfg @@ fun _srv port ->
+    let s0, _ =
+      http_request ~port "PUT" "/scenarios/books" (Lazy.force books_src)
+    in
+    Alcotest.(check int) "put journaled" 201 s0;
+    let s1, _ = http_request ~port "POST" "/scenarios/books/delta" books_batch in
+    Alcotest.(check int) "delta journaled" 200 s1;
+    let s2, read = http_request ~port "POST" "/scenarios/books/delta" "" in
+    Alcotest.(check int) "read before" 200 s2;
+    read
+  in
+  with_server ~cfg @@ fun _srv port ->
+  let s3, after = http_request ~port "POST" "/scenarios/books/delta" "" in
+  Alcotest.(check int) "read after restart" 200 s3;
+  Alcotest.(check bool) "maintained data recovered" true
+    (contains_sub after "hopper");
+  Alcotest.(check string) "byte-identical across the restart"
+    (scrub_seconds before) (scrub_seconds after);
+  Sys.remove path
+
 let test_slowloris_408 () =
   (* a connection that sends half a request and goes idle must be
      answered 408 and closed at the deadline, not parked forever *)
@@ -861,6 +971,7 @@ let suite =
         Alcotest.test_case "budget exhaustion 503" `Quick
           test_served_budget_exhaustion;
         Alcotest.test_case "error statuses" `Quick test_served_errors;
+        Alcotest.test_case "delta endpoint" `Quick test_served_delta_endpoint;
         Alcotest.test_case "admission control 429" `Quick test_admission_control;
         Alcotest.test_case "concurrent load, domains=4" `Slow
           test_concurrent_load_and_metrics;
@@ -874,6 +985,10 @@ let suite =
         q prop_journal_torn_tail;
         Alcotest.test_case "restart recovers byte-identical" `Quick
           test_journal_recovery_byte_identity;
+        Alcotest.test_case "delta op roundtrip + position" `Quick
+          test_journal_delta_roundtrip;
+        Alcotest.test_case "delta restart recovers byte-identical" `Quick
+          test_delta_journal_recovery_byte_identity;
       ] );
     ( "serve-robust",
       [
