@@ -414,7 +414,7 @@ let pp_cardinalities ppf inst =
    under --json, the same document construction) as a served
    POST /scenarios/:name/delta. *)
 let run_exchange_delta ~json ~print_data ~source ~target ~mappings ~src_inst
-    ~head path =
+    ~head ?shards path =
   let text =
     let ic = open_in_bin path in
     Fun.protect
@@ -438,7 +438,7 @@ let run_exchange_delta ~json ~print_data ~source ~target ~mappings ~src_inst
       match prepared with
       | Error m -> fail m
       | Ok compiled -> (
-          match Smg_delta.Maintain.init compiled src_inst with
+          match Smg_delta.Maintain.init ?shards compiled src_inst with
           | Error m -> fail m
           | Ok st -> (
               match Smg_delta.Maintain.apply st batch with
@@ -477,7 +477,7 @@ let run_exchange_delta ~json ~print_data ~source ~target ~mappings ~src_inst
                   exit 0)))
 
 let run_exchange file scenario size seed engine no_laconic core print_data
-    budget_ms fuel json domains apply_delta =
+    budget_ms fuel json domains shards apply_delta =
   with_domains domains @@ fun pool ->
   let source, target, mappings, src_inst, head, subject =
     match (scenario, file) with
@@ -494,7 +494,7 @@ let run_exchange file scenario size seed engine no_laconic core print_data
         exit 2
       end;
       run_exchange_delta ~json ~print_data ~source ~target ~mappings ~src_inst
-        ~head path
+        ~head ?shards path
   | None -> ());
   (* a FILE's data blocks are small: print them in full by default; a
      generated witness source (head carries "size") is not *)
@@ -513,7 +513,7 @@ let run_exchange file scenario size seed engine no_laconic core print_data
     match
       Smg_exchange.Engine.run_bounded
         ?budget:(make_budget budget_ms fuel)
-        ?pool ~laconic ~source ~target ~mappings src_inst
+        ?pool ?shards ~laconic ~source ~target ~mappings src_inst
     with
     | Smg_exchange.Engine.Failed msg ->
         Fmt.epr "error: exchange failed: %s@." msg;
@@ -538,7 +538,8 @@ let run_exchange file scenario size seed engine no_laconic core print_data
         match
           Smg_exchange.Engine.run_bounded
             ?budget:(make_budget budget_ms fuel)
-            ?pool ~laconic:(not no_laconic) ~source ~target ~mappings src_inst
+            ?pool ?shards ~laconic:(not no_laconic) ~source ~target ~mappings
+            src_inst
         with
         | Smg_exchange.Engine.Failed msg ->
             Fmt.epr "error: exchange failed: %s@." msg;
@@ -877,7 +878,7 @@ let threshold_arg =
    in-flight connections, and the per-endpoint counters are logged on
    the way out. *)
 let run_serve port domains max_inflight budget_ms fuel seed no_preload journal
-    idle_timeout drain_deadline =
+    idle_timeout drain_deadline shards =
   let domains =
     match domains with
     | Some n -> max 1 n
@@ -898,6 +899,7 @@ let run_serve port domains max_inflight budget_ms fuel seed no_preload journal
       drain_deadline_s = drain_deadline;
       retry = Smg_robust.Retry.default;
       breaker = Smg_robust.Breaker.default_config;
+      shards;
     }
   in
   let srv =
@@ -1159,6 +1161,17 @@ let domains_arg =
            fully sequentially. Discovery output is byte-identical and \
            exchange output homomorphically equivalent for every N")
 
+let shards_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "shards" ] ~docv:"K"
+        ~doc:
+          "Hash-partition count for the exchange stores' membership tables \
+           (and the maintained source stores under --apply-delta). Defaults \
+           to $(b,SMG_SHARDS), else the pool's domain count. Invisible to \
+           the output: a good starting point is shards ≈ domains")
+
 let port_arg =
   Arg.(
     value & opt int 8080
@@ -1289,7 +1302,7 @@ let () =
       Term.(
         const run_serve $ port_arg $ domains_arg $ max_inflight_arg
         $ budget_ms_arg $ fuel_arg $ seed_arg $ no_preload_arg $ journal_arg
-        $ idle_timeout_arg $ drain_deadline_arg)
+        $ idle_timeout_arg $ drain_deadline_arg $ shards_arg)
   in
   let chaos_cmd =
     Cmd.v
@@ -1329,7 +1342,7 @@ let () =
       Term.(
         const run_exchange $ opt_file_arg $ scenario_arg $ size_arg $ seed_arg
         $ engine_arg $ no_laconic_arg $ core_arg $ data_arg $ budget_ms_arg
-        $ fuel_arg $ json_arg $ domains_arg $ apply_delta_arg)
+        $ fuel_arg $ json_arg $ domains_arg $ shards_arg $ apply_delta_arg)
   in
   let ddl_cmd =
     Cmd.v

@@ -148,6 +148,7 @@ type plan_info = {
 
 type state = {
   ms_compiled : Engine.compiled;
+  ms_shards : int;  (* membership partition count of the source stores *)
   ms_plans : plan_info list;
   ms_delta : plan_info list list;
       (* per plan, the reordered variants (scan 0 = one lhs atom each);
@@ -438,7 +439,7 @@ let load st acc inst =
       let r = Instance.relation_or_empty inst tbl.Schema.tbl_name ~header in
       List.iter (fun tup -> note_src_tuple st tup 1) r.Instance.tuples;
       Hashtbl.replace st.ms_src tbl.Schema.tbl_name
-        (Stores.of_tuples ~header r.Instance.tuples))
+        (Stores.of_tuples ~shards:st.ms_shards ~header r.Instance.tuples))
     st.ms_compiled.Engine.c_source.Schema.tables;
   List.iter
     (fun (tbl : Schema.table) ->
@@ -547,7 +548,7 @@ let keyed_meta (target : Schema.t) =
       end)
     target.Schema.tables
 
-let init compiled inst =
+let init ?shards compiled inst =
   if compiled.Engine.c_laconic then
     Error "delta maintenance requires non-laconic plans (Maintain.prepare)"
   else if
@@ -585,6 +586,16 @@ let init compiled inst =
       let st =
         {
           ms_compiled = compiled;
+          ms_shards =
+            (match shards with
+            | Some s -> max 1 s
+            | None -> (
+                match Sys.getenv_opt "SMG_SHARDS" with
+                | Some s -> (
+                    match int_of_string_opt (String.trim s) with
+                    | Some v when v > 0 -> v
+                    | _ -> 1)
+                | None -> 1));
           ms_plans = plans;
           ms_delta = delta_infos;
           ms_src = Hashtbl.create 16;
@@ -805,6 +816,9 @@ let report st =
     r_egd_merges = Hashtbl.length st.ms_subst;
     r_sweep_dropped = 0;
     r_seconds = st.ms_totals.mc_seconds;
+    r_shards =
+      Stores.shard_view
+        (Hashtbl.fold (fun _ s acc -> s :: acc) st.ms_src []);
   }
 
 let totals st = st.ms_totals

@@ -60,13 +60,17 @@ val prepare :
     producing the same canonical facts — one plan, both paths. *)
 
 val init :
+  ?shards:int ->
   Smg_exchange.Engine.compiled ->
   Smg_relational.Instance.t ->
   (state, string) result
 (** Build the maintained state by a full (bulk) derivation-recording
-    pass. [Error] on a key-egd constant/constant conflict, on laconic
-    plans, or on plans that still mint anonymous nulls (i.e. the
-    compiled value did not come from {!prepare}). *)
+    pass. [shards] sets the hash-partition count of the maintained
+    source stores' membership tables (default: [SMG_SHARDS] env var,
+    else 1); it is invisible to the maintained output. [Error] on a
+    key-egd constant/constant conflict, on laconic plans, or on plans
+    that still mint anonymous nulls (i.e. the compiled value did not
+    come from {!prepare}). *)
 
 val apply :
   ?fault:Smg_robust.Fault.t ->

@@ -1,171 +1,65 @@
 module Value = Smg_relational.Value
 module Schema = Smg_relational.Schema
 module Instance = Smg_relational.Instance
-module Index = Smg_relational.Index
+module Intern = Smg_relational.Intern
+module Colstore = Smg_relational.Colstore
 module Dependency = Smg_cq.Dependency
 module Budget = Smg_robust.Budget
+
+(* The execution substrate: every tuple cell is an interned int code
+   ({!Smg_relational.Intern} — constants non-negative, labelled nulls
+   negative), every relation a {!Smg_relational.Colstore} — a flat
+   row-major int arena with hash-partitioned membership shards. The
+   hot loops (scan, probe, novelty, key egds) compare and hash machine
+   ints; boxed [Value.t]s appear only at the edges (building stores
+   from an [Instance], materializing the target, Skolem terms).
+
+   The arena is insertion-ordered and shared across shards, so firing
+   order — and with it the minted null labels and the materialized
+   target — is independent of the shard count. *)
 
 (* ---- mutable per-relation stores --------------------------------------- *)
 
 type store = {
   s_header : string list;
-  mutable s_tuples : Value.t array list;
-      (* reverse insertion order; holds [s_dead] tombstoned tuples
-         until the next [compact] *)
-  s_seen : (string, Value.t array) Hashtbl.t;
-      (* set semantics: serialized key -> the live physical tuple *)
-  mutable s_indexes : (int list * Index.t) list;
-      (* lazily built, kept up to date by [insert] and [remove_many],
-         invalidated by substitution *)
-  mutable s_delta : Value.t array list;  (* tuples new/changed this round *)
-  mutable s_count : int;  (* live tuples *)
-  mutable s_dead : int;  (* tombstones still present in [s_tuples] *)
-  mutable s_ix_dead : int;  (* tombstones still present in the indexes *)
+  mutable s_cs : Colstore.t;  (* replaced wholesale by [apply_subst] *)
+  mutable s_delta : int list;  (* row ids new/changed this round, newest first *)
 }
 
-(* [track = false] skips hashing the initial tuples into [s_seen]:
-   right for stores that only receive [insert] after a substitution
-   rebuilt [s_seen] (i.e. source stores — [fire] inserts into target
-   stores only). Initial tuples are trusted to be duplicate-free, as
-   [Instance] relations are. Hashing every source tuple up front was
-   the single largest fixed cost on small exchanges. *)
-let store_of_tuples ?(track = true) header tuples =
-  let n = List.length tuples in
-  let seen = Hashtbl.create (if track then (n * 2) + 1 else 16) in
-  if track then
-    List.iter (fun tup -> Hashtbl.replace seen (Index.tuple_key tup) tup) tuples;
-  {
-    s_header = header;
-    s_tuples = List.rev tuples;
-    s_seen = seen;
-    s_indexes = [];
-    s_delta = [];
-    s_count = n;
-    s_dead = 0;
-    s_ix_dead = 0;
-  }
-
-(* Is this exact array the store's live copy of its tuple? Only
-   meaningful on tracked stores; tombstoned tuples (and stale copies of
-   a tuple that was removed and re-inserted) answer false. *)
-let live st tup =
-  match Hashtbl.find_opt st.s_seen (Index.tuple_key tup) with
-  | Some t0 -> t0 == tup
-  | None -> false
-
-(* Sweep tombstones out of [s_tuples]. Insertion order is preserved, so
-   materialization stays deterministic no matter how removal and
-   compaction interleave. *)
-let compact st =
-  if st.s_dead > 0 then begin
-    st.s_tuples <- List.filter (live st) st.s_tuples;
-    st.s_dead <- 0
-  end
-
-let insert st tup =
-  let k = Index.tuple_key tup in
-  if Hashtbl.mem st.s_seen k then false
-  else begin
-    Hashtbl.replace st.s_seen k tup;
-    st.s_tuples <- tup :: st.s_tuples;
-    st.s_count <- st.s_count + 1;
-    st.s_delta <- tup :: st.s_delta;
-    List.iter (fun (_, ix) -> Index.add ix tup) st.s_indexes;
-    true
-  end
-
-(* Rebuild the cached indexes from the live tuples. Paid only when the
-   rot bound in [remove_many] trips, so the cost is amortized O(1) per
-   removal. *)
-let prune_indexes st =
-  compact st;
-  st.s_indexes <-
-    List.map (fun (cols, _) -> (cols, Index.build ~key:cols st.s_tuples))
-      st.s_indexes;
-  st.s_ix_dead <- 0
-
-(* Below this tuple count, a filtered scan beats paying for the hash
-   index: building it costs a full pass plus hashing every tuple, which
-   at dblp-size instances (hundreds of tuples) was measurably slower
-   than the naive chase. Stores that already have the index keep using
-   it (inserts maintain it either way). *)
+(* Below this live count, a filtered scan beats paying for the hash
+   index (see PR 5's small-instance fix). Stores that already have the
+   index keep using it — inserts maintain it either way. *)
 let index_threshold = 64
-
-(* Batch removal, O(|batch|) rather than O(|store|): each doomed tuple
-   is unregistered from [s_seen] but stays in [s_tuples] — and in any
-   cached index bucket — as a tombstone. Probes filter tombstones with
-   the liveness check only while rot exists (the bulk path never
-   removes, so it never pays), and rot past the live count triggers an
-   amortized rebuild. Returns the tuples actually removed (the store's
-   own arrays), in batch order. *)
-let remove_many st tups =
-  let removed = ref [] in
-  List.iter
-    (fun tup ->
-      let k = Index.tuple_key tup in
-      match Hashtbl.find_opt st.s_seen k with
-      | None -> ()
-      | Some t0 ->
-          Hashtbl.remove st.s_seen k;
-          removed := t0 :: !removed;
-          st.s_count <- st.s_count - 1;
-          st.s_dead <- st.s_dead + 1;
-          if st.s_indexes <> [] then st.s_ix_dead <- st.s_ix_dead + 1)
-    tups;
-  if !removed <> [] && st.s_delta <> [] then
-    st.s_delta <- List.filter (live st) st.s_delta;
-  if st.s_ix_dead > index_threshold && st.s_ix_dead > st.s_count then
-    prune_indexes st;
-  List.rev !removed
-
-let get_index st cols =
-  match List.assoc_opt cols st.s_indexes with
-  | Some ix -> ix
-  | None ->
-      compact st;
-      let ix = Index.build ~key:cols st.s_tuples in
-      st.s_indexes <- (cols, ix) :: st.s_indexes;
-      ix
-
-let probe_linear st cols vals =
-  List.filter
-    (fun tup ->
-      (st.s_dead = 0 || live st tup)
-      && List.for_all2 (fun c v -> Value.equal tup.(c) v) cols vals)
-    st.s_tuples
-
-(* [cache = false] additionally guarantees the probe never mutates the
-   store — required by the parallel scan phase, where worker domains
-   probe stores concurrently and only pre-built indexes may be used. *)
-let probe_store ?(cache = true) st cols vals =
-  let indexed ix =
-    let bucket = Index.probe ix vals in
-    if st.s_ix_dead = 0 then bucket else List.filter (live st) bucket
-  in
-  match List.assoc_opt cols st.s_indexes with
-  | Some ix -> indexed ix
-  | None ->
-      if (not cache) || st.s_count < index_threshold then
-        probe_linear st cols vals
-      else indexed (get_index st cols)
 
 (* ---- engine state ------------------------------------------------------- *)
 
-(* Source and target tables live in separate stores, so mappings between
-   schemas that share table names (e.g. Mondial's country/city on both
-   sides) execute without renaming — something [Chase.exchange] cannot
-   do, since it merges both schemas into one namespace. *)
 type t = {
   e_src : (string, store) Hashtbl.t;
+  e_lazy : (string, string list * Value.t array list) Hashtbl.t;
+      (* source tables no plan scans, held unbuilt (header, tuples):
+         interning their tuples would dominate generator-scale runs
+         where the mappings touch a few of many tables. Never read by
+         any plan, so skipping them in [apply_subst] is invisible; a
+         late {!src_store} force (defensive only) happens on the caller
+         domain. *)
   e_tgt : (string, store) Hashtbl.t;
   e_target_schema : Schema.t;
+  e_nshards : int;
+  e_skmemo : (string * int list, int) Hashtbl.t;
+      (* (skolem fn, interned arg codes) -> interned term code. A pure
+         cache over [Chase.skolem_term] (deterministic, append-only), so
+         the hot loops skip its rendered-string key and mutex; touched
+         only by [satisfied]/[fire], which run on the caller domain. *)
   mutable e_next_null : int;  (* next label in the reserved block *)
   mutable e_null_limit : int;  (* last label of the reserved block *)
 }
 
 let null_block = 256
 
-let mint_null e =
+(* labels still come from the global [Value] allocator (so engine nulls
+   and chase/Skolem nulls never collide), but the engine works with the
+   interned code *)
+let mint_null_code e =
   if e.e_next_null > e.e_null_limit then begin
     let first = Value.alloc_nulls null_block in
     e.e_next_null <- first;
@@ -173,248 +67,586 @@ let mint_null e =
   end;
   let k = e.e_next_null in
   e.e_next_null <- e.e_next_null + 1;
-  Value.VNull k
+  Intern.null_code k
 
 let header_of (tbl : Schema.table) =
   List.map (fun c -> c.Schema.col_name) tbl.Schema.columns
 
-let create ~source ~target inst =
-  let src = Hashtbl.create 16 and tgt = Hashtbl.create 16 in
+(* [tracked = false] skips hashing the initial tuples into the
+   membership shards: right for source stores, which only receive
+   inserts after a substitution rebuilt them (fire inserts into target
+   stores only) and whose initial tuples are trusted duplicate-free. *)
+(* Coded-arena cache: a relation's tuple list, once interned, keeps its
+   flat coded arena keyed weakly by the list's physical identity (the
+   lists are immutable and codes are global append-only, so a hit is
+   exact). Repeat executions over one instance — the serve steady state
+   and every benchmark loop — skip the interning pass entirely. Arenas
+   are shared read-only between the engines that adopt them: engine
+   source stores never append (fire inserts into targets, and a key-egd
+   substitution rebuilds sources into fresh tracked stores), so sharing
+   is safe; the mutex covers concurrent executes from pool domains. *)
+let arena_lock = Mutex.create ()
+
+let arena_cache :
+    (Value.t array list Weak.t * int * (int * int array)) list ref =
+  ref []
+
+let coded_arena ~arity tuples =
+  match tuples with
+  | [] -> Intern.code_rows ~arity []
+  | _ -> (
+      Mutex.lock arena_lock;
+      let live =
+        List.filter (fun (w, _, _) -> Weak.check w 0) !arena_cache
+      in
+      arena_cache := live;
+      let hit =
+        List.find_opt
+          (fun (w, ar, _) ->
+            ar = arity
+            && match Weak.get w 0 with Some l -> l == tuples | None -> false)
+          live
+      in
+      match hit with
+      | Some (_, _, res) ->
+          Mutex.unlock arena_lock;
+          res
+      | None ->
+          Mutex.unlock arena_lock;
+          let res = Intern.code_rows ~arity tuples in
+          let w = Weak.create 1 in
+          Weak.set w 0 (Some tuples);
+          Mutex.lock arena_lock;
+          arena_cache := (w, arity, res) :: !arena_cache;
+          Mutex.unlock arena_lock;
+          res)
+
+let store_of_instance ~shards header tuples =
+  let arity = max 1 (List.length header) in
+  let n, data = coded_arena ~arity tuples in
+  {
+    s_header = header;
+    s_cs = Colstore.of_flat ~shards ~arity ~rows:n data;
+    s_delta = [];
+  }
+
+(* [only pred] gates eager store construction: tables outside the
+   plans' scan set park their boxed tuples in [e_lazy] instead of
+   paying the interning pass. *)
+let create ~shards ~only ~source ~target inst =
+  let src = Hashtbl.create 16
+  and lzy = Hashtbl.create 16
+  and tgt = Hashtbl.create 16 in
   List.iter
     (fun (tbl : Schema.table) ->
       let header = header_of tbl in
       let r = Instance.relation_or_empty inst tbl.Schema.tbl_name ~header in
-      Hashtbl.replace src tbl.Schema.tbl_name
-        (store_of_tuples ~track:false header r.Instance.tuples))
+      if only tbl.Schema.tbl_name then
+        Hashtbl.replace src tbl.Schema.tbl_name
+          (store_of_instance ~shards header r.Instance.tuples)
+      else Hashtbl.replace lzy tbl.Schema.tbl_name (header, r.Instance.tuples))
     source.Schema.tables;
   List.iter
     (fun (tbl : Schema.table) ->
+      let header = header_of tbl in
       Hashtbl.replace tgt tbl.Schema.tbl_name
-        (store_of_tuples (header_of tbl) []))
+        {
+          s_header = header;
+          s_cs =
+            Colstore.create ~shards ~arity:(max 1 (List.length header)) 16;
+          s_delta = [];
+        })
     target.Schema.tables;
   {
     e_src = src;
+    e_lazy = lzy;
     e_tgt = tgt;
     e_target_schema = target;
+    e_nshards = shards;
+    e_skmemo = Hashtbl.create 256;
     e_next_null = 1;
     e_null_limit = 0;
   }
 
+(* caller-domain only: the parallel phase touches scan predicates,
+   which [execute] builds eagerly *)
+let src_store e pred =
+  match Hashtbl.find_opt e.e_src pred with
+  | Some st -> st
+  | None ->
+      let header, tuples = Hashtbl.find e.e_lazy pred in
+      Hashtbl.remove e.e_lazy pred;
+      let st = store_of_instance ~shards:e.e_nshards header tuples in
+      Hashtbl.replace e.e_src pred st;
+      st
+
+(* ---- interned plan views -------------------------------------------------
+
+   A compiled {!Plan.t} is boxed immutable data; before executing, the
+   engine lowers it once to a view whose constants are interned codes
+   and whose lists are arrays, so the inner loops never touch a boxed
+   value. Skolem arguments are lowered too: ground terms still intern
+   through the chase's global term table (one labelled null per ground
+   term) for cross-engine identity, but the engine reaches it through
+   the per-engine [e_skmemo] code cache, so the common case never
+   renders a term string. *)
+
+type ibind = IbSlot of int | IbConst of int
+
+(* a Skolem argument with constants pre-interned *)
+type isk = SkSlot of int | SkConst of int | SkApp of string * isk list
+
+type iscan = {
+  is_pred : string;
+  is_eqs : (int * ibind) array;
+  is_cols : int array;  (* eq positions, in probe order *)
+  is_selfeqs : (int * int) array;
+  is_binds : (int * int) array;
+}
+
+type icell =
+  | IcSlot of int
+  | IcConst of int
+  | IcNull of int
+  | IcSkolem of string * isk list
+
+type iemit = { ie_pred : string; ie_cells : icell array; ie_scratch : int array }
+
+type ikcell =
+  | IkSlot of int
+  | IkConst of int
+  | IkEx of int
+  | IkSkolem of string * isk list
+
+type icheck = {
+  ic_pred : string;
+  ic_cells : ikcell array;
+  ic_probe : int array;
+  ic_scratch : int array;  (* probe codes, refilled per satisfaction check *)
+}
+
+(* The scratch fields ([ic_scratch], [ip_exenv], [ip_trail],
+   [ie_scratch]) are reused across triggers so the hot loops allocate
+   nothing per row; they are touched only by [satisfied]/[fire], which
+   run on the caller domain. *)
+type iplan = {
+  ip_name : string;
+  ip_nslots : int;
+  ip_scans : iscan array;
+  ip_emits : iemit array;
+  ip_checks : icheck array;
+  ip_nnulls : int;
+  ip_nex : int;
+  ip_exenv : int array;  (* existential wildcard bindings *)
+  ip_trail : int array;  (* wildcards bound by the current check row *)
+}
+
+let intern_plan (plan : Plan.t) =
+  let ibind = function
+    | Plan.Slot s -> IbSlot s
+    | Plan.Const c -> IbConst (Intern.code c)
+  in
+  let rec isk = function
+    | Plan.ASlot s -> SkSlot s
+    | Plan.AConst c -> SkConst (Intern.code c)
+    | Plan.AApp (g, nested) -> SkApp (g, List.map isk nested)
+  in
+  let iscan (sc : Plan.scan) =
+    {
+      is_pred = sc.Plan.sc_pred;
+      is_eqs =
+        Array.of_list (List.map (fun (p, b) -> (p, ibind b)) sc.Plan.sc_eqs);
+      is_cols = Array.of_list (List.map fst sc.Plan.sc_eqs);
+      is_selfeqs = Array.of_list sc.Plan.sc_selfeqs;
+      is_binds = Array.of_list sc.Plan.sc_binds;
+    }
+  in
+  let icell = function
+    | Plan.CSlot s -> IcSlot s
+    | Plan.CConst c -> IcConst (Intern.code c)
+    | Plan.CNull k -> IcNull k
+    | Plan.CSkolem (f, args) -> IcSkolem (f, List.map isk args)
+  in
+  let iemit (em : Plan.emit) =
+    {
+      ie_pred = em.Plan.em_pred;
+      ie_cells = Array.map icell em.Plan.em_cells;
+      ie_scratch = Array.make (Array.length em.Plan.em_cells) 0;
+    }
+  in
+  let ikcell = function
+    | Plan.KSlot s -> IkSlot s
+    | Plan.KConst c -> IkConst (Intern.code c)
+    | Plan.KEx x -> IkEx x
+    | Plan.KSkolem (f, args) -> IkSkolem (f, List.map isk args)
+  in
+  let icheck (ck : Plan.check) =
+    let probe = Array.of_list ck.Plan.ck_probe in
+    {
+      ic_pred = ck.Plan.ck_pred;
+      ic_cells = Array.map ikcell ck.Plan.ck_cells;
+      ic_probe = probe;
+      ic_scratch = Array.make (Array.length probe) 0;
+    }
+  in
+  {
+    ip_name = plan.Plan.p_name;
+    ip_nslots = plan.Plan.p_nslots;
+    ip_scans = Array.of_list (List.map iscan plan.Plan.p_scans);
+    ip_emits = Array.of_list (List.map iemit plan.Plan.p_emits);
+    ip_checks = Array.of_list (List.map icheck plan.Plan.p_checks);
+    ip_nnulls = plan.Plan.p_nnulls;
+    ip_nex = plan.Plan.p_nex;
+    ip_exenv = Array.make (max plan.Plan.p_nex 1) 0;
+    ip_trail = Array.make (max plan.Plan.p_nex 1) 0;
+  }
+
+(* ---- probing ------------------------------------------------------------ *)
+
+(* Candidate rows whose [cols] cells equal [codes], passed to [f] in
+   bucket (or arena) order. Index buckets are hash buckets — they may
+   contain rows with different cell values and rows tombstoned since
+   the last rebuild — so every candidate is re-verified here by int
+   compare before reaching [f]. [tick] runs per candidate considered
+   (budget accounting, matching the boxed engine's per-bucket-tuple
+   ticks). [cache = false] guarantees the probe never mutates the
+   store: required by the parallel scan phase, where worker domains
+   probe concurrently and only pre-built indexes may be used. *)
+let probe_iter ?(cache = true) st (cols : int array) (codes : int array) ~tick
+    ~f =
+  let cs = st.s_cs in
+  let data = Colstore.data cs in
+  let ar = Colstore.arity cs in
+  let check_dead = Colstore.dead cs > 0 in
+  let ncols = Array.length cols in
+  let hit = ref false in
+  let consider row =
+    tick ();
+    if (not check_dead) || Colstore.is_live cs row then begin
+      let base = row * ar in
+      let ok = ref true in
+      for i = 0 to ncols - 1 do
+        if
+          Array.unsafe_get data (base + Array.unsafe_get cols i)
+          <> Array.unsafe_get codes i
+        then ok := false
+      done;
+      if !ok then begin
+        hit := true;
+        f row
+      end
+    end
+  in
+  (match Colstore.find_index cs cols with
+  | Some ix -> List.iter consider (Colstore.probe ix codes)
+  | None ->
+      if (not cache) || Colstore.count cs < index_threshold then
+        for row = 0 to Colstore.rows cs - 1 do
+          consider row
+        done
+      else
+        List.iter consider (Colstore.probe (Colstore.ensure_index cs cols) codes));
+  !hit
+
 (* ---- satisfaction check ------------------------------------------------- *)
 
-(* The value of a compiled Skolem argument under the trigger's
-   bindings; nested applications (composition output) recurse. *)
-let rec sk_arg_value env = function
-  | Plan.ASlot s -> env.(s)
-  | Plan.AConst c -> c
-  | Plan.AApp (g, nested) ->
-      Smg_cq.Chase.skolem_term ~f:g ~args:(List.map (sk_arg_value env) nested)
+(* A ground Skolem term's interned code, through the per-engine memo.
+   A miss falls back to [Chase.skolem_term] — the global table keeps
+   one labelled null per ground term across engines and the verifier's
+   chase — then caches its code keyed by the interned argument codes,
+   so recurrences never render the term string again. Caller-domain
+   only, like null minting. *)
+let rec skolem_app e f codes =
+  match Hashtbl.find_opt e.e_skmemo (f, codes) with
+  | Some c -> c
+  | None ->
+      let c =
+        Intern.code
+          (Smg_cq.Chase.skolem_term ~f ~args:(List.map Intern.value codes))
+      in
+      Hashtbl.add e.e_skmemo (f, codes) c;
+      c
 
-let skolem_cell_value env f args =
-  Smg_cq.Chase.skolem_term ~f ~args:(List.map (sk_arg_value env) args)
+and sk_code e env = function
+  | SkSlot s -> env.(s)
+  | SkConst c -> c
+  | SkApp (g, nested) -> skolem_app e g (List.map (sk_code e env) nested)
+
+let skolem_cell_code e env f args =
+  skolem_app e f (List.map (sk_code e env) args)
+
+(* no interned code is [min_int]: free sentinel for unbound wildcards *)
+let unbound = min_int
 
 (* Restricted-chase trigger test: does some assignment of the
    existential wildcards extend [env] so every rhs atom is present?
    Skolem cells are computed from [env], not wildcarded. Backtracking
-   over the check templates; each template probes the target index on
+   over the check templates; each template probes the target store on
    its statically-known positions. *)
-let satisfied ?(cache = true) e (plan : Plan.t) env (stats : Obs.tstats) =
-  let exenv = Array.make (max plan.Plan.p_nex 1) None in
-  let cell_value cell =
+let satisfied ?(cache = true) e (ip : iplan) (env : int array)
+    (stats : Obs.tstats) =
+  let exenv = ip.ip_exenv and trail = ip.ip_trail in
+  Array.fill exenv 0 (Array.length exenv) unbound;
+  let tn = ref 0 in
+  let cell_code cell =
     match cell with
-    | Plan.KSlot s -> env.(s)
-    | Plan.KConst c -> c
-    | Plan.KSkolem (f, args) -> skolem_cell_value env f args
-    | Plan.KEx x -> (
-        match exenv.(x) with
-        | Some v -> v
-        | None -> assert false (* probe positions are statically known *))
+    | IkSlot s -> env.(s)
+    | IkConst c -> c
+    | IkSkolem (f, args) -> skolem_cell_code e env f args
+    | IkEx x ->
+        (* probe positions are statically known to be bound *)
+        assert (exenv.(x) <> unbound);
+        exenv.(x)
   in
-  let rec go checks =
-    match checks with
-    | [] -> true
-    | (ck : Plan.check) :: rest ->
-        let st = Hashtbl.find e.e_tgt ck.Plan.ck_pred in
-        let candidates =
-          match ck.Plan.ck_probe with
-          | [] -> st.s_tuples
-          | probe ->
-              stats.Obs.st_probes <- stats.Obs.st_probes + 1;
-              let tuples =
-                probe_store ~cache st probe
-                  (List.map (fun p -> cell_value ck.Plan.ck_cells.(p)) probe)
-              in
-              if tuples = [] then
-                stats.Obs.st_misses <- stats.Obs.st_misses + 1
-              else stats.Obs.st_hits <- stats.Obs.st_hits + 1;
-              tuples
-        in
-        List.exists
-          (fun tup ->
-            let trail = ref [] in
-            let undo () = List.iter (fun x -> exenv.(x) <- None) !trail in
-            let n = Array.length ck.Plan.ck_cells in
-            let rec cells pos =
-              pos = n
-              ||
-              (match ck.Plan.ck_cells.(pos) with
-                | Plan.KSlot s -> Value.equal tup.(pos) env.(s)
-                | Plan.KConst c -> Value.equal tup.(pos) c
-                | Plan.KSkolem (f, args) ->
-                    Value.equal tup.(pos) (skolem_cell_value env f args)
-                | Plan.KEx x -> (
-                    match exenv.(x) with
-                    | Some v -> Value.equal tup.(pos) v
-                    | None ->
-                        exenv.(x) <- Some tup.(pos);
-                        trail := x :: !trail;
-                        true))
-              && cells (pos + 1)
-            in
-            if cells 0 && go rest then true
+  let nchecks = Array.length ip.ip_checks in
+  let rec go ci =
+    ci = nchecks
+    ||
+    let ck = ip.ip_checks.(ci) in
+    let st = Hashtbl.find e.e_tgt ck.ic_pred in
+    let cs = st.s_cs in
+    let data = Colstore.data cs in
+    let ar = Colstore.arity cs in
+    let ncells = Array.length ck.ic_cells in
+    let try_row row =
+      let base = row * ar in
+      let t0 = !tn in
+      let rec cells pos =
+        pos = ncells
+        ||
+        let v = Array.unsafe_get data (base + pos) in
+        (match ck.ic_cells.(pos) with
+        | IkSlot s -> v = env.(s)
+        | IkConst c -> v = c
+        | IkSkolem (f, args) -> v = skolem_cell_code e env f args
+        | IkEx x ->
+            if exenv.(x) <> unbound then v = exenv.(x)
             else begin
-              undo ();
-              false
+              exenv.(x) <- v;
+              trail.(!tn) <- x;
+              incr tn;
+              true
             end)
-          candidates
+        && cells (pos + 1)
+      in
+      if cells 0 && go (ci + 1) then true
+      else begin
+        (* unwind this row's wildcard bindings *)
+        while !tn > t0 do
+          decr tn;
+          exenv.(trail.(!tn)) <- unbound
+        done;
+        false
+      end
+    in
+    if Array.length ck.ic_probe = 0 then begin
+      let check_dead = Colstore.dead cs > 0 in
+      let found = ref false in
+      let row = ref 0 in
+      let n = Colstore.rows cs in
+      while (not !found) && !row < n do
+        if ((not check_dead) || Colstore.is_live cs !row) && try_row !row then
+          found := true;
+        incr row
+      done;
+      !found
+    end
+    else begin
+      stats.Obs.st_probes <- stats.Obs.st_probes + 1;
+      let codes = ck.ic_scratch in
+      Array.iteri
+        (fun j p -> codes.(j) <- cell_code ck.ic_cells.(p))
+        ck.ic_probe;
+      let found = ref false in
+      let hit =
+        probe_iter ~cache st ck.ic_probe codes
+          ~tick:(fun () -> ())
+          ~f:(fun row -> if (not !found) && try_row row then found := true)
+      in
+      if hit then stats.Obs.st_hits <- stats.Obs.st_hits + 1
+      else stats.Obs.st_misses <- stats.Obs.st_misses + 1;
+      !found
+    end
   in
-  go plan.Plan.p_checks
+  go 0
 
-(* ---- plan evaluation ---------------------------------------------------- *)
+(* ---- firing ------------------------------------------------------------- *)
 
-let fire ?budget e (plan : Plan.t) env (stats : Obs.tstats) =
+let fire ?budget e (ip : iplan) env (stats : Obs.tstats) =
   stats.Obs.st_checks <- stats.Obs.st_checks + 1;
-  if satisfied e plan env stats then
+  if satisfied e ip env stats then
     stats.Obs.st_satisfied <- stats.Obs.st_satisfied + 1
   else begin
     (* each minted null costs a fuel unit: a blown null budget stops the
        run before the instance explodes *)
     (match budget with
-    | Some b when plan.Plan.p_nnulls > 0 -> Budget.burn_exn b plan.Plan.p_nnulls
+    | Some b when ip.ip_nnulls > 0 -> Budget.burn_exn b ip.ip_nnulls
     | Some _ | None -> ());
-    let nulls = Array.init plan.Plan.p_nnulls (fun _ -> mint_null e) in
-    stats.Obs.st_nulls <- stats.Obs.st_nulls + plan.Plan.p_nnulls;
-    List.iter
-      (fun (em : Plan.emit) ->
-        let tup =
-          Array.map
-            (fun cell ->
-              match cell with
-              | Plan.CSlot s -> env.(s)
-              | Plan.CConst c -> c
-              | Plan.CNull k -> nulls.(k)
-              | Plan.CSkolem (f, args) -> skolem_cell_value env f args)
-            em.Plan.em_cells
-        in
-        let st = Hashtbl.find e.e_tgt em.Plan.em_pred in
-        if insert st tup then stats.Obs.st_emitted <- stats.Obs.st_emitted + 1)
-      plan.Plan.p_emits
+    let nulls = Array.init ip.ip_nnulls (fun _ -> mint_null_code e) in
+    stats.Obs.st_nulls <- stats.Obs.st_nulls + ip.ip_nnulls;
+    Array.iter
+      (fun em ->
+        let tup = em.ie_scratch in
+        Array.iteri
+          (fun i cell ->
+            tup.(i) <-
+              (match cell with
+              | IcSlot s -> env.(s)
+              | IcConst c -> c
+              | IcNull k -> nulls.(k)
+              | IcSkolem (f, args) -> skolem_cell_code e env f args))
+          em.ie_cells;
+        let st = Hashtbl.find e.e_tgt em.ie_pred in
+        match Colstore.insert st.s_cs tup with
+        | Some row ->
+            st.s_delta <- row :: st.s_delta;
+            stats.Obs.st_emitted <- stats.Obs.st_emitted + 1
+        | None -> ())
+      ip.ip_emits
   end
 
-(* [delta]: when [Some (i, tuples)], scan step [i] iterates only the
-   given delta tuples — the semi-naive re-evaluation after an egd
-   substitution changed some source tuples (the parallel scan phase
-   reuses the same restriction to hand each worker its driving chunk;
-   lib/delta seeds it with a batch's inserted tuples). [src] maps a
-   predicate to its store — the engine passes its own source table, an
-   incremental maintainer passes the stores it owns. [sink] consumes
-   each completed binding (the env array is reused across bindings:
-   copy it if it must outlive the callback). [cache = false] keeps the
-   evaluation read-only (see {!probe_store}). *)
-let enumerate ~src ?budget ?(cache = true) (plan : Plan.t) ?delta
-    (stats : Obs.tstats) ~sink =
-  let env = Array.make (max plan.Plan.p_nslots 1) (Value.VNull 0) in
-  let scans = Array.of_list plan.Plan.p_scans in
-  let nscans = Array.length scans in
+(* ---- plan evaluation ---------------------------------------------------- *)
+
+(* [delta]: when [Some (i, rows)], scan step [i] iterates only the given
+   coded tuples — the semi-naive restriction (egd re-fires, lib/delta
+   batches). [range]: restrict scan 0 to arena rows [lo, hi) — how the
+   parallel pass hands each worker a contiguous driving chunk. [src]
+   maps a predicate to its store. [sink] consumes each completed
+   binding; the env array is reused across bindings. *)
+let enumerate_int ~src ?budget ?(cache = true) (ip : iplan)
+    ?(delta : (int * int array list) option) ?range (stats : Obs.tstats) ~sink
+    =
+  let env = Array.make (max ip.ip_nslots 1) 0 in
+  let nscans = Array.length ip.ip_scans in
+  (* per-call probe-code buffers, one per scan: a scan level is never
+     re-entered while its own probe is being iterated, so each buffer
+     is refilled at most once per partial binding *)
+  let codes_scratch =
+    Array.map
+      (fun (sc : iscan) -> Array.make (Array.length sc.is_eqs) 0)
+      ip.ip_scans
+  in
   let tick () =
     match budget with Some b -> Budget.tick_exn b | None -> ()
   in
-  let binding_value b =
-    match b with Plan.Slot s -> env.(s) | Plan.Const c -> c
-  in
-  let matches (sc : Plan.scan) tup =
-    List.for_all
-      (fun (pos, b) -> Value.equal tup.(pos) (binding_value b))
-      sc.Plan.sc_eqs
-    && List.for_all
-         (fun (pos, p0) -> Value.equal tup.(pos) tup.(p0))
-         sc.Plan.sc_selfeqs
-  in
-  let bind (sc : Plan.scan) tup =
-    List.iter (fun (pos, s) -> env.(s) <- tup.(pos)) sc.Plan.sc_binds
-  in
-  let emit = sink in
+  let bval b = match b with IbSlot s -> env.(s) | IbConst c -> c in
   let rec step i =
-    if i = nscans then emit env
+    if i = nscans then sink env
     else begin
-      let sc = scans.(i) in
+      let sc = ip.ip_scans.(i) in
       let use_delta = match delta with Some (j, _) -> j = i | None -> false in
       if use_delta then begin
-        let tuples = match delta with Some (_, ts) -> ts | None -> [] in
+        let rows = match delta with Some (_, ts) -> ts | None -> [] in
+        let neqs = Array.length sc.is_eqs in
+        let nself = Array.length sc.is_selfeqs in
         List.iter
-          (fun tup ->
+          (fun (cells : int array) ->
             tick ();
             stats.Obs.st_scanned <- stats.Obs.st_scanned + 1;
-            if matches sc tup then begin
-              bind sc tup;
+            let ok = ref true in
+            for j = 0 to neqs - 1 do
+              let pos, b = sc.is_eqs.(j) in
+              if cells.(pos) <> bval b then ok := false
+            done;
+            for j = 0 to nself - 1 do
+              let pos, p0 = sc.is_selfeqs.(j) in
+              if cells.(pos) <> cells.(p0) then ok := false
+            done;
+            if !ok then begin
+              Array.iter (fun (pos, s) -> env.(s) <- cells.(pos)) sc.is_binds;
               step (i + 1)
             end)
-          tuples
+          rows
       end
       else begin
-        let st = src sc.Plan.sc_pred in
-        match sc.Plan.sc_eqs with
-        | [] ->
-            List.iter
-              (fun tup ->
-                tick ();
-                stats.Obs.st_scanned <- stats.Obs.st_scanned + 1;
-                if
-                  (st.s_dead = 0 || live st tup)
-                  && List.for_all
-                       (fun (pos, p0) -> Value.equal tup.(pos) tup.(p0))
-                       sc.Plan.sc_selfeqs
-                then begin
-                  bind sc tup;
+        let st = src sc.is_pred in
+        let cs = st.s_cs in
+        let data = Colstore.data cs in
+        let ar = Colstore.arity cs in
+        let nself = Array.length sc.is_selfeqs in
+        let selfeqs_ok base =
+          let ok = ref true in
+          for j = 0 to nself - 1 do
+            let pos, p0 = sc.is_selfeqs.(j) in
+            if
+              Array.unsafe_get data (base + pos)
+              <> Array.unsafe_get data (base + p0)
+            then ok := false
+          done;
+          !ok
+        in
+        let bind base =
+          Array.iter
+            (fun (pos, s) -> env.(s) <- Array.unsafe_get data (base + pos))
+            sc.is_binds
+        in
+        if i = 0 && range <> None then begin
+          (* chunked driving scan: verify eq constraints inline (at scan
+             0 they can only be constants) instead of probing, so the
+             row range is respected *)
+          let lo, hi = match range with Some r -> r | None -> (0, 0) in
+          let check_dead = Colstore.dead cs > 0 in
+          let neqs = Array.length sc.is_eqs in
+          for row = lo to hi - 1 do
+            tick ();
+            stats.Obs.st_scanned <- stats.Obs.st_scanned + 1;
+            if (not check_dead) || Colstore.is_live cs row then begin
+              let base = row * ar in
+              let ok = ref true in
+              for j = 0 to neqs - 1 do
+                let pos, b = sc.is_eqs.(j) in
+                if Array.unsafe_get data (base + pos) <> bval b then
+                  ok := false
+              done;
+              if !ok && selfeqs_ok base then begin
+                bind base;
+                step (i + 1)
+              end
+            end
+          done
+        end
+        else if Array.length sc.is_eqs = 0 then begin
+          let check_dead = Colstore.dead cs > 0 in
+          for row = 0 to Colstore.rows cs - 1 do
+            tick ();
+            stats.Obs.st_scanned <- stats.Obs.st_scanned + 1;
+            if (not check_dead) || Colstore.is_live cs row then begin
+              let base = row * ar in
+              if selfeqs_ok base then begin
+                bind base;
+                step (i + 1)
+              end
+            end
+          done
+        end
+        else begin
+          stats.Obs.st_probes <- stats.Obs.st_probes + 1;
+          let codes = codes_scratch.(i) in
+          Array.iteri (fun j (_, b) -> codes.(j) <- bval b) sc.is_eqs;
+          let hit =
+            probe_iter ~cache st sc.is_cols codes ~tick ~f:(fun row ->
+                let base = row * ar in
+                if selfeqs_ok base then begin
+                  bind base;
                   step (i + 1)
                 end)
-              st.s_tuples
-        | eqs ->
-            let cols = List.map fst eqs in
-            stats.Obs.st_probes <- stats.Obs.st_probes + 1;
-            let bucket =
-              probe_store ~cache st cols
-                (List.map (fun (_, b) -> binding_value b) eqs)
-            in
-            if bucket = [] then stats.Obs.st_misses <- stats.Obs.st_misses + 1
-            else stats.Obs.st_hits <- stats.Obs.st_hits + 1;
-            List.iter
-              (fun tup ->
-                tick ();
-                if
-                  List.for_all
-                    (fun (pos, p0) -> Value.equal tup.(pos) tup.(p0))
-                    sc.Plan.sc_selfeqs
-                then begin
-                  bind sc tup;
-                  step (i + 1)
-                end)
-              bucket
+          in
+          if hit then stats.Obs.st_hits <- stats.Obs.st_hits + 1
+          else stats.Obs.st_misses <- stats.Obs.st_misses + 1
+        end
       end
     end
   in
   if nscans > 0 then step 0
 
-let eval_plan ?budget ?(cache = true) ?sink e (plan : Plan.t) ?delta
+let eval_plan ?budget ?(cache = true) ?sink e (ip : iplan) ?delta
     (stats : Obs.tstats) =
   let sink =
     match sink with
     | Some f -> f
-    | None -> fun env -> fire ?budget e plan env stats
+    | None -> fun env -> fire ?budget e ip env stats
   in
-  enumerate
-    ~src:(fun pred -> Hashtbl.find e.e_src pred)
-    ?budget ~cache plan ?delta stats ~sink
+  enumerate_int ~src:(src_store e) ?budget ~cache ip ?delta stats ~sink
 
 (* ---- parallel initial pass ---------------------------------------------- *)
 
@@ -422,162 +654,140 @@ module Pool = Smg_parallel.Pool
 
 (* The initial (non-delta) pass of one plan, fanned out over a pool.
 
-   Phase 1 (parallel, read-only): the driving scan's tuples are split
-   into chunks — a fixed fan-out independent of the domain count — and
-   each chunk worker enumerates its join bindings against pre-built
-   indexes. Bindings already satisfied in the current target snapshot
-   are dropped (satisfaction is monotone: inserting tuples can only
-   satisfy more triggers, so a snapshot-satisfied trigger stays
-   satisfied); surviving bindings are collected as env copies.
+   Phase 1 (parallel, read-only): the driving scan's arena is split into
+   coarse contiguous row ranges — at least [min_chunk_rows] driving rows
+   per task, so task overhead amortizes at generator scale, and at most
+   [parallel_chunks] tasks, a fan-out independent of the domain count so
+   budget accounting is too. Each worker enumerates its join bindings
+   against pre-built indexes and collects env copies. Unlike the boxed
+   predecessor, phase 1 runs no satisfaction checks: workers allocate
+   nothing but the env copies and never touch the chase's global Skolem
+   table, so there is no cross-domain contention to serialize on.
 
-   Phase 2 (sequential): the collected envs are re-played through
-   {!fire} in chunk order. [fire] re-checks satisfaction against the
-   live target — a binding satisfied by an earlier binding's inserts is
-   skipped exactly as in a sequential run — and does all null minting
-   and inserting on the caller's domain, so the one-null-per-ground-
-   Skolem-term interning and the store mutations stay single-threaded.
-   The result is the same restricted-chase output as the sequential
-   pass (null labels may differ: a homomorphic isomorphism).
+   Phase 2 (sequential): collected envs replay through {!fire} in chunk
+   order — the same order the sequential scan visits them — so
+   satisfaction checks, null minting, Skolem interning, and store
+   mutation all happen on the caller's domain, and the output is
+   identical to the sequential pass's.
 
-   Budgets: each chunk gets an equal fuel share ([Budget.split] over
-   the fixed chunk count, so fuel accounting does not depend on the
-   domain count); a chunk that exhausts its share stops early but its
-   collected prefix is still merged, and the exhaustion is re-raised
-   after the merge — the target built so far is a sound prefix, exactly
-   the [run_bounded] contract. *)
+   Budgets: each chunk gets an equal fuel share ([Budget.split] over the
+   data-determined chunk count); a chunk that exhausts its share stops
+   early but its collected prefix is still merged, and the exhaustion is
+   re-raised after the merge — the target built so far is a sound
+   prefix, exactly the [run_bounded] contract. *)
 let parallel_chunks = 32
+let min_chunk_rows = 2048
 
-let eval_plan_parallel pool ?budget e (plan : Plan.t) (stats : Obs.tstats) =
-  match plan.Plan.p_scans with
-  | [] -> ()
-  | sc0 :: rest ->
+let eval_plan_parallel pool ?budget e (ip : iplan) (stats : Obs.tstats) =
+  if Array.length ip.ip_scans = 0 then ()
+  else begin
+    let st0 = src_store e ip.ip_scans.(0).is_pred in
+    let n = Colstore.rows st0.s_cs in
+    let nchunks =
+      min parallel_chunks ((n + min_chunk_rows - 1) / min_chunk_rows)
+    in
+    if nchunks <= 1 || Pool.size pool <= 1 then eval_plan ?budget e ip stats
+    else begin
       (* pre-build every index the read-only phase will probe *)
-      List.iter
-        (fun (sc : Plan.scan) ->
-          if sc.Plan.sc_eqs <> [] then begin
-            let st = Hashtbl.find e.e_src sc.Plan.sc_pred in
-            if st.s_count >= index_threshold then
-              ignore (get_index st (List.map fst sc.Plan.sc_eqs))
+      Array.iteri
+        (fun i (sc : iscan) ->
+          if i > 0 && Array.length sc.is_eqs > 0 then begin
+            let st = src_store e sc.is_pred in
+            if Colstore.count st.s_cs >= index_threshold then
+              ignore (Colstore.ensure_index st.s_cs sc.is_cols)
           end)
-        rest;
-      List.iter
-        (fun (ck : Plan.check) ->
-          if ck.Plan.ck_probe <> [] then begin
-            let st = Hashtbl.find e.e_tgt ck.Plan.ck_pred in
-            if st.s_count >= index_threshold then
-              ignore (get_index st ck.Plan.ck_probe)
-          end)
-        plan.Plan.p_checks;
-      let driving =
-        Array.of_list (Hashtbl.find e.e_src sc0.Plan.sc_pred).s_tuples
+        ip.ip_scans;
+      let chunk = (n + nchunks - 1) / nchunks in
+      let subs =
+        match budget with
+        | None -> Array.make nchunks None
+        | Some b ->
+            Array.of_list (List.map Option.some (Budget.split b ~parts:nchunks))
       in
-      let n = Array.length driving in
-      if n > 0 then begin
-        let chunk = max 1 ((n + parallel_chunks - 1) / parallel_chunks) in
-        let nchunks = (n + chunk - 1) / chunk in
-        let subs =
-          match budget with
-          | None -> Array.make nchunks None
-          | Some b ->
-              Array.of_list
-                (List.map Option.some (Budget.split b ~parts:nchunks))
-        in
-        let results =
-          Pool.map pool ~chunk:1
-            (fun k ->
-              let cstats = Obs.fresh_tstats () in
-              let lo = k * chunk in
-              let tuples =
-                Array.to_list (Array.sub driving lo (min chunk (n - lo)))
-              in
-              let acc = ref [] in
-              let hit = ref None in
-              (try
-                 eval_plan ?budget:subs.(k) ~cache:false e plan
-                   ~delta:(0, tuples) cstats
-                   ~sink:(fun env ->
-                     (* count a check only for bindings settled here: the
-                        survivors are re-checked (and counted) by [fire]
-                        at merge, keeping the totals equal to a
-                        sequential run's *)
-                     if satisfied ~cache:false e plan env cstats then begin
-                       cstats.Obs.st_checks <- cstats.Obs.st_checks + 1;
-                       cstats.Obs.st_satisfied <-
-                         cstats.Obs.st_satisfied + 1
-                     end
-                     else acc := Array.copy env :: !acc)
-               with Budget.Exhausted r -> hit := Some r);
-              (List.rev !acc, cstats, !hit))
-            (Array.init nchunks Fun.id)
-        in
-        let exhausted = ref None in
-        Array.iteri
-          (fun k (_, cstats, hit) ->
-            (match (budget, subs.(k)) with
-            | Some b, Some sub -> Budget.absorb b sub
-            | _, _ -> ());
-            (match hit with
-            | Some r when !exhausted = None -> exhausted := Some r
-            | _ -> ());
-            stats.Obs.st_scanned <- stats.Obs.st_scanned + cstats.Obs.st_scanned;
-            stats.Obs.st_probes <- stats.Obs.st_probes + cstats.Obs.st_probes;
-            stats.Obs.st_hits <- stats.Obs.st_hits + cstats.Obs.st_hits;
-            stats.Obs.st_misses <- stats.Obs.st_misses + cstats.Obs.st_misses;
-            stats.Obs.st_checks <- stats.Obs.st_checks + cstats.Obs.st_checks;
-            stats.Obs.st_satisfied <-
-              stats.Obs.st_satisfied + cstats.Obs.st_satisfied)
-          results;
-        Array.iter
-          (fun (envs, _, _) ->
-            List.iter (fun env -> fire ?budget e plan env stats) envs)
-          results;
-        match !exhausted with
-        | Some r -> raise (Budget.Exhausted r)
-        | None -> ()
-      end
+      let results =
+        Pool.map pool ~chunk:1
+          (fun k ->
+            let cstats = Obs.fresh_tstats () in
+            let lo = k * chunk in
+            let hi = min n (lo + chunk) in
+            let acc = ref [] in
+            let hit = ref None in
+            (try
+               enumerate_int
+                 ~src:(fun pred -> Hashtbl.find e.e_src pred)
+                 ?budget:subs.(k) ~cache:false ip ~range:(lo, hi) cstats
+                 ~sink:(fun env -> acc := Array.copy env :: !acc)
+             with Budget.Exhausted r -> hit := Some r);
+            (List.rev !acc, cstats, !hit))
+          (Array.init nchunks Fun.id)
+      in
+      let exhausted = ref None in
+      Array.iteri
+        (fun k (_, cstats, hit) ->
+          (match (budget, subs.(k)) with
+          | Some b, Some sub -> Budget.absorb b sub
+          | _, _ -> ());
+          (match hit with
+          | Some r when !exhausted = None -> exhausted := Some r
+          | _ -> ());
+          stats.Obs.st_scanned <- stats.Obs.st_scanned + cstats.Obs.st_scanned;
+          stats.Obs.st_probes <- stats.Obs.st_probes + cstats.Obs.st_probes;
+          stats.Obs.st_hits <- stats.Obs.st_hits + cstats.Obs.st_hits;
+          stats.Obs.st_misses <- stats.Obs.st_misses + cstats.Obs.st_misses)
+        results;
+      Array.iter
+        (fun (envs, _, _) ->
+          List.iter (fun env -> fire ?budget e ip env stats) envs)
+        results;
+      match !exhausted with
+      | Some r -> raise (Budget.Exhausted r)
+      | None -> ()
+    end
+  end
 
 (* ---- key-egd pass ------------------------------------------------------- *)
 
 type egd_result =
   | EgdConflict of string
-  | EgdSubst of (int, Value.t) Hashtbl.t * int  (* bindings, merge count *)
+  | EgdSubst of (int, int) Hashtbl.t * int  (* null code -> code, merges *)
 
 (* Group every keyed target table by its (resolved) key cells and unify
-   the non-key columns of each group — union-find over null labels with
+   the non-key columns of each group — union-find over null codes with
    path compression; a constant/constant clash is a hard failure, as in
-   the chase. Cascades (key cells that only become equal after a
-   substitution) are caught by the next round's pass. *)
+   the chase. Group keys are exact [int list]s (never raw hashes), so a
+   hash collision can never conflate two groups. Cascades are caught by
+   the next round's pass. *)
 let egd_pass e =
-  let subst : (int, Value.t) Hashtbl.t = Hashtbl.create 16 in
-  let rec resolve v =
-    match v with
-    | Value.VNull k -> (
-        match Hashtbl.find_opt subst k with
-        | Some v' ->
-            let r = resolve v' in
-            if r != v' then Hashtbl.replace subst k r;
-            r
-        | None -> v)
-    | _ -> v
+  let subst : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  let rec resolve c =
+    if c >= 0 then c
+    else
+      match Hashtbl.find_opt subst c with
+      | Some c' ->
+          let r = resolve c' in
+          if r <> c' then Hashtbl.replace subst c r;
+          r
+      | None -> c
   in
   let merges = ref 0 in
   let conflict = ref None in
   let unify table col u v =
     let ru = resolve u and rv = resolve v in
-    if not (Value.equal ru rv) then
-      match (ru, rv) with
-      | Value.VNull k, _ ->
-          Hashtbl.replace subst k rv;
-          incr merges
-      | _, Value.VNull k ->
-          Hashtbl.replace subst k ru;
-          incr merges
-      | _ ->
-          if !conflict = None then
-            conflict :=
-              Some
-                (Printf.sprintf "key egd on %s.%s: %s vs %s" table col
-                   (Value.to_string ru) (Value.to_string rv))
+    if ru <> rv then
+      if Intern.is_null_code ru then begin
+        Hashtbl.replace subst ru rv;
+        incr merges
+      end
+      else if Intern.is_null_code rv then begin
+        Hashtbl.replace subst rv ru;
+        incr merges
+      end
+      else if !conflict = None then
+        conflict :=
+          Some
+            (Printf.sprintf "key egd on %s.%s: %s vs %s" table col
+               (Value.to_string (Intern.value ru))
+               (Value.to_string (Intern.value rv)))
   in
   List.iter
     (fun (tbl : Schema.table) ->
@@ -585,25 +795,30 @@ let egd_pass e =
         match Hashtbl.find_opt e.e_tgt tbl.Schema.tbl_name with
         | None -> ()
         | Some st ->
+            let cs = st.s_cs in
+            let data = Colstore.data cs in
+            let ar = Colstore.arity cs in
             let header = Array.of_list st.s_header in
             let keypos =
               List.map
                 (fun k ->
-                  let rec find i =
-                    if header.(i) = k then i else find (i + 1)
-                  in
+                  let rec find i = if header.(i) = k then i else find (i + 1) in
                   find 0)
                 tbl.Schema.key
             in
-            let is_key = Array.map (fun c -> List.mem c tbl.Schema.key) header in
-            let reps = Hashtbl.create (st.s_count + 1) in
-            List.iter
-              (fun tup ->
+            let is_key =
+              Array.map (fun c -> List.mem c tbl.Schema.key) header
+            in
+            let reps : (int list, int array) Hashtbl.t =
+              Hashtbl.create (Colstore.count cs + 1)
+            in
+            Colstore.iter_live cs (fun row ->
                 if !conflict = None then begin
-                  let rtup = Array.map resolve tup in
-                  let k =
-                    Index.key_of_values (List.map (fun p -> rtup.(p)) keypos)
+                  let base = row * ar in
+                  let rtup =
+                    Array.init ar (fun i -> resolve data.(base + i))
                   in
+                  let k = List.map (fun p -> rtup.(p)) keypos in
                   match Hashtbl.find_opt reps k with
                   | None -> Hashtbl.replace reps k rtup
                   | Some rep ->
@@ -612,56 +827,49 @@ let egd_pass e =
                           if (not is_key.(i)) && !conflict = None then
                             unify tbl.Schema.tbl_name header.(i) rep.(i) v)
                         rtup
-                end)
-              st.s_tuples)
+                end))
     e.e_target_schema.Schema.tables;
   match !conflict with
   | Some msg -> EgdConflict msg
   | None -> EgdSubst (subst, !merges)
 
-(* Rewrite every store (source AND target) through the substitution;
-   changed tuples become the store's delta for semi-naive re-firing, and
-   cached indexes are dropped (rebuilt lazily). *)
+(* Rewrite every store (source AND target) through the substitution by
+   rebuilding its arena: resolved live rows re-insert in arena order
+   (dedup through the fresh membership shards), changed rows become the
+   store's delta for semi-naive re-firing, and cached indexes are
+   dropped (rebuilt lazily). Rebuilt stores are always tracked — this
+   is where source stores pay for membership, exactly like the boxed
+   engine's s_seen rebuild. *)
 let apply_subst e subst =
-  let rec resolve v =
-    match v with
-    | Value.VNull k -> (
-        match Hashtbl.find_opt subst k with Some v' -> resolve v' | None -> v)
-    | _ -> v
+  let rec resolve c =
+    if c >= 0 then c
+    else
+      match Hashtbl.find_opt subst c with Some c' -> resolve c' | None -> c
   in
   let rewrite _name st =
-    compact st;
-    let changed = ref [] in
-    let seen = Hashtbl.create (st.s_count * 2 + 1) in
-    let tuples =
-      List.fold_left
-        (fun acc tup ->
-          let touched = ref false in
-          let tup' =
-            Array.map
-              (fun v ->
-                let r = resolve v in
-                if not (Value.equal r v) then touched := true;
-                r)
-              tup
-          in
-          let k = Index.tuple_key tup' in
-          if Hashtbl.mem seen k then acc
-          else begin
-            Hashtbl.replace seen k tup';
-            if !touched then changed := tup' :: !changed;
-            tup' :: acc
-          end)
-        [] st.s_tuples
+    let cs = st.s_cs in
+    let ar = Colstore.arity cs in
+    let data = Colstore.data cs in
+    let ncs =
+      Colstore.create ~shards:(Colstore.nshards cs) ~arity:ar
+        (Colstore.count cs)
     in
-    st.s_tuples <- tuples;
-    st.s_count <- Hashtbl.length seen;
-    st.s_dead <- 0;
-    st.s_ix_dead <- 0;
-    Hashtbl.reset st.s_seen;
-    Hashtbl.iter (fun k tup -> Hashtbl.replace st.s_seen k tup) seen;
-    st.s_indexes <- [];
-    st.s_delta <- !changed
+    let scratch = Array.make ar 0 in
+    let delta = ref [] in
+    Colstore.iter_live cs (fun row ->
+        let base = row * ar in
+        let touched = ref false in
+        for j = 0 to ar - 1 do
+          let v = data.(base + j) in
+          let r = resolve v in
+          if r <> v then touched := true;
+          scratch.(j) <- r
+        done;
+        match Colstore.insert ncs scratch with
+        | Some nrow -> if !touched then delta := nrow :: !delta
+        | None -> ());
+    st.s_cs <- ncs;
+    st.s_delta <- !delta
   in
   Hashtbl.iter rewrite e.e_src;
   Hashtbl.iter rewrite e.e_tgt
@@ -680,16 +888,48 @@ type report = {
   r_egd_merges : int;
   r_sweep_dropped : int;
   r_seconds : float;
+  r_shards : Obs.shard_view;
 }
+
+let decode_row data ar base =
+  Array.init ar (fun i -> Intern.value data.(base + i))
 
 let target_instance e =
   Hashtbl.fold
     (fun name st acc ->
-      if st.s_count = 0 then acc
-      else
+      let cs = st.s_cs in
+      if Colstore.count cs = 0 then acc
+      else begin
+        let data = Colstore.data cs in
+        let ar = Colstore.arity cs in
+        let tuples =
+          Colstore.fold_live cs
+            (fun tl row -> decode_row data ar (row * ar) :: tl)
+            []
+        in
         Instance.set acc name
-          { Instance.header = st.s_header; tuples = List.rev st.s_tuples })
+          { Instance.header = st.s_header; tuples = List.rev tuples }
+      end)
     e.e_tgt Instance.empty
+
+let shard_view e =
+  let nsh = e.e_nshards in
+  let tuples = Array.make nsh 0 and rot = Array.make nsh 0 in
+  Hashtbl.iter
+    (fun _ st ->
+      Array.iteri
+        (fun i v -> tuples.(i) <- tuples.(i) + v)
+        (Colstore.shard_live st.s_cs);
+      Array.iteri
+        (fun i v -> rot.(i) <- rot.(i) + v)
+        (Colstore.shard_rot st.s_cs))
+    e.e_tgt;
+  {
+    Obs.sv_shards = nsh;
+    sv_tuples = tuples;
+    sv_rot = rot;
+    sv_intern_pool = Intern.pool_size ();
+  }
 
 type outcome =
   | Complete of report
@@ -703,8 +943,8 @@ type outcome =
    A [compiled] value is pure immutable data (schemas + plans): compile
    once, execute over any number of instances — including concurrently
    from several domains, since every execution allocates its own engine
-   state and counter accumulators. This is the artifact the lib/serve
-   scenario registry caches. *)
+   state, interned plan views, and counter accumulators. This is the
+   artifact the lib/serve scenario registry caches. *)
 
 type compiled = {
   c_source : Schema.t;
@@ -742,7 +982,19 @@ let compile ?card ?(laconic = false) ~source ~target ~mappings () =
       }
   with Invalid_argument msg -> Error msg
 
-let execute ?budget ?fault ?pool ?(max_rounds = 100) compiled inst =
+(* shard-count resolution: explicit arg > SMG_SHARDS env > pool size > 1 *)
+let resolve_shards ?shards ?pool () =
+  match shards with
+  | Some s -> max 1 s
+  | None -> (
+      match Sys.getenv_opt "SMG_SHARDS" with
+      | Some s when (match int_of_string_opt (String.trim s) with
+                    | Some v -> v > 0
+                    | None -> false) ->
+          int_of_string (String.trim s)
+      | _ -> ( match pool with Some p -> Pool.size p | None -> 1))
+
+let execute ?budget ?fault ?pool ?shards ?(max_rounds = 100) compiled inst =
   let {
     c_source = source;
     c_target = target;
@@ -762,8 +1014,22 @@ let execute ?budget ?fault ?pool ?(max_rounds = 100) compiled inst =
     | None -> ()
   in
   try
-    let e = create ~source ~target inst in
-    let stats = List.map (fun (p : Plan.t) -> (p.Plan.p_name, Obs.fresh_tstats ())) plans in
+    let nshards = resolve_shards ?shards ?pool () in
+    (* only the plans' scan predicates need interned stores up front
+       (delta variants scan the same relations) *)
+    let needed = Hashtbl.create 16 in
+    List.iter
+      (fun (p : Plan.t) ->
+        List.iter
+          (fun (sc : Plan.scan) -> Hashtbl.replace needed sc.Plan.sc_pred ())
+          p.Plan.p_scans)
+      plans;
+    let e = create ~shards:nshards ~only:(Hashtbl.mem needed) ~source ~target
+        inst in
+    let iplans = List.map intern_plan plans in
+    let stats =
+      List.map (fun (ip : iplan) -> (ip.ip_name, Obs.fresh_tstats ())) iplans
+    in
     let t0 = Unix.gettimeofday () in
     let egd_merges = ref 0 in
     let rounds = ref 1 in
@@ -772,16 +1038,16 @@ let execute ?budget ?fault ?pool ?(max_rounds = 100) compiled inst =
     let exhausted = ref None in
     (try
        List.iter2
-         (fun plan (_, st) ->
+         (fun ip (_, st) ->
            step ();
            let (), dt =
              Obs.time (fun () ->
                  match pool with
-                 | Some pool -> eval_plan_parallel pool ?budget e plan st
-                 | None -> eval_plan ?budget e plan st)
+                 | Some pool -> eval_plan_parallel pool ?budget e ip st
+                 | None -> eval_plan ?budget e ip st)
            in
            st.Obs.st_seconds <- st.Obs.st_seconds +. dt)
-         plans stats;
+         iplans stats;
        clear_deltas e;
        let continue_ = ref true in
        while !continue_ && !failed = None do
@@ -803,23 +1069,25 @@ let execute ?budget ?fault ?pool ?(max_rounds = 100) compiled inst =
                Hashtbl.iter
                  (fun name st ->
                    if st.s_delta <> [] then
-                     Hashtbl.replace deltas name st.s_delta)
+                     Hashtbl.replace deltas name
+                       (List.rev_map (Colstore.row_cells st.s_cs) st.s_delta))
                  e.e_src;
                clear_deltas e;
                List.iter2
-                 (fun (plan : Plan.t) (_, st) ->
+                 (fun (ip : iplan) (_, st) ->
                    step ();
                    let (), dt =
                      Obs.time (fun () ->
-                         List.iteri
-                           (fun i (sc : Plan.scan) ->
-                             match Hashtbl.find_opt deltas sc.Plan.sc_pred with
-                             | Some ts -> eval_plan ?budget e plan ~delta:(i, ts) st
+                         Array.iteri
+                           (fun i (sc : iscan) ->
+                             match Hashtbl.find_opt deltas sc.is_pred with
+                             | Some ts ->
+                                 eval_plan ?budget e ip ~delta:(i, ts) st
                              | None -> ())
-                           plan.Plan.p_scans)
+                           ip.ip_scans)
                    in
                    st.Obs.st_seconds <- st.Obs.st_seconds +. dt)
-                 plans stats;
+                 iplans stats;
                clear_deltas e
              end
        done
@@ -845,6 +1113,7 @@ let execute ?budget ?fault ?pool ?(max_rounds = 100) compiled inst =
             r_egd_merges = !egd_merges;
             r_sweep_dropped = dropped;
             r_seconds = Unix.gettimeofday () -. t0;
+            r_shards = shard_view e;
           }
         in
         (match !exhausted with
@@ -852,41 +1121,117 @@ let execute ?budget ?fault ?pool ?(max_rounds = 100) compiled inst =
         | None -> Complete report)
   with Invalid_argument msg -> Failed msg
 
-let run_core ?budget ?fault ?pool ?max_rounds ?laconic ~source ~target
+let run_core ?budget ?fault ?pool ?shards ?max_rounds ?laconic ~source ~target
     ~mappings inst =
   let card name = Instance.cardinality inst name in
   match compile ~card ?laconic ~source ~target ~mappings () with
   | Error msg -> Failed msg
-  | Ok compiled -> execute ?budget ?fault ?pool ?max_rounds compiled inst
+  | Ok compiled -> execute ?budget ?fault ?pool ?shards ?max_rounds compiled inst
 
-let run ?pool ?max_rounds ?laconic ~source ~target ~mappings inst =
-  match run_core ?pool ?max_rounds ?laconic ~source ~target ~mappings inst with
+let run ?pool ?shards ?max_rounds ?laconic ~source ~target ~mappings inst =
+  match
+    run_core ?pool ?shards ?max_rounds ?laconic ~source ~target ~mappings inst
+  with
   | Complete r -> Ok r
   | Budget_exhausted (_, r) -> Ok r (* unreachable without a budget *)
   | Failed msg -> Error msg
 
-let run_bounded ?budget ?fault ?pool ?max_rounds ?laconic ~source ~target
-    ~mappings inst =
-  run_core ?budget ?fault ?pool ?max_rounds ?laconic ~source ~target ~mappings
-    inst
+let run_bounded ?budget ?fault ?pool ?shards ?max_rounds ?laconic ~source
+    ~target ~mappings inst =
+  run_core ?budget ?fault ?pool ?shards ?max_rounds ?laconic ~source ~target
+    ~mappings inst
 
 (* ---- store + enumeration surface for incremental maintenance ----------- *)
 
 module Stores = struct
   type nonrec t = store
 
-  let of_tuples ~header tuples = store_of_tuples header tuples
+  let of_tuples ?shards ~header tuples =
+    let nshards = resolve_shards ?shards () in
+    let arity = max 1 (List.length header) in
+    let cs =
+      Colstore.create ~shards:nshards ~arity (List.length tuples)
+    in
+    List.iter
+      (fun tup -> ignore (Colstore.insert cs (Intern.code_tuple tup)))
+      tuples;
+    { s_header = header; s_cs = cs; s_delta = [] }
+
   let header st = st.s_header
 
   let tuples st =
-    compact st;
-    List.rev st.s_tuples
+    let cs = st.s_cs in
+    let data = Colstore.data cs in
+    let ar = Colstore.arity cs in
+    List.rev
+      (Colstore.fold_live cs
+         (fun tl row -> decode_row data ar (row * ar) :: tl)
+         [])
 
-  let count st = st.s_count
-  let mem st tup = Hashtbl.mem st.s_seen (Index.tuple_key tup)
-  let insert = insert
-  let remove_many = remove_many
+  let count st = Colstore.count st.s_cs
+
+  let mem st tup =
+    match Intern.find_tuple tup with
+    | Some cells -> Colstore.mem st.s_cs cells
+    | None -> false
+
+  let insert st tup =
+    match Colstore.insert st.s_cs (Intern.code_tuple tup) with
+    | Some row ->
+        st.s_delta <- row :: st.s_delta;
+        true
+    | None -> false
+
+  let remove_many st tups =
+    let removed = ref [] in
+    let any = ref false in
+    List.iter
+      (fun tup ->
+        match Intern.find_tuple tup with
+        | None -> ()
+        | Some cells -> (
+            match Colstore.remove st.s_cs cells with
+            | Some _row ->
+                any := true;
+                removed := tup :: !removed
+            | None -> ()))
+      tups;
+    if !any then begin
+      if st.s_delta <> [] then
+        st.s_delta <- List.filter (Colstore.is_live st.s_cs) st.s_delta;
+      Colstore.maybe_prune st.s_cs
+    end;
+    List.rev !removed
+
   let clear_delta st = st.s_delta <- []
+
+  let shard_view ?(intern_pool = true) sts =
+    match sts with
+    | [] ->
+        {
+          Obs.sv_shards = 0;
+          sv_tuples = [||];
+          sv_rot = [||];
+          sv_intern_pool = (if intern_pool then Intern.pool_size () else 0);
+        }
+    | st0 :: _ ->
+        let nsh = Colstore.nshards st0.s_cs in
+        let tuples = Array.make nsh 0 and rot = Array.make nsh 0 in
+        List.iter
+          (fun st ->
+            Array.iteri
+              (fun i v -> tuples.(i) <- tuples.(i) + v)
+              (Colstore.shard_live st.s_cs);
+            Array.iteri
+              (fun i v -> rot.(i) <- rot.(i) + v)
+              (Colstore.shard_rot st.s_cs))
+          sts;
+        {
+          Obs.sv_shards = nsh;
+          sv_tuples = tuples;
+          sv_rot = rot;
+          sv_intern_pool = (if intern_pool then Intern.pool_size () else 0);
+        }
 end
 
 (* Build the hash indexes a plan's probing scans will want, so the
@@ -899,12 +1244,27 @@ let prewarm ~src (plan : Plan.t) =
       | [] -> ()
       | eqs ->
           let st = src sc.Plan.sc_pred in
-          if st.s_count >= index_threshold then
-            ignore (get_index st (List.map fst eqs)))
+          if Colstore.count st.s_cs >= index_threshold then
+            ignore
+              (Colstore.ensure_index st.s_cs
+                 (Array.of_list (List.map fst eqs))))
     plan.Plan.p_scans
 
+(* Value-facing enumeration over interned stores: the boxed plan is
+   lowered to its interned view, delta tuples are coded on the way in,
+   and each completed binding is decoded into a reused Value env for
+   the sink — the surface lib/delta maintains against. *)
 let enumerate ~src ?budget ?delta plan stats ~sink =
-  enumerate ~src ?budget plan ?delta stats ~sink
+  let ip = intern_plan plan in
+  let delta =
+    Option.map (fun (i, ts) -> (i, List.map Intern.code_tuple ts)) delta
+  in
+  let venv = Array.make (max ip.ip_nslots 1) (Value.VNull 0) in
+  enumerate_int ~src ?budget ip ?delta stats ~sink:(fun env ->
+      for i = 0 to ip.ip_nslots - 1 do
+        venv.(i) <- Intern.value env.(i)
+      done;
+      sink venv)
 
 let pp_report ppf r =
   Fmt.pf ppf "@[<v>rounds: %d%s  egd merges: %d  swept: %d  %.3f ms@,"
@@ -914,4 +1274,5 @@ let pp_report ppf r =
   List.iter
     (fun (name, st) -> Fmt.pf ppf "%-24s %a@," name Obs.pp_stats st)
     r.r_stats;
+  Fmt.pf ppf "%a@," Obs.pp_shard_view r.r_shards;
   Fmt.pf ppf "target tuples: %d@]" (Instance.total_tuples r.r_target)

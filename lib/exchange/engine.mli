@@ -27,10 +27,14 @@ type report = {
   r_egd_merges : int;  (** null bindings made by key egds *)
   r_sweep_dropped : int;  (** tuples folded by the laconic sweep *)
   r_seconds : float;  (** end-to-end wall-clock *)
+  r_shards : Obs.shard_view;
+      (** per-shard live/rot counters over the target stores plus the
+          intern-pool size — the partitioning observability surface *)
 }
 
 val run :
   ?pool:Smg_parallel.Pool.t ->
+  ?shards:int ->
   ?max_rounds:int ->
   ?laconic:bool ->
   source:Smg_relational.Schema.t ->
@@ -52,7 +56,13 @@ val run :
     surviving bindings in deterministic chunk order. The output is
     homomorphically equivalent to the sequential run's for any domain
     count (null labels may differ). Egd rounds and semi-naive re-firing
-    stay sequential. *)
+    stay sequential.
+
+    [shards] sets the hash-partition count of every store's membership
+    tables (explicit argument > [SMG_SHARDS] env var > the pool's
+    domain count > 1). The partitioning is invisible to the output:
+    stores share one insertion-ordered arena, so firing order — and the
+    materialized target — is identical at every shard count. *)
 
 type outcome =
   | Complete of report
@@ -66,6 +76,7 @@ val run_bounded :
   ?budget:Smg_robust.Budget.t ->
   ?fault:Smg_robust.Fault.t ->
   ?pool:Smg_parallel.Pool.t ->
+  ?shards:int ->
   ?max_rounds:int ->
   ?laconic:bool ->
   source:Smg_relational.Schema.t ->
@@ -132,6 +143,7 @@ val execute :
   ?budget:Smg_robust.Budget.t ->
   ?fault:Smg_robust.Fault.t ->
   ?pool:Smg_parallel.Pool.t ->
+  ?shards:int ->
   ?max_rounds:int ->
   compiled ->
   Smg_relational.Instance.t ->
@@ -156,8 +168,11 @@ module Stores : sig
   (** A mutable tuple store with set semantics, lazily-built hash-join
       indexes, and O(1) membership. *)
 
-  val of_tuples : header:string list -> Smg_relational.Value.t array list -> t
-  (** Build a store over duplicate-free initial tuples. *)
+  val of_tuples :
+    ?shards:int -> header:string list -> Smg_relational.Value.t array list -> t
+  (** Build a store over duplicate-free initial tuples. [shards] sets
+      the membership partition count (default: [SMG_SHARDS] env var,
+      else 1). *)
 
   val header : t -> string list
 
@@ -185,6 +200,11 @@ module Stores : sig
       incremental maintainer drives re-evaluation from its own batch,
       so it drains this engine-side log after each apply to keep the
       store O(live tuples). *)
+
+  val shard_view : ?intern_pool:bool -> t list -> Obs.shard_view
+  (** Aggregate per-shard live/rot counters over a list of stores
+      (which must share a shard count). [intern_pool:false] reports 0
+      for the pool size instead of reading the global counter. *)
 end
 
 val prewarm : src:(string -> Stores.t) -> Plan.t -> unit

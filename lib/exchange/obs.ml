@@ -62,6 +62,22 @@ let pp_stats ppf s =
     s.n_scanned s.n_probes s.n_hits s.n_misses s.n_checks s.n_satisfied
     s.n_emitted s.n_nulls (1000. *. s.n_seconds)
 
+(* ---- shard / intern observability -------------------------------------- *)
+
+type shard_view = {
+  sv_shards : int;
+  sv_tuples : int array;
+  sv_rot : int array;
+  sv_intern_pool : int;
+}
+
+let pp_int_array ppf a =
+  Array.iteri (fun i v -> Fmt.pf ppf "%s%d" (if i = 0 then "" else " ") v) a
+
+let pp_shard_view ppf v =
+  Fmt.pf ppf "shards %d  tuples [%a]  rot [%a]  intern pool %d" v.sv_shards
+    pp_int_array v.sv_tuples pp_int_array v.sv_rot v.sv_intern_pool
+
 let time f =
   let t0 = Unix.gettimeofday () in
   let x = f () in

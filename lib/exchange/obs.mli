@@ -38,6 +38,20 @@ type stats = {
 val snapshot : tstats -> stats
 val pp_stats : Format.formatter -> stats -> unit
 
+(** Shard and intern observability: live target tuples and cumulative
+    tombstones per membership shard of the engine's partitioned stores
+    (summed over the target relations), plus the global intern-pool
+    size at snapshot time. Carried by engine reports, rendered in the
+    `mapdisc exchange` summary and in [GET /metrics]. *)
+type shard_view = {
+  sv_shards : int;
+  sv_tuples : int array;  (** live target tuples owned by each shard *)
+  sv_rot : int array;  (** cumulative removals routed through each shard *)
+  sv_intern_pool : int;  (** distinct constants interned, process-global *)
+}
+
+val pp_shard_view : Format.formatter -> shard_view -> unit
+
 val time : (unit -> 'a) -> 'a * float
 (** [time f] is [(f (), seconds)] by [Unix.gettimeofday]. *)
 

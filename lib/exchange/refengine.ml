@@ -1,0 +1,459 @@
+(* Frozen boxed-value reference engine.
+
+   This is the pre-interning execution engine (hash joins over
+   [Value.t array] tuples with serialized-string novelty keys), kept as
+   a sequential reference implementation after {!Engine} moved to the
+   interned columnar substrate. It exists for two jobs:
+
+   - differential testing: [Engine] output must stay hom-equivalent to
+     this engine's output on every scenario, at every shard and domain
+     count;
+   - benchmarking: `experiments parallel-scale` reports speedups
+     against this engine as the fixed sequential baseline, so the
+     substrate's gain is measured and not grandfathered away.
+
+   Deliberately frozen: no budgets, no faults, no pool, no incremental
+   surface. Do not optimize this file. *)
+
+module Value = Smg_relational.Value
+module Schema = Smg_relational.Schema
+module Instance = Smg_relational.Instance
+module Index = Smg_relational.Index
+
+type store = {
+  s_header : string list;
+  mutable s_tuples : Value.t array list; (* reverse insertion order *)
+  s_seen : (string, Value.t array) Hashtbl.t;
+  mutable s_indexes : (int list * Index.t) list;
+  mutable s_delta : Value.t array list;
+  mutable s_count : int;
+}
+
+let store_of_tuples ?(track = true) header tuples =
+  let n = List.length tuples in
+  let seen = Hashtbl.create (if track then (n * 2) + 1 else 16) in
+  if track then
+    List.iter (fun tup -> Hashtbl.replace seen (Index.tuple_key tup) tup) tuples;
+  {
+    s_header = header;
+    s_tuples = List.rev tuples;
+    s_seen = seen;
+    s_indexes = [];
+    s_delta = [];
+    s_count = n;
+  }
+
+let insert st tup =
+  let k = Index.tuple_key tup in
+  if Hashtbl.mem st.s_seen k then false
+  else begin
+    Hashtbl.replace st.s_seen k tup;
+    st.s_tuples <- tup :: st.s_tuples;
+    st.s_count <- st.s_count + 1;
+    st.s_delta <- tup :: st.s_delta;
+    List.iter (fun (_, ix) -> Index.add ix tup) st.s_indexes;
+    true
+  end
+
+let index_threshold = 64
+
+let get_index st cols =
+  match List.assoc_opt cols st.s_indexes with
+  | Some ix -> ix
+  | None ->
+      let ix = Index.build ~key:cols st.s_tuples in
+      st.s_indexes <- (cols, ix) :: st.s_indexes;
+      ix
+
+let probe_linear st cols vals =
+  List.filter
+    (fun tup -> List.for_all2 (fun c v -> Value.equal tup.(c) v) cols vals)
+    st.s_tuples
+
+let probe_store st cols vals =
+  match List.assoc_opt cols st.s_indexes with
+  | Some ix -> Index.probe ix vals
+  | None ->
+      if st.s_count < index_threshold then probe_linear st cols vals
+      else Index.probe (get_index st cols) vals
+
+type t = {
+  e_src : (string, store) Hashtbl.t;
+  e_tgt : (string, store) Hashtbl.t;
+  e_target_schema : Schema.t;
+  mutable e_next_null : int;
+  mutable e_null_limit : int;
+}
+
+let null_block = 256
+
+let mint_null e =
+  if e.e_next_null > e.e_null_limit then begin
+    let first = Value.alloc_nulls null_block in
+    e.e_next_null <- first;
+    e.e_null_limit <- first + null_block - 1
+  end;
+  let k = e.e_next_null in
+  e.e_next_null <- e.e_next_null + 1;
+  Value.VNull k
+
+let header_of (tbl : Schema.table) =
+  List.map (fun c -> c.Schema.col_name) tbl.Schema.columns
+
+let create ~source ~target inst =
+  let src = Hashtbl.create 16 and tgt = Hashtbl.create 16 in
+  List.iter
+    (fun (tbl : Schema.table) ->
+      let header = header_of tbl in
+      let r = Instance.relation_or_empty inst tbl.Schema.tbl_name ~header in
+      Hashtbl.replace src tbl.Schema.tbl_name
+        (store_of_tuples ~track:false header r.Instance.tuples))
+    source.Schema.tables;
+  List.iter
+    (fun (tbl : Schema.table) ->
+      Hashtbl.replace tgt tbl.Schema.tbl_name
+        (store_of_tuples (header_of tbl) []))
+    target.Schema.tables;
+  {
+    e_src = src;
+    e_tgt = tgt;
+    e_target_schema = target;
+    e_next_null = 1;
+    e_null_limit = 0;
+  }
+
+let rec sk_arg_value env = function
+  | Plan.ASlot s -> env.(s)
+  | Plan.AConst c -> c
+  | Plan.AApp (g, nested) ->
+      Smg_cq.Chase.skolem_term ~f:g ~args:(List.map (sk_arg_value env) nested)
+
+let skolem_cell_value env f args =
+  Smg_cq.Chase.skolem_term ~f ~args:(List.map (sk_arg_value env) args)
+
+let satisfied e (plan : Plan.t) env =
+  let exenv = Array.make (max plan.Plan.p_nex 1) None in
+  let cell_value cell =
+    match cell with
+    | Plan.KSlot s -> env.(s)
+    | Plan.KConst c -> c
+    | Plan.KSkolem (f, args) -> skolem_cell_value env f args
+    | Plan.KEx x -> (
+        match exenv.(x) with Some v -> v | None -> assert false)
+  in
+  let rec go checks =
+    match checks with
+    | [] -> true
+    | (ck : Plan.check) :: rest ->
+        let st = Hashtbl.find e.e_tgt ck.Plan.ck_pred in
+        let candidates =
+          match ck.Plan.ck_probe with
+          | [] -> st.s_tuples
+          | probe ->
+              probe_store st probe
+                (List.map (fun p -> cell_value ck.Plan.ck_cells.(p)) probe)
+        in
+        List.exists
+          (fun tup ->
+            let trail = ref [] in
+            let undo () = List.iter (fun x -> exenv.(x) <- None) !trail in
+            let n = Array.length ck.Plan.ck_cells in
+            let rec cells pos =
+              pos = n
+              ||
+              (match ck.Plan.ck_cells.(pos) with
+                | Plan.KSlot s -> Value.equal tup.(pos) env.(s)
+                | Plan.KConst c -> Value.equal tup.(pos) c
+                | Plan.KSkolem (f, args) ->
+                    Value.equal tup.(pos) (skolem_cell_value env f args)
+                | Plan.KEx x -> (
+                    match exenv.(x) with
+                    | Some v -> Value.equal tup.(pos) v
+                    | None ->
+                        exenv.(x) <- Some tup.(pos);
+                        trail := x :: !trail;
+                        true))
+              && cells (pos + 1)
+            in
+            if cells 0 && go rest then true
+            else begin
+              undo ();
+              false
+            end)
+          candidates
+  in
+  go plan.Plan.p_checks
+
+let fire e (plan : Plan.t) env =
+  if not (satisfied e plan env) then begin
+    let nulls = Array.init plan.Plan.p_nnulls (fun _ -> mint_null e) in
+    List.iter
+      (fun (em : Plan.emit) ->
+        let tup =
+          Array.map
+            (fun cell ->
+              match cell with
+              | Plan.CSlot s -> env.(s)
+              | Plan.CConst c -> c
+              | Plan.CNull k -> nulls.(k)
+              | Plan.CSkolem (f, args) -> skolem_cell_value env f args)
+            em.Plan.em_cells
+        in
+        ignore (insert (Hashtbl.find e.e_tgt em.Plan.em_pred) tup))
+      plan.Plan.p_emits
+  end
+
+let eval_plan e (plan : Plan.t) ?delta () =
+  let env = Array.make (max plan.Plan.p_nslots 1) (Value.VNull 0) in
+  let scans = Array.of_list plan.Plan.p_scans in
+  let nscans = Array.length scans in
+  let binding_value b =
+    match b with Plan.Slot s -> env.(s) | Plan.Const c -> c
+  in
+  let matches (sc : Plan.scan) tup =
+    List.for_all
+      (fun (pos, b) -> Value.equal tup.(pos) (binding_value b))
+      sc.Plan.sc_eqs
+    && List.for_all
+         (fun (pos, p0) -> Value.equal tup.(pos) tup.(p0))
+         sc.Plan.sc_selfeqs
+  in
+  let bind (sc : Plan.scan) tup =
+    List.iter (fun (pos, s) -> env.(s) <- tup.(pos)) sc.Plan.sc_binds
+  in
+  let rec step i =
+    if i = nscans then fire e plan env
+    else begin
+      let sc = scans.(i) in
+      let use_delta = match delta with Some (j, _) -> j = i | None -> false in
+      if use_delta then begin
+        let tuples = match delta with Some (_, ts) -> ts | None -> [] in
+        List.iter
+          (fun tup ->
+            if matches sc tup then begin
+              bind sc tup;
+              step (i + 1)
+            end)
+          tuples
+      end
+      else begin
+        let st = Hashtbl.find e.e_src sc.Plan.sc_pred in
+        match sc.Plan.sc_eqs with
+        | [] ->
+            List.iter
+              (fun tup ->
+                if
+                  List.for_all
+                    (fun (pos, p0) -> Value.equal tup.(pos) tup.(p0))
+                    sc.Plan.sc_selfeqs
+                then begin
+                  bind sc tup;
+                  step (i + 1)
+                end)
+              st.s_tuples
+        | eqs ->
+            let cols = List.map fst eqs in
+            let bucket =
+              probe_store st cols (List.map (fun (_, b) -> binding_value b) eqs)
+            in
+            List.iter
+              (fun tup ->
+                if
+                  List.for_all
+                    (fun (pos, p0) -> Value.equal tup.(pos) tup.(p0))
+                    sc.Plan.sc_selfeqs
+                then begin
+                  bind sc tup;
+                  step (i + 1)
+                end)
+              bucket
+      end
+    end
+  in
+  if nscans > 0 then step 0
+
+type egd_result =
+  | EgdConflict of string
+  | EgdSubst of (int, Value.t) Hashtbl.t * int
+
+let egd_pass e =
+  let subst : (int, Value.t) Hashtbl.t = Hashtbl.create 16 in
+  let rec resolve v =
+    match v with
+    | Value.VNull k -> (
+        match Hashtbl.find_opt subst k with
+        | Some v' ->
+            let r = resolve v' in
+            if r != v' then Hashtbl.replace subst k r;
+            r
+        | None -> v)
+    | _ -> v
+  in
+  let merges = ref 0 in
+  let conflict = ref None in
+  let unify table col u v =
+    let ru = resolve u and rv = resolve v in
+    if not (Value.equal ru rv) then
+      match (ru, rv) with
+      | Value.VNull k, _ ->
+          Hashtbl.replace subst k rv;
+          incr merges
+      | _, Value.VNull k ->
+          Hashtbl.replace subst k ru;
+          incr merges
+      | _ ->
+          if !conflict = None then
+            conflict :=
+              Some
+                (Printf.sprintf "key egd on %s.%s: %s vs %s" table col
+                   (Value.to_string ru) (Value.to_string rv))
+  in
+  List.iter
+    (fun (tbl : Schema.table) ->
+      if tbl.Schema.key <> [] && !conflict = None then
+        match Hashtbl.find_opt e.e_tgt tbl.Schema.tbl_name with
+        | None -> ()
+        | Some st ->
+            let header = Array.of_list st.s_header in
+            let keypos =
+              List.map
+                (fun k ->
+                  let rec find i = if header.(i) = k then i else find (i + 1) in
+                  find 0)
+                tbl.Schema.key
+            in
+            let is_key =
+              Array.map (fun c -> List.mem c tbl.Schema.key) header
+            in
+            let reps = Hashtbl.create (st.s_count + 1) in
+            List.iter
+              (fun tup ->
+                if !conflict = None then begin
+                  let rtup = Array.map resolve tup in
+                  let k =
+                    Index.key_of_values (List.map (fun p -> rtup.(p)) keypos)
+                  in
+                  match Hashtbl.find_opt reps k with
+                  | None -> Hashtbl.replace reps k rtup
+                  | Some rep ->
+                      Array.iteri
+                        (fun i v ->
+                          if (not is_key.(i)) && !conflict = None then
+                            unify tbl.Schema.tbl_name header.(i) rep.(i) v)
+                        rtup
+                end)
+              st.s_tuples)
+    e.e_target_schema.Schema.tables;
+  match !conflict with
+  | Some msg -> EgdConflict msg
+  | None -> EgdSubst (subst, !merges)
+
+let apply_subst e subst =
+  let rec resolve v =
+    match v with
+    | Value.VNull k -> (
+        match Hashtbl.find_opt subst k with Some v' -> resolve v' | None -> v)
+    | _ -> v
+  in
+  let rewrite _name st =
+    let changed = ref [] in
+    let seen = Hashtbl.create ((st.s_count * 2) + 1) in
+    let tuples =
+      List.fold_left
+        (fun acc tup ->
+          let touched = ref false in
+          let tup' =
+            Array.map
+              (fun v ->
+                let r = resolve v in
+                if not (Value.equal r v) then touched := true;
+                r)
+              tup
+          in
+          let k = Index.tuple_key tup' in
+          if Hashtbl.mem seen k then acc
+          else begin
+            Hashtbl.replace seen k tup';
+            if !touched then changed := tup' :: !changed;
+            tup' :: acc
+          end)
+        [] st.s_tuples
+    in
+    st.s_tuples <- tuples;
+    st.s_count <- Hashtbl.length seen;
+    Hashtbl.reset st.s_seen;
+    Hashtbl.iter (fun k tup -> Hashtbl.replace st.s_seen k tup) seen;
+    st.s_indexes <- [];
+    st.s_delta <- !changed
+  in
+  Hashtbl.iter rewrite e.e_src;
+  Hashtbl.iter rewrite e.e_tgt
+
+let clear_deltas e =
+  Hashtbl.iter (fun _ st -> st.s_delta <- []) e.e_src;
+  Hashtbl.iter (fun _ st -> st.s_delta <- []) e.e_tgt
+
+type report = {
+  r_target : Instance.t;
+  r_complete : bool;
+  r_rounds : int;
+}
+
+let target_instance e =
+  Hashtbl.fold
+    (fun name st acc ->
+      if st.s_count = 0 then acc
+      else
+        Instance.set acc name
+          { Instance.header = st.s_header; tuples = List.rev st.s_tuples })
+    e.e_tgt Instance.empty
+
+let run ?(max_rounds = 100) ?(laconic = false) ~source ~target ~mappings inst =
+  try
+    let card name = Instance.cardinality inst name in
+    let mappings = if laconic then Laconic.prepare mappings else mappings in
+    let plans = List.map (Plan.compile ~card ~source ~target) mappings in
+    let e = create ~source ~target inst in
+    let rounds = ref 1 in
+    let complete = ref true in
+    let failed = ref None in
+    List.iter (fun plan -> eval_plan e plan ()) plans;
+    clear_deltas e;
+    let continue_ = ref true in
+    while !continue_ && !failed = None do
+      match egd_pass e with
+      | EgdConflict msg -> failed := Some msg
+      | EgdSubst (_, 0) -> continue_ := false
+      | EgdSubst (subst, _) ->
+          apply_subst e subst;
+          incr rounds;
+          if !rounds > max_rounds then begin
+            complete := false;
+            continue_ := false
+          end
+          else begin
+            let deltas = Hashtbl.create 8 in
+            Hashtbl.iter
+              (fun name st ->
+                if st.s_delta <> [] then Hashtbl.replace deltas name st.s_delta)
+              e.e_src;
+            clear_deltas e;
+            List.iter
+              (fun (plan : Plan.t) ->
+                List.iteri
+                  (fun i (sc : Plan.scan) ->
+                    match Hashtbl.find_opt deltas sc.Plan.sc_pred with
+                    | Some ts -> eval_plan e plan ~delta:(i, ts) ()
+                    | None -> ())
+                  plan.Plan.p_scans)
+              plans;
+            clear_deltas e
+          end
+    done;
+    match !failed with
+    | Some msg -> Error msg
+    | None ->
+        let tgt = target_instance e in
+        let tgt, _ = if laconic then Laconic.sweep tgt else (tgt, 0) in
+        Ok { r_target = tgt; r_complete = !complete; r_rounds = !rounds }
+  with Invalid_argument msg -> Error msg

@@ -1,0 +1,20 @@
+(** Frozen boxed-value reference engine (pre-interning), kept for
+    differential testing and as the fixed sequential baseline of
+    `experiments parallel-scale`. Sequential only: no budgets, no
+    faults, no pool, no incremental surface. {!Engine} output must stay
+    homomorphically equivalent to this engine's on every scenario. *)
+
+type report = {
+  r_target : Smg_relational.Instance.t;
+  r_complete : bool;  (** false when the round budget was exhausted *)
+  r_rounds : int;
+}
+
+val run :
+  ?max_rounds:int ->
+  ?laconic:bool ->
+  source:Smg_relational.Schema.t ->
+  target:Smg_relational.Schema.t ->
+  mappings:Smg_cq.Dependency.tgd list ->
+  Smg_relational.Instance.t ->
+  (report, string) result

@@ -1,0 +1,45 @@
+(** Global value interning: constants map to non-negative int codes,
+    labelled nulls occupy the disjoint negative range. Codes are
+    process-global and stable for the lifetime of the process, so they
+    may be cached inside compiled plans and columnar stores and compared
+    across engine instances. Thread-safe: writers serialize on a mutex,
+    readers are lock-free. *)
+
+val code : Value.t -> int
+(** [code v] interns [v] and returns its code. Nulls are not stored in
+    the pool: [VNull n] maps arithmetically to [-n - 1]. *)
+
+val find : Value.t -> int option
+(** [find v] looks up the code of [v] without interning it. Always
+    succeeds for nulls. *)
+
+val value : int -> Value.t
+(** Inverse of [code]. Raises [Invalid_argument] on a constant code
+    that was never issued. *)
+
+val null_code : int -> int
+(** [null_code n] is the code of [VNull n]: [-n - 1]. *)
+
+val is_null_code : int -> bool
+(** Codes of labelled nulls are exactly the negative codes. *)
+
+val null_label : int -> int
+(** [null_label c] recovers [n] from the code of [VNull n]. *)
+
+val code_tuple : Value.t array -> int array
+(** Intern every cell of a tuple (single lock acquisition). *)
+
+val code_rows : arity:int -> Value.t array list -> int * int array
+(** [code_rows ~arity tuples] interns a whole relation under one lock
+    acquisition, returning [(rows, data)] where [data] is a flat
+    row-major arena of at least [16 * arity] cells with stride
+    [max 1 arity] — the shape {!Colstore.of_flat} adopts directly. *)
+
+val find_tuple : Value.t array -> int array option
+(** Code a tuple without interning; [None] if any constant cell is
+    unknown to the pool (such a tuple cannot be stored anywhere). *)
+
+val decode_tuple : int array -> Value.t array
+
+val pool_size : unit -> int
+(** Number of distinct constants interned so far (nulls excluded). *)

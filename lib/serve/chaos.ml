@@ -364,6 +364,7 @@ let server_config cfg ~domains ~fault ~journal =
     drain_deadline_s = 10.0;
     retry = cfg.c_retry;
     breaker = cfg.c_breaker;
+    shards = None;
   }
 
 let with_running scfg f =

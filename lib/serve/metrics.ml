@@ -127,7 +127,20 @@ let quantile e q =
 
 let ms = function None -> "null" | Some s -> Printf.sprintf "%.3f" (s *. 1000.)
 
-let to_json t ~scenarios =
+let shards_json = function
+  | None -> "null"
+  | Some sv ->
+      let ints a =
+        "[" ^ String.concat ", " (List.map string_of_int (Array.to_list a)) ^ "]"
+      in
+      Printf.sprintf
+        "{\"shards\": %d, \"tuples\": %s, \"rot\": %s, \"intern_pool\": %d}"
+        sv.Smg_exchange.Obs.sv_shards
+        (ints sv.Smg_exchange.Obs.sv_tuples)
+        (ints sv.Smg_exchange.Obs.sv_rot)
+        sv.Smg_exchange.Obs.sv_intern_pool
+
+let to_json ?shards t ~scenarios =
   Mutex.lock t.m_lock;
   let names =
     List.sort String.compare
@@ -153,13 +166,16 @@ let to_json t ~scenarios =
   let s =
     Printf.sprintf
       "{\"uptime_s\": %.3f,\n \"inflight\": %d,\n \"scenarios\": %d,\n \
+       \"intern_pool\": %d,\n \"exchange_shards\": %s,\n \
        \"robustness\": {\"retries\": %d, \"retry_success\": %d, \
        \"supervised_errors\": %d, \"breaker_trips\": %d, \"breaker_shed\": \
        %d, \"timeouts_408\": %d, \"recovered_scenarios\": %d, \
        \"recovery_ms\": %.3f},\n \"endpoints\": %s}\n"
       uptime
       (Atomic.get t.m_inflight)
-      scenarios (Atomic.get t.m_retries) (Atomic.get t.m_retry_ok)
+      scenarios
+      (Smg_relational.Intern.pool_size ())
+      (shards_json shards) (Atomic.get t.m_retries) (Atomic.get t.m_retry_ok)
       (Atomic.get t.m_supervised)
       (Atomic.get t.m_breaker_trips)
       (Atomic.get t.m_breaker_shed)

@@ -54,13 +54,17 @@ val timeout_count : t -> int
 val recovered_count : t -> int
 val recovery_ms : t -> float
 
-val to_json : t -> scenarios:int -> string
+val to_json :
+  ?shards:Smg_exchange.Obs.shard_view -> t -> scenarios:int -> string
 (** The [GET /metrics] document: uptime, open connections, scenario
-    count, and per endpoint requests, status classes (2xx/4xx/5xx),
-    cache hits/misses, budget exhaustions, bytes in/out, and p50/p95
-    latency in milliseconds over a sliding window of the last 1024
-    requests. Endpoints are name-sorted; quantiles are [null] until the
-    endpoint has served a request. *)
+    count, the global intern-pool size (distinct constants interned so
+    far), the last execution's per-shard live/rot counters under
+    [exchange_shards] ([null] until an exchange or delta has run —
+    pass {!Registry.shard_view}), and per endpoint requests, status
+    classes (2xx/4xx/5xx), cache hits/misses, budget exhaustions,
+    bytes in/out, and p50/p95 latency in milliseconds over a sliding
+    window of the last 1024 requests. Endpoints are name-sorted;
+    quantiles are [null] until the endpoint has served a request. *)
 
 val pp_summary : Format.formatter -> t -> unit
 (** One line per endpoint — the shutdown log. *)

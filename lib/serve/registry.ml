@@ -41,17 +41,27 @@ type t = {
   t_fault : Smg_robust.Fault.t option;
   t_retry : Smg_robust.Retry.policy;
   t_on_retry : tries:int -> ok:bool -> unit;
+  t_shards : int option;
+      (* membership-partition count forwarded to every engine execution
+         and delta init; None defers to SMG_SHARDS / pool size *)
+  mutable t_shard_view : Smg_exchange.Obs.shard_view option;
+      (* the most recent execution's shard/intern snapshot — a single
+         word, so the unlocked write is atomic; GET /metrics reads it *)
 }
 
 let create ?fault ?(retry = Smg_robust.Retry.default)
-    ?(on_retry = fun ~tries:_ ~ok:_ -> ()) () =
+    ?(on_retry = fun ~tries:_ ~ok:_ -> ()) ?shards () =
   {
     t_lock = Mutex.create ();
     t_cells = Hashtbl.create 16;
     t_fault = fault;
     t_retry = retry;
     t_on_retry = on_retry;
+    t_shards = shards;
+    t_shard_view = None;
   }
+
+let shard_view t = t.t_shard_view
 
 let with_lock m f =
   Mutex.lock m;
@@ -395,11 +405,16 @@ let exchange t ?budget ?(size = 1000) ?(seed = 42) ?(laconic = true) entry =
           | Ok compiled -> (
               (* execution allocates all mutable state per call, so a
                  cached compiled value is safe under concurrency *)
-              match Engine.execute ?budget ?fault:t.t_fault compiled inst with
+              match
+                Engine.execute ?budget ?fault:t.t_fault ?shards:t.t_shards
+                  compiled inst
+              with
               | Engine.Failed msg -> Ex_failed msg
               | Engine.Complete rep ->
+                  t.t_shard_view <- Some rep.Engine.r_shards;
                   Ex_ok (Render.exchange_json ~head ~laconic rep, hit)
               | Engine.Budget_exhausted (reason, rep) ->
+                  t.t_shard_view <- Some rep.Engine.r_shards;
                   let diag =
                     Diag.degraded ~subject:entry.en_name Diag.Exchange reason
                       "target instance is a partial prefix"
@@ -467,7 +482,7 @@ let delta t ?(size = 1000) ?(seed = 42) entry (batch : Batch.t) =
                     match prep with
                     | Error m -> Error m
                     | Ok compiled -> (
-                        match Maintain.init compiled inst with
+                        match Maintain.init ?shards:t.t_shards compiled inst with
                         | Error m -> Error m
                         | Ok st ->
                             Hashtbl.replace cell.c_maintain inst_key st;
@@ -492,9 +507,9 @@ let delta t ?(size = 1000) ?(seed = 42) entry (batch : Batch.t) =
                             ("delta", counters_json c);
                           ]
                       in
-                      Dl_ok
-                        (Render.exchange_json ~head ~laconic:false
-                           (Maintain.report st))))))
+                      let rep = Maintain.report st in
+                      t.t_shard_view <- Some rep.Engine.r_shards;
+                      Dl_ok (Render.exchange_json ~head ~laconic:false rep)))))
 
 (* ---- info -------------------------------------------------------------- *)
 

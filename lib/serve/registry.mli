@@ -31,6 +31,7 @@ val create :
   ?fault:Smg_robust.Fault.t ->
   ?retry:Smg_robust.Retry.policy ->
   ?on_retry:(tries:int -> ok:bool -> unit) ->
+  ?shards:int ->
   unit ->
   t
 (** [fault] wires the registry's injection points ([Parse] before a
@@ -42,7 +43,18 @@ val create :
     retried operation's total tries and final outcome — the server's
     metrics hook. A parse fault, or a transient one that survives every
     attempt, raises [Smg_robust.Fault.Injected] out of the mutating
-    call for the caller's supervisor to turn into a diagnosed 500. *)
+    call for the caller's supervisor to turn into a diagnosed 500.
+
+    [shards] is forwarded to every {!Smg_exchange.Engine.execute} and
+    {!Smg_delta.Maintain.init} as the stores' hash-partition count
+    (omitted: [SMG_SHARDS] env var, else the pool's domain count). It
+    never changes response bytes — partitioning is invisible to the
+    materialized target. *)
+
+val shard_view : t -> Smg_exchange.Obs.shard_view option
+(** Per-shard live/rot counters and the intern-pool size from the most
+    recent exchange or delta execution — the [GET /metrics]
+    partitioning surface. [None] until something has executed. *)
 
 val sides_of_doc :
   Smg_dsl.Ast.t ->

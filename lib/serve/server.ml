@@ -24,6 +24,7 @@ type config = {
   drain_deadline_s : float;
   retry : Retry.policy;
   breaker : Breaker.config;
+  shards : int option;
 }
 
 let default_config =
@@ -41,6 +42,7 @@ let default_config =
     drain_deadline_s = 10.0;
     retry = Retry.default;
     breaker = Breaker.default_config;
+    shards = None;
   }
 
 type t = {
@@ -152,7 +154,7 @@ let create cfg =
   let reg =
     Registry.create ?fault:cfg.fault ~retry:cfg.retry
       ~on_retry:(fun ~tries ~ok -> Metrics.retried met ~tries ~ok)
-      ()
+      ?shards:cfg.shards ()
   in
   if cfg.preload then Registry.preload_builtins reg;
   let journal =
@@ -510,7 +512,9 @@ let route t (rq : Http.request) =
       answer "healthz" 200 body
   | Http.GET, [ "metrics" ] ->
       answer "metrics" 200
-        (Metrics.to_json t.met ~scenarios:(Registry.size t.reg))
+        (Metrics.to_json t.met
+           ?shards:(Registry.shard_view t.reg)
+           ~scenarios:(Registry.size t.reg))
   | Http.GET, [ "scenarios" ] ->
       answer "list" 200
         (Printf.sprintf "{\"scenarios\": %s}\n"

@@ -57,6 +57,11 @@ type config = {
   retry : Smg_robust.Retry.policy;
       (** backoff for transient registry / plan-cache / journal ops *)
   breaker : Smg_robust.Breaker.config;  (** per-scenario circuit breaker *)
+  shards : int option;
+      (** hash-partition count for the engine's store membership
+          tables, forwarded to every exchange and delta init (omitted:
+          [SMG_SHARDS], else the pool's domain count); invisible to
+          response bytes *)
 }
 
 val default_config : config

@@ -88,8 +88,8 @@ let prepare_exn ?(source = fsource) ?(target = ftarget) tgds =
   | Ok c -> c
   | Error m -> Alcotest.failf "prepare: %s" m
 
-let init_exn compiled inst =
-  match Maintain.init compiled inst with
+let init_exn ?shards compiled inst =
+  match Maintain.init ?shards compiled inst with
   | Ok st -> st
   | Error m -> Alcotest.failf "init: %s" m
 
@@ -322,6 +322,41 @@ let test_egd_paths () =
   let st, _ = apply_exn st [ Batch.Insert ("u", [| vs "b1" |]) ] in
   check_equiv_rebuild "egd reinsert" st
 
+(* Non-default shard counts are invisible to maintenance: the same
+   insert/delete/egd sequence at shards 3 and 7 stays ≡hom a full
+   re-chase at every step and lands on the same maintained target as
+   the single-shard state. *)
+let test_sharded_maintenance () =
+  let compiled = prepare_exn ftgds in
+  let batches =
+    [
+      [ Batch.Insert ("r", [| vs "a3"; vs "b2" |]); Batch.Insert ("u", [| vs "b2" |]) ];
+      [ Batch.Delete ("u", [| vs "b1" |]) ];
+      [ Batch.Insert ("u", [| vs "b1" |]); Batch.Delete ("r", [| vs "a2"; vs "b2" |]) ];
+    ]
+  in
+  let final_target shards =
+    let st = init_exn ?shards compiled base_inst in
+    List.fold_left
+      (fun st batch ->
+        let st, _ = apply_exn st batch in
+        check_equiv_rebuild
+          (Printf.sprintf "shards=%s"
+             (match shards with None -> "default" | Some s -> string_of_int s))
+          st;
+        st)
+      st batches
+    |> Maintain.target
+  in
+  let reference = final_target None in
+  List.iter
+    (fun s ->
+      Alcotest.(check bool)
+        (Printf.sprintf "maintained target ≡hom at %d shard(s)" s)
+        true
+        (hom_equiv reference (final_target (Some s))))
+    [ 3; 7 ]
+
 let test_conflict_poisons () =
   let source =
     Schema.make ~name:"csrc"
@@ -522,6 +557,8 @@ let suite =
           test_shared_support;
         Alcotest.test_case "egd merges maintained through both paths" `Quick
           test_egd_paths;
+        Alcotest.test_case "maintenance invariant across shard counts" `Quick
+          test_sharded_maintenance;
         Alcotest.test_case "key conflict errors and poisons" `Quick
           test_conflict_poisons;
         q prop_maintain_equiv;

@@ -8,4 +8,4 @@ let () =
    @ Test_eval.suite @ Test_cm_discover.suite @ Test_fuzz.suite @ Test_sql.suite
    @ Test_verify.suite @ Test_exchange.suite @ Test_robust.suite
    @ Test_compose.suite @ Test_parallel.suite @ Test_serve.suite
-   @ Test_generate.suite @ Test_delta.suite)
+   @ Test_generate.suite @ Test_delta.suite @ Test_shards.suite)

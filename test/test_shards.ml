@@ -1,0 +1,285 @@
+(* Tests for the interned columnar substrate and its shard partitioning:
+   the Intern code/value round-trip, Colstore semantics at several shard
+   counts, the engine's shard-invariance matrix (shards {1,3,4,7} ×
+   domains {1,4}), and a differential against the frozen boxed-value
+   reference engine. *)
+
+module Value = Smg_relational.Value
+module Schema = Smg_relational.Schema
+module Instance = Smg_relational.Instance
+module Intern = Smg_relational.Intern
+module Colstore = Smg_relational.Colstore
+module Atom = Smg_cq.Atom
+module Dependency = Smg_cq.Dependency
+module Engine = Smg_exchange.Engine
+module Refengine = Smg_exchange.Refengine
+module Pool = Smg_parallel.Pool
+module Render = Smg_serve.Render
+module Equiv = Smg_verify.Equiv
+
+let v = Atom.v
+let a = Atom.atom
+let vs s = Value.VString s
+let shard_counts = [ 1; 3; 4; 7 ]
+
+(* ---- intern round-trip -------------------------------------------------- *)
+
+(* nan is deliberately absent: the pool's structural equality cannot
+   identify a value that is not equal to itself *)
+let gen_value =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun i -> Value.VInt i) int;
+        map (fun s -> Value.VString s) (string_size (int_bound 12));
+        map (fun i -> Value.VFloat (float_of_int i /. 8.)) int;
+        map (fun b -> Value.VBool b) bool;
+        map (fun n -> Value.VNull n) (int_bound 10_000);
+      ])
+
+let arb_value =
+  QCheck.make gen_value ~print:(fun x -> Fmt.str "%a" Value.pp x)
+
+let prop_intern_roundtrip =
+  QCheck.Test.make ~name:"intern: value -> code -> value round-trips"
+    ~count:500 arb_value (fun x ->
+      let c = Intern.code x in
+      Value.equal (Intern.value c) x
+      && Intern.code x = c
+      && Intern.find x = Some c
+      && Value.is_null x = Intern.is_null_code c)
+
+let prop_intern_rows =
+  let arb =
+    QCheck.make
+      QCheck.Gen.(
+        pair (int_range 1 4) (list_size (int_bound 40) (array_size (return 4) gen_value)))
+      ~print:(fun (ar, rows) -> Fmt.str "arity %d, %d rows" ar (List.length rows))
+  in
+  QCheck.Test.make
+    ~name:"intern: bulk code_rows agrees with per-value code" ~count:100 arb
+    (fun (arity, rows) ->
+      let rows = List.map (fun r -> Array.sub r 0 arity) rows in
+      let n, data = Intern.code_rows ~arity rows in
+      n = List.length rows
+      && Array.length data >= 16 * arity
+      && List.for_all2
+           (fun i row ->
+             Array.for_all Fun.id
+               (Array.mapi
+                  (fun j x -> data.((i * arity) + j) = Intern.code x)
+                  row))
+           (List.init n Fun.id) rows)
+
+let test_intern_nulls () =
+  Alcotest.(check int) "null code is arithmetic" (-8) (Intern.null_code 7);
+  Alcotest.(check bool) "null codes are negative" true
+    (Intern.is_null_code (Intern.code (Value.VNull 3)));
+  Alcotest.(check int) "label recovered" 3
+    (Intern.null_label (Intern.code (Value.VNull 3)));
+  let tup = [| vs "a"; Value.VNull 5; Value.VInt 9 |] in
+  Alcotest.(check bool) "tuple round-trips" true
+    (Array.for_all2 Value.equal (Intern.decode_tuple (Intern.code_tuple tup)) tup)
+
+(* ---- colstore ----------------------------------------------------------- *)
+
+let row3 i = [| Intern.code (vs (Printf.sprintf "k%d" (i mod 17))); i; i * i |]
+
+let live_rows cs =
+  List.rev (Colstore.fold_live cs (fun acc r -> Colstore.row_cells cs r :: acc) [])
+
+let test_colstore_shard_invariant () =
+  (* duplicates included: every fifth row repeats an earlier one *)
+  let rows = List.init 60 (fun i -> row3 (if i mod 5 = 4 then i - 4 else i)) in
+  let reference = ref None in
+  List.iter
+    (fun shards ->
+      let cs = Colstore.of_rows ~shards ~arity:3 rows in
+      Alcotest.(check int)
+        (Printf.sprintf "dedup at %d shard(s)" shards)
+        48 (Colstore.count cs);
+      Alcotest.(check bool) "all rows members" true
+        (List.for_all (Colstore.mem cs) rows);
+      Alcotest.(check int)
+        (Printf.sprintf "shard_live sums to count at %d" shards)
+        (Colstore.count cs)
+        (Array.fold_left ( + ) 0 (Colstore.shard_live cs));
+      let order = live_rows cs in
+      (match !reference with
+      | None -> reference := Some order
+      | Some expected ->
+          Alcotest.(check bool)
+            (Printf.sprintf "iteration order at %d shard(s)" shards)
+            true
+            (List.for_all2 (fun x y -> x = y) expected order));
+      (* remove one row, reinsert it: membership and counters track *)
+      let victim = List.hd rows in
+      (match Colstore.remove cs victim with
+      | None -> Alcotest.fail "victim not found"
+      | Some _ -> ());
+      Alcotest.(check bool) "removed" false (Colstore.mem cs victim);
+      Alcotest.(check int) "one rot" 1
+        (Array.fold_left ( + ) 0 (Colstore.shard_rot cs));
+      ignore (Colstore.insert cs victim);
+      Alcotest.(check bool) "back" true (Colstore.mem cs victim))
+    shard_counts
+
+let test_colstore_of_flat () =
+  let tuples =
+    List.init 25 (fun i -> [| vs (string_of_int i); Value.VInt i |])
+  in
+  let n, data = Intern.code_rows ~arity:2 tuples in
+  let cs = Colstore.of_flat ~shards:3 ~arity:2 ~rows:n data in
+  Alcotest.(check int) "count" 25 (Colstore.count cs);
+  Alcotest.(check bool) "untracked" false (Colstore.tracked cs);
+  Alcotest.(check bool) "cells readable" true
+    (List.for_all2
+       (fun r tup ->
+         Colstore.get cs r 0 = Intern.code tup.(0)
+         && Colstore.get cs r 1 = Intern.code tup.(1))
+       (List.init n Fun.id) tuples);
+  (* untracked membership degrades to a scan but stays correct *)
+  Alcotest.(check bool) "mem by scan" true
+    (Colstore.mem cs (Intern.code_tuple (List.nth tuples 13)));
+  Alcotest.(check bool) "absent row" false
+    (Colstore.mem cs [| Intern.code (vs "nope"); Intern.code (Value.VInt 99) |])
+
+(* ---- engine shard invariance -------------------------------------------- *)
+
+let esource =
+  Schema.make ~name:"ssrc"
+    [
+      Schema.table "r" [ ("a", Schema.TString); ("b", Schema.TString) ];
+      Schema.table "u" [ ("b", Schema.TString) ];
+    ]
+    []
+
+let etarget =
+  Schema.make ~name:"stgt"
+    [
+      Schema.table ~key:[ "a" ] "s"
+        [ ("a", Schema.TString); ("b", Schema.TString) ];
+      Schema.table "t" [ ("b", Schema.TString); ("c", Schema.TString) ];
+    ]
+    []
+
+let etgds =
+  [
+    Dependency.tgd ~name:"m1"
+      ~lhs:[ a "r" [ v "x"; v "y" ] ]
+      [ a "s" [ v "x"; v "y" ] ];
+    Dependency.tgd ~name:"m2"
+      ~lhs:[ a "u" [ v "y" ] ]
+      [ a "t" [ v "y"; v "z" ] ];
+    Dependency.tgd ~name:"m3"
+      ~lhs:[ a "r" [ v "x"; v "y" ]; a "u" [ v "y" ] ]
+      [ a "s" [ v "x"; v "w" ]; a "t" [ v "w"; v "c" ] ];
+  ]
+
+(* joins, skolems and key egds all live: r/u overlap on b so m3 fires
+   and the key on s merges its nulls against m1's facts *)
+let einst =
+  let add name header tup acc = Instance.add_tuple acc name ~header tup in
+  let acc = ref Instance.empty in
+  for i = 0 to 119 do
+    acc :=
+      add "r" [ "a"; "b" ]
+        [| vs (Printf.sprintf "a%d" i); vs (Printf.sprintf "b%d" (i mod 40)) |]
+        !acc;
+    if i mod 3 = 0 then
+      acc := add "u" [ "b" ] [| vs (Printf.sprintf "b%d" (i mod 40)) |] !acc
+  done;
+  !acc
+
+let engine_doc ?pool ?shards () =
+  match
+    Engine.run ?pool ?shards ~source:esource ~target:etarget ~mappings:etgds
+      einst
+  with
+  | Error m -> Alcotest.failf "engine: %s" m
+  | Ok rep ->
+      ( Render.exchange_json ~head:[] ~laconic:false rep,
+        rep.Engine.r_target,
+        rep.Engine.r_shards )
+
+let test_engine_shard_matrix () =
+  let base_doc, base_target, _ = engine_doc ~shards:1 () in
+  List.iter
+    (fun shards ->
+      (* sequential: partitioning must be invisible to the bytes *)
+      let doc, _, sv = engine_doc ~shards () in
+      Alcotest.(check string)
+        (Printf.sprintf "sequential doc at %d shard(s)" shards)
+        base_doc doc;
+      Alcotest.(check int)
+        (Printf.sprintf "report carries %d shard(s)" shards)
+        shards sv.Smg_exchange.Obs.sv_shards;
+      Alcotest.(check bool) "intern pool visible" true
+        (sv.Smg_exchange.Obs.sv_intern_pool > 0);
+      (* pooled: hom-equivalent at every shard count *)
+      Pool.with_pool ~domains:4 (fun pool ->
+          let _, target, _ = engine_doc ~pool ~shards () in
+          Alcotest.(check bool)
+            (Printf.sprintf "pooled target ≡hom at %d shard(s)" shards)
+            true
+            (Equiv.equivalent base_target target)))
+    shard_counts
+
+(* ---- boxed reference differential --------------------------------------- *)
+
+let test_boxed_differential () =
+  let boxed =
+    match
+      Refengine.run ~source:esource ~target:etarget ~mappings:etgds einst
+    with
+    | Error m -> Alcotest.failf "refengine: %s" m
+    | Ok rep ->
+        Alcotest.(check bool) "boxed run complete" true rep.Refengine.r_complete;
+        rep.Refengine.r_target
+  in
+  List.iter
+    (fun shards ->
+      let _, target, _ = engine_doc ~shards () in
+      Alcotest.(check bool)
+        (Printf.sprintf "interned ≡hom boxed at %d shard(s)" shards)
+        true
+        (Equiv.equivalent boxed target))
+    shard_counts;
+  (* and under the laconic sweep, both engines still agree *)
+  let lrun laconic_boxed =
+    if laconic_boxed then
+      match
+        Refengine.run ~laconic:true ~source:esource ~target:etarget
+          ~mappings:etgds einst
+      with
+      | Ok rep -> rep.Refengine.r_target
+      | Error m -> Alcotest.failf "refengine laconic: %s" m
+    else
+      match
+        Engine.run ~laconic:true ~shards:3 ~source:esource ~target:etarget
+          ~mappings:etgds einst
+      with
+      | Ok rep -> rep.Engine.r_target
+      | Error m -> Alcotest.failf "engine laconic: %s" m
+  in
+  Alcotest.(check bool) "laconic targets ≡hom" true
+    (Equiv.equivalent (lrun true) (lrun false))
+
+let suite =
+  let q = QCheck_alcotest.to_alcotest in
+  [
+    ( "shards",
+      [
+        q prop_intern_roundtrip;
+        q prop_intern_rows;
+        Alcotest.test_case "intern null arithmetic" `Quick test_intern_nulls;
+        Alcotest.test_case "colstore invariant across shard counts" `Quick
+          test_colstore_shard_invariant;
+        Alcotest.test_case "colstore adopts a flat arena" `Quick
+          test_colstore_of_flat;
+        Alcotest.test_case "engine matrix: shards {1,3,4,7} × domains {1,4}"
+          `Quick test_engine_shard_matrix;
+        Alcotest.test_case "interned engine tracks the boxed reference" `Quick
+          test_boxed_differential;
+      ] );
+  ]
